@@ -1,0 +1,82 @@
+"""Experiment P3 — the integration example (Sec. IV).
+
+"...the data of each column could have been gathered by different
+sensors ... not synchronized.  The passage from d 1-dimensional views
+to a single d-dimensional view can be obtained by first merging the
+time-stamps into an ordered list: the data available at each time-stamp
+will naturally compose a multi-dimensional record typically plagued by
+missing feature-values."
+
+Sweeps the merge tolerance window on the environmental-field capture
+and reports records produced, missingness, and downstream storm-
+detection accuracy after interpolation imputation.
+
+Run standalone:  python benchmarks/bench_integration.py
+"""
+
+from repro.analytics import DecisionTreeClassifier, accuracy_score, train_test_split
+from repro.iot import environmental_field
+from repro.pipeline import InterpolationImputer
+
+
+def evaluate_tolerance(tolerance: float, duration: float = 800.0, seed: int = 7) -> dict:
+    capture = environmental_field(
+        duration=duration, seed=seed, tolerance=tolerance
+    )
+    X = InterpolationImputer().fit_transform(capture.X)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, capture.y, 0.3, seed=0, stratify=True
+    )
+    tree = DecisionTreeClassifier(max_depth=5).fit(X_train, y_train)
+    accuracy = accuracy_score(y_test, tree.predict(X_test))
+    return {
+        "tolerance": tolerance,
+        "n_records": capture.merged.n_records,
+        "missing_rate": capture.missing_rate,
+        "complete_rows": int(capture.merged.complete_rows.size),
+        "accuracy": accuracy,
+    }
+
+
+def run(tolerances=(0.0, 0.2, 0.5, 0.8, 1.2)) -> list[dict]:
+    rows = [evaluate_tolerance(t) for t in tolerances]
+    # Raw merge (tolerance 0) must be plagued by missing values.
+    assert rows[0]["missing_rate"] > 0.4
+    # Wider windows monotonically reduce missingness.
+    rates = [row["missing_rate"] for row in rows]
+    assert all(b <= a + 0.02 for a, b in zip(rates, rates[1:]))
+    return rows
+
+
+def print_report() -> None:
+    rows = run()
+    print("EXPERIMENT P3 — TIMESTAMP MERGING OF UNSYNCHRONISED STREAMS")
+    print(
+        f"{'tolerance':>10} {'records':>8} {'missing':>8} {'complete':>9}"
+        f" {'accuracy':>9}"
+    )
+    for row in rows:
+        print(
+            f"{row['tolerance']:>10.1f} {row['n_records']:>8}"
+            f" {row['missing_rate']:>8.1%} {row['complete_rows']:>9}"
+            f" {row['accuracy']:>9.3f}"
+        )
+    print(
+        "\nshape: the raw merge is 'plagued by missing feature-values'"
+        " (>40% missing at tolerance 0); widening the window trades"
+        " temporal fidelity for completeness, with downstream accuracy"
+        " peaking at a moderate window — the preprocessing player's knob."
+        "\n(windows beyond the median inter-measurement gap chain all"
+        " timestamps into a handful of records and are excluded.)"
+    )
+
+
+def test_benchmark_integration(benchmark):
+    rows = benchmark.pedantic(
+        run, kwargs={"tolerances": (0.0, 0.5, 1.0)}, rounds=1, iterations=1
+    )
+    assert rows[0]["missing_rate"] > rows[-1]["missing_rate"]
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,140 @@
+"""Experiment AD1 — robustness to an untrusted operator's facet.
+
+The paper (Sec. I.A): IoT ecosystems "cannot rely on full mutual trust
+between the pipeline modules", and adversarial learning must handle
+"features [that] have diverse veracity, due to the presence of hostile,
+untrusted or semi-trusted components along the model training chain".
+
+One operator owns one facet and corrupts it with increasing strength
+(value shuffling — decouples the facet from the phenomenon).  We
+compare three learners as corruption grows:
+
+* facet-blind single RBF kernel over all features,
+* facet-aware MKL with alignment weights on the true facet partition,
+* facet-aware MKL with alignf (jointly optimised) weights.
+
+The facet-aware learners should *detect* the dead facet through its
+vanishing kernel-target alignment and suppress it; the blind kernel
+cannot.
+
+Run standalone:  python benchmarks/bench_poisoned_facet.py
+"""
+
+import numpy as np
+
+from repro.analytics import LSSVC, accuracy_score, train_test_split
+from repro.combinatorics import SetPartition
+from repro.iot import FacetSpec, FacetOwnership, Operator, make_faceted_classification
+from repro.kernels.combination import combine_grams, uniform_weights
+from repro.kernels.partition_kernel import default_block_kernel
+from repro.mkl import GramCache, alignf_weights, alignment_weights
+
+
+def mkl_accuracy(partition, weights_fn, X_train, y_train, X_test, y_test):
+    cache = GramCache(X_train)
+    grams = cache.grams_for(partition)
+    weights = weights_fn(grams, y_train)
+    combined = combine_grams(grams, weights)
+    model = LSSVC("precomputed", gamma=10.0).fit(combined, y_train)
+    cross = np.zeros((X_test.shape[0], X_train.shape[0]))
+    for weight, block in zip(weights, partition.blocks):
+        if weight <= 0:
+            continue
+        kernel = default_block_kernel(tuple(block))
+        raw = kernel(X_test, X_train)
+        test_diag = np.sqrt(np.clip(np.diag(kernel(X_test)), 1e-12, None))
+        train_diag = np.sqrt(np.clip(np.diag(kernel(X_train)), 1e-12, None))
+        cross += weight * (raw / np.outer(test_diag, train_diag))
+    return accuracy_score(y_test, model.predict(cross)), weights
+
+
+def evaluate_strength(strength: float, seed: int = 10, n_samples: int = 400) -> dict:
+    specs = [
+        FacetSpec("trusted_a", 2, signal="product", weight=1.4),
+        FacetSpec("trusted_b", 2, signal="radial", weight=1.0),
+        FacetSpec("shadow", 3, signal="radial", weight=1.0),
+    ]
+    workload = make_faceted_classification(n_samples, specs, seed=seed)
+    ownership = FacetOwnership(
+        [
+            Operator("telco", workload.view_columns["trusted_a"], trust=0.9),
+            Operator("muni", workload.view_columns["trusted_b"], trust=0.9),
+            Operator("shadow", workload.view_columns["shadow"], trust=0.2),
+        ]
+    )
+    rng = np.random.default_rng(seed + 1)
+    X = ownership.corrupt(workload.X, "shadow", "value_shuffle", strength, rng)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, workload.y, 0.3, seed=0, stratify=True
+    )
+    partition = workload.true_partition()
+    blind_partition = SetPartition([tuple(range(workload.n_features))])
+
+    blind, _ = mkl_accuracy(
+        blind_partition,
+        lambda grams, y: uniform_weights(len(grams)),
+        X_train, y_train, X_test, y_test,
+    )
+    aware, weights = mkl_accuracy(
+        partition, alignment_weights, X_train, y_train, X_test, y_test
+    )
+    aware_qp, _ = mkl_accuracy(
+        partition, alignf_weights, X_train, y_train, X_test, y_test
+    )
+    shadow_block_index = partition.blocks.index(
+        tuple(workload.view_columns["shadow"])
+    )
+    return {
+        "strength": strength,
+        "blind": blind,
+        "aware": aware,
+        "aware_alignf": aware_qp,
+        "shadow_weight": float(weights[shadow_block_index]),
+    }
+
+
+def run(strengths=(0.0, 0.25, 0.5, 0.75, 1.0)) -> list[dict]:
+    return [evaluate_strength(s) for s in strengths]
+
+
+def print_report() -> None:
+    rows = run()
+    print("EXPERIMENT AD1 — UNTRUSTED OPERATOR CORRUPTS ITS FACET")
+    print(
+        f"{'strength':>9} {'blind':>7} {'aware':>7} {'alignf':>7}"
+        f" {'shadow facet weight':>20}"
+    )
+    for row in rows:
+        print(
+            f"{row['strength']:>9.2f} {row['blind']:>7.3f} {row['aware']:>7.3f}"
+            f" {row['aware_alignf']:>7.3f} {row['shadow_weight']:>20.3f}"
+        )
+    clean, poisoned = rows[0], rows[-1]
+    print(
+        f"\nblind kernel loses {clean['blind'] - poisoned['blind']:+.3f}"
+        f" accuracy under full corruption;"
+        f" facet-aware loses {clean['aware'] - poisoned['aware']:+.3f}"
+    )
+    print(
+        f"the corrupted facet's kernel weight drops from"
+        f" {clean['shadow_weight']:.3f} to {poisoned['shadow_weight']:.3f}"
+        " — the alignment weighting detects the veracity loss, as the"
+        " adversarial pillar demands."
+    )
+
+
+def test_benchmark_poisoned_facet(benchmark):
+    rows = benchmark.pedantic(
+        run, kwargs={"strengths": (0.0, 1.0)}, rounds=1, iterations=1
+    )
+    clean, poisoned = rows[0], rows[-1]
+    # The corrupted facet's weight must collapse.
+    assert poisoned["shadow_weight"] < clean["shadow_weight"]
+    # Facet-aware degradation is no worse than blind degradation.
+    blind_drop = clean["blind"] - poisoned["blind"]
+    aware_drop = clean["aware"] - poisoned["aware"]
+    assert aware_drop <= blind_drop + 0.05
+
+
+if __name__ == "__main__":
+    print_report()

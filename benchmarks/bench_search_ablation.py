@@ -1,0 +1,125 @@
+"""Experiment A1 — ablation of the lattice exploration strategies.
+
+On a fixed faceted workload, compares every implemented strategy on
+(search cost, achieved score, held-out accuracy): exhaustive Bell-cost
+enumeration, single symmetric chain, multi-chain walk, and greedy
+smushing.  The design question (DESIGN.md): how much of the exhaustive
+optimum do the cheap strategies retain?
+
+Run standalone:  python benchmarks/bench_search_ablation.py
+"""
+
+import numpy as np
+
+from repro.analytics import LSSVC, accuracy_score, train_test_split
+from repro.iot import FacetSpec, make_faceted_classification
+from repro.kernels.combination import combine_grams
+from repro.kernels.partition_kernel import default_block_kernel
+from repro.mkl import (
+    CrossValScorer,
+    GramCache,
+    PartitionMKLSearch,
+    alignment_weights,
+    greedy_smush,
+)
+
+
+def heldout_accuracy(partition, X_train, y_train, X_test, y_test) -> float:
+    cache = GramCache(X_train)
+    grams = cache.grams_for(partition)
+    weights = alignment_weights(grams, y_train)
+    combined = combine_grams(grams, weights)
+    model = LSSVC("precomputed", gamma=10.0).fit(combined, y_train)
+    cross = np.zeros((X_test.shape[0], X_train.shape[0]))
+    for weight, block in zip(weights, partition.blocks):
+        if weight <= 0:
+            continue
+        kernel = default_block_kernel(tuple(block))
+        raw = kernel(X_test, X_train)
+        test_diag = np.sqrt(np.clip(np.diag(kernel(X_test)), 1e-12, None))
+        train_diag = np.sqrt(np.clip(np.diag(kernel(X_train)), 1e-12, None))
+        cross += weight * (raw / np.outer(test_diag, train_diag))
+    return accuracy_score(y_test, model.predict(cross))
+
+
+def run(n_samples: int = 350, seed: int = 6) -> list[dict]:
+    specs = [
+        FacetSpec("a", 2, signal="product", weight=1.5),
+        FacetSpec("b", 2, signal="radial", weight=1.0),
+        FacetSpec("noise", 3, role="noise"),
+    ]
+    workload = make_faceted_classification(n_samples, specs, seed=seed)
+    X_train, X_test, y_train, y_test = train_test_split(
+        workload.X, workload.y, 0.3, seed=0, stratify=True
+    )
+    search = PartitionMKLSearch(scorer=CrossValScorer(n_folds=3))
+    cache = GramCache(X_train)
+    seed_block = (0, 1)
+
+    outcomes = {}
+    outcomes["exhaustive"] = search.search_exhaustive(
+        X_train, y_train, seed_block, cache=cache
+    )
+    outcomes["chain"] = search.search_chain(
+        X_train, y_train, seed_block, patience=2, cache=cache
+    )
+    outcomes["chains(5)"] = search.search_chains(
+        X_train, y_train, seed_block, n_chains=5, patience=2, cache=cache
+    )
+    outcomes["greedy_smush"] = greedy_smush(
+        search, X_train, y_train, seed_block, cache=cache
+    )
+
+    rows = []
+    for name, result in outcomes.items():
+        rows.append(
+            {
+                "strategy": name,
+                "evaluations": result.n_evaluations,
+                "search_score": result.best_score,
+                "heldout": heldout_accuracy(
+                    result.best_partition, X_train, y_train, X_test, y_test
+                ),
+                "partition": result.best_partition.compact_str(),
+            }
+        )
+    return rows
+
+
+def print_report() -> None:
+    rows = run()
+    print("EXPERIMENT A1 — SEARCH STRATEGY ABLATION")
+    print(
+        f"{'strategy':<14} {'evals':>6} {'cv score':>9} {'heldout':>8}  partition"
+    )
+    best_exhaustive = next(r for r in rows if r["strategy"] == "exhaustive")
+    for row in rows:
+        print(
+            f"{row['strategy']:<14} {row['evaluations']:>6}"
+            f" {row['search_score']:>9.3f} {row['heldout']:>8.3f}"
+            f"  {row['partition']}"
+        )
+    cheap = [r for r in rows if r["strategy"] != "exhaustive"]
+    retained = max(r["search_score"] for r in cheap) / best_exhaustive["search_score"]
+    print(
+        f"\nbest cheap strategy retains {retained:.1%} of the exhaustive"
+        f" optimum's score at a fraction of its"
+        f" {best_exhaustive['evaluations']} evaluations."
+    )
+
+
+def test_benchmark_ablation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_name = {row["strategy"]: row for row in rows}
+    # Exhaustive is the score ceiling; chain is the cheapest.
+    assert all(
+        by_name["exhaustive"]["search_score"] >= row["search_score"] - 1e-9
+        for row in rows
+    )
+    assert by_name["chain"]["evaluations"] <= min(
+        row["evaluations"] for row in rows
+    )
+
+
+if __name__ == "__main__":
+    print_report()

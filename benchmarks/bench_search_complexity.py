@@ -1,0 +1,124 @@
+"""Experiment C1 — the complexity claims of Sec. III.
+
+The paper: "Should the exploration be exhaustive, its complexity would
+be given by the sum of the level numbers — known as Stirling numbers of
+the second kind (sums ... are known as Bell numbers) ... We, on the
+contrary, are looking at an exploration strategy based on chain
+decompositions, which would be linear in the cardinality of S - K."
+
+Also checks the counting facts quoted for the lattice shape:
+``2^(n-1) - 1`` two-block partitions vs ``n(n-1)/2`` partitions into
+``n - 1`` blocks.  The benchmark then *measures* actual configuration
+evaluations of the implemented searches on a real workload.
+
+Run standalone:  python benchmarks/bench_search_complexity.py
+"""
+
+from repro.combinatorics import ConeExploration, bell_number, stirling2
+from repro.iot import FacetSpec, make_faceted_classification
+from repro.mkl import AlignmentScorer, PartitionMKLSearch
+
+
+def counting_series(max_rest: int = 12) -> list[dict]:
+    rows = []
+    for rest in range(1, max_rest + 1):
+        ledger = ConeExploration.for_rest_size(rest) if rest <= 9 else None
+        rows.append(
+            {
+                "rest": rest,
+                "exhaustive": bell_number(rest),
+                "chain": rest,
+                "two_block": 2 ** (rest - 1) - 1,
+                "n_minus_1_block": rest * (rest - 1) // 2,
+                "all_ldd_chains": (
+                    ledger.all_chains_evaluations if ledger else None
+                ),
+            }
+        )
+    return rows
+
+
+def measured_evaluations(n_features: int = 8, n_samples: int = 200) -> dict:
+    """Actual evaluation counts of the implemented strategies."""
+    specs = [
+        FacetSpec("a", 2, signal="product", weight=1.4),
+        FacetSpec("b", 2, signal="radial", weight=1.0),
+        FacetSpec("noise", n_features - 4, role="noise"),
+    ]
+    workload = make_faceted_classification(n_samples, specs, seed=2)
+    search = PartitionMKLSearch(scorer=AlignmentScorer())
+    seed_block = (0, 1)
+    rest = n_features - len(seed_block)
+    exhaustive = search.search_exhaustive(workload.X, workload.y, seed_block)
+    chain = search.search_chain(workload.X, workload.y, seed_block, patience=rest)
+    chains = search.search_chains(
+        workload.X, workload.y, seed_block, n_chains=5, patience=rest
+    )
+    assert exhaustive.n_evaluations == bell_number(rest)
+    assert chain.n_evaluations <= rest
+    return {
+        "rest": rest,
+        "exhaustive_evals": exhaustive.n_evaluations,
+        "chain_evals": chain.n_evaluations,
+        "chains5_evals": chains.n_evaluations,
+        "exhaustive_score": exhaustive.best_score,
+        "chain_score": chain.best_score,
+        "chains5_score": chains.best_score,
+    }
+
+
+def run() -> dict:
+    series = counting_series()
+    for row in series:
+        n = row["rest"]
+        assert row["exhaustive"] == sum(
+            stirling2(n, k) for k in range(n + 1)
+        )
+    return {"series": series, "measured": measured_evaluations()}
+
+
+def print_report() -> None:
+    results = run()
+    print("SEC. III COMPLEXITY CLAIMS (reproduced)")
+    print(
+        f"{'|S-K|':>6} {'exhaustive=Bell':>16} {'chain (linear)':>15}"
+        f" {'2^(n-1)-1':>10} {'n(n-1)/2':>9}"
+    )
+    for row in results["series"]:
+        print(
+            f"{row['rest']:>6} {row['exhaustive']:>16,} {row['chain']:>15}"
+            f" {row['two_block']:>10,} {row['n_minus_1_block']:>9}"
+        )
+    measured = results["measured"]
+    print("\nmeasured on an 8-feature workload (seed block size 2, rest 6):")
+    print(
+        f"  exhaustive: {measured['exhaustive_evals']} evals"
+        f" (= B_6 = {bell_number(6)}), best score {measured['exhaustive_score']:.4f}"
+    )
+    print(
+        f"  one chain : {measured['chain_evals']} evals"
+        f" (<= 6), best score {measured['chain_score']:.4f}"
+    )
+    print(
+        f"  5 chains  : {measured['chains5_evals']} evals,"
+        f" best score {measured['chains5_score']:.4f}"
+    )
+    ratio = measured["exhaustive_evals"] / measured["chain_evals"]
+    print(f"  cost ratio exhaustive/chain: {ratio:.0f}x")
+
+
+def test_benchmark_counting(benchmark):
+    series = benchmark(counting_series)
+    assert series[-1]["exhaustive"] == bell_number(12)
+
+
+def test_benchmark_measured_search(benchmark):
+    measured = benchmark.pedantic(
+        measured_evaluations, rounds=1, iterations=1
+    )
+    assert measured["chain_evals"] <= measured["rest"]
+    assert measured["exhaustive_evals"] == bell_number(measured["rest"])
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,88 @@
+"""Experiment T1 — reproduce Table I (chain decomposition of Pi_4).
+
+Regenerates the paper's Table I from de Bruijn's decomposition of B_3
+and the LDD encoding, prints it in the paper's layout, and asserts the
+rows exactly.  The benchmark measures the full construction for Pi_4
+and the scaling construction for Pi_8.
+
+Run standalone:  python benchmarks/bench_table1_ldd.py
+Benchmark:       pytest benchmarks/bench_table1_ldd.py --benchmark-only
+"""
+
+from repro.combinatorics import (
+    ldd_chains,
+    ldd_table,
+    validate_partition_scd,
+)
+
+# The paper's Table I, row for row (subset, encoding, type, partitions).
+PAPER_TABLE = [
+    ("∅", "1111", "1111", "1/2/3/4"),
+    ("{1}", "0211", "112", "1/2/34"),
+    ("{1, 2}", "0031", "13", "1/234"),
+    ("{1, 2, 3}", "0004", "4", "1234"),
+    ("{2}", "1021", "121", "1/23/4, 1/24/3"),
+    ("{2, 3}", "1003", "31", "123/4, 124/3, 134/2"),
+    ("{3}", "1102", "211", "12/3/4, 13/2/4, 14/2/3"),
+    ("{1, 3}", "0202", "22", "12/34, 13/24, 14/23"),
+]
+
+
+def generate_table() -> list[str]:
+    """All Table I rows in the paper's format."""
+    return [row.format() for group in ldd_table(3) for row in group]
+
+
+def check_against_paper(rows: list[str]) -> None:
+    expected = {
+        f"{subset} | {encoding} -> {type_} | {partitions}"
+        for subset, encoding, type_, partitions in PAPER_TABLE
+    }
+    assert set(rows) == expected, set(rows) ^ expected
+
+
+def run() -> list[str]:
+    rows = generate_table()
+    check_against_paper(rows)
+    chains = ldd_chains(3)
+    report = validate_partition_scd(chains, 3)
+    assert report.valid and report.n_elements_covered == 14
+    return rows
+
+
+def print_report() -> None:
+    print("TABLE I — EXAMPLE OF CHAIN DECOMPOSITION OF Π4 (reproduced)")
+    print(f"{'S ∈ B3':<12} | {'c(S)':>6} | {'type':>6} | Π4 partitions of the type")
+    print("-" * 72)
+    for group in ldd_table(3):
+        for row in group:
+            digits = "".join(str(d) for d in row.encoding)
+            type_str = "".join(str(p) for p in row.type_composition)
+            partitions = ", ".join(p.compact_str() for p in row.partitions)
+            from repro.combinatorics import format_subset
+
+            print(
+                f"{format_subset(row.subset):<12} | {digits:>6} | {type_str:>6}"
+                f" | {partitions}"
+            )
+        print("-" * 72)
+    print("chains read off the table:")
+    for chain in ldd_chains(3):
+        print("  " + " < ".join(p.compact_str() for p in chain))
+    print("match with the paper's Table I: EXACT")
+
+
+def test_benchmark_table1(benchmark):
+    rows = benchmark(run)
+    assert len(rows) == 8
+
+
+def test_benchmark_ldd_pi8(benchmark):
+    """Scaling point: the full LDD construction for Pi_8 (n = 7)."""
+    chains = benchmark.pedantic(ldd_chains, args=(7,), rounds=1, iterations=1)
+    assert validate_partition_scd(chains, 7).valid
+
+
+if __name__ == "__main__":
+    run()
+    print_report()

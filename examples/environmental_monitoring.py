@@ -1,0 +1,74 @@
+"""Unsynchronised sensor integration end to end (paper Sec. IV).
+
+Weather stations stream temperature/humidity/wind with independent
+jittered clocks and dropout.  The integration stage merges the streams
+into multi-dimensional records "typically plagued by missing
+feature-values"; we sweep the merge tolerance window and the imputation
+strategy and measure downstream storm-detection accuracy — the
+preprocessing player's trade-off made concrete.
+
+Run:  python examples/environmental_monitoring.py
+"""
+
+import numpy as np
+
+from repro.analytics import DecisionTreeClassifier, accuracy_score, train_test_split
+from repro.iot import environmental_field
+from repro.pipeline import (
+    InterpolationImputer,
+    KNNImputer,
+    MeanImputer,
+    PerPatternModel,
+    merge_streams,
+)
+
+
+def downstream_accuracy(X: np.ndarray, y: np.ndarray, seed: int = 0) -> float:
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, 0.3, seed=seed, stratify=True
+    )
+    tree = DecisionTreeClassifier(max_depth=5).fit(X_train, y_train)
+    return accuracy_score(y_test, tree.predict(X_test))
+
+
+def main() -> None:
+    print("=== tolerance window sweep (integration stage) ===")
+    print("tolerance | records | missing | storm-detection accuracy")
+    for tolerance in (0.0, 0.2, 0.5, 0.8, 1.2):
+        capture = environmental_field(duration=800.0, seed=7, tolerance=tolerance)
+        X = InterpolationImputer().fit_transform(capture.X)
+        accuracy = downstream_accuracy(X, capture.y)
+        print(
+            f"  {tolerance:7.1f} | {capture.merged.n_records:7d} |"
+            f" {capture.missing_rate:6.1%} | {accuracy:.3f}"
+        )
+
+    print("\n=== imputation strategy comparison (fixed tolerance 0.5) ===")
+    capture = environmental_field(duration=800.0, seed=7, tolerance=0.5)
+    print(f"records: {capture.merged.n_records}, missing: {capture.missing_rate:.1%}")
+    strategies = {
+        "mean": MeanImputer(),
+        "knn(5)": KNNImputer(5),
+        "interpolate": InterpolationImputer(),
+    }
+    for name, imputer in strategies.items():
+        X = imputer.fit_transform(capture.X)
+        print(f"  {name:<12} accuracy = {downstream_accuracy(X, capture.y):.3f}")
+
+    # The no-imputation arm: one model per missingness pattern.
+    X_train, X_test, y_train, y_test = train_test_split(
+        capture.X, capture.y, 0.3, seed=0, stratify=True
+    )
+    multi = PerPatternModel(lambda: DecisionTreeClassifier(max_depth=5))
+    multi.fit(X_train, y_train)
+    accuracy = accuracy_score(y_test, multi.predict(X_test))
+    print(
+        f"  {'per-pattern':<12} accuracy = {accuracy:.3f}"
+        f"  (cost: {multi.n_models_} models instead of 1)"
+    )
+
+    print("\nsensor channels merged:", ", ".join(capture.feature_names))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: partition-aware multiple kernel learning in ~30 lines.
+
+Generates a faceted IoT-style classification task (two informative
+sensor facets + one noise facet), lets the library pick the seed block
+by rough-set accuracy, searches the partition lattice for the best
+multiple-kernel configuration, and compares against a facet-blind
+single-kernel model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analytics import accuracy_score, train_test_split
+from repro.core import FacetedLearner
+from repro.iot import FacetSpec, make_faceted_classification
+
+
+def main() -> None:
+    specs = [
+        FacetSpec("radar", 2, signal="product", weight=1.5),
+        FacetSpec("thermal", 2, signal="radial", weight=1.0),
+        FacetSpec("junk", 3, role="noise"),
+    ]
+    workload = make_faceted_classification(500, specs, seed=1)
+    print(f"workload: {workload.n_samples} samples, {workload.n_features} features")
+    print(f"planted facet partition: {workload.true_partition().compact_str()}")
+
+    X_train, X_test, y_train, y_test = train_test_split(
+        workload.X, workload.y, 0.3, seed=0, stratify=True
+    )
+
+    # Facet-aware: rough-set seed + symmetric-chain lattice search.
+    learner = FacetedLearner(strategy="chains", scorer="cv", n_chains=5)
+    learner.fit(X_train, y_train)
+    aware = accuracy_score(y_test, learner.predict(X_test))
+    info = learner.describe()
+    print(f"\nchosen partition : {info['partition']} ({info['n_kernels']} kernels)")
+    print(f"search cost      : {info['n_evaluations']} configurations scored")
+    print(f"faceted accuracy : {aware:.3f}")
+
+    # Facet-blind baseline: one kernel over all features.
+    blind = FacetedLearner(
+        strategy="chain",
+        scorer="alignment",
+        seed_block=tuple(range(workload.n_features)),
+    )
+    blind.fit(X_train, y_train)
+    blind_accuracy = accuracy_score(y_test, blind.predict(X_test))
+    print(f"single-kernel    : {blind_accuracy:.3f}")
+    print(f"\nstructural awareness gain: {aware - blind_accuracy:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — reproduction of "Toward IoT-friendly Learning Models"
+(Damiani, Gianini, Ceci, Malerba; ICDCS 2018).
+
+The package implements the paper's two pillars and every substrate they
+rest on:
+
+* **Structural awareness** — partition-lattice-driven multiple kernel
+  learning over faceted IoT feature sets (``repro.combinatorics``,
+  ``repro.roughsets``, ``repro.kernels``, ``repro.mkl``,
+  ``repro.multiview``, ``repro.core``).
+* **Adversarial composition** — game-theoretic modelling of the whole
+  acquisition / preparation / analytics pipeline (``repro.pipeline``,
+  ``repro.games``, ``repro.iot``).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import FacetedLearner, TrustReport, build_trust_report
+
+__all__ = ["FacetedLearner", "TrustReport", "build_trust_report", "__version__"]

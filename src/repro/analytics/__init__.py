@@ -1,0 +1,60 @@
+"""Learning substrate: from-scratch classifiers, metrics, validation."""
+
+from repro.analytics.calibration import (
+    CalibrationReport,
+    PlattScaler,
+    brier_score,
+    calibration_curve,
+    calibration_report,
+    expected_calibration_error,
+)
+from repro.analytics.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.analytics.logistic import KernelLogisticRegression
+from repro.analytics.knn import KNNClassifier, nan_euclidean_distances
+from repro.analytics.lssvm import LSSVC
+from repro.analytics.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    error_rate,
+    log_loss,
+    macro_f1,
+    precision_recall_f1,
+)
+from repro.analytics.naive_bayes import GaussianNB
+from repro.analytics.svm import KernelSVC, OneVsRestSVC
+from repro.analytics.validation import (
+    cross_val_score,
+    cross_val_score_precomputed,
+    kfold_indices,
+    stratified_kfold_indices,
+    train_test_split,
+)
+
+__all__ = [
+    "CalibrationReport",
+    "PlattScaler",
+    "brier_score",
+    "calibration_curve",
+    "calibration_report",
+    "expected_calibration_error",
+    "KernelLogisticRegression",
+    "DecisionTreeClassifier",
+    "TreeNode",
+    "KNNClassifier",
+    "nan_euclidean_distances",
+    "LSSVC",
+    "accuracy_score",
+    "confusion_matrix",
+    "error_rate",
+    "log_loss",
+    "macro_f1",
+    "precision_recall_f1",
+    "GaussianNB",
+    "KernelSVC",
+    "OneVsRestSVC",
+    "cross_val_score",
+    "cross_val_score_precomputed",
+    "kfold_indices",
+    "stratified_kfold_indices",
+    "train_test_split",
+]

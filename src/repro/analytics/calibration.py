@@ -1,0 +1,171 @@
+"""Prediction-veracity diagnostics: calibration curves and ECE.
+
+The paper's decision-maker needs to know how much a model's confidence
+can be trusted (Sec. IV: "the lack of veracity has a cost"; Sec. I:
+the user "is not informed that the analytics outcomes cannot be fully
+trusted and, even if so, he does not understand why").  These are the
+standard instruments: reliability (calibration) curves, expected and
+maximum calibration error, Brier score, and Platt scaling to repair a
+mis-calibrated score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CalibrationReport",
+    "calibration_curve",
+    "expected_calibration_error",
+    "brier_score",
+    "calibration_report",
+    "PlattScaler",
+]
+
+
+def _validate(y_true: np.ndarray, probabilities: np.ndarray):
+    y = np.asarray(y_true, dtype=float).ravel()
+    p = np.asarray(probabilities, dtype=float).ravel()
+    if y.shape != p.shape:
+        raise ValueError("labels and probabilities must align")
+    if y.size == 0:
+        raise ValueError("need at least one sample")
+    if set(np.unique(y)) <= {-1.0, 1.0}:
+        y = (y + 1) / 2
+    if not set(np.unique(y)) <= {0.0, 1.0}:
+        raise ValueError("labels must be binary ({0,1} or {-1,+1})")
+    if p.min() < -1e-9 or p.max() > 1 + 1e-9:
+        raise ValueError("probabilities must lie in [0, 1]")
+    return y, np.clip(p, 0.0, 1.0)
+
+
+def calibration_curve(
+    y_true: np.ndarray, probabilities: np.ndarray, n_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (mean predicted, observed frequency, count) per bin.
+
+    Empty bins are dropped.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    y, p = _validate(y_true, probabilities)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    indices = np.clip(np.digitize(p, edges[1:-1]), 0, n_bins - 1)
+    mean_predicted, observed, counts = [], [], []
+    for b in range(n_bins):
+        mask = indices == b
+        if not mask.any():
+            continue
+        mean_predicted.append(float(p[mask].mean()))
+        observed.append(float(y[mask].mean()))
+        counts.append(int(mask.sum()))
+    return (
+        np.asarray(mean_predicted),
+        np.asarray(observed),
+        np.asarray(counts),
+    )
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, probabilities: np.ndarray, n_bins: int = 10
+) -> float:
+    """Count-weighted mean |confidence − accuracy| over bins (ECE)."""
+    mean_predicted, observed, counts = calibration_curve(
+        y_true, probabilities, n_bins
+    )
+    total = counts.sum()
+    return float(np.sum(counts * np.abs(mean_predicted - observed)) / total)
+
+
+def brier_score(y_true: np.ndarray, probabilities: np.ndarray) -> float:
+    """Mean squared error of the probability forecast."""
+    y, p = _validate(y_true, probabilities)
+    return float(np.mean((p - y) ** 2))
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Veracity summary attached to trust reports."""
+
+    ece: float
+    mce: float
+    brier: float
+    n_bins_used: int
+    mean_confidence: float
+    accuracy_of_argmax: float
+
+    @property
+    def well_calibrated(self) -> bool:
+        """Rule of thumb: ECE below 10%."""
+        return self.ece < 0.10
+
+
+def calibration_report(
+    y_true: np.ndarray, probabilities: np.ndarray, n_bins: int = 10
+) -> CalibrationReport:
+    """Full veracity diagnostics of a probabilistic binary predictor."""
+    y, p = _validate(y_true, probabilities)
+    mean_predicted, observed, counts = calibration_curve(y, p, n_bins)
+    gaps = np.abs(mean_predicted - observed)
+    predictions = (p >= 0.5).astype(float)
+    confidence = np.where(p >= 0.5, p, 1 - p)
+    return CalibrationReport(
+        ece=float(np.sum(counts * gaps) / counts.sum()),
+        mce=float(gaps.max()),
+        brier=brier_score(y, p),
+        n_bins_used=int(len(counts)),
+        mean_confidence=float(confidence.mean()),
+        accuracy_of_argmax=float(np.mean(predictions == y)),
+    )
+
+
+class PlattScaler:
+    """Platt scaling: fit ``sigma(a * score + b)`` to held-out labels.
+
+    Turns raw margins (e.g. SVM decision values) into calibrated
+    probabilities by one-dimensional logistic regression, fitted by
+    Newton iterations.
+    """
+
+    def __init__(self, max_iterations: int = 100, tolerance: float = 1e-10):
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.a_: float | None = None
+        self.b_: float | None = None
+
+    def fit(self, scores: np.ndarray, y_true: np.ndarray) -> "PlattScaler":
+        y, _ = _validate(y_true, np.zeros_like(np.asarray(y_true, dtype=float)))
+        s = np.asarray(scores, dtype=float).ravel()
+        if s.shape != y.shape:
+            raise ValueError("scores and labels must align")
+        a, b = 1.0, 0.0
+        for _ in range(self.max_iterations):
+            z = a * s + b
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+            gradient = np.array(
+                [np.sum((p - y) * s), np.sum(p - y)]
+            )
+            w = np.clip(p * (1 - p), 1e-10, None)
+            hessian = np.array(
+                [
+                    [np.sum(w * s * s) + 1e-10, np.sum(w * s)],
+                    [np.sum(w * s), np.sum(w) + 1e-10],
+                ]
+            )
+            step = np.linalg.solve(hessian, gradient)
+            a, b = a - step[0], b - step[1]
+            if np.max(np.abs(step)) < self.tolerance:
+                break
+        self.a_, self.b_ = float(a), float(b)
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        if self.a_ is None or self.b_ is None:
+            raise RuntimeError("fit must be called before transform")
+        z = self.a_ * np.asarray(scores, dtype=float).ravel() + self.b_
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+    def fit_transform(self, scores: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        return self.fit(scores, y_true).transform(scores)

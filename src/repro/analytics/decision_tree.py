@@ -1,0 +1,215 @@
+"""CART-style decision tree with explicit missing-value strategies.
+
+Section IV.A of the paper contrasts two single-player strategies when a
+dataset is "plagued by missing values" and the task is "learning a
+decision tree out of the data": impute substitutes and accept the
+inaccuracy, or learn one model per pattern of available features.  This
+tree is the learner used by that experiment (P1).  Missing entries are
+``numpy.nan``; at split time missing rows follow the majority branch,
+which the node remembers for prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """One tree node; leaves carry a label, internal nodes a split."""
+
+    prediction: object = None
+    feature: int | None = None
+    threshold: float | None = None
+    missing_goes_left: bool = True
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    n_samples: int = 0
+    impurity: float = 0.0
+    class_counts: dict = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    proportions = counts / labels.size
+    return float(1.0 - np.sum(proportions**2))
+
+
+def _majority(labels: np.ndarray):
+    values, counts = np.unique(labels, return_counts=True)
+    return values[np.argmax(counts)]
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART classifier on numeric features with NaN support.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_split:
+        Minimum node size to attempt a split.
+    min_impurity_decrease:
+        Minimum Gini decrease for a split to be kept.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_impurity_decrease: float = 1e-7,
+    ):
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_impurity_decrease = float(min_impurity_decrease)
+        self.root: TreeNode | None = None
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        y = np.asarray(y)
+        if y.shape[0] != X.shape[0]:
+            raise ValueError("X and y must have equal length")
+        if y.shape[0] == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        parent_impurity = _gini(y)
+        n = y.size
+        best = None  # (gain, feature, threshold, missing_left)
+        for feature in range(X.shape[1]):
+            column = X[:, feature]
+            present = ~np.isnan(column)
+            if present.sum() < 2:
+                continue
+            values = np.unique(column[present])
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                goes_left = column <= threshold
+                for missing_left in (True, False) if (~present).any() else (True,):
+                    left_mask = np.where(present, goes_left, missing_left)
+                    left_count = int(left_mask.sum())
+                    if left_count == 0 or left_count == n:
+                        continue
+                    weighted = (
+                        left_count * _gini(y[left_mask])
+                        + (n - left_count) * _gini(y[~left_mask])
+                    ) / n
+                    gain = parent_impurity - weighted
+                    if best is None or gain > best[0] + 1e-12:
+                        best = (gain, feature, float(threshold), missing_left)
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        values, counts = np.unique(y, return_counts=True)
+        node = TreeNode(
+            prediction=values[np.argmax(counts)],
+            n_samples=int(y.size),
+            impurity=_gini(y),
+            class_counts={v: int(c) for v, c in zip(values.tolist(), counts.tolist())},
+        )
+        if (
+            depth >= self.max_depth
+            or y.size < self.min_samples_split
+            or values.size == 1
+        ):
+            return node
+        best = self._best_split(X, y)
+        if best is None or best[0] < self.min_impurity_decrease:
+            return node
+        _, feature, threshold, missing_left = best
+        column = X[:, feature]
+        present = ~np.isnan(column)
+        left_mask = np.where(present, column <= threshold, missing_left)
+        node.feature = feature
+        node.threshold = threshold
+        node.missing_goes_left = missing_left
+        node.left = self._build(X[left_mask], y[left_mask], depth + 1)
+        node.right = self._build(X[~left_mask], y[~left_mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+
+    def _route(self, node: TreeNode, row: np.ndarray):
+        while not node.is_leaf:
+            value = row[node.feature]
+            if np.isnan(value):
+                node = node.left if node.missing_goes_left else node.right
+            elif value <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise RuntimeError("fit must be called before predict")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        return np.asarray([self._route(self.root, row).prediction for row in X])
+
+    def predict_proba(self, X: np.ndarray) -> list[dict]:
+        """Per-sample class-frequency dicts from the reached leaf."""
+        if self.root is None:
+            raise RuntimeError("fit must be called before predict")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        results = []
+        for row in X:
+            leaf = self._route(self.root, row)
+            total = sum(leaf.class_counts.values())
+            results.append(
+                {label: count / total for label, count in leaf.class_counts.items()}
+            )
+        return results
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: TreeNode | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self.root is None:
+            raise RuntimeError("fit must be called first")
+        return walk(self.root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+
+        def walk(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        if self.root is None:
+            raise RuntimeError("fit must be called first")
+        return walk(self.root)

@@ -1,0 +1,78 @@
+"""k-nearest-neighbour classifier, also the engine of kNN imputation."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+__all__ = ["KNNClassifier", "nan_euclidean_distances"]
+
+
+def nan_euclidean_distances(X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances ignoring NaN coordinates.
+
+    Distances are rescaled by ``sqrt(n_features / n_observed)`` so rows
+    with many missing entries are comparable to complete rows (the
+    convention of standard kNN imputers).  Pairs with no commonly
+    observed coordinate get ``inf``.
+    """
+    X = np.asarray(X, dtype=float)
+    Z = np.asarray(Z, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if Z.ndim == 1:
+        Z = Z.reshape(1, -1)
+    n_features = X.shape[1]
+    distances = np.empty((X.shape[0], Z.shape[0]))
+    x_mask = ~np.isnan(X)
+    z_mask = ~np.isnan(Z)
+    x_filled = np.where(x_mask, X, 0.0)
+    z_filled = np.where(z_mask, Z, 0.0)
+    for i in range(X.shape[0]):
+        common = x_mask[i][None, :] & z_mask
+        observed = common.sum(axis=1)
+        difference = (x_filled[i][None, :] - z_filled) * common
+        squared = np.sum(difference**2, axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scaled = squared * n_features / observed
+        scaled[observed == 0] = np.inf
+        distances[i] = np.sqrt(scaled)
+    return distances
+
+
+class KNNClassifier:
+    """Majority-vote kNN with optional NaN-tolerant distances."""
+
+    def __init__(self, k: int = 5, nan_aware: bool = False):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self.nan_aware = bool(nan_aware)
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        self._X = np.asarray(X, dtype=float)
+        self._y = np.asarray(y)
+        if self._X.shape[0] != self._y.shape[0]:
+            raise ValueError("X and y must have equal length")
+        if self._X.shape[0] < self.k:
+            raise ValueError("k cannot exceed the number of training samples")
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("fit must be called before predict")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if self.nan_aware:
+            distances = nan_euclidean_distances(X, self._X)
+        else:
+            distances = cdist(X, self._X)
+        neighbour_indices = np.argsort(distances, axis=1)[:, : self.k]
+        predictions = []
+        for row in neighbour_indices:
+            labels, counts = np.unique(self._y[row], return_counts=True)
+            predictions.append(labels[np.argmax(counts)])
+        return np.asarray(predictions)

@@ -1,0 +1,94 @@
+"""Classification metrics (from scratch, numpy only)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "error_rate",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "macro_f1",
+    "log_loss",
+]
+
+
+def _as_arrays(y_true: Sequence, y_pred: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    true_array = np.asarray(y_true)
+    pred_array = np.asarray(y_pred)
+    if true_array.shape != pred_array.shape:
+        raise ValueError(
+            f"shape mismatch: {true_array.shape} vs {pred_array.shape}"
+        )
+    if true_array.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return true_array, pred_array
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exact label matches."""
+    true_array, pred_array = _as_arrays(y_true, y_pred)
+    return float(np.mean(true_array == pred_array))
+
+
+def error_rate(y_true: Sequence, y_pred: Sequence) -> float:
+    """``1 - accuracy``."""
+    return 1.0 - accuracy_score(y_true, y_pred)
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Sequence | None = None
+) -> tuple[np.ndarray, list]:
+    """Return (matrix, label_order); ``matrix[i, j]`` counts true ``i``
+    predicted as ``j``."""
+    true_array, pred_array = _as_arrays(y_true, y_pred)
+    if labels is None:
+        labels = sorted(set(true_array.tolist()) | set(pred_array.tolist()))
+    labels = list(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for true_label, pred_label in zip(true_array.tolist(), pred_array.tolist()):
+        matrix[index[true_label], index[pred_label]] += 1
+    return matrix, labels
+
+
+def precision_recall_f1(
+    y_true: Sequence, y_pred: Sequence, positive
+) -> tuple[float, float, float]:
+    """Binary precision, recall and F1 for the given positive label."""
+    true_array, pred_array = _as_arrays(y_true, y_pred)
+    true_positive = np.sum((true_array == positive) & (pred_array == positive))
+    predicted_positive = np.sum(pred_array == positive)
+    actual_positive = np.sum(true_array == positive)
+    precision = true_positive / predicted_positive if predicted_positive else 0.0
+    recall = true_positive / actual_positive if actual_positive else 0.0
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return float(precision), float(recall), float(f1)
+
+
+def macro_f1(y_true: Sequence, y_pred: Sequence) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    true_array, pred_array = _as_arrays(y_true, y_pred)
+    labels = sorted(set(true_array.tolist()) | set(pred_array.tolist()))
+    scores = [precision_recall_f1(true_array, pred_array, label)[2] for label in labels]
+    return float(np.mean(scores))
+
+
+def log_loss(y_true: Sequence, probabilities: Sequence[float], epsilon: float = 1e-12) -> float:
+    """Binary cross-entropy; ``y_true`` in {0,1} or {-1,+1},
+    ``probabilities`` are P(positive)."""
+    true_array = np.asarray(y_true, dtype=float).ravel()
+    prob_array = np.clip(np.asarray(probabilities, dtype=float).ravel(), epsilon, 1 - epsilon)
+    if set(np.unique(true_array)) <= {-1.0, 1.0}:
+        true_array = (true_array + 1) / 2
+    if true_array.shape != prob_array.shape:
+        raise ValueError("shape mismatch between labels and probabilities")
+    return float(
+        -np.mean(true_array * np.log(prob_array) + (1 - true_array) * np.log(1 - prob_array))
+    )

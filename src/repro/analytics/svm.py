@@ -1,0 +1,220 @@
+"""Kernel support vector classifier trained with SMO (from scratch).
+
+Binary soft-margin SVC solving the usual dual
+
+    max  sum_i a_i - 1/2 sum_ij a_i a_j y_i y_j K_ij
+    s.t. 0 <= a_i <= C,  sum_i a_i y_i = 0
+
+by Platt's sequential minimal optimisation with the standard
+second-choice heuristic.  Accepts either a :class:`repro.kernels.Kernel`
+or a precomputed Gram matrix — the partition-lattice search precomputes
+block Grams once and trains many configurations, so the precomputed path
+is the hot one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel, as_2d
+
+__all__ = ["KernelSVC", "OneVsRestSVC"]
+
+
+class KernelSVC:
+    """Binary kernel SVM.
+
+    Parameters
+    ----------
+    kernel:
+        A :class:`Kernel` instance, or the string ``"precomputed"`` in
+        which case ``fit``/``predict`` receive Gram matrices instead of
+        raw features (rows of the predict Gram index test points,
+        columns index training points).
+    C:
+        Soft-margin penalty.
+    tolerance:
+        KKT violation tolerance.
+    max_passes:
+        Number of consecutive no-progress sweeps before stopping.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | str,
+        C: float = 1.0,
+        tolerance: float = 1e-3,
+        max_passes: int = 5,
+        max_iterations: int = 10_000,
+        seed: int = 0,
+    ):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.kernel = kernel
+        self.C = float(C)
+        self.tolerance = float(tolerance)
+        self.max_passes = int(max_passes)
+        self.max_iterations = int(max_iterations)
+        self.seed = int(seed)
+        self._alpha: np.ndarray | None = None
+        self._bias = 0.0
+        self._train_X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self.classes_: tuple | None = None
+
+    # ------------------------------------------------------------------
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        classes = sorted(set(np.asarray(y).ravel().tolist()))
+        if len(classes) != 2:
+            raise ValueError(f"binary SVC needs exactly 2 classes, got {classes!r}")
+        self.classes_ = tuple(classes)
+        return np.where(np.asarray(y).ravel() == classes[1], 1.0, -1.0)
+
+    def _gram(self, X: np.ndarray, Z: np.ndarray | None = None) -> np.ndarray:
+        if isinstance(self.kernel, str):
+            if self.kernel != "precomputed":
+                raise ValueError("kernel must be a Kernel or 'precomputed'")
+            gram = np.asarray(X, dtype=float)
+            return gram
+        return self.kernel(X, Z)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelSVC":
+        """Train on features (or a square Gram when precomputed)."""
+        signs = self._encode_labels(y)
+        if isinstance(self.kernel, str):
+            gram = np.asarray(X, dtype=float)
+            if gram.shape[0] != gram.shape[1]:
+                raise ValueError("precomputed training Gram must be square")
+        else:
+            self._train_X = as_2d(X)
+            gram = self.kernel(self._train_X)
+        n = gram.shape[0]
+        if signs.size != n:
+            raise ValueError("label count must match sample count")
+
+        rng = np.random.default_rng(self.seed)
+        alpha = np.zeros(n)
+        bias = 0.0
+        # Cached decision errors E_i = f(x_i) - y_i.
+        def decision(i: int) -> float:
+            return float((alpha * signs) @ gram[:, i] + bias)
+
+        passes = 0
+        iterations = 0
+        while passes < self.max_passes and iterations < self.max_iterations:
+            changed = 0
+            for i in range(n):
+                error_i = decision(i) - signs[i]
+                violates = (
+                    (signs[i] * error_i < -self.tolerance and alpha[i] < self.C)
+                    or (signs[i] * error_i > self.tolerance and alpha[i] > 0)
+                )
+                if not violates:
+                    continue
+                j = int(rng.integers(0, n - 1))
+                if j >= i:
+                    j += 1
+                error_j = decision(j) - signs[j]
+                alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                if signs[i] != signs[j]:
+                    low = max(0.0, alpha[j] - alpha[i])
+                    high = min(self.C, self.C + alpha[j] - alpha[i])
+                else:
+                    low = max(0.0, alpha[i] + alpha[j] - self.C)
+                    high = min(self.C, alpha[i] + alpha[j])
+                if low >= high:
+                    continue
+                eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+                if eta >= 0:
+                    continue
+                alpha[j] -= signs[j] * (error_i - error_j) / eta
+                alpha[j] = float(np.clip(alpha[j], low, high))
+                if abs(alpha[j] - alpha_j_old) < 1e-7:
+                    continue
+                alpha[i] += signs[i] * signs[j] * (alpha_j_old - alpha[j])
+                bias_i = (
+                    bias
+                    - error_i
+                    - signs[i] * (alpha[i] - alpha_i_old) * gram[i, i]
+                    - signs[j] * (alpha[j] - alpha_j_old) * gram[i, j]
+                )
+                bias_j = (
+                    bias
+                    - error_j
+                    - signs[i] * (alpha[i] - alpha_i_old) * gram[i, j]
+                    - signs[j] * (alpha[j] - alpha_j_old) * gram[j, j]
+                )
+                if 0 < alpha[i] < self.C:
+                    bias = bias_i
+                elif 0 < alpha[j] < self.C:
+                    bias = bias_j
+                else:
+                    bias = (bias_i + bias_j) / 2.0
+                changed += 1
+                iterations += 1
+            passes = passes + 1 if changed == 0 else 0
+        self._alpha = alpha
+        self._bias = bias
+        self._y = signs
+        return self
+
+    # ------------------------------------------------------------------
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margin of each sample (or Gram rows when precomputed)."""
+        if self._alpha is None or self._y is None:
+            raise RuntimeError("fit must be called before prediction")
+        if isinstance(self.kernel, str):
+            cross = np.asarray(X, dtype=float)
+            if cross.shape[1] != self._alpha.size:
+                raise ValueError(
+                    "precomputed predict Gram must have one column per training sample"
+                )
+        else:
+            cross = self.kernel(as_2d(X), self._train_X)
+        return cross @ (self._alpha * self._y) + self._bias
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels in the original label alphabet."""
+        scores = self.decision_function(X)
+        assert self.classes_ is not None
+        negative, positive = self.classes_
+        return np.where(scores >= 0, positive, negative)
+
+    @property
+    def support_indices(self) -> np.ndarray:
+        """Training indices with non-zero dual coefficients."""
+        if self._alpha is None:
+            raise RuntimeError("fit must be called first")
+        return np.flatnonzero(self._alpha > 1e-8)
+
+
+class OneVsRestSVC:
+    """Multi-class wrapper training one binary SVC per class."""
+
+    def __init__(self, make_svc):
+        """``make_svc`` is a zero-argument factory of fresh KernelSVC."""
+        self.make_svc = make_svc
+        self._machines: list[tuple[object, KernelSVC]] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsRestSVC":
+        labels = np.asarray(y).ravel()
+        self._machines = []
+        for cls in sorted(set(labels.tolist())):
+            machine = self.make_svc()
+            machine.fit(X, np.where(labels == cls, 1, -1))
+            self._machines.append((cls, machine))
+        if len(self._machines) < 2:
+            raise ValueError("need at least two classes")
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._machines:
+            raise RuntimeError("fit must be called first")
+        scores = np.column_stack(
+            [machine.decision_function(X) for _, machine in self._machines]
+        )
+        winners = np.argmax(scores, axis=1)
+        classes = [cls for cls, _ in self._machines]
+        return np.asarray([classes[i] for i in winners])

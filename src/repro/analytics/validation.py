@@ -1,0 +1,152 @@
+"""Resampling utilities: splits, k-fold CV, cross-validated scoring.
+
+The paper's kernel-selection loop "assesses results by cross-validation";
+these are the (from-scratch) folds it uses.  Estimators follow the
+minimal protocol ``fit(X, y) -> self`` / ``predict(X) -> labels``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.analytics.metrics import accuracy_score
+
+__all__ = [
+    "train_test_split",
+    "kfold_indices",
+    "stratified_kfold_indices",
+    "cross_val_score",
+    "cross_val_score_precomputed",
+]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+    stratify: bool = False,
+):
+    """Return ``X_train, X_test, y_train, y_test`` with optional stratification."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = X.shape[0]
+    rng = np.random.default_rng(seed)
+    if stratify:
+        test_indices: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            take = max(1, int(round(members.size * test_fraction)))
+            # Never strip a class entirely from the training side.
+            take = min(take, members.size - 1) if members.size > 1 else 0
+            test_indices.extend(members[:take].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_indices] = True
+        if not test_mask.any():
+            raise ValueError(
+                "stratified split impossible: too few samples per class"
+            )
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(n * test_fraction)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+def kfold_indices(
+    n_samples: int, n_folds: int = 5, seed: int = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_indices, test_indices)`` for shuffled k-fold CV."""
+    if n_folds < 2:
+        raise ValueError("need at least 2 folds")
+    if n_folds > n_samples:
+        raise ValueError("more folds than samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_samples)
+    folds = np.array_split(order, n_folds)
+    for index in range(n_folds):
+        test = np.sort(folds[index])
+        train = np.sort(np.concatenate([folds[j] for j in range(n_folds) if j != index]))
+        yield train, test
+
+
+def stratified_kfold_indices(
+    y: Sequence, n_folds: int = 5, seed: int = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield stratified k-fold splits preserving label proportions."""
+    y = np.asarray(y)
+    if n_folds < 2:
+        raise ValueError("need at least 2 folds")
+    rng = np.random.default_rng(seed)
+    fold_members: list[list[int]] = [[] for _ in range(n_folds)]
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        rng.shuffle(members)
+        for position, sample in enumerate(members):
+            fold_members[position % n_folds].append(int(sample))
+    for index in range(n_folds):
+        test = np.sort(np.asarray(fold_members[index], dtype=int))
+        train = np.sort(
+            np.concatenate(
+                [np.asarray(fold_members[j], dtype=int) for j in range(n_folds) if j != index]
+            )
+        )
+        yield train, test
+
+
+def cross_val_score(
+    make_estimator: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 5,
+    seed: int = 0,
+    stratified: bool = True,
+    scorer: Callable = accuracy_score,
+) -> list[float]:
+    """Fit a fresh estimator per fold and return per-fold scores."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if stratified:
+        splits = stratified_kfold_indices(y, n_folds, seed)
+    else:
+        splits = kfold_indices(X.shape[0], n_folds, seed)
+    scores = []
+    for train, test in splits:
+        estimator = make_estimator()
+        estimator.fit(X[train], y[train])
+        scores.append(float(scorer(y[test], estimator.predict(X[test]))))
+    return scores
+
+
+def cross_val_score_precomputed(
+    make_estimator: Callable[[], object],
+    gram: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 5,
+    seed: int = 0,
+    scorer: Callable = accuracy_score,
+) -> list[float]:
+    """Cross-validate an estimator that consumes precomputed Grams.
+
+    ``gram`` is the full square Gram; each fold slices the training
+    block ``gram[train][:, train]`` and the prediction block
+    ``gram[test][:, train]``.  This is the hot path of the lattice
+    search: Grams are computed once per partition, folds reuse them.
+    """
+    gram = np.asarray(gram, dtype=float)
+    y = np.asarray(y)
+    if gram.shape[0] != gram.shape[1]:
+        raise ValueError("gram must be square")
+    scores = []
+    for train, test in stratified_kfold_indices(y, n_folds, seed):
+        estimator = make_estimator()
+        estimator.fit(gram[np.ix_(train, train)], y[train])
+        predictions = estimator.predict(gram[np.ix_(test, train)])
+        scores.append(float(scorer(y[test], predictions)))
+    return scores

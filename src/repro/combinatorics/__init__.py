@@ -1,0 +1,157 @@
+"""Combinatorial substrate: partitions, lattices, chain decompositions.
+
+Implements the mathematics of the paper's Section III — the partition
+lattice ``Pi(S)``, Boolean lattice ``B_n``, de Bruijn's symmetric chain
+decomposition, and the Loeb–Damiani–D'Antona partial decomposition of
+``Pi_{n+1}`` that Table I illustrates.
+"""
+
+from repro.combinatorics.boolean import (
+    all_subsets,
+    boolean_hasse,
+    format_subset,
+    ground_set,
+    subset_covers,
+    subset_rank,
+    subsets_of_size,
+)
+from repro.combinatorics.debruijn import (
+    debruijn_scd,
+    greene_kleitman_chain,
+    greene_kleitman_scd,
+    validate_boolean_scd,
+)
+from repro.combinatorics.lattice import (
+    ConeExploration,
+    PartitionLattice,
+    cone_partitions,
+    cone_size,
+    lift_chain,
+    lift_chains_to_cone,
+    merge_chain,
+    principal_chain,
+)
+from repro.combinatorics.loeb import (
+    LddCoverage,
+    LddTableRow,
+    ldd_chains,
+    ldd_coverage_report,
+    ldd_encoding,
+    ldd_table,
+    ldd_type,
+    merge_position,
+    partitions_of_type,
+    symmetric_chain_cover_upper_bound,
+    validate_partition_scd,
+)
+from repro.combinatorics.moebius import (
+    boolean_moebius,
+    characteristic_polynomial,
+    evaluate_polynomial,
+    generic_moebius_matrix,
+    moebius_bottom,
+    moebius_partition_interval,
+    stirling1_signed,
+    stirling1_unsigned,
+    whitney_numbers_first_kind,
+)
+from repro.combinatorics.partitions import (
+    SetPartition,
+    all_partitions,
+    partitions_with_blocks,
+    random_partition,
+    restricted_growth_strings,
+)
+from repro.combinatorics.posets import (
+    Chain,
+    ChainDecompositionReport,
+    hasse_diagram,
+    is_saturated_chain,
+    is_symmetric_chain,
+    longest_antichain_size,
+    validate_chain_decomposition,
+)
+from repro.combinatorics.stirling import (
+    bell_number,
+    bell_triangle,
+    binomial,
+    compositions,
+    count_compositions,
+    count_partitions_of_type,
+    falling_factorial,
+    stirling2,
+    stirling2_row,
+    whitney_numbers,
+)
+
+__all__ = [
+    # partitions
+    "SetPartition",
+    "all_partitions",
+    "partitions_with_blocks",
+    "random_partition",
+    "restricted_growth_strings",
+    # counting
+    "bell_number",
+    "bell_triangle",
+    "binomial",
+    "compositions",
+    "count_compositions",
+    "count_partitions_of_type",
+    "falling_factorial",
+    "stirling2",
+    "stirling2_row",
+    "whitney_numbers",
+    # posets
+    "Chain",
+    "ChainDecompositionReport",
+    "hasse_diagram",
+    "is_saturated_chain",
+    "is_symmetric_chain",
+    "longest_antichain_size",
+    "validate_chain_decomposition",
+    # boolean lattice
+    "all_subsets",
+    "boolean_hasse",
+    "format_subset",
+    "ground_set",
+    "subset_covers",
+    "subset_rank",
+    "subsets_of_size",
+    # de Bruijn SCD
+    "debruijn_scd",
+    "greene_kleitman_chain",
+    "greene_kleitman_scd",
+    "validate_boolean_scd",
+    # LDD decomposition
+    "LddCoverage",
+    "LddTableRow",
+    "ldd_chains",
+    "ldd_coverage_report",
+    "ldd_encoding",
+    "ldd_table",
+    "ldd_type",
+    "merge_position",
+    "partitions_of_type",
+    "symmetric_chain_cover_upper_bound",
+    "validate_partition_scd",
+    # moebius layer
+    "boolean_moebius",
+    "characteristic_polynomial",
+    "evaluate_polynomial",
+    "generic_moebius_matrix",
+    "moebius_bottom",
+    "moebius_partition_interval",
+    "stirling1_signed",
+    "stirling1_unsigned",
+    "whitney_numbers_first_kind",
+    # lattice navigation
+    "ConeExploration",
+    "PartitionLattice",
+    "cone_partitions",
+    "cone_size",
+    "lift_chain",
+    "lift_chains_to_cone",
+    "merge_chain",
+    "principal_chain",
+]

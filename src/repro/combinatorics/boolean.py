@@ -1,0 +1,73 @@
+"""The Boolean lattice ``B_n`` of subsets of ``{1, ..., n}``.
+
+The Loeb–Damiani–D'Antona construction (paper Sec. III, Table I) starts
+from a symmetric chain decomposition of ``B_n`` and transfers it to the
+partition lattice ``Pi_{n+1}``.  Subsets are represented as
+``frozenset[int]`` over the 1-based ground set, matching the paper's
+notation (``{1}``, ``{1, 2}``, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+import networkx as nx
+
+from repro.combinatorics.posets import hasse_diagram
+
+__all__ = [
+    "Subset",
+    "ground_set",
+    "all_subsets",
+    "subsets_of_size",
+    "subset_rank",
+    "subset_covers",
+    "boolean_hasse",
+    "format_subset",
+]
+
+Subset = frozenset[int]
+
+
+def ground_set(n: int) -> Subset:
+    """Return ``{1, ..., n}`` as a frozenset."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return frozenset(range(1, n + 1))
+
+
+def all_subsets(n: int) -> Iterator[Subset]:
+    """Yield all ``2**n`` subsets of ``{1, ..., n}`` by increasing size."""
+    base = sorted(ground_set(n))
+    for size in range(n + 1):
+        for combo in itertools.combinations(base, size):
+            yield frozenset(combo)
+
+
+def subsets_of_size(n: int, k: int) -> Iterator[Subset]:
+    """Yield the ``C(n, k)`` subsets of ``{1, ..., n}`` with ``k`` elements."""
+    for combo in itertools.combinations(sorted(ground_set(n)), k):
+        yield frozenset(combo)
+
+
+def subset_rank(subset: Subset) -> int:
+    """Rank of a subset in ``B_n`` (its cardinality)."""
+    return len(subset)
+
+
+def subset_covers(upper: Subset, lower: Subset) -> bool:
+    """Return True if ``upper`` covers ``lower`` in inclusion order."""
+    return len(upper) == len(lower) + 1 and lower <= upper
+
+
+def boolean_hasse(n: int) -> nx.DiGraph:
+    """Return the Hasse diagram of ``B_n`` (edges lower -> upper)."""
+    return hasse_diagram(list(all_subsets(n)), subset_covers)
+
+
+def format_subset(subset: Subset) -> str:
+    """Render a subset in the paper's style, e.g. ``'{1, 2}'`` or ``'∅'``."""
+    if not subset:
+        return "∅"
+    return "{" + ", ".join(str(element) for element in sorted(subset)) + "}"

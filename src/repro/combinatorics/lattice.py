@@ -1,0 +1,260 @@
+"""Partition-lattice navigation: cones, chains, and exploration budgets.
+
+Section III of the paper frames kernel selection as a walk over the
+partition lattice of the feature set ``S``: starting from a two-block
+partition ``(K, S - K)``, refine the block ``S - K`` (the lattice lower
+cone) looking for the partition whose induced multiple-kernel
+configuration performs best.  Exhaustive exploration of the cone costs a
+sum of Stirling numbers (a Bell number); the symmetric-chain strategy
+explores one saturated chain at a time, evaluating a number of
+configurations linear in ``|S - K|``.
+
+This module provides the lattice-level plumbing used by
+``repro.mkl.partition_search``: cone enumeration, chain lifting, and
+exact cost accounting, independent of any learning machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.combinatorics.loeb import ldd_chains
+from repro.combinatorics.partitions import (
+    Element,
+    SetPartition,
+    all_partitions,
+    partitions_with_blocks,
+    random_partition,
+)
+from repro.combinatorics.posets import hasse_diagram
+from repro.combinatorics.stirling import bell_number, stirling2
+
+__all__ = [
+    "PartitionLattice",
+    "ConeExploration",
+    "cone_partitions",
+    "cone_size",
+    "lift_chains_to_cone",
+    "lift_chain",
+    "merge_chain",
+    "principal_chain",
+]
+
+
+class PartitionLattice:
+    """The lattice ``Pi(S)`` of partitions of a finite element set.
+
+    Thin, stateless facade bundling enumeration, counting, and Hasse
+    construction for a fixed ground set.  Enumeration is lazy, so large
+    ground sets are fine as long as callers do not exhaust them.
+    """
+
+    def __init__(self, elements: Sequence[Element]):
+        ordered = sorted(set(elements))
+        if not ordered:
+            raise ValueError("the ground set must be non-empty")
+        if len(ordered) != len(list(elements)):
+            raise ValueError("elements must be distinct")
+        self._elements: tuple[Element, ...] = tuple(ordered)
+
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        return self._elements
+
+    @property
+    def size(self) -> int:
+        """Number of ground-set elements ``n``."""
+        return len(self._elements)
+
+    @property
+    def rank(self) -> int:
+        """Lattice rank ``n - 1``."""
+        return self.size - 1
+
+    def count_partitions(self) -> int:
+        """Total number of partitions: the Bell number ``B(n)``."""
+        return bell_number(self.size)
+
+    def count_at_rank(self, rank: int) -> int:
+        """Number of partitions at the given rank: ``S(n, n - rank)``."""
+        return stirling2(self.size, self.size - rank)
+
+    def rank_profile(self) -> list[int]:
+        """Whitney numbers indexed by rank (the paper's level counts)."""
+        return [self.count_at_rank(rank) for rank in range(self.size)]
+
+    def finest(self) -> SetPartition:
+        """The all-singletons partition (rank 0)."""
+        return SetPartition.singletons(self._elements)
+
+    def coarsest(self) -> SetPartition:
+        """The one-block partition (rank ``n - 1``)."""
+        return SetPartition.coarsest(self._elements)
+
+    def __iter__(self) -> Iterator[SetPartition]:
+        return all_partitions(self._elements)
+
+    def iter_rank(self, rank: int) -> Iterator[SetPartition]:
+        """Yield the partitions at one rank (``n - rank`` blocks)."""
+        return partitions_with_blocks(self._elements, self.size - rank)
+
+    def random(self, rng) -> SetPartition:
+        """Uniformly random partition (exact, via Stirling sampling)."""
+        return random_partition(self._elements, rng)
+
+    def hasse(self) -> nx.DiGraph:
+        """Hasse diagram (edges finer -> coarser).  Small ``n`` only."""
+        nodes = list(self)
+        return hasse_diagram(nodes, lambda upper, lower: upper.covers(lower))
+
+    def symmetric_chains(self) -> list[tuple[SetPartition, ...]]:
+        """LDD symmetric chains of this lattice, relabelled to the
+        ground set (``Pi_n`` is handled as ``Pi_{(n-1)+1}``)."""
+        if self.size == 1:
+            return [(self.coarsest(),)]
+        chains = ldd_chains(self.size - 1)
+        relabel = {i + 1: element for i, element in enumerate(self._elements)}
+        return [
+            tuple(
+                SetPartition(
+                    [tuple(relabel[e] for e in block) for block in partition.blocks]
+                )
+                for partition in chain
+            )
+            for chain in chains
+        ]
+
+
+def cone_size(rest_size: int) -> int:
+    """Number of partitions in the lower cone rooted at ``(K, S - K)``.
+
+    The cone is isomorphic to ``Pi(S - K)``, so its size is the Bell
+    number of ``|S - K|`` — the exhaustive-exploration cost quoted by
+    the paper (a sum of Stirling numbers of the second kind).
+    """
+    return bell_number(rest_size)
+
+
+def cone_partitions(
+    seed_block: Sequence[Element], rest: Sequence[Element]
+) -> Iterator[SetPartition]:
+    """Yield all partitions of ``S`` that keep ``seed_block`` intact and
+    refine ``S - K`` in every possible way (the lattice lower cone).
+
+    Each yielded partition has ``seed_block`` as one block plus the
+    blocks of some partition of ``rest``.
+    """
+    seed = tuple(seed_block)
+    if not seed:
+        raise ValueError("the seed block K must be non-empty")
+    overlap = set(seed) & set(rest)
+    if overlap:
+        raise ValueError(f"K and S-K overlap: {sorted(overlap)!r}")
+    if not rest:
+        yield SetPartition([seed])
+        return
+    for sub_partition in all_partitions(list(rest)):
+        yield SetPartition(sub_partition.blocks + (seed,))
+
+
+def lift_chain(
+    seed_block: Sequence[Element], chain: Sequence[SetPartition]
+) -> tuple[SetPartition, ...]:
+    """Lift a chain of ``Pi(S - K)`` into the cone by adding block ``K``."""
+    seed = tuple(seed_block)
+    if not seed:
+        raise ValueError("the seed block K must be non-empty")
+    return tuple(
+        SetPartition(partition.blocks + (seed,)) for partition in chain
+    )
+
+
+def lift_chains_to_cone(
+    seed_block: Sequence[Element], rest: Sequence[Element]
+) -> list[tuple[SetPartition, ...]]:
+    """Return the LDD symmetric chains of ``Pi(S - K)`` lifted into the
+    cone: every chain member gains ``seed_block`` as an extra block.
+
+    Walking one lifted chain evaluates at most ``|S - K|``
+    configurations — the linear search the paper advocates.
+    """
+    seed = tuple(seed_block)
+    if not seed:
+        raise ValueError("the seed block K must be non-empty")
+    if not rest:
+        return [(SetPartition([seed]),)]
+    lattice = PartitionLattice(list(rest))
+    return [
+        tuple(
+            SetPartition(partition.blocks + (seed,)) for partition in chain
+        )
+        for chain in lattice.symmetric_chains()
+    ]
+
+
+def merge_chain(ordered: Sequence[Element]) -> tuple[SetPartition, ...]:
+    """Return the full-span saturated chain that grows one suffix block.
+
+    Element ``r`` of the chain keeps the first ``n - 1 - r`` elements of
+    ``ordered`` as singletons and groups the suffix into one block, so
+    the chain runs from the finest partition (rank 0) to the one-block
+    partition (rank ``n - 1``) merging the last two min-ordered blocks
+    at every step.  Built directly in O(n^2) — no decomposition needed.
+    """
+    ordered = list(ordered)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("need at least one element")
+    chain = []
+    for r in range(n):
+        head = ordered[: n - 1 - r]
+        tail = ordered[n - 1 - r :]
+        chain.append(SetPartition([(e,) for e in head] + [tuple(tail)]))
+    return tuple(chain)
+
+
+def principal_chain(elements: Sequence[Element]) -> tuple[SetPartition, ...]:
+    """Return the principal full-span symmetric chain of ``Pi(elements)``.
+
+    This is the first chain of the LDD decomposition (the image of de
+    Bruijn's chain ``∅ ⊂ {1} ⊂ {1,2} ⊂ ...``): for sorted elements it
+    merges the last two blocks repeatedly, e.g. ``1/2/3/4 < 1/2/34 <
+    1/234 < 1234``.  Its length is exactly ``len(elements)``, giving the
+    linear-cost walk from many small kernels to a single global kernel.
+    """
+    return merge_chain(sorted(elements))
+
+
+@dataclass(frozen=True)
+class ConeExploration:
+    """Cost ledger comparing exploration strategies for one cone.
+
+    ``exhaustive_evaluations`` is the Bell-number cone size; the chain
+    strategies report how many distinct configurations they touch.  Used
+    by the complexity benchmarks (experiment C1).
+    """
+
+    rest_size: int
+    exhaustive_evaluations: int
+    single_chain_evaluations: int
+    all_chains_evaluations: int
+    n_chains: int
+
+    @classmethod
+    def for_rest_size(cls, rest_size: int) -> "ConeExploration":
+        """Compute the ledger for a cone over ``rest_size`` features."""
+        if rest_size < 1:
+            raise ValueError("rest_size must be positive")
+        elements = list(range(rest_size))
+        lattice = PartitionLattice(elements)
+        chains = lattice.symmetric_chains()
+        return cls(
+            rest_size=rest_size,
+            exhaustive_evaluations=cone_size(rest_size),
+            single_chain_evaluations=rest_size,
+            all_chains_evaluations=sum(len(chain) for chain in chains),
+            n_chains=len(chains),
+        )

@@ -1,0 +1,187 @@
+"""Möbius function and Whitney numbers of the partition lattice.
+
+The paper's complexity argument cites Damiani, D'Antona and Regonati,
+"Whitney numbers of some geometric lattices" (JCTA 65, 1994) — its
+reference [10] — for the level counts of the partition lattice.  This
+module implements that layer of lattice theory for ``Pi_n``:
+
+* the Möbius function on intervals ``[pi, sigma]`` (every interval of a
+  partition lattice factors into a product of smaller partition
+  lattices, so ``mu`` is a product of ``(-1)^(m-1) (m-1)!`` terms);
+* Whitney numbers of the first kind ``w_k = sum mu(0, pi)`` over rank
+  ``k`` — the signed Stirling numbers of the first kind;
+* the characteristic polynomial ``chi(t) = (t-1)(t-2)...(t-n+1)``;
+* a generic matrix-inversion Möbius for *any* small poset, used by the
+  tests to cross-validate the closed forms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from functools import lru_cache
+from math import factorial
+
+from repro.combinatorics.partitions import SetPartition
+from repro.combinatorics.stirling import binomial
+
+__all__ = [
+    "stirling1_unsigned",
+    "stirling1_signed",
+    "whitney_numbers_first_kind",
+    "moebius_partition_interval",
+    "moebius_bottom",
+    "characteristic_polynomial",
+    "generic_moebius_matrix",
+]
+
+
+@lru_cache(maxsize=None)
+def stirling1_unsigned(n: int, k: int) -> int:
+    """Unsigned Stirling number of the first kind ``c(n, k)``.
+
+    Counts permutations of ``n`` elements with ``k`` cycles; recurrence
+    ``c(n, k) = (n-1) c(n-1, k) + c(n-1, k-1)``.
+
+    >>> stirling1_unsigned(4, 2)
+    11
+    """
+    if n < 0 or k < 0:
+        return 0
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    if k > n:
+        return 0
+    return (n - 1) * stirling1_unsigned(n - 1, k) + stirling1_unsigned(n - 1, k - 1)
+
+
+def stirling1_signed(n: int, k: int) -> int:
+    """Signed Stirling number of the first kind ``s(n, k)``."""
+    unsigned = stirling1_unsigned(n, k)
+    return unsigned if (n - k) % 2 == 0 else -unsigned
+
+
+def whitney_numbers_first_kind(n: int) -> list[int]:
+    """Whitney numbers of the first kind of ``Pi_n``, indexed by rank.
+
+    ``w_k = sum over rank-k partitions of mu(0, pi) = s(n, n - k)``.
+
+    >>> whitney_numbers_first_kind(4)
+    [1, -6, 11, -6]
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return [stirling1_signed(n, n - k) for k in range(n)]
+
+
+def moebius_bottom(partition: SetPartition) -> int:
+    """Möbius value ``mu(0^, pi)`` from the finest partition.
+
+    The interval ``[0^, pi]`` is a product of partition lattices, one
+    per block of ``pi``, so ``mu`` is the product of
+    ``(-1)^(|B|-1) (|B|-1)!``.
+
+    >>> moebius_bottom(SetPartition([(1, 2, 3), (4,)]))
+    2
+    """
+    value = 1
+    for block in partition.blocks:
+        m = len(block)
+        term = factorial(m - 1)
+        value *= term if (m - 1) % 2 == 0 else -term
+    return value
+
+
+def moebius_partition_interval(lower: SetPartition, upper: SetPartition) -> int:
+    """Möbius value ``mu(lower, upper)`` in the partition lattice.
+
+    Requires ``lower <= upper``.  Each block of ``upper`` is the union
+    of some ``m_i`` blocks of ``lower``, and the interval is isomorphic
+    to the product of the ``Pi_{m_i}``, hence
+    ``mu = prod (-1)^(m_i - 1) (m_i - 1)!``.
+    """
+    if not lower.is_refinement_of(upper):
+        raise ValueError("mu(lower, upper) requires lower <= upper")
+    value = 1
+    for upper_block in upper.blocks:
+        merged = {lower.block_index_of(element) for element in upper_block}
+        m = len(merged)
+        term = factorial(m - 1)
+        value *= term if (m - 1) % 2 == 0 else -term
+    return value
+
+
+def characteristic_polynomial(n: int) -> list[int]:
+    """Coefficients of ``chi_{Pi_n}(t) = prod_{i=1}^{n-1} (t - i)``.
+
+    Returned low-degree-first: ``chi(t) = sum coeffs[d] * t**d``.
+    Equivalently ``chi(t) = sum_k w_k t^(n-1-k)`` with the Whitney
+    numbers of the first kind — an identity the tests verify.
+
+    >>> characteristic_polynomial(3)  # (t-1)(t-2) = t^2 - 3t + 2
+    [2, -3, 1]
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    coefficients = [1]
+    for root in range(1, n):
+        # Multiply by (t - root).
+        shifted = [0] + coefficients  # * t
+        scaled = [-root * c for c in coefficients] + [0]
+        coefficients = [a + b for a, b in zip(shifted, scaled)]
+    return coefficients
+
+
+def evaluate_polynomial(coefficients: Sequence[int], t: int) -> int:
+    """Evaluate a low-degree-first integer polynomial at ``t``."""
+    value = 0
+    for degree in range(len(coefficients) - 1, -1, -1):
+        value = value * t + coefficients[degree]
+    return value
+
+
+def generic_moebius_matrix(
+    nodes: Sequence, less_equal: Callable[[object, object], bool]
+) -> dict[tuple, int]:
+    """Möbius function of an arbitrary finite poset by recursion.
+
+    Returns ``{(x, y): mu(x, y)}`` for all comparable pairs — O(n^3),
+    intended for cross-validation on small posets.
+    """
+    nodes = list(nodes)
+    mu: dict[tuple, int] = {}
+    # Order nodes by the number of elements below them so intervals are
+    # processed bottom-up.
+    height = {
+        node: sum(1 for other in nodes if less_equal(other, node))
+        for node in nodes
+    }
+    ordered = sorted(nodes, key=lambda node: height[node])
+    for x in ordered:
+        for y in ordered:
+            if not less_equal(x, y):
+                continue
+            if x == y:
+                mu[(x, y)] = 1
+                continue
+            total = 0
+            for z in ordered:
+                if z != y and less_equal(x, z) and less_equal(z, y):
+                    total += mu[(x, z)]
+            mu[(x, y)] = -total
+    return mu
+
+
+def boolean_moebius(lower: frozenset, upper: frozenset) -> int:
+    """Möbius function of the Boolean lattice: ``(-1)^(|upper| - |lower|)``."""
+    if not lower <= upper:
+        raise ValueError("mu(lower, upper) requires lower <= upper")
+    return 1 if (len(upper) - len(lower)) % 2 == 0 else -1
+
+
+def binomial_inversion_check(n: int) -> bool:
+    """Sanity identity: ``sum_k (-1)^k C(n, k) == 0`` for ``n >= 1``."""
+    return sum(
+        (-1) ** k * binomial(n, k) for k in range(n + 1)
+    ) == (1 if n == 0 else 0)

@@ -1,0 +1,175 @@
+"""Generic ranked-poset machinery: chains, symmetric chains, Hasse diagrams.
+
+Section III of the paper leans on poset vocabulary — saturated chains,
+symmetric chains, chain decompositions, rank functions — for both the
+Boolean lattice ``B_n`` and the partition lattice ``Pi_n``.  This module
+provides that vocabulary once, parameterised by a rank function and a
+covering test, so the de Bruijn and Loeb–Damiani–D'Antona constructions
+can be validated with the same code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Collection, Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+__all__ = [
+    "Chain",
+    "ChainDecompositionReport",
+    "is_saturated_chain",
+    "is_symmetric_chain",
+    "validate_chain_decomposition",
+    "hasse_diagram",
+    "longest_antichain_size",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A chain ``x_1 < x_2 < ... < x_c`` in a poset, stored bottom-up."""
+
+    elements: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise ValueError("a chain must contain at least one element")
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __getitem__(self, index):
+        return self.elements[index]
+
+    @property
+    def bottom(self) -> Node:
+        return self.elements[0]
+
+    @property
+    def top(self) -> Node:
+        return self.elements[-1]
+
+
+def is_saturated_chain(
+    chain: Sequence[Node], covers: Callable[[Node, Node], bool]
+) -> bool:
+    """Return True if each chain element is covered by the next.
+
+    ``covers(upper, lower)`` must return True when ``upper`` covers
+    ``lower`` (no element strictly between them).
+    """
+    return all(
+        covers(upper, lower) for lower, upper in zip(chain, list(chain)[1:])
+    )
+
+
+def is_symmetric_chain(
+    chain: Sequence[Node], rank_of: Callable[[Node], int], poset_rank: int
+) -> bool:
+    """Return True if ``rank(x_1) + rank(x_c) == poset_rank``.
+
+    The chain must also be saturated to qualify as a symmetric chain in a
+    decomposition; this predicate checks only the rank symmetry.
+    """
+    chain = list(chain)
+    return rank_of(chain[0]) + rank_of(chain[-1]) == poset_rank
+
+
+@dataclass
+class ChainDecompositionReport:
+    """Validation outcome for a (partial) chain decomposition."""
+
+    n_chains: int
+    n_elements_covered: int
+    all_saturated: bool
+    all_symmetric: bool
+    disjoint: bool
+    covered: set[Node] = field(repr=False)
+    duplicates: set[Node] = field(repr=False)
+    non_saturated_chains: list[int] = field(repr=False)
+    non_symmetric_chains: list[int] = field(repr=False)
+
+    @property
+    def valid(self) -> bool:
+        """True when chains are pairwise disjoint, saturated, symmetric."""
+        return self.all_saturated and self.all_symmetric and self.disjoint
+
+
+def validate_chain_decomposition(
+    chains: Iterable[Sequence[Node]],
+    rank_of: Callable[[Node], int],
+    covers: Callable[[Node, Node], bool],
+    poset_rank: int,
+) -> ChainDecompositionReport:
+    """Check a collection of chains for the symmetric-chain-decomposition
+    properties: pairwise disjoint, saturated, and rank-symmetric."""
+    covered: set[Node] = set()
+    duplicates: set[Node] = set()
+    non_saturated: list[int] = []
+    non_symmetric: list[int] = []
+    n_chains = 0
+    for index, chain in enumerate(chains):
+        n_chains += 1
+        if not is_saturated_chain(chain, covers):
+            non_saturated.append(index)
+        if not is_symmetric_chain(chain, rank_of, poset_rank):
+            non_symmetric.append(index)
+        for node in chain:
+            if node in covered:
+                duplicates.add(node)
+            covered.add(node)
+    return ChainDecompositionReport(
+        n_chains=n_chains,
+        n_elements_covered=len(covered),
+        all_saturated=not non_saturated,
+        all_symmetric=not non_symmetric,
+        disjoint=not duplicates,
+        covered=covered,
+        duplicates=duplicates,
+        non_saturated_chains=non_saturated,
+        non_symmetric_chains=non_symmetric,
+    )
+
+
+def hasse_diagram(
+    nodes: Collection[Node], covers: Callable[[Node, Node], bool]
+) -> nx.DiGraph:
+    """Build the Hasse diagram as a DiGraph with edges lower -> upper.
+
+    ``covers(upper, lower)`` is evaluated for every ordered node pair, so
+    this is intended for small posets (e.g. the paper's Fig. 2, which is
+    ``Pi_4`` with 15 nodes).
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(nodes)
+    for lower in nodes:
+        for upper in nodes:
+            if lower != upper and covers(upper, lower):
+                graph.add_edge(lower, upper)
+    return graph
+
+
+def longest_antichain_size(hasse: nx.DiGraph) -> int:
+    """Return the width (largest antichain) of the poset via Dilworth.
+
+    By Dilworth's theorem the width equals the minimum number of chains
+    needed to cover the poset, computed here by maximum bipartite
+    matching on the transitive closure (Mirsky/König construction).
+    """
+    closure = nx.transitive_closure_dag(hasse)
+    left = {node: ("L", node) for node in closure.nodes}
+    right = {node: ("R", node) for node in closure.nodes}
+    bipartite = nx.Graph()
+    bipartite.add_nodes_from(left.values(), bipartite=0)
+    bipartite.add_nodes_from(right.values(), bipartite=1)
+    for lower, upper in closure.edges:
+        bipartite.add_edge(left[lower], right[upper])
+    matching = nx.bipartite.maximum_matching(bipartite, top_nodes=list(left.values()))
+    matched_pairs = sum(1 for node in matching if node[0] == "L")
+    return closure.number_of_nodes() - matched_pairs

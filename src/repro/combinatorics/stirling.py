@@ -1,0 +1,190 @@
+"""Counting functions for the partition lattice.
+
+The paper's complexity argument (Sec. III) rests on classic counting
+facts: the number of partitions of an ``n``-set with ``k`` blocks is the
+Stirling number of the second kind ``S(n, k)``; the level sums are the
+Bell numbers; the Whitney numbers of the partition lattice are the
+Stirling numbers themselves.  Exhaustive exploration of the lattice cone
+rooted at a two-block partition costs a sum of Stirling numbers, while
+the chain-decomposition strategy of Loeb, Damiani and D'Antona is linear
+in the block size.  This module provides exact integer implementations
+of all those quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+__all__ = [
+    "binomial",
+    "stirling2",
+    "stirling2_row",
+    "bell_number",
+    "bell_triangle",
+    "whitney_numbers",
+    "compositions",
+    "count_compositions",
+    "count_partitions_of_type",
+    "falling_factorial",
+]
+
+
+def binomial(n: int, k: int) -> int:
+    """Return the binomial coefficient ``C(n, k)`` (0 outside range)."""
+    if k < 0 or k > n or n < 0:
+        return 0
+    return math.comb(n, k)
+
+
+def falling_factorial(n: int, k: int) -> int:
+    """Return the falling factorial ``n * (n-1) * ... * (n-k+1)``."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    result = 1
+    for i in range(k):
+        result *= n - i
+    return result
+
+
+@lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Return the Stirling number of the second kind ``S(n, k)``.
+
+    ``S(n, k)`` counts the partitions of an ``n``-element set into
+    exactly ``k`` non-empty blocks.  Computed by the standard recurrence
+    ``S(n, k) = k * S(n-1, k) + S(n-1, k-1)``.
+
+    >>> stirling2(4, 2)
+    7
+    >>> stirling2(4, 3)
+    6
+    """
+    if n < 0 or k < 0:
+        return 0
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    if k > n:
+        return 0
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+
+def stirling2_row(n: int) -> list[int]:
+    """Return ``[S(n, 0), S(n, 1), ..., S(n, n)]``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [stirling2(n, k) for k in range(n + 1)]
+
+
+@lru_cache(maxsize=None)
+def bell_number(n: int) -> int:
+    """Return the Bell number ``B(n)``: the number of partitions of [n].
+
+    >>> [bell_number(i) for i in range(6)]
+    [1, 1, 2, 5, 15, 52]
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return sum(stirling2(n, k) for k in range(n + 1))
+
+
+def bell_triangle(rows: int) -> list[list[int]]:
+    """Return the Bell (Aitken) triangle with the given number of rows.
+
+    Row ``i`` starts with ``B(i)`` and each subsequent entry is the sum
+    of the previous entry and the entry above it.  The last entry of row
+    ``i`` equals ``B(i + 1)``.
+    """
+    if rows < 0:
+        raise ValueError("rows must be non-negative")
+    triangle: list[list[int]] = []
+    for i in range(rows):
+        if i == 0:
+            row = [1]
+        else:
+            row = [triangle[i - 1][-1]]
+            for above in triangle[i - 1]:
+                row.append(row[-1] + above)
+        triangle.append(row)
+    return triangle
+
+
+def whitney_numbers(n: int) -> list[int]:
+    """Return the Whitney numbers of the second kind of ``Pi_n``.
+
+    The partition lattice of an ``n``-set, ranked by ``rank(pi) =
+    n - #blocks(pi)``, has ``S(n, n - i)`` elements at rank ``i``.  The
+    returned list is indexed by rank, so entry ``i`` counts partitions
+    with ``n - i`` blocks.  This is the rank profile quoted by the paper
+    (e.g. ``2**(n-1) - 1`` two-block partitions at the top but only
+    ``n*(n-1)/2`` partitions into ``n - 1`` blocks near the bottom).
+
+    >>> whitney_numbers(4)
+    [1, 6, 7, 1]
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return [stirling2(n, n - i) for i in range(n)]
+
+
+def compositions(total: int, parts: int | None = None):
+    """Yield compositions of ``total`` as tuples of positive integers.
+
+    A composition is an *ordered* sequence of positive integers summing
+    to ``total``.  If ``parts`` is given, only compositions with exactly
+    that many parts are produced.
+
+    >>> sorted(compositions(3))
+    [(1, 1, 1), (1, 2), (2, 1), (3,)]
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if total == 0:
+        if parts in (None, 0):
+            yield ()
+        return
+
+    def _generate(remaining: int, prefix: tuple[int, ...]):
+        if remaining == 0:
+            if parts is None or len(prefix) == parts:
+                yield prefix
+            return
+        if parts is not None and len(prefix) >= parts:
+            return
+        for first in range(1, remaining + 1):
+            yield from _generate(remaining - first, prefix + (first,))
+
+    yield from _generate(total, ())
+
+
+def count_compositions(total: int, parts: int) -> int:
+    """Return the number of compositions of ``total`` into ``parts`` parts."""
+    if total <= 0 or parts <= 0:
+        return 1 if total == 0 and parts == 0 else 0
+    return binomial(total - 1, parts - 1)
+
+
+def count_partitions_of_type(composition: tuple[int, ...]) -> int:
+    """Count set partitions whose min-ordered block sizes equal ``composition``.
+
+    A partition of ``[m]`` has *type* ``(c_1, ..., c_k)`` when its blocks,
+    ordered by their minimum element, have sizes ``c_1, ..., c_k``.  The
+    count follows by placing blocks left to right: block ``i`` must
+    contain the smallest element not yet used, and its remaining
+    ``c_i - 1`` members are chosen freely from what is left.
+
+    >>> count_partitions_of_type((2, 1, 1))
+    3
+    >>> count_partitions_of_type((1, 1, 2))
+    1
+    """
+    if any(c <= 0 for c in composition):
+        raise ValueError("composition parts must be positive")
+    remaining = sum(composition)
+    count = 1
+    for part in composition:
+        count *= binomial(remaining - 1, part - 1)
+        remaining -= part
+    return count

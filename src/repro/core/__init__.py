@@ -1,0 +1,7 @@
+"""The paper's primary contribution, packaged: faceted partition-MKL
+learning plus chain-of-trust reporting."""
+
+from repro.core.faceted import FacetedLearner
+from repro.core.trust import TrustReport, build_trust_report
+
+__all__ = ["FacetedLearner", "TrustReport", "build_trust_report"]

@@ -1,0 +1,62 @@
+"""Game-theoretic substrate for adversarial pipeline modelling (Sec. IV)."""
+
+from repro.games.bayesian import BayesianGame, harsanyi_transform
+from repro.games.multiobjective import (
+    ParetoPoint,
+    epsilon_constraint_best,
+    knee_point,
+    pareto_front,
+    weighted_sum_best,
+)
+from repro.games.normal_form import (
+    NormalFormGame,
+    ZeroSumSolution,
+    fictitious_play,
+    solve_zero_sum,
+)
+from repro.games.pipeline_game import (
+    AnalystStrategy,
+    PipelineGameResult,
+    PrepStrategy,
+    build_bayesian_pipeline_game,
+    build_pipeline_game,
+    default_analyst_strategies,
+    default_prep_strategies,
+    pareto_tradeoff,
+    single_player_optimum,
+)
+from repro.games.sequential import (
+    Chance,
+    Decision,
+    Leaf,
+    SequentialGame,
+    backward_induction,
+)
+
+__all__ = [
+    "BayesianGame",
+    "harsanyi_transform",
+    "ParetoPoint",
+    "epsilon_constraint_best",
+    "knee_point",
+    "pareto_front",
+    "weighted_sum_best",
+    "NormalFormGame",
+    "ZeroSumSolution",
+    "fictitious_play",
+    "solve_zero_sum",
+    "AnalystStrategy",
+    "PipelineGameResult",
+    "PrepStrategy",
+    "build_bayesian_pipeline_game",
+    "build_pipeline_game",
+    "default_analyst_strategies",
+    "default_prep_strategies",
+    "pareto_tradeoff",
+    "single_player_optimum",
+    "Chance",
+    "Decision",
+    "Leaf",
+    "SequentialGame",
+    "backward_induction",
+]

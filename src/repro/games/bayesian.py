@@ -1,0 +1,109 @@
+"""Bayesian games: players with uncertain opponent types.
+
+Section IV.B of the paper: players decide "only based on a partial
+knowledge of the other players decisions/strategies" — in particular a
+preprocessing operator rarely knows whether the downstream analyst is a
+cheap or a thorough one.  A two-player Bayesian game captures this: the
+column player has a private *type* drawn from a commonly known prior,
+payoffs depend on the type, and the row player best-responds in
+expectation.  Solved by Harsanyi transformation: expand the column
+player's strategies to type-contingent plans and reduce to an ordinary
+bimatrix game.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games.normal_form import NormalFormGame
+
+__all__ = ["BayesianGame", "harsanyi_transform"]
+
+
+@dataclass(frozen=True)
+class BayesianGame:
+    """Two players; the column player's type is private.
+
+    ``row_payoffs[t]`` / ``column_payoffs[t]`` are the payoff matrices
+    when the column player's type is ``t``; ``priors[t]`` is the common
+    prior over types.
+    """
+
+    row_payoffs: Mapping[str, np.ndarray]
+    column_payoffs: Mapping[str, np.ndarray]
+    priors: Mapping[str, float]
+    row_actions: Sequence[str] | None = None
+    column_actions: Sequence[str] | None = None
+
+    def __post_init__(self) -> None:
+        if set(self.row_payoffs) != set(self.column_payoffs) or set(
+            self.row_payoffs
+        ) != set(self.priors):
+            raise ValueError("types must agree across payoffs and priors")
+        if not self.priors:
+            raise ValueError("need at least one type")
+        total = sum(self.priors.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"priors sum to {total}, expected 1")
+        shapes = {np.asarray(m).shape for m in self.row_payoffs.values()}
+        shapes |= {np.asarray(m).shape for m in self.column_payoffs.values()}
+        if len(shapes) != 1:
+            raise ValueError("all type payoff matrices must share a shape")
+
+    @property
+    def types(self) -> list[str]:
+        return sorted(self.priors)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        any_matrix = next(iter(self.row_payoffs.values()))
+        return np.asarray(any_matrix).shape  # type: ignore[return-value]
+
+
+def harsanyi_transform(
+    game: BayesianGame,
+) -> tuple[NormalFormGame, list[dict[str, int]]]:
+    """Reduce the Bayesian game to a bimatrix game.
+
+    The column player's pure strategies become *type-contingent plans*
+    (one action per type); the row player's payoff for (row action,
+    plan) is the prior-weighted average over types, and the column
+    player receives the same expectation of its own type payoffs.
+
+    Returns the normal-form game and the list of plans (dicts mapping
+    type -> column action index) in column order.
+    """
+    n_rows, n_cols = game.shape
+    types = game.types
+    plans = [
+        dict(zip(types, combo))
+        for combo in itertools.product(range(n_cols), repeat=len(types))
+    ]
+    A = np.zeros((n_rows, len(plans)))
+    B = np.zeros_like(A)
+    for plan_index, plan in enumerate(plans):
+        for type_name in types:
+            prior = game.priors[type_name]
+            row_matrix = np.asarray(game.row_payoffs[type_name], dtype=float)
+            col_matrix = np.asarray(game.column_payoffs[type_name], dtype=float)
+            chosen = plan[type_name]
+            A[:, plan_index] += prior * row_matrix[:, chosen]
+            B[:, plan_index] += prior * col_matrix[:, chosen]
+    row_actions = (
+        list(game.row_actions)
+        if game.row_actions is not None
+        else list(range(n_rows))
+    )
+    column_labels = []
+    for plan in plans:
+        if game.column_actions is not None:
+            pretty = {t: game.column_actions[i] for t, i in plan.items()}
+        else:
+            pretty = plan
+        column_labels.append(str(sorted(pretty.items())))
+    normal = NormalFormGame(A, B, row_actions=row_actions, column_actions=column_labels)
+    return normal, plans

@@ -1,0 +1,127 @@
+"""Multi-objective optimisation: Pareto fronts and scalarisation.
+
+The paper's decision rule for pipeline design (Sec. I.B): "if the
+interests of preprocessing and analytics are aligned, one can resort to
+optimization; if they are partially unaligned, one can resort to
+multi-objective optimization; if the agents are also different ...
+game theory."  This module supplies the middle regime, used by the
+single-player imputation trade-off of Sec. IV.A (accuracy vs. model
+count): Pareto filtering, weighted-sum scalarisation, epsilon-
+constraint selection, and knee-point picking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ParetoPoint",
+    "pareto_front",
+    "weighted_sum_best",
+    "epsilon_constraint_best",
+    "knee_point",
+]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A candidate with its objective vector (all maximised) and payload."""
+
+    objectives: tuple[float, ...]
+    payload: object = None
+
+
+def _dominates(first: Sequence[float], second: Sequence[float]) -> bool:
+    """True if ``first`` weakly dominates ``second`` with a strict gain."""
+    at_least = all(f >= s for f, s in zip(first, second))
+    strictly = any(f > s for f, s in zip(first, second))
+    return at_least and strictly
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """Return the non-dominated subset (all objectives maximised)."""
+    points = list(points)
+    if not points:
+        return []
+    width = len(points[0].objectives)
+    if any(len(point.objectives) != width for point in points):
+        raise ValueError("all points must share the objective dimension")
+    front = []
+    for candidate in points:
+        if not any(
+            _dominates(other.objectives, candidate.objectives)
+            for other in points
+            if other is not candidate
+        ):
+            front.append(candidate)
+    return front
+
+
+def weighted_sum_best(
+    points: Sequence[ParetoPoint], weights: Sequence[float]
+) -> ParetoPoint:
+    """Maximise a convex combination of the objectives."""
+    points = list(points)
+    if not points:
+        raise ValueError("need at least one point")
+    weight_array = np.asarray(weights, dtype=float)
+    if weight_array.size != len(points[0].objectives):
+        raise ValueError("weight count must match objective count")
+    if np.any(weight_array < 0):
+        raise ValueError("weights must be non-negative")
+    scores = [float(weight_array @ np.asarray(p.objectives)) for p in points]
+    return points[int(np.argmax(scores))]
+
+
+def epsilon_constraint_best(
+    points: Sequence[ParetoPoint],
+    optimise_index: int,
+    floors: dict[int, float],
+) -> ParetoPoint | None:
+    """Maximise one objective subject to floors on the others.
+
+    Returns None when no point satisfies the constraints.
+    """
+    feasible = [
+        point
+        for point in points
+        if all(point.objectives[index] >= floor for index, floor in floors.items())
+    ]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda point: point.objectives[optimise_index])
+
+
+def knee_point(points: Sequence[ParetoPoint]) -> ParetoPoint:
+    """Pick the Pareto point farthest from the extreme-point chord.
+
+    Classic knee heuristic in two objectives: normalise the front,
+    draw the line between the two single-objective optima, return the
+    point with the maximum perpendicular distance.  Degenerates to the
+    single point or the weighted-sum best for tiny fronts.
+    """
+    front = pareto_front(points)
+    if not front:
+        raise ValueError("need at least one point")
+    if len(front) <= 2:
+        return weighted_sum_best(front, [1.0] * len(front[0].objectives))
+    if len(front[0].objectives) != 2:
+        raise ValueError("knee_point supports exactly two objectives")
+    values = np.asarray([point.objectives for point in front], dtype=float)
+    spans = values.max(axis=0) - values.min(axis=0)
+    spans[spans <= 0] = 1.0
+    normalised = (values - values.min(axis=0)) / spans
+    first_extreme = normalised[np.argmax(normalised[:, 0])]
+    second_extreme = normalised[np.argmax(normalised[:, 1])]
+    chord = second_extreme - first_extreme
+    norm = np.linalg.norm(chord)
+    if norm <= 0:
+        return front[0]
+    direction = chord / norm
+    offsets = normalised - first_extreme
+    # 2-D cross product magnitude = perpendicular distance to the chord.
+    distances = np.abs(direction[0] * offsets[:, 1] - direction[1] * offsets[:, 0])
+    return front[int(np.argmax(distances))]

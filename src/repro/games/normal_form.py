@@ -1,0 +1,283 @@
+"""Normal-form (matrix) games: zero-sum minimax, Nash, fictitious play.
+
+Section II.B of the paper recalls zero-sum games ("the gain of one
+player ... is equal to the loss of the other") as the GAN framing, and
+Sec. IV argues the pipeline players are *not* zero-sum: "typically
+driven by compatible objectives, however the optimization of one
+player's objective prevents the optimization of the other player's".
+Both cases are covered: zero-sum games solve exactly by linear
+programming (scipy linprog); general-sum bimatrix games get pure Nash
+enumeration, best-response dynamics, support enumeration for mixed
+equilibria, and smoothed fictitious play.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = [
+    "ZeroSumSolution",
+    "solve_zero_sum",
+    "NormalFormGame",
+    "fictitious_play",
+]
+
+
+@dataclass(frozen=True)
+class ZeroSumSolution:
+    """Minimax solution of a zero-sum matrix game."""
+
+    value: float
+    row_strategy: np.ndarray
+    column_strategy: np.ndarray
+
+
+def solve_zero_sum(payoff: np.ndarray) -> ZeroSumSolution:
+    """Solve ``max_x min_y x' A y`` by LP (row player maximises).
+
+    Uses the standard shift-and-normalise reduction: add a constant to
+    make the matrix positive, minimise ``sum(u)`` s.t. ``A' u >= 1``.
+    """
+    A = np.asarray(payoff, dtype=float)
+    if A.ndim != 2 or A.size == 0:
+        raise ValueError("payoff must be a non-empty 2-D matrix")
+    shift = float(A.min())
+    shifted = A - shift + 1.0  # strictly positive
+    n_rows, n_cols = shifted.shape
+
+    # Row player: minimise 1'u subject to shifted' u >= 1, u >= 0.
+    row_lp = linprog(
+        c=np.ones(n_rows),
+        A_ub=-shifted.T,
+        b_ub=-np.ones(n_cols),
+        bounds=[(0, None)] * n_rows,
+        method="highs",
+    )
+    if not row_lp.success:
+        raise RuntimeError(f"row LP failed: {row_lp.message}")
+    game_value = 1.0 / row_lp.fun
+    row_strategy = row_lp.x * game_value
+
+    # Column player: maximise 1'v subject to shifted v <= 1, v >= 0.
+    col_lp = linprog(
+        c=-np.ones(n_cols),
+        A_ub=shifted,
+        b_ub=np.ones(n_rows),
+        bounds=[(0, None)] * n_cols,
+        method="highs",
+    )
+    if not col_lp.success:
+        raise RuntimeError(f"column LP failed: {col_lp.message}")
+    column_strategy = col_lp.x * game_value
+
+    return ZeroSumSolution(
+        value=float(game_value + shift - 1.0),
+        row_strategy=row_strategy / row_strategy.sum(),
+        column_strategy=column_strategy / column_strategy.sum(),
+    )
+
+
+class NormalFormGame:
+    """Two-player general-sum game given by payoff matrices ``(A, B)``.
+
+    ``A[i, j]`` is the row player's payoff and ``B[i, j]`` the column
+    player's when row plays ``i`` and column plays ``j``.
+    """
+
+    def __init__(
+        self,
+        row_payoff: np.ndarray,
+        column_payoff: np.ndarray,
+        row_actions: list | None = None,
+        column_actions: list | None = None,
+    ):
+        A = np.asarray(row_payoff, dtype=float)
+        B = np.asarray(column_payoff, dtype=float)
+        if A.shape != B.shape or A.ndim != 2 or A.size == 0:
+            raise ValueError("payoff matrices must share a non-empty 2-D shape")
+        self.A = A
+        self.B = B
+        self.row_actions = row_actions or list(range(A.shape[0]))
+        self.column_actions = column_actions or list(range(A.shape[1]))
+        if len(self.row_actions) != A.shape[0] or len(self.column_actions) != A.shape[1]:
+            raise ValueError("action labels must match matrix shape")
+
+    @classmethod
+    def zero_sum(cls, payoff: np.ndarray, **kwargs) -> "NormalFormGame":
+        payoff = np.asarray(payoff, dtype=float)
+        return cls(payoff, -payoff, **kwargs)
+
+    @property
+    def is_zero_sum(self) -> bool:
+        return bool(np.allclose(self.A + self.B, 0.0))
+
+    # ------------------------------------------------------------------
+
+    def best_response_row(self, column_action: int) -> int:
+        """Row player's best pure response to a column action."""
+        return int(np.argmax(self.A[:, column_action]))
+
+    def best_response_column(self, row_action: int) -> int:
+        """Column player's best pure response to a row action."""
+        return int(np.argmax(self.B[row_action, :]))
+
+    def is_pure_nash(self, row_action: int, column_action: int) -> bool:
+        """Check the mutual-best-response condition."""
+        row_ok = self.A[row_action, column_action] >= self.A[:, column_action].max() - 1e-12
+        col_ok = self.B[row_action, column_action] >= self.B[row_action, :].max() - 1e-12
+        return bool(row_ok and col_ok)
+
+    def pure_nash_equilibria(self) -> list[tuple[int, int]]:
+        """All pure-strategy Nash equilibria (index pairs)."""
+        return [
+            (i, j)
+            for i in range(self.A.shape[0])
+            for j in range(self.A.shape[1])
+            if self.is_pure_nash(i, j)
+        ]
+
+    def social_optimum(self) -> tuple[int, int]:
+        """Profile maximising total welfare ``A + B``."""
+        welfare = self.A + self.B
+        index = int(np.argmax(welfare))
+        return np.unravel_index(index, welfare.shape)  # type: ignore[return-value]
+
+    def price_of_anarchy(self) -> float:
+        """Worst-equilibrium welfare ratio ``opt / worst_nash``.
+
+        Uses pure equilibria; returns ``inf`` when an equilibrium has
+        non-positive welfare or ``nan`` when no pure equilibrium exists.
+        """
+        equilibria = self.pure_nash_equilibria()
+        if not equilibria:
+            return float("nan")
+        welfare = self.A + self.B
+        optimum = float(welfare.max())
+        worst = min(float(welfare[i, j]) for i, j in equilibria)
+        if worst <= 0:
+            return float("inf")
+        return optimum / worst
+
+    def stackelberg_row_leader(self) -> tuple[int, int, float]:
+        """Row commits first; column best-responds.
+
+        Returns (row_action, column_action, row_payoff); the paper's
+        sequential reading of the preprocessing-then-analytics order.
+        """
+        best = None
+        for i in range(self.A.shape[0]):
+            j = self.best_response_column(i)
+            candidate = (i, j, float(self.A[i, j]))
+            if best is None or candidate[2] > best[2]:
+                best = candidate
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+
+    def support_enumeration(self, tolerance: float = 1e-9) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Mixed Nash equilibria by support enumeration (small games).
+
+        Enumerates equal-size supports first (a la Nash's theorem for
+        nondegenerate games), then unequal sizes, solving the
+        indifference systems; intended for the small strategy spaces of
+        pipeline games.
+        """
+        n_rows, n_cols = self.A.shape
+        equilibria: list[tuple[np.ndarray, np.ndarray]] = []
+        for row_support_size in range(1, n_rows + 1):
+            for col_support_size in range(1, n_cols + 1):
+                for row_support in itertools.combinations(range(n_rows), row_support_size):
+                    for col_support in itertools.combinations(range(n_cols), col_support_size):
+                        profile = self._solve_support(
+                            list(row_support), list(col_support), tolerance
+                        )
+                        if profile is not None and not any(
+                            np.allclose(profile[0], x) and np.allclose(profile[1], y)
+                            for x, y in equilibria
+                        ):
+                            equilibria.append(profile)
+        return equilibria
+
+    def _solve_support(
+        self, row_support: list[int], col_support: list[int], tolerance: float
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        n_rows, n_cols = self.A.shape
+        # Column mixing y must make supported rows indifferent (payoff A).
+        y = self._indifference_mix(
+            self.A[np.ix_(row_support, col_support)], len(col_support), tolerance
+        )
+        # Row mixing x must make supported columns indifferent (payoff B).
+        x = self._indifference_mix(
+            self.B[np.ix_(row_support, col_support)].T, len(row_support), tolerance
+        )
+        if x is None or y is None:
+            return None
+        full_x = np.zeros(n_rows)
+        full_y = np.zeros(n_cols)
+        full_x[row_support] = x
+        full_y[col_support] = y
+        # Verify no profitable deviation outside the supports.
+        row_values = self.A @ full_y
+        col_values = full_x @ self.B
+        if row_values.max() > row_values[row_support].min() + 1e-7:
+            return None
+        if col_values.max() > col_values[col_support].min() + 1e-7:
+            return None
+        return full_x, full_y
+
+    @staticmethod
+    def _indifference_mix(
+        payoffs: np.ndarray, size: int, tolerance: float
+    ) -> np.ndarray | None:
+        """Solve for a mix over ``size`` columns equalising row payoffs."""
+        n_rows = payoffs.shape[0]
+        system = np.zeros((n_rows + 1, size + 1))
+        # payoffs @ mix - v = 0 for each supported row; sum(mix) = 1.
+        system[:n_rows, :size] = payoffs
+        system[:n_rows, size] = -1.0
+        system[n_rows, :size] = 1.0
+        rhs = np.zeros(n_rows + 1)
+        rhs[n_rows] = 1.0
+        solution, residual, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+        if np.linalg.norm(system @ solution - rhs) > 1e-7:
+            return None
+        mix = solution[:size]
+        if np.any(mix < -tolerance):
+            return None
+        mix = np.clip(mix, 0.0, None)
+        total = mix.sum()
+        if total <= 0:
+            return None
+        return mix / total
+
+
+def fictitious_play(
+    game: NormalFormGame, n_rounds: int = 1000, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical mixed strategies after fictitious-play learning.
+
+    Each round both players best-respond to the opponent's empirical
+    action frequencies.  Converges to Nash in zero-sum and potential
+    games; returns the final empirical frequency vectors.
+    """
+    if n_rounds < 1:
+        raise ValueError("n_rounds must be positive")
+    rng = np.random.default_rng(seed)
+    n_rows, n_cols = game.A.shape
+    row_counts = np.zeros(n_rows)
+    col_counts = np.zeros(n_cols)
+    row_counts[rng.integers(n_rows)] = 1
+    col_counts[rng.integers(n_cols)] = 1
+    for _ in range(n_rounds):
+        col_frequency = col_counts / col_counts.sum()
+        row_frequency = row_counts / row_counts.sum()
+        row_move = int(np.argmax(game.A @ col_frequency))
+        col_move = int(np.argmax(row_frequency @ game.B))
+        row_counts[row_move] += 1
+        col_counts[col_move] += 1
+    return row_counts / row_counts.sum(), col_counts / col_counts.sum()

@@ -1,0 +1,276 @@
+"""The preprocessing-vs-analytics game, built by simulation.
+
+Section IV of the paper casts the pipeline phases as players "driven by
+compatible objectives" whose individual optimisations conflict: the
+preprocessing player pays for data-repair effort that mostly benefits
+the analytics player; the analytics player pays for model complexity
+that can compensate for sloppy preprocessing.  This module constructs
+the actual payoff matrices by *running* the pipeline on a workload —
+every cell of the game is a measured (accuracy, cost) outcome — and
+then analyses the resulting :class:`NormalFormGame`:
+
+* the **single-player** setting (Sec. IV.A): one controller optimises
+  the sum of both utilities (or a multi-objective trade-off);
+* the **many-player** setting (Sec. IV.B): pure Nash equilibria,
+  Stackelberg (preprocessing commits first — the natural pipeline
+  order), and the price of anarchy against the social optimum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analytics.decision_tree import DecisionTreeClassifier
+from repro.analytics.metrics import accuracy_score
+from repro.analytics.naive_bayes import GaussianNB
+from repro.games.multiobjective import ParetoPoint, pareto_front
+from repro.games.normal_form import NormalFormGame
+from repro.pipeline.imputation import (
+    KNNImputer,
+    MeanImputer,
+    MedianImputer,
+    PerPatternModel,
+)
+
+__all__ = [
+    "PrepStrategy",
+    "AnalystStrategy",
+    "default_prep_strategies",
+    "default_analyst_strategies",
+    "PipelineGameResult",
+    "build_pipeline_game",
+    "single_player_optimum",
+    "pareto_tradeoff",
+    "build_bayesian_pipeline_game",
+]
+
+
+@dataclass(frozen=True)
+class PrepStrategy:
+    """A preprocessing option: how to treat missing data, at what cost."""
+
+    name: str
+    cost: float
+    make_imputer: Callable[[], object] | None  # None = leave NaNs in place
+
+
+@dataclass(frozen=True)
+class AnalystStrategy:
+    """An analytics option: which model to train, at what cost."""
+
+    name: str
+    cost: float
+    make_model: Callable[[], object]
+
+
+def default_prep_strategies() -> list[PrepStrategy]:
+    """No-impute, mean, median, kNN — effort-ordered."""
+    return [
+        PrepStrategy("no_impute", 0.0, None),
+        PrepStrategy("mean", 0.5, MeanImputer),
+        PrepStrategy("median", 0.6, MedianImputer),
+        PrepStrategy("knn", 2.0, lambda: KNNImputer(k=5)),
+    ]
+
+
+def default_analyst_strategies() -> list[AnalystStrategy]:
+    """Shallow tree, deep tree, NaN-tolerant NB, per-pattern trees."""
+    return [
+        AnalystStrategy(
+            "tree_shallow", 0.3, lambda: DecisionTreeClassifier(max_depth=3)
+        ),
+        AnalystStrategy(
+            "tree_deep", 1.0, lambda: DecisionTreeClassifier(max_depth=10)
+        ),
+        AnalystStrategy("naive_bayes", 0.2, GaussianNB),
+        AnalystStrategy(
+            "per_pattern_trees",
+            2.5,
+            lambda: PerPatternModel(lambda: DecisionTreeClassifier(max_depth=5)),
+        ),
+    ]
+
+
+@dataclass
+class PipelineGameResult:
+    """Payoffs, measured accuracies, and the solved game."""
+
+    game: NormalFormGame
+    accuracy: np.ndarray
+    prep_strategies: list[PrepStrategy]
+    analyst_strategies: list[AnalystStrategy]
+    accuracy_weight_prep: float
+    accuracy_weight_analyst: float
+    details: dict = field(default_factory=dict)
+
+    def nash_profiles(self) -> list[tuple[str, str]]:
+        """Names of the pure Nash strategy pairs."""
+        return [
+            (self.prep_strategies[i].name, self.analyst_strategies[j].name)
+            for i, j in self.game.pure_nash_equilibria()
+        ]
+
+    def social_profile(self) -> tuple[str, str]:
+        i, j = self.game.social_optimum()
+        return self.prep_strategies[i].name, self.analyst_strategies[j].name
+
+    def stackelberg_profile(self) -> tuple[str, str]:
+        i, j, _ = self.game.stackelberg_row_leader()
+        return self.prep_strategies[i].name, self.analyst_strategies[j].name
+
+
+def _evaluate_cell(
+    prep: PrepStrategy,
+    analyst: AnalystStrategy,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+) -> float:
+    """Measured test accuracy of one (prep, analyst) profile."""
+    if prep.make_imputer is None:
+        train, test = X_train, X_test
+    else:
+        imputer = prep.make_imputer()
+        imputer.fit(X_train)
+        train = imputer.transform(X_train)
+        test = imputer.transform(X_test)
+    model = analyst.make_model()
+    model.fit(train, y_train)
+    return accuracy_score(y_test, model.predict(test))
+
+
+def build_pipeline_game(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    prep_strategies: Sequence[PrepStrategy] | None = None,
+    analyst_strategies: Sequence[AnalystStrategy] | None = None,
+    accuracy_weight_prep: float = 2.0,
+    accuracy_weight_analyst: float = 10.0,
+) -> PipelineGameResult:
+    """Measure every strategy profile and assemble the bimatrix game.
+
+    Utilities (the paper's "compatible but non-aligned" shape):
+
+    * preprocessor: ``accuracy_weight_prep * accuracy - prep.cost`` —
+      it shares the mission's success but pays its own effort;
+    * analyst: ``accuracy_weight_analyst * accuracy - analyst.cost``.
+
+    Accuracy matters to both (compatible objectives) with different
+    stakes, while each player's cost is private — exactly the contrast
+    of Sec. IV.
+    """
+    preps = list(prep_strategies or default_prep_strategies())
+    analysts = list(analyst_strategies or default_analyst_strategies())
+    accuracy = np.zeros((len(preps), len(analysts)))
+    for i, prep in enumerate(preps):
+        for j, analyst in enumerate(analysts):
+            accuracy[i, j] = _evaluate_cell(
+                prep, analyst, X_train, y_train, X_test, y_test
+            )
+    prep_costs = np.asarray([prep.cost for prep in preps])
+    analyst_costs = np.asarray([analyst.cost for analyst in analysts])
+    A = accuracy_weight_prep * accuracy - prep_costs[:, None]
+    B = accuracy_weight_analyst * accuracy - analyst_costs[None, :]
+    game = NormalFormGame(
+        A,
+        B,
+        row_actions=[prep.name for prep in preps],
+        column_actions=[analyst.name for analyst in analysts],
+    )
+    return PipelineGameResult(
+        game=game,
+        accuracy=accuracy,
+        prep_strategies=preps,
+        analyst_strategies=analysts,
+        accuracy_weight_prep=accuracy_weight_prep,
+        accuracy_weight_analyst=accuracy_weight_analyst,
+    )
+
+
+def single_player_optimum(
+    result: PipelineGameResult,
+) -> tuple[str, str, float]:
+    """The Sec. IV.A single controller: maximise total welfare.
+
+    Returns (prep_name, analyst_name, welfare).
+    """
+    welfare = result.game.A + result.game.B
+    i, j = np.unravel_index(int(np.argmax(welfare)), welfare.shape)
+    return (
+        result.prep_strategies[i].name,
+        result.analyst_strategies[j].name,
+        float(welfare[i, j]),
+    )
+
+
+def build_bayesian_pipeline_game(
+    result: PipelineGameResult,
+    type_cost_scale: dict[str, float],
+    priors: dict[str, float],
+):
+    """Lift a measured pipeline game to unknown analyst types.
+
+    Sec. IV.B: the preprocessing player decides "based on a partial
+    knowledge of the other players".  Here the analyst's *cost
+    sensitivity* is private: a type with scale ``s`` perceives utility
+    ``accuracy_weight * accuracy - s * cost``.  The measured accuracy
+    matrix is reused; only the analyst's utilities vary by type.
+
+    Returns ``(BayesianGame, normal_form, plans)`` ready for analysis.
+    """
+    from repro.games.bayesian import BayesianGame, harsanyi_transform
+
+    if set(type_cost_scale) != set(priors):
+        raise ValueError("type names must match between scales and priors")
+    analyst_costs = np.asarray(
+        [analyst.cost for analyst in result.analyst_strategies]
+    )
+    prep_costs = np.asarray([prep.cost for prep in result.prep_strategies])
+    row_payoffs = {}
+    column_payoffs = {}
+    A = (
+        result.accuracy_weight_prep * result.accuracy
+        - prep_costs[:, None]
+    )
+    for type_name, scale in type_cost_scale.items():
+        row_payoffs[type_name] = A
+        column_payoffs[type_name] = (
+            result.accuracy_weight_analyst * result.accuracy
+            - scale * analyst_costs[None, :]
+        )
+    game = BayesianGame(
+        row_payoffs=row_payoffs,
+        column_payoffs=column_payoffs,
+        priors=priors,
+        row_actions=[prep.name for prep in result.prep_strategies],
+        column_actions=[analyst.name for analyst in result.analyst_strategies],
+    )
+    normal, plans = harsanyi_transform(game)
+    return game, normal, plans
+
+
+def pareto_tradeoff(result: PipelineGameResult) -> list[ParetoPoint]:
+    """Accuracy-vs-total-cost Pareto front over all profiles.
+
+    Objectives are (accuracy, -total_cost), both maximised — the
+    multi-objective reading of the single-player setting.
+    """
+    points = []
+    for i, prep in enumerate(result.prep_strategies):
+        for j, analyst in enumerate(result.analyst_strategies):
+            points.append(
+                ParetoPoint(
+                    objectives=(
+                        float(result.accuracy[i, j]),
+                        -(prep.cost + analyst.cost),
+                    ),
+                    payload=(prep.name, analyst.name),
+                )
+            )
+    return pareto_front(points)

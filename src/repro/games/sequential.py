@@ -1,0 +1,222 @@
+"""Extensive-form games with imperfect information.
+
+The paper (Sec. IV.B): "A possible Game Theoretic frame for modeling
+the process is the one of sequential games of imperfect information,
+where a player needs to take decisions only based on a partial
+knowledge of the other players decisions/strategies."
+
+Games are trees of decision/chance nodes with payoffs at the leaves.
+Decision nodes carry an *information set* label: nodes sharing a label
+are indistinguishable to their player, so a pure strategy must pick the
+same action at all of them.  Perfect-information games solve by
+backward induction; imperfect-information games are converted to their
+normal form over pure strategies (tractable for pipeline-sized games)
+and solved with :mod:`repro.games.normal_form`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.games.normal_form import NormalFormGame
+
+__all__ = ["Leaf", "Decision", "Chance", "SequentialGame", "backward_induction"]
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """Terminal node: payoff per player, e.g. ``{"prep": 1.0, "ml": 2.0}``."""
+
+    payoffs: dict
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A choice node for one player; ``children`` maps action -> node.
+
+    ``information_set`` defaults to a node-unique label (perfect
+    information); share a label across nodes to model imperfect
+    information.
+    """
+
+    player: str
+    children: dict
+    information_set: str | None = None
+
+    def actions(self) -> tuple:
+        return tuple(self.children)
+
+
+@dataclass(frozen=True)
+class Chance:
+    """A chance node; ``branches`` maps outcome -> (probability, node)."""
+
+    branches: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        total = sum(probability for probability, _ in self.branches.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"chance probabilities sum to {total}, not 1")
+
+
+Node = Leaf | Decision | Chance
+
+
+def backward_induction(node: Node) -> tuple[dict, dict]:
+    """Solve a *perfect information* game tree.
+
+    Returns ``(payoffs, plan)`` where ``plan`` maps a node's position
+    (path string) to the chosen action.  Raises if two decision nodes
+    share an information set (imperfect information).
+    """
+    seen_sets: set[str] = set()
+
+    def walk(current: Node, path: str) -> tuple[dict, dict]:
+        if isinstance(current, Leaf):
+            return dict(current.payoffs), {}
+        if isinstance(current, Chance):
+            expected: dict = {}
+            plan: dict = {}
+            for outcome, (probability, child) in current.branches.items():
+                child_payoffs, child_plan = walk(child, f"{path}/{outcome}")
+                plan.update(child_plan)
+                for player, value in child_payoffs.items():
+                    expected[player] = expected.get(player, 0.0) + probability * value
+            return expected, plan
+        label = current.information_set
+        if label is not None:
+            if label in seen_sets:
+                raise ValueError(
+                    "backward induction requires perfect information;"
+                    f" information set {label!r} is shared"
+                )
+            seen_sets.add(label)
+        best_action = None
+        best_payoffs: dict = {}
+        best_plan: dict = {}
+        for action, child in current.children.items():
+            child_payoffs, child_plan = walk(child, f"{path}/{action}")
+            if (
+                best_action is None
+                or child_payoffs.get(current.player, 0.0)
+                > best_payoffs.get(current.player, 0.0)
+            ):
+                best_action = action
+                best_payoffs = child_payoffs
+                best_plan = child_plan
+        assert best_action is not None
+        plan = {path or "root": best_action}
+        plan.update(best_plan)
+        return best_payoffs, plan
+
+    return walk(node, "")
+
+
+class SequentialGame:
+    """A two-player extensive-form game, possibly of imperfect information."""
+
+    def __init__(self, root: Node, players: tuple[str, str]):
+        self.root = root
+        self.players = players
+        self._information_sets = self._collect_information_sets()
+
+    def _collect_information_sets(self) -> dict[str, dict]:
+        """Map information-set label -> {player, actions}."""
+        sets: dict[str, dict] = {}
+
+        def walk(node: Node) -> None:
+            if isinstance(node, Leaf):
+                return
+            if isinstance(node, Chance):
+                for _, child in node.branches.values():
+                    walk(child)
+                return
+            label = node.information_set
+            if label is None:
+                raise ValueError(
+                    "SequentialGame requires every decision node to carry an"
+                    " information_set label (unique label = perfect information)"
+                )
+            if label in sets:
+                if sets[label]["player"] != node.player:
+                    raise ValueError(
+                        f"information set {label!r} spans two players"
+                    )
+                if sets[label]["actions"] != node.actions():
+                    raise ValueError(
+                        f"information set {label!r} has inconsistent actions"
+                    )
+            else:
+                sets[label] = {"player": node.player, "actions": node.actions()}
+            for child in node.children.values():
+                walk(child)
+
+        walk(self.root)
+        return sets
+
+    def pure_strategies(self, player: str) -> list[dict]:
+        """All pure strategies: one action per information set of the player."""
+        own_sets = [
+            (label, spec["actions"])
+            for label, spec in self._information_sets.items()
+            if spec["player"] == player
+        ]
+        if not own_sets:
+            return [{}]
+        labels = [label for label, _ in own_sets]
+        choices = [actions for _, actions in own_sets]
+        return [
+            dict(zip(labels, combo)) for combo in itertools.product(*choices)
+        ]
+
+    def expected_payoffs(self, profile: dict[str, dict]) -> dict:
+        """Expected payoffs under a pure-strategy profile.
+
+        ``profile`` maps player -> {information_set: action}.
+        """
+
+        def walk(node: Node) -> dict:
+            if isinstance(node, Leaf):
+                return dict(node.payoffs)
+            if isinstance(node, Chance):
+                expected: dict = {}
+                for probability, child in node.branches.values():
+                    child_payoffs = walk(child)
+                    for player, value in child_payoffs.items():
+                        expected[player] = expected.get(player, 0.0) + probability * value
+                return expected
+            label = node.information_set
+            if label is None:
+                raise ValueError(
+                    "decision nodes must carry information_set labels for"
+                    " strategy evaluation"
+                )
+            action = profile[node.player][label]
+            return walk(node.children[action])
+
+        return walk(self.root)
+
+    def to_normal_form(self) -> tuple[NormalFormGame, list[dict], list[dict]]:
+        """Induced normal form over pure strategies of the two players."""
+        first, second = self.players
+        row_strategies = self.pure_strategies(first)
+        col_strategies = self.pure_strategies(second)
+        A = np.zeros((len(row_strategies), len(col_strategies)))
+        B = np.zeros_like(A)
+        for i, row_strategy in enumerate(row_strategies):
+            for j, col_strategy in enumerate(col_strategies):
+                payoffs = self.expected_payoffs(
+                    {first: row_strategy, second: col_strategy}
+                )
+                A[i, j] = payoffs.get(first, 0.0)
+                B[i, j] = payoffs.get(second, 0.0)
+        game = NormalFormGame(
+            A,
+            B,
+            row_actions=[str(sorted(s.items())) for s in row_strategies],
+            column_actions=[str(sorted(s.items())) for s in col_strategies],
+        )
+        return game, row_strategies, col_strategies

@@ -1,0 +1,63 @@
+"""IoT data substrate: sensors, devices, network, streams, workloads,
+and the paper's motivating scenarios."""
+
+from repro.iot.devices import Deployment, Device, Link, Placement, Tier
+from repro.iot.operators import CORRUPTIONS, FacetOwnership, Operator, corrupt_facet
+from repro.iot.network import (
+    build_topology,
+    degrade_links,
+    end_to_end_latency,
+    reachable_fraction,
+    star_of_stars,
+)
+from repro.iot.scenarios import (
+    EnvironmentalCapture,
+    biometric_identification,
+    environmental_field,
+    object_surface,
+)
+from repro.iot.sensors import Sensor, SensorSpec, sample_clock
+from repro.iot.streams import (
+    CaptureSession,
+    SensorField,
+    random_walk_signal,
+    sinusoid,
+)
+from repro.iot.workloads import (
+    FacetSpec,
+    FacetedWorkload,
+    make_faceted_classification,
+    make_two_view_blobs,
+)
+
+__all__ = [
+    "Deployment",
+    "Device",
+    "Link",
+    "Placement",
+    "Tier",
+    "CORRUPTIONS",
+    "FacetOwnership",
+    "Operator",
+    "corrupt_facet",
+    "build_topology",
+    "degrade_links",
+    "end_to_end_latency",
+    "reachable_fraction",
+    "star_of_stars",
+    "EnvironmentalCapture",
+    "biometric_identification",
+    "environmental_field",
+    "object_surface",
+    "Sensor",
+    "SensorSpec",
+    "sample_clock",
+    "CaptureSession",
+    "SensorField",
+    "random_walk_signal",
+    "sinusoid",
+    "FacetSpec",
+    "FacetedWorkload",
+    "make_faceted_classification",
+    "make_two_view_blobs",
+]

@@ -1,0 +1,129 @@
+"""Device / edge / core tiers of the IoT computation hierarchy.
+
+Fig. 1 of the paper sketches analytics computation spread across the
+IoT setting: sensing devices at the periphery, edge processors, and a
+core.  This module models that placement problem minimally but
+honestly: tiers have compute capacity and per-sample processing costs,
+links have latency, and a :class:`Deployment` checks whether a pipeline
+placement meets an application deadline (the paper's condition (b):
+"distributed training and execution ... can meet the deadlines given
+the applications latency and resource constraints").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Tier", "Device", "Link", "Placement", "Deployment"]
+
+TIERS = ("device", "edge", "core")
+
+
+@dataclass(frozen=True)
+class Tier:
+    """Capabilities of one tier class."""
+
+    name: str
+    compute_rate: float  # work units per second
+    memory: float  # arbitrary capacity units
+
+    def __post_init__(self) -> None:
+        if self.name not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}")
+        if self.compute_rate <= 0 or self.memory <= 0:
+            raise ValueError("compute_rate and memory must be positive")
+
+
+@dataclass(frozen=True)
+class Device:
+    """A concrete node in some tier."""
+
+    name: str
+    tier: Tier
+
+
+@dataclass(frozen=True)
+class Link:
+    """Directed link with latency and bandwidth."""
+
+    source: str
+    target: str
+    latency: float  # seconds
+    bandwidth: float  # data units per second
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+
+    def transfer_time(self, data_size: float) -> float:
+        return self.latency + data_size / self.bandwidth
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A pipeline stage pinned to a device."""
+
+    stage_name: str
+    device_name: str
+    work: float  # work units per batch
+    output_size: float  # data units emitted per batch
+
+
+@dataclass
+class Deployment:
+    """A placed pipeline over a device graph."""
+
+    devices: dict[str, Device] = field(default_factory=dict)
+    links: dict[tuple[str, str], Link] = field(default_factory=dict)
+    placements: list[Placement] = field(default_factory=list)
+
+    def add_device(self, device: Device) -> "Deployment":
+        if device.name in self.devices:
+            raise ValueError(f"duplicate device {device.name!r}")
+        self.devices[device.name] = device
+        return self
+
+    def add_link(self, link: Link) -> "Deployment":
+        key = (link.source, link.target)
+        for endpoint in key:
+            if endpoint not in self.devices:
+                raise ValueError(f"unknown device {endpoint!r}")
+        self.links[key] = link
+        return self
+
+    def place(self, placement: Placement) -> "Deployment":
+        if placement.device_name not in self.devices:
+            raise ValueError(f"unknown device {placement.device_name!r}")
+        self.placements.append(placement)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def stage_latency(self, placement: Placement) -> float:
+        """Compute time of one stage batch on its device."""
+        device = self.devices[placement.device_name]
+        return placement.work / device.tier.compute_rate
+
+    def path_latency(self) -> float:
+        """End-to-end latency of the placed pipeline (stages in order).
+
+        Sums per-stage compute plus transfer between consecutive
+        stages' devices; co-located consecutive stages transfer freely.
+        """
+        if not self.placements:
+            raise ValueError("no stages placed")
+        total = 0.0
+        for index, placement in enumerate(self.placements):
+            total += self.stage_latency(placement)
+            if index + 1 < len(self.placements):
+                nxt = self.placements[index + 1]
+                if nxt.device_name != placement.device_name:
+                    key = (placement.device_name, nxt.device_name)
+                    if key not in self.links:
+                        raise ValueError(f"no link {key[0]} -> {key[1]}")
+                    total += self.links[key].transfer_time(placement.output_size)
+        return total
+
+    def meets_deadline(self, deadline: float) -> bool:
+        """The paper's condition (b) for the placed pipeline."""
+        return self.path_latency() <= deadline

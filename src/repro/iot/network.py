@@ -1,0 +1,96 @@
+"""Network topology simulation over networkx graphs.
+
+Models the connectivity layer of the IoT hierarchy: latency-weighted
+graphs, shortest-path end-to-end delay, and availability degradation
+when links fail — the "conditions in the field" that make input data
+latency and availability vary (paper Sec. I).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "build_topology",
+    "end_to_end_latency",
+    "degrade_links",
+    "reachable_fraction",
+    "star_of_stars",
+]
+
+
+def build_topology(
+    edges: Sequence[tuple[str, str, float]],
+) -> nx.Graph:
+    """Build an undirected latency-weighted topology.
+
+    ``edges`` are ``(u, v, latency_seconds)`` triples.
+    """
+    graph = nx.Graph()
+    for source, target, latency in edges:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        graph.add_edge(source, target, latency=float(latency))
+    return graph
+
+
+def star_of_stars(
+    n_gateways: int, devices_per_gateway: int, device_latency: float = 0.005,
+    gateway_latency: float = 0.02,
+) -> nx.Graph:
+    """The canonical IoT shape: devices -> gateways (edge) -> core."""
+    if n_gateways < 1 or devices_per_gateway < 1:
+        raise ValueError("need at least one gateway and one device")
+    edges: list[tuple[str, str, float]] = []
+    for g in range(n_gateways):
+        gateway = f"edge{g}"
+        edges.append(("core", gateway, gateway_latency))
+        for d in range(devices_per_gateway):
+            edges.append((gateway, f"dev{g}_{d}", device_latency))
+    return build_topology(edges)
+
+
+def end_to_end_latency(graph: nx.Graph, source: str, target: str) -> float:
+    """Shortest-path latency between two nodes (inf if disconnected)."""
+    for node in (source, target):
+        if node not in graph:
+            raise KeyError(f"node {node!r} not in topology")
+    try:
+        return float(
+            nx.shortest_path_length(graph, source, target, weight="latency")
+        )
+    except nx.NetworkXNoPath:
+        return float("inf")
+
+
+def degrade_links(
+    graph: nx.Graph, failure_rate: float, rng: np.random.Generator
+) -> nx.Graph:
+    """Return a copy of the topology with links independently failed."""
+    if not 0 <= failure_rate < 1:
+        raise ValueError("failure_rate must be in [0, 1)")
+    degraded = graph.copy()
+    doomed = [
+        edge for edge in degraded.edges if rng.random() < failure_rate
+    ]
+    degraded.remove_edges_from(doomed)
+    return degraded
+
+
+def reachable_fraction(graph: nx.Graph, sink: str, prefix: str = "dev") -> float:
+    """Fraction of ``prefix``-named nodes that can still reach the sink.
+
+    The availability metric behind the paper's "sand-dust of
+    heterogeneously distributed sensors not all of which are
+    operational at any given time".
+    """
+    devices = [node for node in graph.nodes if str(node).startswith(prefix)]
+    if not devices:
+        return 0.0
+    if sink not in graph:
+        return 0.0
+    reachable = nx.node_connected_component(graph, sink)
+    return sum(1 for device in devices if device in reachable) / len(devices)

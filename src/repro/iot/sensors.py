@@ -1,0 +1,101 @@
+"""Sensor models: imperfect measurement processes at the periphery.
+
+The paper (Sec. I): IoT data extraction "is rather far from an ideal
+statistical measurement process (e.g. the classic one, mapping a point
+value into a normally distributed measurement)", and "input data
+latency, availability, and veracity ... may widely vary, depending on
+the conditions in the field".  A :class:`Sensor` samples a ground-truth
+signal through exactly such a non-ideal channel: Gaussian noise, bias,
+drift, quantisation, dropout (availability), and its own asynchronous
+sampling clock with jitter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.integration import MeasurementStream
+
+__all__ = ["SensorSpec", "Sensor", "sample_clock"]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Imperfection parameters of one sensor channel."""
+
+    name: str
+    noise_sigma: float = 0.05
+    bias: float = 0.0
+    drift_rate: float = 0.0  # signal units per time unit
+    quantization_step: float = 0.0  # 0 disables quantisation
+    dropout_rate: float = 0.0  # probability a reading is lost
+    period: float = 1.0  # nominal sampling period
+    jitter: float = 0.0  # uniform clock jitter (fraction of period)
+    phase: float = 0.0  # clock offset
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        if not 0 <= self.dropout_rate < 1:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be a fraction of the period in [0, 1)")
+
+
+def sample_clock(
+    spec: SensorSpec, duration: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sampling instants of a jittered periodic clock over [0, duration)."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    nominal = np.arange(spec.phase, duration, spec.period)
+    if spec.jitter > 0 and nominal.size:
+        nominal = nominal + rng.uniform(
+            -spec.jitter * spec.period / 2,
+            spec.jitter * spec.period / 2,
+            size=nominal.size,
+        )
+        nominal = np.sort(np.clip(nominal, 0.0, duration))
+    return nominal
+
+
+class Sensor:
+    """A sensor observing a scalar signal ``f(t)`` through its channel."""
+
+    def __init__(self, spec: SensorSpec, signal: Callable[[np.ndarray], np.ndarray]):
+        self.spec = spec
+        self.signal = signal
+
+    def capture(
+        self, duration: float, rng: np.random.Generator
+    ) -> MeasurementStream:
+        """Sample the signal over [0, duration) through the channel.
+
+        Returns a time-stamped stream; dropped readings are simply
+        absent (availability loss), other imperfections distort values.
+        """
+        spec = self.spec
+        times = sample_clock(spec, duration, rng)
+        if times.size == 0:
+            raise ValueError("duration too short for one sample")
+        values = np.asarray(self.signal(times), dtype=float)
+        values = values + spec.bias + spec.drift_rate * times
+        if spec.noise_sigma > 0:
+            values = values + rng.normal(scale=spec.noise_sigma, size=values.shape)
+        if spec.quantization_step > 0:
+            values = np.round(values / spec.quantization_step) * spec.quantization_step
+        if spec.dropout_rate > 0:
+            keep = rng.random(times.size) >= spec.dropout_rate
+            if not keep.any():
+                keep[rng.integers(times.size)] = True
+            times, values = times[keep], values[keep]
+        return MeasurementStream(name=spec.name, timestamps=times, values=values)
+
+    def ideal(self, times: np.ndarray) -> np.ndarray:
+        """Ground-truth signal values (for error measurement)."""
+        return np.asarray(self.signal(np.asarray(times, dtype=float)), dtype=float)

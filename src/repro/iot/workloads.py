@@ -1,0 +1,203 @@
+"""Synthetic faceted IoT workloads with planted view structure.
+
+The paper's premise: IoT feature sets are "naturally endowed with a
+faceted structure" — groups of features coming from distinct sensors or
+modalities — and learners that exploit the facet partition should beat
+facet-blind ones.  These generators plant that structure explicitly so
+experiments can measure both accuracy and *partition recovery*:
+
+* each **informative** facet contributes a nonlinear within-facet signal
+  (radial or multiplicative), so features of one facet interact with
+  each other but combine additively across facets;
+* **noise** facets are pure nuisance dimensions that dilute a single
+  monolithic kernel but are isolated by a facet-aligned kernel bank;
+* **redundant** facets are noisy copies of an informative one.
+
+The returned ground truth includes the planted facet partition over
+column indices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.combinatorics.partitions import SetPartition
+
+__all__ = ["FacetSpec", "FacetedWorkload", "make_faceted_classification", "make_two_view_blobs"]
+
+
+@dataclass(frozen=True)
+class FacetSpec:
+    """Specification of one facet (sensor/modality feature group)."""
+
+    name: str
+    n_features: int
+    role: str = "informative"  # "informative" | "noise" | "redundant"
+    signal: str = "radial"  # "radial" | "product" | "linear"
+    weight: float = 1.0
+    noise_scale: float = 1.0
+    copies: str | None = None  # for redundant facets: name of the source facet
+
+    def __post_init__(self) -> None:
+        if self.n_features < 1:
+            raise ValueError("a facet needs at least one feature")
+        if self.role not in ("informative", "noise", "redundant"):
+            raise ValueError(f"unknown facet role {self.role!r}")
+        if self.signal not in ("radial", "product", "linear"):
+            raise ValueError(f"unknown facet signal {self.signal!r}")
+        if self.role == "redundant" and not self.copies:
+            raise ValueError("redundant facets must name the facet they copy")
+
+
+@dataclass
+class FacetedWorkload:
+    """A generated dataset plus its planted ground truth."""
+
+    X: np.ndarray
+    y: np.ndarray
+    view_columns: dict[str, tuple[int, ...]]
+    specs: tuple[FacetSpec, ...]
+    seed: int
+    signal_values: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    def true_partition(self) -> SetPartition:
+        """The planted facet partition over column indices."""
+        return SetPartition(list(self.view_columns.values()))
+
+    def view(self, name: str) -> np.ndarray:
+        """Columns of one facet."""
+        return self.X[:, list(self.view_columns[name])]
+
+
+def _facet_signal(spec: FacetSpec, Z: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Per-sample scalar signal of an informative facet, standardised."""
+    if spec.signal == "radial":
+        raw = np.sum(Z**2, axis=1)
+    elif spec.signal == "product":
+        raw = np.prod(Z[:, : min(2, Z.shape[1])], axis=1)
+    else:  # linear
+        direction = rng.normal(size=Z.shape[1])
+        direction /= np.linalg.norm(direction)
+        raw = Z @ direction
+    centred = raw - np.mean(raw)
+    scale = np.std(centred)
+    return centred / scale if scale > 0 else centred
+
+
+def make_faceted_classification(
+    n_samples: int,
+    specs: Sequence[FacetSpec],
+    seed: int = 0,
+    flip_fraction: float = 0.02,
+    threshold_quantile: float = 0.5,
+) -> FacetedWorkload:
+    """Generate a binary faceted classification task.
+
+    The label is the thresholded sum of the weighted facet signals,
+    with ``flip_fraction`` of the labels flipped to model veracity loss
+    at the periphery.  ``threshold_quantile=0.5`` balances the classes.
+    """
+    if n_samples < 4:
+        raise ValueError("need at least 4 samples")
+    if not 0 <= flip_fraction < 0.5:
+        raise ValueError("flip_fraction must be in [0, 0.5)")
+    specs = tuple(specs)
+    if not specs:
+        raise ValueError("need at least one facet")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError("facet names must be unique")
+
+    rng = np.random.default_rng(seed)
+    columns: dict[str, tuple[int, ...]] = {}
+    blocks: list[np.ndarray] = []
+    signals: dict[str, np.ndarray] = {}
+    raw_views: dict[str, np.ndarray] = {}
+    total = np.zeros(n_samples)
+    next_column = 0
+
+    for spec in specs:
+        if spec.role == "redundant":
+            if spec.copies not in raw_views:
+                raise ValueError(
+                    f"facet {spec.name!r} copies unknown facet {spec.copies!r}"
+                )
+            source = raw_views[spec.copies]
+            base = source[:, : spec.n_features]
+            if base.shape[1] < spec.n_features:
+                extra = rng.normal(size=(n_samples, spec.n_features - base.shape[1]))
+                base = np.hstack([base, extra])
+            Z = base + spec.noise_scale * rng.normal(size=base.shape) * 0.5
+        else:
+            Z = rng.normal(scale=spec.noise_scale, size=(n_samples, spec.n_features))
+        raw_views[spec.name] = Z
+        if spec.role == "informative":
+            signal = _facet_signal(spec, Z, rng)
+            signals[spec.name] = signal
+            total += spec.weight * signal
+        columns[spec.name] = tuple(range(next_column, next_column + spec.n_features))
+        next_column += spec.n_features
+        blocks.append(Z)
+
+    X = np.hstack(blocks)
+    threshold = np.quantile(total, threshold_quantile)
+    y = np.where(total > threshold, 1, -1)
+    n_flips = int(round(flip_fraction * n_samples))
+    if n_flips:
+        flip_indices = rng.choice(n_samples, size=n_flips, replace=False)
+        y[flip_indices] = -y[flip_indices]
+    return FacetedWorkload(
+        X=X,
+        y=y,
+        view_columns=columns,
+        specs=specs,
+        seed=seed,
+        signal_values=signals,
+    )
+
+
+def make_two_view_blobs(
+    n_samples: int,
+    n_features_per_view: int = 3,
+    separation: float = 2.0,
+    seed: int = 0,
+) -> FacetedWorkload:
+    """Two conditionally independent views of Gaussian class blobs.
+
+    The classic co-training setting: given the class, the views are
+    independent, and each view alone is (noisily) sufficient.
+    """
+    rng = np.random.default_rng(seed)
+    y = np.where(rng.random(n_samples) < 0.5, 1, -1)
+    centers = {}
+    for view_index in range(2):
+        direction = rng.normal(size=n_features_per_view)
+        direction /= np.linalg.norm(direction)
+        centers[view_index] = direction * separation / 2.0
+    views = []
+    for view_index in range(2):
+        noise = rng.normal(size=(n_samples, n_features_per_view))
+        views.append(noise + np.outer(y, centers[view_index]))
+    X = np.hstack(views)
+    columns = {
+        "view_a": tuple(range(n_features_per_view)),
+        "view_b": tuple(range(n_features_per_view, 2 * n_features_per_view)),
+    }
+    specs = (
+        FacetSpec("view_a", n_features_per_view, signal="linear"),
+        FacetSpec("view_b", n_features_per_view, signal="linear"),
+    )
+    return FacetedWorkload(
+        X=X, y=y, view_columns=columns, specs=specs, seed=seed
+    )

@@ -1,0 +1,69 @@
+"""Kernel substrate: standard kernels, Gram utilities, combinations,
+and the partition -> kernel-bank construction of the paper's Sec. III."""
+
+from repro.kernels.base import Kernel, SubsetKernel, as_2d
+from repro.kernels.combination import (
+    ProductKernel,
+    SumKernel,
+    combine_grams,
+    uniform_weights,
+    validate_weights,
+)
+from repro.kernels.gram import (
+    alignment,
+    center_gram,
+    centered_alignment,
+    frobenius_inner,
+    is_psd,
+    normalize_gram,
+    target_gram,
+)
+from repro.kernels.partition_kernel import PartitionKernelBank, default_block_kernel
+from repro.kernels.tuning import (
+    TuningResult,
+    alignment_objective,
+    cv_objective,
+    tune_kernel,
+    tune_polynomial,
+    tune_rbf,
+)
+from repro.kernels.standard import (
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    SigmoidKernel,
+    median_heuristic_gamma,
+)
+
+__all__ = [
+    "Kernel",
+    "SubsetKernel",
+    "as_2d",
+    "ProductKernel",
+    "SumKernel",
+    "combine_grams",
+    "uniform_weights",
+    "validate_weights",
+    "alignment",
+    "center_gram",
+    "centered_alignment",
+    "frobenius_inner",
+    "is_psd",
+    "normalize_gram",
+    "target_gram",
+    "PartitionKernelBank",
+    "default_block_kernel",
+    "LaplacianKernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "RBFKernel",
+    "SigmoidKernel",
+    "median_heuristic_gamma",
+    "TuningResult",
+    "alignment_objective",
+    "cv_objective",
+    "tune_kernel",
+    "tune_polynomial",
+    "tune_rbf",
+]

@@ -1,0 +1,106 @@
+"""Standard parametric kernels (paper Sec. II.A).
+
+Polynomial and radial-basis-function kernels are singled out by the
+paper as "parametric templates whose parameters can be found by
+optimization"; linear, Laplacian and sigmoid kernels complete the usual
+toolbox.  All are numpy-vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.kernels.base import Kernel
+
+__all__ = [
+    "LinearKernel",
+    "PolynomialKernel",
+    "RBFKernel",
+    "LaplacianKernel",
+    "SigmoidKernel",
+    "median_heuristic_gamma",
+]
+
+
+def median_heuristic_gamma(X: np.ndarray) -> float:
+    """Return ``1 / (2 * median^2)`` of the pairwise distances of ``X``.
+
+    The classic bandwidth heuristic for RBF kernels; falls back to 1.0
+    for degenerate samples (fewer than two distinct points).
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.shape[0] < 2:
+        return 1.0
+    distances = cdist(X, X)
+    positive = distances[distances > 0]
+    if positive.size == 0:
+        return 1.0
+    median = float(np.median(positive))
+    return 1.0 / (2.0 * median * median)
+
+
+class LinearKernel(Kernel):
+    """``k(x, z) = x . z``"""
+
+    def compute(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        return X @ Z.T
+
+
+class PolynomialKernel(Kernel):
+    """``k(x, z) = (gamma * x.z + coef0) ** degree``"""
+
+    def __init__(self, degree: int = 2, gamma: float = 1.0, coef0: float = 1.0):
+        if degree < 1:
+            raise ValueError("degree must be at least 1")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.degree = int(degree)
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def compute(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        return (self.gamma * (X @ Z.T) + self.coef0) ** self.degree
+
+
+class RBFKernel(Kernel):
+    """``k(x, z) = exp(-gamma * ||x - z||^2)``
+
+    With ``gamma=None`` the bandwidth is set per call by the median
+    heuristic on the left operand.
+    """
+
+    def __init__(self, gamma: float | None = 1.0):
+        if gamma is not None and gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = None if gamma is None else float(gamma)
+
+    def compute(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        gamma = self.gamma if self.gamma is not None else median_heuristic_gamma(X)
+        squared = cdist(X, Z, metric="sqeuclidean")
+        return np.exp(-gamma * squared)
+
+
+class LaplacianKernel(Kernel):
+    """``k(x, z) = exp(-gamma * ||x - z||_1)``"""
+
+    def __init__(self, gamma: float = 1.0):
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = float(gamma)
+
+    def compute(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        return np.exp(-self.gamma * cdist(X, Z, metric="cityblock"))
+
+
+class SigmoidKernel(Kernel):
+    """``k(x, z) = tanh(gamma * x.z + coef0)`` (not PSD in general)."""
+
+    def __init__(self, gamma: float = 0.01, coef0: float = 0.0):
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def compute(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        return np.tanh(self.gamma * (X @ Z.T) + self.coef0)

@@ -1,0 +1,27 @@
+"""Multiple kernel learning driven by the partition lattice (paper Sec. III)."""
+
+from repro.mkl.alignf import alignf_weights
+from repro.mkl.combiner import MultipleKernelClassifier, alignment_weights
+from repro.mkl.partition_search import (
+    AlignmentScorer,
+    CrossValScorer,
+    GramCache,
+    PartitionMKLSearch,
+    SearchResult,
+)
+from repro.mkl.seed import RoughSeedResult, roughset_seed_block
+from repro.mkl.smush import greedy_smush
+
+__all__ = [
+    "MultipleKernelClassifier",
+    "alignment_weights",
+    "alignf_weights",
+    "AlignmentScorer",
+    "CrossValScorer",
+    "GramCache",
+    "PartitionMKLSearch",
+    "SearchResult",
+    "RoughSeedResult",
+    "roughset_seed_block",
+    "greedy_smush",
+]

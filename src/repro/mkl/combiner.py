@@ -1,0 +1,126 @@
+"""Multiple-kernel classifiers: fixed-rule and alignment-weighted.
+
+Implements the two standard kernel-combination baselines the paper's
+partition-driven search is compared against (Gönen & Alpaydın's survey
+taxonomy, paper Sec. II.A):
+
+* **uniform** — the unweighted mean of the bank's Grams;
+* **alignment** — convex weights proportional to each kernel's positive
+  centred kernel-target alignment (Cortes-style "alignf" heuristic).
+
+The classifier on top is pluggable and defaults to the least-squares
+SVM, consuming precomputed Grams.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.analytics.lssvm import LSSVC
+from repro.kernels.base import Kernel, as_2d
+from repro.kernels.combination import combine_grams, uniform_weights
+from repro.kernels.gram import centered_alignment, normalize_gram, target_gram
+
+__all__ = ["alignment_weights", "MultipleKernelClassifier"]
+
+
+def alignment_weights(
+    grams: Sequence[np.ndarray], y: np.ndarray, epsilon: float = 1e-12
+) -> np.ndarray:
+    """Convex weights from positive centred alignments to the labels.
+
+    Kernels with non-positive alignment get weight 0; if none aligns
+    positively the weights fall back to uniform.
+    """
+    target = target_gram(np.asarray(y, dtype=float))
+    raw = np.asarray(
+        [max(0.0, centered_alignment(gram, target)) for gram in grams]
+    )
+    if raw.sum() <= epsilon:
+        return uniform_weights(len(list(grams)))
+    return raw / raw.sum()
+
+
+class MultipleKernelClassifier:
+    """Binary classifier over a bank of kernels.
+
+    Parameters
+    ----------
+    kernels:
+        The kernel bank (one kernel per facet/block).
+    weighting:
+        ``"uniform"`` or ``"alignment"``.
+    make_estimator:
+        Factory of a precomputed-Gram binary classifier; defaults to
+        ``LSSVC("precomputed")``.
+    normalize:
+        Cosine-normalise each Gram before combining.
+    """
+
+    def __init__(
+        self,
+        kernels: Sequence[Kernel],
+        weighting: str = "alignment",
+        make_estimator: Callable[[], object] | None = None,
+        normalize: bool = True,
+    ):
+        if weighting not in ("uniform", "alignment"):
+            raise ValueError("weighting must be 'uniform' or 'alignment'")
+        kernels = list(kernels)
+        if not kernels:
+            raise ValueError("need at least one kernel")
+        self.kernels = kernels
+        self.weighting = weighting
+        self.normalize = normalize
+        self.make_estimator = make_estimator or (
+            lambda: LSSVC("precomputed", gamma=10.0)
+        )
+        self.weights_: np.ndarray | None = None
+        self._estimator: object | None = None
+        self._train_X: np.ndarray | None = None
+
+    def _combined(self, X: np.ndarray, Z: np.ndarray | None) -> np.ndarray:
+        grams = [kernel(X, Z) for kernel in self.kernels]
+        assert self.weights_ is not None
+        if self.normalize and Z is not None:
+            # Cross-Grams cannot be cosine-normalised consistently, so
+            # normalisation uses the kernel's self-similarities instead.
+            normalized = []
+            for kernel, gram in zip(self.kernels, grams):
+                x_diag = np.sqrt(np.clip(np.einsum("ii->i", kernel(X)), 1e-12, None))
+                z_diag = np.sqrt(np.clip(np.einsum("ii->i", kernel(Z)), 1e-12, None))
+                normalized.append(gram / np.outer(x_diag, z_diag))
+            grams = normalized
+            return combine_grams(grams, self.weights_, normalize=False)
+        return combine_grams(grams, self.weights_, normalize=self.normalize)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MultipleKernelClassifier":
+        X = as_2d(X)
+        y = np.asarray(y)
+        self._train_X = X
+        grams = [kernel(X) for kernel in self.kernels]
+        if self.normalize:
+            grams = [normalize_gram(gram) for gram in grams]
+        if self.weighting == "uniform":
+            self.weights_ = uniform_weights(len(grams))
+        else:
+            self.weights_ = alignment_weights(grams, y)
+        combined = combine_grams(grams, self.weights_, normalize=False)
+        self._estimator = self.make_estimator()
+        self._estimator.fit(combined, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._estimator is None or self._train_X is None:
+            raise RuntimeError("fit must be called before predict")
+        X = as_2d(X)
+        cross = self._combined(X, self._train_X)
+        return self._estimator.predict(cross)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self._estimator is None or self._train_X is None:
+            raise RuntimeError("fit must be called before predict")
+        cross = self._combined(as_2d(X), self._train_X)
+        return self._estimator.decision_function(cross)

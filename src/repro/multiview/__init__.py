@@ -1,0 +1,8 @@
+"""Multi-view learning substrate: views, co-training, subspace (CCA)."""
+
+from repro.multiview.cotraining import CoTrainingClassifier
+from repro.multiview.fusion import LateFusionClassifier
+from repro.multiview.subspace import CCA
+from repro.multiview.views import FacetedDataset
+
+__all__ = ["CoTrainingClassifier", "LateFusionClassifier", "CCA", "FacetedDataset"]

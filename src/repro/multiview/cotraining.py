@@ -1,0 +1,151 @@
+"""Co-training on two views (Blum & Mitchell style).
+
+One of the three multi-view families the paper cites (Sec. I.A):
+"co-training algorithms pursue agreement between models trained on
+distinct views".  Two base learners are trained on their own views from
+a small labelled pool; each round, every learner labels the unlabelled
+examples it is most confident about and donates them to the shared
+pool, until the pool is exhausted or the budget runs out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.analytics.naive_bayes import GaussianNB
+
+__all__ = ["CoTrainingClassifier"]
+
+
+def _confidence(estimator, X: np.ndarray) -> np.ndarray:
+    """Per-sample confidence in the predicted label."""
+    if hasattr(estimator, "predict_proba"):
+        probabilities = np.asarray(estimator.predict_proba(X), dtype=float)
+        return probabilities.max(axis=1)
+    if hasattr(estimator, "decision_function"):
+        return np.abs(np.asarray(estimator.decision_function(X), dtype=float))
+    raise TypeError("estimator must expose predict_proba or decision_function")
+
+
+class CoTrainingClassifier:
+    """Semi-supervised two-view classifier by iterated label exchange.
+
+    Parameters
+    ----------
+    make_estimator:
+        Factory of fresh per-view base learners (default GaussianNB).
+    n_rounds:
+        Maximum co-training rounds.
+    per_round:
+        Unlabelled examples each view promotes per round (per class,
+        balanced: the most confident positive and negative).
+    """
+
+    def __init__(
+        self,
+        make_estimator: Callable[[], object] | None = None,
+        n_rounds: int = 10,
+        per_round: int = 2,
+    ):
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be positive")
+        if per_round < 1:
+            raise ValueError("per_round must be positive")
+        self.make_estimator = make_estimator or (lambda: GaussianNB())
+        self.n_rounds = int(n_rounds)
+        self.per_round = int(per_round)
+        self._models: list[object] = []
+        self._view_slices: list[np.ndarray] | None = None
+        self.rounds_run_: int = 0
+        self.n_promoted_: int = 0
+
+    def fit(
+        self,
+        view_a: np.ndarray,
+        view_b: np.ndarray,
+        y: np.ndarray,
+        labeled_mask: np.ndarray,
+    ) -> "CoTrainingClassifier":
+        """Train from partially labelled data.
+
+        ``y`` gives labels for rows where ``labeled_mask`` is True; the
+        other entries are ignored (may be anything).
+        """
+        view_a = np.asarray(view_a, dtype=float)
+        view_b = np.asarray(view_b, dtype=float)
+        y = np.asarray(y)
+        labeled_mask = np.asarray(labeled_mask, dtype=bool)
+        if not (view_a.shape[0] == view_b.shape[0] == y.shape[0] == labeled_mask.shape[0]):
+            raise ValueError("views, labels and mask must align")
+        if labeled_mask.sum() < 2:
+            raise ValueError("need at least two labelled examples")
+
+        working_labels = y.copy()
+        labeled = labeled_mask.copy()
+        classes = sorted(set(y[labeled_mask].tolist()))
+        if len(classes) != 2:
+            raise ValueError("co-training here supports exactly two classes")
+
+        views = [view_a, view_b]
+        models = [self.make_estimator(), self.make_estimator()]
+        self.rounds_run_ = 0
+        self.n_promoted_ = 0
+        for _ in range(self.n_rounds):
+            unlabeled = np.flatnonzero(~labeled)
+            if unlabeled.size == 0:
+                break
+            for model, view in zip(models, views):
+                model.fit(view[labeled], working_labels[labeled])
+            promoted_any = False
+            for model, view in zip(models, views):
+                predictions = model.predict(view[unlabeled])
+                confidence = _confidence(model, view[unlabeled])
+                for cls in classes:
+                    members = np.flatnonzero(predictions == cls)
+                    if members.size == 0:
+                        continue
+                    order = members[np.argsort(-confidence[members])]
+                    for pick in order[: self.per_round]:
+                        index = unlabeled[pick]
+                        if labeled[index]:
+                            continue
+                        labeled[index] = True
+                        working_labels[index] = cls
+                        promoted_any = True
+                        self.n_promoted_ += 1
+                unlabeled = np.flatnonzero(~labeled)
+                if unlabeled.size == 0:
+                    break
+            self.rounds_run_ += 1
+            if not promoted_any:
+                break
+        for model, view in zip(models, views):
+            model.fit(view[labeled], working_labels[labeled])
+        self._models = models
+        return self
+
+    def predict(self, view_a: np.ndarray, view_b: np.ndarray) -> np.ndarray:
+        """Combine the two view models (probability product when available)."""
+        if not self._models:
+            raise RuntimeError("fit must be called before predict")
+        model_a, model_b = self._models
+        if hasattr(model_a, "predict_proba") and hasattr(model_b, "predict_proba"):
+            prob_a = np.asarray(model_a.predict_proba(np.asarray(view_a, dtype=float)))
+            prob_b = np.asarray(model_b.predict_proba(np.asarray(view_b, dtype=float)))
+            joint = prob_a * prob_b
+            classes = model_a.classes_
+            return np.asarray([classes[i] for i in np.argmax(joint, axis=1)])
+        predictions_a = self._models[0].predict(view_a)
+        predictions_b = self._models[1].predict(view_b)
+        # Fall back to view A on disagreement.
+        return np.where(predictions_a == predictions_b, predictions_a, predictions_a)
+
+    def agreement(self, view_a: np.ndarray, view_b: np.ndarray) -> float:
+        """Fraction of samples on which the two view models agree."""
+        if not self._models:
+            raise RuntimeError("fit must be called before predict")
+        predictions_a = self._models[0].predict(view_a)
+        predictions_b = self._models[1].predict(view_b)
+        return float(np.mean(predictions_a == predictions_b))

@@ -1,0 +1,112 @@
+"""Shared latent subspace learning via canonical correlation analysis.
+
+The third multi-view family the paper cites (Sec. I.A): "subspace
+learning algorithms try to identify a latent subspace shared by
+multiple views by assuming that the input views are generated from
+it".  CCA is implemented from scratch on scipy.linalg: regularised
+whitening of each view followed by an SVD of the cross-covariance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["CCA"]
+
+
+class CCA:
+    """Two-view canonical correlation analysis.
+
+    Parameters
+    ----------
+    n_components:
+        Dimension of the shared subspace.
+    regularization:
+        Ridge added to each view's covariance (helps when features
+        outnumber samples, common for IoT bursts).
+    """
+
+    def __init__(self, n_components: int = 2, regularization: float = 1e-6):
+        if n_components < 1:
+            raise ValueError("n_components must be positive")
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.n_components = int(n_components)
+        self.regularization = float(regularization)
+        self.weights_a_: np.ndarray | None = None
+        self.weights_b_: np.ndarray | None = None
+        self.correlations_: np.ndarray | None = None
+        self._mean_a: np.ndarray | None = None
+        self._mean_b: np.ndarray | None = None
+
+    @staticmethod
+    def _inv_sqrt(matrix: np.ndarray) -> np.ndarray:
+        eigenvalues, eigenvectors = linalg.eigh(matrix)
+        eigenvalues = np.clip(eigenvalues, 1e-12, None)
+        return eigenvectors @ np.diag(eigenvalues**-0.5) @ eigenvectors.T
+
+    def fit(self, view_a: np.ndarray, view_b: np.ndarray) -> "CCA":
+        A = np.asarray(view_a, dtype=float)
+        B = np.asarray(view_b, dtype=float)
+        if A.ndim != 2 or B.ndim != 2:
+            raise ValueError("views must be 2-D")
+        if A.shape[0] != B.shape[0]:
+            raise ValueError("views must have the same number of rows")
+        n = A.shape[0]
+        if n < 2:
+            raise ValueError("need at least two samples")
+        limit = min(A.shape[1], B.shape[1])
+        if self.n_components > limit:
+            raise ValueError(
+                f"n_components={self.n_components} exceeds min view width {limit}"
+            )
+        self._mean_a = A.mean(axis=0)
+        self._mean_b = B.mean(axis=0)
+        A = A - self._mean_a
+        B = B - self._mean_b
+        cov_aa = (A.T @ A) / (n - 1) + self.regularization * np.eye(A.shape[1])
+        cov_bb = (B.T @ B) / (n - 1) + self.regularization * np.eye(B.shape[1])
+        cov_ab = (A.T @ B) / (n - 1)
+        whiten_a = self._inv_sqrt(cov_aa)
+        whiten_b = self._inv_sqrt(cov_bb)
+        core = whiten_a @ cov_ab @ whiten_b
+        left, singular_values, right_t = linalg.svd(core, full_matrices=False)
+        k = self.n_components
+        self.weights_a_ = whiten_a @ left[:, :k]
+        self.weights_b_ = whiten_b @ right_t[:k].T
+        self.correlations_ = np.clip(singular_values[:k], 0.0, 1.0)
+        return self
+
+    def transform(
+        self, view_a: np.ndarray | None = None, view_b: np.ndarray | None = None
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Project one or both views into the shared subspace."""
+        if self.weights_a_ is None or self.weights_b_ is None:
+            raise RuntimeError("fit must be called before transform")
+        projected_a = None
+        projected_b = None
+        if view_a is not None:
+            A = np.asarray(view_a, dtype=float) - self._mean_a
+            projected_a = A @ self.weights_a_
+        if view_b is not None:
+            B = np.asarray(view_b, dtype=float) - self._mean_b
+            projected_b = B @ self.weights_b_
+        return projected_a, projected_b
+
+    def fit_transform(
+        self, view_a: np.ndarray, view_b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fit and return both projections."""
+        self.fit(view_a, view_b)
+        projected_a, projected_b = self.transform(view_a, view_b)
+        assert projected_a is not None and projected_b is not None
+        return projected_a, projected_b
+
+    def shared_representation(
+        self, view_a: np.ndarray, view_b: np.ndarray
+    ) -> np.ndarray:
+        """Average of the two projections — the latent code estimate."""
+        projected_a, projected_b = self.transform(view_a, view_b)
+        assert projected_a is not None and projected_b is not None
+        return (projected_a + projected_b) / 2.0

@@ -1,0 +1,133 @@
+"""Data preparation: normalisation, noise identification, cleaning.
+
+The paper lists the preparation sub-phase tasks explicitly (Sec. IV):
+"data normalization, missing value imputation, noise identification,
+data cleaning, data transformation and data integration".  Imputation
+and integration have their own modules; this one covers the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ZScoreNormalizer",
+    "MinMaxNormalizer",
+    "zscore_outliers",
+    "hampel_outliers",
+    "mask_outliers",
+    "deduplicate_rows",
+]
+
+
+class ZScoreNormalizer:
+    """Standardise columns to zero mean / unit variance (NaN-aware)."""
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "ZScoreNormalizer":
+        X = np.asarray(X, dtype=float)
+        with np.errstate(all="ignore"):
+            self._mean = np.nanmean(X, axis=0)
+            self._std = np.nanstd(X, axis=0)
+        self._mean = np.where(np.isnan(self._mean), 0.0, self._mean)
+        self._std = np.where(
+            np.isnan(self._std) | (self._std <= 0), 1.0, self._std
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._mean is None or self._std is None:
+            raise RuntimeError("fit must be called before transform")
+        return (np.asarray(X, dtype=float) - self._mean) / self._std
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MinMaxNormalizer:
+    """Rescale columns into [0, 1] (NaN-aware)."""
+
+    def __init__(self) -> None:
+        self._low: np.ndarray | None = None
+        self._span: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxNormalizer":
+        X = np.asarray(X, dtype=float)
+        with np.errstate(all="ignore"):
+            self._low = np.nanmin(X, axis=0)
+            high = np.nanmax(X, axis=0)
+        self._low = np.where(np.isnan(self._low), 0.0, self._low)
+        high = np.where(np.isnan(high), 1.0, high)
+        span = high - self._low
+        self._span = np.where(span <= 0, 1.0, span)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._low is None or self._span is None:
+            raise RuntimeError("fit must be called before transform")
+        return (np.asarray(X, dtype=float) - self._low) / self._span
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def zscore_outliers(X: np.ndarray, threshold: float = 3.0) -> np.ndarray:
+    """Boolean mask of cells more than ``threshold`` stds from the mean."""
+    X = np.asarray(X, dtype=float)
+    with np.errstate(all="ignore"):
+        mean = np.nanmean(X, axis=0)
+        std = np.nanstd(X, axis=0)
+    std = np.where(std <= 0, np.inf, std)
+    with np.errstate(invalid="ignore"):
+        mask = np.abs(X - mean) > threshold * std
+    return mask & ~np.isnan(X)
+
+
+def hampel_outliers(X: np.ndarray, threshold: float = 3.0) -> np.ndarray:
+    """Robust (median/MAD) outlier mask — resists the outliers themselves."""
+    import warnings
+
+    X = np.asarray(X, dtype=float)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        median = np.nanmedian(X, axis=0)
+        mad = np.nanmedian(np.abs(X - median), axis=0)
+    median = np.where(np.isnan(median), 0.0, median)
+    mad = np.where(np.isnan(mad), 0.0, mad)
+    scale = 1.4826 * mad  # consistent with sigma under normality
+    scale = np.where(scale <= 0, np.inf, scale)
+    with np.errstate(invalid="ignore"):
+        mask = np.abs(X - median) > threshold * scale
+    return mask & ~np.isnan(X)
+
+
+def mask_outliers(X: np.ndarray, outlier_mask: np.ndarray) -> np.ndarray:
+    """Replace flagged cells with NaN (to be handled by imputation)."""
+    X = np.array(X, dtype=float, copy=True)
+    if outlier_mask.shape != X.shape:
+        raise ValueError("mask shape must match data shape")
+    X[outlier_mask] = np.nan
+    return X
+
+
+def deduplicate_rows(
+    X: np.ndarray, decimals: int = 9
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop duplicate rows (after rounding); returns (data, kept_indices).
+
+    NaNs compare equal to each other, so repeated incomplete records
+    collapse too.
+    """
+    X = np.asarray(X, dtype=float)
+    seen: dict[tuple, int] = {}
+    kept: list[int] = []
+    for index, row in enumerate(np.round(X, decimals)):
+        key = tuple("nan" if np.isnan(v) else v for v in row)
+        if key not in seen:
+            seen[key] = index
+            kept.append(index)
+    kept_array = np.asarray(kept, dtype=int)
+    return X[kept_array], kept_array

@@ -1,0 +1,311 @@
+"""Missing-value strategies: imputers and the per-pattern model family.
+
+Sec. IV.A of the paper poses the single player's dilemma for a dataset
+"plagued by missing values":
+
+* "resort to the imputation of convenient substitutes for the missing
+  data and accept the consequent inaccuracies in the prediction", or
+* "avoid missing data imputation altogether and learn as many different
+  models as the combination of available features".
+
+The imputers cover the first arm (mean/median/constant, hot-deck, kNN,
+temporal interpolation); :class:`PerPatternModel` implements the second
+arm, exposing the model-count cost that the player's optimisation must
+balance against accuracy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.analytics.knn import nan_euclidean_distances
+
+__all__ = [
+    "MeanImputer",
+    "MedianImputer",
+    "ConstantImputer",
+    "HotDeckImputer",
+    "KNNImputer",
+    "InterpolationImputer",
+    "missingness_patterns",
+    "PerPatternModel",
+]
+
+
+def _nan_column_means(X: np.ndarray) -> np.ndarray:
+    """Column means ignoring NaN; all-missing columns fall back to 0."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        means = np.nanmean(X, axis=0)
+    return np.where(np.isnan(means), 0.0, means)
+
+
+class _StatisticImputer:
+    """Column-statistic imputation base (fit stores the statistics)."""
+
+    def __init__(self) -> None:
+        self._fill: np.ndarray | None = None
+
+    def _statistic(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit(self, X: np.ndarray) -> "_StatisticImputer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            fill = self._statistic(X)
+        # Columns that are entirely missing fall back to zero.
+        self._fill = np.where(np.isnan(fill), 0.0, fill)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._fill is None:
+            raise RuntimeError("fit must be called before transform")
+        X = np.array(X, dtype=float, copy=True)
+        if X.shape[1] != self._fill.size:
+            raise ValueError("column count changed between fit and transform")
+        rows, cols = np.where(np.isnan(X))
+        X[rows, cols] = self._fill[cols]
+        return X
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MeanImputer(_StatisticImputer):
+    """Replace missing cells by the column mean."""
+
+    def _statistic(self, X: np.ndarray) -> np.ndarray:
+        return np.nanmean(X, axis=0)
+
+
+class MedianImputer(_StatisticImputer):
+    """Replace missing cells by the column median."""
+
+    def _statistic(self, X: np.ndarray) -> np.ndarray:
+        return np.nanmedian(X, axis=0)
+
+
+class ConstantImputer(_StatisticImputer):
+    """Replace missing cells by a fixed value."""
+
+    def __init__(self, value: float = 0.0):
+        super().__init__()
+        self.value = float(value)
+
+    def _statistic(self, X: np.ndarray) -> np.ndarray:
+        return np.full(X.shape[1], self.value)
+
+
+class HotDeckImputer:
+    """Copy missing cells from the most similar donor row.
+
+    Similarity is NaN-aware Euclidean distance; donors must observe the
+    cell being filled.  Falls back to the column mean when no donor
+    observes it.
+    """
+
+    def __init__(self) -> None:
+        self._donors: np.ndarray | None = None
+        self._fallback: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "HotDeckImputer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self._donors = X.copy()
+        self._fallback = _nan_column_means(X)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._donors is None or self._fallback is None:
+            raise RuntimeError("fit must be called before transform")
+        X = np.array(X, dtype=float, copy=True)
+        incomplete = np.flatnonzero(np.isnan(X).any(axis=1))
+        if incomplete.size == 0:
+            return X
+        distances = nan_euclidean_distances(X[incomplete], self._donors)
+        for position, row_index in enumerate(incomplete):
+            order = np.argsort(distances[position])
+            missing_columns = np.flatnonzero(np.isnan(X[row_index]))
+            for column in missing_columns:
+                filled = False
+                for donor in order:
+                    value = self._donors[donor, column]
+                    if not np.isnan(value):
+                        X[row_index, column] = value
+                        filled = True
+                        break
+                if not filled:
+                    X[row_index, column] = self._fallback[column]
+        return X
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class KNNImputer:
+    """Fill missing cells with the mean of the k nearest observed donors."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self._donors: np.ndarray | None = None
+        self._fallback: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "KNNImputer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self._donors = X.copy()
+        self._fallback = _nan_column_means(X)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._donors is None or self._fallback is None:
+            raise RuntimeError("fit must be called before transform")
+        X = np.array(X, dtype=float, copy=True)
+        incomplete = np.flatnonzero(np.isnan(X).any(axis=1))
+        if incomplete.size == 0:
+            return X
+        distances = nan_euclidean_distances(X[incomplete], self._donors)
+        for position, row_index in enumerate(incomplete):
+            order = np.argsort(distances[position])
+            for column in np.flatnonzero(np.isnan(X[row_index])):
+                values = []
+                for donor in order:
+                    value = self._donors[donor, column]
+                    if not np.isnan(value):
+                        values.append(value)
+                        if len(values) == self.k:
+                            break
+                X[row_index, column] = (
+                    float(np.mean(values)) if values else self._fallback[column]
+                )
+        return X
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class InterpolationImputer:
+    """Linear interpolation down each column (rows ordered by time).
+
+    The natural imputer for the merged sensor streams of the paper's
+    integration example; note it *introduces artificial autocorrelation*
+    in the series, one of the biases the paper lists (Sec. I.B).
+    """
+
+    def fit(self, X: np.ndarray) -> "InterpolationImputer":
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.array(X, dtype=float, copy=True)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        rows = np.arange(X.shape[0], dtype=float)
+        for column in range(X.shape[1]):
+            series = X[:, column]
+            observed = ~np.isnan(series)
+            if observed.all():
+                continue
+            if not observed.any():
+                X[:, column] = 0.0
+                continue
+            X[:, column] = np.interp(rows, rows[observed], series[observed])
+        return X
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.transform(X)
+
+
+def missingness_patterns(X: np.ndarray) -> dict[tuple[int, ...], np.ndarray]:
+    """Group row indices by their observed-column pattern.
+
+    Keys are the sorted tuples of *observed* column indices; values are
+    arrays of row indices sharing that pattern.
+    """
+    X = np.asarray(X, dtype=float)
+    patterns: dict[tuple[int, ...], list[int]] = {}
+    for index, row in enumerate(X):
+        key = tuple(int(c) for c in np.flatnonzero(~np.isnan(row)))
+        patterns.setdefault(key, []).append(index)
+    return {key: np.asarray(rows) for key, rows in patterns.items()}
+
+
+class PerPatternModel:
+    """One model per observed-feature combination (Sec. IV.A, arm two).
+
+    For every missingness pattern in the training data, a dedicated
+    model is trained on the rows *fully observed* on that pattern's
+    columns, using only those columns.  ``n_models_`` is the model-count
+    cost the single player weighs against imputation inaccuracy.
+    Prediction routes each row to the model of its own pattern, falling
+    back to the largest trained sub-pattern and finally to the majority
+    class.
+    """
+
+    def __init__(self, make_estimator: Callable[[], object], min_rows: int = 5):
+        self.make_estimator = make_estimator
+        self.min_rows = int(min_rows)
+        self._models: dict[tuple[int, ...], object] = {}
+        self._majority = None
+        self.n_models_ = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PerPatternModel":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y must align")
+        values, counts = np.unique(y, return_counts=True)
+        self._majority = values[np.argmax(counts)]
+        self._models = {}
+        for pattern in missingness_patterns(X):
+            if not pattern:
+                continue
+            columns = list(pattern)
+            rows = np.flatnonzero(~np.isnan(X[:, columns]).any(axis=1))
+            if rows.size < self.min_rows or np.unique(y[rows]).size < 2:
+                continue
+            model = self.make_estimator()
+            model.fit(X[np.ix_(rows, columns)], y[rows])
+            self._models[pattern] = model
+        self.n_models_ = len(self._models)
+        return self
+
+    def _model_for(self, observed: tuple[int, ...]):
+        if observed in self._models:
+            return observed, self._models[observed]
+        # Largest trained pattern fully contained in the observed set.
+        candidates = [
+            pattern
+            for pattern in self._models
+            if set(pattern) <= set(observed)
+        ]
+        if not candidates:
+            return None, None
+        best = max(candidates, key=len)
+        return best, self._models[best]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._majority is None:
+            raise RuntimeError("fit must be called before predict")
+        X = np.asarray(X, dtype=float)
+        predictions = []
+        for row in X:
+            observed = tuple(int(c) for c in np.flatnonzero(~np.isnan(row)))
+            pattern, model = self._model_for(observed)
+            if model is None:
+                predictions.append(self._majority)
+            else:
+                predictions.append(model.predict(row[list(pattern)].reshape(1, -1))[0])
+        return np.asarray(predictions)

@@ -1,0 +1,133 @@
+"""Provenance graphs: the pipeline's chain of trust as a DAG.
+
+The paper's integrated design should "provide a clear foundation for a
+chain of trust in the ML-based analytics outcome" (Sec. I.B).  A
+:class:`ProvenanceGraph` renders one pipeline run as a directed acyclic
+graph — data states as nodes, stages as edges annotated with their
+declared perturbations and costs — and supports the queries a trust
+auditor needs: which stages could have introduced a given damage class,
+what is the cumulative declared uncertainty at any state, and is any
+undeclared gap present (a stage that changed missingness without
+recording anything in the ledger).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.pipeline.composition import PipelineRun
+
+__all__ = ["ProvenanceGraph"]
+
+
+class ProvenanceGraph:
+    """DAG view over a :class:`PipelineRun`."""
+
+    def __init__(self, run: PipelineRun):
+        self.run = run
+        graph = nx.DiGraph()
+        graph.add_node("raw", kind="state", missing_rate=None)
+        previous = "raw"
+        ledger_by_stage: dict[str, list[dict]] = {}
+        for entry in run.ledger.entries:
+            ledger_by_stage.setdefault(entry.stage, []).append(
+                {"source": entry.source, **entry.effect}
+            )
+        for index, report in enumerate(run.reports):
+            state = f"state_{index + 1}"
+            graph.add_node(
+                state,
+                kind="state",
+                missing_rate=report.quality.get("missing_rate_after"),
+                n_samples=report.quality.get("n_samples"),
+                n_features=report.quality.get("n_features"),
+            )
+            graph.add_edge(
+                previous,
+                state,
+                stage=report.name,
+                stage_kind=report.kind,
+                cost=report.cost,
+                declared=ledger_by_stage.get(report.name, []),
+                missing_before=report.quality.get("missing_rate_before"),
+                missing_after=report.quality.get("missing_rate_after"),
+            )
+            previous = state
+        self.graph = graph
+        self.final_state = previous
+
+    # ------------------------------------------------------------------
+
+    def stages(self) -> list[str]:
+        """Stage names in execution order."""
+        return [data["stage"] for _, _, data in self.graph.edges(data=True)]
+
+    def lineage(self) -> list[tuple[str, str]]:
+        """(stage, kind) pairs from raw data to the analytics input."""
+        return [
+            (data["stage"], data["stage_kind"])
+            for _, _, data in self.graph.edges(data=True)
+        ]
+
+    def stages_declaring(self, effect_key: str) -> list[str]:
+        """Stages whose ledger entries mention the given effect key.
+
+        E.g. ``"missingness_added"`` or ``"variance_added"`` — the
+        auditor's "who could have caused this?" query.
+        """
+        culprits = []
+        for _, _, data in self.graph.edges(data=True):
+            if any(effect_key in effect for effect in data["declared"]):
+                culprits.append(data["stage"])
+        return culprits
+
+    def cumulative_variance_at(self, state: str) -> float:
+        """Declared additive variance accumulated up to a state node."""
+        if state not in self.graph:
+            raise KeyError(f"unknown state {state!r}")
+        total = 0.0
+        current = "raw"
+        while current != state:
+            successors = list(self.graph.successors(current))
+            if not successors:
+                break
+            next_state = successors[0]
+            edge = self.graph.edges[current, next_state]
+            total += sum(
+                effect.get("variance_added", 0.0) for effect in edge["declared"]
+            )
+            current = next_state
+        return total
+
+    def undeclared_gaps(self) -> list[str]:
+        """Stages that changed missingness but declared nothing.
+
+        These are the trust holes the paper warns about: manipulation
+        whose uncertainty is not tracked ("one can keep track of the
+        uncertainty ... only to some point").
+        """
+        gaps = []
+        for _, _, data in self.graph.edges(data=True):
+            before = data.get("missing_before") or 0.0
+            after = data.get("missing_after") or 0.0
+            changed = abs(after - before) > 1e-12
+            if changed and not data["declared"]:
+                gaps.append(data["stage"])
+        return gaps
+
+    def render(self) -> str:
+        """ASCII rendering of the chain of trust."""
+        lines = ["raw"]
+        for _, target, data in self.graph.edges(data=True):
+            declared = (
+                "; ".join(
+                    ", ".join(f"{k}={v}" for k, v in effect.items())
+                    for effect in data["declared"]
+                )
+                or "nothing declared"
+            )
+            lines.append(f"  |  {data['stage']} ({data['stage_kind']}) — {declared}")
+            missing = self.graph.nodes[target].get("missing_rate")
+            suffix = "" if missing is None else f"  [missing {missing:.1%}]"
+            lines.append(f"  v {target}{suffix}")
+        return "\n".join(lines)

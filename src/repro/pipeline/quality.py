@@ -1,0 +1,165 @@
+"""Data-quality metrics: the preprocessing phase's objective function.
+
+The paper (Sec. IV): "The typical goal of the data preprocessing phase
+consists in improving the quality of the data coming from the data
+acquisition phase and yielding a final dataset which can be considered
+in some sense 'correct'".  To optimise — or to play games over — that
+goal, it must be measurable.  This module scores a dataset on the
+standard quality dimensions:
+
+* **completeness** — fraction of observed cells;
+* **outlier cleanliness** — 1 − robust (Hampel) outlier rate;
+* **uniqueness** — 1 − duplicate-row rate;
+* **consistency** — agreement of same-timestamp records;
+* **timeliness** — freshness of the latest record per sensor given a
+  staleness budget.
+
+A :class:`QualityVector` aggregates them (weighted geometric mean, so
+one dead dimension cannot be averaged away), which is exactly the kind
+of scalar the preprocessing player's utility can pay for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.cleaning import hampel_outliers
+
+__all__ = ["QualityVector", "assess_quality"]
+
+
+@dataclass(frozen=True)
+class QualityVector:
+    """Scores in [0, 1] per quality dimension."""
+
+    completeness: float
+    outlier_cleanliness: float
+    uniqueness: float
+    consistency: float
+    timeliness: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "completeness": self.completeness,
+            "outlier_cleanliness": self.outlier_cleanliness,
+            "uniqueness": self.uniqueness,
+            "consistency": self.consistency,
+            "timeliness": self.timeliness,
+        }
+
+    def overall(self, weights: dict[str, float] | None = None) -> float:
+        """Weighted geometric mean of the dimensions.
+
+        The geometric mean makes quality *conjunctive*: a dataset that
+        is complete but wildly inconsistent is not half-good.
+        """
+        values = self.as_dict()
+        if weights is None:
+            weights = {name: 1.0 for name in values}
+        unknown = set(weights) - set(values)
+        if unknown:
+            raise ValueError(f"unknown quality dimensions: {sorted(unknown)}")
+        total_weight = sum(weights.values())
+        if total_weight <= 0:
+            raise ValueError("weights must be positive overall")
+        log_sum = 0.0
+        for name, weight in weights.items():
+            log_sum += weight * np.log(max(values[name], 1e-12))
+        return float(np.exp(log_sum / total_weight))
+
+
+def _completeness(X: np.ndarray) -> float:
+    return float(1.0 - np.mean(np.isnan(X))) if X.size else 1.0
+
+
+def _outlier_cleanliness(X: np.ndarray) -> float:
+    observed = ~np.isnan(X)
+    n_observed = int(observed.sum())
+    if n_observed == 0:
+        return 1.0
+    flagged = int(hampel_outliers(X, threshold=3.5).sum())
+    return float(1.0 - flagged / n_observed)
+
+
+def _uniqueness(X: np.ndarray) -> float:
+    if X.shape[0] == 0:
+        return 1.0
+    seen: set[tuple] = set()
+    duplicates = 0
+    for row in np.round(X, 9):
+        key = tuple("nan" if np.isnan(v) else v for v in row)
+        if key in seen:
+            duplicates += 1
+        else:
+            seen.add(key)
+    return float(1.0 - duplicates / X.shape[0])
+
+
+def _consistency(X: np.ndarray, timestamps: np.ndarray | None) -> float:
+    """Same-timestamp records should agree where both observe a cell."""
+    if timestamps is None or X.shape[0] == 0:
+        return 1.0
+    timestamps = np.asarray(timestamps, dtype=float)
+    if timestamps.shape[0] != X.shape[0]:
+        raise ValueError("timestamps must align with rows")
+    conflicts = 0
+    comparisons = 0
+    order = np.argsort(timestamps, kind="stable")
+    sorted_times = timestamps[order]
+    sorted_X = X[order]
+    start = 0
+    for end in range(1, len(sorted_times) + 1):
+        if end == len(sorted_times) or sorted_times[end] != sorted_times[start]:
+            group = sorted_X[start:end]
+            if group.shape[0] > 1:
+                for column in range(group.shape[1]):
+                    values = group[:, column]
+                    values = values[~np.isnan(values)]
+                    if values.size > 1:
+                        comparisons += 1
+                        spread = values.max() - values.min()
+                        scale = max(abs(values).max(), 1e-9)
+                        if spread / scale > 1e-6:
+                            conflicts += 1
+            start = end
+    if comparisons == 0:
+        return 1.0
+    return float(1.0 - conflicts / comparisons)
+
+
+def _timeliness(
+    timestamps: np.ndarray | None, now: float | None, staleness_budget: float
+) -> float:
+    if timestamps is None or len(np.asarray(timestamps)) == 0:
+        return 1.0
+    timestamps = np.asarray(timestamps, dtype=float)
+    reference = float(timestamps.max()) if now is None else float(now)
+    age = reference - float(timestamps.max())
+    if staleness_budget <= 0:
+        raise ValueError("staleness_budget must be positive")
+    return float(np.clip(1.0 - age / staleness_budget, 0.0, 1.0))
+
+
+def assess_quality(
+    X: np.ndarray,
+    timestamps: np.ndarray | None = None,
+    now: float | None = None,
+    staleness_budget: float = 60.0,
+) -> QualityVector:
+    """Score a dataset on all five quality dimensions.
+
+    ``now`` defaults to the newest timestamp (age 0); pass the current
+    simulation time to penalise stale captures.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    return QualityVector(
+        completeness=_completeness(X),
+        outlier_cleanliness=_outlier_cleanliness(X),
+        uniqueness=_uniqueness(X),
+        consistency=_consistency(X, timestamps),
+        timeliness=_timeliness(timestamps, now, staleness_budget),
+    )

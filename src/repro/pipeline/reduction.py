@@ -1,0 +1,160 @@
+"""Data reduction: instance selection, feature selection, discretisation.
+
+The paper (Sec. IV): "Data reduction includes tasks such as
+instance-selection, feature-selection, and discretization."  These
+operators shrink the reconstructed dataset before analytics, trading
+information for cost — one of the preprocessing player's levers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.roughsets.discretization import discretize
+
+__all__ = [
+    "random_instance_selection",
+    "stratified_instance_selection",
+    "condensed_instance_selection",
+    "variance_threshold_features",
+    "correlation_filter_features",
+    "information_gain_features",
+    "discretize_matrix",
+]
+
+
+def random_instance_selection(
+    n_samples: int, fraction: float, seed: int = 0
+) -> np.ndarray:
+    """Uniformly sampled row indices (without replacement)."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    keep = max(1, int(round(fraction * n_samples)))
+    return np.sort(rng.choice(n_samples, size=keep, replace=False))
+
+
+def stratified_instance_selection(
+    y: np.ndarray, fraction: float, seed: int = 0
+) -> np.ndarray:
+    """Class-balanced row sampling."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    y = np.asarray(y)
+    rng = np.random.default_rng(seed)
+    kept: list[int] = []
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        rng.shuffle(members)
+        keep = max(1, int(round(fraction * members.size)))
+        kept.extend(members[:keep].tolist())
+    return np.sort(np.asarray(kept, dtype=int))
+
+
+def condensed_instance_selection(
+    X: np.ndarray, y: np.ndarray, seed: int = 0
+) -> np.ndarray:
+    """Hart's condensed nearest neighbour: keep a 1-NN-consistent subset.
+
+    Greedy single pass: a sample is added to the store when the current
+    store misclassifies it under 1-NN.  Returns sorted kept indices.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    n = X.shape[0]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    store: list[int] = [int(order[0])]
+    for index in order[1:]:
+        stored = np.asarray(store)
+        distances = np.linalg.norm(X[stored] - X[index], axis=1)
+        nearest = stored[int(np.argmin(distances))]
+        if y[nearest] != y[index]:
+            store.append(int(index))
+    return np.sort(np.asarray(store, dtype=int))
+
+
+def variance_threshold_features(X: np.ndarray, threshold: float = 1e-8) -> np.ndarray:
+    """Columns whose (NaN-aware) variance exceeds the threshold."""
+    X = np.asarray(X, dtype=float)
+    with np.errstate(all="ignore"):
+        variances = np.nanvar(X, axis=0)
+    variances = np.where(np.isnan(variances), 0.0, variances)
+    return np.flatnonzero(variances > threshold)
+
+
+def correlation_filter_features(
+    X: np.ndarray, max_correlation: float = 0.95
+) -> np.ndarray:
+    """Greedy drop of columns highly correlated with an earlier column."""
+    X = np.asarray(X, dtype=float)
+    kept: list[int] = []
+    for column in range(X.shape[1]):
+        candidate = X[:, column]
+        redundant = False
+        for previous in kept:
+            both = ~np.isnan(candidate) & ~np.isnan(X[:, previous])
+            if both.sum() < 3:
+                continue
+            a = candidate[both]
+            b = X[both, previous]
+            if np.std(a) == 0 or np.std(b) == 0:
+                continue
+            correlation = abs(float(np.corrcoef(a, b)[0, 1]))
+            if correlation > max_correlation:
+                redundant = True
+                break
+        if not redundant:
+            kept.append(column)
+    return np.asarray(kept, dtype=int)
+
+
+def information_gain_features(
+    X: np.ndarray, y: np.ndarray, top_k: int, n_bins: int = 4
+) -> np.ndarray:
+    """Top-k columns by information gain of their discretised values."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if top_k < 1:
+        raise ValueError("top_k must be positive")
+
+    def entropy(labels: np.ndarray) -> float:
+        _, counts = np.unique(labels, return_counts=True)
+        probabilities = counts / counts.sum()
+        return float(-(probabilities * np.log2(probabilities)).sum())
+
+    base = entropy(y)
+    gains = []
+    for column in range(X.shape[1]):
+        observed = ~np.isnan(X[:, column])
+        if observed.sum() < 2:
+            gains.append(0.0)
+            continue
+        symbols = np.asarray(
+            discretize(X[observed, column], n_bins=n_bins, strategy="frequency")
+        )
+        conditional = 0.0
+        for symbol in np.unique(symbols):
+            mask = symbols == symbol
+            conditional += mask.mean() * entropy(y[observed][mask])
+        gains.append(base - conditional)
+    order = np.argsort(-np.asarray(gains))
+    return np.sort(order[: min(top_k, X.shape[1])])
+
+
+def discretize_matrix(
+    X: np.ndarray, n_bins: int = 4, strategy: str = "frequency"
+) -> list[list[str]]:
+    """Column-wise discretisation into symbol lists (NaN -> 'missing')."""
+    X = np.asarray(X, dtype=float)
+    columns: list[list[str]] = []
+    for column in range(X.shape[1]):
+        series = X[:, column]
+        observed = ~np.isnan(series)
+        symbols = np.array(["missing"] * series.size, dtype=object)
+        if observed.sum() >= 2:
+            symbols[observed] = discretize(
+                series[observed], n_bins=n_bins, strategy=strategy
+            )
+        columns.append(symbols.tolist())
+    return columns

@@ -1,0 +1,279 @@
+"""Uncertainty models for the data acquisition/preparation pipeline.
+
+The paper's adversarial-composition pillar "would take as parameters
+the pertinent uncertainty models and the related uncertainty
+principles" (Sec. I.B): data gathering and preparation are modelled as
+sources of perturbation/noise/uncertainty.  Each model here perturbs a
+data matrix and *declares* what it did (variance added, missingness
+introduced), so the pipeline can propagate an explicit uncertainty
+ledger to the analytics phase — the paper's requirement that the
+decision maker know "the analytics outcomes cannot be fully trusted
+and why".
+
+Missingness mechanisms follow Rubin's taxonomy (MCAR / MAR / MNAR),
+which is the standard uncertainty model for the imputation trade-offs
+of Sec. IV.A.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "UncertaintySource",
+    "GaussianNoise",
+    "SensorBias",
+    "LinearDrift",
+    "Quantization",
+    "MissingCompletelyAtRandom",
+    "MissingAtRandom",
+    "MissingNotAtRandom",
+    "UncertaintyLedger",
+    "LedgerEntry",
+]
+
+
+class UncertaintySource(abc.ABC):
+    """A declared perturbation of the data."""
+
+    @abc.abstractmethod
+    def apply(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a perturbed copy of ``X`` (NaN marks missing)."""
+
+    @abc.abstractmethod
+    def declared_effect(self) -> dict:
+        """Machine-readable summary of the perturbation parameters."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class GaussianNoise(UncertaintySource):
+    """Additive white noise — the 'classic measurement' perturbation."""
+
+    sigma: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def apply(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = np.array(X, dtype=float, copy=True)
+        X += rng.normal(scale=self.sigma, size=X.shape)
+        return X
+
+    def declared_effect(self) -> dict:
+        return {"variance_added": self.sigma**2}
+
+
+@dataclass
+class SensorBias(UncertaintySource):
+    """Constant additive offset (mis-calibration)."""
+
+    offset: float = 0.0
+
+    def apply(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.array(X, dtype=float, copy=True) + self.offset
+
+    def declared_effect(self) -> dict:
+        return {"bias_added": self.offset}
+
+
+@dataclass
+class LinearDrift(UncertaintySource):
+    """Per-row linear drift, modelling sensor ageing over a capture."""
+
+    rate: float = 0.001
+
+    def apply(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = np.array(X, dtype=float, copy=True)
+        drift = self.rate * np.arange(X.shape[0], dtype=float)
+        return X + drift[:, None]
+
+    def declared_effect(self) -> dict:
+        return {"drift_rate": self.rate}
+
+
+@dataclass
+class Quantization(UncertaintySource):
+    """Rounding to a fixed step (ADC resolution)."""
+
+    step: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+
+    def apply(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return np.round(X / self.step) * self.step
+
+    def declared_effect(self) -> dict:
+        # Uniform quantisation noise variance: step^2 / 12.
+        return {"variance_added": self.step**2 / 12.0}
+
+
+@dataclass
+class MissingCompletelyAtRandom(UncertaintySource):
+    """Each cell goes missing independently with fixed probability."""
+
+    rate: float = 0.1
+    columns: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rate < 1:
+            raise ValueError("rate must be in [0, 1)")
+
+    def apply(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = np.array(X, dtype=float, copy=True)
+        mask = rng.random(X.shape) < self.rate
+        if self.columns is not None:
+            keep = np.ones(X.shape[1], dtype=bool)
+            keep[list(self.columns)] = False
+            mask[:, keep] = False
+        X[mask] = np.nan
+        return X
+
+    def declared_effect(self) -> dict:
+        return {"missingness_added": self.rate, "mechanism": "MCAR"}
+
+
+@dataclass
+class MissingAtRandom(UncertaintySource):
+    """Missingness probability driven by an always-observed column.
+
+    Cells of ``target_columns`` go missing with probability scaled by
+    the rank of the driver column's value — rows where the driver is
+    high lose more data (e.g. an overloaded gateway dropping packets).
+    """
+
+    rate: float = 0.1
+    driver_column: int = 0
+    target_columns: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rate < 1:
+            raise ValueError("rate must be in [0, 1)")
+
+    def apply(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = np.array(X, dtype=float, copy=True)
+        n, d = X.shape
+        driver = X[:, self.driver_column]
+        ranks = np.argsort(np.argsort(driver)) / max(1, n - 1)
+        row_rates = 2.0 * self.rate * ranks  # mean rate == rate
+        targets = (
+            [c for c in range(d) if c != self.driver_column]
+            if self.target_columns is None
+            else list(self.target_columns)
+        )
+        for column in targets:
+            mask = rng.random(n) < row_rates
+            X[mask, column] = np.nan
+        return X
+
+    def declared_effect(self) -> dict:
+        return {
+            "missingness_added": self.rate,
+            "mechanism": "MAR",
+            "driver_column": self.driver_column,
+        }
+
+
+@dataclass
+class MissingNotAtRandom(UncertaintySource):
+    """Values go missing *because* they are extreme (sensor saturation)."""
+
+    rate: float = 0.1
+    quantile: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rate < 1:
+            raise ValueError("rate must be in [0, 1)")
+        if not 0 < self.quantile < 1:
+            raise ValueError("quantile must be in (0, 1)")
+
+    def apply(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = np.array(X, dtype=float, copy=True)
+        # Values above the per-column quantile are dropped with a
+        # probability chosen so the *overall* expected rate matches.
+        per_cell = min(0.999, self.rate / max(1e-9, 1 - self.quantile))
+        thresholds = np.nanquantile(X, self.quantile, axis=0)
+        mask = (X > thresholds) & (rng.random(X.shape) < per_cell)
+        X[mask] = np.nan
+        return X
+
+    def declared_effect(self) -> dict:
+        return {
+            "missingness_added": self.rate,
+            "mechanism": "MNAR",
+            "quantile": self.quantile,
+        }
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded perturbation."""
+
+    stage: str
+    source: str
+    effect: dict
+
+
+@dataclass
+class UncertaintyLedger:
+    """Accumulated uncertainty declarations along the pipeline.
+
+    The ledger is the concrete form of the paper's "keep track of the
+    uncertainty associated to the reconstructed data": additive noise
+    variances sum, missingness accumulates as ``1 - prod(1 - r_i)``.
+    """
+
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    def record(self, stage: str, source: UncertaintySource) -> None:
+        self.entries.append(
+            LedgerEntry(stage=stage, source=source.name, effect=source.declared_effect())
+        )
+
+    def record_effect(self, stage: str, source: str, effect: dict) -> None:
+        self.entries.append(LedgerEntry(stage=stage, source=source, effect=effect))
+
+    @property
+    def total_variance(self) -> float:
+        return sum(
+            entry.effect.get("variance_added", 0.0) for entry in self.entries
+        )
+
+    @property
+    def total_missingness(self) -> float:
+        survival = 1.0
+        for entry in self.entries:
+            survival *= 1.0 - entry.effect.get("missingness_added", 0.0)
+        return 1.0 - survival
+
+    @property
+    def total_bias(self) -> float:
+        return sum(entry.effect.get("bias_added", 0.0) for entry in self.entries)
+
+    @property
+    def mechanisms(self) -> list[str]:
+        return [
+            entry.effect["mechanism"]
+            for entry in self.entries
+            if "mechanism" in entry.effect
+        ]
+
+    def summary(self) -> dict:
+        """Roll-up used by trust reports."""
+        return {
+            "n_perturbations": len(self.entries),
+            "total_variance": self.total_variance,
+            "total_missingness": self.total_missingness,
+            "total_bias": self.total_bias,
+            "mechanisms": self.mechanisms,
+        }

@@ -1,0 +1,80 @@
+"""Rough-set substrate (Pawlak approximation spaces).
+
+Implements the machinery of the paper's Sec. III: indiscernibility
+relations from feature subsets, lower/upper concept approximations,
+approximation accuracy (element- and granule-counting conventions), and
+entropy/accuracy-driven selection of the seed feature block ``K``.
+"""
+
+from repro.roughsets.approximation import (
+    RoughApproximation,
+    approximate,
+    approximation_accuracy,
+    boundary_region,
+    lower_approximation,
+    outside_region,
+    quality_of_classification,
+    rough_membership,
+    upper_approximation,
+)
+from repro.roughsets.datasets import PHONE_CONCEPT_AVAILABLE, phone_table
+from repro.roughsets.discretization import (
+    apply_bins,
+    discretize,
+    entropy_split_edges,
+    equal_frequency_edges,
+    equal_width_edges,
+)
+from repro.roughsets.equivalence import DiscreteTable, indiscernibility, value_signature
+from repro.roughsets.variable_precision import (
+    VprsApproximation,
+    inclusion_degree,
+    vprs_accuracy,
+    vprs_approximate,
+    vprs_lower,
+    vprs_upper,
+)
+from repro.roughsets.reducts import (
+    SeedBlockChoice,
+    conditional_entropy,
+    feature_significance,
+    greedy_entropy_reduct,
+    information_gain,
+    partition_entropy,
+    select_seed_block,
+)
+
+__all__ = [
+    "DiscreteTable",
+    "indiscernibility",
+    "value_signature",
+    "RoughApproximation",
+    "approximate",
+    "approximation_accuracy",
+    "boundary_region",
+    "lower_approximation",
+    "outside_region",
+    "quality_of_classification",
+    "rough_membership",
+    "upper_approximation",
+    "PHONE_CONCEPT_AVAILABLE",
+    "phone_table",
+    "apply_bins",
+    "discretize",
+    "entropy_split_edges",
+    "equal_frequency_edges",
+    "equal_width_edges",
+    "SeedBlockChoice",
+    "conditional_entropy",
+    "feature_significance",
+    "greedy_entropy_reduct",
+    "information_gain",
+    "partition_entropy",
+    "select_seed_block",
+    "VprsApproximation",
+    "inclusion_degree",
+    "vprs_accuracy",
+    "vprs_approximate",
+    "vprs_lower",
+    "vprs_upper",
+]

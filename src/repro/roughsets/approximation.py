@@ -1,0 +1,151 @@
+"""Pawlak rough-set approximations of concepts.
+
+Given an indiscernibility partition, a concept (subset of rows) ``T`` is
+approximated from below by the union of classes fully inside ``T`` and
+from above by the union of classes meeting ``T``.  The paper's worked
+example (the four-phone table with ``K = {OS}`` and the concept
+"available phones") is reproduced by :mod:`repro.roughsets.datasets`.
+
+Note on accuracy: classic Pawlak accuracy is the ratio of *element*
+counts ``|lower| / |upper|``; the paper's example instead reports the
+ratio of *granule* (class) counts, which yields 0.5 for the phone table
+(1 lower class / 2 upper classes) where the element ratio is 1/3.  Both
+conventions are implemented; the granule convention is tagged
+``count="granules"``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.combinatorics.partitions import SetPartition
+
+__all__ = [
+    "lower_approximation",
+    "upper_approximation",
+    "boundary_region",
+    "outside_region",
+    "approximation_accuracy",
+    "quality_of_classification",
+    "rough_membership",
+    "RoughApproximation",
+    "approximate",
+]
+
+
+def _concept_set(concept: Iterable[int]) -> frozenset[int]:
+    return concept if isinstance(concept, frozenset) else frozenset(concept)
+
+
+def _lower_blocks(partition: SetPartition, concept: frozenset[int]):
+    return [block for block in partition.blocks if set(block) <= concept]
+
+
+def _upper_blocks(partition: SetPartition, concept: frozenset[int]):
+    return [block for block in partition.blocks if set(block) & concept]
+
+
+def lower_approximation(partition: SetPartition, concept: Iterable[int]) -> frozenset[int]:
+    """Union of the indiscernibility classes entirely inside ``concept``."""
+    concept = _concept_set(concept)
+    return frozenset(
+        element for block in _lower_blocks(partition, concept) for element in block
+    )
+
+
+def upper_approximation(partition: SetPartition, concept: Iterable[int]) -> frozenset[int]:
+    """Union of the indiscernibility classes intersecting ``concept``."""
+    concept = _concept_set(concept)
+    return frozenset(
+        element for block in _upper_blocks(partition, concept) for element in block
+    )
+
+
+def boundary_region(partition: SetPartition, concept: Iterable[int]) -> frozenset[int]:
+    """Upper minus lower approximation: the region of genuine roughness."""
+    concept = _concept_set(concept)
+    return upper_approximation(partition, concept) - lower_approximation(
+        partition, concept
+    )
+
+
+def outside_region(partition: SetPartition, concept: Iterable[int]) -> frozenset[int]:
+    """Universe minus the upper approximation (certainly not in ``T``)."""
+    concept = _concept_set(concept)
+    return frozenset(partition.ground_set) - upper_approximation(partition, concept)
+
+
+def approximation_accuracy(
+    partition: SetPartition, concept: Iterable[int], count: str = "elements"
+) -> float:
+    """Accuracy of the rough approximation of ``concept``.
+
+    ``count="elements"`` gives classic Pawlak accuracy
+    ``|lower| / |upper|``; ``count="granules"`` gives the paper's
+    class-count ratio (0.5 on the phone example).  An empty upper
+    approximation (empty concept) yields accuracy 1.0 by convention.
+    """
+    concept = _concept_set(concept)
+    if count == "elements":
+        lower = len(lower_approximation(partition, concept))
+        upper = len(upper_approximation(partition, concept))
+    elif count == "granules":
+        lower = len(_lower_blocks(partition, concept))
+        upper = len(_upper_blocks(partition, concept))
+    else:
+        raise ValueError("count must be 'elements' or 'granules'")
+    if upper == 0:
+        return 1.0
+    return lower / upper
+
+
+def quality_of_classification(
+    partition: SetPartition, concept: Iterable[int]
+) -> float:
+    """Fraction of the universe classified with certainty: ``|lower| / |U|``."""
+    concept = _concept_set(concept)
+    return len(lower_approximation(partition, concept)) / len(partition.ground_set)
+
+
+def rough_membership(
+    partition: SetPartition, concept: Iterable[int], element: int
+) -> float:
+    """Rough membership ``|[x] ∩ T| / |[x]|`` of ``element`` in ``concept``."""
+    concept = _concept_set(concept)
+    block = partition.block_of(element)
+    return len(set(block) & concept) / len(block)
+
+
+@dataclass(frozen=True)
+class RoughApproximation:
+    """Bundle of the full Pawlak analysis of one concept."""
+
+    concept: frozenset[int]
+    lower: frozenset[int]
+    upper: frozenset[int]
+    boundary: frozenset[int]
+    accuracy_elements: float
+    accuracy_granules: float
+    quality: float
+
+    @property
+    def is_crisp(self) -> bool:
+        """True when the concept is exactly definable (empty boundary)."""
+        return not self.boundary
+
+
+def approximate(partition: SetPartition, concept: Iterable[int]) -> RoughApproximation:
+    """Run the complete rough-set analysis of ``concept``."""
+    concept = _concept_set(concept)
+    lower = lower_approximation(partition, concept)
+    upper = upper_approximation(partition, concept)
+    return RoughApproximation(
+        concept=concept,
+        lower=lower,
+        upper=upper,
+        boundary=upper - lower,
+        accuracy_elements=approximation_accuracy(partition, concept, "elements"),
+        accuracy_granules=approximation_accuracy(partition, concept, "granules"),
+        quality=quality_of_classification(partition, concept),
+    )

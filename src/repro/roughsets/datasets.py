@@ -1,0 +1,39 @@
+"""Fixture datasets from the paper.
+
+The four-phone table of Sec. III is the paper's only worked data
+example; it is used by tests and by experiment E1 to assert the quoted
+approximation accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.roughsets.equivalence import DiscreteTable
+
+__all__ = ["phone_table", "PHONE_CONCEPT_AVAILABLE"]
+
+
+def phone_table() -> DiscreteTable:
+    """Return the paper's phone table.
+
+    ======== ============= ======= =========
+    Device   Battery Level OS      Available
+    ======== ============= ======= =========
+    1        AVERAGE       Android N
+    2        HIGH          Android Y
+    3        AVERAGE       iOS     Y
+    4        LOW           Symbian N
+    ======== ============= ======= =========
+
+    Rows are indexed 0..3 (device ``i`` is row ``i - 1``).
+    """
+    return DiscreteTable(
+        {
+            "battery": ["AVERAGE", "HIGH", "AVERAGE", "LOW"],
+            "os": ["Android", "Android", "iOS", "Symbian"],
+            "available": ["N", "Y", "Y", "N"],
+        }
+    )
+
+
+#: The concept set T of "available phones" (rows with Available = Y).
+PHONE_CONCEPT_AVAILABLE = frozenset({1, 2})

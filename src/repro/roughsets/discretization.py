@@ -1,0 +1,140 @@
+"""Discretisation of numeric features into rough-set-ready symbols.
+
+IoT measurements are continuous; indiscernibility relations need
+discrete values.  The paper lists discretisation among the data
+*reduction* tasks of the preprocessing phase (Sec. IV).  Three
+strategies are provided: equal-width, equal-frequency, and a recursive
+entropy-minimising split (an MDLP-style criterion against a label).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "equal_width_edges",
+    "equal_frequency_edges",
+    "entropy_split_edges",
+    "apply_bins",
+    "discretize",
+]
+
+
+def equal_width_edges(values: Sequence[float], n_bins: int) -> list[float]:
+    """Return ``n_bins - 1`` interior cut points of equal width."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    array = np.asarray(values, dtype=float)
+    low, high = float(array.min()), float(array.max())
+    if low == high:
+        return []
+    step = (high - low) / n_bins
+    return [low + step * i for i in range(1, n_bins)]
+
+
+def equal_frequency_edges(values: Sequence[float], n_bins: int) -> list[float]:
+    """Return interior cut points putting ~equal counts in each bin."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be positive")
+    array = np.sort(np.asarray(values, dtype=float))
+    edges: list[float] = []
+    for i in range(1, n_bins):
+        quantile = float(np.quantile(array, i / n_bins))
+        if not edges or quantile > edges[-1]:
+            edges.append(quantile)
+    return edges
+
+
+def _label_entropy(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    probabilities = counts / counts.sum()
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def entropy_split_edges(
+    values: Sequence[float],
+    labels: Sequence,
+    max_depth: int = 3,
+    min_leaf: int = 4,
+) -> list[float]:
+    """Recursive binary splits minimising label entropy (MDLP-style).
+
+    Splits a numeric feature at the boundary that minimises the weighted
+    label entropy of the two sides, recursing while the information gain
+    is positive, depth remains, and both sides keep ``min_leaf`` points.
+    """
+    array = np.asarray(values, dtype=float)
+    label_array = np.asarray(labels)
+    if array.shape != label_array.shape:
+        raise ValueError("values and labels must align")
+
+    edges: list[float] = []
+
+    def split(mask: np.ndarray, depth: int) -> None:
+        if depth == 0 or mask.sum() < 2 * min_leaf:
+            return
+        sub_values = array[mask]
+        sub_labels = label_array[mask]
+        order = np.argsort(sub_values)
+        sub_values = sub_values[order]
+        sub_labels = sub_labels[order]
+        parent_entropy = _label_entropy(sub_labels)
+        best_gain = 0.0
+        best_cut = None
+        candidates = np.unique(sub_values)
+        for cut in (candidates[:-1] + candidates[1:]) / 2:
+            left = sub_labels[sub_values <= cut]
+            right = sub_labels[sub_values > cut]
+            if left.size < min_leaf or right.size < min_leaf:
+                continue
+            weighted = (
+                left.size * _label_entropy(left) + right.size * _label_entropy(right)
+            ) / sub_labels.size
+            gain = parent_entropy - weighted
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_cut = float(cut)
+        if best_cut is None:
+            return
+        edges.append(best_cut)
+        split(mask & (array <= best_cut), depth - 1)
+        split(mask & (array > best_cut), depth - 1)
+
+    split(np.ones(array.size, dtype=bool), max_depth)
+    return sorted(edges)
+
+
+def apply_bins(values: Sequence[float], edges: Sequence[float]) -> list[str]:
+    """Map values to bin symbols ``'b0', 'b1', ...`` using cut points."""
+    array = np.asarray(values, dtype=float)
+    indices = np.searchsorted(np.asarray(sorted(edges), dtype=float), array, side="right")
+    return [f"b{int(i)}" for i in indices]
+
+
+def discretize(
+    values: Sequence[float],
+    n_bins: int = 4,
+    strategy: str = "width",
+    labels: Sequence | None = None,
+) -> list[str]:
+    """One-call discretisation with the chosen strategy.
+
+    ``strategy`` is ``"width"``, ``"frequency"``, or ``"entropy"`` (the
+    latter requires ``labels``).
+    """
+    if strategy == "width":
+        edges = equal_width_edges(values, n_bins)
+    elif strategy == "frequency":
+        edges = equal_frequency_edges(values, n_bins)
+    elif strategy == "entropy":
+        if labels is None:
+            raise ValueError("entropy strategy requires labels")
+        edges = entropy_split_edges(values, labels)
+    else:
+        raise ValueError("strategy must be 'width', 'frequency' or 'entropy'")
+    return apply_bins(values, edges)

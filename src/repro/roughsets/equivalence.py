@@ -1,0 +1,121 @@
+"""Indiscernibility relations over discrete tabular data (Pawlak).
+
+The paper (Sec. III) builds equivalence relations on a dataset from the
+coincidence of feature values: ``t_i ~_K t_j`` iff the tuples agree on
+every feature in ``K``.  The induced partition of the instance set is an
+*approximation space*; its classes are the information granules used to
+approximate concepts and to score candidate feature blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+
+from repro.combinatorics.partitions import SetPartition
+
+__all__ = ["DiscreteTable", "indiscernibility", "value_signature"]
+
+
+class DiscreteTable:
+    """A small column-oriented table of discrete (hashable) values.
+
+    Rows are indexed 0..n-1; columns are named.  This is the input type
+    for all rough-set operators.  Numeric IoT features should first pass
+    through :mod:`repro.roughsets.discretization`.
+
+    >>> table = DiscreteTable({"os": ["android", "ios"], "battery": ["hi", "lo"]})
+    >>> table.n_rows
+    2
+    >>> table.row(1)
+    {'os': 'ios', 'battery': 'lo'}
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence[Hashable]]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {name: len(values) for name, values in columns.items()}
+        distinct_lengths = set(lengths.values())
+        if len(distinct_lengths) != 1:
+            raise ValueError(f"ragged columns: {lengths!r}")
+        self._columns: dict[str, tuple[Hashable, ...]] = {
+            name: tuple(values) for name, values in columns.items()
+        }
+        self._n_rows = distinct_lengths.pop()
+        if self._n_rows == 0:
+            raise ValueError("a table needs at least one row")
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Mapping[str, Hashable]], feature_names: Sequence[str] | None = None
+    ) -> "DiscreteTable":
+        """Build a table from a list of row dicts."""
+        if not rows:
+            raise ValueError("need at least one row")
+        names = list(feature_names) if feature_names is not None else list(rows[0])
+        columns = {name: [row[name] for row in rows] for name in names}
+        return cls(columns)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    def column(self, name: str) -> tuple[Hashable, ...]:
+        """Return one column as a tuple of values."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r}") from None
+
+    def row(self, index: int) -> dict[str, Hashable]:
+        """Return one row as a dict."""
+        if not 0 <= index < self._n_rows:
+            raise IndexError(f"row index {index} out of range")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def select(self, features: Iterable[str]) -> "DiscreteTable":
+        """Return the projection onto the named features."""
+        return DiscreteTable({name: self.column(name) for name in features})
+
+    def concept(self, feature: str, value: Hashable) -> frozenset[int]:
+        """Return the row-index set where ``feature == value``.
+
+        This is how the paper defines benchmark concepts, e.g. the set
+        of "available phones" (``Available = Y``).
+        """
+        return frozenset(
+            index for index, cell in enumerate(self.column(feature)) if cell == value
+        )
+
+    def __repr__(self) -> str:
+        return f"DiscreteTable({self._n_rows} rows, features={list(self._columns)!r})"
+
+
+def value_signature(
+    table: DiscreteTable, features: Sequence[str], row_index: int
+) -> tuple[Hashable, ...]:
+    """Return the tuple of values of ``row_index`` on ``features``."""
+    return tuple(table.column(name)[row_index] for name in features)
+
+
+def indiscernibility(table: DiscreteTable, features: Iterable[str]) -> SetPartition:
+    """Return the indiscernibility partition of the rows w.r.t. ``features``.
+
+    Rows fall in the same block iff they agree on every named feature —
+    the relation ``~_K`` of the paper.  With an empty feature set all
+    rows are indiscernible (one block).
+
+    >>> table = DiscreteTable({"os": ["android", "android", "ios", "symbian"]})
+    >>> indiscernibility(table, ["os"]).blocks
+    ((0, 1), (2,), (3,))
+    """
+    features = list(features)
+    if not features:
+        return SetPartition.coarsest(range(table.n_rows))
+    groups: dict[tuple[Hashable, ...], list[int]] = {}
+    for index in range(table.n_rows):
+        groups.setdefault(value_signature(table, features, index), []).append(index)
+    return SetPartition(groups.values())

@@ -1,0 +1,225 @@
+"""Feature-subset selection for approximation spaces.
+
+The paper replaces a single feature index ``k`` by a feature subset
+``K`` "computed by minimizing an Entropy function or the difference
+between the upper and lower approximations of benchmark subsets", and
+proposes to select ``K`` *dynamically* from approximation accuracy on
+benchmark concepts (Sec. III).  This module implements both criteria:
+
+* entropy-based greedy reducts (minimise conditional entropy of the
+  decision given ``K``),
+* accuracy-based greedy seed-block selection (maximise rough
+  approximation accuracy, minimise the upper/lower gap).
+
+The selected block seeds the two-block partition ``(K, S - K)`` from
+which the multiple-kernel lattice search starts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.combinatorics.partitions import SetPartition
+from repro.roughsets.approximation import (
+    approximation_accuracy,
+    boundary_region,
+    quality_of_classification,
+)
+from repro.roughsets.equivalence import DiscreteTable, indiscernibility
+
+__all__ = [
+    "partition_entropy",
+    "conditional_entropy",
+    "information_gain",
+    "greedy_entropy_reduct",
+    "SeedBlockChoice",
+    "select_seed_block",
+    "feature_significance",
+]
+
+
+def partition_entropy(partition: SetPartition) -> float:
+    """Shannon entropy (bits) of the block-size distribution."""
+    total = partition.size
+    entropy = 0.0
+    for block in partition.blocks:
+        p = len(block) / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def conditional_entropy(
+    table: DiscreteTable, features: Sequence[str], decision: str
+) -> float:
+    """Entropy (bits) of the decision feature given the ``features`` block.
+
+    ``H(decision | K) = sum_c p(c) H(decision within class c)`` over the
+    indiscernibility classes ``c`` of ``K``.
+    """
+    partition = indiscernibility(table, features)
+    decision_values = table.column(decision)
+    total = table.n_rows
+    entropy = 0.0
+    for block in partition.blocks:
+        weight = len(block) / total
+        counts: dict = {}
+        for index in block:
+            counts[decision_values[index]] = counts.get(decision_values[index], 0) + 1
+        block_entropy = 0.0
+        for count in counts.values():
+            p = count / len(block)
+            block_entropy -= p * math.log2(p)
+        entropy += weight * block_entropy
+    return entropy
+
+
+def information_gain(
+    table: DiscreteTable, features: Sequence[str], decision: str, candidate: str
+) -> float:
+    """Entropy drop from adding ``candidate`` to the block ``features``."""
+    return conditional_entropy(table, features, decision) - conditional_entropy(
+        table, list(features) + [candidate], decision
+    )
+
+
+def greedy_entropy_reduct(
+    table: DiscreteTable,
+    decision: str,
+    candidates: Iterable[str] | None = None,
+    tolerance: float = 1e-12,
+) -> list[str]:
+    """Greedy forward selection minimising ``H(decision | K)``.
+
+    Adds the feature with the largest entropy drop until the conditional
+    entropy stops improving (or reaches zero).  Returns the selected
+    feature list in selection order.
+    """
+    if candidates is None:
+        candidates = [name for name in table.feature_names if name != decision]
+    remaining = list(candidates)
+    selected: list[str] = []
+    current = conditional_entropy(table, selected, decision)
+    while remaining and current > tolerance:
+        best_feature = None
+        best_entropy = current
+        for feature in remaining:
+            candidate_entropy = conditional_entropy(
+                table, selected + [feature], decision
+            )
+            if candidate_entropy < best_entropy - tolerance:
+                best_entropy = candidate_entropy
+                best_feature = feature
+        if best_feature is None:
+            break
+        selected.append(best_feature)
+        remaining.remove(best_feature)
+        current = best_entropy
+    return selected
+
+
+def feature_significance(
+    table: DiscreteTable, features: Sequence[str], decision: str
+) -> dict[str, float]:
+    """Quality drop when removing each feature from the block.
+
+    Features whose removal does not change the quality of classification
+    are dispensable in Pawlak's sense.
+    """
+    decision_partition = indiscernibility(table, [decision])
+    significance: dict[str, float] = {}
+
+    def quality(block: Sequence[str]) -> float:
+        partition = indiscernibility(table, block)
+        return sum(
+            quality_of_classification(partition, set(concept))
+            for concept in decision_partition.blocks
+        ) / decision_partition.n_blocks
+
+    base = quality(features)
+    for feature in features:
+        reduced = [name for name in features if name != feature]
+        significance[feature] = base - quality(reduced)
+    return significance
+
+
+@dataclass(frozen=True)
+class SeedBlockChoice:
+    """Outcome of dynamic seed-block selection (paper Sec. III)."""
+
+    features: tuple[str, ...]
+    accuracy: float
+    boundary_size: int
+    quality: float
+
+    @property
+    def rest(self) -> tuple[str, ...]:
+        """Placeholder for S - K; filled in by callers that know S."""
+        return ()
+
+
+def select_seed_block(
+    table: DiscreteTable,
+    concept: frozenset[int],
+    candidates: Iterable[str] | None = None,
+    max_size: int | None = None,
+    count: str = "elements",
+    tolerance: float = 1e-12,
+    min_gain: float = 0.0,
+) -> SeedBlockChoice:
+    """Pick the feature block ``K`` maximising approximation accuracy.
+
+    Greedy forward search: starting empty, repeatedly add the feature
+    that most improves the rough approximation accuracy of ``concept``
+    (ties broken by smaller boundary).  This is the paper's *dynamic*
+    selection of ``K`` on benchmark concepts, as opposed to a static
+    semantic grouping.
+
+    Because refining the indiscernibility relation can only improve
+    accuracy, unconstrained greedy search absorbs every feature; cap it
+    with ``max_size`` and/or require at least ``min_gain`` accuracy
+    improvement per added feature.
+    """
+    if candidates is None:
+        candidates = list(table.feature_names)
+    remaining = list(candidates)
+    selected: list[str] = []
+    best_accuracy = -1.0
+    best_boundary = table.n_rows + 1
+    limit = max_size if max_size is not None else len(remaining)
+
+    improved = True
+    while remaining and len(selected) < limit and improved:
+        improved = False
+        round_best = None
+        for feature in remaining:
+            block = selected + [feature]
+            partition = indiscernibility(table, block)
+            accuracy = approximation_accuracy(partition, concept, count)
+            boundary = len(boundary_region(partition, concept))
+            better_accuracy = accuracy > best_accuracy + max(tolerance, min_gain)
+            same_accuracy = abs(accuracy - best_accuracy) <= tolerance
+            ties_allowed = min_gain <= tolerance
+            if better_accuracy or (
+                ties_allowed and same_accuracy and boundary < best_boundary
+            ):
+                if round_best is None or (accuracy, -boundary) > round_best[:2]:
+                    round_best = (accuracy, -boundary, feature)
+        if round_best is not None:
+            accuracy, negative_boundary, feature = round_best
+            selected.append(feature)
+            remaining.remove(feature)
+            best_accuracy = accuracy
+            best_boundary = -negative_boundary
+            improved = True
+
+    partition = indiscernibility(table, selected) if selected else indiscernibility(
+        table, []
+    )
+    return SeedBlockChoice(
+        features=tuple(selected),
+        accuracy=approximation_accuracy(partition, concept, count),
+        boundary_size=len(boundary_region(partition, concept)),
+        quality=quality_of_classification(partition, concept),
+    )

@@ -1,0 +1,108 @@
+"""Variable-precision rough sets (Ziarko's VPRS).
+
+The classic Pawlak approximations (Sec. III of the paper) are brittle
+on noisy IoT data: one mislabelled tuple expels a whole class from the
+lower approximation.  The variable-precision extension admits a class
+into the ``beta``-lower approximation when its *inclusion degree*
+``|class ∩ T| / |class|`` reaches ``1 - beta``, degrading gracefully
+with label noise — which is exactly the veracity regime the paper's
+adversarial pillar assumes.  ``beta = 0`` recovers Pawlak exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.combinatorics.partitions import SetPartition
+
+__all__ = [
+    "inclusion_degree",
+    "vprs_lower",
+    "vprs_upper",
+    "vprs_accuracy",
+    "VprsApproximation",
+    "vprs_approximate",
+]
+
+
+def _concept_set(concept: Iterable[int]) -> frozenset[int]:
+    return concept if isinstance(concept, frozenset) else frozenset(concept)
+
+
+def inclusion_degree(block: tuple, concept: frozenset[int]) -> float:
+    """Fraction of the block inside the concept."""
+    if not block:
+        raise ValueError("blocks are non-empty by construction")
+    return len(set(block) & concept) / len(block)
+
+
+def _validate_beta(beta: float) -> None:
+    if not 0.0 <= beta < 0.5:
+        raise ValueError("beta must lie in [0, 0.5)")
+
+
+def vprs_lower(
+    partition: SetPartition, concept: Iterable[int], beta: float = 0.0
+) -> frozenset[int]:
+    """Union of classes with inclusion degree >= 1 - beta."""
+    _validate_beta(beta)
+    concept = _concept_set(concept)
+    members: set[int] = set()
+    for block in partition.blocks:
+        if inclusion_degree(block, concept) >= 1.0 - beta:
+            members.update(block)
+    return frozenset(members)
+
+
+def vprs_upper(
+    partition: SetPartition, concept: Iterable[int], beta: float = 0.0
+) -> frozenset[int]:
+    """Union of classes with inclusion degree > beta."""
+    _validate_beta(beta)
+    concept = _concept_set(concept)
+    members: set[int] = set()
+    for block in partition.blocks:
+        if inclusion_degree(block, concept) > beta:
+            members.update(block)
+    return frozenset(members)
+
+
+def vprs_accuracy(
+    partition: SetPartition, concept: Iterable[int], beta: float = 0.0
+) -> float:
+    """``|beta-lower| / |beta-upper|`` (1.0 when the upper is empty)."""
+    lower = vprs_lower(partition, concept, beta)
+    upper = vprs_upper(partition, concept, beta)
+    if not upper:
+        return 1.0
+    return len(lower) / len(upper)
+
+
+@dataclass(frozen=True)
+class VprsApproximation:
+    """Bundle of a VPRS analysis at one precision level."""
+
+    beta: float
+    lower: frozenset[int]
+    upper: frozenset[int]
+    accuracy: float
+
+    @property
+    def boundary(self) -> frozenset[int]:
+        return self.upper - self.lower
+
+
+def vprs_approximate(
+    partition: SetPartition, concept: Iterable[int], beta: float = 0.0
+) -> VprsApproximation:
+    """Run the full VPRS analysis of one concept."""
+    concept = _concept_set(concept)
+    lower = vprs_lower(partition, concept, beta)
+    upper = vprs_upper(partition, concept, beta)
+    return VprsApproximation(
+        beta=beta,
+        lower=lower,
+        upper=upper,
+        accuracy=vprs_accuracy(partition, concept, beta),
+    )

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_faceted_workload():
+    """A 6-feature faceted task with a planted 2/2/2 facet partition."""
+    specs = [
+        FacetSpec("a", 2, signal="product", weight=1.5),
+        FacetSpec("b", 2, signal="radial", weight=1.0),
+        FacetSpec("noise", 2, role="noise"),
+    ]
+    return make_faceted_classification(200, specs, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_binary_data():
+    """Linearly separable blob pair for quick classifier checks."""
+    generator = np.random.default_rng(3)
+    n = 80
+    X = generator.normal(size=(n, 3))
+    y = np.where(X[:, 0] + 0.5 * X[:, 1] > 0, 1, -1)
+    return X, y

@@ -1,0 +1,314 @@
+"""Learners: SVM (SMO), LS-SVM, decision tree, NB, kNN, metrics, validation."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    KernelSVC,
+    KNNClassifier,
+    LSSVC,
+    OneVsRestSVC,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_score,
+    cross_val_score_precomputed,
+    error_rate,
+    kfold_indices,
+    log_loss,
+    macro_f1,
+    nan_euclidean_distances,
+    precision_recall_f1,
+    stratified_kfold_indices,
+    train_test_split,
+)
+from repro.kernels import LinearKernel, RBFKernel
+
+
+class TestKernelSVC:
+    def test_separable_data_fits(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        svc = KernelSVC(LinearKernel(), C=10.0).fit(X, y)
+        assert accuracy_score(y, svc.predict(X)) > 0.95
+
+    def test_rbf_nonlinear(self, rng):
+        X = rng.normal(size=(150, 2))
+        y = np.where(X[:, 0] * X[:, 1] > 0, 1, -1)  # XOR pattern
+        svc = KernelSVC(RBFKernel(1.0), C=5.0).fit(X, y)
+        assert accuracy_score(y, svc.predict(X)) > 0.9
+
+    def test_precomputed_path_matches_kernel_path(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        kernel = RBFKernel(0.8)
+        direct = KernelSVC(kernel, C=1.0, seed=0).fit(X, y)
+        gram = kernel(X)
+        precomputed = KernelSVC("precomputed", C=1.0, seed=0).fit(gram, y)
+        assert np.array_equal(direct.predict(X), precomputed.predict(gram))
+
+    def test_agrees_with_lssvc(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        svc = KernelSVC(RBFKernel(0.5), C=5.0).fit(X, y)
+        ls = LSSVC(RBFKernel(0.5), gamma=10.0).fit(X, y)
+        agreement = np.mean(svc.predict(X) == ls.predict(X))
+        assert agreement > 0.9
+
+    def test_label_alphabet_preserved(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        labels = np.where(y > 0, "yes", "no")
+        svc = KernelSVC(LinearKernel(), C=1.0).fit(X, labels)
+        assert set(svc.predict(X)) <= {"yes", "no"}
+
+    def test_rejects_multiclass(self, rng):
+        X = rng.normal(size=(9, 2))
+        with pytest.raises(ValueError):
+            KernelSVC(LinearKernel()).fit(X, [0, 1, 2] * 3)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            KernelSVC(LinearKernel(), C=0.0)
+
+    def test_predict_before_fit(self, tiny_binary_data):
+        X, _ = tiny_binary_data
+        with pytest.raises(RuntimeError):
+            KernelSVC(LinearKernel()).predict(X)
+
+    def test_support_indices(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        svc = KernelSVC(LinearKernel(), C=1.0).fit(X, y)
+        support = svc.support_indices
+        assert 0 < support.size <= X.shape[0]
+
+    def test_precomputed_requires_square(self):
+        with pytest.raises(ValueError):
+            KernelSVC("precomputed").fit(np.ones((3, 4)), [1, -1, 1])
+
+
+class TestOneVsRest:
+    def test_three_class_blobs(self, rng):
+        centers = np.array([[0, 0], [4, 0], [0, 4]])
+        X = np.vstack([rng.normal(size=(30, 2)) * 0.5 + c for c in centers])
+        y = np.repeat([0, 1, 2], 30)
+        ovr = OneVsRestSVC(lambda: KernelSVC(RBFKernel(0.5), C=5.0)).fit(X, y)
+        assert accuracy_score(y, ovr.predict(X)) > 0.9
+
+    def test_requires_two_classes(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            OneVsRestSVC(lambda: KernelSVC(LinearKernel())).fit(X, np.zeros(10))
+
+
+class TestLSSVC:
+    def test_fit_predict(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        model = LSSVC(RBFKernel(0.5), gamma=10.0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.95
+
+    def test_precomputed_cross_gram(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        kernel = RBFKernel(0.5)
+        gram = kernel(X)
+        model = LSSVC("precomputed", gamma=10.0).fit(gram, y)
+        scores = model.decision_function(kernel(X[:5], X))
+        assert scores.shape == (5,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LSSVC(LinearKernel(), gamma=0.0)
+        with pytest.raises(ValueError):
+            LSSVC("bogus").fit(np.eye(3), [1, -1, 1])
+        with pytest.raises(RuntimeError):
+            LSSVC(LinearKernel()).predict(np.ones((2, 2)))
+
+
+class TestDecisionTree:
+    def test_fits_axis_aligned_concept(self, rng):
+        X = rng.uniform(size=(200, 3))
+        y = np.where((X[:, 0] > 0.5) & (X[:, 2] < 0.7), 1, 0)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.95
+
+    def test_max_depth_zero_is_majority(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = np.asarray([0] * 30 + [1] * 20)
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert set(tree.predict(X)) == {0}
+        assert tree.depth() == 0
+        assert tree.n_leaves() == 1
+
+    def test_handles_nan_training_and_prediction(self, rng):
+        X = rng.normal(size=(150, 3))
+        y = np.where(X[:, 0] > 0, 1, 0)
+        X[rng.random(X.shape) < 0.2] = np.nan
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        predictions = tree.predict(X)
+        assert predictions.shape == (150,)
+        # Better than majority despite 20% missingness.
+        assert accuracy_score(y, predictions) > 0.7
+
+    def test_predict_proba_sums_to_one(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = np.where(X[:, 0] > 0, "a", "b")
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        for distribution in tree.predict_proba(X[:5]):
+            assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=-1)
+        tree = DecisionTreeClassifier()
+        with pytest.raises(RuntimeError):
+            tree.predict(np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            tree.fit(np.ones(5), np.ones(5))
+        fitted = DecisionTreeClassifier(max_depth=2).fit(
+            rng.normal(size=(20, 3)), np.arange(20) % 2
+        )
+        with pytest.raises(ValueError):
+            fitted.predict(np.ones((2, 5)))
+
+
+class TestNaiveBayesAndKnn:
+    def test_gnb_on_blobs(self, rng):
+        X = np.vstack([rng.normal(size=(40, 2)) - 2, rng.normal(size=(40, 2)) + 2])
+        y = np.repeat([0, 1], 40)
+        model = GaussianNB().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.95
+        probabilities = model.predict_proba(X)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_gnb_tolerates_nan(self, rng):
+        X = np.vstack([rng.normal(size=(40, 3)) - 2, rng.normal(size=(40, 3)) + 2])
+        y = np.repeat([0, 1], 40)
+        X[rng.random(X.shape) < 0.3] = np.nan
+        model = GaussianNB().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_knn_basic(self, rng):
+        X = np.vstack([rng.normal(size=(30, 2)) - 3, rng.normal(size=(30, 2)) + 3])
+        y = np.repeat([0, 1], 30)
+        model = KNNClassifier(k=3).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) == 1.0
+
+    def test_knn_nan_aware(self, rng):
+        X = np.vstack([rng.normal(size=(30, 3)) - 3, rng.normal(size=(30, 3)) + 3])
+        y = np.repeat([0, 1], 30)
+        X_missing = X.copy()
+        X_missing[rng.random(X.shape) < 0.2] = np.nan
+        model = KNNClassifier(k=3, nan_aware=True).fit(X_missing, y)
+        assert accuracy_score(y, model.predict(X_missing)) > 0.9
+
+    def test_nan_distance_properties(self):
+        X = np.array([[0.0, np.nan], [0.0, 0.0]])
+        distances = nan_euclidean_distances(X, X)
+        assert distances[0, 0] == 0.0
+        assert distances[1, 1] == 0.0
+        no_overlap = nan_euclidean_distances(
+            np.array([[np.nan, 1.0]]), np.array([[1.0, np.nan]])
+        )
+        assert np.isinf(no_overlap[0, 0])
+
+    def test_knn_validation(self, rng):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNNClassifier(k=10).fit(rng.normal(size=(3, 2)), [0, 1, 0])
+
+
+class TestMetrics:
+    def test_accuracy_and_error(self):
+        assert accuracy_score([1, 1, 0], [1, 0, 0]) == pytest.approx(2 / 3)
+        assert error_rate([1, 1, 0], [1, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion_matrix(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert labels == ["a", "b"]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_precision_recall_f1(self):
+        precision, recall, f1 = precision_recall_f1(
+            [1, 1, 0, 0], [1, 0, 1, 0], positive=1
+        )
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+    def test_degenerate_precision(self):
+        precision, recall, f1 = precision_recall_f1([0, 0], [0, 0], positive=1)
+        assert precision == 0.0 and recall == 0.0 and f1 == 0.0
+
+    def test_macro_f1_perfect(self):
+        assert macro_f1([0, 1, 0], [0, 1, 0]) == pytest.approx(1.0)
+
+    def test_log_loss(self):
+        assert log_loss([1, 0], [0.9, 0.1]) < log_loss([1, 0], [0.6, 0.4])
+        # Accepts {-1, +1} labels too.
+        assert log_loss([1, -1], [0.9, 0.1]) == pytest.approx(
+            log_loss([1, 0], [0.9, 0.1])
+        )
+
+
+class TestValidation:
+    def test_train_test_split_sizes(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = (rng.random(100) > 0.5).astype(int)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, 0.25, seed=1)
+        assert X_test.shape[0] == 25
+        assert X_train.shape[0] + X_test.shape[0] == 100
+
+    def test_stratified_split_balance(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = np.asarray([0] * 80 + [1] * 20)
+        _, _, _, y_test = train_test_split(X, y, 0.25, seed=1, stratify=True)
+        assert abs(np.mean(y_test == 1) - 0.2) < 0.05
+
+    def test_split_fraction_validation(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            train_test_split(X, np.zeros(10), 0.0)
+
+    def test_kfold_partitions_everything(self):
+        folds = list(kfold_indices(23, 5, seed=2))
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(23))
+        for train, test in folds:
+            assert set(train) & set(test) == set()
+
+    def test_kfold_validation(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(5, 1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 5))
+
+    def test_stratified_kfold_keeps_classes(self):
+        y = np.asarray([0] * 12 + [1] * 6)
+        for train, test in stratified_kfold_indices(y, 3, seed=0):
+            assert np.unique(y[train]).size == 2
+
+    def test_cross_val_score_runs(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        scores = cross_val_score(lambda: GaussianNB(), X, y, n_folds=4)
+        assert len(scores) == 4
+        assert all(0 <= s <= 1 for s in scores)
+
+    def test_cross_val_precomputed_matches_direct(self, tiny_binary_data):
+        X, y = tiny_binary_data
+        kernel = RBFKernel(0.5)
+        scores = cross_val_score_precomputed(
+            lambda: LSSVC("precomputed", gamma=10.0), kernel(X), y, n_folds=4
+        )
+        assert len(scores) == 4
+        assert np.mean(scores) > 0.8
+
+    def test_cross_val_precomputed_requires_square(self):
+        with pytest.raises(ValueError):
+            cross_val_score_precomputed(
+                lambda: LSSVC("precomputed"), np.ones((3, 4)), np.ones(3)
+            )

@@ -1,0 +1,177 @@
+"""FacetedLearner facade and chain-of-trust reports."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import accuracy_score, train_test_split
+from repro.core import FacetedLearner, build_trust_report
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.pipeline import (
+    AcquisitionStage,
+    DataBundle,
+    GaussianNoise,
+    ImputationStage,
+    MeanImputer,
+    MissingCompletelyAtRandom,
+    MissingNotAtRandom,
+    Pipeline,
+    SensorBias,
+)
+
+
+@pytest.fixture(scope="module")
+def split_workload():
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.6),
+        FacetSpec("extra", 2, signal="radial", weight=1.0),
+        FacetSpec("noise", 2, role="noise"),
+    ]
+    workload = make_faceted_classification(320, specs, seed=9)
+    return train_test_split(workload.X, workload.y, 0.3, seed=0, stratify=True), workload
+
+
+class TestFacetedLearner:
+    @pytest.mark.parametrize("strategy", ["chain", "chains", "greedy", "exhaustive"])
+    def test_all_strategies_fit_and_beat_chance(self, split_workload, strategy):
+        (X_train, X_test, y_train, y_test), _ = split_workload
+        learner = FacetedLearner(
+            strategy=strategy, scorer="alignment", seed_block=(0, 1)
+        )
+        learner.fit(X_train, y_train)
+        accuracy = accuracy_score(y_test, learner.predict(X_test))
+        assert accuracy > 0.6, f"{strategy} got {accuracy}"
+        assert learner.n_kernels >= 1
+        description = learner.describe()
+        assert description["strategy"] == strategy
+        assert description["n_evaluations"] >= 1
+
+    def test_beats_single_kernel_baseline(self, split_workload):
+        """Structural awareness claim: facet-aware beats facet-blind."""
+        (X_train, X_test, y_train, y_test), _ = split_workload
+        facet_aware = FacetedLearner(
+            strategy="exhaustive", scorer="cv", seed_block=(0, 1)
+        ).fit(X_train, y_train)
+        aware_accuracy = accuracy_score(y_test, facet_aware.predict(X_test))
+
+        blind = FacetedLearner(
+            strategy="chain",
+            scorer="alignment",
+            seed_block=tuple(range(X_train.shape[1])),
+        ).fit(X_train, y_train)  # one monolithic kernel (rest empty)
+        blind_accuracy = accuracy_score(y_test, blind.predict(X_test))
+        assert blind.n_kernels == 1
+        assert aware_accuracy >= blind_accuracy
+
+    def test_rough_seed_used_when_unspecified(self, split_workload):
+        (X_train, _, y_train, _), _ = split_workload
+        learner = FacetedLearner(strategy="chain", scorer="alignment")
+        learner.fit(X_train, y_train)
+        assert learner.rough_seed_ is not None
+        assert len(learner.rough_seed_.seed_columns) >= 1
+
+    def test_views_seed_selection(self, split_workload):
+        (X_train, _, y_train, _), workload = split_workload
+        views = list(workload.view_columns.values())
+        learner = FacetedLearner(strategy="chain", scorer="alignment", views=views)
+        learner.fit(X_train, y_train)
+        # Seed must be one of the declared views.
+        seed_blocks = {tuple(sorted(v)) for v in views}
+        assert any(
+            tuple(sorted(block)) in seed_blocks
+            for block in learner.search_result_.seed_partition.blocks
+        )
+
+    def test_decision_function_sign_matches_predict(self, split_workload):
+        (X_train, X_test, y_train, _), _ = split_workload
+        learner = FacetedLearner(
+            strategy="chain", scorer="alignment", seed_block=(0, 1)
+        ).fit(X_train, y_train)
+        scores = learner.decision_function(X_test)
+        labels = learner.predict(X_test)
+        positive = learner._estimator.classes_[1]
+        assert np.array_equal(labels == positive, scores >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FacetedLearner(strategy="bogus")
+        with pytest.raises(ValueError):
+            FacetedLearner(scorer="bogus")
+        learner = FacetedLearner()
+        with pytest.raises(RuntimeError):
+            learner.predict(np.ones((2, 6)))
+        with pytest.raises(RuntimeError):
+            learner.describe()
+
+
+class TestTrustReport:
+    def run_pipeline(self, X, sources):
+        pipeline = Pipeline(
+            [AcquisitionStage(sources), ImputationStage(MeanImputer())]
+        )
+        return pipeline.run(DataBundle(X=X), seed=0)
+
+    def test_report_fields_and_render(self, split_workload):
+        (X_train, X_test, y_train, y_test), _ = split_workload
+        learner = FacetedLearner(
+            strategy="chain", scorer="alignment", seed_block=(0, 1)
+        ).fit(X_train, y_train)
+        run = self.run_pipeline(
+            X_train, [GaussianNoise(0.1), MissingCompletelyAtRandom(0.1)]
+        )
+        report = build_trust_report(run, learner, X_test, y_test)
+        assert 0.0 <= report.trust_score <= 1.0
+        assert report.veracity["holdout_accuracy"] > 0.5
+        text = report.render()
+        assert "Chain-of-trust" in text and "trust score" in text
+
+    def test_declared_damage_lowers_trust(self, split_workload):
+        """Same model, more declared damage => lower trust score."""
+        (X_train, X_test, y_train, y_test), _ = split_workload
+        learner = FacetedLearner(
+            strategy="chain", scorer="alignment", seed_block=(0, 1)
+        ).fit(X_train, y_train)
+        clean = build_trust_report(
+            self.run_pipeline(X_train, [GaussianNoise(0.01)]),
+            learner, X_test, y_test,
+        )
+        damaged = build_trust_report(
+            self.run_pipeline(
+                X_train, [GaussianNoise(1.0), MissingCompletelyAtRandom(0.4)]
+            ),
+            learner, X_test, y_test,
+        )
+        assert damaged.trust_score < clean.trust_score
+
+    def test_warning_generation(self, split_workload):
+        (X_train, X_test, y_train, y_test), _ = split_workload
+        learner = FacetedLearner(
+            strategy="chain", scorer="alignment", seed_block=(0, 1)
+        ).fit(X_train, y_train)
+        run = self.run_pipeline(
+            X_train,
+            [
+                MissingNotAtRandom(0.35, quantile=0.6),
+                SensorBias(1.0),
+            ],
+        )
+        report = build_trust_report(run, learner, X_test, y_test)
+        joined = " ".join(report.warnings)
+        assert "missing-not-at-random" in joined
+        assert "bias" in joined
+
+
+class TestAlignfWeighting:
+    def test_alignf_weighting_end_to_end(self, split_workload):
+        (X_train, X_test, y_train, y_test), _ = split_workload
+        learner = FacetedLearner(
+            strategy="chain",
+            scorer="alignment",
+            weighting="alignf",
+            seed_block=(0, 1),
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, learner.predict(X_test)) > 0.6
+        assert np.all(np.asarray(learner.weights_) >= 0)
+
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(ValueError):
+            FacetedLearner(weighting="bogus")

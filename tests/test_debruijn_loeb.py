@@ -1,0 +1,249 @@
+"""de Bruijn SCD of B_n and the Loeb–Damiani–D'Antona transfer to Pi_{n+1}.
+
+Includes the exact reproduction of the paper's Table I and B_3 chains.
+"""
+
+import pytest
+
+from repro.combinatorics.boolean import format_subset
+from repro.combinatorics.debruijn import (
+    debruijn_scd,
+    greene_kleitman_chain,
+    greene_kleitman_scd,
+    validate_boolean_scd,
+)
+from repro.combinatorics.loeb import (
+    ldd_chains,
+    ldd_coverage_report,
+    ldd_encoding,
+    ldd_table,
+    ldd_type,
+    merge_position,
+    partitions_of_type,
+    symmetric_chain_cover_upper_bound,
+    validate_partition_scd,
+)
+from repro.combinatorics.stirling import bell_number, binomial, stirling2
+
+
+class TestDeBruijnScd:
+    def test_b3_matches_paper(self):
+        """The paper: C1=(∅,{1},{1,2},{1,2,3}), C2=({2},{2,3}), C3=({3},{1,3})."""
+        chains = {tuple(sorted(tuple(sorted(s)) for s in chain)) for chain in []}
+        chain_sets = {
+            tuple(tuple(sorted(subset)) for subset in chain)
+            for chain in debruijn_scd(3)
+        }
+        assert ((), (1,), (1, 2), (1, 2, 3)) in chain_sets
+        assert ((2,), (2, 3)) in chain_sets
+        assert ((3,), (1, 3)) in chain_sets
+        assert len(chain_sets) == 3
+
+    @pytest.mark.parametrize("n", range(0, 11))
+    def test_valid_scd(self, n):
+        chains = debruijn_scd(n)
+        report = validate_boolean_scd(chains, n)
+        assert report.valid
+        assert report.n_elements_covered == 2**n
+
+    @pytest.mark.parametrize("n", range(1, 10))
+    def test_chain_count_is_central_binomial(self, n):
+        """An SCD of B_n has exactly C(n, floor(n/2)) chains."""
+        assert len(debruijn_scd(n)) == binomial(n, n // 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            debruijn_scd(-1)
+
+    @pytest.mark.parametrize("n", range(0, 10))
+    def test_matches_greene_kleitman(self, n):
+        """The bracketing construction yields the same decomposition."""
+        db = {frozenset(chain) for chain in debruijn_scd(n)}
+        gk = {frozenset(chain) for chain in greene_kleitman_scd(n)}
+        assert db == gk
+
+    def test_gk_chain_through_subset(self):
+        chain = greene_kleitman_chain(frozenset({2}), 3)
+        assert chain == (frozenset({2}), frozenset({2, 3}))
+        # The chain through any of its members is the same chain.
+        assert greene_kleitman_chain(frozenset({2, 3}), 3) == chain
+
+    def test_gk_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            greene_kleitman_chain(frozenset({5}), 3)
+
+
+class TestLddEncoding:
+    def test_paper_encodings_b3(self):
+        """All eight c(S) values from Table I."""
+        expected = {
+            (): (1, 1, 1, 1),
+            (1,): (0, 2, 1, 1),
+            (1, 2): (0, 0, 3, 1),
+            (1, 2, 3): (0, 0, 0, 4),
+            (2,): (1, 0, 2, 1),
+            (2, 3): (1, 0, 0, 3),
+            (3,): (1, 1, 0, 2),
+            (1, 3): (0, 2, 0, 2),
+        }
+        for subset, digits in expected.items():
+            assert ldd_encoding(frozenset(subset), 3) == digits
+
+    def test_paper_types_b3(self):
+        expected = {
+            (): (1, 1, 1, 1),
+            (1,): (1, 1, 2),
+            (1, 2): (1, 3),
+            (1, 2, 3): (4,),
+            (2,): (1, 2, 1),
+            (2, 3): (3, 1),
+            (3,): (2, 1, 1),
+            (1, 3): (2, 2),
+        }
+        for subset, type_ in expected.items():
+            assert ldd_type(frozenset(subset), 3) == type_
+
+    def test_digits_sum_to_n_plus_one(self):
+        for n in range(1, 8):
+            from repro.combinatorics.boolean import all_subsets
+
+            for subset in all_subsets(n):
+                assert sum(ldd_encoding(subset, n)) == n + 1
+
+    def test_encoding_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ldd_encoding(frozenset({9}), 3)
+
+    def test_type_bijection_with_subsets(self):
+        """S -> type is a bijection onto compositions of n+1."""
+        from repro.combinatorics.boolean import all_subsets
+
+        for n in range(1, 8):
+            types = {ldd_type(subset, n) for subset in all_subsets(n)}
+            assert len(types) == 2**n
+
+
+class TestPartitionsOfType:
+    def test_paper_pools(self):
+        pools = {
+            (2, 1, 1): ["12/3/4", "13/2/4", "14/2/3"],
+            (2, 2): ["12/34", "13/24", "14/23"],
+            (1, 2, 1): ["1/23/4", "1/24/3"],
+            (3, 1): ["123/4", "124/3", "134/2"],
+            (1, 1, 2): ["1/2/34"],
+            (1, 3): ["1/234"],
+            (4,): ["1234"],
+        }
+        for type_, expected in pools.items():
+            produced = [p.compact_str() for p in partitions_of_type(type_)]
+            assert sorted(produced) == sorted(expected)
+
+    def test_rejects_bad_composition(self):
+        with pytest.raises(ValueError):
+            list(partitions_of_type((0, 2)))
+        with pytest.raises(ValueError):
+            list(partitions_of_type((2, 1), elements=[1, 2]))
+
+
+class TestMergePosition:
+    def test_paper_walk_c1(self):
+        """∅ -> {1} merges blocks (2,3); {1} -> {1,2} merges (1,2); ..."""
+        assert merge_position(frozenset(), 1, 3) == 2
+        assert merge_position(frozenset({1}), 2, 3) == 1
+        assert merge_position(frozenset({1, 2}), 3, 3) == 0
+
+    def test_paper_walk_c2_c3(self):
+        assert merge_position(frozenset({2}), 3, 3) == 0
+        assert merge_position(frozenset({3}), 1, 3) == 1
+
+    def test_rejects_present_element(self):
+        with pytest.raises(ValueError):
+            merge_position(frozenset({2}), 2, 3)
+
+
+class TestLddChains:
+    def test_table1_chains_exactly(self):
+        """The six chains implicit in Table I, as compact strings."""
+        produced = {
+            tuple(p.compact_str() for p in chain) for chain in ldd_chains(3)
+        }
+        expected = {
+            ("1/2/3/4", "1/2/34", "1/234", "1234"),
+            ("12/3/4", "12/34"),
+            ("13/2/4", "13/24"),
+            ("14/2/3", "14/23"),
+            ("1/23/4", "123/4"),
+            ("1/24/3", "124/3"),
+        }
+        assert produced == expected
+
+    def test_table1_uncovered_partition(self):
+        """Table I leaves exactly 134/2 uncovered."""
+        covered = {p for chain in ldd_chains(3) for p in chain}
+        from repro.combinatorics.partitions import all_partitions
+
+        uncovered = [
+            p for p in all_partitions([1, 2, 3, 4]) if p not in covered
+        ]
+        assert [p.compact_str() for p in uncovered] == ["134/2"]
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_chains_are_valid_scd(self, n):
+        report = validate_partition_scd(ldd_chains(n), n)
+        assert report.valid, (
+            report.non_saturated_chains,
+            report.non_symmetric_chains,
+            report.duplicates,
+        )
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_low_rank_coverage_theorem(self, n):
+        """LDD theorem: every partition of rank <= (n-1)/2 is covered."""
+        coverage = ldd_coverage_report(n)
+        assert coverage.low_ranks_fully_covered
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_maximality_by_counting(self, n):
+        """Coverage meets the rank-profile counting bound exactly."""
+        coverage = ldd_coverage_report(n)
+        assert coverage.n_partitions_covered == coverage.counting_upper_bound
+
+    def test_full_coverage_small_n(self):
+        """Pi_2 and Pi_3 decompose completely."""
+        assert ldd_coverage_report(1).n_partitions_covered == bell_number(2)
+        assert ldd_coverage_report(2).n_partitions_covered == bell_number(3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ldd_chains(-1)
+
+
+class TestLddTable:
+    def test_row_format_matches_paper(self):
+        groups = ldd_table(3)
+        rows = {row.format() for group in groups for row in group}
+        assert "∅ | 1111 -> 1111 | 1/2/3/4" in rows
+        assert "{2} | 1021 -> 121 | 1/23/4, 1/24/3" in rows
+        assert "{2, 3} | 1003 -> 31 | 123/4, 124/3, 134/2" in rows
+        assert "{1, 3} | 0202 -> 22 | 12/34, 13/24, 14/23" in rows
+
+    def test_pools_tile_all_partitions(self):
+        groups = ldd_table(3)
+        total = sum(len(row.partitions) for group in groups for row in group)
+        assert total == bell_number(4)
+
+    def test_format_subset(self):
+        assert format_subset(frozenset()) == "∅"
+        assert format_subset(frozenset({2, 1})) == "{1, 2}"
+
+
+class TestCountingBound:
+    def test_pi4_bound(self):
+        profile = [stirling2(4, 4 - i) for i in range(4)]
+        assert symmetric_chain_cover_upper_bound(profile) == 14
+
+    def test_symmetric_profile_covers_everything(self):
+        """Boolean-lattice profiles admit full coverage."""
+        for n in range(1, 8):
+            profile = [binomial(n, k) for k in range(n + 1)]
+            assert symmetric_chain_cover_upper_bound(profile) == 2**n

@@ -1,0 +1,42 @@
+"""Run the docstring examples of every public module.
+
+Keeps README-style usage snippets in the API docs honest: if a
+docstring example drifts from the implementation, this fails.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+
+
+def test_all_packages_discovered():
+    """The walk must see every subpackage (guards against import cycles)."""
+    packages = {name.split(".")[1] for name in MODULES if name.count(".") >= 1}
+    assert {
+        "analytics",
+        "combinatorics",
+        "core",
+        "games",
+        "iot",
+        "kernels",
+        "mkl",
+        "multiview",
+        "pipeline",
+        "roughsets",
+    } <= packages

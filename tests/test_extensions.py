@@ -1,0 +1,383 @@
+"""Extension modules: VPRS, alignf, late fusion, operators/poisoning,
+Bayesian games, kernel tuning, provenance graphs."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import GaussianNB, KNNClassifier, accuracy_score
+from repro.combinatorics import SetPartition
+from repro.games import BayesianGame, harsanyi_transform
+from repro.iot import (
+    CORRUPTIONS,
+    FacetOwnership,
+    FacetSpec,
+    Operator,
+    corrupt_facet,
+    make_faceted_classification,
+)
+from repro.kernels import (
+    RBFKernel,
+    alignment_objective,
+    cv_objective,
+    tune_kernel,
+    tune_polynomial,
+    tune_rbf,
+)
+from repro.mkl import alignf_weights, alignment_weights
+from repro.multiview import LateFusionClassifier
+from repro.pipeline import (
+    AcquisitionStage,
+    DataBundle,
+    GaussianNoise,
+    ImputationStage,
+    MeanImputer,
+    MissingCompletelyAtRandom,
+    Pipeline,
+    ProvenanceGraph,
+)
+from repro.roughsets import (
+    PHONE_CONCEPT_AVAILABLE,
+    indiscernibility,
+    lower_approximation,
+    phone_table,
+    upper_approximation,
+    vprs_accuracy,
+    vprs_approximate,
+    vprs_lower,
+    vprs_upper,
+)
+
+
+class TestVariablePrecision:
+    def test_beta_zero_recovers_pawlak(self):
+        table = phone_table()
+        partition = indiscernibility(table, ["os"])
+        concept = PHONE_CONCEPT_AVAILABLE
+        assert vprs_lower(partition, concept, 0.0) == lower_approximation(
+            partition, concept
+        )
+        assert vprs_upper(partition, concept, 0.0) == upper_approximation(
+            partition, concept
+        )
+
+    def test_beta_admits_noisy_class(self):
+        # Class of 10 with 9 members in the concept: excluded by Pawlak,
+        # admitted at beta >= 0.1.
+        partition = SetPartition([tuple(range(10)), (10, 11)])
+        concept = frozenset(range(9))
+        assert 0 not in vprs_lower(partition, concept, 0.0)
+        assert 0 in vprs_lower(partition, concept, 0.12)
+
+    def test_upper_shrinks_with_beta(self):
+        partition = SetPartition([tuple(range(10)), (10, 11)])
+        concept = frozenset({0})  # inclusion degree 0.1 in the big class
+        assert set(range(10)) <= vprs_upper(partition, concept, 0.0)
+        assert vprs_upper(partition, concept, 0.2) == frozenset()
+
+    def test_accuracy_monotone_in_beta_on_noisy_block(self):
+        partition = SetPartition([tuple(range(10)), (10, 11)])
+        concept = frozenset(range(9)) | {10, 11}
+        low = vprs_accuracy(partition, concept, 0.0)
+        high = vprs_accuracy(partition, concept, 0.15)
+        assert high >= low
+
+    def test_bundle_and_validation(self):
+        partition = SetPartition([(0, 1), (2,)])
+        result = vprs_approximate(partition, {0, 1}, beta=0.1)
+        assert result.lower == frozenset({0, 1})
+        assert result.boundary == frozenset()
+        with pytest.raises(ValueError):
+            vprs_lower(partition, {0}, beta=0.5)
+        with pytest.raises(ValueError):
+            vprs_lower(partition, {0}, beta=-0.1)
+
+
+class TestAlignf:
+    def make_grams(self, rng):
+        y = np.concatenate([np.ones(20), -np.ones(20)])
+        informative = RBFKernel(1.0)(y[:, None] + 0.1 * rng.normal(size=(40, 1)))
+        junk = RBFKernel(1.0)(rng.normal(size=(40, 1)))
+        return [informative, junk], y
+
+    def test_prefers_informative_kernel(self, rng):
+        grams, y = self.make_grams(rng)
+        weights = alignf_weights(grams, y)
+        assert weights[0] > weights[1]
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights >= 0)
+
+    def test_splits_weight_between_redundant_copies(self, rng):
+        grams, y = self.make_grams(rng)
+        informative, junk = grams
+        # Two copies of the informative kernel: alignf should not let the
+        # pair dominate more than the single copy did vs junk.
+        weights_dup = alignf_weights([informative, informative, junk], y)
+        assert weights_dup[0] + weights_dup[1] == pytest.approx(
+            alignf_weights([informative, junk], y)[0], abs=0.1
+        )
+
+    def test_uniform_fallback_on_anti_aligned(self, rng):
+        y = np.asarray([1.0, -1.0] * 6)
+        anti = -np.outer(y, y)  # negative alignment by construction
+        weights = alignf_weights([anti, anti], y)
+        assert np.allclose(weights, 0.5)
+
+    def test_identical_kernels_still_convex(self, rng):
+        grams, y = self.make_grams(rng)
+        informative = grams[0]
+        weights = alignf_weights([informative, informative], y)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights >= 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            alignf_weights([], np.ones(3))
+
+
+class TestLateFusion:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        specs = [
+            FacetSpec("a", 2, signal="linear", weight=1.4),
+            FacetSpec("b", 2, signal="linear", weight=1.0),
+            FacetSpec("junk", 2, role="noise"),
+        ]
+        return make_faceted_classification(300, specs, seed=13)
+
+    @pytest.mark.parametrize("rule", ["majority", "weighted", "product"])
+    def test_rules_fit_and_predict(self, workload, rule):
+        views = list(workload.view_columns.values())
+        fusion = LateFusionClassifier(views, GaussianNB, rule=rule)
+        fusion.fit(workload.X, workload.y)
+        accuracy = accuracy_score(workload.y, fusion.predict(workload.X))
+        assert accuracy > 0.6
+
+    def test_weighted_downweights_junk_view(self, workload):
+        views = list(workload.view_columns.values())
+        fusion = LateFusionClassifier(views, GaussianNB, rule="weighted")
+        fusion.fit(workload.X, workload.y)
+        # junk is the last view
+        assert fusion.view_weights_[-1] <= max(fusion.view_weights_[:-1])
+
+    def test_per_view_accuracy_diagnostics(self, workload):
+        views = list(workload.view_columns.values())
+        fusion = LateFusionClassifier(views, GaussianNB, rule="majority")
+        fusion.fit(workload.X, workload.y)
+        per_view = fusion.per_view_accuracy(workload.X, workload.y)
+        assert set(per_view) == {0, 1, 2}
+        assert per_view[0] > per_view[2]  # signal beats junk
+
+    def test_product_requires_probabilities(self, workload):
+        views = list(workload.view_columns.values())
+        fusion = LateFusionClassifier(
+            views, lambda: KNNClassifier(3), rule="product"
+        )
+        fusion.fit(workload.X, workload.y)
+        with pytest.raises(TypeError):
+            fusion.predict(workload.X)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LateFusionClassifier([(0,)], GaussianNB, rule="bogus")
+        with pytest.raises(ValueError):
+            LateFusionClassifier([], GaussianNB)
+        with pytest.raises(ValueError):
+            LateFusionClassifier([()], GaussianNB)
+        fusion = LateFusionClassifier([(0,)], GaussianNB)
+        with pytest.raises(RuntimeError):
+            fusion.predict(np.ones((2, 1)))
+
+
+class TestOperators:
+    def test_ownership_validation(self):
+        with pytest.raises(ValueError):
+            FacetOwnership([])
+        with pytest.raises(ValueError):
+            FacetOwnership(
+                [Operator("a", (0, 1)), Operator("a", (2,))]
+            )
+        with pytest.raises(ValueError):
+            FacetOwnership(
+                [Operator("a", (0, 1)), Operator("b", (1, 2))]
+            )
+        with pytest.raises(ValueError):
+            Operator("x", ())
+        with pytest.raises(ValueError):
+            Operator("x", (0, 0))
+        with pytest.raises(ValueError):
+            Operator("x", (0,), trust=1.5)
+
+    def test_owner_queries(self):
+        ownership = FacetOwnership(
+            [Operator("telco", (0, 1), trust=0.9), Operator("shadow", (2,), trust=0.2)]
+        )
+        assert ownership.owner_of(0).name == "telco"
+        assert ownership.owner_of(5) is None
+        assert [op.name for op in ownership.untrusted()] == ["shadow"]
+        with pytest.raises(KeyError):
+            ownership.operator("nobody")
+
+    @pytest.mark.parametrize("mode", sorted(CORRUPTIONS))
+    def test_corruptions_touch_only_owned_columns(self, mode, rng):
+        X = rng.normal(size=(100, 4))
+        corrupted = corrupt_facet(X, (1, 2), mode, strength=0.8, rng=rng)
+        assert np.allclose(corrupted[:, 0], X[:, 0])
+        assert np.allclose(corrupted[:, 3], X[:, 3])
+        assert not np.allclose(corrupted[:, 1:3], X[:, 1:3])
+
+    def test_zero_strength_is_identity(self, rng):
+        X = rng.normal(size=(20, 3))
+        assert np.allclose(corrupt_facet(X, (0,), "noise_flood", 0.0, rng), X)
+
+    def test_shuffle_preserves_marginals(self, rng):
+        X = rng.normal(size=(200, 2))
+        corrupted = corrupt_facet(X, (1,), "value_shuffle", 1.0, rng)
+        assert np.allclose(np.sort(corrupted[:, 1]), np.sort(X[:, 1]))
+
+    def test_validation(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            corrupt_facet(X, (0,), "bogus", 0.5, rng)
+        with pytest.raises(ValueError):
+            corrupt_facet(X, (9,), "noise_flood", 0.5, rng)
+        with pytest.raises(ValueError):
+            corrupt_facet(X, (0,), "noise_flood", -1.0, rng)
+
+
+class TestBayesianGame:
+    def make_game(self):
+        # Analyst type "cheap" prefers low effort; "thorough" rewards prep.
+        A_cheap = np.array([[2.0, 1.0], [1.0, 0.0]])
+        A_thorough = np.array([[0.0, 1.0], [2.0, 3.0]])
+        B_cheap = np.array([[2.0, 0.0], [1.0, 0.0]])
+        B_thorough = np.array([[0.0, 1.0], [1.0, 3.0]])
+        return BayesianGame(
+            row_payoffs={"cheap": A_cheap, "thorough": A_thorough},
+            column_payoffs={"cheap": B_cheap, "thorough": B_thorough},
+            priors={"cheap": 0.5, "thorough": 0.5},
+        )
+
+    def test_harsanyi_shape(self):
+        game = self.make_game()
+        normal, plans = harsanyi_transform(game)
+        assert normal.A.shape == (2, 4)  # 2 row actions x 2^2 plans
+        assert len(plans) == 4
+
+    def test_expected_payoffs_average_types(self):
+        game = self.make_game()
+        normal, plans = harsanyi_transform(game)
+        # Plan where both types play column 0.
+        index = plans.index({"cheap": 0, "thorough": 0})
+        assert normal.A[0, index] == pytest.approx(0.5 * 2.0 + 0.5 * 0.0)
+
+    def test_degenerate_single_type_matches_base_game(self):
+        A = np.array([[1.0, 0.0], [0.0, 1.0]])
+        B = np.array([[1.0, 0.0], [0.0, 1.0]])
+        game = BayesianGame(
+            row_payoffs={"only": A},
+            column_payoffs={"only": B},
+            priors={"only": 1.0},
+        )
+        normal, plans = harsanyi_transform(game)
+        assert np.allclose(normal.A, A)
+        assert np.allclose(normal.B, B)
+
+    def test_validation(self):
+        A = np.eye(2)
+        with pytest.raises(ValueError):
+            BayesianGame({"a": A}, {"b": A}, {"a": 1.0})
+        with pytest.raises(ValueError):
+            BayesianGame({"a": A}, {"a": A}, {"a": 0.7})
+        with pytest.raises(ValueError):
+            BayesianGame(
+                {"a": A, "b": np.eye(3)},
+                {"a": A, "b": np.eye(3)},
+                {"a": 0.5, "b": 0.5},
+            )
+
+
+class TestKernelTuning:
+    def make_data(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = np.where(X[:, 0] ** 2 + X[:, 1] ** 2 > 2.0, 1, -1)
+        return X, y
+
+    def test_tune_rbf_improves_over_worst(self, rng):
+        X, y = self.make_data(rng)
+        result = tune_rbf(X, y)
+        scores = [score for _, score in result.trials]
+        assert result.best_score == max(scores)
+        assert result.best_score > min(scores)
+
+    def test_cv_objective_runs(self, rng):
+        X, y = self.make_data(rng)
+        result = tune_rbf(X, y, gamma_factors=(0.5, 1.0), objective=cv_objective(2))
+        assert 0.0 <= result.best_score <= 1.0
+
+    def test_tune_polynomial_grid_size(self, rng):
+        X, y = self.make_data(rng)
+        result = tune_polynomial(X, y, degrees=(1, 2), coef0s=(0.0, 1.0))
+        assert len(result.trials) == 4
+
+    def test_tune_kernel_validation(self, rng):
+        X, y = self.make_data(rng)
+        with pytest.raises(ValueError):
+            tune_kernel([], X, y)
+
+    def test_alignment_objective_bounded(self, rng):
+        X, y = self.make_data(rng)
+        value = alignment_objective(RBFKernel(1.0)(X), y)
+        assert -1.0 <= value <= 1.0
+
+
+class TestProvenance:
+    def make_run(self, rng):
+        X = rng.normal(size=(60, 3))
+        pipeline = Pipeline(
+            [
+                AcquisitionStage(
+                    [GaussianNoise(0.2), MissingCompletelyAtRandom(0.1)]
+                ),
+                ImputationStage(MeanImputer()),
+            ]
+        )
+        return pipeline.run(DataBundle(X=X), seed=1)
+
+    def test_graph_structure(self, rng):
+        provenance = ProvenanceGraph(self.make_run(rng))
+        assert provenance.stages() == ["acquisition", "impute_MeanImputer"]
+        assert provenance.lineage()[0][1] == "acquisition"
+        assert provenance.final_state == "state_2"
+        assert provenance.graph.number_of_nodes() == 3
+
+    def test_effect_queries(self, rng):
+        provenance = ProvenanceGraph(self.make_run(rng))
+        assert provenance.stages_declaring("missingness_added") == ["acquisition"]
+        assert provenance.stages_declaring("cells_imputed") == [
+            "impute_MeanImputer"
+        ]
+        assert provenance.cumulative_variance_at("state_1") == pytest.approx(0.04)
+        assert provenance.cumulative_variance_at("state_2") == pytest.approx(0.04)
+        with pytest.raises(KeyError):
+            provenance.cumulative_variance_at("nowhere")
+
+    def test_undeclared_gap_detection(self, rng):
+        from repro.pipeline import FunctionStage
+
+        X = rng.normal(size=(40, 2))
+
+        def silent_damage(data):
+            damaged = data.copy()
+            damaged[:5, 0] = np.nan
+            return damaged
+
+        pipeline = Pipeline(
+            [FunctionStage("sneaky", "preparation", silent_damage)]
+        )
+        run = pipeline.run(DataBundle(X=X))
+        provenance = ProvenanceGraph(run)
+        assert provenance.undeclared_gaps() == ["sneaky"]
+
+    def test_render(self, rng):
+        text = ProvenanceGraph(self.make_run(rng)).render()
+        assert "raw" in text and "acquisition" in text and "state_2" in text

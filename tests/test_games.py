@@ -1,0 +1,379 @@
+"""Game-theoretic substrate: matrix games, extensive form, multi-objective,
+and the simulated pipeline game."""
+
+import numpy as np
+import pytest
+
+from repro.games import (
+    Chance,
+    Decision,
+    Leaf,
+    NormalFormGame,
+    ParetoPoint,
+    SequentialGame,
+    backward_induction,
+    build_pipeline_game,
+    epsilon_constraint_best,
+    fictitious_play,
+    knee_point,
+    pareto_front,
+    pareto_tradeoff,
+    single_player_optimum,
+    solve_zero_sum,
+    weighted_sum_best,
+)
+from repro.games.pipeline_game import (
+    AnalystStrategy,
+    PrepStrategy,
+    default_analyst_strategies,
+    default_prep_strategies,
+)
+
+
+class TestZeroSum:
+    def test_matching_pennies(self):
+        solution = solve_zero_sum(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        assert solution.value == pytest.approx(0.0, abs=1e-8)
+        assert np.allclose(solution.row_strategy, [0.5, 0.5], atol=1e-6)
+        assert np.allclose(solution.column_strategy, [0.5, 0.5], atol=1e-6)
+
+    def test_rock_paper_scissors(self):
+        payoff = np.array([[0, -1, 1], [1, 0, -1], [-1, 1, 0]], dtype=float)
+        solution = solve_zero_sum(payoff)
+        assert solution.value == pytest.approx(0.0, abs=1e-8)
+        assert np.allclose(solution.row_strategy, 1 / 3, atol=1e-6)
+
+    def test_dominant_strategy_game(self):
+        # Row 1 dominates; column picks the smaller column (0).
+        payoff = np.array([[1.0, 2.0], [3.0, 4.0]])
+        solution = solve_zero_sum(payoff)
+        assert solution.value == pytest.approx(3.0)
+        assert solution.row_strategy[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_shift_invariance_of_strategies(self):
+        payoff = np.array([[1.0, -2.0], [-3.0, 4.0]])
+        base = solve_zero_sum(payoff)
+        shifted = solve_zero_sum(payoff + 10.0)
+        assert np.allclose(base.row_strategy, shifted.row_strategy, atol=1e-6)
+        assert shifted.value == pytest.approx(base.value + 10.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            solve_zero_sum(np.zeros((0, 2)))
+
+
+class TestNormalForm:
+    def prisoners_dilemma(self):
+        # Actions: cooperate, defect.
+        A = np.array([[3.0, 0.0], [5.0, 1.0]])
+        B = A.T.copy()
+        return NormalFormGame(A, B, ["C", "D"], ["C", "D"])
+
+    def test_pd_unique_nash_is_defect(self):
+        game = self.prisoners_dilemma()
+        assert game.pure_nash_equilibria() == [(1, 1)]
+        assert game.social_optimum() == (0, 0)
+        assert game.price_of_anarchy() == pytest.approx(3.0)
+
+    def test_best_responses(self):
+        game = self.prisoners_dilemma()
+        assert game.best_response_row(0) == 1
+        assert game.best_response_column(1) == 1
+
+    def test_stackelberg(self):
+        # Leader benefits from commitment in battle-of-the-sexes.
+        A = np.array([[2.0, 0.0], [0.0, 1.0]])
+        B = np.array([[1.0, 0.0], [0.0, 2.0]])
+        game = NormalFormGame(A, B)
+        row, column, payoff = game.stackelberg_row_leader()
+        assert (row, column) == (0, 0)
+        assert payoff == pytest.approx(2.0)
+
+    def test_zero_sum_constructor(self):
+        game = NormalFormGame.zero_sum(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        assert game.is_zero_sum
+
+    def test_support_enumeration_finds_mixed_equilibrium(self):
+        # Matching pennies has a unique mixed Nash at (1/2, 1/2).
+        game = NormalFormGame.zero_sum(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        equilibria = game.support_enumeration()
+        assert len(equilibria) == 1
+        x, y = equilibria[0]
+        assert np.allclose(x, [0.5, 0.5]) and np.allclose(y, [0.5, 0.5])
+
+    def test_support_enumeration_includes_pure(self):
+        game = self.prisoners_dilemma()
+        equilibria = game.support_enumeration()
+        pure = [
+            (np.argmax(x), np.argmax(y))
+            for x, y in equilibria
+            if max(x) > 0.99 and max(y) > 0.99
+        ]
+        assert (1, 1) in pure
+
+    def test_no_pure_nash_gives_nan_poa(self):
+        game = NormalFormGame.zero_sum(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        assert np.isnan(game.price_of_anarchy())
+
+    def test_fictitious_play_converges_matching_pennies(self):
+        game = NormalFormGame.zero_sum(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        row_frequency, col_frequency = fictitious_play(game, n_rounds=3000, seed=1)
+        assert np.allclose(row_frequency, [0.5, 0.5], atol=0.05)
+        assert np.allclose(col_frequency, [0.5, 0.5], atol=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormalFormGame(np.ones((2, 2)), np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            NormalFormGame(np.ones((2, 2)), np.ones((2, 2)), row_actions=["a"])
+        with pytest.raises(ValueError):
+            fictitious_play(self.prisoners_dilemma(), n_rounds=0)
+
+
+class TestSequential:
+    def entry_game(self):
+        """Classic entry deterrence: perfect information."""
+        return Decision(
+            "entrant",
+            information_set="entry",
+            children={
+                "out": Leaf({"entrant": 0.0, "incumbent": 2.0}),
+                "in": Decision(
+                    "incumbent",
+                    information_set="respond",
+                    children={
+                        "fight": Leaf({"entrant": -1.0, "incumbent": -1.0}),
+                        "accommodate": Leaf({"entrant": 1.0, "incumbent": 1.0}),
+                    },
+                ),
+            },
+        )
+
+    def test_backward_induction_entry_game(self):
+        payoffs, plan = backward_induction(self.entry_game())
+        assert payoffs == {"entrant": 1.0, "incumbent": 1.0}
+        assert plan["root"] == "in"
+        assert plan["/in"] == "accommodate"
+
+    def test_backward_induction_with_chance(self):
+        tree = Chance(
+            branches={
+                "sunny": (0.7, Leaf({"p": 10.0})),
+                "rainy": (0.3, Leaf({"p": 0.0})),
+            }
+        )
+        payoffs, _ = backward_induction(tree)
+        assert payoffs["p"] == pytest.approx(7.0)
+
+    def test_chance_probability_validation(self):
+        with pytest.raises(ValueError):
+            Chance(branches={"a": (0.5, Leaf({})), "b": (0.2, Leaf({}))})
+
+    def test_backward_induction_rejects_imperfect_information(self):
+        shared = "same_set"
+        tree = Decision(
+            "a",
+            information_set="top",
+            children={
+                "l": Decision(
+                    "b", information_set=shared, children={"x": Leaf({"b": 1.0})}
+                ),
+                "r": Decision(
+                    "b", information_set=shared, children={"x": Leaf({"b": 2.0})}
+                ),
+            },
+        )
+        with pytest.raises(ValueError):
+            backward_induction(tree)
+
+    def test_imperfect_information_normal_form(self):
+        """Simultaneous-move game encoded sequentially via a shared
+        information set equals its strategic form."""
+        tree = Decision(
+            "row",
+            information_set="r",
+            children={
+                "C": Decision(
+                    "col",
+                    information_set="c",
+                    children={
+                        "C": Leaf({"row": 3.0, "col": 3.0}),
+                        "D": Leaf({"row": 0.0, "col": 5.0}),
+                    },
+                ),
+                "D": Decision(
+                    "col",
+                    information_set="c",
+                    children={
+                        "C": Leaf({"row": 5.0, "col": 0.0}),
+                        "D": Leaf({"row": 1.0, "col": 1.0}),
+                    },
+                ),
+            },
+        )
+        game = SequentialGame(tree, ("row", "col"))
+        normal, rows, cols = game.to_normal_form()
+        assert normal.A.shape == (2, 2)
+        assert normal.pure_nash_equilibria() == [(1, 1)]  # defect/defect
+
+    def test_information_set_consistency_checks(self):
+        bad_tree = Decision(
+            "a",
+            information_set="s",
+            children={
+                "l": Decision(
+                    "b", information_set="s", children={"x": Leaf({})}
+                ),
+            },
+        )
+        with pytest.raises(ValueError):
+            SequentialGame(bad_tree, ("a", "b"))
+
+    def test_requires_labels(self):
+        tree = Decision("a", children={"x": Leaf({})})
+        with pytest.raises(ValueError):
+            SequentialGame(tree, ("a", "b"))
+
+
+class TestMultiObjective:
+    def test_pareto_front_filters_dominated(self):
+        points = [
+            ParetoPoint((1.0, 1.0), "dominated"),
+            ParetoPoint((2.0, 1.0), "edge_a"),
+            ParetoPoint((1.0, 2.0), "edge_b"),
+            ParetoPoint((0.5, 0.5), "worst"),
+        ]
+        front = pareto_front(points)
+        payloads = {p.payload for p in front}
+        assert payloads == {"edge_a", "edge_b"}
+
+    def test_pareto_keeps_duplicates_of_nondominated(self):
+        points = [ParetoPoint((1.0, 1.0), "a"), ParetoPoint((1.0, 1.0), "b")]
+        assert len(pareto_front(points)) == 2
+
+    def test_weighted_sum(self):
+        points = [ParetoPoint((2.0, 0.0), "x"), ParetoPoint((0.0, 3.0), "y")]
+        assert weighted_sum_best(points, [1.0, 0.0]).payload == "x"
+        assert weighted_sum_best(points, [0.0, 1.0]).payload == "y"
+
+    def test_epsilon_constraint(self):
+        points = [
+            ParetoPoint((0.9, -5.0), "expensive"),
+            ParetoPoint((0.7, -1.0), "cheap"),
+        ]
+        best = epsilon_constraint_best(points, optimise_index=0, floors={1: -2.0})
+        assert best.payload == "cheap"
+        assert epsilon_constraint_best(points, 0, {1: 0.0}) is None
+
+    def test_knee_point(self):
+        points = [
+            ParetoPoint((0.0, 1.0), "a"),
+            ParetoPoint((0.8, 0.8), "knee"),
+            ParetoPoint((1.0, 0.0), "b"),
+        ]
+        assert knee_point(points).payload == "knee"
+
+    def test_validation(self):
+        assert pareto_front([]) == []
+        with pytest.raises(ValueError):
+            weighted_sum_best([], [1.0])
+        with pytest.raises(ValueError):
+            knee_point([])
+        with pytest.raises(ValueError):
+            pareto_front(
+                [ParetoPoint((1.0,)), ParetoPoint((1.0, 2.0))]
+            )
+
+
+class TestPipelineGame:
+    @pytest.fixture(scope="class")
+    def game_setup(self):
+        rng = np.random.default_rng(5)
+        n = 240
+        X = rng.normal(size=(n, 4))
+        y = np.where(X[:, 0] + X[:, 1] > 0, 1, 0)
+        X[rng.random(X.shape) < 0.3] = np.nan
+        return X[: n // 2], y[: n // 2], X[n // 2 :], y[n // 2 :]
+
+    def test_game_builds_and_solves(self, game_setup):
+        result = build_pipeline_game(*game_setup)
+        assert result.accuracy.shape == (4, 4)
+        assert np.all(result.accuracy >= 0) and np.all(result.accuracy <= 1)
+        profiles = result.nash_profiles()
+        assert profiles, "expected at least one pure Nash equilibrium"
+        social = result.social_profile()
+        assert social[0] in [p.name for p in result.prep_strategies]
+
+    def test_single_player_matches_social(self, game_setup):
+        result = build_pipeline_game(*game_setup)
+        prep, analyst, welfare = single_player_optimum(result)
+        assert (prep, analyst) == result.social_profile()
+        assert welfare == pytest.approx(float((result.game.A + result.game.B).max()))
+
+    def test_pareto_tradeoff_nonempty(self, game_setup):
+        result = build_pipeline_game(*game_setup)
+        front = pareto_tradeoff(result)
+        assert front
+        # The zero-cost profile is always on the front.
+        costs = [-p.objectives[1] for p in front]
+        assert min(costs) == pytest.approx(min(
+            p.cost + a.cost
+            for p in result.prep_strategies
+            for a in result.analyst_strategies
+        ))
+
+    def test_custom_strategies(self, game_setup):
+        from repro.analytics import GaussianNB
+
+        result = build_pipeline_game(
+            *game_setup,
+            prep_strategies=[PrepStrategy("none", 0.0, None)],
+            analyst_strategies=[
+                AnalystStrategy("nb", 0.1, GaussianNB),
+            ],
+        )
+        assert result.accuracy.shape == (1, 1)
+
+    def test_default_strategy_lists(self):
+        assert len(default_prep_strategies()) == 4
+        assert len(default_analyst_strategies()) == 4
+        names = [s.name for s in default_prep_strategies()]
+        assert "no_impute" in names
+
+
+class TestBayesianPipelineGame:
+    def test_lift_and_solve(self, rng=None):
+        import numpy as np
+
+        from repro.games import build_bayesian_pipeline_game, build_pipeline_game
+
+        generator = np.random.default_rng(7)
+        n = 200
+        X = generator.normal(size=(n, 3))
+        y = np.where(X[:, 0] > 0, 1, 0)
+        X[generator.random(X.shape) < 0.2] = np.nan
+        result = build_pipeline_game(X[:100], y[:100], X[100:], y[100:])
+        game, normal, plans = build_bayesian_pipeline_game(
+            result,
+            type_cost_scale={"frugal": 3.0, "lavish": 0.2},
+            priors={"frugal": 0.6, "lavish": 0.4},
+        )
+        n_analyst = len(result.analyst_strategies)
+        assert normal.A.shape == (len(result.prep_strategies), n_analyst**2)
+        assert normal.pure_nash_equilibria()
+
+    def test_type_mismatch_rejected(self):
+        import numpy as np
+
+        import pytest as _pytest
+
+        from repro.games import build_bayesian_pipeline_game, build_pipeline_game
+
+        generator = np.random.default_rng(8)
+        X = generator.normal(size=(60, 2))
+        y = np.where(X[:, 0] > 0, 1, 0)
+        result = build_pipeline_game(X[:30], y[:30], X[30:], y[30:])
+        with _pytest.raises(ValueError):
+            build_bayesian_pipeline_game(
+                result, {"a": 1.0}, {"b": 1.0}
+            )

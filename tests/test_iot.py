@@ -1,0 +1,284 @@
+"""IoT substrate: sensors, fields, devices, network, workloads, scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.iot import (
+    CaptureSession,
+    Deployment,
+    Device,
+    FacetSpec,
+    Link,
+    Placement,
+    Sensor,
+    SensorField,
+    SensorSpec,
+    Tier,
+    biometric_identification,
+    build_topology,
+    degrade_links,
+    end_to_end_latency,
+    environmental_field,
+    make_faceted_classification,
+    make_two_view_blobs,
+    object_surface,
+    reachable_fraction,
+    sample_clock,
+    sinusoid,
+    star_of_stars,
+    random_walk_signal,
+)
+
+
+class TestSensor:
+    def test_ideal_sensor_reproduces_signal(self, rng):
+        spec = SensorSpec("perfect", noise_sigma=0.0, period=1.0)
+        sensor = Sensor(spec, sinusoid(amplitude=2.0, period=10.0))
+        stream = sensor.capture(20.0, rng)
+        assert np.allclose(stream.values, sensor.ideal(stream.timestamps))
+
+    def test_noise_increases_error(self, rng):
+        signal = sinusoid()
+        clean = Sensor(SensorSpec("c", noise_sigma=0.0), signal).capture(50.0, rng)
+        noisy = Sensor(SensorSpec("n", noise_sigma=1.0), signal).capture(50.0, rng)
+        clean_err = np.abs(clean.values - sinusoid()(clean.timestamps)).mean()
+        noisy_err = np.abs(noisy.values - sinusoid()(noisy.timestamps)).mean()
+        assert noisy_err > clean_err + 0.3
+
+    def test_bias_and_drift_applied(self, rng):
+        spec = SensorSpec("b", noise_sigma=0.0, bias=5.0, drift_rate=0.1)
+        sensor = Sensor(spec, lambda t: np.zeros_like(t))
+        stream = sensor.capture(10.0, rng)
+        assert np.allclose(stream.values, 5.0 + 0.1 * stream.timestamps)
+
+    def test_quantization(self, rng):
+        spec = SensorSpec("q", noise_sigma=0.0, quantization_step=0.5)
+        sensor = Sensor(spec, lambda t: t * 0.3)
+        stream = sensor.capture(10.0, rng)
+        assert np.allclose(stream.values % 0.5, 0.0, atol=1e-9)
+
+    def test_dropout_loses_samples(self, rng):
+        base = SensorSpec("d0", dropout_rate=0.0, period=0.1)
+        lossy = SensorSpec("d1", dropout_rate=0.5, period=0.1)
+        signal = sinusoid()
+        full = Sensor(base, signal).capture(30.0, rng)
+        dropped = Sensor(lossy, signal).capture(30.0, rng)
+        assert dropped.n_measurements < full.n_measurements * 0.7
+
+    def test_clock_jitter(self, rng):
+        jittered = sample_clock(SensorSpec("j", jitter=0.8, period=1.0), 50.0, rng)
+        deltas = np.diff(jittered)
+        assert deltas.std() > 0.05  # periods vary
+        assert np.all(jittered >= 0) and np.all(jittered <= 50.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SensorSpec("x", noise_sigma=-1.0)
+        with pytest.raises(ValueError):
+            SensorSpec("x", dropout_rate=1.0)
+        with pytest.raises(ValueError):
+            SensorSpec("x", period=0.0)
+        with pytest.raises(ValueError):
+            SensorSpec("x", jitter=1.5)
+        with pytest.raises(ValueError):
+            sample_clock(SensorSpec("x"), -1.0, np.random.default_rng(0))
+
+    def test_random_walk_signal_deterministic(self):
+        walk = random_walk_signal(seed=3)
+        times = np.linspace(0, 10, 20)
+        assert np.allclose(walk(times), walk(times))
+
+
+class TestSensorField:
+    def test_capture_session(self):
+        field = SensorField.homogeneous(
+            4, lambda i: sinusoid(phase=i), period=1.0, dropout_rate=0.2
+        )
+        session = field.capture(duration=60.0, seed=2, tolerance=0.4)
+        assert isinstance(session, CaptureSession)
+        assert session.merged.X.shape[1] == 4
+        assert 0.0 < session.missing_rate < 1.0
+
+    def test_unique_names_required(self):
+        spec = SensorSpec("same")
+        with pytest.raises(ValueError):
+            SensorField([Sensor(spec, sinusoid()), Sensor(spec, sinusoid())])
+        with pytest.raises(ValueError):
+            SensorField([])
+
+
+class TestDevices:
+    def build(self):
+        device_tier = Tier("device", compute_rate=10.0, memory=1.0)
+        edge_tier = Tier("edge", compute_rate=100.0, memory=10.0)
+        core_tier = Tier("core", compute_rate=1000.0, memory=100.0)
+        deployment = (
+            Deployment()
+            .add_device(Device("sensor1", device_tier))
+            .add_device(Device("gateway", edge_tier))
+            .add_device(Device("cloud", core_tier))
+            .add_link(Link("sensor1", "gateway", latency=0.01, bandwidth=100.0))
+            .add_link(Link("gateway", "cloud", latency=0.05, bandwidth=1000.0))
+        )
+        deployment.place(Placement("acquire", "sensor1", work=1.0, output_size=10.0))
+        deployment.place(Placement("prepare", "gateway", work=50.0, output_size=5.0))
+        deployment.place(Placement("analyse", "cloud", work=500.0, output_size=1.0))
+        return deployment
+
+    def test_path_latency(self):
+        deployment = self.build()
+        latency = deployment.path_latency()
+        expected = (
+            1.0 / 10.0 + (0.01 + 10.0 / 100.0)
+            + 50.0 / 100.0 + (0.05 + 5.0 / 1000.0)
+            + 500.0 / 1000.0
+        )
+        assert latency == pytest.approx(expected)
+
+    def test_deadline(self):
+        deployment = self.build()
+        assert deployment.meets_deadline(10.0)
+        assert not deployment.meets_deadline(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tier("bogus", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Tier("edge", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Link("a", "b", latency=-1.0, bandwidth=1.0)
+        deployment = Deployment()
+        with pytest.raises(ValueError):
+            deployment.path_latency()
+        tier = Tier("edge", 1.0, 1.0)
+        deployment.add_device(Device("a", tier))
+        with pytest.raises(ValueError):
+            deployment.add_device(Device("a", tier))
+        with pytest.raises(ValueError):
+            deployment.place(Placement("s", "zzz", 1.0, 1.0))
+        with pytest.raises(ValueError):
+            deployment.add_link(Link("a", "nope", 0.0, 1.0))
+
+    def test_missing_link_detected(self):
+        tier = Tier("edge", 1.0, 1.0)
+        deployment = (
+            Deployment()
+            .add_device(Device("a", tier))
+            .add_device(Device("b", tier))
+        )
+        deployment.place(Placement("s1", "a", 1.0, 1.0))
+        deployment.place(Placement("s2", "b", 1.0, 1.0))
+        with pytest.raises(ValueError):
+            deployment.path_latency()
+
+
+class TestNetwork:
+    def test_topology_and_latency(self):
+        graph = build_topology([("a", "b", 0.1), ("b", "c", 0.2)])
+        assert end_to_end_latency(graph, "a", "c") == pytest.approx(0.3)
+
+    def test_disconnected_is_inf(self):
+        graph = build_topology([("a", "b", 0.1)])
+        graph.add_node("z")
+        assert end_to_end_latency(graph, "a", "z") == float("inf")
+
+    def test_unknown_node(self):
+        graph = build_topology([("a", "b", 0.1)])
+        with pytest.raises(KeyError):
+            end_to_end_latency(graph, "a", "zebra")
+
+    def test_star_of_stars_shape(self):
+        graph = star_of_stars(3, 4)
+        devices = [n for n in graph.nodes if str(n).startswith("dev")]
+        assert len(devices) == 12
+        assert reachable_fraction(graph, "core") == 1.0
+
+    def test_degradation_reduces_reachability(self, rng):
+        graph = star_of_stars(4, 5)
+        degraded = degrade_links(graph, 0.5, rng)
+        assert reachable_fraction(degraded, "core") < 1.0
+        assert degraded.number_of_edges() < graph.number_of_edges()
+
+    def test_degrade_validation(self, rng):
+        with pytest.raises(ValueError):
+            degrade_links(star_of_stars(1, 1), 1.0, rng)
+        with pytest.raises(ValueError):
+            build_topology([("a", "b", -0.1)])
+        with pytest.raises(ValueError):
+            star_of_stars(0, 1)
+
+
+class TestWorkloads:
+    def test_faceted_structure(self, small_faceted_workload):
+        workload = small_faceted_workload
+        assert workload.X.shape == (200, 6)
+        assert set(workload.view_columns) == {"a", "b", "noise"}
+        assert workload.true_partition().n_blocks == 3
+        assert set(np.unique(workload.y)) == {-1, 1}
+
+    def test_classes_roughly_balanced(self, small_faceted_workload):
+        positives = (small_faceted_workload.y == 1).mean()
+        assert 0.4 < positives < 0.6
+
+    def test_view_access(self, small_faceted_workload):
+        assert small_faceted_workload.view("a").shape == (200, 2)
+
+    def test_deterministic_given_seed(self):
+        specs = [FacetSpec("s", 2)]
+        first = make_faceted_classification(50, specs, seed=3)
+        second = make_faceted_classification(50, specs, seed=3)
+        assert np.allclose(first.X, second.X)
+        assert np.array_equal(first.y, second.y)
+
+    def test_redundant_facet_correlates_with_source(self):
+        specs = [
+            FacetSpec("main", 2, signal="linear"),
+            FacetSpec("copy", 2, role="redundant", copies="main"),
+        ]
+        workload = make_faceted_classification(200, specs, seed=0)
+        correlation = np.corrcoef(workload.X[:, 0], workload.X[:, 2])[0, 1]
+        assert correlation > 0.5
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FacetSpec("x", 0)
+        with pytest.raises(ValueError):
+            FacetSpec("x", 2, role="bogus")
+        with pytest.raises(ValueError):
+            FacetSpec("x", 2, signal="bogus")
+        with pytest.raises(ValueError):
+            FacetSpec("x", 2, role="redundant")  # no copies target
+        with pytest.raises(ValueError):
+            make_faceted_classification(2, [FacetSpec("a", 2)])
+        with pytest.raises(ValueError):
+            make_faceted_classification(
+                50, [FacetSpec("a", 2), FacetSpec("a", 2)]
+            )
+        with pytest.raises(ValueError):
+            make_faceted_classification(
+                50, [FacetSpec("a", 2, role="redundant", copies="zzz")]
+            )
+
+    def test_two_view_blobs(self):
+        blobs = make_two_view_blobs(100, 3, separation=3.0, seed=1)
+        assert blobs.X.shape == (100, 6)
+        assert set(blobs.view_columns) == {"view_a", "view_b"}
+
+
+class TestScenarios:
+    def test_biometric(self):
+        workload = biometric_identification(n_samples=200, seed=1)
+        assert set(workload.view_columns) == {"face", "fingerprint", "iris", "eeg"}
+        assert workload.X.shape == (200, 12)
+
+    def test_object_surface(self):
+        workload = object_surface(n_samples=150, seed=2)
+        assert set(workload.view_columns) == {"color", "texture", "gloss"}
+
+    def test_environmental_field_produces_learnable_capture(self):
+        capture = environmental_field(duration=300.0, seed=3)
+        assert capture.X.shape[1] == 6
+        assert 0.0 < capture.missing_rate < 0.9
+        assert set(np.unique(capture.y)) <= {-1, 1}
+        # Both storm and calm records present.
+        assert (capture.y == 1).any() and (capture.y == -1).any()

@@ -1,0 +1,240 @@
+"""Kernel substrate: standard kernels, Gram utilities, combinations,
+partition kernel banks."""
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.partitions import SetPartition
+from repro.kernels import (
+    LaplacianKernel,
+    LinearKernel,
+    PartitionKernelBank,
+    PolynomialKernel,
+    ProductKernel,
+    RBFKernel,
+    SigmoidKernel,
+    SubsetKernel,
+    SumKernel,
+    alignment,
+    as_2d,
+    center_gram,
+    centered_alignment,
+    combine_grams,
+    default_block_kernel,
+    frobenius_inner,
+    is_psd,
+    median_heuristic_gamma,
+    normalize_gram,
+    target_gram,
+    uniform_weights,
+    validate_weights,
+)
+
+
+@pytest.fixture
+def X(rng):
+    return rng.normal(size=(30, 5))
+
+
+class TestStandardKernels:
+    def test_linear_is_dot_product(self, X):
+        gram = LinearKernel()(X)
+        assert np.allclose(gram, X @ X.T)
+
+    def test_rbf_diagonal_ones(self, X):
+        gram = RBFKernel(gamma=0.7)(X)
+        assert np.allclose(np.diag(gram), 1.0)
+        assert gram.max() <= 1.0 + 1e-12
+        assert gram.min() >= 0.0
+
+    def test_rbf_median_heuristic(self, X):
+        gamma = median_heuristic_gamma(X)
+        assert gamma > 0
+        gram = RBFKernel(gamma=None)(X)
+        assert is_psd(gram)
+
+    def test_median_heuristic_degenerate(self):
+        assert median_heuristic_gamma(np.zeros((5, 2))) == 1.0
+        assert median_heuristic_gamma(np.zeros((1, 2))) == 1.0
+
+    def test_polynomial_matches_formula(self, X):
+        gram = PolynomialKernel(degree=2, gamma=0.5, coef0=1.0)(X)
+        assert np.allclose(gram, (0.5 * (X @ X.T) + 1.0) ** 2)
+
+    def test_laplacian_range(self, X):
+        gram = LaplacianKernel(gamma=0.3)(X)
+        assert np.all(gram > 0) and np.all(gram <= 1.0 + 1e-12)
+
+    def test_sigmoid_shape(self, X):
+        gram = SigmoidKernel()(X, X[:4])
+        assert gram.shape == (30, 4)
+
+    def test_psd_of_standard_kernels(self, X):
+        for kernel in (
+            LinearKernel(),
+            RBFKernel(0.5),
+            PolynomialKernel(3),
+            LaplacianKernel(0.5),
+        ):
+            assert is_psd(kernel(X)), kernel
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialKernel(degree=0)
+        with pytest.raises(ValueError):
+            PolynomialKernel(gamma=-1)
+        with pytest.raises(ValueError):
+            RBFKernel(gamma=0.0)
+        with pytest.raises(ValueError):
+            LaplacianKernel(gamma=-0.1)
+
+    def test_cross_gram_dimension_check(self, X):
+        with pytest.raises(ValueError):
+            LinearKernel()(X, X[:, :3])
+
+    def test_as_2d(self):
+        assert as_2d(np.ones(4)).shape == (1, 4)
+        with pytest.raises(ValueError):
+            as_2d(np.ones((2, 2, 2)))
+
+
+class TestSubsetKernel:
+    def test_restriction_equals_sliced_data(self, X):
+        kernel = RBFKernel(0.5).restrict([0, 2])
+        assert np.allclose(kernel(X), RBFKernel(0.5)(X[:, [0, 2]]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubsetKernel(LinearKernel(), [])
+        with pytest.raises(ValueError):
+            SubsetKernel(LinearKernel(), [0, 0])
+        with pytest.raises(ValueError):
+            SubsetKernel(LinearKernel(), [-1])
+
+    def test_out_of_range_at_call(self, X):
+        kernel = LinearKernel().restrict([7])
+        with pytest.raises(ValueError):
+            kernel(X)
+
+
+class TestGramUtilities:
+    def test_center_gram_zero_row_means(self, X):
+        centred = center_gram(LinearKernel()(X))
+        assert np.allclose(centred.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(centred.mean(axis=1), 0.0, atol=1e-10)
+
+    def test_center_requires_square(self):
+        with pytest.raises(ValueError):
+            center_gram(np.ones((2, 3)))
+
+    def test_normalize_unit_diagonal(self, X):
+        normalised = normalize_gram(LinearKernel()(X) + np.eye(30))
+        assert np.allclose(np.diag(normalised), 1.0)
+
+    def test_alignment_self_is_one(self, X):
+        gram = RBFKernel(0.5)(X)
+        assert alignment(gram, gram) == pytest.approx(1.0)
+
+    def test_alignment_zero_matrix(self):
+        assert alignment(np.zeros((3, 3)), np.eye(3)) == 0.0
+
+    def test_centered_alignment_detects_label_structure(self, rng):
+        y = np.concatenate([np.ones(15), -np.ones(15)])
+        X = y[:, None] + 0.1 * rng.normal(size=(30, 1))
+        informative = RBFKernel(1.0)(X)
+        junk = RBFKernel(1.0)(rng.normal(size=(30, 1)))
+        target = target_gram(y)
+        assert centered_alignment(informative, target) > centered_alignment(
+            junk, target
+        ) + 0.3
+
+    def test_target_gram(self):
+        y = np.array([1, -1, 1])
+        assert np.allclose(target_gram(y), np.outer(y, y))
+
+    def test_frobenius_inner(self):
+        assert frobenius_inner(np.eye(2), np.eye(2)) == pytest.approx(2.0)
+
+    def test_is_psd_counterexample(self):
+        assert not is_psd(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+
+class TestCombination:
+    def test_sum_kernel_weighted(self, X):
+        combo = SumKernel([LinearKernel(), RBFKernel(0.5)], weights=[0.3, 0.7])
+        expected = 0.3 * LinearKernel()(X) + 0.7 * RBFKernel(0.5)(X)
+        assert np.allclose(combo(X), expected)
+
+    def test_sum_kernel_default_uniform(self, X):
+        combo = SumKernel([LinearKernel(), LinearKernel()])
+        assert np.allclose(combo(X), LinearKernel()(X))
+
+    def test_product_kernel_schur(self, X):
+        combo = ProductKernel([RBFKernel(0.5), RBFKernel(0.2)])
+        gram = combo(X)
+        assert np.allclose(gram, RBFKernel(0.5)(X) * RBFKernel(0.2)(X))
+        assert is_psd(gram)
+
+    def test_product_of_single_feature_rbf_is_block_rbf(self, X):
+        """The paper's in-block multiplication: prod of per-feature RBFs
+        equals the RBF on the block."""
+        per_feature = ProductKernel(
+            [RBFKernel(0.4).restrict([c]) for c in (1, 3)]
+        )
+        block = RBFKernel(0.4).restrict([1, 3])
+        assert np.allclose(per_feature(X), block(X))
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            validate_weights([0.5], 2)
+        with pytest.raises(ValueError):
+            validate_weights([-0.1, 1.1], 2)
+        with pytest.raises(ValueError):
+            validate_weights([0.0, 0.0], 2)
+        with pytest.raises(ValueError):
+            uniform_weights(0)
+        with pytest.raises(ValueError):
+            SumKernel([])
+        with pytest.raises(ValueError):
+            ProductKernel([])
+
+    def test_combine_grams(self, X):
+        grams = [LinearKernel()(X), RBFKernel(0.5)(X)]
+        combined = combine_grams(grams, [0.5, 0.5])
+        assert combined.shape == (30, 30)
+        with pytest.raises(ValueError):
+            combine_grams([])
+        with pytest.raises(ValueError):
+            combine_grams([np.eye(2), np.eye(3)])
+
+
+class TestPartitionKernelBank:
+    def test_bank_matches_manual_grams(self, X):
+        partition = SetPartition([(0, 1), (2, 3, 4)])
+        bank = PartitionKernelBank(partition)
+        grams = bank.grams(X)
+        assert len(grams) == 2
+        assert np.allclose(grams[0], default_block_kernel((0, 1))(X))
+
+    def test_combined_gram_psd(self, X):
+        bank = PartitionKernelBank(SetPartition([(0,), (1, 2), (3, 4)]))
+        assert is_psd(bank.combined_gram(X))
+
+    def test_named_features(self, X):
+        partition = SetPartition([("temp", "hum"), ("wind",)])
+        bank = PartitionKernelBank.from_named_features(
+            partition, ["temp", "hum", "wind", "x", "y"]
+        )
+        assert bank.n_kernels == 2
+
+    def test_named_features_missing(self):
+        with pytest.raises(ValueError):
+            PartitionKernelBank.from_named_features(
+                SetPartition([("bogus",)]), ["a", "b"]
+            )
+
+    def test_rejects_non_integer_ground_set(self):
+        with pytest.raises(ValueError):
+            PartitionKernelBank(SetPartition([("a",)]))
+        with pytest.raises(ValueError):
+            PartitionKernelBank(SetPartition([(-1,)]))

@@ -1,0 +1,227 @@
+"""Multiple kernel learning: combiners, caches, lattice search, smushing,
+rough-set seed selection."""
+
+import numpy as np
+import pytest
+
+from repro.combinatorics import SetPartition, bell_number
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.kernels import RBFKernel
+from repro.mkl import (
+    AlignmentScorer,
+    CrossValScorer,
+    GramCache,
+    MultipleKernelClassifier,
+    PartitionMKLSearch,
+    alignment_weights,
+    greedy_smush,
+    roughset_seed_block,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 2, role="noise"),
+    ]
+    return make_faceted_classification(150, specs, seed=11)
+
+
+class TestAlignmentWeights:
+    def test_informative_kernel_gets_more_weight(self, workload):
+        informative = RBFKernel(gamma=None).restrict([0, 1])(workload.X)
+        junk = RBFKernel(gamma=None).restrict([2, 3])(workload.X)
+        weights = alignment_weights([informative, junk], workload.y)
+        assert weights[0] > weights[1]
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_fallback_to_uniform(self, rng):
+        grams = [np.eye(10), np.eye(10)]
+        y = np.where(rng.random(10) > 0.5, 1, -1)
+        weights = alignment_weights(grams, y)
+        assert weights.sum() == pytest.approx(1.0)
+
+
+class TestMultipleKernelClassifier:
+    def test_fit_predict_both_weightings(self, workload):
+        kernels = [
+            RBFKernel(gamma=None).restrict(list(block))
+            for block in workload.true_partition().blocks
+        ]
+        for weighting in ("uniform", "alignment"):
+            model = MultipleKernelClassifier(kernels, weighting=weighting)
+            model.fit(workload.X, workload.y)
+            predictions = model.predict(workload.X)
+            assert np.mean(predictions == workload.y) > 0.7
+
+    def test_alignment_downweights_noise_kernel(self, workload):
+        kernels = [
+            RBFKernel(gamma=None).restrict([0, 1]),
+            RBFKernel(gamma=None).restrict([2, 3]),
+        ]
+        model = MultipleKernelClassifier(kernels, weighting="alignment")
+        model.fit(workload.X, workload.y)
+        assert model.weights_[0] > model.weights_[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultipleKernelClassifier([], weighting="uniform")
+        with pytest.raises(ValueError):
+            MultipleKernelClassifier([RBFKernel(1.0)], weighting="bogus")
+        model = MultipleKernelClassifier([RBFKernel(1.0)])
+        with pytest.raises(RuntimeError):
+            model.predict(np.ones((2, 2)))
+
+
+class TestGramCache:
+    def test_caches_by_block(self, workload):
+        cache = GramCache(workload.X)
+        first = cache.gram((0, 1))
+        second = cache.gram((0, 1))
+        assert first is second
+        assert cache.n_gram_computations == 1
+        cache.gram((2,))
+        assert cache.n_gram_computations == 2
+
+    def test_grams_for_partition(self, workload):
+        cache = GramCache(workload.X)
+        grams = cache.grams_for(SetPartition([(0,), (1, 2), (3,)]))
+        assert len(grams) == 3
+        assert all(g.shape == (150, 150) for g in grams)
+
+
+class TestSearchStrategies:
+    def test_exhaustive_visits_whole_cone(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        result = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        assert result.n_evaluations == bell_number(2)  # rest = {2, 3}
+        assert result.strategy == "exhaustive"
+        assert (0, 1) in result.best_partition.blocks
+
+    def test_exhaustive_cap(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        result = search.search_exhaustive(
+            workload.X, workload.y, (0,), max_configurations=3
+        )
+        assert result.n_evaluations == 3
+
+    def test_chain_linear_cost(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        result = search.search_chain(
+            workload.X, workload.y, (0,), patience=10
+        )
+        # Principal chain over 3 rest features has exactly 3 nodes.
+        assert result.n_evaluations <= 3
+        assert result.strategy == "chain"
+
+    def test_chain_early_stop(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        eager = search.search_chain(workload.X, workload.y, (0,), patience=1)
+        patient = search.search_chain(workload.X, workload.y, (0,), patience=10)
+        assert eager.n_evaluations <= patient.n_evaluations
+
+    def test_chains_multi_walk(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        result = search.search_chains(
+            workload.X, workload.y, (0,), n_chains=4, patience=10
+        )
+        assert result.strategy == "chains"
+        assert result.best_score >= search.search_chain(
+            workload.X, workload.y, (0,), patience=10
+        ).best_score - 1e-12
+
+    def test_all_strategies_keep_seed_block(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        for result in (
+            search.search_exhaustive(workload.X, workload.y, (1, 2)),
+            search.search_chain(workload.X, workload.y, (1, 2)),
+            search.search_chains(workload.X, workload.y, (1, 2), n_chains=3),
+        ):
+            assert (1, 2) in result.best_partition.blocks
+
+    def test_empty_rest_cone(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        result = search.search_chain(
+            workload.X, workload.y, tuple(range(workload.X.shape[1]))
+        )
+        assert result.n_evaluations == 1
+        assert result.best_partition.n_blocks == 1
+
+    def test_seed_validation(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        with pytest.raises(ValueError):
+            search.search_chain(workload.X, workload.y, ())
+        with pytest.raises(ValueError):
+            search.search_chain(workload.X, workload.y, (0, 0))
+        with pytest.raises(ValueError):
+            search.search_chain(workload.X, workload.y, (99,))
+        with pytest.raises(ValueError):
+            search.search_chain(workload.X, workload.y, (0,), patience=0)
+
+    def test_scorer_and_weighting_validation(self):
+        with pytest.raises(ValueError):
+            PartitionMKLSearch(weighting="bogus")
+
+    def test_cv_scorer_finds_true_partition_exhaustively(self):
+        """The headline reproduction: the cone argmax under CV accuracy
+        is the planted facet partition."""
+        specs = [
+            FacetSpec("radar", 2, signal="product", weight=1.5),
+            FacetSpec("thermal", 2, signal="radial", weight=1.0),
+            FacetSpec("junk", 3, role="noise"),
+        ]
+        workload = make_faceted_classification(400, specs, seed=1)
+        search = PartitionMKLSearch(scorer=CrossValScorer(n_folds=3))
+        result = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        assert result.best_partition == workload.true_partition()
+
+
+class TestGreedySmush:
+    def test_improves_over_finest(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        cache = GramCache(workload.X)
+        finest = SetPartition([(0,), (1,), (2,), (3,)])
+        baseline = search.evaluate(cache, finest, workload.y)
+        result = greedy_smush(search, workload.X, workload.y, (0,), cache=cache)
+        assert result.best_score >= baseline - 1e-12
+        assert result.strategy == "greedy_smush"
+
+    def test_seed_block_preserved_unless_allowed(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        kept = greedy_smush(search, workload.X, workload.y, (0, 1))
+        assert (0, 1) in kept.best_partition.blocks
+
+    def test_allow_seed_merges_reaches_coarse_configs(self, workload):
+        search = PartitionMKLSearch(scorer=AlignmentScorer())
+        result = greedy_smush(
+            search, workload.X, workload.y, (0, 1), allow_seed_merges=True
+        )
+        assert result.n_evaluations >= 1
+
+
+class TestRoughSeed:
+    def test_finds_informative_facet(self):
+        specs = [
+            FacetSpec("signal", 2, signal="product", weight=2.0),
+            FacetSpec("noise", 3, role="noise"),
+        ]
+        workload = make_faceted_classification(300, specs, seed=5)
+        result = roughset_seed_block(workload.X, workload.y, max_size=2)
+        assert set(result.seed_columns) <= {0, 1, 2, 3, 4}
+        assert set(result.seed_columns) & {0, 1}  # touches the signal facet
+        assert set(result.rest_columns) == set(range(5)) - set(result.seed_columns)
+
+    def test_rest_never_empty(self, workload):
+        result = roughset_seed_block(
+            workload.X, workload.y, max_size=workload.X.shape[1]
+        )
+        assert len(result.rest_columns) >= 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            roughset_seed_block(np.ones((10, 1)), np.ones(10))
+        with pytest.raises(ValueError):
+            roughset_seed_block(np.ones((10, 3)), np.ones(9))
+        with pytest.raises(ValueError):
+            roughset_seed_block(np.ones((10, 3)), np.ones(10))  # one class

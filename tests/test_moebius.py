@@ -1,0 +1,189 @@
+"""Möbius/Whitney layer of the partition lattice (paper reference [10])."""
+
+import pytest
+
+from repro.combinatorics import (
+    PartitionLattice,
+    SetPartition,
+    all_partitions,
+    bell_number,
+    whitney_numbers,
+)
+from repro.combinatorics.moebius import (
+    binomial_inversion_check,
+    boolean_moebius,
+    characteristic_polynomial,
+    evaluate_polynomial,
+    generic_moebius_matrix,
+    moebius_bottom,
+    moebius_partition_interval,
+    stirling1_signed,
+    stirling1_unsigned,
+    whitney_numbers_first_kind,
+)
+
+
+class TestStirlingFirstKind:
+    def test_known_values(self):
+        assert stirling1_unsigned(4, 2) == 11
+        assert stirling1_unsigned(5, 3) == 35
+        assert stirling1_unsigned(4, 1) == 6
+        assert stirling1_unsigned(4, 4) == 1
+
+    def test_row_sums_to_factorial(self):
+        import math
+
+        for n in range(1, 8):
+            assert sum(stirling1_unsigned(n, k) for k in range(n + 1)) == math.factorial(n)
+
+    def test_signed_alternation(self):
+        assert stirling1_signed(4, 2) == 11
+        assert stirling1_signed(4, 3) == -6
+        assert stirling1_signed(4, 1) == -6
+
+    def test_boundaries(self):
+        assert stirling1_unsigned(0, 0) == 1
+        assert stirling1_unsigned(3, 0) == 0
+        assert stirling1_unsigned(0, 3) == 0
+        assert stirling1_unsigned(-1, 2) == 0
+
+
+class TestMoebiusClosedForms:
+    def test_bottom_full_merge(self):
+        """mu(0, 1) in Pi_n is (-1)^(n-1) (n-1)!."""
+        import math
+
+        for n in range(1, 7):
+            top = SetPartition.coarsest(range(n))
+            expected = (-1) ** (n - 1) * math.factorial(n - 1)
+            assert moebius_bottom(top) == expected
+
+    def test_bottom_is_product_over_blocks(self):
+        partition = SetPartition([(1, 2, 3), (4, 5), (6,)])
+        # (-1)^2 2! * (-1)^1 1! * 1 = -2
+        assert moebius_bottom(partition) == -2
+
+    def test_interval_requires_refinement(self):
+        lower = SetPartition([(1, 2), (3,)])
+        upper = SetPartition([(1,), (2, 3)])
+        with pytest.raises(ValueError):
+            moebius_partition_interval(lower, upper)
+
+    def test_interval_from_bottom_matches_bottom(self):
+        for partition in all_partitions([1, 2, 3, 4]):
+            bottom = SetPartition.singletons([1, 2, 3, 4])
+            assert (
+                moebius_partition_interval(bottom, partition)
+                == moebius_bottom(partition)
+            )
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_closed_form_matches_generic_recursion(self, n):
+        """Cross-validate against matrix-inversion Möbius on Pi_n."""
+        nodes = list(all_partitions(list(range(n))))
+        generic = generic_moebius_matrix(
+            nodes, lambda a, b: a.is_refinement_of(b)
+        )
+        for lower in nodes:
+            for upper in nodes:
+                if lower.is_refinement_of(upper):
+                    assert generic[(lower, upper)] == moebius_partition_interval(
+                        lower, upper
+                    )
+
+    def test_moebius_sum_over_interval_is_zero(self):
+        """Defining property: sum of mu(0, pi) over pi <= sigma is 0
+        unless sigma is the bottom."""
+        elements = [1, 2, 3, 4]
+        bottom = SetPartition.singletons(elements)
+        for sigma in all_partitions(elements):
+            total = sum(
+                moebius_bottom(pi)
+                for pi in all_partitions(elements)
+                if pi.is_refinement_of(sigma)
+            )
+            assert total == (1 if sigma == bottom else 0)
+
+
+class TestWhitneyFirstKind:
+    def test_pi4(self):
+        assert whitney_numbers_first_kind(4) == [1, -6, 11, -6]
+
+    def test_sums_against_enumeration(self):
+        for n in range(2, 6):
+            by_rank = {k: 0 for k in range(n)}
+            for partition in all_partitions(list(range(n))):
+                by_rank[partition.rank] += moebius_bottom(partition)
+            assert [by_rank[k] for k in range(n)] == whitney_numbers_first_kind(n)
+
+    def test_alternating_sum_is_characteristic_at_zero(self):
+        for n in range(2, 7):
+            w = whitney_numbers_first_kind(n)
+            chi = characteristic_polynomial(n)
+            assert sum(w) == evaluate_polynomial(chi, 1)  # chi(1) = 0 for n >= 2
+            assert sum(w) == 0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            whitney_numbers_first_kind(0)
+
+
+class TestCharacteristicPolynomial:
+    def test_pi3(self):
+        assert characteristic_polynomial(3) == [2, -3, 1]
+
+    def test_roots_are_one_to_n_minus_one(self):
+        for n in range(2, 8):
+            chi = characteristic_polynomial(n)
+            for root in range(1, n):
+                assert evaluate_polynomial(chi, root) == 0
+            assert evaluate_polynomial(chi, n) != 0
+
+    def test_whitney_identity(self):
+        """chi(t) = sum_k w_k t^(n-1-k)."""
+        for n in range(2, 7):
+            chi = characteristic_polynomial(n)
+            w = whitney_numbers_first_kind(n)
+            # coefficient of t^d is w_{n-1-d}
+            for degree, coefficient in enumerate(chi):
+                assert coefficient == w[n - 1 - degree]
+
+
+class TestBooleanMoebius:
+    def test_values(self):
+        assert boolean_moebius(frozenset(), frozenset({1, 2})) == 1
+        assert boolean_moebius(frozenset({1}), frozenset({1, 2})) == -1
+        with pytest.raises(ValueError):
+            boolean_moebius(frozenset({1}), frozenset({2}))
+
+    def test_generic_agrees_on_boolean_lattice(self):
+        from repro.combinatorics.boolean import all_subsets
+
+        nodes = list(all_subsets(3))
+        generic = generic_moebius_matrix(nodes, lambda a, b: a <= b)
+        for lower in nodes:
+            for upper in nodes:
+                if lower <= upper:
+                    assert generic[(lower, upper)] == boolean_moebius(lower, upper)
+
+    def test_binomial_inversion(self):
+        assert all(binomial_inversion_check(n) for n in range(0, 10))
+
+
+class TestAgainstSecondKind:
+    def test_whitney_kinds_are_inverse_triangles(self):
+        """Stirling numbers of the two kinds are inverse matrices."""
+        from repro.combinatorics.stirling import stirling2
+
+        n = 6
+        for i in range(n + 1):
+            for j in range(n + 1):
+                total = sum(
+                    stirling1_signed(i, k) * stirling2(k, j) for k in range(n + 1)
+                )
+                assert total == (1 if i == j else 0)
+
+    def test_rank_profile_consistency(self):
+        lattice = PartitionLattice([1, 2, 3, 4, 5])
+        assert sum(lattice.rank_profile()) == bell_number(5)
+        assert lattice.rank_profile() == whitney_numbers(5)

@@ -1,0 +1,140 @@
+"""Multi-view substrate: FacetedDataset, co-training, CCA."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import accuracy_score
+from repro.iot.workloads import make_two_view_blobs
+from repro.multiview import CCA, CoTrainingClassifier, FacetedDataset
+
+
+class TestFacetedDataset:
+    def make(self):
+        return FacetedDataset(np.arange(12.0).reshape(3, 4), {"a": (0, 1), "b": (2, 3)})
+
+    def test_basic_access(self):
+        data = self.make()
+        assert data.view_names == ("a", "b")
+        assert data.columns("b") == (2, 3)
+        assert data.view("a").shape == (3, 2)
+        assert data.n_samples == 3 and data.n_features == 4
+
+    def test_partition_roundtrip(self):
+        partition = self.make().partition()
+        assert partition.blocks == ((0, 1), (2, 3))
+
+    def test_merge_views(self):
+        merged = self.make().merge_views("a", "b")
+        assert merged.view_names == ("a+b",)
+        assert merged.columns("a+b") == (0, 1, 2, 3)
+
+    def test_drop_view_remaps_columns(self):
+        data = self.make().drop_view("a")
+        assert data.n_features == 2
+        assert data.columns("b") == (0, 1)
+        assert np.allclose(data.X, self.make().view("b"))
+
+    def test_subsample(self):
+        sub = self.make().subsample([0, 2])
+        assert sub.n_samples == 2
+
+    def test_validation(self):
+        X = np.zeros((2, 3))
+        with pytest.raises(ValueError):
+            FacetedDataset(X, {})
+        with pytest.raises(ValueError):
+            FacetedDataset(X, {"a": (0, 1)})  # column 2 unassigned
+        with pytest.raises(ValueError):
+            FacetedDataset(X, {"a": (0, 1), "b": (1, 2)})  # overlap
+        with pytest.raises(ValueError):
+            FacetedDataset(X, {"a": (0, 1, 2), "b": ()})
+        with pytest.raises(ValueError):
+            FacetedDataset(X, {"a": (0, 1, 5)})
+        with pytest.raises(KeyError):
+            FacetedDataset(X, {"a": (0, 1, 2)}).columns("z")
+        with pytest.raises(ValueError):
+            FacetedDataset(X, {"a": (0, 1, 2)}).drop_view("a")
+
+
+class TestCoTraining:
+    def test_beats_initial_labels_only(self):
+        blobs = make_two_view_blobs(240, 3, separation=2.5, seed=4)
+        labeled = np.zeros(240, dtype=bool)
+        labeled[:16] = True
+        view_a, view_b = blobs.view("view_a"), blobs.view("view_b")
+
+        cotrain = CoTrainingClassifier(n_rounds=15, per_round=4)
+        cotrain.fit(view_a, view_b, blobs.y, labeled)
+        predictions = cotrain.predict(view_a, view_b)
+        accuracy = accuracy_score(blobs.y, predictions)
+        assert accuracy > 0.85
+        assert cotrain.n_promoted_ > 0
+        assert 0 <= cotrain.agreement(view_a, view_b) <= 1
+
+    def test_validation(self):
+        blobs = make_two_view_blobs(20, 2, seed=0)
+        view_a, view_b = blobs.view("view_a"), blobs.view("view_b")
+        with pytest.raises(ValueError):
+            CoTrainingClassifier(n_rounds=0)
+        with pytest.raises(ValueError):
+            CoTrainingClassifier(per_round=0)
+        with pytest.raises(ValueError):
+            CoTrainingClassifier().fit(
+                view_a, view_b, blobs.y, np.zeros(20, dtype=bool)
+            )
+        model = CoTrainingClassifier()
+        with pytest.raises(RuntimeError):
+            model.predict(view_a, view_b)
+
+    def test_all_labeled_short_circuit(self):
+        blobs = make_two_view_blobs(40, 2, separation=3.0, seed=1)
+        mask = np.ones(40, dtype=bool)
+        model = CoTrainingClassifier().fit(
+            blobs.view("view_a"), blobs.view("view_b"), blobs.y, mask
+        )
+        assert model.n_promoted_ == 0
+
+
+class TestCCA:
+    def test_recovers_shared_signal(self, rng):
+        n = 300
+        latent = rng.normal(size=n)
+        view_a = np.column_stack(
+            [latent + 0.1 * rng.normal(size=n), rng.normal(size=n)]
+        )
+        view_b = np.column_stack(
+            [rng.normal(size=n), -latent + 0.1 * rng.normal(size=n)]
+        )
+        cca = CCA(n_components=1).fit(view_a, view_b)
+        assert cca.correlations_[0] > 0.9
+        projected_a, projected_b = cca.transform(view_a, view_b)
+        correlation = abs(np.corrcoef(projected_a[:, 0], projected_b[:, 0])[0, 1])
+        assert correlation > 0.9
+
+    def test_uncorrelated_views_low_correlation(self, rng):
+        view_a = rng.normal(size=(200, 3))
+        view_b = rng.normal(size=(200, 3))
+        cca = CCA(n_components=1, regularization=1e-3).fit(view_a, view_b)
+        assert cca.correlations_[0] < 0.5
+
+    def test_fit_transform_and_shared(self, rng):
+        view_a = rng.normal(size=(50, 3))
+        view_b = rng.normal(size=(50, 4))
+        cca = CCA(n_components=2)
+        projected_a, projected_b = cca.fit_transform(view_a, view_b)
+        assert projected_a.shape == (50, 2)
+        assert projected_b.shape == (50, 2)
+        shared = cca.shared_representation(view_a, view_b)
+        assert shared.shape == (50, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            CCA(n_components=0)
+        with pytest.raises(ValueError):
+            CCA(regularization=-1.0)
+        with pytest.raises(ValueError):
+            CCA(n_components=5).fit(rng.normal(size=(20, 2)), rng.normal(size=(20, 3)))
+        with pytest.raises(ValueError):
+            CCA().fit(rng.normal(size=(10, 2)), rng.normal(size=(11, 2)))
+        with pytest.raises(RuntimeError):
+            CCA().transform(rng.normal(size=(5, 2)))

@@ -1,0 +1,237 @@
+"""SetPartition: canonical form, order structure, lattice moves."""
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.partitions import (
+    SetPartition,
+    all_partitions,
+    partitions_with_blocks,
+    random_partition,
+    restricted_growth_strings,
+)
+from repro.combinatorics.stirling import bell_number, stirling2
+
+
+class TestConstruction:
+    def test_canonical_block_order(self):
+        partition = SetPartition([(3, 4), (1,), (2,)])
+        assert partition.blocks == ((1,), (2,), (3, 4))
+
+    def test_elements_sorted_within_blocks(self):
+        partition = SetPartition([(4, 3), (2, 1)])
+        assert partition.blocks == ((1, 2), (3, 4))
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            SetPartition([(1,), ()])
+
+    def test_rejects_duplicate_element(self):
+        with pytest.raises(ValueError):
+            SetPartition([(1, 2), (2, 3)])
+
+    def test_rejects_empty_partition(self):
+        with pytest.raises(ValueError):
+            SetPartition([])
+
+    def test_singletons_and_coarsest(self):
+        elements = ["x", "y", "z"]
+        fine = SetPartition.singletons(elements)
+        coarse = SetPartition.coarsest(elements)
+        assert fine.n_blocks == 3
+        assert coarse.n_blocks == 1
+        assert fine.rank == 0
+        assert coarse.rank == 2
+
+    def test_from_labels(self):
+        partition = SetPartition.from_labels({1: "a", 2: "b", 3: "a"})
+        assert partition.blocks == ((1, 3), (2,))
+
+    def test_equality_and_hash(self):
+        first = SetPartition([(1, 2), (3,)])
+        second = SetPartition([(3,), (2, 1)])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != SetPartition([(1,), (2, 3)])
+
+    def test_compact_str_matches_paper_notation(self):
+        assert SetPartition([(1,), (2, 3), (4,)]).compact_str() == "1/23/4"
+
+
+class TestRgs:
+    def test_round_trip(self):
+        partition = SetPartition([(1, 3), (2,), (4,)])
+        rgs = partition.to_rgs()
+        assert SetPartition.from_rgs(rgs, [1, 2, 3, 4]) == partition
+
+    def test_from_rgs_validation(self):
+        with pytest.raises(ValueError):
+            SetPartition.from_rgs([1, 0])  # must start at 0
+        with pytest.raises(ValueError):
+            SetPartition.from_rgs([0, 2])  # growth violated
+        with pytest.raises(ValueError):
+            SetPartition.from_rgs([])
+        with pytest.raises(ValueError):
+            SetPartition.from_rgs([0, 1], elements=[1])
+
+    def test_generator_counts_match_bell(self):
+        for n in range(1, 8):
+            assert sum(1 for _ in restricted_growth_strings(n)) == bell_number(n)
+
+    def test_generator_yields_valid_strings(self):
+        for rgs in restricted_growth_strings(5):
+            assert rgs[0] == 0
+            highest = 0
+            for label in rgs:
+                assert label <= highest + 1
+                highest = max(highest, label)
+
+    def test_generator_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(restricted_growth_strings(-1))
+
+
+class TestOrder:
+    def test_refinement_basics(self):
+        fine = SetPartition([(1,), (2,), (3, 4)])
+        coarse = SetPartition([(1, 2), (3, 4)])
+        assert fine.is_refinement_of(coarse)
+        assert not coarse.is_refinement_of(fine)
+        assert fine <= coarse
+        assert fine < coarse
+        assert coarse >= fine
+
+    def test_incomparable_pair(self):
+        first = SetPartition([(1, 2), (3,), (4,)])
+        second = SetPartition([(1,), (2, 3), (4,)])
+        assert not first <= second
+        assert not second <= first
+
+    def test_different_ground_sets_rejected(self):
+        with pytest.raises(ValueError):
+            SetPartition([(1,)]).is_refinement_of(SetPartition([(2,)]))
+
+    def test_meet_is_common_refinement(self):
+        first = SetPartition([(1, 2, 3), (4,)])
+        second = SetPartition([(1, 2), (3, 4)])
+        meet = first.meet(second)
+        assert meet.blocks == ((1, 2), (3,), (4,))
+        assert meet <= first and meet <= second
+
+    def test_join_is_common_coarsening(self):
+        first = SetPartition([(1, 2), (3,), (4,)])
+        second = SetPartition([(1,), (2, 3), (4,)])
+        join = first.join(second)
+        assert join.blocks == ((1, 2, 3), (4,))
+        assert first <= join and second <= join
+
+    def test_covers(self):
+        fine = SetPartition([(1,), (2,), (3,)])
+        mid = SetPartition([(1, 2), (3,)])
+        top = SetPartition([(1, 2, 3)])
+        assert mid.covers(fine)
+        assert top.covers(mid)
+        assert not top.covers(fine)  # two levels apart
+
+
+class TestMoves:
+    def test_merge_blocks(self):
+        partition = SetPartition([(1,), (2,), (3, 4)])
+        merged = partition.merge_blocks(0, 2)
+        assert merged.blocks == ((1, 3, 4), (2,))
+
+    def test_merge_same_index_rejected(self):
+        with pytest.raises(ValueError):
+            SetPartition([(1,), (2,)]).merge_blocks(1, 1)
+
+    def test_merge_out_of_range(self):
+        with pytest.raises(IndexError):
+            SetPartition([(1,), (2,)]).merge_blocks(0, 5)
+
+    def test_merge_elements(self):
+        partition = SetPartition([(1,), (2,), (3,)])
+        merged = partition.merge_elements(1, 3)
+        assert merged.blocks == ((1, 3), (2,))
+        assert partition.merge_elements(1, 1) == partition
+
+    def test_split_block(self):
+        partition = SetPartition([(1, 2, 3), (4,)])
+        split = partition.split_block(0, [1], [2, 3])
+        assert split.blocks == ((1,), (2, 3), (4,))
+
+    def test_split_validation(self):
+        partition = SetPartition([(1, 2, 3)])
+        with pytest.raises(ValueError):
+            partition.split_block(0, [1], [2])  # does not cover
+        with pytest.raises(ValueError):
+            partition.split_block(0, [1, 2, 3], [])  # empty side
+        with pytest.raises(ValueError):
+            partition.split_block(0, [1, 2], [2, 3])  # overlap
+
+    def test_upper_covers_count(self):
+        partition = SetPartition.singletons(range(4))
+        uppers = list(partition.upper_covers())
+        assert len(uppers) == 6  # C(4, 2) merges
+        assert all(upper.covers(partition) for upper in uppers)
+
+    def test_lower_covers_count(self):
+        partition = SetPartition([(1, 2, 3, 4)])
+        lowers = list(partition.lower_covers())
+        assert len(lowers) == 7  # S(4, 2) two-block splits
+        assert all(partition.covers(lower) for lower in lowers)
+
+    def test_restrict(self):
+        partition = SetPartition([(1, 2), (3, 4)])
+        assert partition.restrict([1, 3, 4]).blocks == ((1,), (3, 4))
+        with pytest.raises(ValueError):
+            partition.restrict([1, 9])
+        with pytest.raises(ValueError):
+            partition.restrict([])
+
+
+class TestEnumeration:
+    def test_all_partitions_count(self):
+        for n in range(1, 7):
+            assert sum(1 for _ in all_partitions(list(range(n)))) == bell_number(n)
+
+    def test_all_partitions_distinct(self):
+        partitions = list(all_partitions([1, 2, 3, 4]))
+        assert len(set(partitions)) == 15
+
+    def test_partitions_with_blocks(self):
+        for n in range(1, 7):
+            for k in range(1, n + 1):
+                count = sum(1 for _ in partitions_with_blocks(list(range(n)), k))
+                assert count == stirling2(n, k)
+
+    def test_partitions_with_blocks_out_of_range(self):
+        assert list(partitions_with_blocks([1, 2], 3)) == []
+        assert list(partitions_with_blocks([1, 2], 0)) == []
+
+
+class TestRandomPartition:
+    def test_uniformity_over_pi3(self, rng):
+        """All 5 partitions of a 3-set should appear ~uniformly."""
+        counts = {}
+        n_draws = 4000
+        for _ in range(n_draws):
+            partition = random_partition([1, 2, 3], rng)
+            counts[partition] = counts.get(partition, 0) + 1
+        assert len(counts) == 5
+        for count in counts.values():
+            assert abs(count / n_draws - 0.2) < 0.04
+
+    def test_block_count_distribution(self, rng):
+        """Fraction with k blocks should approach S(n,k)/B(n)."""
+        n = 5
+        draws = 3000
+        block_counts = np.zeros(n + 1)
+        for _ in range(draws):
+            block_counts[random_partition(list(range(n)), rng).n_blocks] += 1
+        for k in range(1, n + 1):
+            expected = stirling2(n, k) / bell_number(n)
+            assert abs(block_counts[k] / draws - expected) < 0.05
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            random_partition([], rng)

@@ -1,0 +1,382 @@
+"""Pipeline substrate: uncertainty sources, imputation, integration,
+cleaning, reduction, stage composition."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    AcquisitionStage,
+    ConstantImputer,
+    DataBundle,
+    GaussianNoise,
+    HotDeckImputer,
+    ImputationStage,
+    InterpolationImputer,
+    KNNImputer,
+    LinearDrift,
+    MeanImputer,
+    MeasurementStream,
+    MedianImputer,
+    MinMaxNormalizer,
+    MissingAtRandom,
+    MissingCompletelyAtRandom,
+    MissingNotAtRandom,
+    NormalizationStage,
+    OutlierMaskStage,
+    PerPatternModel,
+    Pipeline,
+    Quantization,
+    SensorBias,
+    UncertaintyLedger,
+    ZScoreNormalizer,
+    condensed_instance_selection,
+    correlation_filter_features,
+    deduplicate_rows,
+    hampel_outliers,
+    information_gain_features,
+    mask_outliers,
+    merge_streams,
+    missingness_patterns,
+    random_instance_selection,
+    stratified_instance_selection,
+    variance_threshold_features,
+    zscore_outliers,
+)
+from repro.analytics import DecisionTreeClassifier, accuracy_score
+
+
+class TestUncertaintySources:
+    def test_gaussian_noise_changes_data(self, rng):
+        X = np.zeros((50, 3))
+        noisy = GaussianNoise(0.5).apply(X, rng)
+        assert not np.allclose(noisy, X)
+        assert abs(noisy.std() - 0.5) < 0.1
+
+    def test_bias_and_drift(self, rng):
+        X = np.zeros((10, 2))
+        assert np.allclose(SensorBias(2.0).apply(X, rng), 2.0)
+        drifted = LinearDrift(0.1).apply(X, rng)
+        assert drifted[9, 0] == pytest.approx(0.9)
+        assert drifted[0, 0] == pytest.approx(0.0)
+
+    def test_quantization(self, rng):
+        X = np.array([[0.12, 0.27]])
+        quantized = Quantization(0.1).apply(X, rng)
+        assert np.allclose(quantized, [[0.1, 0.3]])
+
+    def test_mcar_rate(self, rng):
+        X = np.zeros((300, 4))
+        missing = MissingCompletelyAtRandom(0.2).apply(X, rng)
+        rate = np.mean(np.isnan(missing))
+        assert abs(rate - 0.2) < 0.04
+
+    def test_mcar_column_restriction(self, rng):
+        X = np.zeros((200, 3))
+        missing = MissingCompletelyAtRandom(0.5, columns=(1,)).apply(X, rng)
+        assert not np.isnan(missing[:, 0]).any()
+        assert not np.isnan(missing[:, 2]).any()
+        assert np.isnan(missing[:, 1]).any()
+
+    def test_mar_driver_stays_observed(self, rng):
+        X = rng.normal(size=(300, 3))
+        missing = MissingAtRandom(0.3, driver_column=0).apply(X, rng)
+        assert not np.isnan(missing[:, 0]).any()
+        # Missingness should concentrate on high-driver rows.
+        high = missing[X[:, 0] > np.median(X[:, 0])]
+        low = missing[X[:, 0] <= np.median(X[:, 0])]
+        assert np.isnan(high).mean() > np.isnan(low).mean()
+
+    def test_mnar_drops_high_values(self, rng):
+        X = rng.normal(size=(500, 2))
+        missing = MissingNotAtRandom(0.15, quantile=0.7).apply(X, rng)
+        dropped = np.isnan(missing) & ~np.isnan(X)
+        assert X[dropped].min() > np.nanmedian(X)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+        with pytest.raises(ValueError):
+            Quantization(0.0)
+        with pytest.raises(ValueError):
+            MissingCompletelyAtRandom(1.0)
+        with pytest.raises(ValueError):
+            MissingNotAtRandom(0.1, quantile=1.5)
+
+    def test_ledger_accumulation(self, rng):
+        ledger = UncertaintyLedger()
+        ledger.record("acq", GaussianNoise(0.2))
+        ledger.record("acq", MissingCompletelyAtRandom(0.1))
+        ledger.record("acq", MissingAtRandom(0.1))
+        summary = ledger.summary()
+        assert summary["total_variance"] == pytest.approx(0.04)
+        assert summary["total_missingness"] == pytest.approx(1 - 0.9 * 0.9)
+        assert summary["mechanisms"] == ["MCAR", "MAR"]
+
+
+class TestImputers:
+    def make_missing(self, rng):
+        X = rng.normal(size=(60, 4)) + np.arange(4)
+        mask = rng.random(X.shape) < 0.25
+        X_missing = X.copy()
+        X_missing[mask] = np.nan
+        return X, X_missing
+
+    @pytest.mark.parametrize(
+        "imputer_factory",
+        [MeanImputer, MedianImputer, lambda: ConstantImputer(0.0),
+         HotDeckImputer, lambda: KNNImputer(3), InterpolationImputer],
+    )
+    def test_removes_all_nans(self, rng, imputer_factory):
+        _, X_missing = self.make_missing(rng)
+        filled = imputer_factory().fit_transform(X_missing)
+        assert not np.isnan(filled).any()
+
+    def test_mean_imputer_exact(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        filled = MeanImputer().fit_transform(X)
+        assert filled[0, 1] == pytest.approx(4.0)
+
+    def test_observed_cells_untouched(self, rng):
+        _, X_missing = self.make_missing(rng)
+        filled = KNNImputer(3).fit_transform(X_missing)
+        observed = ~np.isnan(X_missing)
+        assert np.allclose(filled[observed], X_missing[observed])
+
+    def test_knn_better_than_mean_on_structured_data(self, rng):
+        """Correlated columns let kNN exploit donors; mean cannot."""
+        n = 200
+        latent = rng.normal(size=n)
+        X = np.column_stack([latent, latent + 0.01 * rng.normal(size=n)])
+        X_missing = X.copy()
+        holes = rng.random(n) < 0.3
+        X_missing[holes, 1] = np.nan
+        knn_error = np.abs(KNNImputer(3).fit_transform(X_missing)[holes, 1] - X[holes, 1]).mean()
+        mean_error = np.abs(MeanImputer().fit_transform(X_missing)[holes, 1] - X[holes, 1]).mean()
+        assert knn_error < mean_error
+
+    def test_interpolation_on_time_series(self):
+        X = np.array([[0.0], [np.nan], [2.0], [np.nan], [4.0]])
+        filled = InterpolationImputer().fit_transform(X)
+        assert np.allclose(filled.ravel(), [0, 1, 2, 3, 4])
+
+    def test_all_missing_column_fallback(self):
+        X = np.full((4, 2), np.nan)
+        X[:, 0] = 1.0
+        assert not np.isnan(MeanImputer().fit_transform(X)).any()
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MeanImputer().transform(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            KNNImputer().transform(np.ones((2, 2)))
+
+
+class TestPerPatternModel:
+    def test_routes_by_pattern(self, rng):
+        n = 300
+        X = rng.normal(size=(n, 3))
+        y = np.where(X[:, 0] > 0, 1, 0)
+        X[: n // 3, 2] = np.nan  # one pattern misses column 2
+        model = PerPatternModel(lambda: DecisionTreeClassifier(max_depth=3))
+        model.fit(X, y)
+        assert model.n_models_ >= 2
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    def test_unseen_pattern_falls_back(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = np.where(X[:, 0] > 0, 1, 0)
+        model = PerPatternModel(lambda: DecisionTreeClassifier(max_depth=3))
+        model.fit(X, y)
+        weird = np.array([[np.nan, np.nan, np.nan]])
+        assert model.predict(weird).shape == (1,)
+
+    def test_missingness_patterns(self):
+        X = np.array([[1.0, np.nan], [np.nan, 2.0], [1.0, 2.0], [3.0, np.nan]])
+        patterns = missingness_patterns(X)
+        assert set(patterns) == {(0,), (1,), (0, 1)}
+        assert patterns[(0,)].tolist() == [0, 3]
+
+
+class TestIntegration:
+    def make_streams(self):
+        return [
+            MeasurementStream("a", [0.0, 1.0, 2.0], [10.0, 11.0, 12.0]),
+            MeasurementStream("b", [0.5, 1.5], [20.0, 21.0]),
+        ]
+
+    def test_zero_tolerance_merge(self):
+        merged = merge_streams(self.make_streams(), tolerance=0.0)
+        # 5 distinct timestamps, each with exactly one observed feature.
+        assert merged.n_records == 5
+        assert merged.missing_rate == pytest.approx(0.5)
+        assert merged.complete_rows.size == 0
+
+    def test_tolerance_completes_records(self):
+        merged = merge_streams(self.make_streams(), tolerance=0.5)
+        assert merged.missing_rate < 0.5
+        assert merged.complete_rows.size > 0
+
+    def test_larger_tolerance_fewer_records(self):
+        fine = merge_streams(self.make_streams(), tolerance=0.0)
+        coarse = merge_streams(self.make_streams(), tolerance=1.0)
+        assert coarse.n_records <= fine.n_records
+
+    def test_stream_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementStream("x", [1.0, 0.5], [1.0, 2.0])  # unsorted
+        with pytest.raises(ValueError):
+            MeasurementStream("x", [1.0], [1.0, 2.0])  # misaligned
+        with pytest.raises(ValueError):
+            MeasurementStream("x", [], [])
+        with pytest.raises(ValueError):
+            merge_streams([])
+        streams = self.make_streams()
+        with pytest.raises(ValueError):
+            merge_streams([streams[0], streams[0]])
+
+    def test_nearest(self):
+        stream = self.make_streams()[0]
+        assert stream.nearest(0.9) == (1.0, 11.0)
+
+
+class TestCleaning:
+    def test_zscore_normalizer(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 2))
+        Z = ZScoreNormalizer().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_minmax_normalizer(self, rng):
+        X = rng.normal(size=(50, 3))
+        Z = MinMaxNormalizer().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_normalizers_tolerate_nan(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [5.0, 6.0]])
+        assert ZScoreNormalizer().fit_transform(X).shape == X.shape
+        assert MinMaxNormalizer().fit_transform(X).shape == X.shape
+
+    def test_outlier_detectors_flag_planted_outlier(self, rng):
+        X = rng.normal(size=(100, 2))
+        X[7, 1] = 40.0
+        assert zscore_outliers(X, 3.0)[7, 1]
+        assert hampel_outliers(X, 3.0)[7, 1]
+        assert not zscore_outliers(X, 3.0)[0, 0]
+
+    def test_mask_outliers(self, rng):
+        X = rng.normal(size=(20, 2))
+        mask = np.zeros_like(X, dtype=bool)
+        mask[3, 1] = True
+        masked = mask_outliers(X, mask)
+        assert np.isnan(masked[3, 1])
+        with pytest.raises(ValueError):
+            mask_outliers(X, mask[:5])
+
+    def test_deduplicate(self):
+        X = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, np.nan], [3.0, np.nan]])
+        deduped, kept = deduplicate_rows(X)
+        assert deduped.shape == (2, 2)
+        assert kept.tolist() == [0, 2]
+
+
+class TestReduction:
+    def test_random_selection(self):
+        kept = random_instance_selection(100, 0.3, seed=1)
+        assert kept.size == 30
+        assert np.all(np.diff(kept) > 0)
+
+    def test_stratified_selection_balance(self):
+        y = np.asarray([0] * 80 + [1] * 20)
+        kept = stratified_instance_selection(y, 0.5, seed=0)
+        assert abs(np.mean(y[kept] == 1) - 0.2) < 0.05
+
+    def test_condensed_keeps_boundary(self, rng):
+        X = np.vstack([rng.normal(size=(50, 2)) - 3, rng.normal(size=(50, 2)) + 3])
+        y = np.repeat([0, 1], 50)
+        kept = condensed_instance_selection(X, y, seed=0)
+        assert kept.size < 100  # compresses well-separated blobs
+
+    def test_variance_threshold(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        assert variance_threshold_features(X).tolist() == [1]
+
+    def test_correlation_filter(self, rng):
+        base = rng.normal(size=100)
+        X = np.column_stack([base, base * 2.0, rng.normal(size=100)])
+        kept = correlation_filter_features(X, max_correlation=0.9)
+        assert kept.tolist() == [0, 2]
+
+    def test_information_gain_ranks_signal_first(self, rng):
+        signal = rng.normal(size=200)
+        X = np.column_stack([rng.normal(size=200), signal])
+        y = (signal > 0).astype(int)
+        top = information_gain_features(X, y, top_k=1)
+        assert top.tolist() == [1]
+
+    def test_selection_validation(self):
+        with pytest.raises(ValueError):
+            random_instance_selection(10, 0.0)
+        with pytest.raises(ValueError):
+            stratified_instance_selection(np.zeros(5), 1.5)
+        with pytest.raises(ValueError):
+            information_gain_features(np.ones((3, 2)), np.ones(3), top_k=0)
+
+
+class TestPipelineComposition:
+    def test_end_to_end_provenance(self, rng):
+        X = rng.normal(size=(100, 3))
+        bundle = DataBundle(X=X)
+        pipeline = Pipeline(
+            [
+                AcquisitionStage(
+                    [GaussianNoise(0.1), MissingCompletelyAtRandom(0.15)]
+                ),
+                OutlierMaskStage(lambda data: zscore_outliers(data, 4.0)),
+                ImputationStage(MeanImputer()),
+                NormalizationStage(ZScoreNormalizer()),
+            ]
+        )
+        run = pipeline.run(bundle, seed=3)
+        assert run.bundle.missing_rate == 0.0
+        assert len(run.reports) == 4
+        assert run.ledger.summary()["total_missingness"] == pytest.approx(0.15)
+        text = run.describe()
+        assert "acquisition" in text and "impute_MeanImputer" in text
+
+    def test_input_bundle_not_mutated(self, rng):
+        X = rng.normal(size=(30, 2))
+        bundle = DataBundle(X=X.copy())
+        Pipeline([AcquisitionStage([MissingCompletelyAtRandom(0.3)])]).run(bundle)
+        assert not np.isnan(bundle.X).any()
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(40, 2))
+        pipeline = Pipeline([AcquisitionStage([GaussianNoise(0.2)])])
+        first = pipeline.run(DataBundle(X=X), seed=9).bundle.X
+        second = pipeline.run(DataBundle(X=X), seed=9).bundle.X
+        assert np.allclose(first, second)
+
+    def test_then_and_or_operator(self, rng):
+        base = Pipeline([AcquisitionStage([GaussianNoise(0.1)])])
+        extended = base | ImputationStage(MeanImputer())
+        assert len(extended) == 2
+        assert len(base) == 1  # immutable composition
+
+    def test_validation(self):
+        from repro.pipeline import FunctionStage
+
+        with pytest.raises(ValueError):
+            Pipeline([])
+        stage = AcquisitionStage([GaussianNoise(0.1)])
+        with pytest.raises(ValueError):
+            Pipeline([stage, stage])
+        with pytest.raises(ValueError):
+            FunctionStage("x", "bogus-kind", lambda data: data)
+
+    def test_function_stage(self, rng):
+        from repro.pipeline import FunctionStage
+
+        X = rng.normal(size=(10, 2))
+        stage = FunctionStage("double", "preparation", lambda data: data * 2)
+        run = Pipeline([stage]).run(DataBundle(X=X))
+        assert np.allclose(run.bundle.X, X * 2)

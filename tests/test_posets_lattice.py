@@ -1,0 +1,244 @@
+"""Poset utilities and the PartitionLattice facade."""
+
+import networkx as nx
+import pytest
+
+from repro.combinatorics.boolean import (
+    all_subsets,
+    boolean_hasse,
+    ground_set,
+    subset_covers,
+    subset_rank,
+    subsets_of_size,
+)
+from repro.combinatorics.lattice import (
+    ConeExploration,
+    PartitionLattice,
+    cone_partitions,
+    cone_size,
+    lift_chain,
+    lift_chains_to_cone,
+    merge_chain,
+    principal_chain,
+)
+from repro.combinatorics.partitions import SetPartition
+from repro.combinatorics.posets import (
+    Chain,
+    hasse_diagram,
+    is_saturated_chain,
+    is_symmetric_chain,
+    longest_antichain_size,
+    validate_chain_decomposition,
+)
+from repro.combinatorics.stirling import bell_number, binomial, stirling2
+
+
+class TestBoolean:
+    def test_ground_set(self):
+        assert ground_set(3) == frozenset({1, 2, 3})
+        assert ground_set(0) == frozenset()
+        with pytest.raises(ValueError):
+            ground_set(-1)
+
+    def test_all_subsets_count(self):
+        for n in range(0, 8):
+            assert sum(1 for _ in all_subsets(n)) == 2**n
+
+    def test_subsets_of_size(self):
+        for n in range(0, 7):
+            for k in range(0, n + 1):
+                assert sum(1 for _ in subsets_of_size(n, k)) == binomial(n, k)
+
+    def test_covers(self):
+        assert subset_covers(frozenset({1, 2}), frozenset({1}))
+        assert not subset_covers(frozenset({1, 2, 3}), frozenset({1}))
+        assert not subset_covers(frozenset({2}), frozenset({1}))
+
+    def test_hasse_edge_count(self):
+        """B_n has n * 2^(n-1) cover edges."""
+        for n in range(1, 6):
+            hasse = boolean_hasse(n)
+            assert hasse.number_of_edges() == n * 2 ** (n - 1)
+
+    def test_boolean_width_is_central_binomial(self):
+        hasse = boolean_hasse(4)
+        assert longest_antichain_size(hasse) == binomial(4, 2)
+
+
+class TestChainPredicates:
+    def test_chain_dataclass(self):
+        chain = Chain((1, 2, 3))
+        assert len(chain) == 3
+        assert chain.bottom == 1 and chain.top == 3
+        assert chain[1] == 2
+        with pytest.raises(ValueError):
+            Chain(())
+
+    def test_saturated(self):
+        chain = [frozenset(), frozenset({1}), frozenset({1, 2})]
+        assert is_saturated_chain(chain, subset_covers)
+        gappy = [frozenset(), frozenset({1, 2})]
+        assert not is_saturated_chain(gappy, subset_covers)
+
+    def test_symmetric(self):
+        chain = [frozenset({2}), frozenset({2, 3})]
+        assert is_symmetric_chain(chain, subset_rank, 3)
+        assert not is_symmetric_chain(chain, subset_rank, 4)
+
+    def test_validate_decomposition_reports_problems(self):
+        chains = [
+            [frozenset(), frozenset({1, 2})],  # not saturated
+            [frozenset({1})],  # rank 1+1 != 3: not symmetric in B_3
+            [frozenset({1})],  # duplicate
+        ]
+        report = validate_chain_decomposition(
+            chains, subset_rank, subset_covers, poset_rank=3
+        )
+        assert not report.valid
+        assert not report.all_saturated
+        assert not report.all_symmetric
+        assert not report.disjoint
+        assert report.duplicates == {frozenset({1})}
+
+
+class TestPartitionLattice:
+    def test_counts(self):
+        lattice = PartitionLattice([1, 2, 3, 4])
+        assert lattice.count_partitions() == 15
+        assert lattice.rank_profile() == [1, 6, 7, 1]
+        assert lattice.count_at_rank(2) == stirling2(4, 2)
+
+    def test_fig2_lattice_structure(self):
+        """Fig. 2: Pi_4 as a Hasse diagram — 15 nodes; edge count equals
+        the number of (partition, merged-pair) combinations."""
+        lattice = PartitionLattice([1, 2, 3, 4])
+        hasse = lattice.hasse()
+        assert hasse.number_of_nodes() == 15
+        expected_edges = sum(
+            binomial(p.n_blocks, 2) for p in lattice
+        )
+        assert hasse.number_of_edges() == expected_edges
+        assert nx.is_directed_acyclic_graph(hasse)
+
+    def test_iter_rank(self):
+        lattice = PartitionLattice([1, 2, 3, 4])
+        for rank in range(4):
+            produced = list(lattice.iter_rank(rank))
+            assert len(produced) == lattice.count_at_rank(rank)
+            assert all(p.rank == rank for p in produced)
+
+    def test_finest_coarsest(self):
+        lattice = PartitionLattice(["a", "b"])
+        assert lattice.finest().n_blocks == 2
+        assert lattice.coarsest().n_blocks == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionLattice([])
+        with pytest.raises(ValueError):
+            PartitionLattice([1, 1, 2])
+
+    def test_symmetric_chains_cover_singleton_lattice(self):
+        lattice = PartitionLattice([7])
+        chains = lattice.symmetric_chains()
+        assert chains == [(SetPartition([(7,)]),)]
+
+    def test_symmetric_chains_relabelled(self):
+        lattice = PartitionLattice(["x", "y", "z"])
+        chains = lattice.symmetric_chains()
+        covered = {p for chain in chains for p in chain}
+        assert len(covered) == bell_number(3)  # Pi_3 decomposes fully
+        for chain in chains:
+            for partition in chain:
+                assert partition.ground_set == frozenset(["x", "y", "z"])
+
+
+class TestCone:
+    def test_cone_size_is_bell(self):
+        for rest in range(0, 8):
+            assert cone_size(rest) == bell_number(rest)
+
+    def test_cone_partitions_keep_seed_intact(self):
+        seed = (10, 11)
+        rest = (1, 2, 3)
+        cone = list(cone_partitions(seed, rest))
+        assert len(cone) == bell_number(3)
+        for partition in cone:
+            assert (10, 11) in partition.blocks
+
+    def test_cone_with_empty_rest(self):
+        cone = list(cone_partitions((1, 2), ()))
+        assert len(cone) == 1
+        assert cone[0].blocks == ((1, 2),)
+
+    def test_cone_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            list(cone_partitions((1,), (1, 2)))
+        with pytest.raises(ValueError):
+            list(cone_partitions((), (1,)))
+
+    def test_lifted_chains_span_cone_extremes(self):
+        chains = lift_chains_to_cone((9,), (1, 2, 3))
+        tops = {chain[-1] for chain in chains}
+        bottoms = {chain[0] for chain in chains}
+        two_block_seed = SetPartition([(9,), (1, 2, 3)])
+        finest = SetPartition([(9,), (1,), (2,), (3,)])
+        assert two_block_seed in tops
+        assert finest in bottoms
+
+
+class TestChains:
+    def test_principal_chain_matches_paper(self):
+        chain = principal_chain([1, 2, 3, 4])
+        assert [p.compact_str() for p in chain] == [
+            "1/2/3/4",
+            "1/2/34",
+            "1/234",
+            "1234",
+        ]
+
+    def test_principal_chain_is_first_ldd_chain(self):
+        from repro.combinatorics.loeb import ldd_chains
+
+        ldd_first = {
+            chain for chain in ldd_chains(4) if len(chain) == 5
+        }
+        assert principal_chain([1, 2, 3, 4, 5]) in ldd_first
+
+    def test_merge_chain_saturated_full_span(self):
+        chain = merge_chain([3, 1, 2])
+        assert chain[0].rank == 0
+        assert chain[-1].rank == 2
+        for lower, upper in zip(chain, chain[1:]):
+            assert upper.covers(lower)
+
+    def test_merge_chain_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_chain([])
+
+    def test_lift_chain(self):
+        lifted = lift_chain((9, 8), principal_chain([1, 2]))
+        assert all((8, 9) in p.blocks for p in lifted)
+        with pytest.raises(ValueError):
+            lift_chain((), principal_chain([1, 2]))
+
+
+class TestConeExploration:
+    def test_ledger_values(self):
+        ledger = ConeExploration.for_rest_size(4)
+        assert ledger.exhaustive_evaluations == bell_number(4)
+        assert ledger.single_chain_evaluations == 4
+        assert ledger.all_chains_evaluations <= bell_number(4)
+        assert ledger.n_chains >= 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConeExploration.for_rest_size(0)
+
+
+class TestHasseGeneric:
+    def test_hasse_diagram_direction(self):
+        nodes = [frozenset(), frozenset({1}), frozenset({1, 2})]
+        hasse = hasse_diagram(nodes, subset_covers)
+        assert hasse.has_edge(frozenset(), frozenset({1}))
+        assert not hasse.has_edge(frozenset({1}), frozenset())

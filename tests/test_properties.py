@@ -1,0 +1,321 @@
+"""Property-based tests (hypothesis) for the core data structures and
+invariants: partition lattice laws, chain decompositions, encodings,
+Gram properties, imputers, and games."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics.boolean import subset_covers, subset_rank
+from repro.combinatorics.debruijn import greene_kleitman_chain
+from repro.combinatorics.loeb import ldd_encoding, ldd_type, partitions_of_type
+from repro.combinatorics.partitions import SetPartition
+from repro.combinatorics.stirling import count_partitions_of_type
+from repro.kernels import RBFKernel, is_psd, normalize_gram
+from repro.pipeline.imputation import KNNImputer, MeanImputer, MedianImputer
+from repro.games.normal_form import NormalFormGame, solve_zero_sum
+
+
+# ---------------------------------------------------------------------------
+# Strategy helpers
+# ---------------------------------------------------------------------------
+
+@st.composite
+def rgs_strategy(draw, max_n=7):
+    """A valid restricted-growth string (=> a random set partition)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    labels = [0]
+    highest = 0
+    for _ in range(n - 1):
+        label = draw(st.integers(min_value=0, max_value=highest + 1))
+        labels.append(label)
+        highest = max(highest, label)
+    return labels
+
+
+def partition_from_rgs(labels):
+    return SetPartition.from_rgs(labels, list(range(len(labels))))
+
+
+@st.composite
+def partition_pair(draw, max_n=6):
+    """Two partitions over the same ground set."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    first = draw(rgs_strategy(max_n=1).map(lambda _: None))  # placeholder
+    def fresh():
+        labels = [0]
+        highest = 0
+        for _ in range(n - 1):
+            label = draw(st.integers(min_value=0, max_value=highest + 1))
+            labels.append(label)
+            highest = max(highest, label)
+        return partition_from_rgs(labels)
+    return fresh(), fresh()
+
+
+class TestPartitionLatticeLaws:
+    @given(rgs_strategy())
+    def test_rank_is_size_minus_blocks(self, labels):
+        partition = partition_from_rgs(labels)
+        assert partition.rank == partition.size - partition.n_blocks
+
+    @given(rgs_strategy())
+    def test_rgs_round_trip(self, labels):
+        partition = partition_from_rgs(labels)
+        assert partition_from_rgs(list(partition.to_rgs())) == partition
+
+    @given(partition_pair())
+    def test_meet_below_both(self, pair):
+        first, second = pair
+        meet = first.meet(second)
+        assert meet <= first and meet <= second
+
+    @given(partition_pair())
+    def test_join_above_both(self, pair):
+        first, second = pair
+        join = first.join(second)
+        assert first <= join and second <= join
+
+    @given(partition_pair())
+    def test_meet_join_consistency(self, pair):
+        """meet <= join, and lattice absorption on comparable pairs."""
+        first, second = pair
+        assert first.meet(second) <= first.join(second)
+        if first <= second:
+            assert first.meet(second) == first
+            assert first.join(second) == second
+
+    @given(partition_pair())
+    def test_commutativity(self, pair):
+        first, second = pair
+        assert first.meet(second) == second.meet(first)
+        assert first.join(second) == second.join(first)
+
+    @given(rgs_strategy(max_n=5))
+    def test_upper_covers_really_cover(self, labels):
+        partition = partition_from_rgs(labels)
+        for upper in partition.upper_covers():
+            assert upper.covers(partition)
+            assert upper.rank == partition.rank + 1
+
+    @given(rgs_strategy(max_n=5))
+    def test_type_composition_sums_to_size(self, labels):
+        partition = partition_from_rgs(labels)
+        assert sum(partition.type_composition) == partition.size
+
+
+class TestChainProperties:
+    @given(st.integers(min_value=1, max_value=9), st.data())
+    def test_gk_chain_is_saturated_symmetric(self, n, data):
+        subset = frozenset(
+            data.draw(
+                st.sets(st.integers(min_value=1, max_value=n), max_size=n)
+            )
+        )
+        chain = greene_kleitman_chain(subset, n)
+        assert subset in chain
+        assert subset_rank(chain[0]) + subset_rank(chain[-1]) == n
+        for lower, upper in zip(chain, chain[1:]):
+            assert subset_covers(upper, lower)
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_ldd_encoding_invariants(self, n, data):
+        subset = frozenset(
+            data.draw(
+                st.sets(st.integers(min_value=1, max_value=n), max_size=n)
+            )
+        )
+        digits = ldd_encoding(subset, n)
+        assert sum(digits) == n + 1
+        assert digits[-1] > 0  # position n+1 always ends a component
+        type_ = ldd_type(subset, n)
+        assert sum(type_) == n + 1
+        assert len(type_) == n + 1 - len(subset)
+
+    @given(st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4))
+    def test_partitions_of_type_count_and_validity(self, composition):
+        produced = list(partitions_of_type(tuple(composition)))
+        assert len(produced) == count_partitions_of_type(tuple(composition))
+        for partition in produced:
+            assert partition.type_composition == tuple(composition)
+        assert len(set(produced)) == len(produced)
+
+
+class TestKernelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_rbf_gram_psd_unit_diag(self, n, d, seed):
+        X = np.random.default_rng(seed).normal(size=(n, d))
+        gram = RBFKernel(0.7)(X)
+        assert is_psd(gram)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_normalized_gram_bounded(self, n, seed):
+        X = np.random.default_rng(seed).normal(size=(n, 3))
+        gram = normalize_gram(X @ X.T + n * np.eye(n))
+        assert np.all(np.abs(gram) <= 1.0 + 1e-9)
+
+
+class TestImputerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=25),
+        st.integers(min_value=1, max_value=5),
+        st.floats(min_value=0.0, max_value=0.6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_imputers_fill_all_and_preserve_observed(self, n, d, rate, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        X_missing = X.copy()
+        X_missing[rng.random((n, d)) < rate] = np.nan
+        for imputer in (MeanImputer(), MedianImputer(), KNNImputer(2)):
+            filled = imputer.fit_transform(X_missing)
+            assert not np.isnan(filled).any()
+            observed = ~np.isnan(X_missing)
+            assert np.allclose(filled[observed], X_missing[observed])
+
+
+class TestGameProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_zero_sum_value_within_payoff_range(self, rows, cols, seed):
+        payoff = np.random.default_rng(seed).uniform(-5, 5, size=(rows, cols))
+        solution = solve_zero_sum(payoff)
+        assert payoff.min() - 1e-6 <= solution.value <= payoff.max() + 1e-6
+        assert abs(solution.row_strategy.sum() - 1) < 1e-6
+        assert abs(solution.column_strategy.sum() - 1) < 1e-6
+        assert np.all(solution.row_strategy >= -1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_zero_sum_strategies_achieve_value(self, rows, cols, seed):
+        """Minimax check: x'A y* <= v <= x*'A y for all pure x, y."""
+        payoff = np.random.default_rng(seed).uniform(-5, 5, size=(rows, cols))
+        solution = solve_zero_sum(payoff)
+        guaranteed = solution.row_strategy @ payoff  # row's payoff per column
+        assert guaranteed.min() >= solution.value - 1e-6
+        exposure = payoff @ solution.column_strategy
+        assert exposure.max() <= solution.value + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_pure_nash_profiles_are_mutual_best_responses(self, size, seed):
+        rng = np.random.default_rng(seed)
+        game = NormalFormGame(
+            rng.uniform(0, 1, size=(size, size)), rng.uniform(0, 1, size=(size, size))
+        )
+        for i, j in game.pure_nash_equilibria():
+            assert game.best_response_row(j) in [
+                k for k in range(size)
+                if game.A[k, j] >= game.A[:, j].max() - 1e-12
+            ]
+            assert game.is_pure_nash(i, j)
+
+
+@st.composite
+def partition_triple(draw, max_n=5):
+    """Three partitions over the same ground set."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+
+    def fresh():
+        labels = [0]
+        highest = 0
+        for _ in range(n - 1):
+            label = draw(st.integers(min_value=0, max_value=highest + 1))
+            labels.append(label)
+            highest = max(highest, label)
+        return partition_from_rgs(labels)
+
+    return fresh(), fresh(), fresh()
+
+
+class TestLatticeAlgebra:
+    @given(partition_triple())
+    def test_meet_associative(self, triple):
+        a, b, c = triple
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+    @given(partition_triple())
+    def test_join_associative(self, triple):
+        a, b, c = triple
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(partition_triple())
+    def test_absorption_laws(self, triple):
+        a, b, _ = triple
+        assert a.join(a.meet(b)) == a
+        assert a.meet(a.join(b)) == a
+
+    @given(rgs_strategy())
+    def test_idempotence(self, labels):
+        partition = partition_from_rgs(labels)
+        assert partition.meet(partition) == partition
+        assert partition.join(partition) == partition
+
+    @given(partition_triple())
+    def test_pi_n_is_not_distributive_but_bounds_hold(self, triple):
+        """Distributivity fails in general (the paper notes Pi_n is not
+        distributive), but the distributive *inequality* always holds:
+        a meet (b join c) >= (a meet b) join (a meet c)."""
+        a, b, c = triple
+        left = a.meet(b.join(c))
+        right = a.meet(b).join(a.meet(c))
+        assert right.is_refinement_of(left)
+
+
+class TestQualityProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.0, max_value=0.8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_quality_scores_bounded(self, n, d, rate, seed):
+        from repro.pipeline import assess_quality
+
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        X[rng.random((n, d)) < rate] = np.nan
+        quality = assess_quality(X)
+        for value in quality.as_dict().values():
+            assert 0.0 <= value <= 1.0
+        assert 0.0 <= quality.overall() <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.floats(min_value=0.05, max_value=0.7),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_imputation_never_lowers_completeness(self, n, rate, seed):
+        from repro.pipeline import MeanImputer, assess_quality
+
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        X[rng.random((n, 3)) < rate] = np.nan
+        before = assess_quality(X).completeness
+        after = assess_quality(MeanImputer().fit_transform(X)).completeness
+        assert after >= before
+        assert after == 1.0

@@ -1,0 +1,266 @@
+"""Rough sets: indiscernibility, approximations, the paper's phone example,
+reducts, seed-block selection, discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.partitions import SetPartition
+from repro.roughsets import (
+    PHONE_CONCEPT_AVAILABLE,
+    DiscreteTable,
+    approximate,
+    approximation_accuracy,
+    boundary_region,
+    conditional_entropy,
+    discretize,
+    entropy_split_edges,
+    equal_frequency_edges,
+    equal_width_edges,
+    feature_significance,
+    greedy_entropy_reduct,
+    indiscernibility,
+    information_gain,
+    lower_approximation,
+    outside_region,
+    partition_entropy,
+    phone_table,
+    quality_of_classification,
+    rough_membership,
+    select_seed_block,
+    upper_approximation,
+    value_signature,
+)
+from repro.roughsets.discretization import apply_bins
+
+
+class TestDiscreteTable:
+    def test_basic_access(self):
+        table = phone_table()
+        assert table.n_rows == 4
+        assert table.feature_names == ("battery", "os", "available")
+        assert table.column("os") == ("Android", "Android", "iOS", "Symbian")
+        assert table.row(0) == {
+            "battery": "AVERAGE",
+            "os": "Android",
+            "available": "N",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteTable({})
+        with pytest.raises(ValueError):
+            DiscreteTable({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError):
+            DiscreteTable({"a": []})
+        with pytest.raises(KeyError):
+            phone_table().column("nope")
+        with pytest.raises(IndexError):
+            phone_table().row(10)
+
+    def test_from_rows(self):
+        table = DiscreteTable.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert table.n_rows == 2
+        assert table.column("a") == (1, 2)
+
+    def test_select_and_concept(self):
+        table = phone_table()
+        projected = table.select(["os"])
+        assert projected.feature_names == ("os",)
+        assert table.concept("available", "Y") == frozenset({1, 2})
+
+    def test_value_signature(self):
+        table = phone_table()
+        assert value_signature(table, ["battery", "os"], 0) == ("AVERAGE", "Android")
+
+
+class TestIndiscernibility:
+    def test_paper_relation(self):
+        """K = {OS} gives {{1,2},{3},{4}} (0-indexed {{0,1},{2},{3}})."""
+        partition = indiscernibility(phone_table(), ["os"])
+        assert partition.blocks == ((0, 1), (2,), (3,))
+
+    def test_empty_features_one_block(self):
+        partition = indiscernibility(phone_table(), [])
+        assert partition.n_blocks == 1
+
+    def test_refinement_monotone(self):
+        """Adding features refines the partition."""
+        table = phone_table()
+        coarse = indiscernibility(table, ["os"])
+        fine = indiscernibility(table, ["os", "battery"])
+        assert fine.is_refinement_of(coarse)
+
+
+class TestPhoneExample:
+    """Exact reproduction of the paper's Sec. III worked example."""
+
+    def setup_method(self):
+        self.partition = indiscernibility(phone_table(), ["os"])
+        self.concept = PHONE_CONCEPT_AVAILABLE
+
+    def test_lower_approximation_is_device3(self):
+        # Device 3 is row 2.
+        assert lower_approximation(self.partition, self.concept) == frozenset({2})
+
+    def test_upper_approximation_is_devices_123(self):
+        assert upper_approximation(self.partition, self.concept) == frozenset(
+            {0, 1, 2}
+        )
+
+    def test_paper_accuracy_half_granules(self):
+        """The paper reports 0.5 = 1 lower class / 2 upper classes."""
+        assert approximation_accuracy(
+            self.partition, self.concept, count="granules"
+        ) == pytest.approx(0.5)
+
+    def test_pawlak_accuracy_one_third_elements(self):
+        """Classic element-counting Pawlak accuracy is 1/3."""
+        assert approximation_accuracy(
+            self.partition, self.concept, count="elements"
+        ) == pytest.approx(1 / 3)
+
+    def test_boundary_and_outside(self):
+        assert boundary_region(self.partition, self.concept) == frozenset({0, 1})
+        assert outside_region(self.partition, self.concept) == frozenset({3})
+
+    def test_bundle(self):
+        result = approximate(self.partition, self.concept)
+        assert result.lower == frozenset({2})
+        assert result.accuracy_granules == pytest.approx(0.5)
+        assert not result.is_crisp
+        assert result.quality == pytest.approx(0.25)
+
+
+class TestApproximationGeneral:
+    def test_crisp_concept(self):
+        partition = SetPartition([(0, 1), (2, 3)])
+        result = approximate(partition, {0, 1})
+        assert result.is_crisp
+        assert result.accuracy_elements == 1.0
+        assert result.accuracy_granules == 1.0
+
+    def test_empty_concept(self):
+        partition = SetPartition([(0, 1)])
+        assert approximation_accuracy(partition, frozenset()) == 1.0
+        assert lower_approximation(partition, frozenset()) == frozenset()
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            approximation_accuracy(SetPartition([(0,)]), {0}, count="bogus")
+
+    def test_rough_membership(self):
+        partition = SetPartition([(0, 1), (2,)])
+        assert rough_membership(partition, {0}, 0) == pytest.approx(0.5)
+        assert rough_membership(partition, {2}, 2) == pytest.approx(1.0)
+
+    def test_monotonicity_of_quality(self):
+        """Finer partitions never decrease quality of classification."""
+        table = phone_table()
+        concept = PHONE_CONCEPT_AVAILABLE
+        coarse = indiscernibility(table, ["os"])
+        fine = indiscernibility(table, ["os", "battery"])
+        assert quality_of_classification(fine, concept) >= quality_of_classification(
+            coarse, concept
+        )
+
+
+class TestEntropyAndReducts:
+    def test_partition_entropy(self):
+        even = SetPartition([(0, 1), (2, 3)])
+        assert partition_entropy(even) == pytest.approx(1.0)
+        single = SetPartition([(0, 1, 2, 3)])
+        assert partition_entropy(single) == pytest.approx(0.0)
+
+    def test_conditional_entropy_paper_table(self):
+        table = phone_table()
+        # H(available | os): classes {0,1} mixed (1 bit), {2} and {3} pure.
+        assert conditional_entropy(table, ["os"], "available") == pytest.approx(0.5)
+        assert conditional_entropy(
+            table, ["os", "battery"], "available"
+        ) == pytest.approx(0.0)
+
+    def test_information_gain_positive(self):
+        table = phone_table()
+        gain = information_gain(table, [], "available", "battery")
+        assert gain > 0
+
+    def test_greedy_reduct_reaches_zero_entropy(self):
+        table = phone_table()
+        reduct = greedy_entropy_reduct(table, "available")
+        assert conditional_entropy(table, reduct, "available") == pytest.approx(0.0)
+
+    def test_feature_significance_keys(self):
+        table = phone_table()
+        significance = feature_significance(
+            table, ["battery", "os"], "available"
+        )
+        assert set(significance) == {"battery", "os"}
+        assert all(value >= 0 for value in significance.values())
+
+
+class TestSeedBlockSelection:
+    def test_phone_block_reaches_crisp(self):
+        table = phone_table()
+        choice = select_seed_block(
+            table, PHONE_CONCEPT_AVAILABLE, candidates=["battery", "os"]
+        )
+        assert choice.accuracy == pytest.approx(1.0)
+        assert set(choice.features) == {"battery", "os"}
+
+    def test_max_size_respected(self):
+        table = phone_table()
+        choice = select_seed_block(
+            table, PHONE_CONCEPT_AVAILABLE, candidates=["battery", "os"], max_size=1
+        )
+        assert len(choice.features) == 1
+
+    def test_min_gain_blocks_marginal_additions(self):
+        table = phone_table()
+        greedy = select_seed_block(
+            table,
+            PHONE_CONCEPT_AVAILABLE,
+            candidates=["battery", "os"],
+            min_gain=2.0,  # impossible improvement => nothing selected
+        )
+        assert greedy.features == ()
+
+
+class TestDiscretization:
+    def test_equal_width(self):
+        edges = equal_width_edges([0.0, 1.0, 2.0, 3.0, 4.0], 4)
+        assert edges == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_equal_width_constant_column(self):
+        assert equal_width_edges([2.0, 2.0], 4) == []
+
+    def test_equal_frequency_balanced(self):
+        values = list(range(100))
+        edges = equal_frequency_edges(values, 4)
+        symbols = apply_bins(values, edges)
+        counts = {s: symbols.count(s) for s in set(symbols)}
+        assert max(counts.values()) - min(counts.values()) <= 2
+
+    def test_entropy_split_finds_boundary(self):
+        values = np.concatenate([np.zeros(20), np.ones(20)])
+        labels = np.concatenate([np.zeros(20), np.ones(20)])
+        edges = entropy_split_edges(values, labels)
+        assert len(edges) == 1
+        assert 0 < edges[0] < 1
+
+    def test_entropy_requires_labels(self):
+        with pytest.raises(ValueError):
+            discretize([1.0, 2.0], strategy="entropy")
+
+    def test_discretize_strategies(self):
+        values = np.linspace(0, 10, 50)
+        for strategy in ("width", "frequency"):
+            symbols = discretize(values, n_bins=5, strategy=strategy)
+            assert len(set(symbols)) == 5
+        with pytest.raises(ValueError):
+            discretize(values, strategy="bogus")
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            equal_width_edges([1.0], 0)
+        with pytest.raises(ValueError):
+            equal_frequency_edges([1.0], 0)

@@ -1,0 +1,166 @@
+"""Counting functions: Stirling, Bell, Whitney, compositions."""
+
+import math
+
+import pytest
+
+from repro.combinatorics.stirling import (
+    bell_number,
+    bell_triangle,
+    binomial,
+    compositions,
+    count_compositions,
+    count_partitions_of_type,
+    falling_factorial,
+    stirling2,
+    stirling2_row,
+    whitney_numbers,
+)
+
+
+class TestStirling2:
+    def test_known_values(self):
+        assert stirling2(4, 2) == 7
+        assert stirling2(4, 3) == 6
+        assert stirling2(5, 2) == 15
+        assert stirling2(5, 3) == 25
+        assert stirling2(6, 3) == 90
+
+    def test_boundaries(self):
+        assert stirling2(0, 0) == 1
+        assert stirling2(5, 0) == 0
+        assert stirling2(0, 3) == 0
+        assert stirling2(3, 5) == 0
+        assert stirling2(7, 7) == 1
+        assert stirling2(7, 1) == 1
+
+    def test_negative_arguments_are_zero(self):
+        assert stirling2(-1, 2) == 0
+        assert stirling2(2, -1) == 0
+
+    def test_two_block_count_formula(self):
+        """The paper: 2**(n-1) - 1 partitions of an n-set into two blocks."""
+        for n in range(2, 12):
+            assert stirling2(n, 2) == 2 ** (n - 1) - 1
+
+    def test_n_minus_one_block_count_formula(self):
+        """The paper: n(n-1)/2 partitions of an n-set into n-1 blocks."""
+        for n in range(2, 12):
+            assert stirling2(n, n - 1) == n * (n - 1) // 2
+
+    def test_row_sums_to_bell(self):
+        for n in range(0, 12):
+            assert sum(stirling2_row(n)) == bell_number(n)
+
+    def test_row_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stirling2_row(-1)
+
+
+class TestBell:
+    def test_known_sequence(self):
+        expected = [1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975]
+        assert [bell_number(n) for n in range(11)] == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bell_number(-1)
+
+    def test_triangle_last_entries(self):
+        triangle = bell_triangle(8)
+        for index, row in enumerate(triangle):
+            assert row[-1] == bell_number(index + 1)
+            assert row[0] == bell_number(index)
+
+    def test_triangle_zero_rows(self):
+        assert bell_triangle(0) == []
+
+    def test_triangle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bell_triangle(-2)
+
+
+class TestWhitney:
+    def test_pi4_profile_matches_fig2(self):
+        """Fig. 2: the lattice of a 4-set has rank profile (1, 6, 7, 1)."""
+        assert whitney_numbers(4) == [1, 6, 7, 1]
+
+    def test_sum_is_bell(self):
+        for n in range(1, 9):
+            assert sum(whitney_numbers(n)) == bell_number(n)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            whitney_numbers(0)
+
+
+class TestBinomialFactorial:
+    def test_binomial_matches_math_comb(self):
+        for n in range(0, 10):
+            for k in range(0, n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_binomial_out_of_range(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+        assert binomial(-2, 1) == 0
+
+    def test_falling_factorial(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 2) == 20
+        assert falling_factorial(5, 5) == 120
+        assert falling_factorial(4, 6) == 0
+
+    def test_falling_factorial_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            falling_factorial(3, -1)
+
+
+class TestCompositions:
+    def test_all_compositions_of_3(self):
+        assert sorted(compositions(3)) == [(1, 1, 1), (1, 2), (2, 1), (3,)]
+
+    def test_count_matches_enumeration(self):
+        for total in range(1, 8):
+            for parts in range(1, total + 1):
+                generated = list(compositions(total, parts))
+                assert len(generated) == count_compositions(total, parts)
+                assert all(sum(c) == total and len(c) == parts for c in generated)
+
+    def test_total_count_is_power_of_two(self):
+        for total in range(1, 9):
+            assert len(list(compositions(total))) == 2 ** (total - 1)
+
+    def test_zero_edge_cases(self):
+        assert list(compositions(0)) == [()]
+        assert count_compositions(0, 0) == 1
+        assert count_compositions(3, 0) == 0
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            list(compositions(-1))
+
+
+class TestTypeCount:
+    def test_paper_examples(self):
+        """Counts implicit in Table I's partition pools."""
+        assert count_partitions_of_type((1, 1, 1, 1)) == 1
+        assert count_partitions_of_type((1, 1, 2)) == 1
+        assert count_partitions_of_type((1, 2, 1)) == 2
+        assert count_partitions_of_type((2, 1, 1)) == 3
+        assert count_partitions_of_type((1, 3)) == 1
+        assert count_partitions_of_type((3, 1)) == 3
+        assert count_partitions_of_type((2, 2)) == 3
+        assert count_partitions_of_type((4,)) == 1
+
+    def test_sum_over_compositions_is_bell(self):
+        """Every partition has exactly one type, so type counts tile Pi_n."""
+        for total in range(1, 8):
+            overall = sum(
+                count_partitions_of_type(c) for c in compositions(total)
+            )
+            assert overall == bell_number(total)
+
+    def test_rejects_non_positive_parts(self):
+        with pytest.raises(ValueError):
+            count_partitions_of_type((2, 0, 1))

@@ -1,0 +1,197 @@
+"""Prediction-veracity layer: kernel logistic regression, calibration,
+Platt scaling, and their integration with trust reports."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    KernelLogisticRegression,
+    LSSVC,
+    PlattScaler,
+    accuracy_score,
+    brier_score,
+    calibration_curve,
+    calibration_report,
+    expected_calibration_error,
+    train_test_split,
+)
+from repro.kernels import LinearKernel, RBFKernel
+
+
+@pytest.fixture
+def blobs(rng):
+    n = 160
+    X = np.vstack([rng.normal(size=(n // 2, 2)) - 1.2, rng.normal(size=(n // 2, 2)) + 1.2])
+    y = np.repeat([-1, 1], n // 2)
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+class TestKernelLogistic:
+    def test_fits_and_separates(self, blobs):
+        X, y = blobs
+        model = KernelLogisticRegression(RBFKernel(0.5)).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+        assert model.n_iterations_ >= 1
+
+    def test_probabilities_valid_and_informative(self, blobs):
+        X, y = blobs
+        model = KernelLogisticRegression(RBFKernel(0.5)).fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert probabilities.shape == (X.shape[0], 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0) and np.all(probabilities <= 1)
+        positive = probabilities[:, 1]
+        assert positive[y == 1].mean() > positive[y == -1].mean() + 0.4
+
+    def test_decision_function_is_log_odds(self, blobs):
+        X, y = blobs
+        model = KernelLogisticRegression(LinearKernel(), regularization=0.1).fit(X, y)
+        scores = model.decision_function(X[:5])
+        probabilities = model.predict_proba(X[:5])[:, 1]
+        assert np.allclose(1 / (1 + np.exp(-scores)), probabilities)
+
+    def test_precomputed_path(self, blobs):
+        X, y = blobs
+        kernel = RBFKernel(0.5)
+        direct = KernelLogisticRegression(kernel).fit(X, y)
+        precomputed = KernelLogisticRegression("precomputed").fit(kernel(X), y)
+        assert np.allclose(
+            direct.predict_proba(X),
+            precomputed.predict_proba(kernel(X)),
+            atol=1e-6,
+        )
+
+    def test_regularization_shrinks_confidence(self, blobs):
+        X, y = blobs
+        loose = KernelLogisticRegression(RBFKernel(0.5), regularization=1e-3).fit(X, y)
+        tight = KernelLogisticRegression(RBFKernel(0.5), regularization=10.0).fit(X, y)
+        loose_conf = np.abs(loose.predict_proba(X)[:, 1] - 0.5).mean()
+        tight_conf = np.abs(tight.predict_proba(X)[:, 1] - 0.5).mean()
+        assert tight_conf < loose_conf
+
+    def test_validation(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            KernelLogisticRegression(LinearKernel(), regularization=0.0)
+        with pytest.raises(ValueError):
+            KernelLogisticRegression(LinearKernel()).fit(X, np.zeros(X.shape[0]))
+        with pytest.raises(RuntimeError):
+            KernelLogisticRegression(LinearKernel()).predict(X)
+
+
+class TestCalibrationMetrics:
+    def test_perfectly_calibrated(self, rng):
+        p = rng.uniform(size=5000)
+        y = (rng.uniform(size=5000) < p).astype(float)
+        assert expected_calibration_error(y, p) < 0.05
+
+    def test_overconfident_detected(self, rng):
+        n = 2000
+        y = (rng.uniform(size=n) < 0.5).astype(float)
+        # Claims 95% confidence on coin flips.
+        p = np.where(y == 1, 0.95, 0.95)
+        assert expected_calibration_error(y, p) > 0.3
+
+    def test_curve_monotone_inputs(self):
+        y = np.asarray([0, 0, 1, 1])
+        p = np.asarray([0.1, 0.2, 0.8, 0.9])
+        mean_predicted, observed, counts = calibration_curve(y, p, n_bins=2)
+        assert observed[0] == 0.0 and observed[-1] == 1.0
+        assert counts.sum() == 4
+
+    def test_brier_score_bounds(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+    def test_report_fields(self, rng):
+        p = rng.uniform(size=500)
+        y = (rng.uniform(size=500) < p).astype(float)
+        report = calibration_report(y, p)
+        assert 0 <= report.ece <= 1
+        assert report.mce >= report.ece
+        assert report.well_calibrated
+        assert 0.5 <= report.mean_confidence <= 1.0
+
+    def test_accepts_plus_minus_labels(self):
+        value = expected_calibration_error([1, -1], [0.9, 0.1])
+        assert value == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibration_curve([1, 0], [0.5], n_bins=5)
+        with pytest.raises(ValueError):
+            calibration_curve([2, 3], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            calibration_curve([1, 0], [1.5, 0.5])
+        with pytest.raises(ValueError):
+            calibration_curve([1, 0], [0.5, 0.5], n_bins=0)
+
+
+class TestPlattScaling:
+    def test_repairs_svm_margins(self, blobs):
+        X, y = blobs
+        X_train, X_holdout, y_train, y_holdout = train_test_split(
+            X, y, 0.4, seed=0, stratify=True
+        )
+        svm = LSSVC(RBFKernel(0.5), gamma=10.0).fit(X_train, y_train)
+        scores = svm.decision_function(X_holdout)
+        # Raw margins are not probabilities at all.
+        scaler = PlattScaler().fit(scores, y_holdout)
+        probabilities = scaler.transform(scores)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+        ece = expected_calibration_error(y_holdout, probabilities, n_bins=5)
+        assert ece < 0.25
+
+    def test_monotone_in_score(self, rng):
+        y = np.concatenate([np.zeros(50), np.ones(50)])
+        scores = np.concatenate([rng.normal(-2, 1, 50), rng.normal(2, 1, 50)])
+        scaler = PlattScaler().fit(scores, y)
+        grid = np.linspace(-5, 5, 21)
+        out = scaler.transform(grid)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_validation(self):
+        with pytest.raises(RuntimeError):
+            PlattScaler().transform([0.0])
+        with pytest.raises(ValueError):
+            PlattScaler().fit([0.1, 0.2], [1.0])
+
+
+class TestTrustIntegration:
+    def test_calibration_flows_into_trust_report(self, blobs):
+        from repro.core import build_trust_report
+        from repro.pipeline import (
+            AcquisitionStage,
+            DataBundle,
+            GaussianNoise,
+            Pipeline,
+        )
+
+        X, y = blobs
+        X_train, X_holdout, y_train, y_holdout = train_test_split(
+            X, y, 0.3, seed=1, stratify=True
+        )
+        model = KernelLogisticRegression(RBFKernel(0.5)).fit(X_train, y_train)
+        run = Pipeline([AcquisitionStage([GaussianNoise(0.05)])]).run(
+            DataBundle(X=X_train)
+        )
+        probabilities = model.predict_proba(X_holdout)[:, 1]
+        report = build_trust_report(
+            run, model, X_holdout, y_holdout, probabilities=probabilities
+        )
+        assert "ece" in report.veracity
+        assert "brier" in report.veracity
+        assert 0 <= report.trust_score <= 1
+
+    def test_miscalibration_warning(self, blobs):
+        from repro.core import build_trust_report
+        from repro.pipeline import AcquisitionStage, DataBundle, GaussianNoise, Pipeline
+
+        X, y = blobs
+        model = KernelLogisticRegression(RBFKernel(0.5)).fit(X, y)
+        run = Pipeline([AcquisitionStage([GaussianNoise(0.05)])]).run(DataBundle(X=X))
+        # Deliberately broken probabilities: always 0.99 for positive class.
+        fake = np.full(y.shape, 0.99)
+        report = build_trust_report(run, model, X, y, probabilities=fake)
+        assert any("mis-calibrated" in w for w in report.warnings)
