@@ -11,8 +11,17 @@ On planted faceted workloads, compares test accuracy of:
 Also reports partition recovery: how close the searched partition is to
 the planted one (adjusted Rand-style pair agreement over feature pairs).
 
+Additionally compares direct per-partition Gram materialisation against
+the engine's incremental stats scoring (repro.engine) on an exhaustive
+cone enumeration, and writes wall-clock / op-count numbers to
+``BENCH_partition_mkl.json`` at the repo root.
+
 Run standalone:  python benchmarks/bench_partition_mkl.py
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -21,7 +30,9 @@ from repro.combinatorics import SetPartition
 from repro.core import FacetedLearner
 from repro.iot import FacetSpec, make_faceted_classification
 from repro.kernels.combination import combine_grams
-from repro.mkl import GramCache, alignment_weights
+from repro.mkl import GramCache, PartitionMKLSearch, alignment_weights
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_partition_mkl.json"
 
 
 WORKLOADS = {
@@ -108,10 +119,86 @@ def evaluate_workload(name: str, specs, seed: int = 1, n_samples: int = 500) -> 
     }
 
 
-def run() -> list[dict]:
-    return [
-        evaluate_workload(name, specs) for name, specs in WORKLOADS.items()
+def compare_engine_scoring(
+    n_samples: int = 250, seed: int = 3, n_noise: int = 4
+) -> dict:
+    """Direct Gram materialisation vs incremental engine scoring.
+
+    Runs the same exhaustive cone enumeration (seed block ``(0, 1)``,
+    ``rest`` of 6 features => Bell(6) = 203 configurations) in both
+    engine modes and checks the acceptance contract: identical best
+    partition, scores within 1e-9, and >= 5x fewer O(n²) matrix
+    operations for the incremental mode.
+    """
+    specs = [
+        FacetSpec("a", 2, signal="product", weight=1.4),
+        FacetSpec("b", 2, signal="radial", weight=1.0),
+        FacetSpec("noise", n_noise, role="noise"),
     ]
+    workload = make_faceted_classification(n_samples, specs, seed=seed)
+    seed_block = (0, 1)
+
+    def timed(mode: str) -> tuple[dict, object]:
+        search = PartitionMKLSearch(engine_mode=mode)
+        start = time.perf_counter()
+        result = search.search_exhaustive(workload.X, workload.y, seed_block)
+        elapsed = time.perf_counter() - start
+        return {
+            "wall_clock_s": elapsed,
+            "n_evaluations": result.n_evaluations,
+            "n_gram_computations": result.n_gram_computations,
+            "n_matrix_ops": result.n_matrix_ops,
+            "best_partition": result.best_partition.compact_str(),
+            "best_score": result.best_score,
+        }, result
+
+    direct_row, direct = timed("direct")
+    engine_row, engine = timed("incremental")
+
+    assert direct.best_partition == engine.best_partition, (
+        direct.best_partition,
+        engine.best_partition,
+    )
+    score_delta = abs(direct.best_score - engine.best_score)
+    assert score_delta < 1e-9, score_delta
+    ops_ratio = direct_row["n_matrix_ops"] / engine_row["n_matrix_ops"]
+    assert ops_ratio >= 5.0, ops_ratio
+    return {
+        "workload": f"2+2 facets + {n_noise} noise, n={n_samples}",
+        "rest_size": workload.n_features - len(seed_block),
+        "direct": direct_row,
+        "engine": engine_row,
+        "score_delta": score_delta,
+        "matrix_ops_ratio": ops_ratio,
+        "wall_clock_speedup": direct_row["wall_clock_s"] / engine_row["wall_clock_s"],
+    }
+
+
+def write_results(rows: list[dict], engine_comparison: dict) -> None:
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_partition_mkl",
+                "workloads": rows,
+                "engine_vs_direct": engine_comparison,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+_ROWS_CACHE: list[dict] | None = None
+
+
+def run() -> list[dict]:
+    # Memoised: the two pytest entry points share one workload sweep.
+    global _ROWS_CACHE
+    if _ROWS_CACHE is None:
+        _ROWS_CACHE = [
+            evaluate_workload(name, specs) for name, specs in WORKLOADS.items()
+        ]
+    return _ROWS_CACHE
 
 
 def print_report() -> None:
@@ -138,12 +225,43 @@ def print_report() -> None:
         " workloads (paper claim: faceted structure 'can be exploited in the"
         " learning strategy')."
     )
+    comparison = compare_engine_scoring()
+    write_results(rows, comparison)
+    direct, engine = comparison["direct"], comparison["engine"]
+    print(
+        f"\nENGINE VS DIRECT (exhaustive cone, rest={comparison['rest_size']},"
+        f" {direct['n_evaluations']} configurations)"
+    )
+    print(
+        f"  direct:      {direct['wall_clock_s']:.3f}s,"
+        f" {direct['n_matrix_ops']} O(n^2) matrix ops"
+    )
+    print(
+        f"  incremental: {engine['wall_clock_s']:.3f}s,"
+        f" {engine['n_matrix_ops']} O(n^2) matrix ops"
+    )
+    print(
+        f"  => {comparison['matrix_ops_ratio']:.1f}x fewer matrix ops,"
+        f" {comparison['wall_clock_speedup']:.1f}x wall-clock,"
+        f" score delta {comparison['score_delta']:.2e}"
+    )
+    print(f"  results written to {RESULTS_PATH.name}")
 
 
 def test_benchmark_partition_mkl(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     wins = sum(1 for row in rows if row["partition_search"] > row["single_kernel"])
     assert wins >= 2, rows
+
+
+def test_benchmark_engine_vs_direct(benchmark):
+    comparison = benchmark.pedantic(
+        compare_engine_scoring, rounds=1, iterations=1
+    )
+    # compare_engine_scoring already asserts the acceptance contract
+    # (identical best partition, <1e-9 score delta, >=5x fewer ops).
+    assert comparison["matrix_ops_ratio"] >= 5.0
+    write_results(run(), comparison)
 
 
 if __name__ == "__main__":

@@ -24,12 +24,14 @@ from repro.combinatorics.debruijn import (
 from repro.combinatorics.lattice import (
     ConeExploration,
     PartitionLattice,
+    coarsening_moves,
     cone_partitions,
     cone_size,
     lift_chain,
     lift_chains_to_cone,
     merge_chain,
     principal_chain,
+    refinement_moves,
 )
 from repro.combinatorics.loeb import (
     LddCoverage,
@@ -148,10 +150,12 @@ __all__ = [
     # lattice navigation
     "ConeExploration",
     "PartitionLattice",
+    "coarsening_moves",
     "cone_partitions",
     "cone_size",
     "lift_chain",
     "lift_chains_to_cone",
     "merge_chain",
     "principal_chain",
+    "refinement_moves",
 ]

@@ -16,7 +16,7 @@ exact cost accounting, independent of any learning machinery.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 import networkx as nx
@@ -37,10 +37,12 @@ __all__ = [
     "ConeExploration",
     "cone_partitions",
     "cone_size",
+    "coarsening_moves",
     "lift_chains_to_cone",
     "lift_chain",
     "merge_chain",
     "principal_chain",
+    "refinement_moves",
 ]
 
 
@@ -193,6 +195,41 @@ def lift_chains_to_cone(
         )
         for chain in lattice.symmetric_chains()
     ]
+
+
+def refinement_moves(
+    partition: SetPartition,
+    frozen: Iterable[Sequence[Element]] = (),
+) -> Iterator[SetPartition]:
+    """Yield every cover *below* a partition: split one block in two.
+
+    These are the downward lattice moves used by frontier searches
+    (beam, best-first) descending a cone: the partition's
+    :meth:`~repro.combinatorics.partitions.SetPartition.lower_covers`
+    restricted to moves that keep every ``frozen`` block (e.g. the seed
+    block ``K``) intact, which confines the walk to the cone.
+    """
+    frozen_keys = {tuple(sorted(block)) for block in frozen}
+    for child in partition.lower_covers():
+        if all(key in child.blocks for key in frozen_keys):
+            yield child
+
+
+def coarsening_moves(
+    partition: SetPartition,
+    frozen: Iterable[Sequence[Element]] = (),
+) -> Iterator[SetPartition]:
+    """Yield every cover *above* a partition: merge two blocks.
+
+    The upward counterpart of :func:`refinement_moves` ("smushing" one
+    block boundary): :meth:`~repro.combinatorics.partitions.SetPartition.
+    upper_covers` restricted to merges leaving every ``frozen`` block
+    intact.
+    """
+    frozen_keys = {tuple(sorted(block)) for block in frozen}
+    for parent in partition.upper_covers():
+        if all(key in parent.blocks for key in frozen_keys):
+            yield parent
 
 
 def merge_chain(ordered: Sequence[Element]) -> tuple[SetPartition, ...]:

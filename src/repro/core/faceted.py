@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analytics.lssvm import LSSVC
 from repro.combinatorics.partitions import SetPartition
+from repro.engine.strategies import available_strategies
 from repro.kernels.base import as_2d
 from repro.kernels.combination import combine_grams, uniform_weights
 from repro.kernels.gram import normalize_gram
@@ -39,7 +40,6 @@ from repro.mkl.partition_search import (
     SearchResult,
 )
 from repro.mkl.seed import RoughSeedResult, roughset_seed_block
-from repro.mkl.smush import greedy_smush
 
 __all__ = ["FacetedLearner"]
 
@@ -51,7 +51,9 @@ class FacetedLearner:
     ----------
     strategy:
         ``"chain"`` (linear walk, default), ``"chains"``, ``"greedy"``
-        (smushing), or ``"exhaustive"`` (Bell-cost enumeration).
+        (smushing), ``"beam"`` (top-down beam search), ``"best_first"``
+        (evaluation-budgeted best-first), or ``"exhaustive"``
+        (Bell-cost enumeration).
     scorer:
         ``"alignment"`` (fast surrogate) or ``"cv"`` (cross-validated
         accuracy), or any callable ``(gram, y) -> float``.
@@ -77,9 +79,17 @@ class FacetedLearner:
         patience: int = 2,
         seed_max_size: int = 2,
         random_state: int = 0,
+        beam_width: int | None = 3,
+        max_evaluations: int | None = None,
+        backend: str = "serial",
     ):
-        if strategy not in ("chain", "chains", "greedy", "exhaustive"):
-            raise ValueError(f"unknown strategy {strategy!r}")
+        # Defer to the engine's registry so register_strategy extensions
+        # are reachable from the high-level API too.
+        if strategy != "greedy" and strategy not in available_strategies():
+            raise ValueError(
+                f"unknown strategy {strategy!r}; available: "
+                f"{', '.join((*available_strategies(), 'greedy'))}"
+            )
         self.strategy = strategy
         if callable(scorer):
             self._scorer = scorer
@@ -102,6 +112,11 @@ class FacetedLearner:
         self.patience = int(patience)
         self.seed_max_size = int(seed_max_size)
         self.random_state = int(random_state)
+        self.beam_width = beam_width if beam_width is None else int(beam_width)
+        self.max_evaluations = (
+            max_evaluations if max_evaluations is None else int(max_evaluations)
+        )
+        self.backend = backend
 
         self.partition_: SetPartition | None = None
         self.search_result_: SearchResult | None = None
@@ -135,22 +150,28 @@ class FacetedLearner:
             scorer=self._scorer,
             weighting=self.weighting,
             block_kernel=self.block_kernel,
+            backend=self.backend,
         )
         cache = GramCache(X, self.block_kernel)
-        if self.strategy == "exhaustive":
-            result = search.search_exhaustive(X, y, seed, cache=cache)
-        elif self.strategy == "chain":
-            result = search.search_chain(X, y, seed, patience=self.patience, cache=cache)
+        strategy_params: dict = {}
+        if self.strategy == "chain":
+            strategy_params = {"patience": self.patience}
         elif self.strategy == "chains":
-            result = search.search_chains(
-                X, y, seed,
-                n_chains=self.n_chains,
-                patience=self.patience,
-                cache=cache,
-                seed=self.random_state,
-            )
-        else:
-            result = greedy_smush(search, X, y, seed, cache=cache)
+            strategy_params = {
+                "n_chains": self.n_chains,
+                "patience": self.patience,
+                "permutation_seed": self.random_state,
+            }
+        elif self.strategy == "beam":
+            strategy_params = {
+                "beam_width": self.beam_width,
+                "max_evaluations": self.max_evaluations,
+            }
+        elif self.strategy == "best_first":
+            strategy_params = {"max_evaluations": self.max_evaluations}
+        result = search.search(
+            X, y, seed, strategy=self.strategy, cache=cache, **strategy_params
+        )
         self.search_result_ = result
         self.partition_ = result.best_partition
 

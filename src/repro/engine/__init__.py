@@ -1,0 +1,99 @@
+"""Shared kernel-evaluation engine for partition-lattice searches.
+
+The paper's Sec. III algorithm scores every visited partition of a
+lattice cone by building a combined Gram ``K_w = sum_i w_i K_i`` and
+evaluating centred kernel-target alignment.  Done literally, each
+partition costs O(b·n²) matrix work (centre b Grams, combine, centre,
+norms) even when all per-block Grams are already cached.  This package
+is the architectural seam that removes that cost and that later
+scaling PRs (sharding, async, multi-backend) plug into.
+
+Incremental alignment scoring — the stats-cache algebra
+-------------------------------------------------------
+
+Let ``H = I - 11'/n`` be the centring map, ``C_i = H K_i H`` the
+centred block Grams, and ``C_T = H (y y') H`` the centred target.
+Centring is linear, so for any weights ``w``::
+
+    H (sum_i w_i K_i) H = sum_i w_i C_i
+
+and the centred alignment of the combination collapses to scalars::
+
+    rho(w) = <sum w_i C_i, C_T> / (||sum w_i C_i|| ||C_T||)
+           = (w · a) / (sqrt(w' M w) · ||C_T||)
+
+with ``a_i = <C_i, C_T>`` and ``M_ij = <C_i, C_j>``.  The
+:class:`~repro.engine.cache.BlockStatsCache` pays one O(n²) pass per
+*block* (centre, ``a_i``, ``M_ii``) and one per co-occurring block
+*pair* (``M_ij``); both amortise across a search because blocks recur
+heavily inside a cone.  A warm partition costs O(b²) scalar
+arithmetic — including its ``alignment`` and ``alignf`` combination
+weights, which are closed forms over the same ``(a, M)`` statistics.
+
+Evaluation backends — the protocol
+----------------------------------
+
+Batches of frontier partitions are scored through an
+:class:`~repro.engine.backends.EvaluationBackend`: any object with a
+``name`` and an order-preserving ``map(fn, items) -> list``.  Shipped:
+``"serial"`` (reference loop) and ``"threads"`` (thread pool; NumPy
+releases the GIL inside the O(n²) kernels).  Process pools or remote
+worker fleets register through
+:func:`~repro.engine.backends.register_backend`.  The engine's caches
+are lock-guarded, so the bookkeeping the complexity benchmarks rely on
+(``n_evaluations``, ``n_gram_computations``, ``n_matrix_ops``) stays
+exact under concurrency.
+
+Search strategies
+-----------------
+
+:mod:`repro.engine.strategies` registers ``exhaustive``, ``chain``,
+``chains``, ``beam`` (top-down beam search; unbounded beam reproduces
+the exhaustive optimum) and ``best_first`` (evaluation-budget-capped
+best-first search) behind one ``strategy=`` dispatch, used by
+``PartitionMKLSearch.search`` and ``FacetedLearner``.
+"""
+
+from repro.engine.backends import (
+    EvaluationBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.cache import BlockStatsCache, GramCache, canonical_block_key
+from repro.engine.core import (
+    AlignmentScorer,
+    KernelEvaluationEngine,
+    SearchResult,
+    alignf_weights_from_stats,
+    alignment_weights_from_stats,
+)
+from repro.engine.strategies import (
+    STRATEGIES,
+    available_strategies,
+    register_strategy,
+    run_strategy,
+)
+
+__all__ = [
+    "AlignmentScorer",
+    "BlockStatsCache",
+    "EvaluationBackend",
+    "GramCache",
+    "KernelEvaluationEngine",
+    "SearchResult",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "STRATEGIES",
+    "alignf_weights_from_stats",
+    "alignment_weights_from_stats",
+    "available_backends",
+    "available_strategies",
+    "canonical_block_key",
+    "get_backend",
+    "register_backend",
+    "register_strategy",
+    "run_strategy",
+]

@@ -1,0 +1,121 @@
+"""Pluggable evaluation backends: how batches of partitions get scored.
+
+A backend is anything with a ``name`` and an order-preserving
+``map(fn, items) -> list`` — the engine hands it a scoring closure and
+a batch of frontier partitions and expects one score per partition, in
+input order.  Two implementations ship:
+
+* :class:`SerialBackend` — a plain loop; the deterministic reference.
+* :class:`ThreadPoolBackend` — ``concurrent.futures`` thread pool.
+  NumPy releases the GIL inside the O(n²) kernels, so batches of
+  partition scores genuinely overlap; the engine's caches are lock
+  guarded, so bookkeeping (``n_evaluations``, ``n_gram_computations``,
+  ``n_matrix_ops``) stays exact.
+
+Third parties (process pools, remote worker fleets) plug in through
+:func:`register_backend`; anything satisfying the protocol works, which
+is the seam later sharding/async PRs build on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "EvaluationBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+]
+
+
+@runtime_checkable
+class EvaluationBackend(Protocol):
+    """Protocol every evaluation backend satisfies."""
+
+    name: str
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        ...
+
+
+class SerialBackend:
+    """Score partitions one after another in the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        return [fn(item) for item in items]
+
+
+class ThreadPoolBackend:
+    """Score a batch concurrently on a persistent thread pool.
+
+    ``max_workers=None`` defers to the executor default (CPU count
+    based).  The executor is created lazily on first use and reused
+    across batches — a search scores hundreds of batches, so per-call
+    pool construction would dominate small workloads.  Results keep
+    the input order regardless of completion order.  ``close()``
+    releases the worker threads early; otherwise they are reclaimed at
+    interpreter shutdown.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down; the backend can be reused afterwards."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_REGISTRY: dict[str, Callable[..., EvaluationBackend]] = {
+    "serial": SerialBackend,
+    "threads": ThreadPoolBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[..., EvaluationBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites existing)."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(spec: str | EvaluationBackend, **options: Any) -> EvaluationBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if not isinstance(spec, str):
+        if not isinstance(spec, EvaluationBackend):
+            raise TypeError(f"not an evaluation backend: {spec!r}")
+        return spec
+    try:
+        factory = _REGISTRY[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {spec!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory(**options)

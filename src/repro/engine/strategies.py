@@ -1,0 +1,330 @@
+"""Search strategies over the lattice cone, driven by the engine.
+
+Every strategy is a function ``(engine, seed, rest, **params) ->
+SearchResult`` registered in :data:`STRATEGIES`; the public
+``PartitionMKLSearch.search(strategy=...)`` dispatch resolves names
+here.  All strategies score frontier partitions in batches through the
+engine's backend, so a concurrent backend overlaps the O(n²) work.
+
+* ``exhaustive`` — enumerate the whole cone (Bell-number cost).
+* ``chain`` / ``chains`` — the paper's symmetric-chain walks with
+  early stopping (linear cost per chain).
+* ``beam`` — top-down beam search: start at the coarse two-block seed
+  partition, expand all single-block splits of the survivors, keep the
+  ``beam_width`` best per level.  An unbounded beam (``beam_width=None``)
+  visits the whole cone level by level and therefore reproduces the
+  exhaustive optimum.
+* ``best_first`` — budgeted best-first search: a max-heap on score,
+  expanding the most promising partition's refinements until
+  ``max_evaluations`` scores have been spent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.combinatorics.lattice import (
+    cone_partitions,
+    lift_chain,
+    merge_chain,
+    principal_chain,
+    refinement_moves,
+)
+from repro.combinatorics.partitions import SetPartition
+from repro.engine.core import KernelEvaluationEngine, SearchResult
+
+__all__ = [
+    "STRATEGIES",
+    "register_strategy",
+    "available_strategies",
+    "run_strategy",
+    "search_exhaustive",
+    "search_chains",
+    "search_beam",
+    "search_best_first",
+]
+
+# Frontier partitions scored per backend call; large enough to keep a
+# thread pool busy, small enough to respect evaluation caps promptly.
+BATCH_SIZE = 32
+
+
+def _seed_partition(seed: tuple[int, ...], rest: tuple[int, ...]) -> SetPartition:
+    blocks = [seed]
+    if rest:
+        blocks.append(rest)
+    return SetPartition(blocks)
+
+
+def _result(
+    engine: KernelEvaluationEngine,
+    strategy: str,
+    seed_partition: SetPartition,
+    history: list[tuple[SetPartition, float]],
+) -> SearchResult:
+    best_partition, best_score = None, -np.inf
+    for partition, score in history:
+        if score > best_score:
+            best_partition, best_score = partition, score
+    assert best_partition is not None
+    return SearchResult(
+        best_partition=best_partition,
+        best_score=best_score,
+        n_evaluations=len(history),
+        n_gram_computations=engine.n_gram_computations,
+        strategy=strategy,
+        seed_partition=seed_partition,
+        n_matrix_ops=engine.n_matrix_ops,
+        history=history,
+    )
+
+
+def _batched(iterator: Iterator[SetPartition], size: int) -> Iterator[list[SetPartition]]:
+    batch: list[SetPartition] = []
+    for item in iterator:
+        batch.append(item)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def search_exhaustive(
+    engine: KernelEvaluationEngine,
+    seed: tuple[int, ...],
+    rest: tuple[int, ...],
+    max_configurations: int | None = None,
+) -> SearchResult:
+    """Enumerate the full cone below ``(K, S - K)``, batch-scored."""
+    seed_partition = _seed_partition(seed, rest)
+    history: list[tuple[SetPartition, float]] = []
+    remaining = max_configurations
+    for batch in _batched(cone_partitions(seed, rest), BATCH_SIZE):
+        if remaining is not None:
+            if remaining <= 0:
+                break
+            batch = batch[:remaining]
+            remaining -= len(batch)
+        history.extend(zip(batch, engine.score_batch(batch)))
+    return _result(engine, "exhaustive", seed_partition, history)
+
+
+def search_chains(
+    engine: KernelEvaluationEngine,
+    seed: tuple[int, ...],
+    rest: tuple[int, ...],
+    n_chains: int = 1,
+    patience: int = 1,
+    permutation_seed: int = 0,
+    strategy: str = "chains",
+) -> SearchResult:
+    """Walk full-span symmetric chains top-down with early stopping.
+
+    The first chain is the principal LDD chain; extra chains are merge
+    chains over random permutations of ``rest`` (every such chain is
+    saturated and full-span, hence symmetric).
+    """
+    if patience < 1:
+        raise ValueError("patience must be at least 1")
+    seed_partition = _seed_partition(seed, rest)
+    if not rest:
+        score = engine.score(seed_partition)
+        return _result(engine, strategy, seed_partition, [(seed_partition, score)])
+    chains = [lift_chain(seed, principal_chain(rest))]
+    rng = np.random.default_rng(permutation_seed)
+    for _ in range(max(1, n_chains) - 1):
+        order = list(rng.permutation(np.asarray(rest)))
+        chains.append(lift_chain(seed, merge_chain([int(c) for c in order])))
+
+    history: list[tuple[SetPartition, float]] = []
+    scored: dict[SetPartition, float] = {}
+    for chain in chains:
+        stale = 0
+        chain_best = -np.inf
+        # Top-down: coarse (few kernels) to fine (many kernels).
+        for partition in reversed(chain):
+            if partition in scored:
+                score = scored[partition]
+            else:
+                score = engine.score(partition)
+                scored[partition] = score
+                history.append((partition, score))
+            if score > chain_best:
+                chain_best = score
+                stale = 0
+            else:
+                stale += 1
+                if stale >= patience:
+                    break
+    return _result(engine, strategy, seed_partition, history)
+
+
+def search_beam(
+    engine: KernelEvaluationEngine,
+    seed: tuple[int, ...],
+    rest: tuple[int, ...],
+    beam_width: int | None = 3,
+    max_depth: int | None = None,
+    max_evaluations: int | None = None,
+) -> SearchResult:
+    """Top-down beam search over the cone.
+
+    Starts at the coarse seed partition ``(K, S - K)`` and descends one
+    refinement level at a time: every survivor's non-seed blocks are
+    split in all ways, the children are batch-scored, and the best
+    ``beam_width`` children seed the next level.  ``beam_width=None``
+    keeps every child — the whole cone is then visited level by level,
+    so the result matches the exhaustive optimum.
+
+    Cost note: ``beam_width`` bounds *survivors*, not children — a
+    survivor with an ``m``-element block contributes ``2^(m-1) - 1``
+    scored children, so the first level below the root costs
+    ``2^(|S-K|-1) - 1`` evaluations unless capped.  On wide cones
+    (rest > ~10) set ``max_evaluations`` (lazily truncates child
+    generation, like ``best_first``) or prefer ``best_first``.
+    """
+    if beam_width is not None and beam_width < 1:
+        raise ValueError("beam_width must be positive (or None for unbounded)")
+    if max_evaluations is not None and max_evaluations < 1:
+        raise ValueError("max_evaluations must be positive (or None)")
+    seed_partition = _seed_partition(seed, rest)
+    frozen = (seed,)
+    root_score = engine.score(seed_partition)
+    history: list[tuple[SetPartition, float]] = [(seed_partition, root_score)]
+    visited: set[SetPartition] = {seed_partition}
+    frontier: list[tuple[SetPartition, float]] = [(seed_partition, root_score)]
+    depth = 0
+    while frontier:
+        if max_depth is not None and depth >= max_depth:
+            break
+        if max_evaluations is not None and len(history) >= max_evaluations:
+            break
+        if beam_width is not None and len(frontier) > beam_width:
+            frontier = sorted(frontier, key=lambda item: -item[1])[:beam_width]
+
+        def fresh_children():
+            for partition, _ in frontier:
+                for child in refinement_moves(partition, frozen=frozen):
+                    if child not in visited:
+                        visited.add(child)
+                        yield child
+
+        generated = fresh_children()
+        if max_evaluations is not None:
+            generated = itertools.islice(
+                generated, max_evaluations - len(history)
+            )
+        children = list(generated)
+        if not children:
+            break
+        scores = engine.score_batch(children)
+        level = list(zip(children, scores))
+        history.extend(level)
+        frontier = level
+        depth += 1
+    return _result(engine, "beam", seed_partition, history)
+
+
+def search_best_first(
+    engine: KernelEvaluationEngine,
+    seed: tuple[int, ...],
+    rest: tuple[int, ...],
+    max_evaluations: int | None = None,
+) -> SearchResult:
+    """Budgeted best-first search over the cone.
+
+    Maintains a max-heap of scored partitions; repeatedly expands the
+    best one into its unseen refinements (batch-scored) until the heap
+    is exhausted or ``max_evaluations`` partitions have been scored.
+    The budget includes the root, so ``max_evaluations=1`` scores only
+    the seed partition; ``None`` explores the entire cone.
+    """
+    if max_evaluations is not None and max_evaluations < 1:
+        raise ValueError("max_evaluations must be positive (or None)")
+    seed_partition = _seed_partition(seed, rest)
+    frozen = (seed,)
+    root_score = engine.score(seed_partition)
+    history: list[tuple[SetPartition, float]] = [(seed_partition, root_score)]
+    visited: set[SetPartition] = {seed_partition}
+    counter = 0  # heap tie-breaker: earlier discoveries pop first
+    heap: list[tuple[float, int, SetPartition]] = [(-root_score, counter, seed_partition)]
+    while heap:
+        if max_evaluations is not None and len(history) >= max_evaluations:
+            break
+        _, _, current = heapq.heappop(heap)
+        fresh = (
+            child
+            for child in refinement_moves(current, frozen=frozen)
+            if child not in visited
+        )
+        # islice keeps the expansion lazy: a node with a huge block has
+        # exponentially many covers, but only the budget's worth are
+        # ever constructed and scored.
+        if max_evaluations is not None:
+            fresh = itertools.islice(fresh, max_evaluations - len(history))
+        children = list(fresh)
+        if not children:
+            continue
+        visited.update(children)
+        scores = engine.score_batch(children)
+        for child, score in zip(children, scores):
+            history.append((child, score))
+            counter += 1
+            heapq.heappush(heap, (-score, counter, child))
+    return _result(engine, "best_first", seed_partition, history)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+StrategyFn = Callable[..., SearchResult]
+
+STRATEGIES: dict[str, StrategyFn] = {
+    "exhaustive": search_exhaustive,
+    "chain": lambda engine, seed, rest, **kw: search_chains(
+        engine, seed, rest, n_chains=1, strategy="chain", **kw
+    ),
+    "chains": search_chains,
+    "beam": search_beam,
+    "best_first": search_best_first,
+}
+
+
+def register_strategy(name: str, fn: StrategyFn) -> None:
+    """Register a custom strategy for the ``strategy=`` dispatch."""
+    if not name:
+        raise ValueError("strategy name must be non-empty")
+    STRATEGIES[name] = fn
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Names accepted by :func:`run_strategy` (and the mkl dispatch)."""
+    return tuple(sorted(STRATEGIES))
+
+
+def run_strategy(
+    name: str,
+    engine: KernelEvaluationEngine,
+    seed: Sequence[int],
+    rest: Sequence[int],
+    **params,
+) -> SearchResult:
+    """Run a registered strategy by name."""
+    try:
+        fn = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from None
+    return fn(engine, tuple(seed), tuple(rest), **params)

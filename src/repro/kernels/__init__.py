@@ -11,8 +11,10 @@ from repro.kernels.combination import (
 )
 from repro.kernels.gram import (
     alignment,
+    alignment_from_stats,
     center_gram,
     centered_alignment,
+    centered_target_gram,
     frobenius_inner,
     is_psd,
     normalize_gram,
@@ -46,8 +48,10 @@ __all__ = [
     "uniform_weights",
     "validate_weights",
     "alignment",
+    "alignment_from_stats",
     "center_gram",
     "centered_alignment",
+    "centered_target_gram",
     "frobenius_inner",
     "is_psd",
     "normalize_gram",

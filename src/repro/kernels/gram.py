@@ -14,7 +14,9 @@ __all__ = [
     "center_gram",
     "normalize_gram",
     "target_gram",
+    "centered_target_gram",
     "alignment",
+    "alignment_from_stats",
     "centered_alignment",
     "is_psd",
     "frobenius_inner",
@@ -45,6 +47,16 @@ def target_gram(y: np.ndarray) -> np.ndarray:
     return np.outer(y, y)
 
 
+def centered_target_gram(y: np.ndarray) -> np.ndarray:
+    """Centred ideal Gram ``H (y y') H`` — the alignment reference.
+
+    Every partition scored during one search is compared against this
+    same matrix, so callers (scorers, stats caches) compute it once and
+    reuse it rather than re-centring per evaluation.
+    """
+    return center_gram(target_gram(y))
+
+
 def frobenius_inner(first: np.ndarray, second: np.ndarray) -> float:
     """Frobenius inner product ``<A, B>_F``."""
     return float(np.sum(np.asarray(first) * np.asarray(second)))
@@ -54,6 +66,20 @@ def alignment(gram: np.ndarray, target: np.ndarray, epsilon: float = 1e-12) -> f
     """Kernel-target alignment ``<K, T> / (||K|| ||T||)`` in [-1, 1]."""
     inner = frobenius_inner(gram, target)
     norms = np.linalg.norm(gram) * np.linalg.norm(target)
+    if norms < epsilon:
+        return 0.0
+    return inner / norms
+
+
+def alignment_from_stats(
+    inner: float, first_norm: float, second_norm: float, epsilon: float = 1e-12
+) -> float:
+    """Alignment from precomputed scalars ``<A, B>``, ``||A||``, ``||B||``.
+
+    The closed form the incremental engine uses: same epsilon guard as
+    :func:`alignment`, no matrix work.
+    """
+    norms = first_norm * second_norm
     if norms < epsilon:
         return 0.0
     return inner / norms

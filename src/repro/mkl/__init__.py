@@ -1,5 +1,10 @@
 """Multiple kernel learning driven by the partition lattice (paper Sec. III)."""
 
+from repro.engine import (
+    BlockStatsCache,
+    KernelEvaluationEngine,
+    available_strategies,
+)
 from repro.mkl.alignf import alignf_weights
 from repro.mkl.combiner import MultipleKernelClassifier, alignment_weights
 from repro.mkl.partition_search import (
@@ -16,9 +21,12 @@ __all__ = [
     "MultipleKernelClassifier",
     "alignment_weights",
     "alignf_weights",
+    "available_strategies",
     "AlignmentScorer",
+    "BlockStatsCache",
     "CrossValScorer",
     "GramCache",
+    "KernelEvaluationEngine",
     "PartitionMKLSearch",
     "SearchResult",
     "RoughSeedResult",

@@ -19,45 +19,38 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
-from scipy.optimize import nnls
 
-from repro.kernels.combination import uniform_weights
-from repro.kernels.gram import center_gram, frobenius_inner, target_gram
+from repro.engine.core import alignf_weights_from_stats
+from repro.kernels.gram import center_gram, centered_target_gram, frobenius_inner
 
 __all__ = ["alignf_weights"]
 
 
 def alignf_weights(
-    grams: Sequence[np.ndarray], y: np.ndarray, epsilon: float = 1e-12
+    grams: Sequence[np.ndarray],
+    y: np.ndarray,
+    epsilon: float = 1e-12,
+    centered_target: np.ndarray | None = None,
 ) -> np.ndarray:
     """Convex weights maximising the alignment of the combined Gram.
 
+    Materialises the scalar statistics ``M_kl = <K_k^c, K_l^c>`` and
+    ``a_k = <K_k^c, T^c>`` and delegates the NNLS solve to
+    :func:`repro.engine.core.alignf_weights_from_stats` (the engine's
+    incremental path feeds the same solver from its stats cache).
     Falls back to uniform weights when no kernel aligns positively.
+    ``centered_target`` lets callers reuse an already-centred ``T^c``.
     """
     grams = [np.asarray(gram, dtype=float) for gram in grams]
     if not grams:
         raise ValueError("need at least one Gram matrix")
-    target = center_gram(target_gram(np.asarray(y, dtype=float)))
+    if centered_target is None:
+        centered_target = centered_target_gram(np.asarray(y, dtype=float))
     centred = [center_gram(gram) for gram in grams]
     m = len(centred)
     M = np.empty((m, m))
     for i in range(m):
         for j in range(i, m):
             M[i, j] = M[j, i] = frobenius_inner(centred[i], centred[j])
-    a = np.asarray([frobenius_inner(K, target) for K in centred])
-    if np.all(a <= epsilon):
-        return uniform_weights(m)
-    # Maximising <sum w K, T>/||sum w K|| over w >= 0 is equivalent (up
-    # to scale) to min ||sum w K - T|| over w >= 0, i.e. NNLS on the
-    # vectorised Grams; solve it through the normal equations that nnls
-    # accepts: stack a Cholesky-like factorisation of M.
-    try:
-        L = np.linalg.cholesky(M + epsilon * np.eye(m))
-        rhs = np.linalg.solve(L, a)
-        weights, _ = nnls(L.T, rhs)
-    except np.linalg.LinAlgError:
-        weights = np.clip(np.linalg.lstsq(M, a, rcond=None)[0], 0.0, None)
-    total = weights.sum()
-    if total <= epsilon:
-        return uniform_weights(m)
-    return weights / total
+    a = np.asarray([frobenius_inner(K, centered_target) for K in centred])
+    return alignf_weights_from_stats(M, a, epsilon)

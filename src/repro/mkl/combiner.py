@@ -21,25 +21,52 @@ import numpy as np
 from repro.analytics.lssvm import LSSVC
 from repro.kernels.base import Kernel, as_2d
 from repro.kernels.combination import combine_grams, uniform_weights
-from repro.kernels.gram import centered_alignment, normalize_gram, target_gram
+from repro.kernels.gram import (
+    alignment_from_stats,
+    center_gram,
+    centered_target_gram,
+    frobenius_inner,
+    normalize_gram,
+)
 
 __all__ = ["alignment_weights", "MultipleKernelClassifier"]
 
 
 def alignment_weights(
-    grams: Sequence[np.ndarray], y: np.ndarray, epsilon: float = 1e-12
+    grams: Sequence[np.ndarray],
+    y: np.ndarray,
+    epsilon: float = 1e-12,
+    centered_target: np.ndarray | None = None,
+    target_norm: float | None = None,
 ) -> np.ndarray:
     """Convex weights from positive centred alignments to the labels.
 
     Kernels with non-positive alignment get weight 0; if none aligns
-    positively the weights fall back to uniform.
+    positively the weights fall back to uniform.  ``centered_target``
+    (and optionally its Frobenius norm ``target_norm``) lets repeated
+    callers (one search scores thousands of partitions against the same
+    labels) reuse the centred ideal Gram ``HTH`` instead of recomputing
+    it — and its norm, an O(n²) pass — per call.
     """
-    target = target_gram(np.asarray(y, dtype=float))
-    raw = np.asarray(
-        [max(0.0, centered_alignment(gram, target)) for gram in grams]
-    )
+    grams = list(grams)
+    if centered_target is None:
+        centered_target = centered_target_gram(np.asarray(y, dtype=float))
+        target_norm = None
+    if target_norm is None:
+        target_norm = float(np.linalg.norm(centered_target))
+    raw = []
+    for gram in grams:
+        centred = center_gram(np.asarray(gram, dtype=float))
+        value = alignment_from_stats(
+            frobenius_inner(centred, centered_target),
+            float(np.linalg.norm(centred)),
+            target_norm,
+            epsilon,
+        )
+        raw.append(max(0.0, value))
+    raw = np.asarray(raw)
     if raw.sum() <= epsilon:
-        return uniform_weights(len(list(grams)))
+        return uniform_weights(len(grams))
     return raw / raw.sum()
 
 

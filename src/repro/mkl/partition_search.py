@@ -9,19 +9,26 @@ partition is scored by turning its blocks into kernels (one per block),
 combining the Grams, and evaluating either centred kernel-target
 alignment (fast surrogate) or cross-validated accuracy.
 
-Three strategies are provided, matching the paper's complexity
-discussion:
+Scoring and enumeration are delegated to :mod:`repro.engine`: a
+:class:`~repro.engine.KernelEvaluationEngine` evaluates alignment
+scores incrementally from cached centred-Gram statistics (O(b²) scalar
+work per partition instead of O(b·n²) matrix work), scores frontier
+batches through pluggable backends (``"serial"``, ``"threads"``), and
+hosts the strategy registry.  The strategies, matching and extending
+the paper's complexity discussion:
 
-* :meth:`PartitionMKLSearch.search_exhaustive` — enumerate the whole
-  cone; cost is the Bell number ``B(|S - K|)`` (sum of Stirling
-  numbers of the lattice cone levels).
-* :meth:`PartitionMKLSearch.search_chain` — walk symmetric chains of
-  the Loeb–Damiani–D'Antona decomposition top-down (coarse to fine),
-  stopping when "adding an additional kernel will not improve the
-  performance"; the principal chain costs at most ``|S - K|``
-  evaluations — the paper's linear bound.
-* :meth:`PartitionMKLSearch.search_chains` — the same walk over the
-  ``n_chains`` longest chains, trading a constant factor for coverage.
+* ``exhaustive`` — enumerate the whole cone; cost is the Bell number
+  ``B(|S - K|)`` (sum of Stirling numbers of the lattice cone levels).
+* ``chain`` — walk symmetric chains of the Loeb–Damiani–D'Antona
+  decomposition top-down (coarse to fine), stopping when "adding an
+  additional kernel will not improve the performance"; the principal
+  chain costs at most ``|S - K|`` evaluations — the paper's linear
+  bound.
+* ``chains`` — the same walk over ``n_chains`` chains, trading a
+  constant factor for coverage.
+* ``beam`` — top-down beam search over single-block splits; an
+  unbounded beam reproduces the exhaustive optimum.
+* ``best_first`` — evaluation-budget-capped best-first search.
 
 Per-block Grams are cached across configurations (blocks recur heavily
 inside a cone), which is what makes the exhaustive baseline feasible
@@ -31,23 +38,19 @@ enough to compare against.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analytics.lssvm import LSSVC
 from repro.analytics.validation import cross_val_score_precomputed
-from repro.combinatorics.lattice import (
-    cone_partitions,
-    cone_size,
-    lift_chain,
-    merge_chain,
-    principal_chain,
-)
+from repro.combinatorics.lattice import cone_size
 from repro.combinatorics.partitions import SetPartition
+from repro.engine.backends import EvaluationBackend
+from repro.engine.cache import GramCache
+from repro.engine.core import AlignmentScorer, KernelEvaluationEngine, SearchResult
+from repro.engine.strategies import run_strategy
 from repro.kernels.base import as_2d
 from repro.kernels.combination import combine_grams, uniform_weights
-from repro.kernels.gram import centered_alignment, normalize_gram, target_gram
 from repro.kernels.partition_kernel import BlockKernelFactory, default_block_kernel
 from repro.mkl.combiner import alignment_weights
 
@@ -58,52 +61,6 @@ __all__ = [
     "SearchResult",
     "PartitionMKLSearch",
 ]
-
-
-class GramCache:
-    """Cache of per-block Gram matrices for a fixed training sample.
-
-    Key insight: within one cone the same blocks appear in many
-    partitions, so Grams are memoised by block (tuple of columns).
-    ``n_gram_computations`` counts actual kernel evaluations — the cost
-    metric reported by the complexity experiments.
-    """
-
-    def __init__(
-        self,
-        X: np.ndarray,
-        block_kernel: BlockKernelFactory = default_block_kernel,
-        normalize: bool = True,
-    ):
-        self.X = as_2d(X)
-        self.block_kernel = block_kernel
-        self.normalize = normalize
-        self._store: dict[tuple[int, ...], np.ndarray] = {}
-        self.n_gram_computations = 0
-
-    def gram(self, block: Sequence[int]) -> np.ndarray:
-        """Gram of one feature block (cached)."""
-        key = tuple(int(c) for c in block)
-        if key not in self._store:
-            gram = self.block_kernel(key)(self.X)
-            if self.normalize:
-                gram = normalize_gram(gram)
-            self._store[key] = gram
-            self.n_gram_computations += 1
-        return self._store[key]
-
-    def grams_for(self, partition: SetPartition) -> list[np.ndarray]:
-        """Per-block Grams of a partition of column indices."""
-        return [self.gram(block) for block in partition.blocks]
-
-
-class AlignmentScorer:
-    """Score a combined Gram by centred kernel-target alignment."""
-
-    name = "alignment"
-
-    def __call__(self, gram: np.ndarray, y: np.ndarray) -> float:
-        return centered_alignment(gram, target_gram(np.asarray(y, dtype=float)))
 
 
 class CrossValScorer:
@@ -127,24 +84,6 @@ class CrossValScorer:
         return float(np.mean(scores))
 
 
-@dataclass
-class SearchResult:
-    """Outcome of one lattice exploration."""
-
-    best_partition: SetPartition
-    best_score: float
-    n_evaluations: int
-    n_gram_computations: int
-    strategy: str
-    seed_partition: SetPartition
-    history: list[tuple[SetPartition, float]] = field(repr=False, default_factory=list)
-
-    @property
-    def n_kernels(self) -> int:
-        """Number of kernels in the winning configuration."""
-        return self.best_partition.n_blocks
-
-
 class PartitionMKLSearch:
     """Configurable search over multiple-kernel partition configurations.
 
@@ -154,10 +93,18 @@ class PartitionMKLSearch:
         Callable ``(combined_gram, y) -> float`` (higher is better);
         defaults to :class:`AlignmentScorer`.
     weighting:
-        ``"uniform"`` or ``"alignment"`` combination weights.
+        ``"uniform"``, ``"alignment"`` or ``"alignf"`` combination
+        weights.
     block_kernel:
         Factory mapping a column tuple to a kernel (default RBF with
         median-heuristic bandwidth).
+    backend:
+        Evaluation backend name or instance (``"serial"`` default,
+        ``"threads"`` for concurrent batch scoring).
+    engine_mode:
+        ``"auto"`` (incremental stats scoring whenever the scorer is
+        the alignment surrogate), ``"incremental"``, or ``"direct"``
+        (always materialise the combined Gram).
     """
 
     def __init__(
@@ -166,6 +113,8 @@ class PartitionMKLSearch:
         weighting: str = "alignment",
         block_kernel: BlockKernelFactory = default_block_kernel,
         normalize: bool = True,
+        backend: str | EvaluationBackend = "serial",
+        engine_mode: str = "auto",
     ):
         if weighting not in ("uniform", "alignment", "alignf"):
             raise ValueError(
@@ -175,25 +124,65 @@ class PartitionMKLSearch:
         self.weighting = weighting
         self.block_kernel = block_kernel
         self.normalize = normalize
+        self.backend = backend
+        self.engine_mode = engine_mode
 
     # ------------------------------------------------------------------
+
+    def make_engine(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        cache: GramCache | None = None,
+    ) -> KernelEvaluationEngine:
+        """Build the evaluation engine this search scores through."""
+        return KernelEvaluationEngine(
+            X,
+            y,
+            scorer=self.scorer,
+            weighting=self.weighting,
+            block_kernel=self.block_kernel,
+            normalize=self.normalize,
+            gram_cache=cache,
+            backend=self.backend,
+            mode=self.engine_mode,
+        )
 
     def _combined(self, cache: GramCache, partition: SetPartition, y: np.ndarray):
         grams = cache.grams_for(partition)
         if self.weighting == "uniform":
             weights = uniform_weights(len(grams))
-        elif self.weighting == "alignf":
+            return combine_grams(grams, weights, normalize=False), weights
+        # Reuse the scorer's memoised centred target (and norm) so the
+        # per-evaluation cost excludes the constant target statistics.
+        is_alignment_scorer = isinstance(self.scorer, AlignmentScorer)
+        centered_target = (
+            self.scorer.centered_target(y) if is_alignment_scorer else None
+        )
+        if self.weighting == "alignf":
             from repro.mkl.alignf import alignf_weights
 
-            weights = alignf_weights(grams, y)
+            weights = alignf_weights(grams, y, centered_target=centered_target)
         else:
-            weights = alignment_weights(grams, y)
+            target_norm = (
+                self.scorer.centered_target_norm(y) if is_alignment_scorer else None
+            )
+            weights = alignment_weights(
+                grams, y, centered_target=centered_target, target_norm=target_norm
+            )
         return combine_grams(grams, weights, normalize=False), weights
 
     def evaluate(
         self, cache: GramCache, partition: SetPartition, y: np.ndarray
     ) -> float:
-        """Score one partition configuration."""
+        """Score one partition configuration (direct, reference path).
+
+        Materialises the weighted combined Gram and calls the scorer.
+        Deliberately independent of ``KernelEvaluationEngine``'s
+        scoring paths: this is the reference implementation the
+        engine's incremental mode is property-tested against, so
+        delegating it to the engine would make that test vacuous.
+        """
         combined, _ = self._combined(cache, partition, y)
         return float(self.scorer(combined, np.asarray(y)))
 
@@ -222,6 +211,39 @@ class PartitionMKLSearch:
 
     # ------------------------------------------------------------------
 
+    def search(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        seed_block: Sequence[int],
+        strategy: str = "chain",
+        cache: GramCache | None = None,
+        **params,
+    ) -> SearchResult:
+        """Run a registered strategy over the cone below ``(K, S - K)``.
+
+        Single dispatch point for every exploration strategy:
+        ``exhaustive``, ``chain``, ``chains``, ``beam``, ``best_first``
+        (engine strategies), plus ``greedy`` (the smushing hill climber).
+        Extra keyword arguments are forwarded to the strategy.
+        """
+        X = as_2d(X)
+        seed, rest = self._split_features(X.shape[1], seed_block)
+        cache = cache or GramCache(X, self.block_kernel, self.normalize)
+        if strategy == "greedy":
+            from repro.mkl.smush import greedy_smush
+
+            return greedy_smush(self, X, y, seed, cache=cache, **params)
+        from repro.engine.strategies import available_strategies
+
+        if strategy not in available_strategies():
+            raise ValueError(
+                f"unknown strategy {strategy!r}; available: "
+                f"{', '.join((*available_strategies(), 'greedy'))}"
+            )
+        engine = self.make_engine(X, y, cache)
+        return run_strategy(strategy, engine, seed, rest, **params)
+
     def search_exhaustive(
         self,
         X: np.ndarray,
@@ -235,28 +257,13 @@ class PartitionMKLSearch:
         ``max_configurations`` caps the enumeration (None = whole cone,
         which is ``bell_number(|S - K|)`` configurations).
         """
-        X = as_2d(X)
-        seed, rest = self._split_features(X.shape[1], seed_block)
-        cache = cache or GramCache(X, self.block_kernel, self.normalize)
-        seed_partition = self._seed_partition(seed, rest)
-        history: list[tuple[SetPartition, float]] = []
-        best_partition, best_score = None, -np.inf
-        for count, partition in enumerate(cone_partitions(seed, rest)):
-            if max_configurations is not None and count >= max_configurations:
-                break
-            score = self.evaluate(cache, partition, y)
-            history.append((partition, score))
-            if score > best_score:
-                best_partition, best_score = partition, score
-        assert best_partition is not None
-        return SearchResult(
-            best_partition=best_partition,
-            best_score=best_score,
-            n_evaluations=len(history),
-            n_gram_computations=cache.n_gram_computations,
+        return self.search(
+            X,
+            y,
+            seed_block,
             strategy="exhaustive",
-            seed_partition=seed_partition,
-            history=history,
+            cache=cache,
+            max_configurations=max_configurations,
         )
 
     def search_chain(
@@ -274,7 +281,9 @@ class PartitionMKLSearch:
         stops after ``patience`` consecutive non-improving steps.  At
         most ``|S - K|`` evaluations — the paper's linear exploration.
         """
-        return self._walk_chains(X, y, seed_block, 1, patience, cache, "chain")
+        return self.search(
+            X, y, seed_block, strategy="chain", cache=cache, patience=patience
+        )
 
     def search_chains(
         self,
@@ -294,76 +303,59 @@ class PartitionMKLSearch:
         stays ``n_chains * |S - K|`` evaluations while covering more of
         the cone than a single chain.
         """
-        return self._walk_chains(
-            X, y, seed_block, n_chains, patience, cache, "chains", seed
+        return self.search(
+            X,
+            y,
+            seed_block,
+            strategy="chains",
+            cache=cache,
+            n_chains=n_chains,
+            patience=patience,
+            permutation_seed=seed,
         )
 
-    def _walk_chains(
+    def search_beam(
         self,
         X: np.ndarray,
         y: np.ndarray,
         seed_block: Sequence[int],
-        n_chains: int,
-        patience: int,
-        cache: GramCache | None,
-        strategy: str,
-        permutation_seed: int = 0,
+        beam_width: int | None = 3,
+        max_depth: int | None = None,
+        max_evaluations: int | None = None,
+        cache: GramCache | None = None,
     ) -> SearchResult:
-        if patience < 1:
-            raise ValueError("patience must be at least 1")
-        X = as_2d(X)
-        seed, rest = self._split_features(X.shape[1], seed_block)
-        cache = cache or GramCache(X, self.block_kernel, self.normalize)
-        seed_partition = self._seed_partition(seed, rest)
-        if not rest:
-            score = self.evaluate(cache, seed_partition, y)
-            return SearchResult(
-                best_partition=seed_partition,
-                best_score=score,
-                n_evaluations=1,
-                n_gram_computations=cache.n_gram_computations,
-                strategy=strategy,
-                seed_partition=seed_partition,
-                history=[(seed_partition, score)],
-            )
-        chains = [lift_chain(seed, principal_chain(rest))]
-        rng = np.random.default_rng(permutation_seed)
-        for _ in range(max(1, n_chains) - 1):
-            order = list(rng.permutation(np.asarray(rest)))
-            chains.append(lift_chain(seed, merge_chain([int(c) for c in order])))
+        """Top-down beam search: keep the ``beam_width`` best partitions
+        per refinement level.  ``beam_width=None`` visits the whole cone
+        level by level (matches the exhaustive optimum);
+        ``max_evaluations`` caps total scoring on wide cones."""
+        return self.search(
+            X,
+            y,
+            seed_block,
+            strategy="beam",
+            cache=cache,
+            beam_width=beam_width,
+            max_depth=max_depth,
+            max_evaluations=max_evaluations,
+        )
 
-        history: list[tuple[SetPartition, float]] = []
-        scored: dict[SetPartition, float] = {}
-        best_partition, best_score = None, -np.inf
-        for chain in chains:
-            stale = 0
-            chain_best = -np.inf
-            # Top-down: coarse (few kernels) to fine (many kernels).
-            for partition in reversed(chain):
-                if partition in scored:
-                    score = scored[partition]
-                else:
-                    score = self.evaluate(cache, partition, y)
-                    scored[partition] = score
-                    history.append((partition, score))
-                if score > best_score:
-                    best_partition, best_score = partition, score
-                if score > chain_best:
-                    chain_best = score
-                    stale = 0
-                else:
-                    stale += 1
-                    if stale >= patience:
-                        break
-        assert best_partition is not None
-        return SearchResult(
-            best_partition=best_partition,
-            best_score=best_score,
-            n_evaluations=len(history),
-            n_gram_computations=cache.n_gram_computations,
-            strategy=strategy,
-            seed_partition=seed_partition,
-            history=history,
+    def search_best_first(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        seed_block: Sequence[int],
+        max_evaluations: int | None = None,
+        cache: GramCache | None = None,
+    ) -> SearchResult:
+        """Budgeted best-first search: expand the best-scoring frontier
+        partition until ``max_evaluations`` configurations are scored."""
+        return self.search(
+            X,
+            y,
+            seed_block,
+            strategy="best_first",
+            cache=cache,
+            max_evaluations=max_evaluations,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,459 @@
+"""The kernel-evaluation engine: incremental stats scoring, backends,
+beam/best-first strategies, and cache canonicalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.combinatorics import (
+    SetPartition,
+    bell_number,
+    coarsening_moves,
+    cone_partitions,
+    refinement_moves,
+)
+from repro.core import FacetedLearner
+from repro.engine import (
+    AlignmentScorer,
+    BlockStatsCache,
+    GramCache,
+    KernelEvaluationEngine,
+    SerialBackend,
+    ThreadPoolBackend,
+    available_backends,
+    available_strategies,
+    canonical_block_key,
+    get_backend,
+    register_backend,
+    register_strategy,
+)
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.mkl import CrossValScorer, PartitionMKLSearch
+
+
+@pytest.fixture(scope="module")
+def workload():
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 3, role="noise"),
+    ]
+    return make_faceted_classification(120, specs, seed=4)
+
+
+# ---------------------------------------------------------------------------
+# Caches
+# ---------------------------------------------------------------------------
+
+
+class TestGramCacheCanonicalKeys:
+    def test_permuted_block_hits_same_entry(self, workload):
+        """Regression: permuted column orderings must not recompute."""
+        cache = GramCache(workload.X)
+        first = cache.gram((0, 1))
+        second = cache.gram((1, 0))
+        assert first is second
+        assert cache.n_gram_computations == 1
+
+    def test_canonical_block_key(self):
+        assert canonical_block_key((3, 1, 2)) == (1, 2, 3)
+        assert canonical_block_key(np.array([2, 0])) == (0, 2)
+
+
+class TestBlockStatsCache:
+    def test_block_stats_cached_and_counted(self, workload):
+        cache = GramCache(workload.X)
+        stats = BlockStatsCache(cache, workload.y)
+        baseline = stats.n_matrix_ops
+        assert baseline == 2  # target centring + norm
+        a1, m11 = stats.block_stats((0, 1))
+        assert stats.n_matrix_ops == baseline + 3
+        a2, m22 = stats.block_stats((1, 0))  # permuted: cache hit
+        assert stats.n_matrix_ops == baseline + 3
+        assert (a1, m11) == (a2, m22)
+
+    def test_pair_inner_symmetric_and_cached(self, workload):
+        cache = GramCache(workload.X)
+        stats = BlockStatsCache(cache, workload.y)
+        forward = stats.pair_inner((0,), (1, 2))
+        ops = stats.n_matrix_ops
+        backward = stats.pair_inner((2, 1), (0,))
+        assert forward == backward
+        assert stats.n_matrix_ops == ops
+
+    def test_partition_stats_match_explicit_centring(self, workload):
+        from repro.kernels.gram import center_gram, frobenius_inner, target_gram
+
+        cache = GramCache(workload.X)
+        stats = BlockStatsCache(cache, workload.y)
+        partition = SetPartition([(0, 1), (2,), (3, 4)])
+        a, M = stats.partition_stats(partition)
+        target = center_gram(target_gram(np.asarray(workload.y, dtype=float)))
+        centred = [center_gram(cache.gram(b)) for b in partition.blocks]
+        for i, Ci in enumerate(centred):
+            assert a[i] == pytest.approx(frobenius_inner(Ci, target), abs=1e-9)
+            for j, Cj in enumerate(centred):
+                assert M[i, j] == pytest.approx(frobenius_inner(Ci, Cj), abs=1e-9)
+
+    def test_rejects_mismatched_labels(self, workload):
+        cache = GramCache(workload.X)
+        with pytest.raises(ValueError):
+            BlockStatsCache(cache, workload.y[:-1])
+
+
+class TestAlignmentScorerTargetReuse:
+    def test_centered_target_computed_once(self, workload):
+        scorer = AlignmentScorer()
+        first = scorer.centered_target(workload.y)
+        second = scorer.centered_target(workload.y)
+        assert first is second  # memoised, not recomputed
+
+    def test_recomputes_for_new_labels(self, workload):
+        scorer = AlignmentScorer()
+        first = scorer.centered_target(workload.y)
+        flipped = scorer.centered_target(-workload.y)
+        assert first is not flipped
+
+
+# ---------------------------------------------------------------------------
+# Incremental scoring equivalence
+# ---------------------------------------------------------------------------
+
+
+def _direct_search(weighting):
+    return PartitionMKLSearch(weighting=weighting, engine_mode="direct")
+
+
+@st.composite
+def cone_case(draw):
+    """A random (X, y, seed block, partition-in-cone) quadruple."""
+    n_features = draw(st.integers(min_value=3, max_value=6))
+    seed_size = draw(st.integers(min_value=1, max_value=n_features - 1))
+    seed = tuple(range(seed_size))
+    rest = list(range(seed_size, n_features))
+    # Restricted-growth string over `rest` => a random cone partition.
+    labels, highest = [0], 0
+    for _ in range(len(rest) - 1):
+        label = draw(st.integers(min_value=0, max_value=highest + 1))
+        labels.append(label)
+        highest = max(highest, label)
+    blocks: dict[int, list[int]] = {}
+    for element, label in zip(rest, labels):
+        blocks.setdefault(label, []).append(element)
+    partition = SetPartition([seed] + list(blocks.values()))
+    data_seed = draw(st.integers(min_value=0, max_value=2**16))
+    return n_features, seed, partition, data_seed
+
+
+class TestIncrementalEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(case=cone_case(), weighting=st.sampled_from(["uniform", "alignment", "alignf"]))
+    def test_incremental_matches_direct_evaluate(self, case, weighting):
+        """Property: engine stats scores == direct `evaluate` to 1e-9."""
+        n_features, seed, partition, data_seed = case
+        rng = np.random.default_rng(data_seed)
+        X = rng.normal(size=(30, n_features))
+        y = np.where(rng.random(30) > 0.5, 1.0, -1.0)
+        if np.unique(y).size < 2:
+            y[0] = -y[0]
+        search = _direct_search(weighting)
+        cache = GramCache(X)
+        direct = search.evaluate(cache, partition, y)
+        engine = KernelEvaluationEngine(
+            X, y, weighting=weighting, gram_cache=cache, mode="incremental"
+        )
+        assert engine.score(partition) == pytest.approx(direct, abs=1e-9)
+
+    @pytest.mark.parametrize("weighting", ["uniform", "alignment", "alignf"])
+    def test_whole_cone_matches(self, workload, weighting):
+        search = _direct_search(weighting)
+        cache = GramCache(workload.X)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, weighting=weighting,
+            gram_cache=cache, mode="incremental",
+        )
+        seed, rest = (0, 1), (2, 3, 4)
+        for partition in cone_partitions(seed, rest):
+            direct = search.evaluate(cache, partition, workload.y)
+            assert engine.score(partition) == pytest.approx(direct, abs=1e-9)
+
+    def test_incremental_mode_rejects_non_alignment_scorer(self, workload):
+        with pytest.raises(ValueError):
+            KernelEvaluationEngine(
+                workload.X, workload.y,
+                scorer=CrossValScorer(), mode="incremental",
+            )
+
+    def test_auto_mode_selection(self, workload):
+        incremental = KernelEvaluationEngine(workload.X, workload.y)
+        assert incremental.incremental
+        direct = KernelEvaluationEngine(
+            workload.X, workload.y, scorer=CrossValScorer()
+        )
+        assert not direct.incremental
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            KernelEvaluationEngine(workload.X, workload.y, weighting="bogus")
+        with pytest.raises(ValueError):
+            KernelEvaluationEngine(workload.X, workload.y, mode="bogus")
+
+    def test_incremental_saves_matrix_ops(self, workload):
+        direct = _direct_search("alignment")
+        incremental = PartitionMKLSearch(engine_mode="incremental")
+        rd = direct.search_exhaustive(workload.X, workload.y, (0,))
+        ri = incremental.search_exhaustive(workload.X, workload.y, (0,))
+        assert rd.best_partition == ri.best_partition
+        assert rd.best_score == pytest.approx(ri.best_score, abs=1e-9)
+        # The savings grow with cone size: ~2.8x on this rest=4 cone,
+        # >= 5x on the rest=6 benchmark workload (bench_partition_mkl).
+        assert ri.n_matrix_ops * 2.5 <= rd.n_matrix_ops
+
+    def test_weights_for_matches_direct(self, workload):
+        from repro.mkl import alignment_weights
+
+        cache = GramCache(workload.X)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, gram_cache=cache, mode="incremental"
+        )
+        partition = SetPartition([(0, 1), (2, 4), (3,)])
+        expected = alignment_weights(cache.grams_for(partition), workload.y)
+        np.testing.assert_allclose(
+            engine.weights_for(partition), expected, atol=1e-9
+        )
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class TestBackends:
+    def test_registry(self):
+        assert {"serial", "threads"} <= set(available_backends())
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("threads", max_workers=2), ThreadPoolBackend)
+        with pytest.raises(ValueError):
+            get_backend("bogus")
+        with pytest.raises(TypeError):
+            get_backend(42)
+
+    def test_instance_passthrough(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        assert get_backend(backend) is backend
+
+    def test_register_custom_backend(self):
+        class Reversing:
+            name = "reversing-test"
+
+            def map(self, fn, items):
+                return [fn(item) for item in items]
+
+        register_backend("reversing-test", Reversing)
+        assert isinstance(get_backend("reversing-test"), Reversing)
+
+    def test_threads_match_serial_scores(self, workload):
+        serial = PartitionMKLSearch(backend="serial")
+        threaded = PartitionMKLSearch(backend=ThreadPoolBackend(max_workers=4))
+        rs = serial.search_exhaustive(workload.X, workload.y, (0, 1))
+        rt = threaded.search_exhaustive(workload.X, workload.y, (0, 1))
+        assert rs.best_partition == rt.best_partition
+        assert [p for p, _ in rs.history] == [p for p, _ in rt.history]
+        for (_, a), (_, b) in zip(rs.history, rt.history):
+            assert a == pytest.approx(b, abs=1e-12)
+        # Lock-guarded caches keep the op bookkeeping exact.
+        assert rs.n_gram_computations == rt.n_gram_computations
+        assert rs.n_matrix_ops == rt.n_matrix_ops
+
+
+# ---------------------------------------------------------------------------
+# Lattice moves
+# ---------------------------------------------------------------------------
+
+
+class TestLatticeMoves:
+    def test_refinement_moves_count(self):
+        # One block of size m contributes 2^(m-1) - 1 splits.
+        partition = SetPartition([(0, 1, 2, 3)])
+        assert len(list(refinement_moves(partition))) == 2**3 - 1
+        assert list(refinement_moves(SetPartition([(7,)]))) == []
+
+    def test_refinement_moves_are_covers(self):
+        partition = SetPartition([(0, 1), (2, 3, 4)])
+        children = list(refinement_moves(partition))
+        assert all(partition.covers(child) for child in children)
+        assert len(children) == 1 + 3  # split (0,1) one way, (2,3,4) three ways
+
+    def test_refinement_moves_respect_frozen(self):
+        partition = SetPartition([(0, 1), (2, 3, 4)])
+        children = list(refinement_moves(partition, frozen=[(0, 1)]))
+        assert len(children) == 3
+        assert all((0, 1) in child.blocks for child in children)
+
+    def test_coarsening_moves(self):
+        partition = SetPartition([(0,), (1,), (2,)])
+        parents = list(coarsening_moves(partition))
+        assert len(parents) == 3
+        assert all(parent.covers(partition) for parent in parents)
+        frozen = list(coarsening_moves(partition, frozen=[(0,)]))
+        assert len(frozen) == 1
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+class TestBeamSearch:
+    def test_unbounded_beam_matches_exhaustive(self, workload):
+        """Satellite property: beam with no width cap == exhaustive."""
+        search = PartitionMKLSearch()
+        exhaustive = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        beam = search.search_beam(workload.X, workload.y, (0, 1), beam_width=None)
+        assert beam.n_evaluations == bell_number(3)
+        assert beam.best_partition == exhaustive.best_partition
+        assert beam.best_score == pytest.approx(exhaustive.best_score, abs=1e-9)
+
+    def test_narrow_beam_costs_less(self, workload):
+        search = PartitionMKLSearch()
+        narrow = search.search_beam(workload.X, workload.y, (0,), beam_width=1)
+        wide = search.search_beam(workload.X, workload.y, (0,), beam_width=None)
+        assert narrow.n_evaluations <= wide.n_evaluations
+        assert narrow.strategy == "beam"
+
+    def test_keeps_seed_block(self, workload):
+        search = PartitionMKLSearch()
+        result = search.search_beam(workload.X, workload.y, (1, 2), beam_width=2)
+        assert (1, 2) in result.best_partition.blocks
+        assert all((1, 2) in p.blocks for p, _ in result.history)
+
+    def test_max_depth_limits_levels(self, workload):
+        search = PartitionMKLSearch()
+        shallow = search.search_beam(
+            workload.X, workload.y, (0,), beam_width=None, max_depth=1
+        )
+        # Root plus one level of single-split children.
+        assert all(p.n_blocks <= 3 for p, _ in shallow.history)
+
+    def test_beam_width_validation(self, workload):
+        search = PartitionMKLSearch()
+        with pytest.raises(ValueError):
+            search.search_beam(workload.X, workload.y, (0,), beam_width=0)
+
+    def test_beam_evaluation_budget(self, workload):
+        search = PartitionMKLSearch()
+        result = search.search(
+            workload.X, workload.y, (0,), strategy="beam",
+            beam_width=None, max_evaluations=4,
+        )
+        assert result.n_evaluations <= 4
+
+    def test_empty_rest(self, workload):
+        search = PartitionMKLSearch()
+        result = search.search_beam(
+            workload.X, workload.y, tuple(range(workload.X.shape[1]))
+        )
+        assert result.n_evaluations == 1
+        assert result.best_partition.n_blocks == 1
+
+
+class TestBestFirstSearch:
+    def test_unbudgeted_matches_exhaustive(self, workload):
+        search = PartitionMKLSearch()
+        exhaustive = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        best_first = search.search_best_first(workload.X, workload.y, (0, 1))
+        assert best_first.n_evaluations == bell_number(3)
+        assert best_first.best_partition == exhaustive.best_partition
+
+    def test_budget_respected(self, workload):
+        search = PartitionMKLSearch()
+        for budget in (1, 3, 7):
+            result = search.search_best_first(
+                workload.X, workload.y, (0,), max_evaluations=budget
+            )
+            assert result.n_evaluations <= budget
+            assert result.strategy == "best_first"
+
+    def test_budget_one_scores_only_root(self, workload):
+        search = PartitionMKLSearch()
+        result = search.search_best_first(
+            workload.X, workload.y, (0, 1), max_evaluations=1
+        )
+        assert result.n_evaluations == 1
+        assert result.best_partition == result.seed_partition
+
+    def test_budget_validation(self, workload):
+        search = PartitionMKLSearch()
+        with pytest.raises(ValueError):
+            search.search_best_first(
+                workload.X, workload.y, (0,), max_evaluations=0
+            )
+
+
+class TestStrategyDispatch:
+    def test_registered_names(self):
+        assert {"exhaustive", "chain", "chains", "beam", "best_first"} <= set(
+            available_strategies()
+        )
+
+    def test_dispatch_equivalent_to_wrappers(self, workload):
+        search = PartitionMKLSearch()
+        via_dispatch = search.search(
+            workload.X, workload.y, (0, 1), strategy="exhaustive"
+        )
+        via_wrapper = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        assert via_dispatch.best_partition == via_wrapper.best_partition
+        assert via_dispatch.n_evaluations == via_wrapper.n_evaluations
+
+    def test_greedy_via_dispatch(self, workload):
+        search = PartitionMKLSearch()
+        result = search.search(workload.X, workload.y, (0,), strategy="greedy")
+        assert result.strategy == "greedy_smush"
+
+    def test_unknown_strategy(self, workload):
+        search = PartitionMKLSearch()
+        with pytest.raises(ValueError):
+            search.search(workload.X, workload.y, (0,), strategy="bogus")
+
+    def test_register_custom_strategy(self, workload):
+        def seed_only(engine, seed, rest, **params):
+            from repro.engine.strategies import _result, _seed_partition
+
+            root = _seed_partition(seed, rest)
+            return _result(engine, "seed_only-test", root, [(root, engine.score(root))])
+
+        register_strategy("seed_only-test", seed_only)
+        search = PartitionMKLSearch()
+        result = search.search(
+            workload.X, workload.y, (0,), strategy="seed_only-test"
+        )
+        assert result.n_evaluations == 1
+        assert result.strategy == "seed_only-test"
+
+
+class TestFacetedLearnerNewStrategies:
+    @pytest.mark.parametrize("strategy", ["beam", "best_first"])
+    def test_fit_predict(self, strategy, small_faceted_workload):
+        workload = small_faceted_workload
+        learner = FacetedLearner(
+            strategy=strategy,
+            scorer="alignment",
+            max_evaluations=10,
+            beam_width=2,
+        )
+        learner.fit(workload.X, workload.y)
+        assert learner.partition_ is not None
+        predictions = learner.predict(workload.X)
+        assert np.mean(predictions == workload.y) > 0.6
+
+    def test_backend_threads(self, small_faceted_workload):
+        workload = small_faceted_workload
+        learner = FacetedLearner(
+            strategy="beam", scorer="alignment", backend="threads"
+        )
+        learner.fit(workload.X, workload.y)
+        assert learner.search_result_.strategy == "beam"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            FacetedLearner(strategy="bogus")
