@@ -1,0 +1,165 @@
+"""Backend benchmark — serial vs threads vs processes, plus sharding.
+
+Runs the same exhaustive cone enumeration (seed block ``(0, 1)``,
+rest of 6 features => Bell(6) = 203 configurations) used by
+``bench_partition_mkl`` through every shipped evaluation backend and
+records, per backend: wall clock, evaluation count, and the exact
+O(n²) op ledger.  Asserts the distribution contract along the way:
+
+* ``processes`` optima and per-partition scores are **bit-identical**
+  to ``serial`` (scalar envelopes ship the exact float64 statistics);
+* op counters agree exactly across backends (worker ops are
+  aggregated back into the coordinator's ledger);
+* the sharded run finishes with **zero** full-Gram gathers — no n×n
+  matrix ever materialises on one node — and its largest resident
+  strip is recorded as evidence.
+
+Writes ``BENCH_backends.json`` at the repo root (cited by README.md).
+
+Run standalone:  python benchmarks/bench_backends.py
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine import ProcessPoolBackend, ShardedGramCache, ThreadPoolBackend
+from repro.iot import FacetSpec, make_faceted_classification
+from repro.mkl import PartitionMKLSearch
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+
+N_SAMPLES = 250
+SEED_BLOCK = (0, 1)
+SPECS = [
+    FacetSpec("a", 2, signal="product", weight=1.4),
+    FacetSpec("b", 2, signal="radial", weight=1.0),
+    FacetSpec("noise", 4, role="noise"),
+]
+
+
+def _workload():
+    return make_faceted_classification(N_SAMPLES, SPECS, seed=3)
+
+
+def _row(result, elapsed: float) -> dict:
+    return {
+        "wall_clock_s": elapsed,
+        "n_evaluations": result.n_evaluations,
+        "n_gram_computations": result.n_gram_computations,
+        "n_matrix_ops": result.n_matrix_ops,
+        "best_partition": result.best_partition.compact_str(),
+        "best_score": result.best_score,
+    }
+
+
+def _timed_search(workload, **search_kwargs):
+    search = PartitionMKLSearch(engine_mode="incremental", **search_kwargs)
+    start = time.perf_counter()
+    result = search.search_exhaustive(workload.X, workload.y, SEED_BLOCK)
+    return result, time.perf_counter() - start
+
+
+def run() -> dict:
+    workload = _workload()
+    rest_size = workload.n_features - len(SEED_BLOCK)
+
+    serial, serial_s = _timed_search(workload)
+    threads_backend = ThreadPoolBackend(max_workers=4)
+    threads, threads_s = _timed_search(workload, backend=threads_backend)
+    threads_backend.close()
+    processes_backend = ProcessPoolBackend(max_workers=2)
+    processes, processes_s = _timed_search(workload, backend=processes_backend)
+    overlap_backend = ProcessPoolBackend(max_workers=2)
+    overlapped, overlapped_s = _timed_search(
+        workload, backend=overlap_backend, overlap=True
+    )
+    overlap_backend.close()
+    processes_backend.close()
+
+    # Acceptance contract: bit-identical optima and exact op parity.
+    assert processes.best_partition == serial.best_partition
+    assert processes.best_score == serial.best_score
+    assert all(
+        a == b
+        for (_, a), (_, b) in zip(serial.history, processes.history)
+    ), "processes scores must be bit-identical to serial"
+    assert processes.n_matrix_ops == serial.n_matrix_ops
+    assert overlapped.n_matrix_ops == serial.n_matrix_ops
+
+    # Sharded run: scoring must never gather a full Gram on one node.
+    cache = ShardedGramCache(workload.X, n_shards=4)
+    sharded_search = PartitionMKLSearch(engine_mode="incremental")
+    start = time.perf_counter()
+    sharded = sharded_search.search(
+        workload.X, workload.y, SEED_BLOCK, strategy="exhaustive", cache=cache
+    )
+    sharded_s = time.perf_counter() - start
+    assert cache.n_gathers == 0, "sharded search materialised a full Gram"
+    assert sharded.best_partition == serial.best_partition
+    assert abs(sharded.best_score - serial.best_score) < 1e-9
+
+    return {
+        "benchmark": "bench_backends",
+        "workload": f"2+2 facets + 4 noise, n={N_SAMPLES}, rest={rest_size}",
+        "n_configurations": serial.n_evaluations,
+        "environment": {"cpu_count": os.cpu_count()},
+        "backends": {
+            "serial": _row(serial, serial_s),
+            "threads(4)": _row(threads, threads_s),
+            "processes(2)": _row(processes, processes_s),
+            "processes(2)+overlap": _row(overlapped, overlapped_s),
+        },
+        "parity": {
+            "processes_scores_bit_identical_to_serial": True,
+            "op_counter_parity": True,
+            "score_delta": 0.0,
+        },
+        "sharded": {
+            "n_shards": cache.n_shards,
+            "wall_clock_s": sharded_s,
+            "n_rows_total": int(workload.X.shape[0]),
+            "max_rows_on_one_shard": cache.max_strip_rows,
+            "n_full_gram_materialisations": cache.n_gathers,
+            "best_score_delta_vs_serial": abs(
+                sharded.best_score - serial.best_score
+            ),
+            "n_matrix_ops": sharded.n_matrix_ops,
+        },
+    }
+
+
+def write_results(report: dict) -> None:
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def print_report() -> None:
+    report = run()
+    write_results(report)
+    print(
+        f"BACKEND COMPARISON — exhaustive cone, "
+        f"{report['n_configurations']} configurations ({report['workload']})"
+    )
+    for name, row in report["backends"].items():
+        print(
+            f"  {name:<22} {row['wall_clock_s']:.3f}s"
+            f"  {row['n_matrix_ops']} O(n^2) ops"
+            f"  best={row['best_partition']}"
+        )
+    sharded = report["sharded"]
+    print(
+        f"  sharded({sharded['n_shards']}) serial     {sharded['wall_clock_s']:.3f}s"
+        f"  gathers={sharded['n_full_gram_materialisations']}"
+        f"  max strip rows={sharded['max_rows_on_one_shard']}"
+        f"/{sharded['n_rows_total']}"
+    )
+    print(
+        "  processes scores bit-identical to serial; op ledgers equal; "
+        f"sharded score delta {sharded['best_score_delta_vs_serial']:.2e}"
+    )
+    print(f"  results written to {RESULTS_PATH.name}")
+
+
+if __name__ == "__main__":
+    print_report()

@@ -35,7 +35,6 @@ from repro.mkl.combiner import alignment_weights
 from repro.mkl.partition_search import (
     AlignmentScorer,
     CrossValScorer,
-    GramCache,
     PartitionMKLSearch,
     SearchResult,
 )
@@ -64,6 +63,17 @@ class FacetedLearner:
         Known facet structure (sequence of column-index tuples).  When
         given, the search starts from this partition's coarsening and
         the seed block is its highest-alignment view.
+    backend:
+        Evaluation backend for the search (``"serial"``, ``"threads"``,
+        ``"processes"``); the process pool requires the alignment
+        scorer (it ships scalar statistics, not Grams).
+    shards:
+        When set (> 1), the search runs over block-row-sharded Gram
+        storage and never materialises a full n×n Gram; only the final
+        model fit gathers the winning blocks once.
+    overlap:
+        Materialise upcoming batches' statistics in the background
+        while the current batch is scored.
     """
 
     def __init__(
@@ -82,6 +92,8 @@ class FacetedLearner:
         beam_width: int | None = 3,
         max_evaluations: int | None = None,
         backend: str = "serial",
+        shards: int | None = None,
+        overlap: bool = False,
     ):
         # Defer to the engine's registry so register_strategy extensions
         # are reachable from the high-level API too.
@@ -117,6 +129,8 @@ class FacetedLearner:
             max_evaluations if max_evaluations is None else int(max_evaluations)
         )
         self.backend = backend
+        self.shards = shards
+        self.overlap = bool(overlap)
 
         self.partition_: SetPartition | None = None
         self.search_result_: SearchResult | None = None
@@ -128,13 +142,25 @@ class FacetedLearner:
 
     # ------------------------------------------------------------------
 
-    def _choose_seed(self, X: np.ndarray, y: np.ndarray) -> tuple[int, ...]:
+    def _choose_seed(self, X: np.ndarray, y: np.ndarray, cache) -> tuple[int, ...]:
         if self.seed_block is not None:
             return self.seed_block
         if self.views:
-            # Use the view best aligned with the labels as the seed facet.
-            cache = GramCache(X, self.block_kernel)
-            weights = alignment_weights([cache.gram(v) for v in self.views], y)
+            # Use the view best aligned with the labels as the seed
+            # facet, ranked from cache scalar statistics — identical
+            # argmax to alignment_weights over materialised Grams, but
+            # works over the sharded layout without ever gathering a
+            # full n×n view Gram.  The cache is the one the search will
+            # score through, so view Grams computed here are reused.
+            from repro.engine import alignment_weights_from_stats
+
+            stats = cache.stats_cache(np.asarray(y))
+            pairs = [stats.block_stats(view) for view in self.views]
+            weights = alignment_weights_from_stats(
+                np.array([a for a, _ in pairs]),
+                np.array([m for _, m in pairs]),
+                stats.target_norm,
+            )
             return tuple(self.views[int(np.argmax(weights))])
         self.rough_seed_ = roughset_seed_block(
             X, y, max_size=self.seed_max_size
@@ -145,14 +171,20 @@ class FacetedLearner:
         X = as_2d(X)
         y = np.asarray(y)
         self._train_X = X
-        seed = self._choose_seed(X, y)
         search = PartitionMKLSearch(
             scorer=self._scorer,
             weighting=self.weighting,
             block_kernel=self.block_kernel,
             backend=self.backend,
+            shards=self.shards,
+            overlap=self.overlap,
         )
-        cache = GramCache(X, self.block_kernel)
+        # One cache serves seed selection, the search, and the final
+        # model.  In the sharded layout the first two score over row
+        # strips only; the sole full-Gram gathers happen below, once,
+        # to train the final model on the winning configuration.
+        cache = search._make_cache(X)
+        seed = self._choose_seed(X, y, cache)
         strategy_params: dict = {}
         if self.strategy == "chain":
             strategy_params = {"patience": self.patience}

@@ -36,13 +36,42 @@ Evaluation backends — the protocol
 Batches of frontier partitions are scored through an
 :class:`~repro.engine.backends.EvaluationBackend`: any object with a
 ``name`` and an order-preserving ``map(fn, items) -> list``.  Shipped:
-``"serial"`` (reference loop) and ``"threads"`` (thread pool; NumPy
-releases the GIL inside the O(n²) kernels).  Process pools or remote
-worker fleets register through
-:func:`~repro.engine.backends.register_backend`.  The engine's caches
-are lock-guarded, so the bookkeeping the complexity benchmarks rely on
+``"serial"`` (reference loop), ``"threads"`` (thread pool; NumPy
+releases the GIL inside the O(n²) kernels) and ``"processes"`` (a
+persistent ``multiprocessing`` pool).  The process backend declares
+``supports_tasks``: instead of a closure it receives
+:class:`~repro.engine.tasks.EngineTask` envelopes carrying only the
+scalar statistic tables — never a Gram, the sample, or the labels —
+so a batch ships O(k²) floats regardless of n, and workers return
+scores bit-identical to the serial loop.  Remote worker fleets
+register through :func:`~repro.engine.backends.register_backend` and
+can reuse the same envelope contract.  The engine's caches are
+lock-guarded, so the bookkeeping the complexity benchmarks rely on
 (``n_evaluations``, ``n_gram_computations``, ``n_matrix_ops``) stays
-exact under concurrency.
+exact under concurrency, and worker-side op counts are aggregated
+back into the coordinator's ledger.
+
+Sharding and async overlap
+--------------------------
+
+:class:`~repro.engine.cache.ShardedGramCache` partitions every Gram
+by block-row: only per-shard strips ``kernel(X[rows], X)`` are ever
+materialised, and :class:`~repro.engine.cache.ShardedBlockStatsCache`
+reduces the same scalar statistics strip-wise (the centred target is
+rank-1, so not even it exists as a matrix).  This bounds the peak
+single allocation to one strip and is the placement seam for
+multi-host deployment — each strip's centring, inner products and
+target reductions touch only that strip plus O(n) shared vectors, so
+a remote backend can pin strips to the nodes owning those rows.  In
+this in-process implementation all strips still live in one address
+space: total resident memory matches the dense layout until a remote
+transport exists (see ROADMAP).  Construct engines with ``shards=``
+or pass a sharded cache explicitly; the scalar API is unchanged, so
+every backend and strategy runs on top of it.  With
+``overlap=True`` the engine additionally warms upcoming partitions'
+statistics on a background thread (``engine.prefetch``) while the
+current batch is scored; the process backend pipelines its envelopes
+the same way by construction.
 
 Search strategies
 -----------------
@@ -56,13 +85,20 @@ best-first search) behind one ``strategy=`` dispatch, used by
 
 from repro.engine.backends import (
     EvaluationBackend,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     available_backends,
     get_backend,
     register_backend,
 )
-from repro.engine.cache import BlockStatsCache, GramCache, canonical_block_key
+from repro.engine.cache import (
+    BlockStatsCache,
+    GramCache,
+    ShardedBlockStatsCache,
+    ShardedGramCache,
+    canonical_block_key,
+)
 from repro.engine.core import (
     AlignmentScorer,
     KernelEvaluationEngine,
@@ -76,24 +112,41 @@ from repro.engine.strategies import (
     register_strategy,
     run_strategy,
 )
+from repro.engine.tasks import (
+    EngineTask,
+    TaskEnvelopeError,
+    WorkerCrashError,
+    build_task,
+    score_task,
+    score_task_payload,
+)
 
 __all__ = [
     "AlignmentScorer",
     "BlockStatsCache",
+    "EngineTask",
     "EvaluationBackend",
     "GramCache",
     "KernelEvaluationEngine",
+    "ProcessPoolBackend",
     "SearchResult",
     "SerialBackend",
+    "ShardedBlockStatsCache",
+    "ShardedGramCache",
+    "TaskEnvelopeError",
     "ThreadPoolBackend",
+    "WorkerCrashError",
     "STRATEGIES",
     "alignf_weights_from_stats",
     "alignment_weights_from_stats",
     "available_backends",
     "available_strategies",
+    "build_task",
     "canonical_block_key",
     "get_backend",
     "register_backend",
     "register_strategy",
     "run_strategy",
+    "score_task",
+    "score_task_payload",
 ]

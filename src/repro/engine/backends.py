@@ -3,7 +3,7 @@
 A backend is anything with a ``name`` and an order-preserving
 ``map(fn, items) -> list`` — the engine hands it a scoring closure and
 a batch of frontier partitions and expects one score per partition, in
-input order.  Two implementations ship:
+input order.  Three implementations ship:
 
 * :class:`SerialBackend` — a plain loop; the deterministic reference.
 * :class:`ThreadPoolBackend` — ``concurrent.futures`` thread pool.
@@ -11,22 +11,42 @@ input order.  Two implementations ship:
   partition scores genuinely overlap; the engine's caches are lock
   guarded, so bookkeeping (``n_evaluations``, ``n_gram_computations``,
   ``n_matrix_ops``) stays exact.
+* :class:`ProcessPoolBackend` — a persistent ``multiprocessing`` worker
+  pool.  Scoring closures don't pickle (they close over locks and
+  caches), so this backend declares ``supports_tasks = True`` and
+  scores :class:`~repro.engine.tasks.EngineTask` envelopes instead:
+  the engine ships scalar statistic tables — never Grams, samples or
+  labels — and workers do pure O(b²) arithmetic, returning scores that
+  are bit-identical to the serial backend's.  Envelope submission is
+  pipelined: the coordinator materialises the next chunk's statistics
+  while workers score the current one.
 
-Third parties (process pools, remote worker fleets) plug in through
-:func:`register_backend`; anything satisfying the protocol works, which
-is the seam later sharding/async PRs build on.
+Third parties (remote worker fleets, rpc fan-out) plug in through
+:func:`register_backend`; anything satisfying the protocol works, and
+backends that set ``supports_tasks`` receive statistic envelopes
+through ``map_tasks`` instead of closures through ``map``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+import os
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Protocol, runtime_checkable
+
+from repro.engine.tasks import (
+    EngineTask,
+    TaskEnvelopeError,
+    WorkerCrashError,
+    score_task_payload,
+)
 
 __all__ = [
     "EvaluationBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
     "get_backend",
     "register_backend",
     "available_backends",
@@ -88,9 +108,181 @@ class ThreadPoolBackend:
             self._pool = None
 
 
+class ProcessPoolBackend:
+    """Fan partition scoring out to a persistent process pool.
+
+    The pool is created lazily (with the ``fork`` start method where
+    available, ``spawn`` otherwise) and reused across batches.  Two
+    entry points:
+
+    * ``map(fn, items)`` — generic order-preserving map for *picklable*
+      module-level functions;
+    * ``map_tasks(tasks)`` — the engine path: consumes an iterable of
+      :class:`~repro.engine.tasks.EngineTask` envelopes, submitting
+      each as soon as it is produced.  Passing a lazy generator makes
+      the async overlap automatic — the coordinator builds (and
+      materialises statistics for) envelope ``k+1`` while workers score
+      envelope ``k``.
+
+    Fault handling: a worker crash (``BrokenProcessPool``) discards the
+    broken pool, rebuilds it, and retries the full batch up to
+    ``retries`` times — safe because task scoring is pure and
+    deterministic; ``map`` callers must likewise pass side-effect-free
+    functions.  Exhausted retries raise
+    :class:`~repro.engine.tasks.WorkerCrashError`; the backend remains
+    usable afterwards (the next call builds a fresh pool).  Envelopes
+    larger than ``max_task_bytes`` on the wire are rejected with
+    :class:`~repro.engine.tasks.TaskEnvelopeError` before submission —
+    an oversized envelope means the chunking (or sharding) upstream is
+    wrong, not that the transport should silently strain.
+    """
+
+    name = "processes"
+    supports_tasks = True
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        max_task_bytes: int = 64 * 1024 * 1024,
+        retries: int = 1,
+        mp_context: str | None = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if max_task_bytes < 1:
+            raise ValueError("max_task_bytes must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.max_workers = max_workers
+        self.max_task_bytes = int(max_task_bytes)
+        self.retries = int(retries)
+        self.mp_context = mp_context
+        self._pool = None
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            method = self.mp_context or (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context(method),
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def warm_up(self) -> None:
+        """Create the worker pool now instead of on first use.
+
+        With the ``fork`` start method the pool should exist before the
+        coordinator spawns any threads (overlap prefetch, thread-pool
+        backends): forking a multi-threaded process can inherit locked
+        allocator/BLAS mutexes in the children.  The engine calls this
+        before starting its prefetch thread; embedders running their
+        own threads should either call it up front or construct the
+        backend with ``mp_context="spawn"`` / ``"forkserver"``.
+        """
+        self._ensure_pool()
+
+    def close(self) -> None:
+        """Shut the pool down; the backend can be reused afterwards."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- execution with crash recovery ---------------------------------
+
+    def _run(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        guard: Callable[[Any], None] | None,
+    ) -> list[Any]:
+        staged: list[Any] = []
+
+        def produce() -> Iterator[Any]:
+            for item in items:
+                if guard is not None:
+                    guard(item)
+                staged.append(item)
+                yield item
+
+        source: Iterable[Any] = produce()
+        attempt = 0
+        while True:
+            pool = self._ensure_pool()
+            try:
+                futures = [pool.submit(fn, item) for item in source]
+                return [future.result() for future in futures]
+            except BrokenProcessPool as error:
+                self._discard_pool()
+                if attempt >= self.retries:
+                    # Terminal: report immediately — don't build (or
+                    # size-check) envelopes that would be thrown away.
+                    raise WorkerCrashError(
+                        f"worker pool crashed scoring a batch of "
+                        f"{len(staged)} items"
+                        + (f" after {attempt} retr{'y' if attempt == 1 else 'ies'}"
+                           if attempt else "")
+                    ) from error
+                # Drain anything not yet pulled so the replay covers the
+                # whole batch, then resubmit `staged`.
+                for _ in source:
+                    pass
+                attempt += 1
+                source = iter(staged)
+
+    # -- public mapping surface ----------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Order-preserving map of a picklable function over items."""
+        items = list(items)
+        if not items:
+            return []
+        return self._run(fn, items, guard=None)
+
+    def _check_payload(self, payload: bytes) -> None:
+        if len(payload) > self.max_task_bytes:
+            raise TaskEnvelopeError(
+                f"task envelope is {len(payload)} bytes on the wire, over "
+                f"the {self.max_task_bytes}-byte limit; score smaller "
+                "chunks, raise max_task_bytes, or shard the statistics "
+                "further"
+            )
+
+    def map_tasks(
+        self, tasks: Iterable[EngineTask]
+    ) -> list[tuple[list[float], int]]:
+        """Score envelopes on the pool, one ``(scores, ops)`` per task.
+
+        Each envelope is serialized exactly once: the bytes are both
+        the wire-size guard's measurement and the shipped payload.
+        """
+        payloads = (task.payload() for task in tasks)
+        return self._run(score_task_payload, payloads, guard=self._check_payload)
+
+    def task_chunks(self, n_items: int) -> int:
+        """Envelopes to split an ``n_items`` batch into (>= 2/worker
+        keeps the pipeline busy without envelope overhead dominating)."""
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, min(n_items, 2 * workers))
+
+
 _REGISTRY: dict[str, Callable[..., EvaluationBackend]] = {
     "serial": SerialBackend,
     "threads": ThreadPoolBackend,
+    "processes": ProcessPoolBackend,
 }
 
 

@@ -12,7 +12,16 @@ column tuples, so permuted orderings hit the same entry):
   of cached blocks in O(b²) scalar arithmetic; see
   :mod:`repro.engine` for the algebra.
 
-Both caches use per-key locks: concurrent backends (thread pools
+Each has a *sharded* twin for samples that do not fit one node:
+:class:`ShardedGramCache` partitions the Gram by block-row and only
+ever materialises per-shard row strips (``kernel(X[rows], X)``), and
+:class:`ShardedBlockStatsCache` reduces the same scalar statistics
+strip-wise — exploiting that the centred target is rank-1
+(``C_T = (Hy)(Hy)'``), so even the target never exists as an n×n
+matrix.  The scalar API is identical, which is what lets the engine,
+the task envelopes and every strategy run unchanged on top of either.
+
+All caches use per-key locks: concurrent backends (thread pools
 scoring batches of partitions) overlap O(n²) work on *different*
 blocks while each block/pair is computed exactly once, and the op
 counters are published under a global lock so the bookkeeping the
@@ -36,7 +45,13 @@ from repro.kernels.gram import (
 )
 from repro.kernels.partition_kernel import BlockKernelFactory, default_block_kernel
 
-__all__ = ["GramCache", "BlockStatsCache", "canonical_block_key"]
+__all__ = [
+    "GramCache",
+    "BlockStatsCache",
+    "ShardedGramCache",
+    "ShardedBlockStatsCache",
+    "canonical_block_key",
+]
 
 BlockKey = tuple[int, ...]
 
@@ -51,7 +66,28 @@ def canonical_block_key(block: Iterable[int]) -> BlockKey:
     return tuple(sorted(int(c) for c in block))
 
 
-class GramCache:
+class _KeyLocked:
+    """Per-key locking discipline shared by every cache in this module.
+
+    ``self._lock`` guards the lock table itself (and is reused by
+    subclasses to publish counters); ``self._key_lock(key)`` hands out
+    one lock per key so concurrent fills of *different* keys overlap
+    while each key's O(n²) work happens exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._key_locks: dict[object, threading.Lock] = {}
+
+    def _key_lock(self, key: object) -> threading.Lock:
+        with self._lock:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
+
+
+class GramCache(_KeyLocked):
     """Cache of per-block Gram matrices for a fixed training sample.
 
     Key insight: within one cone the same blocks appear in many
@@ -73,20 +109,12 @@ class GramCache:
         block_kernel: BlockKernelFactory = default_block_kernel,
         normalize: bool = True,
     ):
+        super().__init__()
         self.X = as_2d(X)
         self.block_kernel = block_kernel
         self.normalize = normalize
         self._store: dict[BlockKey, np.ndarray] = {}
-        self._lock = threading.Lock()
-        self._key_locks: dict[BlockKey, threading.Lock] = {}
         self.n_gram_computations = 0
-
-    def _key_lock(self, key: BlockKey) -> threading.Lock:
-        with self._lock:
-            lock = self._key_locks.get(key)
-            if lock is None:
-                lock = self._key_locks[key] = threading.Lock()
-            return lock
 
     def gram(self, block: Sequence[int]) -> np.ndarray:
         """Gram of one feature block (cached, key canonicalised).
@@ -112,8 +140,48 @@ class GramCache:
         """Per-block Grams of a partition of column indices."""
         return [self.gram(block) for block in partition.blocks]
 
+    def stats_cache(self, y: np.ndarray) -> "BlockStatsCache":
+        """The statistics cache matching this Gram layout."""
+        return BlockStatsCache(self, y)
 
-class BlockStatsCache:
+
+class _PartitionStatsMixin:
+    """Partition-level assembly shared by the dense and sharded caches.
+
+    Subclasses provide ``block_stats`` and ``pair_inner``; everything a
+    strategy or task envelope needs on top is pure dictionary lookups.
+    """
+
+    def partition_stats(self, partition: SetPartition) -> tuple[np.ndarray, np.ndarray]:
+        """Alignment vector ``a`` and Gram-of-Grams ``M`` of a partition.
+
+        ``a[i]`` and ``M[i, j]`` follow the block order of
+        ``partition.blocks``; all statistics come from the cache, so a
+        warm partition costs zero matrix work.
+        """
+        keys = [canonical_block_key(block) for block in partition.blocks]
+        count = len(keys)
+        a = np.empty(count)
+        M = np.empty((count, count))
+        for i, key in enumerate(keys):
+            a[i], M[i, i] = self.block_stats(key)
+        for i in range(count):
+            for j in range(i + 1, count):
+                M[i, j] = M[j, i] = self.pair_inner(keys[i], keys[j])
+        return a, M
+
+    def warm_partition(self, partition: SetPartition) -> None:
+        """Materialise every statistic the partition needs (prefetch).
+
+        Safe to call from a background thread concurrently with
+        scoring: the per-key locks guarantee each block/pair is
+        computed exactly once, so warming early never changes the op
+        counters — only when the work happens.
+        """
+        self.partition_stats(partition)
+
+
+class BlockStatsCache(_KeyLocked, _PartitionStatsMixin):
     """Centred-Gram scalar statistics for incremental alignment scoring.
 
     With ``H = I - 11'/n`` and cosine-normalised block Grams ``K_i``
@@ -137,13 +205,12 @@ class BlockStatsCache:
     """
 
     def __init__(self, grams: GramCache, y: np.ndarray):
+        super().__init__()
         self.grams = grams
         y = np.asarray(y, dtype=float).ravel()
         if y.shape[0] != self.grams.X.shape[0]:
             raise ValueError("y length must match the cached sample")
         self.y = y
-        self._lock = threading.Lock()
-        self._key_locks: dict[object, threading.Lock] = {}
         self._centered: dict[BlockKey, np.ndarray] = {}
         self._target_inner: dict[BlockKey, float] = {}
         self._pair_inner: dict[tuple[BlockKey, BlockKey], float] = {}
@@ -151,13 +218,6 @@ class BlockStatsCache:
         self.centered_target = centered_target_gram(y)
         self.target_norm = float(np.linalg.norm(self.centered_target))
         self.n_matrix_ops = 2
-
-    def _key_lock(self, key: object) -> threading.Lock:
-        with self._lock:
-            lock = self._key_locks.get(key)
-            if lock is None:
-                lock = self._key_locks[key] = threading.Lock()
-            return lock
 
     def block_stats(self, block: Sequence[int]) -> tuple[float, float]:
         """``(a_i, M_ii)`` for one block; three O(n²) passes on first use.
@@ -199,20 +259,209 @@ class BlockStatsCache:
                     self.n_matrix_ops += 1
         return self._pair_inner[key]
 
-    def partition_stats(self, partition: SetPartition) -> tuple[np.ndarray, np.ndarray]:
-        """Alignment vector ``a`` and Gram-of-Grams ``M`` of a partition.
 
-        ``a[i]`` and ``M[i, j]`` follow the block order of
-        ``partition.blocks``; all statistics come from the cache, so a
-        warm partition costs zero matrix work.
-        """
-        keys = [canonical_block_key(block) for block in partition.blocks]
-        count = len(keys)
-        a = np.empty(count)
-        M = np.empty((count, count))
-        for i, key in enumerate(keys):
-            a[i], M[i, i] = self.block_stats(key)
-        for i in range(count):
-            for j in range(i + 1, count):
-                M[i, j] = M[j, i] = self.pair_inner(keys[i], keys[j])
-        return a, M
+class ShardedGramCache(_KeyLocked):
+    """Block-row-sharded Gram cache: strips, never the full matrix.
+
+    The sample's rows are split into ``n_shards`` contiguous ranges; a
+    block's Gram exists only as the per-shard cross-Gram strips
+    ``kernel(X[rows_s], X)`` — nothing n×n is ever assembled during a
+    search, so the peak single allocation is one strip.  Every strip
+    operation is local to its row range (plus O(n) shared vectors),
+    which is the placement contract a multi-host deployment needs to
+    pin each strip to the node owning those rows; in this in-process
+    implementation the strips still share one address space, so total
+    resident memory is not reduced — peak allocation and placement
+    structure are.  The block kernel is *bound* to the full
+    sample first (:meth:`repro.kernels.base.Kernel.bind`), so every
+    strip is bit-identical to the corresponding rows of the monolithic
+    Gram, normalisation included (the cosine diagonal is reduced across
+    shards before scaling).
+
+    :meth:`gram` — gathering a full matrix out of the strips — exists
+    for final-model training and reference checks only; ``n_gathers``
+    counts how often it happens, and a search on the incremental path
+    keeps it at zero (the evidence ``BENCH_backends.json`` records).
+
+    ``n_gram_computations`` counts *logical* per-block materialisations
+    (one per block, however many strips), keeping cost ledgers
+    comparable with the dense cache.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        block_kernel: BlockKernelFactory = default_block_kernel,
+        normalize: bool = True,
+        n_shards: int = 2,
+    ):
+        super().__init__()
+        self.X = as_2d(X)
+        n = self.X.shape[0]
+        if not 1 <= n_shards <= n:
+            raise ValueError(
+                f"n_shards must be in [1, n_samples={n}], got {n_shards}"
+            )
+        self.block_kernel = block_kernel
+        self.normalize = normalize
+        self.n_shards = int(n_shards)
+        edges = np.linspace(0, n, self.n_shards + 1).astype(int)
+        self.row_slices = [
+            slice(int(start), int(stop))
+            for start, stop in zip(edges[:-1], edges[1:])
+        ]
+        self._store: dict[BlockKey, list[np.ndarray]] = {}
+        self.n_gram_computations = 0
+        self.n_gathers = 0
+
+    @property
+    def max_strip_rows(self) -> int:
+        """Largest row count any one shard holds."""
+        return max(sl.stop - sl.start for sl in self.row_slices)
+
+    def strips(self, block: Sequence[int]) -> list[np.ndarray]:
+        """Per-shard row strips of one block's Gram (cached)."""
+        key = canonical_block_key(block)
+        strips = self._store.get(key)
+        if strips is not None:
+            return strips
+        with self._key_lock(key):
+            if key not in self._store:
+                kernel = self.block_kernel(key).bind(self.X)
+                strips = [kernel(self.X[sl], self.X) for sl in self.row_slices]
+                if self.normalize:
+                    # Reduce the diagonal across shards (an O(n) exchange
+                    # of scalars), then scale each strip locally — same
+                    # arithmetic as normalize_gram on the full matrix.
+                    diagonal = np.concatenate(
+                        [
+                            strip[
+                                np.arange(sl.stop - sl.start),
+                                np.arange(sl.start, sl.stop),
+                            ]
+                            for strip, sl in zip(strips, self.row_slices)
+                        ]
+                    )
+                    scale = np.sqrt(np.clip(diagonal, 1e-12, None))
+                    strips = [
+                        strip / np.outer(scale[sl], scale)
+                        for strip, sl in zip(strips, self.row_slices)
+                    ]
+                with self._lock:
+                    self._store[key] = strips
+                    self.n_gram_computations += 1
+        return self._store[key]
+
+    def gram(self, block: Sequence[int]) -> np.ndarray:
+        """Gather the full Gram from its strips — the one deliberate
+        materialisation point (final-model training, reference checks);
+        never called on the incremental scoring path."""
+        strips = self.strips(block)
+        with self._lock:
+            self.n_gathers += 1
+        return np.vstack(strips)
+
+    def grams_for(self, partition: SetPartition) -> list[np.ndarray]:
+        """Gathered per-block Grams (counts one gather per block)."""
+        return [self.gram(block) for block in partition.blocks]
+
+    def stats_cache(self, y: np.ndarray) -> "ShardedBlockStatsCache":
+        """The statistics cache matching this Gram layout."""
+        return ShardedBlockStatsCache(self, y)
+
+
+class ShardedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
+    """Centred-Gram scalar statistics reduced strip-wise across shards.
+
+    Same scalar surface as :class:`BlockStatsCache` (``block_stats``,
+    ``pair_inner``, ``partition_stats``, ``target_norm``), but no n×n
+    array is ever formed:
+
+    * the centred target is rank-1, ``C_T = H(yy')H = (Hy)(Hy)'``, so
+      ``||C_T||_F = ||Hy||²`` and ``a_i = <C_i, C_T> = (Hy)' C_i (Hy)``
+      reduce to per-shard vector products;
+    * centring a strip needs only the global row-mean vector (an O(n)
+      reduction of per-shard row sums — the symmetric Gram's column
+      means equal its row means) plus the grand mean;
+    * ``M_ij`` is the sum of per-shard strip inner products.
+
+    ``n_matrix_ops`` counts logical full-matrix-equivalent passes with
+    the same schedule as the dense cache (2 for the target, 3 per
+    block, 1 per pair), so sharded and dense runs stay comparable in
+    the complexity ledgers.  Scalars agree with the dense cache to
+    float accumulation order (~1e-9 relative), not bitwise.
+    """
+
+    def __init__(self, grams: ShardedGramCache, y: np.ndarray):
+        super().__init__()
+        self.grams = grams
+        y = np.asarray(y, dtype=float).ravel()
+        if y.shape[0] != self.grams.X.shape[0]:
+            raise ValueError("y length must match the cached sample")
+        self.y = y
+        self._centered: dict[BlockKey, list[np.ndarray]] = {}
+        self._target_inner: dict[BlockKey, float] = {}
+        self._pair_inner: dict[tuple[BlockKey, BlockKey], float] = {}
+        # Rank-1 centred target: C_T = (Hy)(Hy)'; its stats are O(n).
+        self.centered_y = y - y.mean()
+        self.target_norm = float(self.centered_y @ self.centered_y)
+        # Ledger parity with the dense cache's two target passes.
+        self.n_matrix_ops = 2
+
+    def _centered_strips(self, key: BlockKey) -> list[np.ndarray]:
+        strips = self.grams.strips(key)
+        row_means = np.concatenate([strip.mean(axis=1) for strip in strips])
+        grand_mean = float(row_means.mean())
+        return [
+            strip - row_means[sl, None] - row_means[None, :] + grand_mean
+            for strip, sl in zip(strips, self.grams.row_slices)
+        ]
+
+    def block_stats(self, block: Sequence[int]) -> tuple[float, float]:
+        """``(a_i, M_ii)`` for one block, reduced across shards."""
+        key = canonical_block_key(block)
+        if key not in self._centered:
+            with self._key_lock(("block", key)):
+                if key not in self._centered:
+                    centered = self._centered_strips(key)
+                    yc = self.centered_y
+                    target_inner = float(
+                        sum(
+                            yc[sl] @ strip @ yc
+                            for strip, sl in zip(centered, self.grams.row_slices)
+                        )
+                    )
+                    self_inner = float(
+                        sum(np.sum(strip * strip) for strip in centered)
+                    )
+                    with self._lock:
+                        self._target_inner[key] = target_inner
+                        self._pair_inner[(key, key)] = self_inner
+                        self.n_matrix_ops += 3
+                        # Published last: presence in _centered marks the
+                        # block's statistics complete for lock-free reads.
+                        self._centered[key] = centered
+        return self._target_inner[key], self._pair_inner[(key, key)]
+
+    def pair_inner(self, first: Sequence[int], second: Sequence[int]) -> float:
+        """``M_ij = <C_i, C_j>`` as a sum of per-shard strip inners."""
+        key = tuple(sorted((canonical_block_key(first), canonical_block_key(second))))
+        value = self._pair_inner.get(key)
+        if value is not None:
+            return value
+        self.block_stats(key[0])
+        self.block_stats(key[1])
+        if key[0] == key[1]:
+            return self._pair_inner[key]
+        with self._key_lock(("pair", key)):
+            if key not in self._pair_inner:
+                value = float(
+                    sum(
+                        frobenius_inner(ci, cj)
+                        for ci, cj in zip(self._centered[key[0]], self._centered[key[1]])
+                    )
+                )
+                with self._lock:
+                    self._pair_inner[key] = value
+                    self.n_matrix_ops += 1
+        return self._pair_inner[key]

@@ -24,13 +24,15 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.combinatorics.partitions import SetPartition
 from repro.engine.backends import EvaluationBackend, get_backend
-from repro.engine.cache import BlockStatsCache, GramCache
+from repro.engine.cache import BlockStatsCache, GramCache, ShardedGramCache
+from repro.engine.tasks import build_task
 from repro.kernels.base import as_2d
 from repro.kernels.combination import combine_grams, uniform_weights
 from repro.kernels.gram import (
@@ -180,15 +182,29 @@ class KernelEvaluationEngine:
         ``"uniform"``, ``"alignment"`` or ``"alignf"`` combination
         weights.
     gram_cache:
-        An existing :class:`GramCache` to share (and keep counting
-        into); a fresh one is built otherwise.
+        An existing :class:`GramCache` (or :class:`ShardedGramCache`)
+        to share (and keep counting into); a fresh one is built
+        otherwise.
     backend:
-        Backend name (``"serial"``, ``"threads"``) or instance; scores
-        batches of frontier partitions.
+        Backend name (``"serial"``, ``"threads"``, ``"processes"``) or
+        instance; scores batches of frontier partitions.  A backend
+        with ``supports_tasks`` (the process pool) receives scalar
+        :class:`~repro.engine.tasks.EngineTask` envelopes instead of
+        closures and requires the incremental path.
     mode:
         ``"auto"`` (incremental when the scorer supports it),
         ``"incremental"`` (require the closed form; raises for scorers
         that need the materialised Gram), or ``"direct"``.
+    shards:
+        Split the sample's Gram rows over this many shards
+        (:class:`ShardedGramCache`) so no full n×n matrix is ever
+        materialised while scoring.  Mutually exclusive with passing
+        ``gram_cache``.
+    overlap:
+        Enable async overlap: :meth:`prefetch` warms upcoming
+        partitions' statistics on a background thread while the
+        current batch is being scored.  Scores and op totals are
+        unchanged — only when the O(n²) work happens moves.
     """
 
     def __init__(
@@ -200,10 +216,12 @@ class KernelEvaluationEngine:
         weighting: str = "alignment",
         block_kernel: BlockKernelFactory = default_block_kernel,
         normalize: bool = True,
-        gram_cache: GramCache | None = None,
+        gram_cache: GramCache | ShardedGramCache | None = None,
         stats_cache: BlockStatsCache | None = None,
         backend: str | EvaluationBackend = "serial",
         mode: str = "auto",
+        shards: int | None = None,
+        overlap: bool = False,
     ):
         if weighting not in WEIGHTINGS:
             raise ValueError(
@@ -211,9 +229,18 @@ class KernelEvaluationEngine:
             )
         if mode not in ("auto", "incremental", "direct"):
             raise ValueError("mode must be 'auto', 'incremental' or 'direct'")
+        if gram_cache is not None and shards is not None:
+            raise ValueError("pass either gram_cache or shards, not both")
         self.scorer = scorer or AlignmentScorer()
         self.weighting = weighting
-        self.gram_cache = gram_cache or GramCache(as_2d(X), block_kernel, normalize)
+        if gram_cache is None:
+            if shards is not None and shards > 1:
+                gram_cache = ShardedGramCache(
+                    as_2d(X), block_kernel, normalize, n_shards=shards
+                )
+            else:
+                gram_cache = GramCache(as_2d(X), block_kernel, normalize)
+        self.gram_cache = gram_cache
         self.X = self.gram_cache.X
         self.y = np.asarray(y)
         incremental_capable = isinstance(self.scorer, AlignmentScorer)
@@ -226,12 +253,26 @@ class KernelEvaluationEngine:
         self.incremental = mode == "incremental" or (
             mode == "auto" and incremental_capable
         )
-        self.stats = stats_cache or (
-            BlockStatsCache(self.gram_cache, self.y) if self.incremental else None
-        )
+        if stats_cache is not None:
+            self.stats = stats_cache
+        elif self.incremental:
+            # The gram cache knows which stats layout matches it (dense
+            # or sharded); fall back for duck-typed third-party caches.
+            factory = getattr(self.gram_cache, "stats_cache", None)
+            self.stats = (
+                factory(self.y)
+                if factory is not None
+                else BlockStatsCache(self.gram_cache, self.y)
+            )
+        else:
+            self.stats = None
+        self._owns_backend = isinstance(backend, str)
         self.backend = get_backend(backend)
+        self.overlap = bool(overlap)
+        self._prefetch_pool: ThreadPoolExecutor | None = None
         self.n_evaluations = 0
         self._direct_ops = 0
+        self._worker_ops = 0
         # Guards the direct-path op counter and lazy target under
         # concurrent backends (the caches have their own locks).
         self._direct_lock = threading.Lock()
@@ -247,9 +288,10 @@ class KernelEvaluationEngine:
 
     @property
     def n_matrix_ops(self) -> int:
-        """O(n²) full-matrix passes performed so far (both modes)."""
+        """O(n²) full-matrix passes performed so far (both modes),
+        including any reported back by task-scoring workers."""
         stats_ops = self.stats.n_matrix_ops if self.stats is not None else 0
-        return self._direct_ops + stats_ops
+        return self._direct_ops + self._worker_ops + stats_ops
 
     def _count_direct_ops(self, count: int) -> None:
         with self._direct_lock:
@@ -266,9 +308,106 @@ class KernelEvaluationEngine:
         partitions = list(partitions)
         if not partitions:
             return []
-        scores = self.backend.map(self._score_one, partitions)
+        if getattr(self.backend, "supports_tasks", False):
+            scores = self._score_batch_tasks(partitions)
+        else:
+            scores = self.backend.map(self._score_one, partitions)
         self.n_evaluations += len(partitions)
         return [float(s) for s in scores]
+
+    def _score_batch_tasks(self, partitions: list[SetPartition]) -> list[float]:
+        """Ship the batch to a task backend as scalar-statistic envelopes.
+
+        The batch is split into chunks (one envelope each) and the
+        envelopes are built *lazily*: the backend submits each as soon
+        as it is produced, so the coordinator materialises the next
+        chunk's Gram statistics while workers score the current one —
+        the async-overlap pipeline.  Workers report their O(n²) op
+        count back (zero for scalar scoring) and it is folded into
+        ``n_matrix_ops``, keeping exact parity with a serial run.
+        """
+        if not self.incremental:
+            raise ValueError(
+                f"backend {self.backend.name!r} ships scalar statistics and "
+                "requires incremental scoring; use the centred-alignment "
+                "scorer or a non-task backend for direct-mode scoring"
+            )
+        # task_chunks is an optional part of the task-backend contract;
+        # backends without an opinion get the whole batch as one envelope.
+        chunker = getattr(self.backend, "task_chunks", None)
+        n_chunks = chunker(len(partitions)) if chunker is not None else 1
+        bounds = np.linspace(0, len(partitions), n_chunks + 1).astype(int)
+        chunks = [
+            partitions[start:stop]
+            for start, stop in zip(bounds[:-1], bounds[1:])
+            if stop > start
+        ]
+        envelopes = (
+            build_task(self.stats, self.weighting, chunk) for chunk in chunks
+        )
+        results = self.backend.map_tasks(envelopes)
+        scores: list[float] = []
+        worker_ops = 0
+        for chunk_scores, chunk_ops in results:
+            scores.extend(chunk_scores)
+            worker_ops += chunk_ops
+        if worker_ops:
+            with self._direct_lock:
+                self._worker_ops += worker_ops
+        return scores
+
+    # ------------------------------------------------------------------
+    # Async overlap: warm upcoming statistics while a batch is scored.
+    # ------------------------------------------------------------------
+
+    def prefetch(self, partitions: Sequence[SetPartition]) -> None:
+        """Warm block/pair statistics for upcoming partitions.
+
+        No-op unless ``overlap`` is enabled and the engine is on the
+        incremental path.  Runs on a single background thread; the
+        caches' per-key locks make concurrent warming exactly-once, so
+        scores and op totals are unchanged — the O(n²) materialisation
+        simply overlaps with the current batch's scoring.
+        """
+        if not (self.overlap and self.incremental):
+            return
+        partitions = list(partitions)
+        if not partitions:
+            return
+        if self._prefetch_pool is None:
+            # Fork-safety: give a process backend the chance to create
+            # its pool while this process is still single-threaded.
+            warm_up = getattr(self.backend, "warm_up", None)
+            if warm_up is not None:
+                warm_up()
+            self._prefetch_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="engine-prefetch"
+            )
+        self._prefetch_pool.submit(self._warm_all, partitions)
+
+    def _warm_all(self, partitions: list[SetPartition]) -> None:
+        for partition in partitions:
+            try:
+                self.stats.warm_partition(partition)
+            except Exception:
+                # Prefetch is advisory: any real failure resurfaces on
+                # the scoring path, which computes the same statistics.
+                return
+
+    def close(self) -> None:
+        """Release the prefetch thread and any backend this engine owns.
+
+        Backends passed in as instances are left running (the caller
+        manages their lifetime); backends resolved from a name string
+        were created for this engine and are shut down.
+        """
+        if self._prefetch_pool is not None:
+            self._prefetch_pool.shutdown(wait=True)
+            self._prefetch_pool = None
+        if self._owns_backend:
+            close = getattr(self.backend, "close", None)
+            if close is not None:
+                close()
 
     def weights_for(self, partition: SetPartition) -> np.ndarray:
         """Combination weights the current weighting assigns a partition."""

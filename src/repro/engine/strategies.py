@@ -4,7 +4,11 @@ Every strategy is a function ``(engine, seed, rest, **params) ->
 SearchResult`` registered in :data:`STRATEGIES`; the public
 ``PartitionMKLSearch.search(strategy=...)`` dispatch resolves names
 here.  All strategies score frontier partitions in batches through the
-engine's backend, so a concurrent backend overlaps the O(n²) work.
+engine's backend, so a concurrent backend overlaps the O(n²) work;
+strategies whose future frontier is known up front (``exhaustive``)
+additionally hand the next batch to ``engine.prefetch`` so an
+overlap-enabled engine materialises upcoming statistics while the
+current batch is scored.
 
 * ``exhaustive`` — enumerate the whole cone (Bell-number cost).
 * ``chain`` / ``chains`` — the paper's symmetric-chain walks with
@@ -105,17 +109,40 @@ def search_exhaustive(
     rest: tuple[int, ...],
     max_configurations: int | None = None,
 ) -> SearchResult:
-    """Enumerate the full cone below ``(K, S - K)``, batch-scored."""
+    """Enumerate the full cone below ``(K, S - K)``, batch-scored.
+
+    Runs a one-batch lookahead: the upcoming batch is handed to
+    ``engine.prefetch`` (a no-op unless the engine's overlap mode is
+    on) before the current batch is scored, so its Gram statistics
+    materialise in the background while the backend scores.  Only
+    batches that will certainly be scored are prefetched — the
+    ``max_configurations`` cap is applied first — so overlap never
+    changes the op totals.
+    """
     seed_partition = _seed_partition(seed, rest)
     history: list[tuple[SetPartition, float]] = []
-    remaining = max_configurations
-    for batch in _batched(cone_partitions(seed, rest), BATCH_SIZE):
-        if remaining is not None:
-            if remaining <= 0:
-                break
-            batch = batch[:remaining]
-            remaining -= len(batch)
-        history.extend(zip(batch, engine.score_batch(batch)))
+    budget = max_configurations
+    batches = _batched(cone_partitions(seed, rest), BATCH_SIZE)
+
+    def next_trimmed() -> list[SetPartition] | None:
+        nonlocal budget
+        if budget is not None and budget <= 0:
+            return None
+        batch = next(batches, None)
+        if batch is None:
+            return None
+        if budget is not None:
+            batch = batch[:budget]
+            budget -= len(batch)
+        return batch
+
+    current = next_trimmed()
+    while current:
+        upcoming = next_trimmed()
+        if upcoming:
+            engine.prefetch(upcoming)
+        history.extend(zip(current, engine.score_batch(current)))
+        current = upcoming
     return _result(engine, "exhaustive", seed_partition, history)
 
 

@@ -1,0 +1,188 @@
+"""Serializable task envelopes: what crosses a process (or host) boundary.
+
+The distribution contract of the engine follows the paper's IoT
+premise — ship compact statistics between nodes, never raw data.  An
+:class:`EngineTask` carries everything a remote worker needs to score a
+chunk of candidate partitions:
+
+* the scalar tables of the centred-Gram statistics (``a_i``, ``M_ii``
+  per distinct block, ``M_ij`` per co-occurring pair),
+* the target norm ``||C_T||_F``,
+* each partition encoded as a tuple of integer indices into the tables,
+* the weighting rule name.
+
+No Gram matrix, no training sample, no label vector is ever pickled: a
+batch of b-block partitions over k distinct blocks ships O(k²) floats
+regardless of the sample size n.  :func:`score_task` is the pure,
+module-level (hence picklable) worker function; it replicates the
+engine's incremental scoring arithmetic exactly, so scores computed in
+a worker process are bit-identical to the serial backend's.
+
+Coordinator-side, :func:`build_task` is the only place O(n²) work
+happens — materialising missing block/pair statistics through the
+stats cache, whose op counters therefore keep exact parity with a
+serial run.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.combinatorics.partitions import SetPartition
+from repro.engine.cache import canonical_block_key
+
+__all__ = [
+    "EngineTask",
+    "TaskEnvelopeError",
+    "WorkerCrashError",
+    "build_task",
+    "score_task",
+    "score_task_payload",
+]
+
+
+class TaskEnvelopeError(RuntimeError):
+    """A task envelope violates the transport contract (e.g. oversized)."""
+
+
+class WorkerCrashError(RuntimeError):
+    """The worker pool died mid-batch and retries were exhausted."""
+
+
+@dataclass(frozen=True, eq=False)
+class EngineTask:
+    """One shippable chunk of partition-scoring work.
+
+    ``partitions[p]`` is a tuple of indices into the scalar tables, in
+    the partition's block order — the worker rebuilds the per-partition
+    ``(a, M)`` in exactly the layout the serial engine uses, so the
+    downstream arithmetic (weights, norms, alignment) is bit-identical.
+    """
+
+    weighting: str
+    target_norm: float
+    a: np.ndarray  # (k,) <C_i, C_T> per distinct block
+    diag: np.ndarray  # (k,) M_ii = <C_i, C_i> per distinct block
+    pairs: tuple[tuple[int, int, float], ...]  # (i, j, M_ij) with i < j
+    partitions: tuple[tuple[int, ...], ...]  # table indices, block order
+
+    def payload(self) -> bytes:
+        """The envelope's wire form (highest pickle protocol)."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def nbytes(self) -> int:
+        """Wire size of the pickled envelope."""
+        return len(self.payload())
+
+
+def build_task(
+    stats,
+    weighting: str,
+    partitions: Sequence[SetPartition],
+) -> EngineTask:
+    """Freeze a chunk of partitions into an :class:`EngineTask`.
+
+    Pulls every block/pair scalar the chunk needs out of the stats
+    cache (materialising missing ones — the coordinator's O(n²) work),
+    dedupes blocks across the chunk, and encodes each partition as
+    table indices.  Works with any cache exposing the
+    ``block_stats`` / ``pair_inner`` / ``target_norm`` surface
+    (:class:`~repro.engine.cache.BlockStatsCache` or its sharded twin).
+    """
+    key_index: dict[tuple[int, ...], int] = {}
+    a_values: list[float] = []
+    diag_values: list[float] = []
+    pair_entries: dict[tuple[int, int], float] = {}
+    specs: list[tuple[int, ...]] = []
+    for partition in partitions:
+        keys = [canonical_block_key(block) for block in partition.blocks]
+        indices: list[int] = []
+        for key in keys:
+            slot = key_index.get(key)
+            if slot is None:
+                target_inner, self_inner = stats.block_stats(key)
+                slot = key_index[key] = len(a_values)
+                a_values.append(target_inner)
+                diag_values.append(self_inner)
+            indices.append(slot)
+        for i in range(len(keys)):
+            for j in range(i + 1, len(keys)):
+                first, second = sorted((indices[i], indices[j]))
+                if (first, second) not in pair_entries:
+                    pair_entries[(first, second)] = stats.pair_inner(
+                        keys[i], keys[j]
+                    )
+        specs.append(tuple(indices))
+    return EngineTask(
+        weighting=weighting,
+        target_norm=float(stats.target_norm),
+        a=np.asarray(a_values, dtype=float),
+        diag=np.asarray(diag_values, dtype=float),
+        pairs=tuple(
+            (first, second, value)
+            for (first, second), value in pair_entries.items()
+        ),
+        partitions=tuple(specs),
+    )
+
+
+def score_task(task: EngineTask) -> tuple[list[float], int]:
+    """Score every partition in an envelope; pure O(b²) scalar work.
+
+    Returns ``(scores, n_matrix_ops)`` so the coordinator can fold the
+    worker's O(n²) op count into its ledger — by construction it is
+    zero (workers never touch a matrix), and the aggregation keeps the
+    bookkeeping honest if that ever changes.
+    """
+    # Lazy imports keep the module importable without the engine core
+    # (core -> backends -> tasks must not cycle at import time).
+    from repro.engine.core import (
+        alignf_weights_from_stats,
+        alignment_weights_from_stats,
+    )
+    from repro.kernels.combination import uniform_weights
+    from repro.kernels.gram import alignment_from_stats
+
+    pair_map = {(first, second): value for first, second, value in task.pairs}
+    scores: list[float] = []
+    for spec in task.partitions:
+        count = len(spec)
+        a = np.empty(count)
+        M = np.empty((count, count))
+        for i, slot in enumerate(spec):
+            a[i] = task.a[slot]
+            M[i, i] = task.diag[slot]
+        for i in range(count):
+            for j in range(i + 1, count):
+                first, second = sorted((spec[i], spec[j]))
+                M[i, j] = M[j, i] = pair_map[(first, second)]
+        # Mirror KernelEvaluationEngine._score_incremental exactly.
+        if task.weighting == "uniform":
+            weights = uniform_weights(count)
+        elif task.weighting == "alignf":
+            weights = alignf_weights_from_stats(M, a)
+        else:
+            weights = alignment_weights_from_stats(
+                a, np.diag(M), task.target_norm
+            )
+        combined_norm = np.sqrt(max(float(weights @ M @ weights), 0.0))
+        scores.append(
+            alignment_from_stats(
+                float(weights @ a), combined_norm, task.target_norm
+            )
+        )
+    return scores, 0
+
+
+def score_task_payload(payload: bytes) -> tuple[list[float], int]:
+    """Worker entry point for pre-serialized envelopes.
+
+    Transports serialize the envelope once (to measure and guard its
+    wire size) and ship those bytes; re-pickling a ``bytes`` object is
+    a copy, not a re-serialization of the scalar tables.
+    """
+    return score_task(pickle.loads(payload))

@@ -53,6 +53,23 @@ class Kernel(abc.ABC):
         """Return this kernel applied only to the given feature columns."""
         return SubsetKernel(self, columns)
 
+    def bind(self, X: np.ndarray) -> "Kernel":
+        """Resolve data-dependent parameters against a reference sample.
+
+        A *bound* kernel must satisfy the row-consistency contract
+
+            ``bound(X[rows], X) == bound(X)[rows]``
+
+        so that a Gram matrix can be assembled strip-wise (cross-Grams
+        of row subsets against the full sample) and still match the
+        monolithic computation exactly — the invariant the sharded
+        caches rely on.  Kernels with fixed parameters already satisfy
+        it and return themselves; kernels that infer parameters per
+        call (e.g. a median-heuristic bandwidth) must freeze them here
+        against the full ``X``.
+        """
+        return self
+
     def __repr__(self) -> str:
         params = ", ".join(
             f"{name}={value!r}"
@@ -87,3 +104,7 @@ class SubsetKernel(Kernel):
                 f"data has {X.shape[1]} columns, subset needs column {max_needed}"
             )
         return self.base.compute(X[:, self.columns], Z[:, self.columns])
+
+    def bind(self, X: np.ndarray) -> "SubsetKernel":
+        X = as_2d(X)
+        return SubsetKernel(self.base.bind(X[:, self.columns]), self.columns)

@@ -82,6 +82,13 @@ class RBFKernel(Kernel):
         squared = cdist(X, Z, metric="sqeuclidean")
         return np.exp(-gamma * squared)
 
+    def bind(self, X: np.ndarray) -> "RBFKernel":
+        # Freeze the median-heuristic bandwidth against the reference
+        # sample so row-strip cross-Grams match full-Gram rows exactly.
+        if self.gamma is not None:
+            return self
+        return RBFKernel(median_heuristic_gamma(X))
+
 
 class LaplacianKernel(Kernel):
     """``k(x, z) = exp(-gamma * ||x - z||_1)``"""

@@ -13,9 +13,11 @@ Scoring and enumeration are delegated to :mod:`repro.engine`: a
 :class:`~repro.engine.KernelEvaluationEngine` evaluates alignment
 scores incrementally from cached centred-Gram statistics (O(b²) scalar
 work per partition instead of O(b·n²) matrix work), scores frontier
-batches through pluggable backends (``"serial"``, ``"threads"``), and
-hosts the strategy registry.  The strategies, matching and extending
-the paper's complexity discussion:
+batches through pluggable backends (``"serial"``, ``"threads"``,
+``"processes"`` — the latter shipping scalar statistic envelopes to a
+worker pool), optionally over block-row-sharded Gram storage
+(``shards=``), and hosts the strategy registry.  The strategies,
+matching and extending the paper's complexity discussion:
 
 * ``exhaustive`` — enumerate the whole cone; cost is the Bell number
   ``B(|S - K|)`` (sum of Stirling numbers of the lattice cone levels).
@@ -46,7 +48,7 @@ from repro.analytics.validation import cross_val_score_precomputed
 from repro.combinatorics.lattice import cone_size
 from repro.combinatorics.partitions import SetPartition
 from repro.engine.backends import EvaluationBackend
-from repro.engine.cache import GramCache
+from repro.engine.cache import GramCache, ShardedGramCache
 from repro.engine.core import AlignmentScorer, KernelEvaluationEngine, SearchResult
 from repro.engine.strategies import run_strategy
 from repro.kernels.base import as_2d
@@ -100,11 +102,20 @@ class PartitionMKLSearch:
         median-heuristic bandwidth).
     backend:
         Evaluation backend name or instance (``"serial"`` default,
-        ``"threads"`` for concurrent batch scoring).
+        ``"threads"`` for concurrent batch scoring, ``"processes"``
+        for multi-process fan-out of scalar task envelopes).
     engine_mode:
         ``"auto"`` (incremental stats scoring whenever the scorer is
         the alignment surrogate), ``"incremental"``, or ``"direct"``
         (always materialise the combined Gram).
+    shards:
+        When set (> 1), Grams are kept block-row-sharded
+        (:class:`~repro.engine.ShardedGramCache`): scoring never
+        materialises a full n×n matrix on one node.
+    overlap:
+        Enable the engine's async overlap — upcoming batches' Gram
+        statistics materialise on a background thread while the
+        current batch is scored.
     """
 
     def __init__(
@@ -115,6 +126,8 @@ class PartitionMKLSearch:
         normalize: bool = True,
         backend: str | EvaluationBackend = "serial",
         engine_mode: str = "auto",
+        shards: int | None = None,
+        overlap: bool = False,
     ):
         if weighting not in ("uniform", "alignment", "alignf"):
             raise ValueError(
@@ -126,14 +139,24 @@ class PartitionMKLSearch:
         self.normalize = normalize
         self.backend = backend
         self.engine_mode = engine_mode
+        self.shards = shards
+        self.overlap = bool(overlap)
 
     # ------------------------------------------------------------------
+
+    def _make_cache(self, X: np.ndarray) -> GramCache | ShardedGramCache:
+        """A fresh Gram cache in this search's layout (dense or sharded)."""
+        if self.shards is not None and self.shards > 1:
+            return ShardedGramCache(
+                X, self.block_kernel, self.normalize, n_shards=self.shards
+            )
+        return GramCache(X, self.block_kernel, self.normalize)
 
     def make_engine(
         self,
         X: np.ndarray,
         y: np.ndarray,
-        cache: GramCache | None = None,
+        cache: GramCache | ShardedGramCache | None = None,
     ) -> KernelEvaluationEngine:
         """Build the evaluation engine this search scores through."""
         return KernelEvaluationEngine(
@@ -146,6 +169,8 @@ class PartitionMKLSearch:
             gram_cache=cache,
             backend=self.backend,
             mode=self.engine_mode,
+            shards=None if cache is not None else self.shards,
+            overlap=self.overlap,
         )
 
     def _combined(self, cache: GramCache, partition: SetPartition, y: np.ndarray):
@@ -229,7 +254,7 @@ class PartitionMKLSearch:
         """
         X = as_2d(X)
         seed, rest = self._split_features(X.shape[1], seed_block)
-        cache = cache or GramCache(X, self.block_kernel, self.normalize)
+        cache = cache or self._make_cache(X)
         if strategy == "greedy":
             from repro.mkl.smush import greedy_smush
 
@@ -242,7 +267,12 @@ class PartitionMKLSearch:
                 f"{', '.join((*available_strategies(), 'greedy'))}"
             )
         engine = self.make_engine(X, y, cache)
-        return run_strategy(strategy, engine, seed, rest, **params)
+        try:
+            return run_strategy(strategy, engine, seed, rest, **params)
+        finally:
+            # Releases the prefetch thread and any backend the engine
+            # created from a name string (instances stay caller-owned).
+            engine.close()
 
     def search_exhaustive(
         self,

@@ -1,0 +1,42 @@
+"""Executable documentation: every ``python`` fence must actually run.
+
+README.md and the docs/ pages make runnable claims (quickstarts,
+registry examples, parity assertions).  This module extracts each
+fenced ``python`` block and executes it in a fresh namespace, so the
+docs job in CI fails the moment a documented snippet drifts from the
+code.  Fences in other languages (``bash``, ``text``) are ignored.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_SOURCES = (
+    ROOT / "README.md",
+    ROOT / "docs" / "ARCHITECTURE.md",
+    ROOT / "docs" / "engine.md",
+)
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _snippets():
+    for path in DOC_SOURCES:
+        assert path.exists(), f"documented source missing: {path}"
+        for index, code in enumerate(FENCE.findall(path.read_text())):
+            yield pytest.param(code, id=f"{path.name}-{index}")
+
+
+def test_docs_exist_and_have_snippets():
+    collected = list(_snippets())
+    assert len(collected) >= 6  # README + both docs pages stay executable
+
+
+@pytest.mark.parametrize("code", _snippets())
+def test_snippet_executes(code, tmp_path, monkeypatch):
+    # Snippets must be self-contained and side-effect free; run them
+    # from a scratch directory so any accidental writes stay out of
+    # the repo.
+    monkeypatch.chdir(tmp_path)
+    exec(compile(code, "<doc-snippet>", "exec"), {"__name__": "__docsnippet__"})

@@ -1,0 +1,418 @@
+"""Distributed evaluation: process-pool backend, task envelopes,
+sharded caches, and async overlap.
+
+The invariants enforced here are the ones ``docs/engine.md`` documents:
+
+* ``processes`` scores are **bit-identical** to ``serial`` (the
+  envelope ships the exact float64 statistics the serial path uses);
+* op counters (``n_matrix_ops``, ``n_gram_computations``) keep exact
+  parity across backends and overlap modes;
+* the sharded caches agree with the dense ones to float accumulation
+  order (1e-9) and never materialise a full Gram while scoring;
+* fault paths fail loudly: worker crashes raise ``WorkerCrashError``
+  (and the pool recovers), oversized envelopes raise
+  ``TaskEnvelopeError`` before submission.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.combinatorics import SetPartition, cone_partitions
+from repro.core import FacetedLearner
+from repro.engine import (
+    BlockStatsCache,
+    GramCache,
+    KernelEvaluationEngine,
+    ProcessPoolBackend,
+    ShardedBlockStatsCache,
+    ShardedGramCache,
+    TaskEnvelopeError,
+    WorkerCrashError,
+    available_backends,
+    build_task,
+    get_backend,
+    score_task,
+)
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.kernels.partition_kernel import default_block_kernel
+from repro.mkl import CrossValScorer, PartitionMKLSearch
+
+
+@pytest.fixture(scope="module")
+def workload():
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 3, role="noise"),
+    ]
+    return make_faceted_classification(120, specs, seed=4)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One persistent two-worker pool shared by this module's tests."""
+    backend = ProcessPoolBackend(max_workers=2)
+    yield backend
+    backend.close()
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    os._exit(13)  # hard-kill the worker: simulates a mid-batch crash
+
+
+def _random_cone_partitions(n_features, seed_size, rng, count=6):
+    """A few random partitions from the cone below (seed, rest)."""
+    seed = tuple(range(seed_size))
+    rest = list(range(seed_size, n_features))
+    picks = []
+    for _ in range(count):
+        labels = [int(rng.integers(0, i + 1)) for i in range(len(rest))]
+        blocks: dict[int, list[int]] = {}
+        for element, label in zip(rest, labels):
+            blocks.setdefault(label, []).append(element)
+        picks.append(SetPartition([seed] + list(blocks.values())))
+    return seed, tuple(rest), picks
+
+
+# ---------------------------------------------------------------------------
+# Registry and protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProcessBackendRegistry:
+    def test_registered(self):
+        assert "processes" in available_backends()
+        backend = get_backend("processes", max_workers=2)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.supports_tasks
+        backend.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_task_bytes=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(retries=-1)
+
+    def test_task_chunks_bounds(self):
+        backend = ProcessPoolBackend(max_workers=3)
+        assert backend.task_chunks(100) == 6  # 2 per worker
+        assert backend.task_chunks(2) == 2
+        assert backend.task_chunks(1) == 1
+
+    def test_generic_map(self, pool):
+        assert pool.map(_square, []) == []
+        assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+# ---------------------------------------------------------------------------
+# Parity: processes vs serial
+# ---------------------------------------------------------------------------
+
+
+class TestProcessSerialParity:
+    def test_exhaustive_bit_identical(self, workload, pool):
+        serial = PartitionMKLSearch(backend="serial")
+        processes = PartitionMKLSearch(backend=pool)
+        rs = serial.search_exhaustive(workload.X, workload.y, (0, 1))
+        rp = processes.search_exhaustive(workload.X, workload.y, (0, 1))
+        assert rs.best_partition == rp.best_partition
+        assert rs.best_score == rp.best_score  # bit-identical, not approx
+        assert [p for p, _ in rs.history] == [p for p, _ in rp.history]
+        for (_, a), (_, b) in zip(rs.history, rp.history):
+            assert a == b
+        # Exact op-counter aggregation: coordinator-side stats plus
+        # (zero) worker-side ops must equal the serial ledger.
+        assert rs.n_matrix_ops == rp.n_matrix_ops
+        assert rs.n_gram_computations == rp.n_gram_computations
+
+    @pytest.mark.parametrize("weighting", ["uniform", "alignment", "alignf"])
+    def test_random_cones_bit_identical(self, weighting, pool):
+        rng = np.random.default_rng(99)
+        for data_seed in (0, 1):
+            X = rng.normal(size=(35, 5))
+            y = np.where(rng.random(35) > 0.5, 1.0, -1.0)
+            y[0] = -y[0] if np.unique(y).size < 2 else y[0]
+            _, _, picks = _random_cone_partitions(5, 2, rng)
+            cache = GramCache(X)
+            serial_engine = KernelEvaluationEngine(
+                X, y, weighting=weighting, gram_cache=cache, backend="serial"
+            )
+            expected = serial_engine.score_batch(picks)
+            process_engine = KernelEvaluationEngine(
+                X, y, weighting=weighting, gram_cache=cache, backend=pool
+            )
+            got = process_engine.score_batch(picks)
+            assert got == expected  # exact equality across the pool
+            assert process_engine.n_matrix_ops == serial_engine.n_matrix_ops
+
+    def test_direct_mode_rejected(self, workload, pool):
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, scorer=CrossValScorer(), backend=pool
+        )
+        with pytest.raises(ValueError, match="scalar statistics"):
+            engine.score(SetPartition([(0, 1), (2, 3, 4)]))
+
+    def test_envelope_roundtrip_matches_serial(self, workload):
+        """score_task is the serial incremental arithmetic, verbatim."""
+        cache = GramCache(workload.X)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, gram_cache=cache, backend="serial"
+        )
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))[:10]
+        expected = engine.score_batch(picks)
+        task = build_task(engine.stats, engine.weighting, picks)
+        scores, worker_ops = score_task(task)
+        assert scores == expected
+        assert worker_ops == 0
+        assert task.nbytes() > 0
+
+
+# ---------------------------------------------------------------------------
+# Fault paths
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPaths:
+    def test_worker_crash_mid_batch(self):
+        backend = ProcessPoolBackend(max_workers=1, retries=1)
+        with pytest.raises(WorkerCrashError, match="batch of 3"):
+            backend.map(_boom, [1, 2, 3])
+        # The broken pool was discarded; the next call builds a fresh
+        # one and the backend keeps working.
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        backend.close()
+
+    def test_crash_during_engine_scoring(self, workload, monkeypatch):
+        backend = ProcessPoolBackend(max_workers=1, retries=0)
+        import repro.engine.backends as backends_module
+
+        monkeypatch.setattr(backends_module, "score_task_payload", _boom)
+        engine = KernelEvaluationEngine(workload.X, workload.y, backend=backend)
+        with pytest.raises(WorkerCrashError):
+            engine.score(SetPartition([(0, 1), (2, 3, 4)]))
+        backend.close()
+
+    def test_oversized_envelope(self, workload):
+        backend = ProcessPoolBackend(max_workers=1, max_task_bytes=64)
+        engine = KernelEvaluationEngine(workload.X, workload.y, backend=backend)
+        with pytest.raises(TaskEnvelopeError, match="over the 64-byte limit"):
+            engine.score(SetPartition([(0, 1), (2, 3, 4)]))
+        backend.close()
+
+    def test_oversized_envelope_checked_before_submission(self, workload):
+        """The size guard runs coordinator-side: no pool round-trip."""
+        cache = GramCache(workload.X)
+        stats = BlockStatsCache(cache, workload.y)
+        task = build_task(stats, "alignment", [SetPartition([(0,), (1, 2, 3, 4)])])
+        backend = ProcessPoolBackend(max_workers=1, max_task_bytes=task.nbytes() - 1)
+        with pytest.raises(TaskEnvelopeError):
+            backend.map_tasks([task])
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Sharded caches
+# ---------------------------------------------------------------------------
+
+
+class TestShardedGramCache:
+    def test_bind_row_consistency(self, workload):
+        """The contract sharding rests on: strips == full-Gram rows."""
+        X = workload.X
+        kernel = default_block_kernel((0, 2)).bind(X)
+        full = kernel(X)
+        assert np.array_equal(kernel(X[10:30], X), full[10:30])
+
+    def test_strips_are_rows_of_dense_gram(self, workload):
+        dense = GramCache(workload.X)
+        sharded = ShardedGramCache(workload.X, n_shards=3)
+        full = dense.gram((1, 3))
+        strips = sharded.strips((3, 1))  # canonical key: permutation hits
+        assert sharded.n_gram_computations == 1
+        for strip, rows in zip(strips, sharded.row_slices):
+            assert np.array_equal(strip, full[rows])
+
+    def test_no_strip_holds_all_rows(self, workload):
+        sharded = ShardedGramCache(workload.X, n_shards=4)
+        n = workload.X.shape[0]
+        assert sharded.max_strip_rows < n
+        assert sum(sl.stop - sl.start for sl in sharded.row_slices) == n
+
+    def test_gather_counts(self, workload):
+        sharded = ShardedGramCache(workload.X, n_shards=2)
+        partition = SetPartition([(0, 1), (2, 3, 4)])
+        grams = sharded.grams_for(partition)
+        assert sharded.n_gathers == 2
+        dense = GramCache(workload.X)
+        for block, gram in zip(partition.blocks, grams):
+            assert np.array_equal(gram, dense.gram(block))
+
+    def test_shard_count_validation(self, workload):
+        with pytest.raises(ValueError):
+            ShardedGramCache(workload.X, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedGramCache(workload.X, n_shards=workload.X.shape[0] + 1)
+
+
+class TestShardedStats:
+    def test_scalars_match_dense(self, workload):
+        dense = BlockStatsCache(GramCache(workload.X), workload.y)
+        sharded = ShardedBlockStatsCache(
+            ShardedGramCache(workload.X, n_shards=3), workload.y
+        )
+        assert sharded.target_norm == pytest.approx(dense.target_norm, rel=1e-9)
+        partition = SetPartition([(0, 1), (2,), (3, 4)])
+        a_dense, M_dense = dense.partition_stats(partition)
+        a_sharded, M_sharded = sharded.partition_stats(partition)
+        np.testing.assert_allclose(a_sharded, a_dense, rtol=1e-9)
+        np.testing.assert_allclose(M_sharded, M_dense, rtol=1e-9)
+
+    def test_op_ledger_parity_with_dense(self, workload):
+        """Logical op counting matches the dense schedule exactly."""
+        dense = BlockStatsCache(GramCache(workload.X), workload.y)
+        sharded = ShardedBlockStatsCache(
+            ShardedGramCache(workload.X, n_shards=3), workload.y
+        )
+        partition = SetPartition([(0, 1), (2,), (3, 4)])
+        dense.partition_stats(partition)
+        sharded.partition_stats(partition)
+        assert sharded.n_matrix_ops == dense.n_matrix_ops
+
+    def test_rejects_mismatched_labels(self, workload):
+        cache = ShardedGramCache(workload.X, n_shards=2)
+        with pytest.raises(ValueError):
+            ShardedBlockStatsCache(cache, workload.y[:-1])
+
+    def test_search_never_gathers(self, workload):
+        cache = ShardedGramCache(workload.X, n_shards=3)
+        search = PartitionMKLSearch()
+        dense_result = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        result = search.search(
+            workload.X, workload.y, (0, 1), strategy="exhaustive", cache=cache
+        )
+        assert cache.n_gathers == 0  # no full Gram ever materialised
+        assert result.best_partition == dense_result.best_partition
+        assert result.best_score == pytest.approx(
+            dense_result.best_score, abs=1e-9
+        )
+        for (_, a), (_, b) in zip(result.history, dense_result.history):
+            assert a == pytest.approx(b, abs=1e-9)
+        assert result.n_matrix_ops == dense_result.n_matrix_ops
+        assert result.n_gram_computations == dense_result.n_gram_computations
+
+    def test_shards_param_end_to_end(self, workload):
+        sharded = PartitionMKLSearch(shards=4)
+        dense = PartitionMKLSearch()
+        rs = sharded.search_chains(workload.X, workload.y, (0, 1), n_chains=3)
+        rd = dense.search_chains(workload.X, workload.y, (0, 1), n_chains=3)
+        assert rs.best_partition == rd.best_partition
+        assert rs.best_score == pytest.approx(rd.best_score, abs=1e-9)
+
+    def test_sharded_with_processes_backend(self, workload, pool):
+        """Shards + process pool: envelopes carry strip-reduced scalars."""
+        cache = ShardedGramCache(workload.X, n_shards=3)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, gram_cache=cache, backend=pool
+        )
+        serial_engine = KernelEvaluationEngine(
+            workload.X,
+            workload.y,
+            gram_cache=ShardedGramCache(workload.X, n_shards=3),
+            backend="serial",
+        )
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))[:12]
+        assert engine.score_batch(picks) == serial_engine.score_batch(picks)
+        assert cache.n_gathers == 0
+
+    def test_engine_rejects_cache_plus_shards(self, workload):
+        with pytest.raises(ValueError, match="either gram_cache or shards"):
+            KernelEvaluationEngine(
+                workload.X,
+                workload.y,
+                gram_cache=GramCache(workload.X),
+                shards=2,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Async overlap
+# ---------------------------------------------------------------------------
+
+
+class TestOverlap:
+    def test_overlap_changes_nothing_but_timing(self, workload):
+        plain = PartitionMKLSearch().search_exhaustive(
+            workload.X, workload.y, (0,)
+        )
+        overlapped = PartitionMKLSearch(overlap=True).search_exhaustive(
+            workload.X, workload.y, (0,)
+        )
+        assert plain.best_partition == overlapped.best_partition
+        assert plain.best_score == overlapped.best_score
+        for (_, a), (_, b) in zip(plain.history, overlapped.history):
+            assert a == b
+        # Exactly-once caching keeps op totals identical even though
+        # the prefetch thread races the scoring thread.
+        assert plain.n_matrix_ops == overlapped.n_matrix_ops
+        assert plain.n_gram_computations == overlapped.n_gram_computations
+
+    def test_overlap_respects_evaluation_cap(self, workload):
+        capped = PartitionMKLSearch().search_exhaustive(
+            workload.X, workload.y, (0, 1), max_configurations=5
+        )
+        overlapped = PartitionMKLSearch(overlap=True).search_exhaustive(
+            workload.X, workload.y, (0, 1), max_configurations=5
+        )
+        assert overlapped.n_evaluations == capped.n_evaluations == 5
+        assert overlapped.n_matrix_ops == capped.n_matrix_ops
+
+    def test_prefetch_noop_when_disabled(self, workload):
+        engine = KernelEvaluationEngine(workload.X, workload.y)
+        engine.prefetch([SetPartition([(0, 1), (2, 3, 4)])])
+        assert engine._prefetch_pool is None  # nothing scheduled
+        assert engine.stats.n_matrix_ops == 2  # target stats only
+
+    def test_warm_partition_prepays_the_ops(self, workload):
+        stats = BlockStatsCache(GramCache(workload.X), workload.y)
+        partition = SetPartition([(0, 1), (2, 3, 4)])
+        stats.warm_partition(partition)
+        warmed = stats.n_matrix_ops
+        stats.partition_stats(partition)
+        assert stats.n_matrix_ops == warmed  # warm partition costs nothing
+
+    def test_engine_close_idempotent(self, workload):
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend="processes", overlap=True
+        )
+        engine.prefetch([SetPartition([(0, 1), (2, 3, 4)])])
+        engine.close()
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# High-level API
+# ---------------------------------------------------------------------------
+
+
+class TestFacetedLearnerDistributed:
+    def test_fit_predict_processes_and_shards(self, small_faceted_workload, pool):
+        workload = small_faceted_workload
+        learner = FacetedLearner(
+            strategy="beam",
+            scorer="alignment",
+            backend=pool,
+            shards=2,
+            overlap=True,
+            beam_width=2,
+        )
+        learner.fit(workload.X, workload.y)
+        assert learner.partition_ is not None
+        predictions = learner.predict(workload.X)
+        assert np.mean(predictions == workload.y) > 0.6
