@@ -1,18 +1,24 @@
-"""Backend benchmark — serial vs threads vs processes, plus sharding.
+"""Backend benchmark — serial vs threads vs processes vs sockets.
 
 Runs the same exhaustive cone enumeration (seed block ``(0, 1)``,
 rest of 6 features => Bell(6) = 203 configurations) used by
-``bench_partition_mkl`` through every shipped evaluation backend and
-records, per backend: wall clock, evaluation count, and the exact
-O(n²) op ledger.  Asserts the distribution contract along the way:
+``bench_partition_mkl`` through every shipped evaluation backend —
+including the networked ``sockets`` backend against two localhost
+worker *subprocesses* — and records, per backend: wall clock,
+evaluation count, the exact O(n²) op ledger, and the wire ledger
+(envelope bytes out/in per search; for the placement-aware sharded
+run, placement traffic and worker-resident strip bytes).  Asserts the
+distribution contract along the way:
 
-* ``processes`` optima and per-partition scores are **bit-identical**
-  to ``serial`` (scalar envelopes ship the exact float64 statistics);
+* ``processes`` **and** ``sockets`` optima and per-partition scores
+  are **bit-identical** to ``serial`` (scalar envelopes ship the exact
+  float64 statistics);
 * op counters agree exactly across backends (worker ops are
   aggregated back into the coordinator's ledger);
-* the sharded run finishes with **zero** full-Gram gathers — no n×n
-  matrix ever materialises on one node — and its largest resident
-  strip is recorded as evidence.
+* the sharded runs finish with **zero** full-Gram gathers — no n×n
+  matrix ever materialises on one node; in the placement-aware run the
+  strips are resident on the *workers*, and their bytes are recorded
+  as evidence.
 
 Writes ``BENCH_backends.json`` at the repo root (cited by README.md).
 
@@ -24,6 +30,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.cluster import SocketBackend, spawn_local_workers
 from repro.engine import ProcessPoolBackend, ShardedGramCache, ThreadPoolBackend
 from repro.iot import FacetSpec, make_faceted_classification
 from repro.mkl import PartitionMKLSearch
@@ -44,7 +51,7 @@ def _workload():
 
 
 def _row(result, elapsed: float) -> dict:
-    return {
+    row = {
         "wall_clock_s": elapsed,
         "n_evaluations": result.n_evaluations,
         "n_gram_computations": result.n_gram_computations,
@@ -52,6 +59,16 @@ def _row(result, elapsed: float) -> dict:
         "best_partition": result.best_partition.compact_str(),
         "best_score": result.best_score,
     }
+    if result.wire is not None:
+        row["wire"] = {
+            key: value
+            for key, value in result.wire.items()
+            if key.endswith("bytes_out")
+            or key.endswith("bytes_in")
+            or key.startswith("strip_bytes")
+            or key in ("n_tasks", "n_gathers")
+        }
+    return row
 
 
 def _timed_search(workload, **search_kwargs):
@@ -78,6 +95,22 @@ def run() -> dict:
     overlap_backend.close()
     processes_backend.close()
 
+    # Networked backend: two real localhost worker subprocesses.
+    with spawn_local_workers(2) as cluster:
+        sockets_backend = SocketBackend(workers=cluster.addresses)
+        sockets, sockets_s = _timed_search(workload, backend=sockets_backend)
+        sockets_backend.close()
+        placed_backend = SocketBackend(workers=cluster.addresses)
+        placed_search = PartitionMKLSearch(
+            engine_mode="incremental", backend=placed_backend, shards=4
+        )
+        start = time.perf_counter()
+        placed = placed_search.search(
+            workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
+        )
+        placed_s = time.perf_counter() - start
+        placed_backend.close()
+
     # Acceptance contract: bit-identical optima and exact op parity.
     assert processes.best_partition == serial.best_partition
     assert processes.best_score == serial.best_score
@@ -87,6 +120,19 @@ def run() -> dict:
     ), "processes scores must be bit-identical to serial"
     assert processes.n_matrix_ops == serial.n_matrix_ops
     assert overlapped.n_matrix_ops == serial.n_matrix_ops
+    # ... and the same contract over real sockets.
+    assert sockets.best_partition == serial.best_partition
+    assert sockets.best_score == serial.best_score
+    assert all(
+        a == b for (_, a), (_, b) in zip(serial.history, sockets.history)
+    ), "sockets scores must be bit-identical to serial"
+    assert sockets.n_matrix_ops == serial.n_matrix_ops
+    # Placement-aware sharding: identical optimum, exact ledger, no
+    # full-Gram gather anywhere, strips resident on the workers.
+    assert placed.best_partition == serial.best_partition
+    assert placed.n_matrix_ops == serial.n_matrix_ops
+    assert placed.wire["n_gathers"] == 0
+    assert placed.wire["strip_bytes_resident"] > 0
 
     # Sharded run: scoring must never gather a full Gram on one node.
     cache = ShardedGramCache(workload.X, n_shards=4)
@@ -110,11 +156,15 @@ def run() -> dict:
             "threads(4)": _row(threads, threads_s),
             "processes(2)": _row(processes, processes_s),
             "processes(2)+overlap": _row(overlapped, overlapped_s),
+            "sockets(2)": _row(sockets, sockets_s),
+            "sockets(2)+placed(4)": _row(placed, placed_s),
         },
         "parity": {
             "processes_scores_bit_identical_to_serial": True,
+            "sockets_scores_bit_identical_to_serial": True,
             "op_counter_parity": True,
             "score_delta": 0.0,
+            "placed_n_gathers": placed.wire["n_gathers"],
         },
         "sharded": {
             "n_shards": cache.n_shards,
@@ -142,10 +192,16 @@ def print_report() -> None:
         f"{report['n_configurations']} configurations ({report['workload']})"
     )
     for name, row in report["backends"].items():
+        wire = row.get("wire")
+        wire_note = (
+            f"  wire={wire['envelope_bytes_out']}B out"
+            if wire is not None
+            else ""
+        )
         print(
             f"  {name:<22} {row['wall_clock_s']:.3f}s"
             f"  {row['n_matrix_ops']} O(n^2) ops"
-            f"  best={row['best_partition']}"
+            f"  best={row['best_partition']}{wire_note}"
         )
     sharded = report["sharded"]
     print(

@@ -1,0 +1,70 @@
+"""Networked evaluation workers with placement-aware shard ownership.
+
+``repro.cluster`` extends the engine's distribution story from one
+machine (the ``processes`` backend of :mod:`repro.engine.backends`) to
+a fleet of networked nodes, following the paper's IoT premise — many
+small hosts, computation brought to the data, compact statistics on
+the wire — and the design rule every layer below already obeys:
+**ship statistics, never raw data.**
+
+The pieces, bottom up:
+
+* :mod:`~repro.cluster.protocol` — length-prefixed TCP framing with
+  loud failure modes (garbage, truncation, oversized lengths);
+* :class:`~repro.cluster.worker.WorkerServer` — one node: scores
+  :class:`~repro.engine.tasks.EngineTask` envelopes with the exact
+  serial arithmetic, and owns resident row strips of the sharded Gram
+  layout; runnable via ``python -m repro.cluster.worker --port N``;
+* :class:`~repro.cluster.coordinator.Coordinator` — registers workers,
+  pipelines envelope submission, aggregates op counters exactly, and
+  reassigns a dead worker's outstanding envelopes to the survivors
+  (:class:`~repro.engine.tasks.WorkerCrashError` once the whole fleet
+  is gone and reconnect rounds are exhausted);
+* :class:`~repro.cluster.backend.SocketBackend` — the
+  ``backend="sockets"`` registry entry (``supports_tasks = True``), so
+  every engine-driven search gains networked execution with no API
+  change beyond ``backend=``/``workers=``;
+* :mod:`~repro.cluster.placement` — :class:`ShardPlacement` pins each
+  block-row strip to an owning worker; strips are built, centred and
+  kept **resident worker-side**, with only O(n) vectors and scalars
+  travelling per block, bit-identical to the in-process sharded caches.
+
+Parity invariant (enforced by ``tests/test_cluster.py`` and the
+backend benchmark): a search over real sockets returns bit-identical
+scores and exact op ledgers versus the serial reference — identical
+optimum, ``n_gathers == 0`` under placement, wire bytes accounted on
+every :class:`~repro.engine.core.SearchResult`.
+"""
+
+from repro.cluster.backend import SocketBackend
+from repro.cluster.coordinator import Coordinator, RemoteTaskError, WorkerLink
+from repro.cluster.local import LocalWorkers, spawn_local_workers
+from repro.cluster.placement import (
+    PlacedBlockStatsCache,
+    PlacedGramCache,
+    ShardPlacement,
+)
+from repro.cluster.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.cluster.worker import WorkerServer
+
+__all__ = [
+    "Coordinator",
+    "ConnectionClosed",
+    "LocalWorkers",
+    "PlacedBlockStatsCache",
+    "PlacedGramCache",
+    "ProtocolError",
+    "RemoteTaskError",
+    "ShardPlacement",
+    "SocketBackend",
+    "WorkerLink",
+    "WorkerServer",
+    "recv_frame",
+    "send_frame",
+    "spawn_local_workers",
+]

@@ -1,0 +1,172 @@
+"""``SocketBackend`` — the engine's ``backend="sockets"`` entry point.
+
+Satisfies the same ``supports_tasks`` contract as
+:class:`~repro.engine.backends.ProcessPoolBackend` (``map_tasks`` over
+lazy envelope iterables, ``task_chunks`` sizing, ``warm_up``,
+``close``), so :class:`~repro.engine.core.KernelEvaluationEngine`,
+``PartitionMKLSearch`` and ``FacetedLearner`` gain networked execution
+with no API change beyond ``backend=``/``workers=``.  Registered in the
+engine's backend registry under ``"sockets"``::
+
+    search = PartitionMKLSearch(backend="sockets",
+                                workers=["127.0.0.1:9701", "127.0.0.1:9702"])
+
+Additionally exposes ``make_placed_cache`` — the hook the engine uses
+when ``shards=`` is combined with this backend — returning a
+:class:`~repro.cluster.placement.PlacedGramCache` whose row strips are
+built and kept resident on the workers, and ``wire_stats()`` — the
+per-search wire ledger (envelope bytes out/in, placement bytes,
+worker-resident strip bytes) the engine surfaces on every
+``SearchResult``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.placement import PlacedGramCache, ShardPlacement
+from repro.cluster.protocol import DEFAULT_MAX_FRAME_BYTES
+from repro.engine.tasks import (
+    EngineTask,
+    check_task_payload,
+    default_task_chunks,
+)
+
+__all__ = ["SocketBackend"]
+
+
+class SocketBackend:
+    """Fan task envelopes out to networked workers over TCP.
+
+    Parameters
+    ----------
+    workers:
+        Worker addresses (``"host:port"`` strings or ``(host, port)``
+        pairs); at least one.
+    max_task_bytes:
+        Envelopes over this wire size raise
+        :class:`~repro.engine.tasks.TaskEnvelopeError` *before* any
+        byte hits a socket — an oversized envelope means the upstream
+        chunking or sharding is wrong, not that the network should
+        silently strain.
+    retries:
+        Fleet-wide reconnect rounds attempted when every worker has
+        died mid-batch (single-worker deaths cost nothing: their
+        outstanding envelopes are reassigned to the survivors).
+    window:
+        Envelopes outstanding per worker (pipelining depth).
+    """
+
+    name = "sockets"
+    supports_tasks = True
+
+    def __init__(
+        self,
+        workers,
+        max_task_bytes: int = 64 * 1024 * 1024,
+        retries: int = 1,
+        window: int = 2,
+        connect_timeout: float = 10.0,
+        io_timeout: float | None = 120.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        if max_task_bytes < 1:
+            raise ValueError("max_task_bytes must be positive")
+        self.max_task_bytes = int(max_task_bytes)
+        self.coordinator = Coordinator(
+            workers,
+            retries=retries,
+            window=window,
+            connect_timeout=connect_timeout,
+            io_timeout=io_timeout,
+            max_frame_bytes=max_frame_bytes,
+        )
+        self._placed_caches: list[PlacedGramCache] = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Connect and ping the fleet now instead of on first use."""
+        self.coordinator.connect()
+
+    def close(self) -> None:
+        """Close every connection; workers keep serving other clients."""
+        self.coordinator.close()
+
+    def shutdown_workers(self) -> None:
+        """Ask the worker processes themselves to exit (teardown)."""
+        self.coordinator.shutdown_workers()
+
+    # -- task plane ----------------------------------------------------
+
+    def map(self, fn, items):  # pragma: no cover - contract documentation
+        raise TypeError(
+            "the sockets backend ships EngineTask envelopes (supports_tasks); "
+            "scoring closures cannot cross a host boundary"
+        )
+
+    def _guarded_payloads(self, tasks: Iterable[EngineTask]):
+        for task in tasks:
+            payload = task.payload()
+            check_task_payload(payload, self.max_task_bytes)
+            yield payload
+
+    def map_tasks(
+        self, tasks: Iterable[EngineTask]
+    ) -> list[tuple[list[float], int]]:
+        """Score envelopes across the fleet, one ``(scores, ops)`` per task.
+
+        Each envelope is serialized exactly once (the bytes are both
+        the size guard's measurement and the shipped frame payload) and
+        submitted as soon as it is produced, so the coordinator builds
+        chunk ``k+1``'s statistics while workers score chunk ``k``.
+        """
+        return self.coordinator.map_tasks_payloads(self._guarded_payloads(tasks))
+
+    def task_chunks(self, n_items: int) -> int:
+        """Envelopes per batch (shared 2-per-worker pipeline policy)."""
+        return default_task_chunks(n_items, self.coordinator.n_workers)
+
+    # -- placement-aware sharding --------------------------------------
+
+    def make_placed_cache(
+        self,
+        X: np.ndarray,
+        block_kernel,
+        normalize: bool,
+        n_shards: int,
+        placement: ShardPlacement | None = None,
+    ) -> PlacedGramCache:
+        """A Gram cache whose row strips live on this fleet's workers."""
+        cache = PlacedGramCache(
+            self.coordinator,
+            X,
+            block_kernel,
+            normalize,
+            n_shards=n_shards,
+            placement=placement,
+        )
+        self._placed_caches.append(cache)
+        return cache
+
+    # -- accounting ----------------------------------------------------
+
+    def wire_stats(self) -> dict[str, Any]:
+        """Wire ledger: envelope/placement bytes plus strip residency."""
+        stats = self.coordinator.wire_stats()
+        resident = {}
+        for cache in self._placed_caches:
+            for worker, count in cache.resident_strip_bytes.items():
+                resident[worker] = max(resident.get(worker, 0), count)
+        stats["strip_bytes_resident"] = sum(resident.values())
+        stats["strip_bytes_resident_max_worker"] = (
+            max(resident.values()) if resident else 0
+        )
+        stats["n_gathers"] = sum(
+            cache.n_gathers for cache in self._placed_caches
+        )
+        return stats

@@ -1,0 +1,469 @@
+"""Coordinator: registers workers, pipelines envelopes, survives deaths.
+
+The coordinator is the cluster twin of the process pool's parent side.
+It keeps one **task connection** per worker, down which
+:class:`~repro.engine.tasks.EngineTask` payloads are pipelined (up to
+``window`` envelopes outstanding per worker — the worker answers in
+FIFO order, so results need no sequence numbers), plus a lazily opened
+**placement connection** per worker for the request/reply shard-
+ownership traffic (kept separate so a placement request can never read
+a task result off the stream, even when a prefetch thread warms
+statistics while a batch is in flight).
+
+Fault model, mirroring :class:`~repro.engine.backends.ProcessPoolBackend`:
+
+* a worker that disconnects (crash, kill, network) has its outstanding
+  envelopes **reassigned** to the surviving workers — task scoring is
+  pure and deterministic, so rescoring is always safe;
+* when *no* workers survive, the coordinator attempts up to ``retries``
+  reconnect rounds over every registered address before raising
+  :class:`~repro.engine.tasks.WorkerCrashError`;
+* an application error reported by a worker (``MSG_ERROR``) is raised
+  immediately — a task that poisons workers must not cascade through
+  the fleet via reassignment.
+
+Every link counts its wire bytes per accounting bucket (``envelope``
+vs ``placement`` vs ``control``, headers included);
+:meth:`Coordinator.wire_stats` aggregates them — the evidence
+``BENCH_backends.json`` records.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from repro.cluster.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MSG_ERROR,
+    MSG_OK,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    ProtocolError,
+    load_payload,
+    recv_frame,
+    send_frame,
+    wire_category,
+)
+from repro.engine.tasks import WorkerCrashError, decode_result
+
+__all__ = ["WorkerLink", "Coordinator", "parse_address", "RemoteTaskError"]
+
+
+class RemoteTaskError(RuntimeError):
+    """A worker reported an application error (not a transport fault)."""
+
+
+def parse_address(address) -> tuple[str, int]:
+    """Accept ``"host:port"`` strings or ``(host, port)`` pairs."""
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"worker address {address!r} is not of the form 'host:port'"
+            )
+        return host, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+class WorkerLink:
+    """One TCP connection to a worker, with per-bucket byte accounting."""
+
+    def __init__(
+        self,
+        address,
+        connect_timeout: float = 10.0,
+        io_timeout: float | None = 120.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        bucket: str | None = None,
+    ):
+        self.host, self.port = parse_address(address)
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.max_frame_bytes = max_frame_bytes
+        # A link pinned to one plane books all its traffic there
+        # (placement replies are generic MSG_OK frames, so the plane,
+        # not the frame type, is the accounting truth).
+        self.bucket = bucket
+        self._sock: socket.socket | None = None
+        self.bytes_out: dict[str, int] = {}
+        self.bytes_in: dict[str, int] = {}
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.io_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def send(self, msg_type: int, payload: bytes) -> None:
+        self.connect()
+        sent = send_frame(self._sock, msg_type, payload)
+        bucket = self.bucket or wire_category(msg_type)
+        self.bytes_out[bucket] = self.bytes_out.get(bucket, 0) + sent
+
+    def recv(self) -> tuple[int, bytes]:
+        if self._sock is None:
+            raise ProtocolError("receiving on a closed link")
+        msg_type, payload, received = recv_frame(self._sock, self.max_frame_bytes)
+        bucket = self.bucket or wire_category(msg_type)
+        self.bytes_in[bucket] = self.bytes_in.get(bucket, 0) + received
+        if msg_type == MSG_ERROR:
+            raise RemoteTaskError(
+                f"worker {self.address} reported: {load_payload(payload)}"
+            )
+        return msg_type, payload
+
+    def request(self, msg_type: int, payload: bytes, expect: int) -> bytes:
+        """Strict request/reply exchange (placement + control planes)."""
+        self.send(msg_type, payload)
+        got, reply = self.recv()
+        if got != expect:
+            raise ProtocolError(
+                f"worker {self.address} answered frame type {got}, "
+                f"expected {expect}"
+            )
+        return reply
+
+
+class _TaskChannel:
+    """A worker's task-plane state: its link and outstanding envelopes."""
+
+    def __init__(self, link: WorkerLink):
+        self.link = link
+        # (task index, payload) in submission order == reply order.
+        self.outstanding: deque[tuple[int, bytes]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.outstanding)
+
+
+class Coordinator:
+    """Owns the worker fleet: registration, pipelining, recovery.
+
+    Parameters
+    ----------
+    workers:
+        Worker addresses (``"host:port"`` strings or ``(host, port)``
+        pairs).  At least one is required.
+    retries:
+        Reconnect rounds over all registered addresses attempted when
+        every worker has died mid-batch, before
+        :class:`~repro.engine.tasks.WorkerCrashError` is raised.
+    window:
+        Envelopes kept outstanding per worker; 2 keeps each worker
+        busy while its previous result is in flight.
+    """
+
+    def __init__(
+        self,
+        workers,
+        retries: int = 1,
+        window: int = 2,
+        connect_timeout: float = 10.0,
+        io_timeout: float | None = 120.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        addresses = [parse_address(w) for w in workers]
+        if not addresses:
+            raise ValueError("at least one worker address is required")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.retries = int(retries)
+        self.window = int(window)
+        self._link_options = dict(
+            connect_timeout=connect_timeout,
+            io_timeout=io_timeout,
+            max_frame_bytes=max_frame_bytes,
+        )
+        self._addresses = addresses
+        self._channels = [
+            _TaskChannel(WorkerLink(addr, **self._link_options))
+            for addr in addresses
+        ]
+        self._dead: list[WorkerLink] = []
+        # Placement links are opened lazily, one per worker, and every
+        # request/reply on them is serialised under this lock so a
+        # background prefetch thread and the scoring thread can share
+        # them safely.
+        self._placement_links: dict[int, WorkerLink] = {}
+        self._placement_lock = threading.Lock()
+        self.n_tasks = 0
+        self.n_results = 0
+        self.n_reassigned = 0
+        self.n_reconnect_rounds = 0
+
+    # -- fleet bookkeeping ---------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Workers registered (alive or not)."""
+        return len(self._addresses)
+
+    @property
+    def n_live_workers(self) -> int:
+        return len(self._channels)
+
+    def connect(self) -> None:
+        """Eagerly connect and ping every worker."""
+        for channel in self._channels:
+            channel.link.request(MSG_PING, b"", MSG_PONG)
+
+    def close(self) -> None:
+        """Close every connection; the coordinator stays reusable."""
+        for channel in self._channels:
+            channel.link.close()
+        with self._placement_lock:
+            links, self._placement_links = self._placement_links.values(), {}
+        for link in links:
+            link.close()
+
+    def shutdown_workers(self) -> None:
+        """Ask every live worker process to stop (examples, CI teardown)."""
+        for channel in self._channels:
+            try:
+                channel.link.request(MSG_SHUTDOWN, b"", MSG_OK)
+            except (ProtocolError, OSError):
+                pass
+            channel.link.close()
+
+    def _placement_link(self, worker_index: int) -> WorkerLink:
+        """The worker's placement link (caller holds ``_placement_lock``)."""
+        link = self._placement_links.get(worker_index)
+        if link is None:
+            link = WorkerLink(
+                self._addresses[worker_index],
+                bucket="placement",
+                **self._link_options,
+            )
+            self._placement_links[worker_index] = link
+        return link
+
+    def placement_request(
+        self, worker_index: int, msg_type: int, payload: bytes
+    ) -> bytes:
+        """One serialised request/reply on a worker's placement plane."""
+        with self._placement_lock:
+            return self._placement_link(worker_index).request(
+                msg_type, payload, MSG_OK
+            )
+
+    def placement_fan_out(
+        self, worker_indices: Sequence[int], msg_type: int, payload: bytes
+    ) -> dict[int, bytes]:
+        """The same request to several workers, replies by worker index.
+
+        Every request is *sent* before any reply is awaited, so the
+        workers' strip computations (the per-block O(n²) work the
+        placement layer distributes) run concurrently instead of one
+        worker at a time; each link is strict request/reply FIFO, so
+        the pairing stays unambiguous.
+        """
+        with self._placement_lock:
+            links = {w: self._placement_link(w) for w in worker_indices}
+            for worker in worker_indices:
+                links[worker].send(msg_type, payload)
+            replies: dict[int, bytes] = {}
+            for worker in worker_indices:
+                got, reply = links[worker].recv()
+                if got != MSG_OK:
+                    raise ProtocolError(
+                        f"worker {links[worker].address} answered frame "
+                        f"type {got} on the placement plane, expected OK"
+                    )
+                replies[worker] = reply
+            return replies
+
+    # -- wire accounting -----------------------------------------------
+
+    def wire_stats(self) -> dict:
+        """Aggregate per-bucket wire bytes across all links (ever used)."""
+        totals_out: dict[str, int] = {}
+        totals_in: dict[str, int] = {}
+        links = [c.link for c in self._channels] + self._dead
+        with self._placement_lock:
+            links += list(self._placement_links.values())
+        for link in links:
+            for bucket, count in link.bytes_out.items():
+                totals_out[bucket] = totals_out.get(bucket, 0) + count
+            for bucket, count in link.bytes_in.items():
+                totals_in[bucket] = totals_in.get(bucket, 0) + count
+        return {
+            "n_workers": self.n_workers,
+            "n_live_workers": self.n_live_workers,
+            "n_tasks": self.n_tasks,
+            "n_results": self.n_results,
+            "n_reassigned": self.n_reassigned,
+            "n_reconnect_rounds": self.n_reconnect_rounds,
+            "envelope_bytes_out": totals_out.get("envelope", 0),
+            "envelope_bytes_in": totals_in.get("envelope", 0),
+            "placement_bytes_out": totals_out.get("placement", 0),
+            "placement_bytes_in": totals_in.get("placement", 0),
+        }
+
+    # -- task plane ----------------------------------------------------
+
+    def map_tasks_payloads(self, payloads: Iterable[bytes]) -> list[tuple[list[float], int]]:
+        """Score pre-serialized envelopes across the fleet, input order.
+
+        ``payloads`` is consumed lazily: each envelope is sent as soon
+        as it is produced, so the caller's next-chunk statistics
+        materialise while workers score the current ones (the same
+        async overlap the process pool gets from its lazy generator).
+
+        Mirrors the process pool's recovery contract: after a batch
+        dies with ``WorkerCrashError`` the coordinator remains usable —
+        the next call starts from a fresh set of links to every
+        registered address (workers restarted on the same ports are
+        picked up automatically).
+        """
+        if not self._channels:
+            self._channels = [
+                _TaskChannel(WorkerLink(addr, **self._link_options))
+                for addr in self._addresses
+            ]
+        results: dict[int, tuple[list[float], int]] = {}
+        requeue: deque[tuple[int, bytes]] = deque()
+        index = 0
+        try:
+            for payload in payloads:
+                self._submit((index, payload), results, requeue)
+                index += 1
+                self._drain_requeue(results, requeue)
+            while any(self._channels) or requeue:
+                self._drain_requeue(results, requeue)
+                for channel in [c for c in self._channels if len(c)]:
+                    self._receive_one(channel, results, requeue)
+        except Exception:
+            # Leave no stale RESULT frames behind on any socket: a
+            # failed batch resets the task plane; links reconnect
+            # lazily on the next call.
+            self._reset_task_links()
+            raise
+        return [results[i] for i in range(index)]
+
+    # Internal helpers --------------------------------------------------
+
+    def _reset_task_links(self) -> None:
+        for channel in self._channels:
+            channel.link.close()
+            channel.outstanding.clear()
+
+    def _pick_channel(self) -> _TaskChannel:
+        """Least-loaded live channel; reconnect the fleet if none."""
+        attempts = 0
+        while not self._channels:
+            if attempts >= self.retries:
+                raise WorkerCrashError(
+                    f"all {self.n_workers} cluster workers disconnected"
+                    + (
+                        f" after {attempts} reconnect "
+                        f"round{'' if attempts == 1 else 's'}"
+                        if attempts
+                        else ""
+                    )
+                )
+            attempts += 1
+            self.n_reconnect_rounds += 1
+            for address in self._addresses:
+                link = WorkerLink(address, **self._link_options)
+                try:
+                    link.request(MSG_PING, b"", MSG_PONG)
+                except (ProtocolError, OSError):
+                    link.close()
+                    continue
+                self._channels.append(_TaskChannel(link))
+        return min(self._channels, key=len)
+
+    def _handle_death(
+        self,
+        channel: _TaskChannel,
+        requeue: deque[tuple[int, bytes]],
+    ) -> None:
+        """Bury a dead worker; its outstanding envelopes get reassigned."""
+        if channel in self._channels:
+            self._channels.remove(channel)
+        self._dead.append(channel.link)
+        channel.link.close()
+        self.n_reassigned += len(channel.outstanding)
+        requeue.extend(channel.outstanding)
+        channel.outstanding.clear()
+
+    def _submit(
+        self,
+        item: tuple[int, bytes],
+        results: dict[int, tuple[list[float], int]],
+        requeue: deque[tuple[int, bytes]],
+    ) -> None:
+        while True:
+            channel = self._pick_channel()
+            if len(channel) >= self.window:
+                if not self._receive_one(channel, results, requeue):
+                    continue  # that worker died; pick another
+            try:
+                channel.link.send(MSG_TASK, item[1])
+            except (ProtocolError, OSError):
+                self._handle_death(channel, requeue)
+                continue
+            channel.outstanding.append(item)
+            self.n_tasks += 1
+            return
+
+    def _receive_one(
+        self,
+        channel: _TaskChannel,
+        results: dict[int, tuple[list[float], int]],
+        requeue: deque[tuple[int, bytes]],
+    ) -> bool:
+        """Pull one result off a channel; False if the worker died."""
+        try:
+            msg_type, payload = channel.link.recv()
+        except RemoteTaskError:
+            raise
+        except (ProtocolError, OSError):
+            self._handle_death(channel, requeue)
+            return False
+        if msg_type != MSG_RESULT:
+            raise ProtocolError(
+                f"worker {channel.link.address} sent frame type {msg_type} "
+                "on the task plane"
+            )
+        index, _ = channel.outstanding.popleft()
+        results[index] = decode_result(payload)
+        self.n_results += 1
+        return True
+
+    def _drain_requeue(
+        self,
+        results: dict[int, tuple[list[float], int]],
+        requeue: deque[tuple[int, bytes]],
+    ) -> None:
+        while requeue:
+            self._submit(requeue.popleft(), results, requeue)

@@ -1,0 +1,155 @@
+"""Spawn localhost worker *processes* — examples, benchmarks, CI.
+
+:func:`spawn_local_workers` launches ``n`` copies of
+``python -m repro.cluster.worker --port 0`` as real subprocesses (their
+own interpreters, address spaces, and sockets — the honest localhost
+stand-in for a rack of nodes), parses each worker's announce line for
+the OS-assigned port, and returns a :class:`LocalWorkers` handle that
+is also a context manager::
+
+    with spawn_local_workers(2) as cluster:
+        search = PartitionMKLSearch(backend="sockets", workers=cluster.addresses)
+        ...
+
+In-process alternatives for tests and docs snippets live on
+:class:`~repro.cluster.worker.WorkerServer` directly
+(``start_background()`` serves on a daemon thread over real sockets).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["LocalWorkers", "spawn_local_workers"]
+
+_ANNOUNCE = "repro-cluster-worker listening on "
+
+
+class LocalWorkers:
+    """Handle over spawned worker subprocesses; context-manages cleanup."""
+
+    def __init__(self, processes: list[subprocess.Popen], addresses: list[str]):
+        self.processes = processes
+        self.addresses = addresses
+
+    def __enter__(self) -> "LocalWorkers":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def kill(self, index: int) -> None:
+        """Hard-kill one worker (fault-path demonstrations)."""
+        self.processes[index].kill()
+        self.processes[index].wait(timeout=10)
+
+    def stop(self) -> None:
+        """Terminate every worker process still running."""
+        for process in self.processes:
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + 10
+        for process in self.processes:
+            if process.poll() is None:
+                try:
+                    process.wait(timeout=max(0.1, deadline - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=10)
+            if process.stdout is not None:
+                process.stdout.close()
+
+
+def _drain_lines(stdout, lines: "queue.Queue") -> None:
+    """Feed a worker's stdout lines to a queue; ``None`` marks EOF.
+
+    Runs on a daemon thread for the process's whole life, so the pipe
+    can never fill up and block the worker, and close races during
+    teardown are swallowed.
+    """
+    try:
+        for line in stdout:
+            lines.put(line)
+    except Exception:
+        pass
+    lines.put(None)
+
+
+def _src_root() -> str:
+    """Directory to put on the workers' PYTHONPATH (``.../src``)."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+def spawn_local_workers(
+    n: int, host: str = "127.0.0.1", startup_timeout: float = 30.0
+) -> LocalWorkers:
+    """Start ``n`` worker subprocesses on OS-assigned localhost ports."""
+    if n < 1:
+        raise ValueError("spawn at least one worker")
+    env = dict(os.environ)
+    src = _src_root()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    processes: list[subprocess.Popen] = []
+    addresses: list[str] = []
+    try:
+        for _ in range(n):
+            process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cluster.worker",
+                    "--host",
+                    host,
+                    "--port",
+                    "0",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=env,
+            )
+            processes.append(process)
+        deadline = time.monotonic() + startup_timeout
+        for process in processes:
+            # Interpreter noise (warnings) may precede the announce
+            # line; skip anything that is not it.  A daemon reader
+            # thread feeds a queue so the deadline actually fires even
+            # if the worker starts but never prints — a bare readline()
+            # (or select on the *buffered* text stream) can block
+            # forever.
+            lines: queue.Queue = queue.Queue()
+            threading.Thread(
+                target=_drain_lines, args=(process.stdout, lines), daemon=True
+            ).start()
+            seen: list[str] = []
+            line = None
+            while time.monotonic() < deadline:
+                try:
+                    line = lines.get(
+                        timeout=max(0.01, deadline - time.monotonic())
+                    )
+                except queue.Empty:
+                    break
+                if line is None or line.startswith(_ANNOUNCE):
+                    break  # EOF (worker died) or the announce
+                seen.append(line)
+            if line is None or not line.startswith(_ANNOUNCE):
+                raise RuntimeError(
+                    "worker subprocess failed to announce its address "
+                    f"within {startup_timeout}s; output {seen!r} "
+                    f"(exit code {process.poll()})"
+                )
+            addresses.append(line[len(_ANNOUNCE):].strip())
+    except BaseException:
+        LocalWorkers(processes, addresses).stop()
+        raise
+    return LocalWorkers(processes, addresses)

@@ -1,0 +1,378 @@
+"""Placement-aware sharding: workers own row strips end-to-end.
+
+The in-process :class:`~repro.engine.cache.ShardedGramCache` proved
+the layout (per-shard row strips, rank-1 centred target, strip-wise
+scalar reductions) but kept every strip in one address space.  This
+module moves strip *ownership* onto the cluster workers:
+
+* :class:`ShardPlacement` maps each strip index to the worker that
+  owns it (round-robin by default, or an explicit assignment);
+* :class:`PlacedGramCache` / :class:`PlacedBlockStatsCache` are the
+  coordinator-side facades with the same surface as the sharded
+  caches (``strips`` are replaced by ownership; ``block_stats`` /
+  ``pair_inner`` / ``partition_stats`` / ``target_norm`` are
+  identical), orchestrating the per-block reduction over the
+  placement plane of a :class:`~repro.cluster.coordinator.Coordinator`.
+
+What crosses the wire per block is three O(n)-vector round trips
+(raw-diagonal → scale, row-mean segments → global row means, then the
+per-strip scalar statistics) and per *pair* a single scalar round trip
+— the strips themselves are built and stay **resident worker-side**,
+never re-shipped per task.  The one-time ``MSG_INIT`` ships the
+training sample to each worker, standing in for data that a real IoT
+deployment already has on the node that owns those rows.
+
+Numerical contract: every reduction happens in the same order and with
+the same expressions as ``ShardedBlockStatsCache``, so the scalars —
+and therefore every score — are **bit-identical** to an in-process
+sharded run with the same ``n_shards``.  The op ledger keeps the same
+logical schedule (2 target passes, 3 per block, 1 per pair;
+``n_gram_computations`` one per block), and ``n_gathers`` counts the
+deliberate full-Gram assemblies (final-model training only): a search
+keeps it at zero.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.protocol import (
+    MSG_BLOCK_CENTER,
+    MSG_BLOCK_RAW,
+    MSG_BLOCK_SCALE,
+    MSG_INIT,
+    MSG_PAIR,
+    MSG_STRIPS_FETCH,
+    MSG_TARGET,
+    dump_payload,
+    load_payload,
+)
+from repro.combinatorics.partitions import SetPartition
+from repro.engine.cache import (
+    _KeyLocked,
+    _PartitionStatsMixin,
+    canonical_block_key,
+    shard_row_slices,
+)
+from repro.kernels.base import as_2d
+from repro.kernels.partition_kernel import BlockKernelFactory, default_block_kernel
+
+__all__ = ["ShardPlacement", "PlacedGramCache", "PlacedBlockStatsCache"]
+
+BlockKey = tuple[int, ...]
+
+
+class ShardPlacement:
+    """Assignment of strip indices to workers.
+
+    ``owners[s]`` is the index of the worker owning strip ``s``.  The
+    default is round-robin, which balances strips across the fleet;
+    pass ``owners`` explicitly to pin strips (e.g. to the node that
+    already holds those rows).
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        n_workers: int,
+        owners: Sequence[int] | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if owners is None:
+            owners = [s % n_workers for s in range(n_shards)]
+        owners = [int(o) for o in owners]
+        if len(owners) != n_shards:
+            raise ValueError(
+                f"owners must assign all {n_shards} strips, got {len(owners)}"
+            )
+        if any(o < 0 or o >= n_workers for o in owners):
+            raise ValueError("strip owner index outside the worker fleet")
+        self.n_shards = int(n_shards)
+        self.n_workers = int(n_workers)
+        self.owners = tuple(owners)
+
+    def strips_of(self, worker_index: int) -> tuple[int, ...]:
+        """Strip indices the worker owns (possibly empty)."""
+        return tuple(
+            s for s, owner in enumerate(self.owners) if owner == worker_index
+        )
+
+    @property
+    def active_workers(self) -> tuple[int, ...]:
+        """Workers owning at least one strip, in index order."""
+        return tuple(sorted(set(self.owners)))
+
+
+class PlacedGramCache(_KeyLocked):
+    """Coordinator-side facade over worker-resident Gram strips.
+
+    Same ledger surface as :class:`~repro.engine.cache.ShardedGramCache`
+    (``n_gram_computations``, ``n_gathers``, ``row_slices``,
+    ``max_strip_rows``, ``stats_cache``); the strips themselves live on
+    the owning workers.  ``gram()`` — the one deliberate full-matrix
+    assembly, for final-model training — fetches every strip once and
+    counts a gather.
+    """
+
+    def __init__(
+        self,
+        coordinator,
+        X: np.ndarray,
+        block_kernel: BlockKernelFactory = default_block_kernel,
+        normalize: bool = True,
+        n_shards: int = 2,
+        placement: ShardPlacement | None = None,
+    ):
+        super().__init__()
+        self.coordinator = coordinator
+        self.X = as_2d(X)
+        n = self.X.shape[0]
+        if not 1 <= n_shards <= n:
+            raise ValueError(
+                f"n_shards must be in [1, n_samples={n}], got {n_shards}"
+            )
+        self.block_kernel = block_kernel
+        self.normalize = normalize
+        self.n_shards = int(n_shards)
+        self.placement = placement or ShardPlacement(
+            self.n_shards, coordinator.n_workers
+        )
+        if self.placement.n_shards != self.n_shards:
+            raise ValueError("placement does not cover n_shards strips")
+        self.row_slices = shard_row_slices(n, self.n_shards)
+        self._initialised = False
+        # Per block: the global row-mean vector and grand mean of the
+        # (normalised) strips — the O(n) reduction centring needs.
+        self._row_stats: dict[BlockKey, tuple[np.ndarray, float]] = {}
+        self.n_gram_computations = 0
+        self.n_gathers = 0
+        self.resident_strip_bytes: dict[int, int] = {}
+
+    @property
+    def max_strip_rows(self) -> int:
+        """Largest row count any one strip (hence worker block) holds."""
+        return max(sl.stop - sl.start for sl in self.row_slices)
+
+    # -- placement-plane orchestration ---------------------------------
+
+    def _request(self, worker: int, msg_type: int, body: dict) -> dict:
+        reply = self.coordinator.placement_request(
+            worker, msg_type, dump_payload(body)
+        )
+        return load_payload(reply)
+
+    def _fan_out(self, msg_type: int, body: dict) -> dict[int, dict]:
+        """One request to every strip-owning worker, computed concurrently.
+
+        All requests go out before any reply is awaited
+        (:meth:`~repro.cluster.coordinator.Coordinator.placement_fan_out`),
+        so per-strip O(n²) work overlaps across the fleet; the replies
+        are then reduced coordinator-side in strip order regardless of
+        completion order, keeping the sums bit-identical.
+        """
+        replies = self.coordinator.placement_fan_out(
+            self.placement.active_workers, msg_type, dump_payload(body)
+        )
+        return {worker: load_payload(reply) for worker, reply in replies.items()}
+
+    def ensure_init(self) -> None:
+        """Ship each worker its ownership state once (idempotent)."""
+        with self._key_lock("__init__"):
+            if self._initialised:
+                return
+            for worker in self.placement.active_workers:
+                slices = {
+                    s: self.row_slices[s]
+                    for s in self.placement.strips_of(worker)
+                }
+                self._request(
+                    worker,
+                    MSG_INIT,
+                    {
+                        "X": self.X,
+                        "block_kernel": self.block_kernel,
+                        "normalize": self.normalize,
+                        "slices": slices,
+                    },
+                )
+            self._initialised = True
+
+    def ensure_strips(self, block: Sequence[int]) -> tuple[np.ndarray, float]:
+        """Build (normalise) a block's strips worker-side, once.
+
+        Returns the block's global row means and grand mean — the O(n)
+        reduction the stats cache needs for centring.  Reduction order
+        matches ``ShardedGramCache`` exactly: diagonal segments and
+        row-mean segments are concatenated in strip order.
+        """
+        key = canonical_block_key(block)
+        cached = self._row_stats.get(key)
+        if cached is not None:
+            return cached
+        with self._key_lock(("strips", key)):
+            if key not in self._row_stats:
+                self.ensure_init()
+                raw = self._fan_out(MSG_BLOCK_RAW, {"key": key})
+                scale = None
+                if self.normalize:
+                    diagonal = np.concatenate(
+                        [
+                            raw[self.placement.owners[s]]["diag"][s]
+                            for s in range(self.n_shards)
+                        ]
+                    )
+                    scale = np.sqrt(np.clip(diagonal, 1e-12, None))
+                scaled = self._fan_out(MSG_BLOCK_SCALE, {"key": key, "scale": scale})
+                row_means = np.concatenate(
+                    [
+                        scaled[self.placement.owners[s]]["row_means"][s]
+                        for s in range(self.n_shards)
+                    ]
+                )
+                grand_mean = float(row_means.mean())
+                with self._lock:
+                    self.n_gram_computations += 1
+                    self._row_stats[key] = (row_means, grand_mean)
+        return self._row_stats[key]
+
+    # -- GramCache surface ---------------------------------------------
+
+    def gram(self, block: Sequence[int]) -> np.ndarray:
+        """Gather the full Gram from the workers' resident strips.
+
+        The one deliberate materialisation point (final-model training,
+        reference checks); never called on the incremental scoring
+        path, and ``n_gathers`` counts every use.
+        """
+        key = canonical_block_key(block)
+        self.ensure_strips(key)
+        fetched = self._fan_out(MSG_STRIPS_FETCH, {"key": key})
+        strips = [
+            fetched[self.placement.owners[s]]["strips"][s]
+            for s in range(self.n_shards)
+        ]
+        with self._lock:
+            self.n_gathers += 1
+        return np.vstack(strips)
+
+    def grams_for(self, partition: SetPartition) -> list[np.ndarray]:
+        """Gathered per-block Grams (counts one gather per block)."""
+        return [self.gram(block) for block in partition.blocks]
+
+    def stats_cache(self, y: np.ndarray) -> "PlacedBlockStatsCache":
+        """The statistics cache matching this placed layout."""
+        return PlacedBlockStatsCache(self, y)
+
+
+class PlacedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
+    """Centred-Gram scalars reduced across worker-resident strips.
+
+    Scalar surface identical to
+    :class:`~repro.engine.cache.ShardedBlockStatsCache`; the per-strip
+    partial statistics are computed by the strip's owning worker and
+    summed coordinator-side **in strip order**, which keeps every value
+    bit-identical to the in-process sharded cache.
+    """
+
+    def __init__(self, grams: PlacedGramCache, y: np.ndarray):
+        super().__init__()
+        self.grams = grams
+        y = np.asarray(y, dtype=float).ravel()
+        if y.shape[0] != self.grams.X.shape[0]:
+            raise ValueError("y length must match the cached sample")
+        self.y = y
+        self._target_inner: dict[BlockKey, float] = {}
+        self._pair_inner: dict[tuple[BlockKey, BlockKey], float] = {}
+        self._centered_keys: set[BlockKey] = set()
+        # Rank-1 centred target, exactly as the sharded cache: its
+        # statistics are O(n) and stay coordinator-side.
+        self.centered_y = y - y.mean()
+        self.target_norm = float(self.centered_y @ self.centered_y)
+        # Ledger parity with the dense cache's two target passes.
+        self.n_matrix_ops = 2
+        self._target_shipped = False
+
+    def _ensure_target(self) -> None:
+        with self._key_lock("__target__"):
+            if self._target_shipped:
+                return
+            self.grams.ensure_init()
+            for worker in self.grams.placement.active_workers:
+                self.grams._request(
+                    worker, MSG_TARGET, {"centered_y": self.centered_y}
+                )
+            self._target_shipped = True
+
+    def block_stats(self, block: Sequence[int]) -> tuple[float, float]:
+        """``(a_i, M_ii)`` reduced across the owning workers."""
+        key = canonical_block_key(block)
+        if key not in self._centered_keys:
+            with self._key_lock(("block", key)):
+                if key not in self._centered_keys:
+                    self._ensure_target()
+                    row_means, grand_mean = self.grams.ensure_strips(key)
+                    replies = self.grams._fan_out(
+                        MSG_BLOCK_CENTER,
+                        {
+                            "key": key,
+                            "row_means": row_means,
+                            "grand_mean": grand_mean,
+                        },
+                    )
+                    owners = self.grams.placement.owners
+                    target_inner = float(
+                        sum(
+                            replies[owners[s]]["stats"][s][0]
+                            for s in range(self.grams.n_shards)
+                        )
+                    )
+                    self_inner = float(
+                        sum(
+                            replies[owners[s]]["stats"][s][1]
+                            for s in range(self.grams.n_shards)
+                        )
+                    )
+                    for worker, reply in replies.items():
+                        self.grams.resident_strip_bytes[worker] = int(
+                            reply["resident_bytes"]
+                        )
+                    with self._lock:
+                        self._target_inner[key] = target_inner
+                        self._pair_inner[(key, key)] = self_inner
+                        self.n_matrix_ops += 3
+                        self._centered_keys.add(key)
+        return self._target_inner[key], self._pair_inner[(key, key)]
+
+    def pair_inner(self, first: Sequence[int], second: Sequence[int]) -> float:
+        """``M_ij`` as a strip-order sum of worker-local strip inners."""
+        key = tuple(
+            sorted((canonical_block_key(first), canonical_block_key(second)))
+        )
+        value = self._pair_inner.get(key)
+        if value is not None:
+            return value
+        self.block_stats(key[0])
+        self.block_stats(key[1])
+        if key[0] == key[1]:
+            return self._pair_inner[key]
+        with self._key_lock(("pair", key)):
+            if key not in self._pair_inner:
+                replies = self.grams._fan_out(
+                    MSG_PAIR, {"key": key[0], "other": key[1]}
+                )
+                owners = self.grams.placement.owners
+                value = float(
+                    sum(
+                        replies[owners[s]]["inners"][s]
+                        for s in range(self.grams.n_shards)
+                    )
+                )
+                with self._lock:
+                    self._pair_inner[key] = value
+                    self.n_matrix_ops += 1
+        return self._pair_inner[key]

@@ -1,0 +1,215 @@
+"""Length-prefixed TCP framing for the cluster transport.
+
+One frame = a fixed header followed by an opaque payload::
+
+    | magic ``RENG`` (4) | version (1) | type (1) | length (8, big-endian) |
+    | payload (``length`` bytes)                                           |
+
+The payload encoding is the sender's business (task frames carry the
+pickled :class:`~repro.engine.tasks.EngineTask` bytes verbatim — the
+same bytes the size guard measured; control frames carry pickled
+dictionaries).  The framing layer's job is to make *transport* failures
+loud and attributable:
+
+* a frame whose magic or version bytes are wrong raises
+  :class:`ProtocolError` immediately — the peer is not speaking this
+  protocol (or the stream lost sync), and nothing after the bad header
+  can be trusted;
+* a declared length over ``max_frame_bytes`` raises
+  :class:`ProtocolError` *before* any payload byte is read, so a
+  malformed (or hostile) length field cannot make the receiver
+  allocate unbounded memory;
+* a connection that closes mid-frame raises :class:`ConnectionClosed`
+  (a :class:`ProtocolError`), distinguishing "the worker died" — which
+  the coordinator handles by reassigning work — from "the worker sent
+  garbage", which it does not.
+
+Security note: payloads are unpickled by the receiver, so workers must
+only be exposed on trusted networks (the deployment model is a rack or
+LAN of cooperating IoT aggregation nodes, not the open internet).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "ProtocolError",
+    "ConnectionClosed",
+    "send_frame",
+    "recv_frame",
+    "dump_payload",
+    "load_payload",
+    "frame_overhead",
+    "wire_category",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "MSG_PING",
+    "MSG_PONG",
+    "MSG_TASK",
+    "MSG_RESULT",
+    "MSG_ERROR",
+    "MSG_OK",
+    "MSG_INIT",
+    "MSG_TARGET",
+    "MSG_BLOCK_RAW",
+    "MSG_BLOCK_SCALE",
+    "MSG_BLOCK_CENTER",
+    "MSG_PAIR",
+    "MSG_STRIPS_FETCH",
+    "MSG_SHUTDOWN",
+]
+
+MAGIC = b"RENG"
+VERSION = 1
+_HEADER = struct.Struct("!4sBBQ")
+
+#: Frames larger than this are rejected by default on both ends.  Large
+#: enough for a placement INIT shipping a training sample; far below
+#: anything that could exhaust a node.
+DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+# Control plane ---------------------------------------------------------
+MSG_PING = 1
+MSG_PONG = 2
+MSG_ERROR = 3
+MSG_OK = 4
+MSG_SHUTDOWN = 5
+# Task plane (pipelined; FIFO per connection) ---------------------------
+MSG_TASK = 10
+MSG_RESULT = 11
+# Placement plane (request/reply; its own connection) -------------------
+MSG_INIT = 20
+MSG_TARGET = 21
+MSG_BLOCK_RAW = 22
+MSG_BLOCK_SCALE = 23
+MSG_BLOCK_CENTER = 24
+MSG_PAIR = 25
+MSG_STRIPS_FETCH = 26
+
+_KNOWN_TYPES = frozenset(
+    {
+        MSG_PING,
+        MSG_PONG,
+        MSG_ERROR,
+        MSG_OK,
+        MSG_SHUTDOWN,
+        MSG_TASK,
+        MSG_RESULT,
+        MSG_INIT,
+        MSG_TARGET,
+        MSG_BLOCK_RAW,
+        MSG_BLOCK_SCALE,
+        MSG_BLOCK_CENTER,
+        MSG_PAIR,
+        MSG_STRIPS_FETCH,
+    }
+)
+
+_TASK_TYPES = frozenset({MSG_TASK, MSG_RESULT})
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violates the framing contract (garbage, bad
+    magic/version, unknown type, or an oversized declared length)."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (cleanly between frames, or
+    mid-frame — a truncated frame).  The coordinator treats this as a
+    worker death and reassigns the worker's outstanding tasks."""
+
+
+def frame_overhead() -> int:
+    """Header bytes added to every payload on the wire."""
+    return _HEADER.size
+
+
+def wire_category(msg_type: int) -> str:
+    """Accounting bucket of a message type.
+
+    ``"envelope"`` — task envelopes and their results (the per-search
+    scoring traffic the benchmarks record); ``"placement"`` — strip
+    residency and statistic reductions; ``"control"`` — everything else.
+    """
+    if msg_type in _TASK_TYPES:
+        return "envelope"
+    if msg_type >= MSG_INIT:
+        return "placement"
+    return "control"
+
+
+def dump_payload(obj: Any) -> bytes:
+    """Pickle a control/placement payload (highest protocol)."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_payload(payload: bytes) -> Any:
+    """Inverse of :func:`dump_payload`."""
+    return pickle.loads(payload)
+
+
+def send_frame(sock: socket.socket, msg_type: int, payload: bytes) -> int:
+    """Write one frame; returns the bytes put on the wire."""
+    if msg_type not in _KNOWN_TYPES:
+        raise ProtocolError(f"unknown message type {msg_type!r}")
+    header = _HEADER.pack(MAGIC, VERSION, msg_type, len(payload))
+    sock.sendall(header + payload)
+    return len(header) + len(payload)
+
+
+def _recv_exact(sock: socket.socket, count: int, *, started: bool) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ConnectionClosed`.
+
+    ``started`` marks whether part of a frame has already been read —
+    EOF then means a *truncated* frame rather than a clean close.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if started or chunks:
+                raise ConnectionClosed(
+                    "connection closed mid-frame (truncated frame: "
+                    f"expected {count} more bytes, got {count - remaining})"
+                )
+            raise ConnectionClosed("connection closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[int, bytes, int]:
+    """Read one frame; returns ``(msg_type, payload, wire_bytes)``.
+
+    Raises :class:`ProtocolError` on garbage (bad magic/version,
+    unknown type, oversized declared length — checked before a single
+    payload byte is read) and :class:`ConnectionClosed` when the peer
+    goes away.
+    """
+    header = _recv_exact(sock, _HEADER.size, started=False)
+    magic, version, msg_type, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}): peer is not "
+            "speaking the repro.cluster protocol or the stream lost sync"
+        )
+    if version != VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (speaking {VERSION})"
+        )
+    if msg_type not in _KNOWN_TYPES:
+        raise ProtocolError(f"unknown message type {msg_type}")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{max_frame_bytes}-byte limit; rejecting before reading the "
+            "payload"
+        )
+    payload = _recv_exact(sock, length, started=True) if length else b""
+    return msg_type, payload, _HEADER.size + length

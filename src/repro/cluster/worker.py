@@ -1,0 +1,390 @@
+"""Networked evaluation worker: scores envelopes, owns resident strips.
+
+``WorkerServer`` is one node of the cluster: a TCP server speaking the
+:mod:`repro.cluster.protocol` framing.  Run it standalone::
+
+    python -m repro.cluster.worker --port 9701
+
+or embed it (tests, docs snippets, single-process demos)::
+
+    server = WorkerServer()          # port 0: OS-assigned
+    host, port = server.start_background()
+    ...
+    server.stop()
+
+Two planes of traffic arrive on separate connections:
+
+* **task plane** — pipelined ``MSG_TASK`` frames carrying pickled
+  :class:`~repro.engine.tasks.EngineTask` envelopes; each is scored
+  with :func:`~repro.engine.tasks.score_task_payload` (pure O(b²)
+  scalar arithmetic, bit-identical to the serial engine) and answered
+  with a ``MSG_RESULT`` in arrival order.
+* **placement plane** — request/reply frames that make this worker the
+  *owner* of specific block-row strips of the sharded Gram layout
+  (:class:`~repro.engine.cache.ShardedGramCache` semantics over the
+  wire).  After a one-time ``MSG_INIT`` (the sample, kernel factory
+  and owned row slices — the localhost stand-in for data that, in a
+  real IoT deployment, is born on the node), the worker materialises,
+  normalises, centres and *keeps* its strips; only O(n) vectors and
+  O(1) scalars ever travel per block.  The arithmetic mirrors
+  ``ShardedGramCache`` / ``ShardedBlockStatsCache`` line for line, so
+  reduced statistics are bit-identical to the in-process sharded
+  caches.
+
+Fault injection for tests: ``fail_after=N`` makes the server stop
+abruptly (no reply, sockets torn down) after scoring N task envelopes,
+simulating a node killed mid-search.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster import protocol
+from repro.cluster.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MSG_BLOCK_CENTER,
+    MSG_BLOCK_RAW,
+    MSG_BLOCK_SCALE,
+    MSG_ERROR,
+    MSG_INIT,
+    MSG_OK,
+    MSG_PAIR,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_STRIPS_FETCH,
+    MSG_TARGET,
+    MSG_TASK,
+    ConnectionClosed,
+    ProtocolError,
+    dump_payload,
+    load_payload,
+    recv_frame,
+    send_frame,
+)
+from repro.engine.tasks import encode_result, score_task_payload
+
+__all__ = ["WorkerServer", "main"]
+
+
+@dataclass
+class _PlacementState:
+    """Resident shard-ownership state installed by ``MSG_INIT``.
+
+    ``slices`` maps strip index -> this worker's row slice; strips for
+    strip indices owned by other workers are never built here.  Strip
+    arrays are keyed by the canonical block key exactly like the
+    in-process caches.
+    """
+
+    X: np.ndarray
+    block_kernel: object
+    normalize: bool
+    slices: dict[int, slice]
+    centered_y: np.ndarray | None = None
+    raw: dict[tuple, dict[int, np.ndarray]] = field(default_factory=dict)
+    strips: dict[tuple, dict[int, np.ndarray]] = field(default_factory=dict)
+    centered: dict[tuple, dict[int, np.ndarray]] = field(default_factory=dict)
+
+    def resident_bytes(self) -> int:
+        """Bytes of strip state currently resident on this worker."""
+        total = 0
+        for store in (self.strips, self.centered):
+            for per_strip in store.values():
+                total += sum(strip.nbytes for strip in per_strip.values())
+        return total
+
+
+class WorkerServer:
+    """One cluster node: scores task envelopes, owns placed row strips.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` lets the OS pick (read it back from
+        ``server.port``).  The listening socket is bound in the
+        constructor so the address is known before serving starts.
+    max_frame_bytes:
+        Frames over this size are rejected by the protocol layer.
+    fail_after:
+        Test hook — after this many task envelopes have been scored,
+        the server tears itself down without replying (simulates a
+        worker killed mid-search).  ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        fail_after: int | None = None,
+    ):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.fail_after = fail_after
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._placement: _PlacementState | None = None
+        self._connections: set[socket.socket] = set()
+        self._stopped = threading.Event()
+        self._tasks_scored = 0
+        self._serve_thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """``host:port`` string accepted by the coordinator."""
+        return f"{self.host}:{self.port}"
+
+    def start_background(self) -> tuple[str, int]:
+        """Serve on a daemon thread; returns ``(host, port)``."""
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever,
+                name=f"cluster-worker:{self.port}",
+                daemon=True,
+            )
+            self._serve_thread.start()
+        return self.host, self.port
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop`; thread per connection."""
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._lock:
+                if self._stopped.is_set():
+                    conn.close()
+                    break
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def stop(self) -> None:
+        """Tear the server down: listener and every open connection."""
+        self._stopped.set()
+        # A thread blocked in accept() holds the listening socket alive
+        # even after close() — the in-flight syscall pins it, keeping
+        # the port bound.  Shut the listener down and poke it with a
+        # throwaway connection so the accept returns and the port is
+        # actually released.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            with socket.create_connection((self.host, self.port), timeout=0.2):
+                pass
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections, self._connections = list(self._connections), set()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    # -- connection loop -----------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._stopped.is_set():
+                try:
+                    msg_type, payload, _ = recv_frame(conn, self.max_frame_bytes)
+                except ConnectionClosed:
+                    return
+                except ProtocolError as error:
+                    # Garbage on the wire: report once, drop the
+                    # connection.  The server itself keeps serving —
+                    # one misbehaving client must not take the node
+                    # down for its peers.
+                    try:
+                        send_frame(conn, MSG_ERROR, dump_payload(str(error)))
+                    except OSError:
+                        pass
+                    return
+                if not self._dispatch(conn, msg_type, payload):
+                    return
+        except OSError:
+            return  # connection torn down under us (stop(), peer reset)
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            conn.close()
+
+    def _dispatch(self, conn: socket.socket, msg_type: int, payload: bytes) -> bool:
+        """Handle one frame; returns False to end the connection."""
+        if msg_type == MSG_TASK:
+            if self.fail_after is not None:
+                with self._lock:
+                    self._tasks_scored += 1
+                    tripped = self._tasks_scored > self.fail_after
+                if tripped:
+                    self.stop()  # simulated kill: no reply, sockets gone
+                    return False
+            try:
+                result = encode_result(*score_task_payload(payload))
+            except Exception as error:
+                # An unscorable envelope is an application error, not a
+                # node death: answer MSG_ERROR so the coordinator raises
+                # instead of reassigning the poison envelope across the
+                # fleet (which would kill every worker's connection in
+                # turn and misreport fleet death).
+                send_frame(
+                    conn, MSG_ERROR, dump_payload(f"{type(error).__name__}: {error}")
+                )
+                return True
+            send_frame(conn, MSG_RESULT, result)
+            return True
+        if msg_type == MSG_PING:
+            send_frame(conn, MSG_PONG, b"")
+            return True
+        if msg_type == MSG_SHUTDOWN:
+            send_frame(conn, MSG_OK, b"")
+            self.stop()
+            return False
+        try:
+            reply = self._dispatch_placement(msg_type, payload)
+        except Exception as error:  # surfaced coordinator-side, loudly
+            send_frame(conn, MSG_ERROR, dump_payload(f"{type(error).__name__}: {error}"))
+            return True
+        send_frame(conn, MSG_OK, dump_payload(reply))
+        return True
+
+    # -- placement plane -----------------------------------------------
+    #
+    # Every numerical step below mirrors ShardedGramCache /
+    # ShardedBlockStatsCache exactly (same expressions, same operand
+    # order), which is what makes the reduced statistics bit-identical
+    # to the in-process sharded caches.
+
+    def _dispatch_placement(self, msg_type: int, payload: bytes):
+        request = load_payload(payload)
+        if msg_type == MSG_INIT:
+            state = _PlacementState(
+                X=np.asarray(request["X"], dtype=float),
+                block_kernel=request["block_kernel"],
+                normalize=bool(request["normalize"]),
+                slices={int(i): sl for i, sl in request["slices"].items()},
+            )
+            with self._lock:
+                self._placement = state
+            return {"n_strips": len(state.slices)}
+        state = self._placement
+        if state is None:
+            raise RuntimeError("placement plane used before MSG_INIT")
+        if msg_type == MSG_TARGET:
+            state.centered_y = np.asarray(request["centered_y"], dtype=float)
+            return {}
+        key = tuple(request["key"])
+        if msg_type == MSG_BLOCK_RAW:
+            kernel = state.block_kernel(key).bind(state.X)
+            raw = {
+                index: kernel(state.X[sl], state.X)
+                for index, sl in state.slices.items()
+            }
+            state.raw[key] = raw
+            diag = {}
+            for index, strip in raw.items():
+                sl = state.slices[index]
+                diag[index] = strip[
+                    np.arange(sl.stop - sl.start), np.arange(sl.start, sl.stop)
+                ]
+            return {"diag": diag}
+        if msg_type == MSG_BLOCK_SCALE:
+            scale = request["scale"]
+            raw = state.raw.pop(key)
+            if scale is not None:
+                scale = np.asarray(scale, dtype=float)
+                strips = {
+                    index: strip / np.outer(scale[state.slices[index]], scale)
+                    for index, strip in raw.items()
+                }
+            else:
+                strips = raw
+            state.strips[key] = strips
+            return {
+                "row_means": {
+                    index: strip.mean(axis=1) for index, strip in strips.items()
+                }
+            }
+        if msg_type == MSG_BLOCK_CENTER:
+            row_means = np.asarray(request["row_means"], dtype=float)
+            grand_mean = float(request["grand_mean"])
+            yc = state.centered_y
+            if yc is None:
+                raise RuntimeError("MSG_BLOCK_CENTER before MSG_TARGET")
+            centered = {
+                index: strip
+                - row_means[state.slices[index], None]
+                - row_means[None, :]
+                + grand_mean
+                for index, strip in state.strips[key].items()
+            }
+            state.centered[key] = centered
+            stats = {
+                index: (
+                    yc[state.slices[index]] @ strip @ yc,
+                    np.sum(strip * strip),
+                )
+                for index, strip in centered.items()
+            }
+            return {"stats": stats, "resident_bytes": state.resident_bytes()}
+        if msg_type == MSG_PAIR:
+            other = tuple(request["other"])
+            first, second = state.centered[key], state.centered[other]
+            return {
+                "inners": {
+                    index: np.sum(first[index] * second[index])
+                    for index in first
+                }
+            }
+        if msg_type == MSG_STRIPS_FETCH:
+            return {"strips": state.strips[key]}
+        raise ProtocolError(f"message type {msg_type} not valid on this plane")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.cluster.worker --port N``."""
+    parser = argparse.ArgumentParser(
+        description="repro.cluster evaluation worker (trusted networks only)"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 = OS-assigned (announced on stdout)"
+    )
+    parser.add_argument(
+        "--max-frame-bytes", type=int, default=DEFAULT_MAX_FRAME_BYTES
+    )
+    args = parser.parse_args(argv)
+    server = WorkerServer(
+        host=args.host, port=args.port, max_frame_bytes=args.max_frame_bytes
+    )
+    # The announce line is parsed by spawn_local_workers; keep stable.
+    print(f"repro-cluster-worker listening on {server.host}:{server.port}", flush=True)
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

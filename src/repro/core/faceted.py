@@ -70,7 +70,13 @@ class FacetedLearner:
     shards:
         When set (> 1), the search runs over block-row-sharded Gram
         storage and never materialises a full n×n Gram; only the final
-        model fit gathers the winning blocks once.
+        model fit gathers the winning blocks once.  With a
+        ``SocketBackend`` *instance* the strips live on the workers
+        (placement-aware sharding) and the final gather fetches them
+        over the wire.
+    workers:
+        Worker addresses for ``backend="sockets"`` (``"host:port"``
+        strings or ``(host, port)`` pairs).
     overlap:
         Materialise upcoming batches' statistics in the background
         while the current batch is scored.
@@ -93,6 +99,7 @@ class FacetedLearner:
         max_evaluations: int | None = None,
         backend: str = "serial",
         shards: int | None = None,
+        workers=None,
         overlap: bool = False,
     ):
         # Defer to the engine's registry so register_strategy extensions
@@ -130,6 +137,7 @@ class FacetedLearner:
         )
         self.backend = backend
         self.shards = shards
+        self.workers = workers
         self.overlap = bool(overlap)
 
         self.partition_: SetPartition | None = None
@@ -177,6 +185,7 @@ class FacetedLearner:
             block_kernel=self.block_kernel,
             backend=self.backend,
             shards=self.shards,
+            workers=self.workers,
             overlap=self.overlap,
         )
         # One cache serves seed selection, the search, and the final

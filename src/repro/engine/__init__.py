@@ -37,13 +37,14 @@ Batches of frontier partitions are scored through an
 :class:`~repro.engine.backends.EvaluationBackend`: any object with a
 ``name`` and an order-preserving ``map(fn, items) -> list``.  Shipped:
 ``"serial"`` (reference loop), ``"threads"`` (thread pool; NumPy
-releases the GIL inside the O(n²) kernels) and ``"processes"`` (a
-persistent ``multiprocessing`` pool).  The process backend declares
-``supports_tasks``: instead of a closure it receives
+releases the GIL inside the O(n²) kernels), ``"processes"`` (a
+persistent ``multiprocessing`` pool) and ``"sockets"`` (networked
+workers — :mod:`repro.cluster`).  The process and socket backends
+declare ``supports_tasks``: instead of a closure they receive
 :class:`~repro.engine.tasks.EngineTask` envelopes carrying only the
 scalar statistic tables — never a Gram, the sample, or the labels —
 so a batch ships O(k²) floats regardless of n, and workers return
-scores bit-identical to the serial loop.  Remote worker fleets
+scores bit-identical to the serial loop.  Further transports
 register through :func:`~repro.engine.backends.register_backend` and
 can reuse the same envelope contract.  The engine's caches are
 lock-guarded, so the bookkeeping the complexity benchmarks rely on
@@ -62,12 +63,13 @@ rank-1, so not even it exists as a matrix).  This bounds the peak
 single allocation to one strip and is the placement seam for
 multi-host deployment — each strip's centring, inner products and
 target reductions touch only that strip plus O(n) shared vectors, so
-a remote backend can pin strips to the nodes owning those rows.  In
-this in-process implementation all strips still live in one address
-space: total resident memory matches the dense layout until a remote
-transport exists (see ROADMAP).  Construct engines with ``shards=``
-or pass a sharded cache explicitly; the scalar API is unchanged, so
-every backend and strategy runs on top of it.  With
+a remote backend can pin strips to the nodes owning those rows — and
+the ``sockets`` backend does exactly that: combined with ``shards=``
+it builds each strip on its owning worker and keeps it resident there
+(placement-aware sharding, :mod:`repro.cluster.placement`), with the
+per-search wire traffic accounted on every result.  Construct engines
+with ``shards=`` or pass a sharded cache explicitly; the scalar API
+is unchanged, so every backend and strategy runs on top of it.  With
 ``overlap=True`` the engine additionally warms upcoming partitions'
 statistics on a background thread (``engine.prefetch``) while the
 current batch is scored; the process backend pipelines its envelopes

@@ -21,15 +21,20 @@ input order.  Three implementations ship:
   pipelined: the coordinator materialises the next chunk's statistics
   while workers score the current one.
 
-Third parties (remote worker fleets, rpc fan-out) plug in through
-:func:`register_backend`; anything satisfying the protocol works, and
-backends that set ``supports_tasks`` receive statistic envelopes
-through ``map_tasks`` instead of closures through ``map``.
+A fourth, ``"sockets"`` (:class:`repro.cluster.SocketBackend`), takes
+the same ``supports_tasks`` + :class:`EngineTask` contract across the
+network to :mod:`repro.cluster` worker servers; it is registered here
+through a lazy factory so the engine never imports the cluster package
+at import time.  Third parties (rpc fan-out, other transports) plug in
+through :func:`register_backend`; anything satisfying the protocol
+works, and backends that set ``supports_tasks`` receive statistic
+envelopes through ``map_tasks`` instead of closures through ``map``.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -39,6 +44,8 @@ from repro.engine.tasks import (
     EngineTask,
     TaskEnvelopeError,
     WorkerCrashError,
+    check_task_payload,
+    default_task_chunks,
     score_task_payload,
 )
 
@@ -158,6 +165,7 @@ class ProcessPoolBackend:
         self.retries = int(retries)
         self.mp_context = mp_context
         self._pool = None
+        self._wire = {"envelope_bytes_out": 0, "envelope_bytes_in": 0, "n_tasks": 0}
 
     # -- pool lifecycle ------------------------------------------------
 
@@ -253,13 +261,12 @@ class ProcessPoolBackend:
         return self._run(fn, items, guard=None)
 
     def _check_payload(self, payload: bytes) -> None:
-        if len(payload) > self.max_task_bytes:
-            raise TaskEnvelopeError(
-                f"task envelope is {len(payload)} bytes on the wire, over "
-                f"the {self.max_task_bytes}-byte limit; score smaller "
-                "chunks, raise max_task_bytes, or shard the statistics "
-                "further"
-            )
+        check_task_payload(payload, self.max_task_bytes)
+        # Passed the guard: these bytes will ship.  (Replays after a
+        # pool crash reuse the staged payloads, so nothing is double
+        # counted.)
+        self._wire["envelope_bytes_out"] += len(payload)
+        self._wire["n_tasks"] += 1
 
     def map_tasks(
         self, tasks: Iterable[EngineTask]
@@ -269,20 +276,48 @@ class ProcessPoolBackend:
         Each envelope is serialized exactly once: the bytes are both
         the wire-size guard's measurement and the shipped payload.
         """
+
         payloads = (task.payload() for task in tasks)
-        return self._run(score_task_payload, payloads, guard=self._check_payload)
+        results = self._run(score_task_payload, payloads, guard=self._check_payload)
+        self._wire["envelope_bytes_in"] += sum(
+            len(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+            for result in results
+        )
+        return results
+
+    def wire_stats(self) -> dict[str, int]:
+        """Cumulative envelope bytes shipped to / received from workers.
+
+        The process boundary is a pipe, not a network, but the pickled
+        envelope is the same payload a remote transport would frame —
+        recording it makes pool and socket runs directly comparable in
+        ``BENCH_backends.json``.
+        """
+        return dict(self._wire)
 
     def task_chunks(self, n_items: int) -> int:
-        """Envelopes to split an ``n_items`` batch into (>= 2/worker
-        keeps the pipeline busy without envelope overhead dominating)."""
-        workers = self.max_workers or os.cpu_count() or 1
-        return max(1, min(n_items, 2 * workers))
+        """Envelopes to split an ``n_items`` batch into (shared 2-per-
+        worker pipeline policy)."""
+        return default_task_chunks(n_items, self.max_workers or os.cpu_count() or 1)
+
+
+def _sockets_factory(**options: Any) -> EvaluationBackend:
+    """Lazy factory for the networked backend (``repro.cluster``).
+
+    Imported on first use so the engine package never depends on the
+    cluster package at import time (cluster builds on engine, not the
+    reverse).
+    """
+    from repro.cluster import SocketBackend
+
+    return SocketBackend(**options)
 
 
 _REGISTRY: dict[str, Callable[..., EvaluationBackend]] = {
     "serial": SerialBackend,
     "threads": ThreadPoolBackend,
     "processes": ProcessPoolBackend,
+    "sockets": _sockets_factory,
 }
 
 

@@ -51,9 +51,24 @@ __all__ = [
     "ShardedGramCache",
     "ShardedBlockStatsCache",
     "canonical_block_key",
+    "shard_row_slices",
 ]
 
 BlockKey = tuple[int, ...]
+
+
+def shard_row_slices(n: int, n_shards: int) -> list[slice]:
+    """Contiguous row ranges splitting ``n`` samples over ``n_shards``.
+
+    The single source of the row layout: the in-process sharded caches
+    and the cluster placement layer both call this, so a strip index
+    means the same rows everywhere.
+    """
+    edges = np.linspace(0, n, n_shards + 1).astype(int)
+    return [
+        slice(int(start), int(stop))
+        for start, stop in zip(edges[:-1], edges[1:])
+    ]
 
 
 def canonical_block_key(block: Iterable[int]) -> BlockKey:
@@ -305,11 +320,7 @@ class ShardedGramCache(_KeyLocked):
         self.block_kernel = block_kernel
         self.normalize = normalize
         self.n_shards = int(n_shards)
-        edges = np.linspace(0, n, self.n_shards + 1).astype(int)
-        self.row_slices = [
-            slice(int(start), int(stop))
-            for start, stop in zip(edges[:-1], edges[1:])
-        ]
+        self.row_slices = shard_row_slices(n, self.n_shards)
         self._store: dict[BlockKey, list[np.ndarray]] = {}
         self.n_gram_computations = 0
         self.n_gathers = 0

@@ -54,6 +54,12 @@ __all__ = [
 
 WEIGHTINGS = ("uniform", "alignment", "alignf")
 
+# Wire-ledger keys that are point-in-time gauges; everything else is a
+# cumulative counter the engine reports as a delta since construction.
+_WIRE_GAUGES = frozenset(
+    {"n_workers", "n_live_workers", "strip_bytes_resident_max_worker"}
+)
+
 
 class AlignmentScorer:
     """Score a combined Gram by centred kernel-target alignment.
@@ -161,6 +167,10 @@ class SearchResult:
     seed_partition: SetPartition
     n_matrix_ops: int = 0
     history: list[tuple[SetPartition, float]] = field(repr=False, default_factory=list)
+    #: Wire accounting snapshot from transport backends (``processes``,
+    #: ``sockets``): envelope bytes out/in, placement traffic, resident
+    #: strip bytes.  ``None`` for in-memory backends.
+    wire: dict | None = field(repr=False, default=None)
 
     @property
     def n_kernels(self) -> int:
@@ -199,7 +209,14 @@ class KernelEvaluationEngine:
         Split the sample's Gram rows over this many shards
         (:class:`ShardedGramCache`) so no full n×n matrix is ever
         materialised while scoring.  Mutually exclusive with passing
-        ``gram_cache``.
+        ``gram_cache``.  A backend exposing ``make_placed_cache`` (the
+        ``sockets`` backend) upgrades this to *placement-aware*
+        sharding: each strip is built and kept resident on the worker
+        that owns those rows.
+    workers:
+        Worker specification forwarded to the backend factory when
+        ``backend`` is a name — for ``"sockets"``, the worker
+        addresses (``"host:port"`` strings or ``(host, port)`` pairs).
     overlap:
         Enable async overlap: :meth:`prefetch` warms upcoming
         partitions' statistics on a background thread while the
@@ -221,6 +238,7 @@ class KernelEvaluationEngine:
         backend: str | EvaluationBackend = "serial",
         mode: str = "auto",
         shards: int | None = None,
+        workers=None,
         overlap: bool = False,
     ):
         if weighting not in WEIGHTINGS:
@@ -233,11 +251,39 @@ class KernelEvaluationEngine:
             raise ValueError("pass either gram_cache or shards, not both")
         self.scorer = scorer or AlignmentScorer()
         self.weighting = weighting
+        # The backend is resolved before the caches: a transport
+        # backend that can own row strips (sockets) turns ``shards=``
+        # into placement-aware sharding below.
+        self._owns_backend = isinstance(backend, str)
+        if workers is not None and not self._owns_backend:
+            raise ValueError(
+                "workers= applies only when the backend is resolved from a "
+                "name; pass the worker addresses to the backend instance "
+                "instead"
+            )
+        try:
+            self.backend = get_backend(
+                backend, **({} if workers is None else {"workers": workers})
+            )
+        except TypeError:
+            if workers is None:
+                raise
+            raise ValueError(
+                f"backend {backend!r} does not accept workers=; use "
+                "backend='sockets' (or another networked backend) with "
+                "worker addresses"
+            ) from None
         if gram_cache is None:
+            make_placed = getattr(self.backend, "make_placed_cache", None)
             if shards is not None and shards > 1:
-                gram_cache = ShardedGramCache(
-                    as_2d(X), block_kernel, normalize, n_shards=shards
-                )
+                if make_placed is not None:
+                    gram_cache = make_placed(
+                        as_2d(X), block_kernel, normalize, n_shards=shards
+                    )
+                else:
+                    gram_cache = ShardedGramCache(
+                        as_2d(X), block_kernel, normalize, n_shards=shards
+                    )
             else:
                 gram_cache = GramCache(as_2d(X), block_kernel, normalize)
         self.gram_cache = gram_cache
@@ -266,10 +312,13 @@ class KernelEvaluationEngine:
             )
         else:
             self.stats = None
-        self._owns_backend = isinstance(backend, str)
-        self.backend = get_backend(backend)
         self.overlap = bool(overlap)
         self._prefetch_pool: ThreadPoolExecutor | None = None
+        # Per-search wire accounting: the backend's counters are
+        # cumulative over its lifetime, so remember where they stood
+        # when this engine was built.
+        baseline_fn = getattr(self.backend, "wire_stats", None)
+        self._wire_baseline = dict(baseline_fn()) if baseline_fn else None
         self.n_evaluations = 0
         self._direct_ops = 0
         self._worker_ops = 0
@@ -296,6 +345,27 @@ class KernelEvaluationEngine:
     def _count_direct_ops(self, count: int) -> None:
         with self._direct_lock:
             self._direct_ops += count
+
+    @property
+    def wire_stats(self) -> dict | None:
+        """This engine's wire ledger (``processes``/``sockets``), or
+        ``None`` for in-memory backends — envelope bytes out/in, and
+        for placement-aware sharding the placement traffic and
+        worker-resident strip bytes.
+
+        Backends keep cumulative lifetime counters (they may be shared
+        across many searches); the engine snapshots them at
+        construction and reports the *delta*, so every
+        ``SearchResult.wire`` covers exactly that search.
+        """
+        stats_fn = getattr(self.backend, "wire_stats", None)
+        if stats_fn is None:
+            return None
+        baseline = self._wire_baseline or {}
+        return {
+            key: value if key in _WIRE_GAUGES else value - baseline.get(key, 0)
+            for key, value in stats_fn().items()
+        }
 
     # ------------------------------------------------------------------
 

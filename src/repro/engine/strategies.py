@@ -84,6 +84,7 @@ def _result(
         seed_partition=seed_partition,
         n_matrix_ops=engine.n_matrix_ops,
         history=history,
+        wire=engine.wire_stats,
     )
 
 

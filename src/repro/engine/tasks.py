@@ -42,7 +42,30 @@ __all__ = [
     "build_task",
     "score_task",
     "score_task_payload",
+    "encode_result",
+    "decode_result",
+    "check_task_payload",
+    "default_task_chunks",
 ]
+
+
+def check_task_payload(payload: bytes, max_task_bytes: int) -> None:
+    """Shared wire-size guard: every transport rejects an oversized
+    envelope *before* submitting it — an oversized envelope means the
+    chunking (or sharding) upstream is wrong, not that the transport
+    should silently strain."""
+    if len(payload) > max_task_bytes:
+        raise TaskEnvelopeError(
+            f"task envelope is {len(payload)} bytes on the wire, over "
+            f"the {max_task_bytes}-byte limit; score smaller chunks, "
+            "raise max_task_bytes, or shard the statistics further"
+        )
+
+
+def default_task_chunks(n_items: int, n_workers: int) -> int:
+    """Shared chunking policy: 2 envelopes per worker keeps a pipeline
+    busy without envelope overhead dominating."""
+    return max(1, min(n_items, 2 * n_workers))
 
 
 class TaskEnvelopeError(RuntimeError):
@@ -186,3 +209,21 @@ def score_task_payload(payload: bytes) -> tuple[list[float], int]:
     a copy, not a re-serialization of the scalar tables.
     """
     return score_task(pickle.loads(payload))
+
+
+def encode_result(scores: Sequence[float], n_matrix_ops: int) -> bytes:
+    """Wire form of a task result, shared by every remote transport.
+
+    ``float()`` on a ``np.float64`` is exact, so encoding preserves the
+    bit-identical-to-serial contract the envelopes guarantee.
+    """
+    return pickle.dumps(
+        ([float(score) for score in scores], int(n_matrix_ops)),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def decode_result(payload: bytes) -> tuple[list[float], int]:
+    """Inverse of :func:`encode_result`."""
+    scores, n_matrix_ops = pickle.loads(payload)
+    return scores, n_matrix_ops

@@ -111,7 +111,12 @@ class PartitionMKLSearch:
     shards:
         When set (> 1), Grams are kept block-row-sharded
         (:class:`~repro.engine.ShardedGramCache`): scoring never
-        materialises a full n×n matrix on one node.
+        materialises a full n×n matrix on one node.  Combined with the
+        ``sockets`` backend this becomes placement-aware: each strip
+        is built and kept resident on its owning worker.
+    workers:
+        Worker addresses for networked backends (``backend="sockets"``):
+        ``"host:port"`` strings or ``(host, port)`` pairs.
     overlap:
         Enable the engine's async overlap — upcoming batches' Gram
         statistics materialise on a background thread while the
@@ -127,6 +132,7 @@ class PartitionMKLSearch:
         backend: str | EvaluationBackend = "serial",
         engine_mode: str = "auto",
         shards: int | None = None,
+        workers=None,
         overlap: bool = False,
     ):
         if weighting not in ("uniform", "alignment", "alignf"):
@@ -140,13 +146,26 @@ class PartitionMKLSearch:
         self.backend = backend
         self.engine_mode = engine_mode
         self.shards = shards
+        self.workers = workers
         self.overlap = bool(overlap)
 
     # ------------------------------------------------------------------
 
     def _make_cache(self, X: np.ndarray) -> GramCache | ShardedGramCache:
-        """A fresh Gram cache in this search's layout (dense or sharded)."""
+        """A fresh Gram cache in this search's layout.
+
+        Dense, sharded, or — when the backend was passed as an
+        *instance* that owns workers (``SocketBackend``) and sharding
+        is on — placement-aware: strips resident on the fleet.
+        (Name-string backends are resolved per engine, so placement
+        through this path requires the shared instance.)
+        """
         if self.shards is not None and self.shards > 1:
+            make_placed = getattr(self.backend, "make_placed_cache", None)
+            if make_placed is not None:
+                return make_placed(
+                    X, self.block_kernel, self.normalize, n_shards=self.shards
+                )
             return ShardedGramCache(
                 X, self.block_kernel, self.normalize, n_shards=self.shards
             )
@@ -170,6 +189,7 @@ class PartitionMKLSearch:
             backend=self.backend,
             mode=self.engine_mode,
             shards=None if cache is not None else self.shards,
+            workers=self.workers,
             overlap=self.overlap,
         )
 
@@ -254,10 +274,10 @@ class PartitionMKLSearch:
         """
         X = as_2d(X)
         seed, rest = self._split_features(X.shape[1], seed_block)
-        cache = cache or self._make_cache(X)
         if strategy == "greedy":
             from repro.mkl.smush import greedy_smush
 
+            cache = cache or self._make_cache(X)
             return greedy_smush(self, X, y, seed, cache=cache, **params)
         from repro.engine.strategies import available_strategies
 
@@ -266,6 +286,10 @@ class PartitionMKLSearch:
                 f"unknown strategy {strategy!r}; available: "
                 f"{', '.join((*available_strategies(), 'greedy'))}"
             )
+        # ``cache=None`` is deliberately forwarded: the engine builds
+        # the right layout itself, which is what lets a sockets backend
+        # upgrade ``shards=`` to placement-aware (worker-resident)
+        # strips.
         engine = self.make_engine(X, y, cache)
         try:
             return run_strategy(strategy, engine, seed, rest, **params)

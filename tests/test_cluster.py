@@ -1,0 +1,570 @@
+"""Networked evaluation: sockets backend, wire protocol, placement.
+
+The contracts enforced here extend ``tests/test_engine_distributed.py``
+across a real TCP boundary:
+
+* ``sockets`` scores are **bit-identical** to ``serial`` and the op
+  ledgers aggregate exactly — over actual localhost sockets;
+* placement-aware sharding (``shards=`` + sockets) is bit-identical to
+  the in-process sharded caches, keeps strips resident worker-side,
+  and never gathers a full Gram during a search (``n_gathers == 0``);
+* fault paths are loud and recoverable: a worker killed mid-search has
+  its envelopes reassigned (identical final result), a dead fleet
+  raises ``WorkerCrashError`` after bounded reconnect rounds,
+  truncated/garbage frames raise ``ProtocolError`` without taking the
+  server down, oversized envelopes raise ``TaskEnvelopeError`` before
+  any byte hits a socket;
+* wire accounting (envelope/placement bytes, resident strip bytes) is
+  recorded on every ``SearchResult``.
+
+Most tests use in-process ``WorkerServer.start_background()`` daemons
+(real sockets, fast); ``TestLocalWorkerProcesses`` exercises the
+``python -m repro.cluster.worker`` subprocess path end to end.
+"""
+
+import pickle
+import socket
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Coordinator,
+    LocalWorkers,
+    PlacedGramCache,
+    ProtocolError,
+    ShardPlacement,
+    SocketBackend,
+    WorkerServer,
+    spawn_local_workers,
+)
+from repro.cluster.protocol import (
+    MSG_ERROR,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_TASK,
+    ConnectionClosed,
+    recv_frame,
+    send_frame,
+)
+from repro.combinatorics import SetPartition, cone_partitions
+from repro.core import FacetedLearner
+from repro.engine import (
+    BlockStatsCache,
+    GramCache,
+    KernelEvaluationEngine,
+    ShardedBlockStatsCache,
+    ShardedGramCache,
+    TaskEnvelopeError,
+    WorkerCrashError,
+    available_backends,
+    build_task,
+    get_backend,
+    score_task,
+)
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.mkl import PartitionMKLSearch
+
+
+@pytest.fixture(scope="module")
+def workload():
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 3, role="noise"),
+    ]
+    return make_faceted_classification(120, specs, seed=4)
+
+
+@pytest.fixture(scope="module")
+def wide_workload():
+    """rest=5 (Bell(5)=52 evaluations): enough envelopes per search for
+    the fail_after kill hooks to trip mid-search."""
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 5, role="noise"),
+    ]
+    return make_faceted_classification(80, specs, seed=4)
+
+
+@pytest.fixture()
+def fleet():
+    """Two background worker servers plus a connected backend."""
+    servers = [WorkerServer(), WorkerServer()]
+    for server in servers:
+        server.start_background()
+    backend = SocketBackend(workers=[s.address for s in servers])
+    yield servers, backend
+    backend.close()
+    for server in servers:
+        server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def _pair(self):
+        return socket.socketpair()
+
+    def test_roundtrip(self):
+        a, b = self._pair()
+        with a, b:
+            sent = send_frame(a, MSG_PING, b"payload")
+            msg_type, payload, received = recv_frame(b)
+            assert (msg_type, payload) == (MSG_PING, b"payload")
+            assert sent == received > len(b"payload")
+
+    def test_garbage_magic_rejected(self):
+        a, b = self._pair()
+        with a, b:
+            a.sendall(b"GARBAGE-GARBAGE-GARBAGE")
+            with pytest.raises(ProtocolError, match="bad frame magic"):
+                recv_frame(b)
+
+    def test_truncated_frame_rejected(self):
+        a, b = self._pair()
+        with b:
+            send_frame(a, MSG_TASK, b"x" * 100)
+            # Deliver only part of the frame, then close the stream.
+            a.close()
+            data = b.recv(40)
+            probe, sink = self._pair()
+            with probe, sink:
+                probe.sendall(data)
+                probe.close()
+                with pytest.raises(ConnectionClosed, match="truncated"):
+                    recv_frame(sink)
+
+    def test_oversized_length_rejected_before_payload(self):
+        a, b = self._pair()
+        with a, b:
+            send_frame(a, MSG_TASK, b"y" * 1000)
+            with pytest.raises(ProtocolError, match="exceeds the 64-byte limit"):
+                recv_frame(b, max_frame_bytes=64)
+
+    def test_unknown_type_rejected_on_send(self):
+        a, b = self._pair()
+        with a, b:
+            with pytest.raises(ProtocolError, match="unknown message type"):
+                send_frame(a, 99, b"")
+
+
+# ---------------------------------------------------------------------------
+# Worker server + registry
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerServer:
+    def test_registered_backend(self):
+        assert "sockets" in available_backends()
+        server = WorkerServer()
+        server.start_background()
+        backend = get_backend("sockets", workers=[server.address])
+        assert isinstance(backend, SocketBackend)
+        assert backend.supports_tasks
+        backend.close()
+        server.stop()
+
+    def test_scores_envelope_like_serial(self, workload):
+        cache = GramCache(workload.X)
+        stats = BlockStatsCache(cache, workload.y)
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))[:8]
+        task = build_task(stats, "alignment", picks)
+        expected_scores, expected_ops = score_task(task)
+
+        server = WorkerServer()
+        server.start_background()
+        with socket.create_connection((server.host, server.port)) as sock:
+            send_frame(sock, MSG_TASK, task.payload())
+            msg_type, payload, _ = recv_frame(sock)
+        server.stop()
+        assert msg_type == MSG_RESULT
+        scores, ops = pickle.loads(payload)
+        assert scores == [float(s) for s in expected_scores]
+        assert ops == expected_ops == 0
+
+    def test_garbage_does_not_kill_server(self):
+        server = WorkerServer()
+        server.start_background()
+        with socket.create_connection((server.host, server.port)) as sock:
+            sock.sendall(b"NOT-A-FRAME" * 3)
+            msg_type, payload, _ = recv_frame(sock)
+            assert msg_type == MSG_ERROR
+            assert "magic" in pickle.loads(payload)
+        # The server survives a misbehaving client: a fresh connection
+        # still answers pings.
+        with socket.create_connection((server.host, server.port)) as sock:
+            send_frame(sock, MSG_PING, b"")
+            msg_type, _, _ = recv_frame(sock)
+            assert msg_type == MSG_PONG
+        server.stop()
+
+    def test_task_chunks_scales_with_fleet(self, fleet):
+        _, backend = fleet
+        assert backend.task_chunks(100) == 4  # 2 per worker
+        assert backend.task_chunks(3) == 3
+        assert backend.task_chunks(1) == 1
+
+    def test_map_closures_rejected(self, fleet):
+        _, backend = fleet
+        with pytest.raises(TypeError, match="host boundary"):
+            backend.map(lambda x: x, [1, 2])
+
+    def test_coordinator_validation(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            Coordinator([])
+        with pytest.raises(ValueError, match="host:port"):
+            Coordinator(["not-an-address"])
+        with pytest.raises(ValueError, match="retries"):
+            Coordinator(["127.0.0.1:9"], retries=-1)
+        with pytest.raises(ValueError, match="window"):
+            Coordinator(["127.0.0.1:9"], window=0)
+
+
+# ---------------------------------------------------------------------------
+# Parity: sockets vs serial
+# ---------------------------------------------------------------------------
+
+
+class TestSocketSerialParity:
+    def test_exhaustive_bit_identical(self, workload, fleet):
+        _, backend = fleet
+        serial = PartitionMKLSearch(backend="serial")
+        remote = PartitionMKLSearch(backend=backend)
+        rs = serial.search_exhaustive(workload.X, workload.y, (0, 1))
+        rr = remote.search_exhaustive(workload.X, workload.y, (0, 1))
+        assert rs.best_partition == rr.best_partition
+        assert rs.best_score == rr.best_score  # bit-identical, not approx
+        for (_, a), (_, b) in zip(rs.history, rr.history):
+            assert a == b
+        # Exact op-counter aggregation across the network boundary.
+        assert rs.n_matrix_ops == rr.n_matrix_ops
+        assert rs.n_gram_computations == rr.n_gram_computations
+
+    @pytest.mark.parametrize("weighting", ["uniform", "alignment", "alignf"])
+    def test_weightings_bit_identical(self, workload, fleet, weighting):
+        _, backend = fleet
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))[:10]
+        cache = GramCache(workload.X)
+        serial_engine = KernelEvaluationEngine(
+            workload.X, workload.y, weighting=weighting, gram_cache=cache,
+        )
+        remote_engine = KernelEvaluationEngine(
+            workload.X,
+            workload.y,
+            weighting=weighting,
+            gram_cache=cache,
+            backend=backend,
+        )
+        assert remote_engine.score_batch(picks) == serial_engine.score_batch(picks)
+
+    def test_wire_accounting_on_result(self, workload, fleet):
+        _, backend = fleet
+        result = PartitionMKLSearch(backend=backend).search_exhaustive(
+            workload.X, workload.y, (0, 1)
+        )
+        assert result.wire is not None
+        assert result.wire["envelope_bytes_out"] > 0
+        assert result.wire["envelope_bytes_in"] > 0
+        assert result.wire["n_tasks"] == result.wire["n_results"]
+        # Serial searches carry no wire ledger.
+        serial = PartitionMKLSearch().search_exhaustive(
+            workload.X, workload.y, (0, 1)
+        )
+        assert serial.wire is None
+
+    def test_workers_kwarg_resolves_backend(self, workload):
+        server = WorkerServer()
+        server.start_background()
+        remote = PartitionMKLSearch(backend="sockets", workers=[server.address])
+        serial = PartitionMKLSearch()
+        rr = remote.search_chain(workload.X, workload.y, (0, 1))
+        rs = serial.search_chain(workload.X, workload.y, (0, 1))
+        assert rr.best_partition == rs.best_partition
+        assert rr.best_score == rs.best_score
+        server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Placement-aware sharding
+# ---------------------------------------------------------------------------
+
+
+class TestPlacement:
+    def test_placement_assignment(self):
+        placement = ShardPlacement(5, 2)
+        assert placement.owners == (0, 1, 0, 1, 0)
+        assert placement.strips_of(0) == (0, 2, 4)
+        assert placement.strips_of(1) == (1, 3)
+        assert placement.active_workers == (0, 1)
+        explicit = ShardPlacement(3, 4, owners=[2, 2, 0])
+        assert explicit.strips_of(2) == (0, 1)
+        with pytest.raises(ValueError, match="assign all"):
+            ShardPlacement(3, 2, owners=[0])
+        with pytest.raises(ValueError, match="outside the worker fleet"):
+            ShardPlacement(2, 2, owners=[0, 5])
+
+    def test_bit_identical_to_in_process_sharded(self, workload, fleet):
+        _, backend = fleet
+        cache = ShardedGramCache(workload.X, n_shards=3)
+        sharded = PartitionMKLSearch().search(
+            workload.X, workload.y, (0, 1), strategy="exhaustive", cache=cache
+        )
+        placed = PartitionMKLSearch(backend=backend, shards=3).search(
+            workload.X, workload.y, (0, 1), strategy="exhaustive"
+        )
+        assert placed.best_partition == sharded.best_partition
+        assert placed.best_score == sharded.best_score  # bit-identical
+        for (_, a), (_, b) in zip(sharded.history, placed.history):
+            assert a == b
+        assert placed.n_matrix_ops == sharded.n_matrix_ops
+        assert placed.n_gram_computations == sharded.n_gram_computations
+
+    def test_search_never_gathers_and_strips_stay_resident(
+        self, workload, fleet
+    ):
+        _, backend = fleet
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=3
+        )
+        cache = engine.gram_cache
+        assert isinstance(cache, PlacedGramCache)
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))
+        engine.score_batch(picks)
+        assert cache.n_gathers == 0  # no full Gram ever crossed the wire
+        stats = backend.wire_stats()
+        assert stats["strip_bytes_resident"] > 0
+        assert stats["placement_bytes_out"] > 0
+        # Every strip row is resident on exactly one worker.
+        assert cache.max_strip_rows < workload.X.shape[0]
+
+    def test_placed_scalars_match_sharded(self, workload, fleet):
+        from repro.kernels.partition_kernel import default_block_kernel
+
+        _, backend = fleet
+        sharded = ShardedBlockStatsCache(
+            ShardedGramCache(workload.X, n_shards=3), workload.y
+        )
+        placed_cache = backend.make_placed_cache(
+            workload.X,
+            block_kernel=default_block_kernel,
+            normalize=True,
+            n_shards=3,
+        )
+        placed = placed_cache.stats_cache(workload.y)
+        partition = SetPartition([(0, 1), (2,), (3, 4)])
+        a_sharded, M_sharded = sharded.partition_stats(partition)
+        a_placed, M_placed = placed.partition_stats(partition)
+        assert placed.target_norm == sharded.target_norm
+        np.testing.assert_array_equal(a_placed, a_sharded)
+        np.testing.assert_array_equal(M_placed, M_sharded)
+        assert placed.n_matrix_ops == sharded.n_matrix_ops
+
+    def test_gather_matches_dense_and_counts(self, workload, fleet):
+        _, backend = fleet
+        from repro.kernels.partition_kernel import default_block_kernel
+
+        placed = backend.make_placed_cache(
+            workload.X, default_block_kernel, True, n_shards=3
+        )
+        gathered = placed.gram((1, 3))
+        assert placed.n_gathers == 1
+        assert np.array_equal(gathered, GramCache(workload.X).gram((1, 3)))
+
+    def test_faceted_learner_with_placed_strips(self, workload):
+        servers = [WorkerServer(), WorkerServer()]
+        for server in servers:
+            server.start_background()
+        backend = SocketBackend(workers=[s.address for s in servers])
+        learner = FacetedLearner(
+            strategy="chain",
+            scorer="alignment",
+            seed_block=(0, 1),
+            backend=backend,
+            shards=2,
+        )
+        learner.fit(workload.X, workload.y)
+        predictions = learner.predict(workload.X)
+        assert np.mean(predictions == workload.y) > 0.6
+        backend.close()
+        for server in servers:
+            server.stop()
+
+    def test_rejects_bad_shard_counts(self, workload, fleet):
+        _, backend = fleet
+        with pytest.raises(ValueError, match="n_shards"):
+            backend.make_placed_cache(
+                workload.X,
+                block_kernel=None,
+                normalize=True,
+                n_shards=workload.X.shape[0] + 1,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Fault paths
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPaths:
+    def test_worker_killed_mid_search_reassigns(self, wide_workload):
+        serial = PartitionMKLSearch().search_exhaustive(
+            wide_workload.X, wide_workload.y, (0, 1)
+        )
+        doomed = WorkerServer(fail_after=3)
+        survivor = WorkerServer()
+        doomed.start_background()
+        survivor.start_background()
+        backend = SocketBackend(workers=[doomed.address, survivor.address])
+        result = PartitionMKLSearch(backend=backend).search_exhaustive(
+            wide_workload.X, wide_workload.y, (0, 1)
+        )
+        # The doomed worker died mid-search; the survivor rescored its
+        # outstanding envelopes and the result is unchanged.
+        assert result.wire["n_reassigned"] > 0
+        assert result.wire["n_live_workers"] == 1
+        assert result.best_partition == serial.best_partition
+        assert result.best_score == serial.best_score
+        for (_, a), (_, b) in zip(serial.history, result.history):
+            assert a == b
+        assert result.n_matrix_ops == serial.n_matrix_ops
+        backend.close()
+        survivor.stop()
+
+    def test_whole_fleet_dead_raises_worker_crash(self, wide_workload):
+        server = WorkerServer(fail_after=2)
+        server.start_background()
+        backend = SocketBackend(workers=[server.address], retries=1)
+        with pytest.raises(WorkerCrashError, match="reconnect round"):
+            PartitionMKLSearch(backend=backend).search_exhaustive(
+                wide_workload.X, wide_workload.y, (0, 1)
+            )
+        backend.close()
+
+    def test_backend_reusable_after_fleet_recovers(self, workload):
+        # A dead fleet poisons one call; once workers are back (same
+        # addresses), the next call reconnects and succeeds.
+        doomed = WorkerServer(fail_after=1)
+        doomed.start_background()
+        backend = SocketBackend(workers=[doomed.address], retries=0)
+        engine = KernelEvaluationEngine(workload.X, workload.y, backend=backend)
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))
+        with pytest.raises(WorkerCrashError):
+            engine.score_batch(picks)
+        # Resurrect a worker on the same port.  The dead server's
+        # connections may linger briefly in the kernel, so release the
+        # coordinator's half of them and retry the bind.
+        backend.coordinator.close()
+        revived = None
+        for _ in range(100):
+            try:
+                revived = WorkerServer(port=doomed.port)
+                break
+            except OSError:
+                import time
+
+                time.sleep(0.05)
+        assert revived is not None, "could not rebind the worker port"
+        revived.start_background()
+        scores = engine.score_batch(picks)
+        serial = KernelEvaluationEngine(workload.X, workload.y)
+        assert scores == serial.score_batch(picks)
+        backend.close()
+        revived.stop()
+
+    def test_poison_envelope_raises_not_fleet_death(self, workload, fleet):
+        """An unscorable envelope is an application error (RemoteTaskError),
+        not a worker death — it must not cascade through the fleet via
+        reassignment and misreport as WorkerCrashError."""
+        from repro.cluster import RemoteTaskError
+
+        _, backend = fleet
+        with pytest.raises(RemoteTaskError, match="worker"):
+            backend.coordinator.map_tasks_payloads([pickle.dumps(42)])
+        # Both workers survived: a real batch still scores.
+        engine = KernelEvaluationEngine(workload.X, workload.y, backend=backend)
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))
+        serial = KernelEvaluationEngine(workload.X, workload.y)
+        assert engine.score_batch(picks) == serial.score_batch(picks)
+
+    def test_workers_kwarg_with_wrong_backend_is_clear(self, workload):
+        with pytest.raises(ValueError, match="does not accept workers="):
+            KernelEvaluationEngine(
+                workload.X, workload.y, backend="serial", workers=["h:1"]
+            )
+        backend = get_backend("serial")
+        with pytest.raises(ValueError, match="backend instance"):
+            KernelEvaluationEngine(
+                workload.X, workload.y, backend=backend, workers=["h:1"]
+            )
+
+    def test_wire_ledger_is_per_search(self, workload, fleet):
+        """A reused backend accumulates lifetime counters; each result
+        must still report only its own search's traffic."""
+        _, backend = fleet
+        search = PartitionMKLSearch(backend=backend)
+        first = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        second = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        assert second.wire["n_tasks"] == first.wire["n_tasks"]
+        assert second.wire["envelope_bytes_out"] == first.wire["envelope_bytes_out"]
+        # The backend's own ledger is cumulative across both searches.
+        assert backend.wire_stats()["n_tasks"] >= 2 * first.wire["n_tasks"]
+
+    def test_oversized_envelope_never_hits_the_socket(self, workload, fleet):
+        _, backend = fleet
+        tiny = SocketBackend(
+            workers=[backend.coordinator._addresses[0]], max_task_bytes=64
+        )
+        engine = KernelEvaluationEngine(workload.X, workload.y, backend=tiny)
+        before = tiny.wire_stats()["envelope_bytes_out"]
+        with pytest.raises(TaskEnvelopeError, match="over the 64-byte limit"):
+            engine.score(SetPartition([(0, 1), (2, 3, 4)]))
+        assert tiny.wire_stats()["envelope_bytes_out"] == before == 0
+        tiny.close()
+
+    def test_processes_backend_wire_accounting(self, workload):
+        """Satellite contract: the pool records envelope bytes too."""
+        from repro.engine import ProcessPoolBackend
+
+        backend = ProcessPoolBackend(max_workers=2)
+        result = PartitionMKLSearch(backend=backend).search_exhaustive(
+            workload.X, workload.y, (0, 1)
+        )
+        assert result.wire["envelope_bytes_out"] > 0
+        assert result.wire["envelope_bytes_in"] > 0
+        assert result.wire["n_tasks"] > 0
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker subprocesses (the CLI path the quickstart example uses)
+# ---------------------------------------------------------------------------
+
+
+class TestLocalWorkerProcesses:
+    def test_quickstart_against_subprocess_workers(self, workload):
+        with spawn_local_workers(2) as cluster:
+            assert len(cluster.addresses) == 2
+            remote = PartitionMKLSearch(
+                backend="sockets", workers=cluster.addresses
+            )
+            serial = PartitionMKLSearch()
+            rr = remote.search_exhaustive(workload.X, workload.y, (0, 1))
+            rs = serial.search_exhaustive(workload.X, workload.y, (0, 1))
+            assert rr.best_partition == rs.best_partition
+            assert rr.best_score == rs.best_score
+            assert rr.n_matrix_ops == rs.n_matrix_ops
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            spawn_local_workers(0)
+
+    def test_handle_is_context_manager(self):
+        cluster = spawn_local_workers(1)
+        assert isinstance(cluster, LocalWorkers)
+        cluster.stop()
+        for process in cluster.processes:
+            assert process.poll() is not None
