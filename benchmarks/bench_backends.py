@@ -3,12 +3,12 @@
 Runs the same exhaustive cone enumeration (seed block ``(0, 1)``,
 rest of 6 features => Bell(6) = 203 configurations) used by
 ``bench_partition_mkl`` through every shipped evaluation backend —
-including the networked ``sockets`` backend against two localhost
-worker *subprocesses* — and records, per backend: wall clock,
-evaluation count, the exact O(n²) op ledger, and the wire ledger
-(envelope bytes out/in per search; for the placement-aware sharded
-run, placement traffic and worker-resident strip bytes).  Asserts the
-distribution contract along the way:
+including the networked ``sockets`` backend against localhost worker
+*subprocesses* — and records, per backend: wall clock, evaluation
+count, the exact O(n²) op ledger, and the wire ledger (envelope bytes
+out/in per search; for the placement-aware sharded runs, placement
+traffic and worker-resident strip bytes).  Asserts the distribution
+contract along the way:
 
 * ``processes`` **and** ``sockets`` optima and per-partition scores
   are **bit-identical** to ``serial`` (scalar envelopes ship the exact
@@ -19,6 +19,19 @@ distribution contract along the way:
   matrix ever materialises on one node; in the placement-aware run the
   strips are resident on the *workers*, and their bytes are recorded
   as evidence.
+
+Two resilience sections record the cost of the fault-tolerance layer:
+
+* ``worker_sweep`` — the placed search over 1, 2 and 4 worker
+  subprocesses with the heartbeat monitor on, so the per-search
+  heartbeat/placement byte overhead is on the record alongside the
+  parity evidence (the container is 1-CPU, so wall-clocks show
+  transport overhead, not speedup);
+* ``resilience`` — a 3-worker placed run with shared-secret frame
+  authentication, heartbeats, and a worker *killed mid-search*: the
+  scores stay bit-identical to the in-process sharded reference while
+  the ledger records the auth overhead, the replica promotion, and the
+  bytes re-replication shipped to restore redundancy.
 
 Writes ``BENCH_backends.json`` at the repo root (cited by README.md).
 
@@ -31,7 +44,13 @@ import time
 from pathlib import Path
 
 from repro.cluster import SocketBackend, spawn_local_workers
-from repro.engine import ProcessPoolBackend, ShardedGramCache, ThreadPoolBackend
+from repro.combinatorics import cone_partitions
+from repro.engine import (
+    KernelEvaluationEngine,
+    ProcessPoolBackend,
+    ShardedGramCache,
+    ThreadPoolBackend,
+)
 from repro.iot import FacetSpec, make_faceted_classification
 from repro.mkl import PartitionMKLSearch
 
@@ -44,6 +63,8 @@ SPECS = [
     FacetSpec("b", 2, signal="radial", weight=1.0),
     FacetSpec("noise", 4, role="noise"),
 ]
+SWEEP_WORKERS = (1, 2, 4)
+RESILIENCE_SECRET = "bench-resilience-secret"
 
 
 def _workload():
@@ -60,15 +81,28 @@ def _row(result, elapsed: float) -> dict:
         "best_score": result.best_score,
     }
     if result.wire is not None:
-        row["wire"] = {
-            key: value
-            for key, value in result.wire.items()
-            if key.endswith("bytes_out")
-            or key.endswith("bytes_in")
-            or key.startswith("strip_bytes")
-            or key in ("n_tasks", "n_gathers")
-        }
+        row["wire"] = _wire_row(result.wire)
     return row
+
+
+def _wire_row(wire: dict) -> dict:
+    return {
+        key: value
+        for key, value in wire.items()
+        if key.endswith("bytes_out")
+        or key.endswith("bytes_in")
+        or key.startswith("strip_bytes")
+        or key
+        in (
+            "n_tasks",
+            "n_gathers",
+            "n_heartbeats",
+            "n_evicted",
+            "n_promotions",
+            "n_replicated_strips",
+            "n_strip_rebuilds",
+        )
+    }
 
 
 def _timed_search(workload, **search_kwargs):
@@ -146,6 +180,89 @@ def run() -> dict:
     assert sharded.best_partition == serial.best_partition
     assert abs(sharded.best_score - serial.best_score) < 1e-9
 
+    # Worker-count sweep: the placed search over growing fleets with
+    # the heartbeat monitor on — the per-search cost of liveness and
+    # placement is the evidence, not the 1-CPU wall-clock.
+    sweep: dict[str, dict] = {}
+    for n_workers in SWEEP_WORKERS:
+        with spawn_local_workers(n_workers) as cluster:
+            # Generous eviction deadline: the container is 1-CPU, so a
+            # healthy worker busy unpickling MSG_INIT can legitimately
+            # miss a tight pong deadline under CI load.
+            sweep_backend = SocketBackend(
+                workers=cluster.addresses,
+                heartbeat_interval=0.1,
+                heartbeat_timeout=5.0,
+            )
+            sweep_search = PartitionMKLSearch(
+                engine_mode="incremental", backend=sweep_backend, shards=4
+            )
+            start = time.perf_counter()
+            swept = sweep_search.search(
+                workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
+            )
+            swept_s = time.perf_counter() - start
+            sweep_backend.close()
+        assert swept.best_partition == serial.best_partition
+        assert swept.n_matrix_ops == serial.n_matrix_ops
+        assert swept.wire["n_gathers"] == 0
+        assert swept.wire["n_evicted"] == 0
+        sweep[f"sockets({n_workers})+placed(4)"] = _row(swept, swept_s)
+
+    # Resilience under fire: authenticated frames, heartbeats, and a
+    # worker hard-killed mid-search.  Scores must stay bit-identical to
+    # the in-process sharded reference while the ledger records what
+    # the recovery cost: replica promotion, re-replicated strip bytes,
+    # and the per-frame auth overhead.
+    picks = list(
+        cone_partitions(SEED_BLOCK, tuple(range(2, workload.n_features)))
+    )
+    sharded_ref = KernelEvaluationEngine(
+        workload.X,
+        workload.y,
+        gram_cache=ShardedGramCache(workload.X, n_shards=4),
+    )
+    expected_scores = sharded_ref.score_batch(picks)
+    with spawn_local_workers(3, secret=RESILIENCE_SECRET) as cluster:
+        resilient_backend = SocketBackend(
+            workers=cluster.addresses,
+            secret=RESILIENCE_SECRET,
+            heartbeat_interval=0.1,
+            heartbeat_timeout=5.0,
+            replication=2,
+        )
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=resilient_backend, shards=4
+        )
+        start = time.perf_counter()
+        resilient_scores = list(engine.score_batch(picks[:5]))
+        cluster.kill(0)  # hard-kill a strip owner mid-search
+        resilient_scores += engine.score_batch(picks[5:])
+        engine.gram_cache.wait_replication(timeout=60.0)
+        resilient_s = time.perf_counter() - start
+        resilience_wire = engine.wire_stats
+        resilient_backend.close()
+    assert resilient_scores == expected_scores, (
+        "resilient placed scores must be bit-identical to the in-process "
+        "sharded reference, dead strip owner included"
+    )
+    assert resilience_wire["n_promotions"] >= 1
+    assert resilience_wire["n_strip_rebuilds"] == 0
+    assert resilience_wire["n_replicated_strips"] >= 1
+    assert resilience_wire["replication_bytes_out"] > 0
+    assert resilience_wire["auth_bytes_out"] > 0
+    assert resilience_wire["n_gathers"] == 0
+    resilience = {
+        "workers": 3,
+        "replication": 2,
+        "fault": "strip owner killed after 5 of "
+        f"{len(picks)} configurations",
+        "wall_clock_s": resilient_s,
+        "n_evaluations": len(picks),
+        "scores_bit_identical_to_sharded": True,
+        "wire": _wire_row(resilience_wire),
+    }
+
     return {
         "benchmark": "bench_backends",
         "workload": f"2+2 facets + 4 noise, n={N_SAMPLES}, rest={rest_size}",
@@ -159,6 +276,8 @@ def run() -> dict:
             "sockets(2)": _row(sockets, sockets_s),
             "sockets(2)+placed(4)": _row(placed, placed_s),
         },
+        "worker_sweep": sweep,
+        "resilience": resilience,
         "parity": {
             "processes_scores_bit_identical_to_serial": True,
             "sockets_scores_bit_identical_to_serial": True,
@@ -209,6 +328,21 @@ def print_report() -> None:
         f"  gathers={sharded['n_full_gram_materialisations']}"
         f"  max strip rows={sharded['max_rows_on_one_shard']}"
         f"/{sharded['n_rows_total']}"
+    )
+    for name, row in report["worker_sweep"].items():
+        wire = row["wire"]
+        print(
+            f"  {name:<22} {row['wall_clock_s']:.3f}s"
+            f"  heartbeat={wire['heartbeat_bytes_out']}B"
+            f"  placement={wire['placement_bytes_out']}B out"
+        )
+    resilience = report["resilience"]
+    wire = resilience["wire"]
+    print(
+        f"  resilience({resilience['workers']}w,r={resilience['replication']})"
+        f"  {resilience['wall_clock_s']:.3f}s  promotions={wire['n_promotions']}"
+        f"  re-replicated={wire['replication_bytes_out']}B"
+        f"  auth={wire['auth_bytes_out']}B  ({resilience['fault']})"
     )
     print(
         "  processes scores bit-identical to serial; op ledgers equal; "

@@ -19,15 +19,24 @@ The pieces, bottom up:
   pipelines envelope submission, aggregates op counters exactly, and
   reassigns a dead worker's outstanding envelopes to the survivors
   (:class:`~repro.engine.tasks.WorkerCrashError` once the whole fleet
-  is gone and reconnect rounds are exhausted);
+  is gone and reconnect rounds are exhausted); with
+  ``heartbeat_interval`` set, a monitor thread evicts *hung* workers
+  (silent, not just disconnected) mid-pipeline, and with ``secret``
+  set every frame on every link carries a shared-secret HMAC trailer
+  (tampered/replayed/unauthenticated frames rejected loudly);
 * :class:`~repro.cluster.backend.SocketBackend` — the
   ``backend="sockets"`` registry entry (``supports_tasks = True``), so
   every engine-driven search gains networked execution with no API
   change beyond ``backend=``/``workers=``;
 * :mod:`~repro.cluster.placement` — :class:`ShardPlacement` pins each
-  block-row strip to an owning worker; strips are built, centred and
-  kept **resident worker-side**, with only O(n) vectors and scalars
-  travelling per block, bit-identical to the in-process sharded caches.
+  block-row strip to ``replication`` holding workers (default 2);
+  strips are built, centred and kept **resident worker-side**, with
+  only O(n) vectors and scalars travelling per block, bit-identical to
+  the in-process sharded caches.  A dead strip owner is replaced by
+  promoting a replica (no rebuild, ``n_gathers`` still 0) and the
+  replication factor is restored by background re-replication;
+  ``replication=1`` falls back to an *explicit* rebuild on a survivor,
+  and total strip loss raises :class:`StripLossError`.
 
 Parity invariant (enforced by ``tests/test_cluster.py`` and the
 backend benchmark): a search over real sockets returns bit-identical
@@ -43,18 +52,24 @@ from repro.cluster.placement import (
     PlacedBlockStatsCache,
     PlacedGramCache,
     ShardPlacement,
+    StripLossError,
 )
 from repro.cluster.protocol import (
+    AuthenticationError,
     ConnectionClosed,
+    FrameAuth,
     ProtocolError,
+    encode_frame,
     recv_frame,
     send_frame,
 )
 from repro.cluster.worker import WorkerServer
 
 __all__ = [
+    "AuthenticationError",
     "Coordinator",
     "ConnectionClosed",
+    "FrameAuth",
     "LocalWorkers",
     "PlacedBlockStatsCache",
     "PlacedGramCache",
@@ -62,8 +77,10 @@ __all__ = [
     "RemoteTaskError",
     "ShardPlacement",
     "SocketBackend",
+    "StripLossError",
     "WorkerLink",
     "WorkerServer",
+    "encode_frame",
     "recv_frame",
     "send_frame",
     "spawn_local_workers",

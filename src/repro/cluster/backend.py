@@ -11,13 +11,27 @@ engine's backend registry under ``"sockets"``::
     search = PartitionMKLSearch(backend="sockets",
                                 workers=["127.0.0.1:9701", "127.0.0.1:9702"])
 
+Resilience knobs (threaded through the engine's ``backend_options=``):
+
+* ``secret=`` — shared-secret HMAC on every frame of every connection
+  (:mod:`repro.cluster.protocol`); per-frame overhead is booked in the
+  wire ledger as ``auth_bytes_*``;
+* ``heartbeat_interval=`` / ``heartbeat_timeout=`` — liveness pings on
+  dedicated monitor connections; a silent worker is evicted without
+  waiting for a send/recv to fail (``heartbeat_bytes_*``,
+  ``n_evicted``);
+* ``replication=`` — strip replication factor for placement-aware
+  sharding (default 2): a dead strip owner is replaced by promoting a
+  replica, and the background re-replication restoring the factor is
+  booked as ``replication_bytes_*`` / ``n_replicated_strips``.
+
 Additionally exposes ``make_placed_cache`` — the hook the engine uses
 when ``shards=`` is combined with this backend — returning a
 :class:`~repro.cluster.placement.PlacedGramCache` whose row strips are
 built and kept resident on the workers, and ``wire_stats()`` — the
 per-search wire ledger (envelope bytes out/in, placement bytes,
-worker-resident strip bytes) the engine surfaces on every
-``SearchResult``.
+heartbeat/auth/replication overhead, worker-resident strip bytes) the
+engine surfaces on every ``SearchResult``.
 """
 
 from __future__ import annotations
@@ -59,6 +73,18 @@ class SocketBackend:
         outstanding envelopes are reassigned to the survivors).
     window:
         Envelopes outstanding per worker (pipelining depth).
+    secret:
+        Shared secret for per-frame HMAC authentication; every worker
+        must be started with the same secret.  ``None`` (default)
+        speaks the exact unauthenticated protocol — zero overhead.
+    heartbeat_interval, heartbeat_timeout:
+        Liveness monitor cadence and eviction deadline (see
+        :class:`~repro.cluster.coordinator.Coordinator`); ``None``
+        disables the monitor.
+    replication:
+        Strip replication factor for placement-aware sharding;
+        ``None`` defaults to ``min(2, n_workers)`` so a single strip
+        owner death is survivable out of the box.
     """
 
     name = "sockets"
@@ -73,10 +99,15 @@ class SocketBackend:
         connect_timeout: float = 10.0,
         io_timeout: float | None = 120.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        secret: str | bytes | None = None,
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
+        replication: int | None = None,
     ):
         if max_task_bytes < 1:
             raise ValueError("max_task_bytes must be positive")
         self.max_task_bytes = int(max_task_bytes)
+        self.replication = replication
         self.coordinator = Coordinator(
             workers,
             retries=retries,
@@ -84,6 +115,9 @@ class SocketBackend:
             connect_timeout=connect_timeout,
             io_timeout=io_timeout,
             max_frame_bytes=max_frame_bytes,
+            secret=secret,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
         )
         self._placed_caches: list[PlacedGramCache] = []
 
@@ -149,6 +183,7 @@ class SocketBackend:
             normalize,
             n_shards=n_shards,
             placement=placement,
+            replication=None if placement is not None else self.replication,
         )
         self._placed_caches.append(cache)
         return cache
@@ -156,7 +191,8 @@ class SocketBackend:
     # -- accounting ----------------------------------------------------
 
     def wire_stats(self) -> dict[str, Any]:
-        """Wire ledger: envelope/placement bytes plus strip residency."""
+        """Wire ledger: envelope/placement/resilience bytes plus strip
+        residency, promotion, re-replication and rebuild counts."""
         stats = self.coordinator.wire_stats()
         resident = {}
         for cache in self._placed_caches:
@@ -166,7 +202,14 @@ class SocketBackend:
         stats["strip_bytes_resident_max_worker"] = (
             max(resident.values()) if resident else 0
         )
-        stats["n_gathers"] = sum(
-            cache.n_gathers for cache in self._placed_caches
-        )
+        for counter in (
+            "n_gathers",
+            "n_promotions",
+            "n_replicated_strips",
+            "n_replication_failures",
+            "n_strip_rebuilds",
+        ):
+            stats[counter] = sum(
+                getattr(cache, counter) for cache in self._placed_caches
+            )
         return stats

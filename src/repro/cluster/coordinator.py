@@ -8,13 +8,23 @@ FIFO order, so results need no sequence numbers), plus a lazily opened
 **placement connection** per worker for the request/reply shard-
 ownership traffic (kept separate so a placement request can never read
 a task result off the stream, even when a prefetch thread warms
-statistics while a batch is in flight).
+statistics while a batch is in flight), plus — when re-replication is
+active — a **replication connection** per worker so strip copies never
+interleave with foreground placement requests.
 
-Fault model, mirroring :class:`~repro.engine.backends.ProcessPoolBackend`:
+Fault model, extending :class:`~repro.engine.backends.ProcessPoolBackend`:
 
 * a worker that disconnects (crash, kill, network) has its outstanding
   envelopes **reassigned** to the surviving workers — task scoring is
   pure and deterministic, so rescoring is always safe;
+* with ``heartbeat_interval`` set, a dedicated monitor thread pings
+  every worker over its own connection; a worker that stops answering
+  within ``heartbeat_timeout`` is **evicted** — its sockets are aborted
+  so any blocked send/recv wakes immediately — which catches *hung*
+  nodes (accepting connections, never replying), not just crashed ones;
+* every detected death (synchronous or heartbeat) notifies registered
+  **death listeners** exactly once per worker life — the hook the
+  placement layer uses to promote replica strip owners;
 * when *no* workers survive, the coordinator attempts up to ``retries``
   reconnect rounds over every registered address before raising
   :class:`~repro.engine.tasks.WorkerCrashError`;
@@ -22,10 +32,15 @@ Fault model, mirroring :class:`~repro.engine.backends.ProcessPoolBackend`:
   immediately — a task that poisons workers must not cascade through
   the fleet via reassignment.
 
+With ``secret`` set, every frame on every link carries the shared-
+secret HMAC trailer (:class:`~repro.cluster.protocol.FrameAuth`); the
+per-frame overhead is booked separately (``auth_bytes_*``) so the
+ledger shows the cost of authentication, not just the totals.
+
 Every link counts its wire bytes per accounting bucket (``envelope``
-vs ``placement`` vs ``control``, headers included);
-:meth:`Coordinator.wire_stats` aggregates them — the evidence
-``BENCH_backends.json`` records.
+vs ``placement`` vs ``heartbeat`` vs ``replication``, headers
+included); :meth:`Coordinator.wire_stats` aggregates them — the
+evidence ``BENCH_backends.json`` records.
 """
 
 from __future__ import annotations
@@ -33,7 +48,7 @@ from __future__ import annotations
 import socket
 import threading
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.cluster.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -44,7 +59,9 @@ from repro.cluster.protocol import (
     MSG_RESULT,
     MSG_SHUTDOWN,
     MSG_TASK,
+    FrameAuth,
     ProtocolError,
+    auth_overhead,
     load_payload,
     recv_frame,
     send_frame,
@@ -82,6 +99,7 @@ class WorkerLink:
         io_timeout: float | None = 120.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         bucket: str | None = None,
+        secret: str | bytes | None = None,
     ):
         self.host, self.port = parse_address(address)
         self.connect_timeout = connect_timeout
@@ -91,9 +109,13 @@ class WorkerLink:
         # (placement replies are generic MSG_OK frames, so the plane,
         # not the frame type, is the accounting truth).
         self.bucket = bucket
+        self.secret = secret
+        self._auth: FrameAuth | None = None
         self._sock: socket.socket | None = None
         self.bytes_out: dict[str, int] = {}
         self.bytes_in: dict[str, int] = {}
+        self.auth_bytes_out = 0
+        self.auth_bytes_in = 0
 
     @property
     def address(self) -> str:
@@ -111,28 +133,52 @@ class WorkerLink:
         )
         sock.settimeout(self.io_timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Nonces are per-connection stream state: a reconnect starts a
+        # fresh authenticator on both ends.
+        self._auth = FrameAuth(self.secret) if self.secret else None
         self._sock = sock
 
     def close(self) -> None:
         sock, self._sock = self._sock, None
+        self._auth = None
         if sock is not None:
             try:
                 sock.close()
             except OSError:
                 pass
 
+    def abort(self) -> None:
+        """Shut the socket down without closing it (safe cross-thread).
+
+        Any thread blocked in ``send``/``recv`` on this link wakes with
+        an :class:`OSError`/:class:`ConnectionClosed` and runs the
+        normal death path — the heartbeat monitor's eviction lever.
+        """
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
     def send(self, msg_type: int, payload: bytes) -> None:
         self.connect()
-        sent = send_frame(self._sock, msg_type, payload)
+        sent = send_frame(self._sock, msg_type, payload, auth=self._auth)
         bucket = self.bucket or wire_category(msg_type)
         self.bytes_out[bucket] = self.bytes_out.get(bucket, 0) + sent
+        if self._auth is not None:
+            self.auth_bytes_out += auth_overhead()
 
     def recv(self) -> tuple[int, bytes]:
         if self._sock is None:
             raise ProtocolError("receiving on a closed link")
-        msg_type, payload, received = recv_frame(self._sock, self.max_frame_bytes)
+        msg_type, payload, received = recv_frame(
+            self._sock, self.max_frame_bytes, auth=self._auth
+        )
         bucket = self.bucket or wire_category(msg_type)
         self.bytes_in[bucket] = self.bytes_in.get(bucket, 0) + received
+        if self._auth is not None:
+            self.auth_bytes_in += auth_overhead()
         if msg_type == MSG_ERROR:
             raise RemoteTaskError(
                 f"worker {self.address} reported: {load_payload(payload)}"
@@ -154,8 +200,9 @@ class WorkerLink:
 class _TaskChannel:
     """A worker's task-plane state: its link and outstanding envelopes."""
 
-    def __init__(self, link: WorkerLink):
+    def __init__(self, link: WorkerLink, index: int):
         self.link = link
+        self.index = index
         # (task index, payload) in submission order == reply order.
         self.outstanding: deque[tuple[int, bytes]] = deque()
 
@@ -178,6 +225,17 @@ class Coordinator:
     window:
         Envelopes kept outstanding per worker; 2 keeps each worker
         busy while its previous result is in flight.
+    secret:
+        Shared secret for per-frame HMAC authentication on every link;
+        ``None`` (default) speaks the exact unauthenticated protocol.
+    heartbeat_interval:
+        Seconds between liveness pings to each worker on a dedicated
+        monitor connection; ``None`` (default) disables the monitor and
+        keeps PR-3 synchronous-failure detection only.
+    heartbeat_timeout:
+        Seconds a worker may take to answer a ping before it is evicted
+        (its sockets aborted, its envelopes reassigned).  Defaults to
+        ``2 * heartbeat_interval``.
     """
 
     def __init__(
@@ -188,6 +246,9 @@ class Coordinator:
         connect_timeout: float = 10.0,
         io_timeout: float | None = 120.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        secret: str | bytes | None = None,
+        heartbeat_interval: float | None = None,
+        heartbeat_timeout: float | None = None,
     ):
         addresses = [parse_address(w) for w in workers]
         if not addresses:
@@ -196,17 +257,31 @@ class Coordinator:
             raise ValueError("retries must be non-negative")
         if window < 1:
             raise ValueError("window must be positive")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive (or None)")
+        if secret is not None and not secret:
+            raise ValueError(
+                "secret must be non-empty; pass None to disable frame "
+                "authentication explicitly"
+            )
         self.retries = int(retries)
         self.window = int(window)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else (2.0 * heartbeat_interval if heartbeat_interval else None)
+        )
         self._link_options = dict(
             connect_timeout=connect_timeout,
             io_timeout=io_timeout,
             max_frame_bytes=max_frame_bytes,
+            secret=secret,
         )
         self._addresses = addresses
         self._channels = [
-            _TaskChannel(WorkerLink(addr, **self._link_options))
-            for addr in addresses
+            _TaskChannel(WorkerLink(addr, **self._link_options), index)
+            for index, addr in enumerate(addresses)
         ]
         self._dead: list[WorkerLink] = []
         # Placement links are opened lazily, one per worker, and every
@@ -215,10 +290,26 @@ class Coordinator:
         # them safely.
         self._placement_links: dict[int, WorkerLink] = {}
         self._placement_lock = threading.Lock()
+        # Replication links carry background strip copies on their own
+        # connections (and their own accounting bucket), serialised
+        # independently of the foreground placement plane.
+        self._replication_links: dict[int, WorkerLink] = {}
+        self._replication_lock = threading.Lock()
+        # Liveness state shared between the task plane, the heartbeat
+        # monitor, and death listeners.
+        self._state_lock = threading.Lock()
+        self._dead_indices: set[int] = set()
+        self._evicted_pending: set[int] = set()
+        self._death_listeners: list[Callable[[int], None]] = []
+        self._hb_thread: threading.Thread | None = None
+        self._hb_stop = threading.Event()
+        self._hb_links: dict[int, WorkerLink] = {}
         self.n_tasks = 0
         self.n_results = 0
         self.n_reassigned = 0
         self.n_reconnect_rounds = 0
+        self.n_heartbeats = 0
+        self.n_evicted = 0
 
     # -- fleet bookkeeping ---------------------------------------------
 
@@ -231,28 +322,165 @@ class Coordinator:
     def n_live_workers(self) -> int:
         return len(self._channels)
 
+    def worker_is_dead(self, worker_index: int) -> bool:
+        with self._state_lock:
+            return worker_index in self._dead_indices
+
+    def live_worker_indices(self) -> tuple[int, ...]:
+        """Registered workers not currently known to be dead."""
+        with self._state_lock:
+            return tuple(
+                i for i in range(len(self._addresses))
+                if i not in self._dead_indices
+            )
+
+    def add_death_listener(self, listener: Callable[[int], None]) -> None:
+        """Call ``listener(worker_index)`` once per detected worker death.
+
+        Listeners run on whichever thread detected the death (task
+        plane, placement plane, or the heartbeat monitor) and must be
+        quick and non-blocking — bookkeeping, not network I/O.
+        """
+        with self._state_lock:
+            self._death_listeners.append(listener)
+
+    def remove_death_listener(self, listener: Callable[[int], None]) -> None:
+        """Unregister a death listener (no-op if absent)."""
+        with self._state_lock:
+            try:
+                self._death_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _mark_dead(self, worker_index: int) -> None:
+        """Record a death and notify listeners (once per worker life)."""
+        with self._state_lock:
+            if worker_index in self._dead_indices:
+                return
+            self._dead_indices.add(worker_index)
+            listeners = list(self._death_listeners)
+        # Abort the worker's auxiliary links so any thread blocked on
+        # them (placement fan-out, replication copy) wakes immediately.
+        for registry in (self._placement_links, self._replication_links):
+            link = registry.get(worker_index)
+            if link is not None:
+                link.abort()
+        for listener in listeners:
+            listener(worker_index)
+
+    def _revive_all(self) -> None:
+        """Forget recorded deaths (fresh-batch / reconnect semantics)."""
+        with self._state_lock:
+            self._dead_indices.clear()
+            self._evicted_pending.clear()
+
     def connect(self) -> None:
         """Eagerly connect and ping every worker."""
         for channel in self._channels:
             channel.link.request(MSG_PING, b"", MSG_PONG)
+        self._ensure_heartbeat()
 
     def close(self) -> None:
         """Close every connection; the coordinator stays reusable."""
+        self._stop_heartbeat()
         for channel in self._channels:
             channel.link.close()
         with self._placement_lock:
             links, self._placement_links = self._placement_links.values(), {}
         for link in links:
             link.close()
+        with self._replication_lock:
+            links, self._replication_links = (
+                self._replication_links.values(), {},
+            )
+        for link in links:
+            link.close()
 
     def shutdown_workers(self) -> None:
         """Ask every live worker process to stop (examples, CI teardown)."""
+        self._stop_heartbeat()
         for channel in self._channels:
             try:
                 channel.link.request(MSG_SHUTDOWN, b"", MSG_OK)
             except (ProtocolError, OSError):
                 pass
             channel.link.close()
+
+    # -- heartbeat liveness --------------------------------------------
+
+    def _ensure_heartbeat(self) -> None:
+        """Start the liveness monitor (idempotent; no-op when disabled)."""
+        if self.heartbeat_interval is None:
+            return
+        with self._state_lock:
+            if self._hb_thread is not None and self._hb_thread.is_alive():
+                return
+            self._hb_stop = threading.Event()
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="cluster-heartbeat",
+                daemon=True,
+            )
+            self._hb_thread.start()
+
+    def _stop_heartbeat(self) -> None:
+        thread = self._hb_thread
+        if thread is not None:
+            self._hb_stop.set()
+            thread.join(timeout=10.0)
+            self._hb_thread = None
+        with self._state_lock:
+            links, self._hb_links = list(self._hb_links.values()), {}
+        for link in links:
+            link.close()
+
+    def _heartbeat_loop(self) -> None:
+        stop = self._hb_stop
+        while not stop.wait(self.heartbeat_interval):
+            for index, address in enumerate(self._addresses):
+                if stop.is_set():
+                    return
+                if self.worker_is_dead(index):
+                    continue
+                link = self._hb_links.get(index)
+                if link is None:
+                    link = WorkerLink(
+                        address,
+                        connect_timeout=self.heartbeat_timeout,
+                        io_timeout=self.heartbeat_timeout,
+                        max_frame_bytes=self._link_options["max_frame_bytes"],
+                        secret=self._link_options["secret"],
+                        bucket="heartbeat",
+                    )
+                    # Registry writes are serialised with wire_stats
+                    # readers; link I/O itself stays outside the lock.
+                    with self._state_lock:
+                        self._hb_links[index] = link
+                try:
+                    link.request(MSG_PING, b"", MSG_PONG)
+                    self.n_heartbeats += 1
+                except (ProtocolError, OSError):
+                    link.close()
+                    self._evict(index)
+
+    def _evict(self, worker_index: int) -> None:
+        """A worker went silent: abort its links, reassign its work.
+
+        Called by the heartbeat monitor.  The task plane's own thread
+        performs the actual channel burial (``_handle_death``) when it
+        next touches the channel — either immediately, woken by the
+        abort, or at the next submission — so the channel list is only
+        ever mutated from one thread.
+        """
+        self.n_evicted += 1
+        with self._state_lock:
+            self._evicted_pending.add(worker_index)
+        for channel in list(self._channels):
+            if channel.index == worker_index:
+                channel.link.abort()
+        self._mark_dead(worker_index)
+
+    # -- placement plane -----------------------------------------------
 
     def _placement_link(self, worker_index: int) -> WorkerLink:
         """The worker's placement link (caller holds ``_placement_lock``)."""
@@ -269,11 +497,23 @@ class Coordinator:
     def placement_request(
         self, worker_index: int, msg_type: int, payload: bytes
     ) -> bytes:
-        """One serialised request/reply on a worker's placement plane."""
+        """One serialised request/reply on a worker's placement plane.
+
+        A transport failure marks the worker dead (notifying death
+        listeners) before re-raising, so the caller retries against an
+        already-updated placement.
+        """
+        self._ensure_heartbeat()
         with self._placement_lock:
-            return self._placement_link(worker_index).request(
-                msg_type, payload, MSG_OK
-            )
+            link = self._placement_link(worker_index)
+            try:
+                return link.request(msg_type, payload, MSG_OK)
+            except (ProtocolError, OSError):
+                link.close()
+                self._placement_links.pop(worker_index, None)
+                self._dead.append(link)
+                self._mark_dead(worker_index)
+                raise
 
     def placement_fan_out(
         self, worker_indices: Sequence[int], msg_type: int, payload: bytes
@@ -285,21 +525,97 @@ class Coordinator:
         placement layer distributes) run concurrently instead of one
         worker at a time; each link is strict request/reply FIFO, so
         the pairing stays unambiguous.
+
+        Workers that fail mid-exchange are marked dead (death listeners
+        run, so replica promotion happens *before* this returns) and
+        simply omitted from the reply dict — the caller decides whether
+        the survivors cover its needs or a retry is required.  An
+        application error (``MSG_ERROR``) is re-raised, but only after
+        every other sent link's reply has been received — leaving
+        replies buffered would desync those links' request/reply FIFO
+        for every later exchange.
         """
+        self._ensure_heartbeat()
         with self._placement_lock:
-            links = {w: self._placement_link(w) for w in worker_indices}
-            for worker in worker_indices:
-                links[worker].send(msg_type, payload)
             replies: dict[int, bytes] = {}
+            sent: list[int] = []
+            first_error: Exception | None = None
             for worker in worker_indices:
-                got, reply = links[worker].recv()
+                link = self._placement_link(worker)
+                try:
+                    link.send(msg_type, payload)
+                except (ProtocolError, OSError):
+                    self._bury_placement_link(worker)
+                    continue
+                sent.append(worker)
+            for worker in sent:
+                link = self._placement_links.get(worker)
+                if link is None:
+                    continue
+                try:
+                    got, reply = link.recv()
+                except RemoteTaskError as error:
+                    # The error frame consumed this link's reply slot;
+                    # the link stays in sync.  Keep draining the rest.
+                    if first_error is None:
+                        first_error = error
+                    continue
+                except (ProtocolError, OSError):
+                    self._bury_placement_link(worker)
+                    continue
                 if got != MSG_OK:
-                    raise ProtocolError(
-                        f"worker {links[worker].address} answered frame "
-                        f"type {got} on the placement plane, expected OK"
-                    )
+                    # Unexpected frame type: this link's stream can no
+                    # longer be trusted — bury it (a fresh link is made
+                    # on next use) and keep draining the others.
+                    self._bury_placement_link(worker)
+                    if first_error is None:
+                        first_error = ProtocolError(
+                            f"worker {link.address} answered frame "
+                            f"type {got} on the placement plane, expected OK"
+                        )
+                    continue
                 replies[worker] = reply
+            if first_error is not None:
+                raise first_error
             return replies
+
+    def _bury_placement_link(self, worker_index: int) -> None:
+        """Close a failed placement link and record the death (caller
+        holds ``_placement_lock``)."""
+        link = self._placement_links.pop(worker_index, None)
+        if link is not None:
+            link.close()
+            self._dead.append(link)
+        self._mark_dead(worker_index)
+
+    # -- replication plane ---------------------------------------------
+
+    def replication_request(
+        self, worker_index: int, msg_type: int, payload: bytes
+    ) -> bytes:
+        """One request/reply on a worker's replication connection.
+
+        Strip copies ride their own per-worker link (bucket
+        ``replication``) so background re-replication never interleaves
+        with — or blocks behind — foreground placement requests.
+        """
+        with self._replication_lock:
+            link = self._replication_links.get(worker_index)
+            if link is None:
+                link = WorkerLink(
+                    self._addresses[worker_index],
+                    bucket="replication",
+                    **self._link_options,
+                )
+                self._replication_links[worker_index] = link
+            try:
+                return link.request(msg_type, payload, MSG_OK)
+            except (ProtocolError, OSError):
+                link.close()
+                self._replication_links.pop(worker_index, None)
+                self._dead.append(link)
+                self._mark_dead(worker_index)
+                raise
 
     # -- wire accounting -----------------------------------------------
 
@@ -307,14 +623,24 @@ class Coordinator:
         """Aggregate per-bucket wire bytes across all links (ever used)."""
         totals_out: dict[str, int] = {}
         totals_in: dict[str, int] = {}
+        auth_out = auth_in = 0
         links = [c.link for c in self._channels] + self._dead
+        with self._state_lock:
+            links += list(self._hb_links.values())
         with self._placement_lock:
             links += list(self._placement_links.values())
+        with self._replication_lock:
+            links += list(self._replication_links.values())
         for link in links:
-            for bucket, count in link.bytes_out.items():
+            # dict() snapshots are single C-level copies (atomic under
+            # the GIL); iterating the live dicts would race the
+            # heartbeat/replicator threads' first write of a bucket.
+            for bucket, count in dict(link.bytes_out).items():
                 totals_out[bucket] = totals_out.get(bucket, 0) + count
-            for bucket, count in link.bytes_in.items():
+            for bucket, count in dict(link.bytes_in).items():
                 totals_in[bucket] = totals_in.get(bucket, 0) + count
+            auth_out += link.auth_bytes_out
+            auth_in += link.auth_bytes_in
         return {
             "n_workers": self.n_workers,
             "n_live_workers": self.n_live_workers,
@@ -322,10 +648,18 @@ class Coordinator:
             "n_results": self.n_results,
             "n_reassigned": self.n_reassigned,
             "n_reconnect_rounds": self.n_reconnect_rounds,
+            "n_heartbeats": self.n_heartbeats,
+            "n_evicted": self.n_evicted,
             "envelope_bytes_out": totals_out.get("envelope", 0),
             "envelope_bytes_in": totals_in.get("envelope", 0),
             "placement_bytes_out": totals_out.get("placement", 0),
             "placement_bytes_in": totals_in.get("placement", 0),
+            "heartbeat_bytes_out": totals_out.get("heartbeat", 0),
+            "heartbeat_bytes_in": totals_in.get("heartbeat", 0),
+            "replication_bytes_out": totals_out.get("replication", 0),
+            "replication_bytes_in": totals_in.get("replication", 0),
+            "auth_bytes_out": auth_out,
+            "auth_bytes_in": auth_in,
         }
 
     # -- task plane ----------------------------------------------------
@@ -344,10 +678,12 @@ class Coordinator:
         registered address (workers restarted on the same ports are
         picked up automatically).
         """
+        self._ensure_heartbeat()
         if not self._channels:
+            self._revive_all()
             self._channels = [
-                _TaskChannel(WorkerLink(addr, **self._link_options))
-                for addr in self._addresses
+                _TaskChannel(WorkerLink(addr, **self._link_options), index)
+                for index, addr in enumerate(self._addresses)
             ]
         results: dict[int, tuple[list[float], int]] = {}
         requeue: deque[tuple[int, bytes]] = deque()
@@ -376,8 +712,25 @@ class Coordinator:
             channel.link.close()
             channel.outstanding.clear()
 
-    def _pick_channel(self) -> _TaskChannel:
+    def _purge_evicted(self, requeue: deque[tuple[int, bytes]]) -> None:
+        """Bury channels the heartbeat monitor marked for eviction.
+
+        Runs on the task-plane thread (the only mutator of
+        ``_channels``); the monitor itself only aborts sockets and
+        records indices.
+        """
+        with self._state_lock:
+            evicted = set(self._evicted_pending)
+        if not evicted:
+            return
+        for channel in [c for c in self._channels if c.index in evicted]:
+            self._handle_death(channel, requeue)
+        with self._state_lock:
+            self._evicted_pending -= evicted
+
+    def _pick_channel(self, requeue: deque[tuple[int, bytes]]) -> _TaskChannel:
         """Least-loaded live channel; reconnect the fleet if none."""
+        self._purge_evicted(requeue)
         attempts = 0
         while not self._channels:
             if attempts >= self.retries:
@@ -392,14 +745,25 @@ class Coordinator:
                 )
             attempts += 1
             self.n_reconnect_rounds += 1
-            for address in self._addresses:
-                link = WorkerLink(address, **self._link_options)
+            self._revive_all()
+            for index, address in enumerate(self._addresses):
+                # Probe with a short-deadline link so a hung (accepting
+                # but unresponsive) worker cannot wedge the reconnect
+                # round for the full io_timeout.
+                probe_options = dict(self._link_options)
+                probe_options["io_timeout"] = self._link_options[
+                    "connect_timeout"
+                ]
+                probe = WorkerLink(address, **probe_options)
                 try:
-                    link.request(MSG_PING, b"", MSG_PONG)
+                    probe.request(MSG_PING, b"", MSG_PONG)
                 except (ProtocolError, OSError):
-                    link.close()
+                    probe.close()
+                    self._mark_dead(index)
                     continue
-                self._channels.append(_TaskChannel(link))
+                probe.close()
+                link = WorkerLink(address, **self._link_options)
+                self._channels.append(_TaskChannel(link, index))
         return min(self._channels, key=len)
 
     def _handle_death(
@@ -415,6 +779,7 @@ class Coordinator:
         self.n_reassigned += len(channel.outstanding)
         requeue.extend(channel.outstanding)
         channel.outstanding.clear()
+        self._mark_dead(channel.index)
 
     def _submit(
         self,
@@ -423,7 +788,7 @@ class Coordinator:
         requeue: deque[tuple[int, bytes]],
     ) -> None:
         while True:
-            channel = self._pick_channel()
+            channel = self._pick_channel(requeue)
             if len(channel) >= self.window:
                 if not self._receive_one(channel, results, requeue):
                     continue  # that worker died; pick another

@@ -89,15 +89,25 @@ def _src_root() -> str:
 
 
 def spawn_local_workers(
-    n: int, host: str = "127.0.0.1", startup_timeout: float = 30.0
+    n: int,
+    host: str = "127.0.0.1",
+    startup_timeout: float = 30.0,
+    secret: str | None = None,
 ) -> LocalWorkers:
-    """Start ``n`` worker subprocesses on OS-assigned localhost ports."""
+    """Start ``n`` worker subprocesses on OS-assigned localhost ports.
+
+    ``secret`` enables shared-secret frame authentication on every
+    worker (delivered via the ``REPRO_CLUSTER_SECRET`` environment
+    variable, never argv); pass the same secret to the backend.
+    """
     if n < 1:
         raise ValueError("spawn at least one worker")
     env = dict(os.environ)
     src = _src_root()
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    if secret is not None:
+        env["REPRO_CLUSTER_SECRET"] = secret
     processes: list[subprocess.Popen] = []
     addresses: list[str] = []
     try:

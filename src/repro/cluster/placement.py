@@ -1,12 +1,14 @@
-"""Placement-aware sharding: workers own row strips end-to-end.
+"""Placement-aware sharding: workers hold row strips end-to-end.
 
 The in-process :class:`~repro.engine.cache.ShardedGramCache` proved
 the layout (per-shard row strips, rank-1 centred target, strip-wise
 scalar reductions) but kept every strip in one address space.  This
 module moves strip *ownership* onto the cluster workers:
 
-* :class:`ShardPlacement` maps each strip index to the worker that
-  owns it (round-robin by default, or an explicit assignment);
+* :class:`ShardPlacement` maps each strip index to the ordered set of
+  workers **holding** it — a primary owner plus ``replication - 1``
+  replicas (round-robin by default, or seeded from an explicit
+  primary assignment);
 * :class:`PlacedGramCache` / :class:`PlacedBlockStatsCache` are the
   coordinator-side facades with the same surface as the sharded
   caches (``strips`` are replaced by ownership; ``block_stats`` /
@@ -22,18 +24,49 @@ never re-shipped per task.  The one-time ``MSG_INIT`` ships the
 training sample to each worker, standing in for data that a real IoT
 deployment already has on the node that owns those rows.
 
+Failure model (the cluster-resilience subsystem):
+
+* every holder of a strip builds (and keeps) its copy during the
+  block fan-outs, so with ``replication >= 2`` a strip owner's death
+  costs nothing but a **promotion**: the next live holder becomes the
+  primary, reductions continue from its bit-identical copy, and the
+  search result — scores, op ledger, ``n_gathers == 0`` — is unchanged
+  (no fresh-cache rebuild);
+* a promotion leaves the strip *degraded* (fewer than ``replication``
+  live holders), so a background **re-replicator** copies the built
+  strips from a live holder to a survivor over dedicated replication
+  connections (``MSG_STRIP_STATE`` → ``MSG_STRIP_INSTALL``), restoring
+  the factor; the copied bytes are the ``replication_bytes_*`` ledger;
+* ``replication=1`` keeps no replicas by explicit choice, so a dead
+  owner's strips are *lost*; the next placement operation performs the
+  **explicit rebuild fallback** — warn, adopt the lost row slices on a
+  survivor, and rebuild the built blocks' strips there from the stored
+  scale/row statistics (``MSG_STRIP_REBUILD``, counted in
+  ``n_strip_rebuilds``).  This is the loud successor of the silent
+  fresh-cache rebuild PR 3 required;
+* when *every* holder of a strip is gone and replicas were requested,
+  :class:`StripLossError` (a
+  :class:`~repro.engine.tasks.WorkerCrashError`) is raised — resident
+  state cannot be silently recomputed when the caller paid for
+  redundancy and lost it.
+
 Numerical contract: every reduction happens in the same order and with
-the same expressions as ``ShardedBlockStatsCache``, so the scalars —
-and therefore every score — are **bit-identical** to an in-process
-sharded run with the same ``n_shards``.  The op ledger keeps the same
-logical schedule (2 target passes, 3 per block, 1 per pair;
-``n_gram_computations`` one per block), and ``n_gathers`` counts the
-deliberate full-Gram assemblies (final-model training only): a search
-keeps it at zero.
+the same expressions as ``ShardedBlockStatsCache`` and always reads
+the **primary** holder's scalars, so the values — and therefore every
+score — are **bit-identical** to an in-process sharded run with the
+same ``n_shards``, before and after promotions (replica copies are
+built by the same code on the same float64 inputs).  The op ledger
+keeps the same logical schedule (2 target passes, 3 per block, 1 per
+pair; ``n_gram_computations`` one per block), and ``n_gathers`` counts
+the deliberate full-Gram assemblies (final-model training only): a
+search keeps it at zero.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
+from collections import deque
 from collections.abc import Sequence
 
 import numpy as np
@@ -44,8 +77,12 @@ from repro.cluster.protocol import (
     MSG_BLOCK_SCALE,
     MSG_INIT,
     MSG_PAIR,
+    MSG_STRIP_INSTALL,
+    MSG_STRIP_REBUILD,
+    MSG_STRIP_STATE,
     MSG_STRIPS_FETCH,
     MSG_TARGET,
+    ProtocolError,
     dump_payload,
     load_payload,
 )
@@ -56,21 +93,41 @@ from repro.engine.cache import (
     canonical_block_key,
     shard_row_slices,
 )
+from repro.engine.tasks import WorkerCrashError
 from repro.kernels.base import as_2d
 from repro.kernels.partition_kernel import BlockKernelFactory, default_block_kernel
 
-__all__ = ["ShardPlacement", "PlacedGramCache", "PlacedBlockStatsCache"]
+__all__ = [
+    "ShardPlacement",
+    "PlacedGramCache",
+    "PlacedBlockStatsCache",
+    "StripLossError",
+]
 
 BlockKey = tuple[int, ...]
 
 
-class ShardPlacement:
-    """Assignment of strip indices to workers.
+class StripLossError(WorkerCrashError):
+    """Every holder of a replicated strip died before re-replication
+    could restore a copy — the resident state is gone and the search
+    cannot continue without recomputation the caller did not opt into
+    (``replication=1`` opts into the explicit rebuild fallback)."""
 
-    ``owners[s]`` is the index of the worker owning strip ``s``.  The
-    default is round-robin, which balances strips across the fleet;
-    pass ``owners`` explicitly to pin strips (e.g. to the node that
-    already holds those rows).
+
+class ShardPlacement:
+    """Assignment of strip indices to the workers holding them.
+
+    ``holders_of(s)`` is the ordered tuple of workers with strip ``s``
+    resident; the first is the **primary** (``owners[s]``) whose
+    scalars every reduction reads.  Each strip starts with
+    ``replication`` holders — the primary (round-robin by default, or
+    the explicit ``owners`` assignment) plus the next distinct workers
+    in index order — so ``replication - 1`` deaths are survivable per
+    strip without losing resident state.
+
+    The placement is *mutable*: :meth:`drop_worker` removes a dead
+    worker everywhere (promoting replicas where it was primary) and
+    :meth:`add_holder` publishes a re-replicated or rebuilt copy.
     """
 
     def __init__(
@@ -78,11 +135,19 @@ class ShardPlacement:
         n_shards: int,
         n_workers: int,
         owners: Sequence[int] | None = None,
+        replication: int | None = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be positive")
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
+        if replication is None:
+            replication = min(2, n_workers)
+        if not 1 <= replication <= n_workers:
+            raise ValueError(
+                f"replication must be in [1, n_workers={n_workers}], "
+                f"got {replication}"
+            )
         if owners is None:
             owners = [s % n_workers for s in range(n_shards)]
         owners = [int(o) for o in owners]
@@ -94,18 +159,76 @@ class ShardPlacement:
             raise ValueError("strip owner index outside the worker fleet")
         self.n_shards = int(n_shards)
         self.n_workers = int(n_workers)
-        self.owners = tuple(owners)
+        self.replication = int(replication)
+        self._holders: list[list[int]] = []
+        for primary in owners:
+            holders = [primary]
+            step = 1
+            while len(holders) < self.replication:
+                candidate = (primary + step) % n_workers
+                if candidate not in holders:
+                    holders.append(candidate)
+                step += 1
+            self._holders.append(holders)
+
+    @property
+    def owners(self) -> tuple[int | None, ...]:
+        """Primary holder per strip (``None`` for a lost strip)."""
+        return tuple(h[0] if h else None for h in self._holders)
+
+    def holders_of(self, strip: int) -> tuple[int, ...]:
+        """Workers holding the strip, primary first."""
+        return tuple(self._holders[strip])
 
     def strips_of(self, worker_index: int) -> tuple[int, ...]:
-        """Strip indices the worker owns (possibly empty)."""
+        """Strip indices the worker holds (primary or replica)."""
         return tuple(
-            s for s, owner in enumerate(self.owners) if owner == worker_index
+            s
+            for s, holders in enumerate(self._holders)
+            if worker_index in holders
         )
 
     @property
     def active_workers(self) -> tuple[int, ...]:
-        """Workers owning at least one strip, in index order."""
-        return tuple(sorted(set(self.owners)))
+        """Workers holding at least one strip, in index order."""
+        active: set[int] = set()
+        for holders in self._holders:
+            active.update(holders)
+        return tuple(sorted(active))
+
+    def drop_worker(self, worker_index: int) -> dict:
+        """Remove a dead worker from every holder list.
+
+        Returns ``{"promoted": {strip: new_primary}, "lost": (strips
+        with no holder left,), "degraded": (strips still held but below
+        the replication factor,)}``.  Idempotent: dropping a worker
+        that holds nothing returns empty results.
+        """
+        promoted: dict[int, int] = {}
+        lost: list[int] = []
+        degraded: list[int] = []
+        for s, holders in enumerate(self._holders):
+            if worker_index not in holders:
+                continue
+            was_primary = holders[0] == worker_index
+            holders.remove(worker_index)
+            if not holders:
+                lost.append(s)
+            else:
+                degraded.append(s)
+                if was_primary:
+                    promoted[s] = holders[0]
+        return {
+            "promoted": promoted,
+            "lost": tuple(lost),
+            "degraded": tuple(degraded),
+        }
+
+    def add_holder(self, strip: int, worker_index: int) -> None:
+        """Publish a new holder (re-replication or rebuild adopted it)."""
+        holders = self._holders[strip]
+        if worker_index not in holders:
+            holders.append(int(worker_index))
 
 
 class PlacedGramCache(_KeyLocked):
@@ -114,10 +237,22 @@ class PlacedGramCache(_KeyLocked):
     Same ledger surface as :class:`~repro.engine.cache.ShardedGramCache`
     (``n_gram_computations``, ``n_gathers``, ``row_slices``,
     ``max_strip_rows``, ``stats_cache``); the strips themselves live on
-    the owning workers.  ``gram()`` — the one deliberate full-matrix
+    the holding workers.  ``gram()`` — the one deliberate full-matrix
     assembly, for final-model training — fetches every strip once and
     counts a gather.
+
+    On construction the cache registers itself as a death listener on
+    the coordinator: a detected worker death immediately drops the
+    worker from the placement (promoting replicas) and queues the
+    degraded strips for background re-replication.
     """
+
+    #: Fan-out rounds attempted before declaring the placement
+    #: unreachable (each round re-targets the updated holder set).
+    MAX_FANOUT_ATTEMPTS = 4
+    #: Re-replication attempts per degraded strip before giving up
+    #: (the strip stays readable from its surviving holders).
+    MAX_REPLICATION_ATTEMPTS = 3
 
     def __init__(
         self,
@@ -127,6 +262,7 @@ class PlacedGramCache(_KeyLocked):
         normalize: bool = True,
         n_shards: int = 2,
         placement: ShardPlacement | None = None,
+        replication: int | None = None,
     ):
         super().__init__()
         self.coordinator = coordinator
@@ -136,27 +272,104 @@ class PlacedGramCache(_KeyLocked):
             raise ValueError(
                 f"n_shards must be in [1, n_samples={n}], got {n_shards}"
             )
+        if placement is not None and replication is not None:
+            raise ValueError("pass either placement or replication, not both")
         self.block_kernel = block_kernel
         self.normalize = normalize
         self.n_shards = int(n_shards)
         self.placement = placement or ShardPlacement(
-            self.n_shards, coordinator.n_workers
+            self.n_shards, coordinator.n_workers, replication=replication
         )
         if self.placement.n_shards != self.n_shards:
             raise ValueError("placement does not cover n_shards strips")
         self.row_slices = shard_row_slices(n, self.n_shards)
         self._initialised = False
+        self._initialised_workers: set[int] = set()
         # Per block: the global row-mean vector and grand mean of the
-        # (normalised) strips — the O(n) reduction centring needs.
+        # (normalised) strips — the O(n) reduction centring needs —
+        # plus the scale vector, kept so late-adopting holders (and the
+        # replication=1 rebuild) can reproduce the strips exactly.
         self._row_stats: dict[BlockKey, tuple[np.ndarray, float]] = {}
+        self._block_scale: dict[BlockKey, np.ndarray | None] = {}
+        # Resilience state: guarded by _data_lock, mutated by the death
+        # listener (any thread) and the re-replicator.  Lock order:
+        # coordinator plane locks before _data_lock, never the reverse
+        # — so no network I/O ever happens while _data_lock is held.
+        self._data_lock = threading.RLock()
+        self._lost_strips: set[int] = set()
+        self._repl_queue: deque[int] = deque()
+        self._repl_attempts: dict[int, int] = {}
+        self._repl_thread: threading.Thread | None = None
+        self._target_body: dict | None = None
+        self._target_workers: set[int] = set()
+        self._rebuild_warned = False
         self.n_gram_computations = 0
         self.n_gathers = 0
+        self.n_promotions = 0
+        self.n_replicated_strips = 0
+        self.n_replication_failures = 0
+        self.n_strip_rebuilds = 0
         self.resident_strip_bytes: dict[int, int] = {}
+        coordinator.add_death_listener(self._on_worker_death)
+        # A reused coordinator may already know some workers are dead —
+        # and it notifies each death only once per worker life, so a
+        # cache built afterwards must fold the standing deaths into its
+        # placement now or it would wait forever on dead primaries.
+        for index in range(coordinator.n_workers):
+            if coordinator.worker_is_dead(index):
+                self._on_worker_death(index)
+
+    def detach(self) -> None:
+        """Unhook this cache from the coordinator's death notifications.
+
+        Called when the search that owned the cache is over: a reused
+        backend keeps serving other searches, and a stale cache must
+        not keep promoting placements or shipping strip copies for
+        results nobody will read.  Idempotent.
+        """
+        self.coordinator.remove_death_listener(self._on_worker_death)
+        with self._data_lock:
+            self._repl_queue.clear()
 
     @property
     def max_strip_rows(self) -> int:
         """Largest row count any one strip (hence worker block) holds."""
         return max(sl.stop - sl.start for sl in self.row_slices)
+
+    # -- death handling -------------------------------------------------
+
+    def _on_worker_death(self, worker_index: int) -> None:
+        """Coordinator death listener: promote replicas, queue repairs.
+
+        Bookkeeping only (no network I/O — listeners may run under the
+        coordinator's plane locks): the placement is updated so the
+        very next reduction reads the promoted holders, and degraded
+        strips are queued for the background re-replicator.
+        """
+        with self._data_lock:
+            outcome = self.placement.drop_worker(worker_index)
+            self.n_promotions += len(outcome["promoted"])
+            self._lost_strips.update(outcome["lost"])
+            self._initialised_workers.discard(worker_index)
+            self._target_workers.discard(worker_index)
+            # A dead node's strips are gone; leaving its last reported
+            # residency in the ledger would overstate the evidence.
+            self.resident_strip_bytes.pop(worker_index, None)
+            repair = [
+                s for s in outcome["degraded"] if s not in self._repl_queue
+            ]
+            self._repl_queue.extend(repair)
+            should_kick = bool(repair) and self.placement.replication > 1
+        if should_kick:
+            self._kick_replicator()
+
+    def _live_holders(self, strip: int) -> list[int]:
+        """Live workers holding the strip (caller holds ``_data_lock``)."""
+        return [
+            w
+            for w in self.placement.holders_of(strip)
+            if not self.coordinator.worker_is_dead(w)
+        ]
 
     # -- placement-plane orchestration ---------------------------------
 
@@ -166,49 +379,142 @@ class PlacedGramCache(_KeyLocked):
         )
         return load_payload(reply)
 
-    def _fan_out(self, msg_type: int, body: dict) -> dict[int, dict]:
-        """One request to every strip-owning worker, computed concurrently.
+    def _fan_out(
+        self, msg_type: int, body: dict
+    ) -> tuple[dict[int, dict], tuple[int, ...]]:
+        """One request to every live strip holder, computed concurrently.
 
         All requests go out before any reply is awaited
         (:meth:`~repro.cluster.coordinator.Coordinator.placement_fan_out`),
         so per-strip O(n²) work overlaps across the fleet; the replies
         are then reduced coordinator-side in strip order regardless of
         completion order, keeping the sums bit-identical.
+
+        Holder deaths during the fan-out run the death listener (the
+        placement is promoted in place), the round is re-targeted at
+        the updated holder set, and the replayed requests answer from
+        resident state (the worker handlers are idempotent).  Only when
+        no round can reach a live holder for every strip does the
+        fan-out raise — :class:`StripLossError` for lost resident
+        state, :class:`~repro.engine.tasks.WorkerCrashError` when the
+        whole fleet is gone.
+
+        Returns ``(replies, owners)`` — the owner snapshot validated
+        against these replies, so reductions index a consistent view
+        even if another death lands right after the fan-out.
         """
-        replies = self.coordinator.placement_fan_out(
-            self.placement.active_workers, msg_type, dump_payload(body)
+        payload = dump_payload(body)
+        for _ in range(self.MAX_FANOUT_ATTEMPTS):
+            self._repair_lost_strips()
+            with self._data_lock:
+                targets = [
+                    w
+                    for w in self.placement.active_workers
+                    if not self.coordinator.worker_is_dead(w)
+                ]
+            if not targets:
+                raise WorkerCrashError(
+                    "no live strip holders remain in the placement"
+                )
+            raw = self.coordinator.placement_fan_out(targets, msg_type, payload)
+            replies = {w: load_payload(r) for w, r in raw.items()}
+            with self._data_lock:
+                owners = self.placement.owners
+            if all(o is not None and o in replies for o in owners):
+                return replies, owners
+        raise WorkerCrashError(
+            "placement fan-out could not reach a live holder for every "
+            f"strip after {self.MAX_FANOUT_ATTEMPTS} rounds"
         )
-        return {worker: load_payload(reply) for worker, reply in replies.items()}
 
     def ensure_init(self) -> None:
-        """Ship each worker its ownership state once (idempotent)."""
+        """Ship each holding worker its ownership state once (idempotent).
+
+        A holder that died before (or while) being initialised is
+        recorded dead — promoting its strips — and skipped; coverage is
+        enforced by the fan-outs that follow.
+        """
         with self._key_lock("__init__"):
             if self._initialised:
                 return
-            for worker in self.placement.active_workers:
-                slices = {
-                    s: self.row_slices[s]
-                    for s in self.placement.strips_of(worker)
-                }
-                self._request(
-                    worker,
-                    MSG_INIT,
-                    {
-                        "X": self.X,
-                        "block_kernel": self.block_kernel,
-                        "normalize": self.normalize,
-                        "slices": slices,
-                    },
-                )
+            with self._data_lock:
+                workers = list(self.placement.active_workers)
+            for worker in workers:
+                if self.coordinator.worker_is_dead(worker):
+                    continue
+                self._init_worker(worker, self._request)
             self._initialised = True
 
+    def _init_worker(self, worker: int, requester) -> bool:
+        """Send MSG_INIT (once) to a worker; False if it died."""
+        with self._data_lock:
+            if worker in self._initialised_workers:
+                return True
+            slices = {
+                s: self.row_slices[s] for s in self.placement.strips_of(worker)
+            }
+        try:
+            requester(
+                worker,
+                MSG_INIT,
+                {
+                    "X": self.X,
+                    "block_kernel": self.block_kernel,
+                    "normalize": self.normalize,
+                    "slices": slices,
+                },
+            )
+        except (ProtocolError, OSError):
+            return False
+        with self._data_lock:
+            self._initialised_workers.add(worker)
+        return True
+
+    def ship_target(self, centered_y: np.ndarray) -> None:
+        """Ship the centred target to every live holder (idempotent).
+
+        The payload is remembered so late adopters (re-replication
+        targets, rebuild survivors) receive it too — every holder must
+        be able to answer ``MSG_BLOCK_CENTER`` statistics.
+        """
+        with self._key_lock("__target__"):
+            if self._target_body is not None:
+                return
+            self.ensure_init()
+            body = {"centered_y": centered_y}
+            with self._data_lock:
+                workers = list(self.placement.active_workers)
+            shipped: set[int] = set()
+            for worker in workers:
+                if self.coordinator.worker_is_dead(worker):
+                    continue
+                try:
+                    self._request(worker, MSG_TARGET, body)
+                except (ProtocolError, OSError):
+                    continue
+                shipped.add(worker)
+            with self._data_lock:
+                self._target_body = body
+                self._target_workers |= shipped
+
+    def _ship_target_to(self, worker: int, requester) -> None:
+        """Forward the remembered target payload to a late adopter."""
+        with self._data_lock:
+            body = self._target_body
+            if body is None or worker in self._target_workers:
+                return
+        requester(worker, MSG_TARGET, body)
+        with self._data_lock:
+            self._target_workers.add(worker)
+
     def ensure_strips(self, block: Sequence[int]) -> tuple[np.ndarray, float]:
-        """Build (normalise) a block's strips worker-side, once.
+        """Build (normalise) a block's strips on every holder, once.
 
         Returns the block's global row means and grand mean — the O(n)
         reduction the stats cache needs for centring.  Reduction order
         matches ``ShardedGramCache`` exactly: diagonal segments and
-        row-mean segments are concatenated in strip order.
+        row-mean segments are concatenated in strip order, always from
+        the primary holder's reply.
         """
         key = canonical_block_key(block)
         cached = self._row_stats.get(key)
@@ -217,28 +523,248 @@ class PlacedGramCache(_KeyLocked):
         with self._key_lock(("strips", key)):
             if key not in self._row_stats:
                 self.ensure_init()
-                raw = self._fan_out(MSG_BLOCK_RAW, {"key": key})
+                raw, owners = self._fan_out(MSG_BLOCK_RAW, {"key": key})
                 scale = None
                 if self.normalize:
                     diagonal = np.concatenate(
-                        [
-                            raw[self.placement.owners[s]]["diag"][s]
-                            for s in range(self.n_shards)
-                        ]
+                        [raw[owners[s]]["diag"][s] for s in range(self.n_shards)]
                     )
                     scale = np.sqrt(np.clip(diagonal, 1e-12, None))
-                scaled = self._fan_out(MSG_BLOCK_SCALE, {"key": key, "scale": scale})
+                scaled, owners = self._fan_out(
+                    MSG_BLOCK_SCALE, {"key": key, "scale": scale}
+                )
                 row_means = np.concatenate(
                     [
-                        scaled[self.placement.owners[s]]["row_means"][s]
+                        scaled[owners[s]]["row_means"][s]
                         for s in range(self.n_shards)
                     ]
                 )
                 grand_mean = float(row_means.mean())
                 with self._lock:
                     self.n_gram_computations += 1
+                    self._block_scale[key] = scale
                     self._row_stats[key] = (row_means, grand_mean)
         return self._row_stats[key]
+
+    # -- resilience: repair paths --------------------------------------
+
+    def _repair_lost_strips(self) -> None:
+        """Handle strips whose every holder died.
+
+        ``replication=1`` opted out of redundancy, so the fallback is
+        explicit and loud: warn once, adopt the lost row slices on the
+        survivor with the fewest strips, and rebuild the already-built
+        blocks there from the stored scale/row statistics.  With
+        replicas requested, lost resident state is a hard error.
+        """
+        with self._data_lock:
+            lost = sorted(self._lost_strips)
+            replication = self.placement.replication
+        if not lost:
+            return
+        if replication > 1:
+            raise StripLossError(
+                f"every holder of strip{'s' if len(lost) > 1 else ''} "
+                f"{lost} died before re-replication could restore a copy "
+                f"(replication={replication}); the resident strips are "
+                "gone — restart the search with a fresh cache or more "
+                "workers"
+            )
+        if not self._rebuild_warned:
+            self._rebuild_warned = True
+            warnings.warn(
+                "a dead strip owner with replication=1 forces an explicit "
+                f"rebuild of strip{'s' if len(lost) > 1 else ''} {lost} on a "
+                "surviving worker; set replication>=2 to recover from "
+                "replicas instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        for strip in lost:
+            self._rebuild_strip(strip)
+
+    def _repair_candidates(self, strip: int) -> list[int]:
+        """Live workers not holding the strip, least-loaded first (the
+        shared target order of both repair paths; caller holds
+        ``_data_lock``)."""
+        return sorted(
+            (
+                w
+                for w in self.coordinator.live_worker_indices()
+                if w not in self.placement.holders_of(strip)
+            ),
+            key=lambda w: (len(self.placement.strips_of(w)), w),
+        )
+
+    def _rebuild_strip(self, strip: int) -> None:
+        """The ``replication=1`` fallback: recompute a lost strip."""
+        with self._data_lock:
+            candidates = self._repair_candidates(strip)
+            blocks = {
+                key: {
+                    "scale": self._block_scale.get(key),
+                    "row_means": row_means,
+                    "grand_mean": grand_mean,
+                }
+                for key, (row_means, grand_mean) in self._row_stats.items()
+            }
+        for target in candidates:
+            if not self._init_worker(target, self._request):
+                continue
+            try:
+                self._ship_target_to(target, self._request)
+                self._request(
+                    target,
+                    MSG_STRIP_REBUILD,
+                    {
+                        "slices": {strip: self.row_slices[strip]},
+                        "blocks": blocks,
+                    },
+                )
+            except (ProtocolError, OSError):
+                continue
+            with self._data_lock:
+                self.placement.add_holder(strip, target)
+                self._lost_strips.discard(strip)
+                self.n_strip_rebuilds += 1
+            return
+        raise WorkerCrashError(
+            f"no surviving worker could rebuild lost strip {strip}"
+        )
+
+    def _kick_replicator(self) -> None:
+        """Start the background re-replication thread if not running."""
+        with self._data_lock:
+            if self._repl_thread is not None and self._repl_thread.is_alive():
+                return
+            self._repl_thread = threading.Thread(
+                target=self._replication_loop,
+                name="strip-replicator",
+                daemon=True,
+            )
+            self._repl_thread.start()
+
+    def wait_replication(self, timeout: float | None = 30.0) -> bool:
+        """Block until background re-replication settles (tests, benches)."""
+        while True:
+            with self._data_lock:
+                thread = self._repl_thread
+            if thread is None or not thread.is_alive():
+                return True
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                return False
+
+    def _replication_loop(self) -> None:
+        while True:
+            with self._data_lock:
+                if not self._repl_queue:
+                    self._repl_thread = None
+                    return
+                strip = self._repl_queue.popleft()
+            try:
+                self._replicate_strip(strip)
+            except Exception as error:
+                # Transport faults (the source or target died mid-copy;
+                # their deaths are already recorded) and application
+                # errors (RemoteTaskError from a worker-side handler)
+                # alike must not kill the replicator thread.  Retry a
+                # bounded number of times; a strip that cannot be
+                # re-replicated stays readable from its live holders —
+                # but say so: silently staying degraded would turn the
+                # next holder death into a surprise StripLossError.
+                with self._data_lock:
+                    attempts = self._repl_attempts.get(strip, 0) + 1
+                    self._repl_attempts[strip] = attempts
+                    retry = attempts < self.MAX_REPLICATION_ATTEMPTS
+                    if retry:
+                        self._repl_queue.append(strip)
+                    else:
+                        self.n_replication_failures += 1
+                if not retry:
+                    warnings.warn(
+                        f"re-replication of strip {strip} gave up after "
+                        f"{attempts} attempts ({error}); the strip stays "
+                        "degraded on its surviving holders",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+
+    def _replicate_strip(self, strip: int) -> None:
+        """Copy a degraded strip's resident state to a survivor.
+
+        The copy travels coordinator-side over the dedicated
+        replication connections (fetch from a live holder, install on
+        the target) **one block per frame**, so a long search's resident
+        state can never exceed the frame-size limit in a single
+        message.  The target is published as a holder after the first
+        full pass, then a second sweep copies any blocks built while
+        the first was in flight — blocks built after publication reach
+        the target through the ordinary fan-outs.
+        """
+        request = self.coordinator.replication_request
+        with self._data_lock:
+            holders = self._live_holders(strip)
+            if not holders or len(holders) >= self.placement.replication:
+                return
+            source = holders[0]
+            candidates = self._repair_candidates(strip)
+            if not candidates:
+                return
+            target = candidates[0]
+
+        def replication_requester(worker, msg_type, body):
+            return load_payload(request(worker, msg_type, dump_payload(body)))
+
+        def copy_blocks(keys) -> None:
+            for key in keys:
+                state = replication_requester(
+                    source, MSG_STRIP_STATE, {"strips": [strip], "keys": [key]}
+                )
+                replication_requester(
+                    target,
+                    MSG_STRIP_INSTALL,
+                    {
+                        "slices": state["slices"],
+                        "scaled": state["scaled"],
+                        "centered": state["centered"],
+                    },
+                )
+
+        if not self._init_worker(target, replication_requester):
+            raise ProtocolError(f"replication target {target} died during init")
+        self._ship_target_to(target, replication_requester)
+        listing = replication_requester(
+            source, MSG_STRIP_STATE, {"strips": [strip], "keys": []}
+        )
+        replication_requester(
+            target,
+            MSG_STRIP_INSTALL,
+            {"slices": listing["slices"], "scaled": {}, "centered": {}},
+        )
+        installed = {tuple(key) for key in listing["built"]}
+        copy_blocks(sorted(installed))
+        with self._data_lock:
+            self.placement.add_holder(strip, target)
+            self.n_replicated_strips += 1
+            self._repl_attempts.pop(strip, None)
+        # Second sweep: blocks built while the first pass was copying.
+        relisting = replication_requester(
+            source, MSG_STRIP_STATE, {"strips": [strip], "keys": []}
+        )
+        copy_blocks(
+            sorted({tuple(key) for key in relisting["built"]} - installed)
+        )
+        with self._data_lock:
+            # One pass restores one holder; with replication > 2 (or
+            # deaths that landed while the queue entry was pending) the
+            # strip may still be below factor — requeue it so the loop
+            # keeps going instead of silently staying degraded.
+            if (
+                len(self._live_holders(strip)) < self.placement.replication
+                and strip not in self._repl_queue
+            ):
+                self._repl_queue.append(strip)
 
     # -- GramCache surface ---------------------------------------------
 
@@ -251,11 +777,23 @@ class PlacedGramCache(_KeyLocked):
         """
         key = canonical_block_key(block)
         self.ensure_strips(key)
-        fetched = self._fan_out(MSG_STRIPS_FETCH, {"key": key})
-        strips = [
-            fetched[self.placement.owners[s]]["strips"][s]
-            for s in range(self.n_shards)
-        ]
+        fetched, owners = self._fan_out(MSG_STRIPS_FETCH, {"key": key})
+        try:
+            strips = [
+                fetched[owners[s]]["strips"][s] for s in range(self.n_shards)
+            ]
+        except KeyError:
+            # A promotion handed a strip to a holder that adopted it
+            # after this block was built: re-run the (idempotent) scale
+            # fan-out so it self-heals the missing strip, then refetch.
+            self._fan_out(
+                MSG_BLOCK_SCALE,
+                {"key": key, "scale": self._block_scale.get(key)},
+            )
+            fetched, owners = self._fan_out(MSG_STRIPS_FETCH, {"key": key})
+            strips = [
+                fetched[owners[s]]["strips"][s] for s in range(self.n_shards)
+            ]
         with self._lock:
             self.n_gathers += 1
         return np.vstack(strips)
@@ -274,9 +812,11 @@ class PlacedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
 
     Scalar surface identical to
     :class:`~repro.engine.cache.ShardedBlockStatsCache`; the per-strip
-    partial statistics are computed by the strip's owning worker and
+    partial statistics are computed by the strip's primary holder and
     summed coordinator-side **in strip order**, which keeps every value
-    bit-identical to the in-process sharded cache.
+    bit-identical to the in-process sharded cache — including after a
+    holder death promotes a replica (the replica built its copy with
+    the same code on the same inputs).
     """
 
     def __init__(self, grams: PlacedGramCache, y: np.ndarray):
@@ -295,36 +835,38 @@ class PlacedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
         self.target_norm = float(self.centered_y @ self.centered_y)
         # Ledger parity with the dense cache's two target passes.
         self.n_matrix_ops = 2
-        self._target_shipped = False
 
     def _ensure_target(self) -> None:
-        with self._key_lock("__target__"):
-            if self._target_shipped:
-                return
-            self.grams.ensure_init()
-            for worker in self.grams.placement.active_workers:
-                self.grams._request(
-                    worker, MSG_TARGET, {"centered_y": self.centered_y}
-                )
-            self._target_shipped = True
+        self.grams.ship_target(self.centered_y)
+
+    def _center_fan_out(
+        self, key: BlockKey
+    ) -> tuple[dict[int, dict], tuple[int, ...]]:
+        """The centring fan-out for one block (idempotent on workers).
+
+        Carries the stored scale alongside the row statistics so a
+        holder that adopted the strip mid-block (re-replication racing
+        a build) can self-heal by rebuilding the scaled strip exactly.
+        """
+        row_means, grand_mean = self.grams.ensure_strips(key)
+        return self.grams._fan_out(
+            MSG_BLOCK_CENTER,
+            {
+                "key": key,
+                "row_means": row_means,
+                "grand_mean": grand_mean,
+                "scale": self.grams._block_scale.get(key),
+            },
+        )
 
     def block_stats(self, block: Sequence[int]) -> tuple[float, float]:
-        """``(a_i, M_ii)`` reduced across the owning workers."""
+        """``(a_i, M_ii)`` reduced across the primary holders."""
         key = canonical_block_key(block)
         if key not in self._centered_keys:
             with self._key_lock(("block", key)):
                 if key not in self._centered_keys:
                     self._ensure_target()
-                    row_means, grand_mean = self.grams.ensure_strips(key)
-                    replies = self.grams._fan_out(
-                        MSG_BLOCK_CENTER,
-                        {
-                            "key": key,
-                            "row_means": row_means,
-                            "grand_mean": grand_mean,
-                        },
-                    )
-                    owners = self.grams.placement.owners
+                    replies, owners = self._center_fan_out(key)
                     target_inner = float(
                         sum(
                             replies[owners[s]]["stats"][s][0]
@@ -348,8 +890,19 @@ class PlacedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
                         self._centered_keys.add(key)
         return self._target_inner[key], self._pair_inner[(key, key)]
 
+    def _reduce_pair(self, key: tuple[BlockKey, BlockKey]) -> float:
+        replies, owners = self.grams._fan_out(
+            MSG_PAIR, {"key": key[0], "other": key[1]}
+        )
+        return float(
+            sum(
+                replies[owners[s]]["inners"][s]
+                for s in range(self.grams.n_shards)
+            )
+        )
+
     def pair_inner(self, first: Sequence[int], second: Sequence[int]) -> float:
-        """``M_ij`` as a strip-order sum of worker-local strip inners."""
+        """``M_ij`` as a strip-order sum of primary-holder strip inners."""
         key = tuple(
             sorted((canonical_block_key(first), canonical_block_key(second)))
         )
@@ -362,16 +915,16 @@ class PlacedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
             return self._pair_inner[key]
         with self._key_lock(("pair", key)):
             if key not in self._pair_inner:
-                replies = self.grams._fan_out(
-                    MSG_PAIR, {"key": key[0], "other": key[1]}
-                )
-                owners = self.grams.placement.owners
-                value = float(
-                    sum(
-                        replies[owners[s]]["inners"][s]
-                        for s in range(self.grams.n_shards)
-                    )
-                )
+                try:
+                    value = self._reduce_pair(key)
+                except KeyError:
+                    # A promotion handed the primary role to a holder
+                    # that adopted the strip after these blocks were
+                    # centred: re-run the (idempotent) centring
+                    # fan-outs so it self-heals, then reduce again.
+                    self._center_fan_out(key[0])
+                    self._center_fan_out(key[1])
+                    value = self._reduce_pair(key)
                 with self._lock:
                     self._pair_inner[key] = value
                     self.n_matrix_ops += 1

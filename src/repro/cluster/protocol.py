@@ -24,28 +24,48 @@ loud and attributable:
   the coordinator handles by reassigning work — from "the worker sent
   garbage", which it does not.
 
+Optional authentication: when both ends share a secret, every frame
+carries an HMAC-SHA256 trailer after the header — an 8-byte
+strictly-increasing per-connection nonce plus the 32-byte digest of
+``header || nonce || payload`` — and the version byte sets
+:data:`AUTH_FLAG`.  A tampered byte anywhere in the frame, a replayed
+(non-increasing) nonce, or a plain frame arriving at an authenticated
+endpoint raises :class:`AuthenticationError` loudly.  With auth *off*
+the frame layout is byte-identical to the unauthenticated protocol —
+zero overhead, zero format drift.
+
 Security note: payloads are unpickled by the receiver, so workers must
 only be exposed on trusted networks (the deployment model is a rack or
-LAN of cooperating IoT aggregation nodes, not the open internet).
+LAN of cooperating IoT aggregation nodes, not the open internet).  The
+shared-secret HMAC authenticates and integrity-protects frames against
+stray or misbehaving peers on that network; it is not transport
+encryption.
 """
 
 from __future__ import annotations
 
+import hmac
 import pickle
 import socket
 import struct
+import threading
 from typing import Any
 
 __all__ = [
     "ProtocolError",
     "ConnectionClosed",
+    "AuthenticationError",
+    "FrameAuth",
+    "encode_frame",
     "send_frame",
     "recv_frame",
     "dump_payload",
     "load_payload",
     "frame_overhead",
+    "auth_overhead",
     "wire_category",
     "DEFAULT_MAX_FRAME_BYTES",
+    "AUTH_FLAG",
     "MSG_PING",
     "MSG_PONG",
     "MSG_TASK",
@@ -59,12 +79,19 @@ __all__ = [
     "MSG_BLOCK_CENTER",
     "MSG_PAIR",
     "MSG_STRIPS_FETCH",
+    "MSG_STRIP_STATE",
+    "MSG_STRIP_INSTALL",
+    "MSG_STRIP_REBUILD",
     "MSG_SHUTDOWN",
 ]
 
 MAGIC = b"RENG"
 VERSION = 1
+#: High bit of the version byte: the frame carries the HMAC trailer.
+AUTH_FLAG = 0x80
 _HEADER = struct.Struct("!4sBBQ")
+#: Authentication trailer: 8-byte nonce + 32-byte HMAC-SHA256 digest.
+_AUTH_TRAILER = struct.Struct("!Q32s")
 
 #: Frames larger than this are rejected by default on both ends.  Large
 #: enough for a placement INIT shipping a training sample; far below
@@ -88,6 +115,10 @@ MSG_BLOCK_SCALE = 23
 MSG_BLOCK_CENTER = 24
 MSG_PAIR = 25
 MSG_STRIPS_FETCH = 26
+# Resilience plane (re-replication and explicit rebuild of strips) ------
+MSG_STRIP_STATE = 27
+MSG_STRIP_INSTALL = 28
+MSG_STRIP_REBUILD = 29
 
 _KNOWN_TYPES = frozenset(
     {
@@ -105,6 +136,9 @@ _KNOWN_TYPES = frozenset(
         MSG_BLOCK_CENTER,
         MSG_PAIR,
         MSG_STRIPS_FETCH,
+        MSG_STRIP_STATE,
+        MSG_STRIP_INSTALL,
+        MSG_STRIP_REBUILD,
     }
 )
 
@@ -122,9 +156,66 @@ class ConnectionClosed(ProtocolError):
     worker death and reassigns the worker's outstanding tasks."""
 
 
+class AuthenticationError(ProtocolError):
+    """An authenticated endpoint rejected a frame: missing auth trailer,
+    digest mismatch (any tampered byte), or a replayed/stale nonce."""
+
+
+class FrameAuth:
+    """Per-connection frame authenticator over a shared secret.
+
+    One instance guards one connection: the send nonce is a
+    strictly-increasing counter, and the receive side accepts only
+    nonces larger than the last one seen — so a captured frame replayed
+    on the same connection is rejected.  Create a fresh instance per
+    connection (nonces are per-stream state, not per-secret state).
+    """
+
+    def __init__(self, secret: str | bytes):
+        if isinstance(secret, str):
+            secret = secret.encode("utf-8")
+        if not secret:
+            raise ValueError("the shared secret must be non-empty")
+        self._key = bytes(secret)
+        self._send_nonce = 0
+        self._recv_nonce = 0
+        self._lock = threading.Lock()
+
+    def next_nonce(self) -> int:
+        with self._lock:
+            self._send_nonce += 1
+            return self._send_nonce
+
+    def digest(self, header: bytes, nonce: int, payload: bytes) -> bytes:
+        message = header + struct.pack("!Q", nonce) + payload
+        return hmac.new(self._key, message, "sha256").digest()
+
+    def verify(self, header: bytes, nonce: int, digest: bytes, payload: bytes) -> None:
+        """Check digest then nonce; raise :class:`AuthenticationError`."""
+        expected = self.digest(header, nonce, payload)
+        if not hmac.compare_digest(expected, digest):
+            raise AuthenticationError(
+                "frame HMAC digest mismatch: the frame was tampered with in "
+                "transit or the peers' shared secrets differ"
+            )
+        with self._lock:
+            if nonce <= self._recv_nonce:
+                raise AuthenticationError(
+                    f"replayed or stale frame nonce {nonce} (last accepted "
+                    f"{self._recv_nonce}); frames must arrive with strictly "
+                    "increasing nonces"
+                )
+            self._recv_nonce = nonce
+
+
 def frame_overhead() -> int:
     """Header bytes added to every payload on the wire."""
     return _HEADER.size
+
+
+def auth_overhead() -> int:
+    """Extra wire bytes per frame when shared-secret auth is on."""
+    return _AUTH_TRAILER.size
 
 
 def wire_category(msg_type: int) -> str:
@@ -151,13 +242,32 @@ def load_payload(payload: bytes) -> Any:
     return pickle.loads(payload)
 
 
-def send_frame(sock: socket.socket, msg_type: int, payload: bytes) -> int:
-    """Write one frame; returns the bytes put on the wire."""
+def encode_frame(
+    msg_type: int, payload: bytes, auth: FrameAuth | None = None
+) -> bytes:
+    """Serialise one frame; with ``auth`` the HMAC trailer is appended
+    after the header and :data:`AUTH_FLAG` is set on the version byte.
+    Auth off produces the exact unauthenticated byte layout."""
     if msg_type not in _KNOWN_TYPES:
         raise ProtocolError(f"unknown message type {msg_type!r}")
-    header = _HEADER.pack(MAGIC, VERSION, msg_type, len(payload))
-    sock.sendall(header + payload)
-    return len(header) + len(payload)
+    if auth is None:
+        return _HEADER.pack(MAGIC, VERSION, msg_type, len(payload)) + payload
+    header = _HEADER.pack(MAGIC, VERSION | AUTH_FLAG, msg_type, len(payload))
+    nonce = auth.next_nonce()
+    digest = auth.digest(header, nonce, payload)
+    return header + _AUTH_TRAILER.pack(nonce, digest) + payload
+
+
+def send_frame(
+    sock: socket.socket,
+    msg_type: int,
+    payload: bytes,
+    auth: FrameAuth | None = None,
+) -> int:
+    """Write one frame; returns the bytes put on the wire."""
+    frame = encode_frame(msg_type, payload, auth)
+    sock.sendall(frame)
+    return len(frame)
 
 
 def _recv_exact(sock: socket.socket, count: int, *, started: bool) -> bytes:
@@ -183,14 +293,17 @@ def _recv_exact(sock: socket.socket, count: int, *, started: bool) -> bytes:
 
 
 def recv_frame(
-    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    sock: socket.socket,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    auth: FrameAuth | None = None,
 ) -> tuple[int, bytes, int]:
     """Read one frame; returns ``(msg_type, payload, wire_bytes)``.
 
     Raises :class:`ProtocolError` on garbage (bad magic/version,
     unknown type, oversized declared length — checked before a single
-    payload byte is read) and :class:`ConnectionClosed` when the peer
-    goes away.
+    payload byte is read), :class:`AuthenticationError` when ``auth``
+    is set and the frame is unauthenticated, tampered with, or
+    replayed, and :class:`ConnectionClosed` when the peer goes away.
     """
     header = _recv_exact(sock, _HEADER.size, started=False)
     magic, version, msg_type, length = _HEADER.unpack(header)
@@ -199,9 +312,21 @@ def recv_frame(
             f"bad frame magic {magic!r} (expected {MAGIC!r}): peer is not "
             "speaking the repro.cluster protocol or the stream lost sync"
         )
-    if version != VERSION:
+    authenticated = bool(version & AUTH_FLAG)
+    if version & ~AUTH_FLAG != VERSION:
         raise ProtocolError(
-            f"unsupported protocol version {version} (speaking {VERSION})"
+            f"unsupported protocol version {version & ~AUTH_FLAG} "
+            f"(speaking {VERSION})"
+        )
+    if auth is not None and not authenticated:
+        raise AuthenticationError(
+            "unauthenticated frame rejected: this endpoint requires "
+            "shared-secret HMAC authentication on every frame"
+        )
+    if auth is None and authenticated:
+        raise ProtocolError(
+            "peer sent an authenticated frame but this endpoint has no "
+            "shared secret configured"
         )
     if msg_type not in _KNOWN_TYPES:
         raise ProtocolError(f"unknown message type {msg_type}")
@@ -211,5 +336,12 @@ def recv_frame(
             f"{max_frame_bytes}-byte limit; rejecting before reading the "
             "payload"
         )
+    trailer = b""
+    nonce = digest = None
+    if authenticated:
+        trailer = _recv_exact(sock, _AUTH_TRAILER.size, started=True)
+        nonce, digest = _AUTH_TRAILER.unpack(trailer)
     payload = _recv_exact(sock, length, started=True) if length else b""
-    return msg_type, payload, _HEADER.size + length
+    if auth is not None:
+        auth.verify(header, nonce, digest, payload)
+    return msg_type, payload, _HEADER.size + len(trailer) + length

@@ -19,33 +19,52 @@ Two planes of traffic arrive on separate connections:
   with :func:`~repro.engine.tasks.score_task_payload` (pure O(b²)
   scalar arithmetic, bit-identical to the serial engine) and answered
   with a ``MSG_RESULT`` in arrival order.
-* **placement plane** — request/reply frames that make this worker the
-  *owner* of specific block-row strips of the sharded Gram layout
+* **placement plane** — request/reply frames that make this worker a
+  *holder* of specific block-row strips of the sharded Gram layout
   (:class:`~repro.engine.cache.ShardedGramCache` semantics over the
   wire).  After a one-time ``MSG_INIT`` (the sample, kernel factory
-  and owned row slices — the localhost stand-in for data that, in a
+  and held row slices — the localhost stand-in for data that, in a
   real IoT deployment, is born on the node), the worker materialises,
   normalises, centres and *keeps* its strips; only O(n) vectors and
   O(1) scalars ever travel per block.  The arithmetic mirrors
   ``ShardedGramCache`` / ``ShardedBlockStatsCache`` line for line, so
   reduced statistics are bit-identical to the in-process sharded
-  caches.
+  caches.  The block handlers are **idempotent**: a replayed request
+  (the coordinator's fan-out retry after a peer worker died) answers
+  from resident state instead of failing, and a worker that adopted a
+  strip mid-block self-heals by computing the missing raw strip.
+
+Resilience hooks:
+
+* ``secret=`` — every frame on every connection must carry (and is
+  answered with) the shared-secret HMAC trailer; tampered, replayed or
+  unauthenticated frames are answered with ``MSG_ERROR`` and the
+  connection dropped, without taking the server down for its peers;
+* ``MSG_STRIP_STATE`` / ``MSG_STRIP_INSTALL`` — the re-replication
+  pair: a live holder's built strips are fetched and installed on a
+  survivor, restoring the replication factor after a holder death;
+* ``MSG_STRIP_REBUILD`` — the explicit ``replication=1`` fallback: the
+  worker adopts row slices and rebuilds the named blocks' strips from
+  its own sample copy (raw → scale → centre, given the already-reduced
+  scale and row statistics).
 
 Fault injection for tests: ``fail_after=N`` makes the server stop
 abruptly (no reply, sockets torn down) after scoring N task envelopes,
-simulating a node killed mid-search.
+simulating a node killed mid-search.  Richer scripted faults (hangs,
+garbage emission, frame-counted kills) live in
+``tests/test_cluster_faults.py``'s ``FaultyWorker``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import socket
 import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cluster import protocol
 from repro.cluster.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     MSG_BLOCK_CENTER,
@@ -59,10 +78,14 @@ from repro.cluster.protocol import (
     MSG_PONG,
     MSG_RESULT,
     MSG_SHUTDOWN,
+    MSG_STRIP_INSTALL,
+    MSG_STRIP_REBUILD,
+    MSG_STRIP_STATE,
     MSG_STRIPS_FETCH,
     MSG_TARGET,
     MSG_TASK,
     ConnectionClosed,
+    FrameAuth,
     ProtocolError,
     dump_payload,
     load_payload,
@@ -79,9 +102,9 @@ class _PlacementState:
     """Resident shard-ownership state installed by ``MSG_INIT``.
 
     ``slices`` maps strip index -> this worker's row slice; strips for
-    strip indices owned by other workers are never built here.  Strip
-    arrays are keyed by the canonical block key exactly like the
-    in-process caches.
+    strip indices held by other workers are never built here (until an
+    install/rebuild adopts them).  Strip arrays are keyed by the
+    canonical block key exactly like the in-process caches.
     """
 
     X: np.ndarray
@@ -103,7 +126,7 @@ class _PlacementState:
 
 
 class WorkerServer:
-    """One cluster node: scores task envelopes, owns placed row strips.
+    """One cluster node: scores task envelopes, holds placed row strips.
 
     Parameters
     ----------
@@ -113,6 +136,10 @@ class WorkerServer:
         constructor so the address is known before serving starts.
     max_frame_bytes:
         Frames over this size are rejected by the protocol layer.
+    secret:
+        Shared secret: every frame received must carry a valid HMAC
+        trailer, and every reply carries one.  ``None`` (default)
+        speaks the exact unauthenticated protocol.
     fail_after:
         Test hook — after this many task envelopes have been scored,
         the server tears itself down without replying (simulates a
@@ -124,9 +151,16 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        secret: str | bytes | None = None,
         fail_after: int | None = None,
     ):
         self.max_frame_bytes = int(max_frame_bytes)
+        if secret is not None and not secret:
+            raise ValueError(
+                "secret must be non-empty; pass None to disable frame "
+                "authentication explicitly"
+            )
+        self.secret = secret
         self.fail_after = fail_after
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -134,6 +168,11 @@ class WorkerServer:
         self._listener.listen(16)
         self.host, self.port = self._listener.getsockname()[:2]
         self._lock = threading.Lock()
+        # Serialises every placement/replication handler: the planes
+        # arrive on separate connections (hence separate threads), and
+        # a strip copy iterating the resident stores while a block
+        # build inserts into them would corrupt the state they share.
+        self._placement_op_lock = threading.Lock()
         self._placement: _PlacementState | None = None
         self._connections: set[socket.socket] = set()
         self._stopped = threading.Event()
@@ -207,23 +246,29 @@ class WorkerServer:
     # -- connection loop -----------------------------------------------
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        auth = FrameAuth(self.secret) if self.secret else None
         try:
             while not self._stopped.is_set():
                 try:
-                    msg_type, payload, _ = recv_frame(conn, self.max_frame_bytes)
+                    msg_type, payload, _ = recv_frame(
+                        conn, self.max_frame_bytes, auth=auth
+                    )
                 except ConnectionClosed:
                     return
                 except ProtocolError as error:
-                    # Garbage on the wire: report once, drop the
+                    # Garbage on the wire (or an unauthenticated /
+                    # tampered / replayed frame): report once, drop the
                     # connection.  The server itself keeps serving —
                     # one misbehaving client must not take the node
                     # down for its peers.
                     try:
-                        send_frame(conn, MSG_ERROR, dump_payload(str(error)))
+                        send_frame(
+                            conn, MSG_ERROR, dump_payload(str(error)), auth=auth
+                        )
                     except OSError:
                         pass
                     return
-                if not self._dispatch(conn, msg_type, payload):
+                if not self._dispatch(conn, msg_type, payload, auth):
                     return
         except OSError:
             return  # connection torn down under us (stop(), peer reset)
@@ -232,7 +277,13 @@ class WorkerServer:
                 self._connections.discard(conn)
             conn.close()
 
-    def _dispatch(self, conn: socket.socket, msg_type: int, payload: bytes) -> bool:
+    def _dispatch(
+        self,
+        conn: socket.socket,
+        msg_type: int,
+        payload: bytes,
+        auth: FrameAuth | None = None,
+    ) -> bool:
         """Handle one frame; returns False to end the connection."""
         if msg_type == MSG_TASK:
             if self.fail_after is not None:
@@ -251,24 +302,33 @@ class WorkerServer:
                 # fleet (which would kill every worker's connection in
                 # turn and misreport fleet death).
                 send_frame(
-                    conn, MSG_ERROR, dump_payload(f"{type(error).__name__}: {error}")
+                    conn,
+                    MSG_ERROR,
+                    dump_payload(f"{type(error).__name__}: {error}"),
+                    auth=auth,
                 )
                 return True
-            send_frame(conn, MSG_RESULT, result)
+            send_frame(conn, MSG_RESULT, result, auth=auth)
             return True
         if msg_type == MSG_PING:
-            send_frame(conn, MSG_PONG, b"")
+            send_frame(conn, MSG_PONG, b"", auth=auth)
             return True
         if msg_type == MSG_SHUTDOWN:
-            send_frame(conn, MSG_OK, b"")
+            send_frame(conn, MSG_OK, b"", auth=auth)
             self.stop()
             return False
         try:
-            reply = self._dispatch_placement(msg_type, payload)
+            with self._placement_op_lock:
+                reply = self._dispatch_placement(msg_type, payload)
         except Exception as error:  # surfaced coordinator-side, loudly
-            send_frame(conn, MSG_ERROR, dump_payload(f"{type(error).__name__}: {error}"))
+            send_frame(
+                conn,
+                MSG_ERROR,
+                dump_payload(f"{type(error).__name__}: {error}"),
+                auth=auth,
+            )
             return True
-        send_frame(conn, MSG_OK, dump_payload(reply))
+        send_frame(conn, MSG_OK, dump_payload(reply), auth=auth)
         return True
 
     # -- placement plane -----------------------------------------------
@@ -277,6 +337,51 @@ class WorkerServer:
     # ShardedBlockStatsCache exactly (same expressions, same operand
     # order), which is what makes the reduced statistics bit-identical
     # to the in-process sharded caches.
+
+    def _raw_strips(self, state: _PlacementState, key: tuple) -> dict[int, np.ndarray]:
+        """Raw (unscaled) strips for a block, for every held slice.
+
+        Self-healing for replayed or late-adopted strips: a worker that
+        missed the original raw pass for some slice (fan-out retry,
+        adoption mid-block) rebuilds exactly the missing raw strips
+        from its own sample copy instead of failing.
+        """
+        raw = state.raw.setdefault(key, {})
+        missing = [index for index in state.slices if index not in raw]
+        if missing:
+            kernel = state.block_kernel(key).bind(state.X)
+            for index in missing:
+                sl = state.slices[index]
+                raw[index] = kernel(state.X[sl], state.X)
+        return raw
+
+    def _scaled_strips(
+        self, state: _PlacementState, key: tuple, scale
+    ) -> dict[int, np.ndarray]:
+        """Cosine-scaled strips for every held slice, filling any gap.
+
+        Strips already resident (normal replies, replays after a
+        fan-out retry, copies installed by re-replication) are reused
+        untouched; only missing slices are built — with exactly the
+        arithmetic of the first pass, so the values are bit-identical
+        wherever they are computed.
+        """
+        strips = state.strips.setdefault(key, {})
+        missing = [index for index in state.slices if index not in strips]
+        if missing:
+            raw = self._raw_strips(state, key)
+            scale_arr = (
+                np.asarray(scale, dtype=float) if scale is not None else None
+            )
+            for index in missing:
+                strip = raw[index]
+                if scale_arr is not None:
+                    strip = strip / np.outer(
+                        scale_arr[state.slices[index]], scale_arr
+                    )
+                strips[index] = strip
+            state.raw.pop(key, None)
+        return strips
 
     def _dispatch_placement(self, msg_type: int, payload: bytes):
         request = load_payload(payload)
@@ -296,14 +401,75 @@ class WorkerServer:
         if msg_type == MSG_TARGET:
             state.centered_y = np.asarray(request["centered_y"], dtype=float)
             return {}
+        if msg_type == MSG_STRIP_STATE:
+            wanted = {int(s) for s in request["strips"]}
+            held = wanted & set(state.slices)
+            keys = request.get("keys")
+            if keys is not None:
+                keys = {tuple(k) for k in keys}
+            # ``built`` always lists every block with resident state for
+            # the wanted strips, so a replicator can page the copy one
+            # block per frame (keys=[] lists without shipping arrays —
+            # a whole search's strips in one frame could blow the
+            # frame-size limit and wedge re-replication permanently).
+            built = sorted(
+                {
+                    key
+                    for store in (state.strips, state.centered)
+                    for key, per in store.items()
+                    if any(s in per for s in held)
+                }
+            )
+            return {
+                "slices": {s: state.slices[s] for s in held},
+                "built": built,
+                "scaled": {
+                    key: {s: per[s] for s in held if s in per}
+                    for key, per in state.strips.items()
+                    if keys is None or key in keys
+                },
+                "centered": {
+                    key: {s: per[s] for s in held if s in per}
+                    for key, per in state.centered.items()
+                    if keys is None or key in keys
+                },
+            }
+        if msg_type == MSG_STRIP_INSTALL:
+            for s, sl in request["slices"].items():
+                state.slices[int(s)] = sl
+            for store, shipped in (
+                (state.strips, request["scaled"]),
+                (state.centered, request["centered"]),
+            ):
+                for key, per in shipped.items():
+                    store.setdefault(tuple(key), {}).update(
+                        {int(s): np.asarray(strip) for s, strip in per.items()}
+                    )
+            return {"resident_bytes": state.resident_bytes()}
+        if msg_type == MSG_STRIP_REBUILD:
+            adopted = {int(s): sl for s, sl in request["slices"].items()}
+            state.slices.update(adopted)
+            for key, spec in request["blocks"].items():
+                key = tuple(key)
+                row_means = np.asarray(spec["row_means"], dtype=float)
+                grand_mean = float(spec["grand_mean"])
+                # The shared helpers fill exactly the adopted (missing)
+                # slices with the one copy of the raw/scale arithmetic,
+                # keeping the bit-identity contract in a single place.
+                strips = self._scaled_strips(state, key, spec["scale"])
+                centered = state.centered.setdefault(key, {})
+                for index, strip in strips.items():
+                    if index not in centered:
+                        centered[index] = (
+                            strip
+                            - row_means[state.slices[index], None]
+                            - row_means[None, :]
+                            + grand_mean
+                        )
+            return {"resident_bytes": state.resident_bytes()}
         key = tuple(request["key"])
         if msg_type == MSG_BLOCK_RAW:
-            kernel = state.block_kernel(key).bind(state.X)
-            raw = {
-                index: kernel(state.X[sl], state.X)
-                for index, sl in state.slices.items()
-            }
-            state.raw[key] = raw
+            raw = self._raw_strips(state, key)
             diag = {}
             for index, strip in raw.items():
                 sl = state.slices[index]
@@ -312,17 +478,7 @@ class WorkerServer:
                 ]
             return {"diag": diag}
         if msg_type == MSG_BLOCK_SCALE:
-            scale = request["scale"]
-            raw = state.raw.pop(key)
-            if scale is not None:
-                scale = np.asarray(scale, dtype=float)
-                strips = {
-                    index: strip / np.outer(scale[state.slices[index]], scale)
-                    for index, strip in raw.items()
-                }
-            else:
-                strips = raw
-            state.strips[key] = strips
+            strips = self._scaled_strips(state, key, request["scale"])
             return {
                 "row_means": {
                     index: strip.mean(axis=1) for index, strip in strips.items()
@@ -334,14 +490,16 @@ class WorkerServer:
             yc = state.centered_y
             if yc is None:
                 raise RuntimeError("MSG_BLOCK_CENTER before MSG_TARGET")
-            centered = {
-                index: strip
-                - row_means[state.slices[index], None]
-                - row_means[None, :]
-                + grand_mean
-                for index, strip in state.strips[key].items()
-            }
-            state.centered[key] = centered
+            strips = self._scaled_strips(state, key, request.get("scale"))
+            centered = state.centered.setdefault(key, {})
+            for index, strip in strips.items():
+                if index not in centered:
+                    centered[index] = (
+                        strip
+                        - row_means[state.slices[index], None]
+                        - row_means[None, :]
+                        + grand_mean
+                    )
             stats = {
                 index: (
                     yc[state.slices[index]] @ strip @ yc,
@@ -351,16 +509,26 @@ class WorkerServer:
             }
             return {"stats": stats, "resident_bytes": state.resident_bytes()}
         if msg_type == MSG_PAIR:
+            # Answer with whatever strip pairs are resident; gaps (a
+            # holder adopted after these blocks were centred) surface
+            # coordinator-side as a missing index, which triggers the
+            # idempotent re-centring heal — a worker-side KeyError
+            # would read as an application error and kill the search.
             other = tuple(request["other"])
-            first, second = state.centered[key], state.centered[other]
+            first = state.centered.get(key, {})
+            second = state.centered.get(other, {})
             return {
                 "inners": {
                     index: np.sum(first[index] * second[index])
                     for index in first
+                    if index in second
                 }
             }
         if msg_type == MSG_STRIPS_FETCH:
-            return {"strips": state.strips[key]}
+            # Resident strips only; a gap (holder adopted after the
+            # block was built) surfaces coordinator-side, where gram()
+            # re-runs the idempotent scale fan-out to heal it.
+            return {"strips": state.strips.get(key, {})}
         raise ProtocolError(f"message type {msg_type} not valid on this plane")
 
 
@@ -376,9 +544,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-frame-bytes", type=int, default=DEFAULT_MAX_FRAME_BYTES
     )
+    parser.add_argument(
+        "--secret-file",
+        default=None,
+        help=(
+            "path to a file holding the shared HMAC secret; the "
+            "REPRO_CLUSTER_SECRET environment variable is the "
+            "argv-free alternative"
+        ),
+    )
     args = parser.parse_args(argv)
+    secret: str | None
+    if args.secret_file is not None:
+        with open(args.secret_file, "r", encoding="utf-8") as handle:
+            secret = handle.read().strip()
+        if not secret:
+            # An empty secret file must not silently run unauthenticated.
+            parser.error(f"secret file {args.secret_file!r} is empty")
+    elif "REPRO_CLUSTER_SECRET" in os.environ:
+        secret = os.environ["REPRO_CLUSTER_SECRET"]
+        if not secret:
+            # Same downgrade guard for broken secret injection: set
+            # but empty is a misconfiguration, not a request for
+            # unauthenticated operation (unset the variable for that).
+            parser.error("REPRO_CLUSTER_SECRET is set but empty")
+    else:
+        secret = None
     server = WorkerServer(
-        host=args.host, port=args.port, max_frame_bytes=args.max_frame_bytes
+        host=args.host,
+        port=args.port,
+        max_frame_bytes=args.max_frame_bytes,
+        secret=secret,
     )
     # The announce line is parsed by spawn_local_workers; keep stable.
     print(f"repro-cluster-worker listening on {server.host}:{server.port}", flush=True)

@@ -77,6 +77,10 @@ class FacetedLearner:
     workers:
         Worker addresses for ``backend="sockets"`` (``"host:port"``
         strings or ``(host, port)`` pairs).
+    backend_options:
+        Extra backend-factory options when ``backend`` is a name — for
+        ``"sockets"``, the cluster resilience knobs (``secret=``,
+        ``heartbeat_interval=``, ``replication=``).
     overlap:
         Materialise upcoming batches' statistics in the background
         while the current batch is scored.
@@ -100,6 +104,7 @@ class FacetedLearner:
         backend: str = "serial",
         shards: int | None = None,
         workers=None,
+        backend_options: dict | None = None,
         overlap: bool = False,
     ):
         # Defer to the engine's registry so register_strategy extensions
@@ -138,6 +143,7 @@ class FacetedLearner:
         self.backend = backend
         self.shards = shards
         self.workers = workers
+        self.backend_options = backend_options
         self.overlap = bool(overlap)
 
         self.partition_: SetPartition | None = None
@@ -186,6 +192,7 @@ class FacetedLearner:
             backend=self.backend,
             shards=self.shards,
             workers=self.workers,
+            backend_options=self.backend_options,
             overlap=self.overlap,
         )
         # One cache serves seed selection, the search, and the final

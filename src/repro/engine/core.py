@@ -217,6 +217,12 @@ class KernelEvaluationEngine:
         Worker specification forwarded to the backend factory when
         ``backend`` is a name — for ``"sockets"``, the worker
         addresses (``"host:port"`` strings or ``(host, port)`` pairs).
+    backend_options:
+        Extra keyword arguments forwarded to the backend factory when
+        ``backend`` is a name — for ``"sockets"``, the resilience
+        knobs (``secret=``, ``heartbeat_interval=``, ``replication=``).
+        Like ``workers=``, invalid with a backend instance (configure
+        the instance directly).
     overlap:
         Enable async overlap: :meth:`prefetch` warms upcoming
         partitions' statistics on a background thread while the
@@ -239,6 +245,7 @@ class KernelEvaluationEngine:
         mode: str = "auto",
         shards: int | None = None,
         workers=None,
+        backend_options: dict | None = None,
         overlap: bool = False,
     ):
         if weighting not in WEIGHTINGS:
@@ -255,24 +262,27 @@ class KernelEvaluationEngine:
         # backend that can own row strips (sockets) turns ``shards=``
         # into placement-aware sharding below.
         self._owns_backend = isinstance(backend, str)
-        if workers is not None and not self._owns_backend:
+        if (workers is not None or backend_options) and not self._owns_backend:
             raise ValueError(
-                "workers= applies only when the backend is resolved from a "
-                "name; pass the worker addresses to the backend instance "
-                "instead"
+                "workers=/backend_options= apply only when the backend is "
+                "resolved from a name; pass the configuration to the "
+                "backend instance instead"
             )
+        factory_options = dict(backend_options or {})
+        if workers is not None:
+            factory_options["workers"] = workers
         try:
-            self.backend = get_backend(
-                backend, **({} if workers is None else {"workers": workers})
-            )
+            self.backend = get_backend(backend, **factory_options)
         except TypeError:
-            if workers is None:
+            if not factory_options:
                 raise
             raise ValueError(
-                f"backend {backend!r} does not accept workers=; use "
-                "backend='sockets' (or another networked backend) with "
-                "worker addresses"
+                f"backend {backend!r} does not accept workers=/"
+                f"backend_options= ({sorted(factory_options)}); use "
+                "backend='sockets' (or another networked backend) for "
+                "worker addresses and resilience options"
             ) from None
+        self._owns_cache = gram_cache is None
         if gram_cache is None:
             make_placed = getattr(self.backend, "make_placed_cache", None)
             if shards is not None and shards > 1:
@@ -474,6 +484,14 @@ class KernelEvaluationEngine:
         if self._prefetch_pool is not None:
             self._prefetch_pool.shutdown(wait=True)
             self._prefetch_pool = None
+        if self._owns_cache:
+            # A placed cache this engine created must stop reacting to
+            # worker deaths once the search is over — a shared backend
+            # keeps running, and stale caches must not keep promoting
+            # placements or replicating strips for finished searches.
+            detach = getattr(self.gram_cache, "detach", None)
+            if detach is not None:
+                detach()
         if self._owns_backend:
             close = getattr(self.backend, "close", None)
             if close is not None:

@@ -117,6 +117,12 @@ class PartitionMKLSearch:
     workers:
         Worker addresses for networked backends (``backend="sockets"``):
         ``"host:port"`` strings or ``(host, port)`` pairs.
+    backend_options:
+        Extra keyword arguments forwarded to the backend factory when
+        ``backend`` is a name — for ``"sockets"``, the cluster
+        resilience knobs: ``secret=`` (per-frame HMAC auth),
+        ``heartbeat_interval=`` (liveness eviction of hung workers) and
+        ``replication=`` (strip replication factor for placed shards).
     overlap:
         Enable the engine's async overlap — upcoming batches' Gram
         statistics materialise on a background thread while the
@@ -133,6 +139,7 @@ class PartitionMKLSearch:
         engine_mode: str = "auto",
         shards: int | None = None,
         workers=None,
+        backend_options: dict | None = None,
         overlap: bool = False,
     ):
         if weighting not in ("uniform", "alignment", "alignf"):
@@ -147,6 +154,7 @@ class PartitionMKLSearch:
         self.engine_mode = engine_mode
         self.shards = shards
         self.workers = workers
+        self.backend_options = backend_options
         self.overlap = bool(overlap)
 
     # ------------------------------------------------------------------
@@ -190,6 +198,7 @@ class PartitionMKLSearch:
             mode=self.engine_mode,
             shards=None if cache is not None else self.shards,
             workers=self.workers,
+            backend_options=self.backend_options,
             overlap=self.overlap,
         )
 

@@ -24,27 +24,36 @@ Most tests use in-process ``WorkerServer.start_background()`` daemons
 
 import pickle
 import socket
+import struct
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster import (
+    AuthenticationError,
     Coordinator,
+    FrameAuth,
     LocalWorkers,
     PlacedGramCache,
     ProtocolError,
     ShardPlacement,
     SocketBackend,
     WorkerServer,
+    encode_frame,
     spawn_local_workers,
 )
 from repro.cluster.protocol import (
     MSG_ERROR,
+    MSG_OK,
     MSG_PING,
     MSG_PONG,
     MSG_RESULT,
     MSG_TASK,
     ConnectionClosed,
+    auth_overhead,
+    frame_overhead,
     recv_frame,
     send_frame,
 )
@@ -150,6 +159,90 @@ class TestProtocol:
         with a, b:
             with pytest.raises(ProtocolError, match="unknown message type"):
                 send_frame(a, 99, b"")
+
+
+# ---------------------------------------------------------------------------
+# Wire-protocol properties (hypothesis): round-trips and tamper rejection
+# ---------------------------------------------------------------------------
+
+_MSG_TYPES = st.sampled_from([MSG_PING, MSG_TASK, MSG_RESULT, MSG_OK])
+_PAYLOADS = st.binary(max_size=512)
+
+
+def _deliver(frame: bytes, auth=None, max_frame_bytes: int = 1 << 20):
+    """Push raw bytes through a socketpair and decode one frame.
+
+    The writer side is closed after sending, so a frame whose mutated
+    length field demands more bytes fails with ConnectionClosed instead
+    of blocking forever.
+    """
+    a, b = socket.socketpair()
+    with b:
+        with a:
+            a.sendall(frame)
+        return recv_frame(b, max_frame_bytes, auth=auth)
+
+
+class TestProtocolProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(msg_type=_MSG_TYPES, payload=_PAYLOADS)
+    def test_plain_roundtrip(self, msg_type, payload):
+        frame = encode_frame(msg_type, payload)
+        # Auth-off layout is pinned: exactly the PR-3 bytes — fixed
+        # header (magic, version 1, type, length), payload, nothing else.
+        assert frame == struct.pack("!4sBBQ", b"RENG", 1, msg_type, len(payload)) + payload
+        assert len(frame) == frame_overhead() + len(payload)
+        got_type, got_payload, wire = _deliver(frame)
+        assert (got_type, got_payload, wire) == (msg_type, payload, len(frame))
+
+    @settings(max_examples=50, deadline=None)
+    @given(msg_type=_MSG_TYPES, payload=_PAYLOADS)
+    def test_authenticated_roundtrip(self, msg_type, payload):
+        sender, receiver = FrameAuth("s3cret"), FrameAuth("s3cret")
+        frame = encode_frame(msg_type, payload, auth=sender)
+        assert len(frame) == frame_overhead() + auth_overhead() + len(payload)
+        got_type, got_payload, wire = _deliver(frame, auth=receiver)
+        assert (got_type, got_payload, wire) == (msg_type, payload, len(frame))
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        msg_type=_MSG_TYPES,
+        payload=st.binary(min_size=1, max_size=256),
+        data=st.data(),
+    )
+    def test_any_mutated_byte_in_authenticated_frame_is_rejected(
+        self, msg_type, payload, data
+    ):
+        frame = bytearray(encode_frame(msg_type, payload, auth=FrameAuth("k")))
+        position = data.draw(st.integers(0, len(frame) - 1), label="position")
+        flip = data.draw(st.integers(1, 255), label="xor")
+        frame[position] ^= flip
+        with pytest.raises(ProtocolError):
+            _deliver(bytes(frame), auth=FrameAuth("k"))
+
+    def test_replayed_frame_rejected(self):
+        sender, receiver = FrameAuth("k"), FrameAuth("k")
+        frame = encode_frame(MSG_PING, b"x", auth=sender)
+        a, b = socket.socketpair()
+        with b:
+            with a:
+                a.sendall(frame + frame)  # the same captured bytes twice
+            assert recv_frame(b, auth=receiver)[1] == b"x"
+            with pytest.raises(AuthenticationError, match="replayed or stale"):
+                recv_frame(b, auth=receiver)
+
+    def test_unauthenticated_frame_rejected_by_authed_endpoint(self):
+        with pytest.raises(AuthenticationError, match="unauthenticated frame"):
+            _deliver(encode_frame(MSG_PING, b""), auth=FrameAuth("k"))
+
+    def test_authenticated_frame_rejected_by_plain_endpoint(self):
+        with pytest.raises(ProtocolError, match="no shared secret"):
+            _deliver(encode_frame(MSG_PING, b"", auth=FrameAuth("k")))
+
+    def test_wrong_secret_rejected(self):
+        frame = encode_frame(MSG_PING, b"payload", auth=FrameAuth("alice"))
+        with pytest.raises(AuthenticationError, match="digest mismatch"):
+            _deliver(frame, auth=FrameAuth("bob"))
 
 
 # ---------------------------------------------------------------------------
@@ -295,17 +388,55 @@ class TestSocketSerialParity:
 
 class TestPlacement:
     def test_placement_assignment(self):
-        placement = ShardPlacement(5, 2)
+        # replication=1: primary-only ownership (the PR-3 layout).
+        placement = ShardPlacement(5, 2, replication=1)
         assert placement.owners == (0, 1, 0, 1, 0)
         assert placement.strips_of(0) == (0, 2, 4)
         assert placement.strips_of(1) == (1, 3)
         assert placement.active_workers == (0, 1)
-        explicit = ShardPlacement(3, 4, owners=[2, 2, 0])
+        explicit = ShardPlacement(3, 4, owners=[2, 2, 0], replication=1)
         assert explicit.strips_of(2) == (0, 1)
         with pytest.raises(ValueError, match="assign all"):
             ShardPlacement(3, 2, owners=[0])
         with pytest.raises(ValueError, match="outside the worker fleet"):
             ShardPlacement(2, 2, owners=[0, 5])
+
+    def test_placement_replication_defaults_and_holders(self):
+        # Default replication is min(2, n_workers): each strip lives on
+        # its primary plus the next distinct worker.
+        placement = ShardPlacement(4, 3)
+        assert placement.replication == 2
+        assert placement.owners == (0, 1, 2, 0)
+        assert placement.holders_of(0) == (0, 1)
+        assert placement.holders_of(2) == (2, 0)
+        assert placement.strips_of(0) == (0, 2, 3)  # primary of 0,3; replica of 2
+        # A single worker clamps to replication=1.
+        assert ShardPlacement(3, 1).replication == 1
+        with pytest.raises(ValueError, match="replication"):
+            ShardPlacement(3, 2, replication=5)
+
+    def test_placement_drop_worker_promotes_and_reports_loss(self):
+        placement = ShardPlacement(4, 3)
+        outcome = placement.drop_worker(0)
+        # Worker 0 was primary of strips 0 and 3 (promoted to their
+        # replicas) and replica of strip 2 (degraded only).
+        assert outcome["promoted"] == {0: 1, 3: 1}
+        assert outcome["lost"] == ()
+        assert set(outcome["degraded"]) == {0, 2, 3}
+        assert placement.owners == (1, 1, 2, 1)
+        # Dropping the promoted holder too loses its solo strips.
+        outcome = placement.drop_worker(1)
+        assert set(outcome["lost"]) == {0, 3}
+        assert placement.owners[0] is None
+        # Re-replication publishes a new holder.
+        placement.add_holder(0, 2)
+        assert placement.owners[0] == 2
+        # Dropping a non-holder is a no-op.
+        assert ShardPlacement(2, 2).drop_worker(5) == {
+            "promoted": {},
+            "lost": (),
+            "degraded": (),
+        }
 
     def test_bit_identical_to_in_process_sharded(self, workload, fleet):
         _, backend = fleet
@@ -393,6 +524,18 @@ class TestPlacement:
         for server in servers:
             server.stop()
 
+    def test_finished_search_detaches_death_listener(self, workload, fleet):
+        """A reused backend must not accumulate death listeners from
+        finished searches — a later worker death would otherwise run
+        promotion/re-replication for results nobody will read."""
+        _, backend = fleet
+        search = PartitionMKLSearch(backend=backend, shards=2)
+        for _ in range(2):
+            search.search(
+                workload.X, workload.y, (0, 1), strategy="exhaustive"
+            )
+        assert backend.coordinator._death_listeners == []
+
     def test_rejects_bad_shard_counts(self, workload, fleet):
         _, backend = fleet
         with pytest.raises(ValueError, match="n_shards"):
@@ -402,6 +545,159 @@ class TestPlacement:
                 normalize=True,
                 n_shards=workload.X.shape[0] + 1,
             )
+
+
+# ---------------------------------------------------------------------------
+# Authenticated fleets and heartbeat liveness (end to end)
+# ---------------------------------------------------------------------------
+
+
+class TestAuthenticatedFleet:
+    def test_authed_search_bit_identical_and_ledger_records_overhead(
+        self, workload
+    ):
+        servers = [WorkerServer(secret="hunter2"), WorkerServer(secret="hunter2")]
+        for server in servers:
+            server.start_background()
+        backend = SocketBackend(
+            workers=[s.address for s in servers], secret="hunter2"
+        )
+        result = PartitionMKLSearch(backend=backend).search_exhaustive(
+            workload.X, workload.y, (0, 1)
+        )
+        serial = PartitionMKLSearch().search_exhaustive(
+            workload.X, workload.y, (0, 1)
+        )
+        assert result.best_partition == serial.best_partition
+        assert result.best_score == serial.best_score
+        assert result.n_matrix_ops == serial.n_matrix_ops
+        # Auth overhead is booked: 40 bytes per frame, every frame.
+        assert result.wire["auth_bytes_out"] > 0
+        assert result.wire["auth_bytes_in"] > 0
+        assert result.wire["auth_bytes_out"] % auth_overhead() == 0
+        backend.close()
+        for server in servers:
+            server.stop()
+
+    def test_unauthenticated_client_rejected_by_authed_worker(self):
+        server = WorkerServer(secret="hunter2")
+        server.start_background()
+        with socket.create_connection((server.host, server.port)) as sock:
+            send_frame(sock, MSG_PING, b"")  # no auth trailer
+            # The worker's rejection is itself authenticated, so the
+            # plain client cannot even decode it — reading with the
+            # right secret shows the loud refusal it carries.
+            msg_type, payload, _ = recv_frame(sock, auth=FrameAuth("hunter2"))
+            assert msg_type == MSG_ERROR
+            assert "unauthenticated frame" in pickle.loads(payload)
+        server.stop()
+
+    def test_wrong_secret_client_rejected_by_authed_worker(self):
+        server = WorkerServer(secret="hunter2")
+        server.start_background()
+        with socket.create_connection((server.host, server.port)) as sock:
+            send_frame(sock, MSG_PING, b"", auth=FrameAuth("not-hunter2"))
+            # Mismatched secrets are rejected loudly on BOTH ends: the
+            # worker answers MSG_ERROR naming the digest mismatch, and
+            # the client cannot verify that reply with its own secret.
+            with pytest.raises(AuthenticationError, match="digest mismatch"):
+                recv_frame(sock, auth=FrameAuth("not-hunter2"))
+        with socket.create_connection((server.host, server.port)) as sock:
+            send_frame(sock, MSG_PING, b"", auth=FrameAuth("not-hunter2"))
+            msg_type, payload, _ = recv_frame(sock, auth=FrameAuth("hunter2"))
+            assert msg_type == MSG_ERROR
+            assert "digest mismatch" in pickle.loads(payload)
+        server.stop()
+
+    def test_authed_coordinator_rejects_plain_worker(self, workload):
+        server = WorkerServer()  # speaks the unauthenticated protocol
+        server.start_background()
+        backend = SocketBackend(
+            workers=[server.address], secret="hunter2", retries=0
+        )
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend
+        )
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))[:2]
+        # The worker answers MSG_ERROR (it saw an authenticated frame it
+        # cannot verify) without an auth trailer, which the authed
+        # coordinator rejects — either way the failure is loud, and
+        # with no authable worker the fleet is effectively dead.
+        with pytest.raises((WorkerCrashError, ProtocolError)):
+            engine.score_batch(picks)
+        backend.close()
+        server.stop()
+
+    def test_empty_secret_rejected_not_silently_disabled(self):
+        """An empty secret must fail loudly, not run unauthenticated."""
+        with pytest.raises(ValueError, match="non-empty"):
+            WorkerServer(secret="")
+        with pytest.raises(ValueError, match="non-empty"):
+            Coordinator(["127.0.0.1:9"], secret="")
+        with pytest.raises(ValueError, match="non-empty"):
+            FrameAuth("")
+
+    def test_auth_off_wire_bytes_unchanged(self, workload, fleet):
+        """With auth off the per-frame bytes match the PR-3 framing
+        exactly: total envelope traffic is payload plus one fixed
+        header per frame, with no extra bytes."""
+        _, backend = fleet
+        engine = KernelEvaluationEngine(workload.X, workload.y, backend=backend)
+        picks = list(cone_partitions((0, 1), (2, 3, 4)))[:4]
+        before = backend.wire_stats()
+        engine.score_batch(picks)
+        after = backend.wire_stats()
+        sent_frames = after["n_tasks"] - before["n_tasks"]
+        sent_bytes = after["envelope_bytes_out"] - before["envelope_bytes_out"]
+        stats = KernelEvaluationEngine(workload.X, workload.y).stats
+        chunk_payloads = 0
+        chunks = backend.task_chunks(len(picks))
+        bounds = np.linspace(0, len(picks), chunks + 1).astype(int)
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            if stop > start:
+                chunk_payloads += len(
+                    build_task(stats, "alignment", picks[start:stop]).payload()
+                )
+        assert after["auth_bytes_out"] == after["auth_bytes_in"] == 0
+        assert sent_bytes == chunk_payloads + sent_frames * frame_overhead()
+
+
+class TestHeartbeatLiveness:
+    def test_heartbeats_flow_and_are_booked(self, workload):
+        server = WorkerServer()
+        server.start_background()
+        backend = SocketBackend(
+            workers=[server.address],
+            heartbeat_interval=0.05,
+            heartbeat_timeout=1.0,
+        )
+        result = PartitionMKLSearch(backend=backend).search_exhaustive(
+            workload.X, workload.y, (0, 1)
+        )
+        serial = PartitionMKLSearch().search_exhaustive(
+            workload.X, workload.y, (0, 1)
+        )
+        assert result.best_score == serial.best_score
+        # The monitor keeps pinging for the backend's whole life; give
+        # it a few intervals (the search itself may finish in one).
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while (
+            backend.coordinator.n_heartbeats == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        stats = backend.wire_stats()
+        assert stats["n_heartbeats"] > 0
+        assert stats["heartbeat_bytes_out"] > 0
+        assert stats["n_evicted"] == 0  # a healthy worker is never evicted
+        backend.close()
+        server.stop()
+
+    def test_heartbeat_validation(self):
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            Coordinator(["127.0.0.1:9"], heartbeat_interval=0.0)
 
 
 # ---------------------------------------------------------------------------

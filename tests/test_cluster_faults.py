@@ -1,0 +1,472 @@
+"""Fault-injection harness for the cluster resilience subsystem.
+
+``FaultyWorker`` wraps :class:`repro.cluster.WorkerServer` with a
+scripted fault — **kill** (tear down abruptly, no reply), **hang**
+(keep every connection open but stop answering anything, including
+heartbeat pings), or **garbage** (emit non-protocol bytes instead of a
+reply) — tripped at the N-th dispatched frame, optionally counting
+only specific message types (``count_types={MSG_TASK}`` trips on the
+N-th task envelope regardless of interleaved control traffic).
+
+The fault matrix exercised here is the acceptance surface of the
+resilience subsystem:
+
+* a worker faulted mid-search (any fault kind) is detected — killed
+  and garbage workers synchronously, hung workers by heartbeat
+  eviction — its envelopes are reassigned, and the result is identical
+  to the serial reference;
+* killing a placed strip **owner** mid-search recovers via replica
+  promotion: the ``SearchResult`` is bit-identical to the in-process
+  sharded reference (same ``n_shards``), with the same op ledger and
+  Gram-computation count (no fresh-cache rebuild, ``n_strip_rebuilds
+  == 0``) and ``n_gathers == 0``;
+* killing the re-replication *target* mid-copy degrades gracefully:
+  the copy is retried against another survivor and the search is
+  unaffected;
+* a dead owner under ``replication=1`` triggers the *explicit* rebuild
+  fallback (a ``RuntimeWarning`` plus ``MSG_STRIP_REBUILD`` on a
+  survivor), still bit-identical;
+* losing **every** holder of a strip with replicas requested raises
+  :class:`repro.cluster.StripLossError`; losing the whole fleet raises
+  a clean :class:`~repro.engine.tasks.WorkerCrashError`.
+
+Timing discipline: faults trip on deterministic frame counts, and
+background re-replication is awaited (``wait_replication``) or pinned
+(no-op ``_kick_replicator``) before asserting — no sleeps for luck.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ShardPlacement,
+    SocketBackend,
+    StripLossError,
+    WorkerServer,
+)
+from repro.cluster.protocol import MSG_STRIP_INSTALL, MSG_TASK
+from repro.combinatorics import cone_partitions
+from repro.engine import (
+    KernelEvaluationEngine,
+    ShardedGramCache,
+    WorkerCrashError,
+)
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.kernels.partition_kernel import default_block_kernel
+from repro.mkl import PartitionMKLSearch
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """rest=5 (Bell(5)=52 evaluations): enough envelopes and distinct
+    blocks for faults to trip mid-search with work left to recover."""
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 5, role="noise"),
+    ]
+    return make_faceted_classification(80, specs, seed=4)
+
+
+SEED_BLOCK = (0, 1)
+REST = (2, 3, 4, 5, 6)
+
+
+class FaultyWorker(WorkerServer):
+    """A ``WorkerServer`` with one scripted fault.
+
+    Parameters
+    ----------
+    fault:
+        ``None`` (behave normally), ``"kill"`` (stop the server without
+        replying — sockets torn down, like a crashed node), ``"hang"``
+        (stop replying on *every* connection while keeping them open —
+        like a wedged node; only heartbeat eviction can detect it), or
+        ``"garbage"`` (write non-protocol bytes in place of the reply —
+        like a corrupted or foreign peer).
+    at_frame:
+        1-based count of dispatched frames at which the fault trips.
+    count_types:
+        Restrict which message types advance the frame counter
+        (e.g. ``{MSG_TASK}`` = trip on the N-th task envelope); ``None``
+        counts every frame.
+    """
+
+    HANG_LIMIT_S = 60.0
+
+    def __init__(self, fault=None, at_frame=1, count_types=None, **kwargs):
+        super().__init__(**kwargs)
+        self.fault = fault
+        self.at_frame = int(at_frame)
+        self.count_types = None if count_types is None else set(count_types)
+        self._fault_lock = threading.Lock()
+        self._frames_counted = 0
+        self._tripped = threading.Event()
+        self._hang_release = threading.Event()
+
+    def release(self) -> None:
+        """Free any connection threads parked by a ``hang`` fault."""
+        self._hang_release.set()
+
+    def stop(self) -> None:
+        self.release()
+        super().stop()
+
+    def _dispatch(self, conn, msg_type, payload, auth=None):
+        if self.fault is not None and not self._tripped.is_set():
+            counted = self.count_types is None or msg_type in self.count_types
+            if counted:
+                with self._fault_lock:
+                    self._frames_counted += 1
+                    if self._frames_counted >= self.at_frame:
+                        self._tripped.set()
+        if self._tripped.is_set():
+            if self.fault == "kill":
+                WorkerServer.stop(self)  # keep _hang_release out of it
+                return False
+            if self.fault == "hang":
+                self._hang_release.wait(timeout=self.HANG_LIMIT_S)
+                return False
+            if self.fault == "garbage":
+                try:
+                    conn.sendall(b"\xde\xadNOT-A-PROTOCOL-FRAME\xbe\xef" * 4)
+                except OSError:
+                    pass
+                return False
+        return super()._dispatch(conn, msg_type, payload, auth)
+
+
+def _sharded_reference(workload, n_shards, strategy="exhaustive", **params):
+    """The in-process sharded run every placed result must bit-match."""
+    cache = ShardedGramCache(workload.X, n_shards=n_shards)
+    return PartitionMKLSearch().search(
+        workload.X, workload.y, SEED_BLOCK, strategy=strategy, cache=cache,
+        **params,
+    )
+
+
+def _assert_bit_identical(result, reference):
+    assert result.best_partition == reference.best_partition
+    assert result.best_score == reference.best_score  # bit-identical
+    for (_, a), (_, b) in zip(reference.history, result.history):
+        assert a == b
+    assert result.n_matrix_ops == reference.n_matrix_ops
+    assert result.n_gram_computations == reference.n_gram_computations
+
+
+# ---------------------------------------------------------------------------
+# Fault matrix: one faulted worker, plain sockets, survivor completes
+# ---------------------------------------------------------------------------
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("fault", ["kill", "garbage", "hang"])
+    def test_single_worker_fault_mid_search_recovers(self, workload, fault):
+        serial = PartitionMKLSearch().search_exhaustive(
+            workload.X, workload.y, SEED_BLOCK
+        )
+        faulty = FaultyWorker(
+            fault=fault, at_frame=2, count_types={MSG_TASK}
+        )
+        survivor = WorkerServer()
+        faulty.start_background()
+        survivor.start_background()
+        # Heartbeats are what detect the hang (the io timeout below is
+        # deliberately far longer than the test budget); kills and
+        # garbage are caught synchronously on the wire.
+        backend = SocketBackend(
+            workers=[faulty.address, survivor.address],
+            heartbeat_interval=0.1,
+            heartbeat_timeout=0.5,
+            io_timeout=30.0,
+        )
+        result = PartitionMKLSearch(backend=backend).search_exhaustive(
+            workload.X, workload.y, SEED_BLOCK
+        )
+        _assert_bit_identical(result, serial)
+        assert result.wire["n_reassigned"] > 0
+        if fault == "hang":
+            assert result.wire["n_evicted"] >= 1
+        backend.close()
+        faulty.stop()
+        survivor.stop()
+
+
+# ---------------------------------------------------------------------------
+# Placed searches: strip-owner death, replica promotion, no rebuild
+# ---------------------------------------------------------------------------
+
+
+class TestPlacedOwnerDeath:
+    def test_kill_strip_owner_exhaustive_recovers_bit_identical(self, workload):
+        reference = _sharded_reference(workload, n_shards=3)
+        workers = [
+            FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
+            WorkerServer(),
+            WorkerServer(),
+        ]
+        for worker in workers:
+            worker.start_background()
+        backend = SocketBackend(workers=[w.address for w in workers])
+        result = PartitionMKLSearch(backend=backend, shards=3).search(
+            workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
+        )
+        # The strip owner died mid-search; a replica was promoted and
+        # the search continued on resident state: bit-identical scores,
+        # identical op ledger and Gram count (no fresh-cache rebuild),
+        # and still not a single full-Gram gather.
+        _assert_bit_identical(result, reference)
+        assert result.wire["n_promotions"] >= 1
+        assert result.wire["n_strip_rebuilds"] == 0
+        assert result.wire["n_gathers"] == 0
+        assert result.wire["n_live_workers"] == 2
+        backend.close()
+        for worker in workers[1:]:
+            worker.stop()
+
+    def test_kill_owner_chain_search_builds_blocks_after_death(self, workload):
+        """The chain walk scores one refinement at a time, so every step
+        after the kill *must* run placement fan-outs against the updated
+        holder set — the promotion path, not just envelope reassignment."""
+        reference = _sharded_reference(
+            workload, n_shards=3, strategy="chain", patience=10
+        )
+        workers = [
+            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+            WorkerServer(),
+            WorkerServer(),
+        ]
+        for worker in workers:
+            worker.start_background()
+        backend = SocketBackend(workers=[w.address for w in workers])
+        result = PartitionMKLSearch(backend=backend, shards=3).search(
+            workload.X, workload.y, SEED_BLOCK, strategy="chain", patience=10
+        )
+        _assert_bit_identical(result, reference)
+        assert result.wire["n_promotions"] >= 1
+        assert result.wire["n_strip_rebuilds"] == 0
+        backend.close()
+        for worker in workers[1:]:
+            worker.stop()
+
+    def test_second_search_on_backend_with_standing_death(self, workload):
+        """A placed cache built after a worker already died must fold
+        the standing death into its placement at construction — the
+        coordinator notifies each death only once per worker life."""
+        reference = _sharded_reference(workload, n_shards=3)
+        workers = [
+            FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
+            WorkerServer(),
+            WorkerServer(),
+        ]
+        for worker in workers:
+            worker.start_background()
+        backend = SocketBackend(workers=[w.address for w in workers])
+        search = PartitionMKLSearch(backend=backend, shards=3)
+        first = search.search(
+            workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
+        )
+        _assert_bit_identical(first, reference)
+        # Worker 0 is now a standing death; this fresh cache's default
+        # placement would name it primary of strip 0.
+        second = search.search(
+            workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
+        )
+        _assert_bit_identical(second, reference)
+        assert backend.wire_stats()["n_promotions"] >= 2
+        backend.close()
+        for worker in workers[1:]:
+            worker.stop()
+
+    def test_dead_owner_with_replication_1_rebuilds_explicitly(self, workload):
+        picks = list(cone_partitions(SEED_BLOCK, REST))
+        serial = KernelEvaluationEngine(
+            workload.X,
+            workload.y,
+            gram_cache=ShardedGramCache(workload.X, n_shards=2),
+        )
+        expected = serial.score_batch(picks)
+        workers = [
+            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+            WorkerServer(),
+        ]
+        for worker in workers:
+            worker.start_background()
+        backend = SocketBackend(
+            workers=[w.address for w in workers], replication=1
+        )
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=2
+        )
+        # Batch 1: a single envelope — its statistics are built while
+        # the owner is still alive; the kill trips on delivery and the
+        # envelope is reassigned.  No placement traffic runs dead yet.
+        scores = list(engine.score_batch(picks[:1]))
+        # Batch 2 needs new blocks, so the placement layer touches the
+        # dead owner's lost strip — replication=1 has no replica, and
+        # the fallback is explicit: a warning plus a rebuild on the
+        # survivor, counted in the ledger.
+        with pytest.warns(RuntimeWarning, match="explicit rebuild"):
+            scores += engine.score_batch(picks[1:])
+        assert scores == expected
+        cache = engine.gram_cache
+        assert cache.n_strip_rebuilds >= 1
+        assert cache.n_promotions == 0  # nothing to promote without replicas
+        backend.close()
+        workers[1].stop()
+
+    def test_all_holders_dead_raises_strip_loss(self, workload):
+        servers = [WorkerServer(), WorkerServer(), WorkerServer()]
+        for server in servers:
+            server.start_background()
+        backend = SocketBackend(workers=[s.address for s in servers])
+        cache = backend.make_placed_cache(
+            workload.X,
+            default_block_kernel,
+            True,
+            n_shards=2,
+            placement=ShardPlacement(2, 3, owners=[0, 1], replication=2),
+        )
+        # Pin the race: disable background re-replication so the
+        # double-death below is guaranteed to out-run any repair.
+        cache._kick_replicator = lambda: None
+        stats = cache.stats_cache(workload.y)
+        stats.block_stats((2,))
+        # Strip 0 lives on workers {0, 1} only; kill both.
+        servers[0].stop()
+        servers[1].stop()
+        with pytest.raises(StripLossError, match="every holder of strip"):
+            stats.block_stats((3,))
+        backend.close()
+        servers[2].stop()
+
+
+# ---------------------------------------------------------------------------
+# Re-replication under fire
+# ---------------------------------------------------------------------------
+
+
+class TestReplicationFaults:
+    def test_target_killed_during_rereplication_retries_elsewhere(
+        self, workload
+    ):
+        picks = list(cone_partitions(SEED_BLOCK, REST))
+        serial = KernelEvaluationEngine(
+            workload.X,
+            workload.y,
+            gram_cache=ShardedGramCache(workload.X, n_shards=2),
+        )
+        expected = serial.score_batch(picks)
+        # Strip holders with 4 workers, 2 shards, replication 2:
+        # strip 0 on {0, 1}, strip 1 on {1, 2}; worker 3 idle — the
+        # least-loaded re-replication target.
+        workers = [
+            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+            WorkerServer(),
+            WorkerServer(),
+            FaultyWorker(
+                fault="kill", at_frame=1, count_types={MSG_STRIP_INSTALL}
+            ),
+        ]
+        for worker in workers:
+            worker.start_background()
+        backend = SocketBackend(workers=[w.address for w in workers])
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=2
+        )
+        scores = list(engine.score_batch(picks[:1]))  # owner 0 dies here
+        cache = engine.gram_cache
+        # Background repair: first target (worker 3) is killed by its
+        # own install frame; the copy is retried against worker 2.
+        assert cache.wait_replication(timeout=30.0)
+        assert cache.n_replicated_strips == 1
+        assert cache.placement.holders_of(0) == (1, 2)
+        assert backend.wire_stats()["replication_bytes_out"] > 0
+        scores += engine.score_batch(picks[1:])
+        assert scores == expected
+        assert cache.n_strip_rebuilds == 0
+        backend.close()
+        workers[1].stop()
+        workers[2].stop()
+
+
+# ---------------------------------------------------------------------------
+# Whole-fleet death
+# ---------------------------------------------------------------------------
+
+
+class TestFleetDeath:
+    def test_all_workers_dead_raises_clean_worker_crash(self, workload):
+        workers = [
+            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+        ]
+        for worker in workers:
+            worker.start_background()
+        backend = SocketBackend(
+            workers=[w.address for w in workers], retries=0
+        )
+        with pytest.raises(WorkerCrashError):
+            PartitionMKLSearch(backend=backend).search_exhaustive(
+                workload.X, workload.y, SEED_BLOCK
+            )
+        backend.close()
+
+    def test_all_workers_dead_placed_raises_clean_worker_crash(self, workload):
+        workers = [
+            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+            FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
+        ]
+        for worker in workers:
+            worker.start_background()
+        backend = SocketBackend(
+            workers=[w.address for w in workers], retries=0
+        )
+        with pytest.raises(WorkerCrashError):
+            PartitionMKLSearch(backend=backend, shards=2).search(
+                workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
+            )
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Harness self-checks (FaultyWorker is reused by future suites)
+# ---------------------------------------------------------------------------
+
+
+class TestHarness:
+    def test_faulty_worker_counts_only_requested_types(self):
+        import socket as socket_mod
+
+        from repro.cluster.protocol import (
+            MSG_PING,
+            MSG_PONG,
+            recv_frame,
+            send_frame,
+        )
+
+        worker = FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK})
+        worker.start_background()
+        # Control traffic does not advance the task-frame counter.
+        with socket_mod.create_connection((worker.host, worker.port)) as sock:
+            for _ in range(3):
+                send_frame(sock, MSG_PING, b"")
+                assert recv_frame(sock)[0] == MSG_PONG
+        assert not worker._tripped.is_set()
+        worker.stop()
+
+    def test_faulty_worker_none_fault_behaves_normally(self, workload):
+        worker = FaultyWorker()
+        worker.start_background()
+        backend = SocketBackend(workers=[worker.address])
+        result = PartitionMKLSearch(backend=backend).search_chain(
+            workload.X, workload.y, SEED_BLOCK
+        )
+        serial = PartitionMKLSearch().search_chain(
+            workload.X, workload.y, SEED_BLOCK
+        )
+        assert result.best_score == serial.best_score
+        assert np.isfinite(result.best_score)
+        backend.close()
+        worker.stop()
