@@ -263,6 +263,67 @@ def run() -> dict:
         "wire": _wire_row(resilience_wire),
     }
 
+    # Speculative strategy batching: the sequential searches (chain
+    # walks, best-first) submit one score — or one frontier — between
+    # decisions, so the socket pipeline drains while the strategy
+    # thinks.  With speculate=True the strategy proposes its likely
+    # next candidates ahead of each decision; the evidence recorded is
+    # (a) the SearchResult is bit-identical either way, and (b) the
+    # ledger shows hits > 0, >= 2 envelopes submitted ahead between
+    # decisions, and fewer pipeline drains than decisions — with all
+    # misprediction waste booked in result.speculation.
+    speculation: dict[str, dict] = {}
+    with spawn_local_workers(2) as cluster:
+        for strategy, params in (
+            ("chain", {"patience": 2}),
+            ("best_first", {"max_evaluations": 60}),
+        ):
+            timed: dict[bool, tuple] = {}
+            for speculate in (False, True):
+                spec_backend = SocketBackend(workers=cluster.addresses)
+                spec_search = PartitionMKLSearch(
+                    engine_mode="incremental",
+                    backend=spec_backend,
+                    speculate=speculate,
+                )
+                start = time.perf_counter()
+                result = spec_search.search(
+                    workload.X, workload.y, SEED_BLOCK,
+                    strategy=strategy, **params,
+                )
+                timed[speculate] = (result, time.perf_counter() - start)
+                spec_backend.close()
+            off, off_s = timed[False]
+            on, on_s = timed[True]
+            # Acceptance contract: bit-identical SearchResult.
+            assert on.best_partition == off.best_partition
+            assert on.best_score == off.best_score
+            assert [s for _, s in on.history] == [
+                s for _, s in off.history
+            ], f"{strategy}: speculative scores must be bit-identical"
+            assert on.n_evaluations == off.n_evaluations
+            assert on.n_matrix_ops == off.n_matrix_ops
+            ledger = on.speculation
+            assert ledger["n_hits"] > 0
+            assert ledger["ahead_max"] >= 2
+            assert ledger["n_drains"] < ledger["n_decisions"]
+            speculation[strategy] = {
+                "params": params,
+                "off": _row(off, off_s),
+                "on": {**_row(on, on_s), "speculation": ledger},
+                "pipeline": {
+                    "decisions": ledger["n_decisions"],
+                    # Without speculation nothing is ever submitted
+                    # ahead: every decision waits on a drained pipeline.
+                    "drains_without_speculation": ledger["n_decisions"],
+                    "drains_with_speculation": ledger["n_drains"],
+                    "submitted_ahead_max": ledger["ahead_max"],
+                    "submitted_ahead_mean": ledger["ahead_mean"],
+                    "hit_rate": ledger["n_hits"]
+                    / max(1, ledger["n_speculated"]),
+                },
+            }
+
     return {
         "benchmark": "bench_backends",
         "workload": f"2+2 facets + 4 noise, n={N_SAMPLES}, rest={rest_size}",
@@ -278,6 +339,7 @@ def run() -> dict:
         },
         "worker_sweep": sweep,
         "resilience": resilience,
+        "speculation": speculation,
         "parity": {
             "processes_scores_bit_identical_to_serial": True,
             "sockets_scores_bit_identical_to_serial": True,
@@ -344,6 +406,17 @@ def print_report() -> None:
         f"  re-replicated={wire['replication_bytes_out']}B"
         f"  auth={wire['auth_bytes_out']}B  ({resilience['fault']})"
     )
+    for strategy, rows in report["speculation"].items():
+        pipeline = rows["pipeline"]
+        print(
+            f"  speculate:{strategy:<14} hit rate {pipeline['hit_rate']:.0%}"
+            f"  ahead(max/mean)={pipeline['submitted_ahead_max']}"
+            f"/{pipeline['submitted_ahead_mean']:.1f}"
+            f"  drains {pipeline['drains_without_speculation']}"
+            f"->{pipeline['drains_with_speculation']}"
+            f"  wasted={rows['on']['speculation']['wasted_bytes']}B"
+            "  (bit-identical)"
+        )
     print(
         "  processes scores bit-identical to serial; op ledgers equal; "
         f"sharded score delta {sharded['best_score_delta_vs_serial']:.2e}"

@@ -1,13 +1,26 @@
 """Experiment A1 — ablation of the lattice exploration strategies.
 
-On a fixed faceted workload, compares every implemented strategy on
-(search cost, achieved score, held-out accuracy): exhaustive Bell-cost
-enumeration, single symmetric chain, multi-chain walk, and greedy
-smushing.  The design question (DESIGN.md): how much of the exhaustive
-optimum do the cheap strategies retain?
+Two cones, two questions:
+
+* **Narrow cone** (rest = 5, exhaustive feasible): on a fixed faceted
+  workload, compares every strategy against the exhaustive Bell-cost
+  optimum on (search cost, achieved score, held-out accuracy).  The
+  design question (DESIGN.md): how much of the exhaustive optimum do
+  the cheap strategies retain?
+* **Wide cone** (rest = 10, Bell(10) = 115 975 — exhaustive out of
+  reach): the ROADMAP's open question — do the engine's beam /
+  best-first searches beat the paper's chain walks when the cone is
+  too wide to enumerate?  All strategies run on the alignment
+  surrogate with comparable evaluation budgets; the budgeted searches
+  are scored on what they find per evaluation spent.
+
+Writes ``BENCH_search_ablation.json`` at the repo root.
 
 Run standalone:  python benchmarks/bench_search_ablation.py
 """
+
+import json
+from pathlib import Path
 
 import numpy as np
 
@@ -22,6 +35,10 @@ from repro.mkl import (
     alignment_weights,
     greedy_smush,
 )
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_search_ablation.json"
+
+WIDE_BUDGET = 220  # evaluations allotted to each budgeted wide-cone search
 
 
 def heldout_accuracy(partition, X_train, y_train, X_test, y_test) -> float:
@@ -42,7 +59,25 @@ def heldout_accuracy(partition, X_train, y_train, X_test, y_test) -> float:
     return accuracy_score(y_test, model.predict(cross))
 
 
+def _rows(outcomes, X_train, y_train, X_test, y_test) -> list[dict]:
+    rows = []
+    for name, result in outcomes.items():
+        rows.append(
+            {
+                "strategy": name,
+                "evaluations": result.n_evaluations,
+                "search_score": result.best_score,
+                "heldout": heldout_accuracy(
+                    result.best_partition, X_train, y_train, X_test, y_test
+                ),
+                "partition": result.best_partition.compact_str(),
+            }
+        )
+    return rows
+
+
 def run(n_samples: int = 350, seed: int = 6) -> list[dict]:
+    """Narrow cone (rest = 5): every strategy vs the exhaustive optimum."""
     specs = [
         FacetSpec("a", 2, signal="product", weight=1.5),
         FacetSpec("b", 2, signal="radial", weight=1.0),
@@ -69,33 +104,105 @@ def run(n_samples: int = 350, seed: int = 6) -> list[dict]:
     outcomes["greedy_smush"] = greedy_smush(
         search, X_train, y_train, seed_block, cache=cache
     )
+    return _rows(outcomes, X_train, y_train, X_test, y_test)
 
-    rows = []
-    for name, result in outcomes.items():
-        rows.append(
-            {
-                "strategy": name,
-                "evaluations": result.n_evaluations,
-                "search_score": result.best_score,
-                "heldout": heldout_accuracy(
-                    result.best_partition, X_train, y_train, X_test, y_test
+
+def run_wide(n_samples: int = 320, seed: int = 9) -> list[dict]:
+    """Wide cone (rest = 10): beam / best-first vs the chain walks.
+
+    Bell(10) = 115 975 rules the exhaustive baseline out, which is
+    precisely the regime the budgeted searches were added for.  Every
+    strategy uses the alignment surrogate; beam and best-first get the
+    same evaluation cap so the comparison is score-per-budget.
+    """
+    specs = [
+        FacetSpec("a", 2, signal="product", weight=1.5),
+        FacetSpec("b", 2, signal="radial", weight=1.1),
+        FacetSpec("c", 2, signal="product", weight=0.9),
+        FacetSpec("noise", 6, role="noise"),
+    ]
+    workload = make_faceted_classification(n_samples, specs, seed=seed)
+    X_train, X_test, y_train, y_test = train_test_split(
+        workload.X, workload.y, 0.3, seed=0, stratify=True
+    )
+    search = PartitionMKLSearch()  # alignment scorer, incremental path
+    cache = GramCache(X_train)
+    seed_block = (0, 1)
+
+    outcomes = {}
+    outcomes["chain"] = search.search_chain(
+        X_train, y_train, seed_block, patience=2, cache=cache
+    )
+    outcomes["chains(5)"] = search.search_chains(
+        X_train, y_train, seed_block, n_chains=5, patience=2, cache=cache
+    )
+    outcomes["greedy"] = search.search_greedy(
+        X_train, y_train, seed_block, cache=cache
+    )
+    outcomes[f"beam(3,{WIDE_BUDGET})"] = search.search_beam(
+        X_train,
+        y_train,
+        seed_block,
+        beam_width=3,
+        max_evaluations=WIDE_BUDGET,
+        cache=cache,
+    )
+    outcomes[f"best_first({WIDE_BUDGET})"] = search.search_best_first(
+        X_train, y_train, seed_block, max_evaluations=WIDE_BUDGET, cache=cache
+    )
+    return _rows(outcomes, X_train, y_train, X_test, y_test)
+
+
+def build_report() -> dict:
+    narrow = run()
+    wide = run_wide()
+    chain_walks = [r for r in wide if r["strategy"].startswith("chain")]
+    frontier = [
+        r
+        for r in wide
+        if r["strategy"].startswith(("beam", "best_first"))
+    ]
+    return {
+        "benchmark": "bench_search_ablation",
+        "narrow_cone": {
+            "rest": 5,
+            "scorer": "cv_accuracy",
+            "rows": narrow,
+        },
+        "wide_cone": {
+            "rest": 10,
+            "bell_number": 115975,
+            "scorer": "alignment",
+            "budget": WIDE_BUDGET,
+            "rows": wide,
+            "summary": {
+                "best_chain_walk_score": max(
+                    r["search_score"] for r in chain_walks
                 ),
-                "partition": result.best_partition.compact_str(),
-            }
-        )
-    return rows
+                "best_frontier_search_score": max(
+                    r["search_score"] for r in frontier
+                ),
+            },
+        },
+    }
+
+
+def write_results(report: dict) -> None:
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
 
 def print_report() -> None:
-    rows = run()
+    report = build_report()
+    write_results(report)
+    rows = report["narrow_cone"]["rows"]
     print("EXPERIMENT A1 — SEARCH STRATEGY ABLATION")
     print(
-        f"{'strategy':<14} {'evals':>6} {'cv score':>9} {'heldout':>8}  partition"
+        f"{'strategy':<18} {'evals':>6} {'cv score':>9} {'heldout':>8}  partition"
     )
     best_exhaustive = next(r for r in rows if r["strategy"] == "exhaustive")
     for row in rows:
         print(
-            f"{row['strategy']:<14} {row['evaluations']:>6}"
+            f"{row['strategy']:<18} {row['evaluations']:>6}"
             f" {row['search_score']:>9.3f} {row['heldout']:>8.3f}"
             f"  {row['partition']}"
         )
@@ -106,6 +213,25 @@ def print_report() -> None:
         f" optimum's score at a fraction of its"
         f" {best_exhaustive['evaluations']} evaluations."
     )
+    wide = report["wide_cone"]
+    print(
+        f"\nWIDE CONE — rest=10 (Bell = {wide['bell_number']},"
+        " exhaustive out of reach), alignment surrogate"
+    )
+    print(f"{'strategy':<18} {'evals':>6} {'score':>9} {'heldout':>8}  partition")
+    for row in wide["rows"]:
+        print(
+            f"{row['strategy']:<18} {row['evaluations']:>6}"
+            f" {row['search_score']:>9.3f} {row['heldout']:>8.3f}"
+            f"  {row['partition']}"
+        )
+    summary = wide["summary"]
+    print(
+        f"\nfrontier searches reach {summary['best_frontier_search_score']:.3f}"
+        f" vs the chain walks' {summary['best_chain_walk_score']:.3f}"
+        f" within {wide['budget']} evaluations."
+    )
+    print(f"results written to {RESULTS_PATH.name}")
 
 
 def test_benchmark_ablation(benchmark):
@@ -118,6 +244,21 @@ def test_benchmark_ablation(benchmark):
     )
     assert by_name["chain"]["evaluations"] <= min(
         row["evaluations"] for row in rows
+    )
+
+
+def test_benchmark_wide_cone(benchmark):
+    rows = benchmark.pedantic(run_wide, rounds=1, iterations=1)
+    by_name = {row["strategy"]: row for row in rows}
+    # The budgeted frontier searches must respect their caps and at
+    # least match the single chain walk they were added to beat.
+    frontier = [
+        row for name, row in by_name.items()
+        if name.startswith(("beam", "best_first"))
+    ]
+    assert all(row["evaluations"] <= WIDE_BUDGET for row in frontier)
+    assert max(r["search_score"] for r in frontier) >= (
+        by_name["chain"]["search_score"] - 1e-9
     )
 
 

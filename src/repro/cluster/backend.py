@@ -165,6 +165,37 @@ class SocketBackend:
         """Envelopes per batch (shared 2-per-worker pipeline policy)."""
         return default_task_chunks(n_items, self.coordinator.n_workers)
 
+    # -- speculation plane ---------------------------------------------
+    #
+    # The engine's speculation scheduler submits *likely next*
+    # envelopes ahead of the strategy's decision through these hooks;
+    # they ride the same per-worker pipeline windows (and the same
+    # reassignment/eviction machinery) as batch envelopes, keyed by
+    # coordinator tickets.
+
+    supports_speculation = True
+
+    def submit_task(self, payload: bytes) -> int:
+        """Submit one envelope without waiting for its result.
+
+        Returns an opaque handle for ``wait_task``/``cancel_task``.
+        The same wire-size guard as the batch path applies — an
+        oversized speculative envelope is a configuration bug, not a
+        reason to strain the network quietly.
+        """
+        check_task_payload(payload, self.max_task_bytes)
+        return self.coordinator.submit_ticket(payload, speculative=True)
+
+    def wait_task(self, handle: int) -> tuple[list[float], int] | None:
+        """Block for a speculative result; ``None`` if it was lost
+        (plane reset, cancellation) — the caller rescores normally."""
+        return self.coordinator.wait_ticket(handle)
+
+    def cancel_task(self, handle: int) -> None:
+        """Best-effort cancel: queued envelopes never ship; in-flight
+        ones have their results discarded on arrival."""
+        self.coordinator.cancel_ticket(handle)
+
     # -- placement-aware sharding --------------------------------------
 
     def make_placed_cache(

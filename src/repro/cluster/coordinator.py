@@ -45,6 +45,7 @@ evidence ``BENCH_backends.json`` records.
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 from collections import deque
@@ -147,6 +148,23 @@ class WorkerLink:
             except OSError:
                 pass
 
+    def readable(self) -> bool:
+        """True if at least one byte can be read without blocking.
+
+        Frame-granularity is *not* guaranteed — a readable socket may
+        hold a partial frame, so a follow-up ``recv`` can still block
+        briefly.  Good enough for opportunistic draining of completed
+        results between submissions (frames here are small and local).
+        """
+        sock = self._sock
+        if sock is None:
+            return False
+        try:
+            ready, _, _ = select.select([sock], [], [], 0)
+        except (OSError, ValueError):
+            return False
+        return bool(ready)
+
     def abort(self) -> None:
         """Shut the socket down without closing it (safe cross-thread).
 
@@ -203,8 +221,8 @@ class _TaskChannel:
     def __init__(self, link: WorkerLink, index: int):
         self.link = link
         self.index = index
-        # (task index, payload) in submission order == reply order.
-        self.outstanding: deque[tuple[int, bytes]] = deque()
+        # Ticket ids in submission order == reply order (worker FIFO).
+        self.outstanding: deque[int] = deque()
 
     def __len__(self) -> int:
         return len(self.outstanding)
@@ -310,6 +328,20 @@ class Coordinator:
         self.n_reconnect_rounds = 0
         self.n_heartbeats = 0
         self.n_evicted = 0
+        # Ticket-granular task plane: every envelope — batch or
+        # speculative — gets a ticket; results are routed by ticket, so
+        # speculative submissions and pipelined batches share the same
+        # windows, reassignment, and eviction machinery.
+        self._next_ticket = 0
+        self._queue_real: deque[int] = deque()
+        self._queue_spec: deque[int] = deque()
+        self._ticket_payloads: dict[int, bytes] = {}
+        self._ticket_results: dict[int, tuple[list[float], int]] = {}
+        self._ticket_errors: dict[int, Exception] = {}
+        self._speculative_tickets: set[int] = set()
+        self._cancelled_tickets: set[int] = set()
+        self.n_speculative_tasks = 0
+        self.n_discarded_results = 0
 
     # -- fleet bookkeeping ---------------------------------------------
 
@@ -650,6 +682,8 @@ class Coordinator:
             "n_reconnect_rounds": self.n_reconnect_rounds,
             "n_heartbeats": self.n_heartbeats,
             "n_evicted": self.n_evicted,
+            "n_speculative_tasks": self.n_speculative_tasks,
+            "n_discarded_results": self.n_discarded_results,
             "envelope_bytes_out": totals_out.get("envelope", 0),
             "envelope_bytes_in": totals_in.get("envelope", 0),
             "placement_bytes_out": totals_out.get("placement", 0),
@@ -663,6 +697,102 @@ class Coordinator:
         }
 
     # -- task plane ----------------------------------------------------
+    #
+    # Every envelope — batch or speculative — is tracked by an integer
+    # *ticket*.  Tickets move queued -> in-flight (on a channel's FIFO
+    # window) -> resolved (result/error stored) and are consumed by
+    # ``wait_ticket``/``poll_ticket``.  A worker death requeues its
+    # in-flight tickets (reassignment); a cancelled ticket's result is
+    # discarded on arrival instead of requeued.  ``map_tasks_payloads``
+    # is a thin layer over the same machinery, so speculative
+    # submissions and pipelined batches interleave on one window
+    # without sequence numbers: the per-channel FIFO is the truth.
+
+    def submit_ticket(self, payload: bytes, speculative: bool = False) -> int:
+        """Enqueue one envelope; non-blocking beyond the TCP send.
+
+        The envelope is placed on a free window slot immediately when
+        one exists; otherwise it waits in the coordinator-side queue
+        and is flushed by the next ``pump``/receive.  Real (batch)
+        tickets always outrank queued speculative ones at submission
+        time.
+        """
+        self._ensure_heartbeat()
+        self._ensure_channels()
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._ticket_payloads[ticket] = payload
+        if speculative:
+            self._speculative_tickets.add(ticket)
+            self.n_speculative_tasks += 1
+            self._queue_spec.append(ticket)
+        else:
+            self._queue_real.append(ticket)
+        self._fill_windows()
+        return ticket
+
+    def pump(self) -> None:
+        """Opportunistic, non-blocking progress: drain results that are
+        already on the wire, then top the windows back up."""
+        self._purge_evicted()
+        for channel in list(self._channels):
+            while channel.outstanding and channel.link.readable():
+                if not self._receive_from(channel):
+                    break
+        self._fill_windows()
+
+    def poll_ticket(self, ticket: int) -> tuple[bool, tuple | None]:
+        """Non-blocking status: ``(done, result)``.
+
+        ``(True, result)`` consumes a resolved ticket, ``(True, None)``
+        reports a lost one (plane reset, cancelled), ``(False, None)``
+        means still queued or in flight.  A stored worker application
+        error is raised on consumption.
+        """
+        self.pump()
+        if ticket in self._ticket_results:
+            return True, self._ticket_results.pop(ticket)
+        if ticket in self._ticket_errors:
+            raise self._ticket_errors.pop(ticket)
+        if self._ticket_known(ticket):
+            return False, None
+        return True, None
+
+    def wait_ticket(self, ticket: int) -> tuple | None:
+        """Block until a ticket resolves; ``None`` if it was lost.
+
+        Other tickets' results arriving first are stored for their own
+        waiters; deaths en route trigger the normal reassignment path.
+        A worker application error (``MSG_ERROR``) for *this* ticket is
+        raised here — at consumption — so a wasted speculative envelope
+        that happened to error never poisons an unrelated wait.
+        """
+        while True:
+            if ticket in self._ticket_results:
+                return self._ticket_results.pop(ticket)
+            if ticket in self._ticket_errors:
+                raise self._ticket_errors.pop(ticket)
+            if not self._ticket_known(ticket):
+                return None
+            self._progress_toward(ticket)
+
+    def cancel_ticket(self, ticket: int) -> None:
+        """Best-effort cancel: a queued ticket is dropped before any
+        byte ships; an in-flight one has its eventual result discarded
+        on arrival (the per-channel FIFO cannot skip frames); a
+        resolved one has its stored result dropped.  Waiting on a
+        cancelled ticket afterwards reports it lost."""
+        for queue in (self._queue_real, self._queue_spec):
+            if ticket in queue:
+                queue.remove(ticket)
+                self._forget_ticket(ticket)
+                return
+        self._ticket_results.pop(ticket, None)
+        self._ticket_errors.pop(ticket, None)
+        if any(ticket in c.outstanding for c in self._channels):
+            self._cancelled_tickets.add(ticket)
+            return
+        self._forget_ticket(ticket)
 
     def map_tasks_payloads(self, payloads: Iterable[bytes]) -> list[tuple[list[float], int]]:
         """Score pre-serialized envelopes across the fleet, input order.
@@ -671,6 +801,10 @@ class Coordinator:
         as it is produced, so the caller's next-chunk statistics
         materialise while workers score the current ones (the same
         async overlap the process pool gets from its lazy generator).
+        Submission applies window backpressure — the producer is pulled
+        only as fast as the fleet frees slots — and outstanding
+        speculative tickets are serviced along the way (their results
+        routed to their own tickets, never confused with the batch's).
 
         Mirrors the process pool's recovery contract: after a batch
         dies with ``WorkerCrashError`` the coordinator remains usable —
@@ -679,40 +813,65 @@ class Coordinator:
         picked up automatically).
         """
         self._ensure_heartbeat()
+        self._ensure_channels()
+        tickets: list[int] = []
+        try:
+            for payload in payloads:
+                tickets.append(self.submit_ticket(payload))
+                self._apply_backpressure()
+            results = [self.wait_ticket(ticket) for ticket in tickets]
+        except Exception:
+            # Leave no stale RESULT frames behind on any socket: a
+            # failed batch resets the task plane; links reconnect
+            # lazily on the next call.
+            self._reset_task_plane()
+            raise
+        if any(result is None for result in results):
+            raise WorkerCrashError(
+                "task results lost mid-batch (task plane was reset)"
+            )
+        return results
+
+    # Internal helpers --------------------------------------------------
+
+    def _ensure_channels(self) -> None:
         if not self._channels:
             self._revive_all()
             self._channels = [
                 _TaskChannel(WorkerLink(addr, **self._link_options), index)
                 for index, addr in enumerate(self._addresses)
             ]
-        results: dict[int, tuple[list[float], int]] = {}
-        requeue: deque[tuple[int, bytes]] = deque()
-        index = 0
-        try:
-            for payload in payloads:
-                self._submit((index, payload), results, requeue)
-                index += 1
-                self._drain_requeue(results, requeue)
-            while any(self._channels) or requeue:
-                self._drain_requeue(results, requeue)
-                for channel in [c for c in self._channels if len(c)]:
-                    self._receive_one(channel, results, requeue)
-        except Exception:
-            # Leave no stale RESULT frames behind on any socket: a
-            # failed batch resets the task plane; links reconnect
-            # lazily on the next call.
-            self._reset_task_links()
-            raise
-        return [results[i] for i in range(index)]
 
-    # Internal helpers --------------------------------------------------
+    def _ticket_known(self, ticket: int) -> bool:
+        """Queued or in flight (i.e. a result is still coming)."""
+        return (
+            ticket in self._queue_real
+            or ticket in self._queue_spec
+            or any(ticket in c.outstanding for c in self._channels)
+        )
 
-    def _reset_task_links(self) -> None:
+    def _forget_ticket(self, ticket: int) -> None:
+        self._ticket_payloads.pop(ticket, None)
+        self._speculative_tickets.discard(ticket)
+        self._cancelled_tickets.discard(ticket)
+
+    def _reset_task_plane(self) -> None:
+        """Failed batch: close links, drop queued/in-flight tickets.
+
+        Dropped tickets report as *lost* to their waiters — the engine
+        rescores lost speculations through the normal path; the batch
+        itself is already propagating its failure.
+        """
         for channel in self._channels:
             channel.link.close()
+            for ticket in channel.outstanding:
+                self._forget_ticket(ticket)
             channel.outstanding.clear()
+        for queue in (self._queue_real, self._queue_spec):
+            while queue:
+                self._forget_ticket(queue.popleft())
 
-    def _purge_evicted(self, requeue: deque[tuple[int, bytes]]) -> None:
+    def _purge_evicted(self) -> None:
         """Bury channels the heartbeat monitor marked for eviction.
 
         Runs on the task-plane thread (the only mutator of
@@ -724,13 +883,12 @@ class Coordinator:
         if not evicted:
             return
         for channel in [c for c in self._channels if c.index in evicted]:
-            self._handle_death(channel, requeue)
+            self._handle_death(channel)
         with self._state_lock:
             self._evicted_pending -= evicted
 
-    def _pick_channel(self, requeue: deque[tuple[int, bytes]]) -> _TaskChannel:
-        """Least-loaded live channel; reconnect the fleet if none."""
-        self._purge_evicted(requeue)
+    def _reconnect_or_raise(self) -> None:
+        """Rebuild the channel list from live addresses, or give up."""
         attempts = 0
         while not self._channels:
             if attempts >= self.retries:
@@ -764,71 +922,122 @@ class Coordinator:
                 probe.close()
                 link = WorkerLink(address, **self._link_options)
                 self._channels.append(_TaskChannel(link, index))
-        return min(self._channels, key=len)
 
-    def _handle_death(
-        self,
-        channel: _TaskChannel,
-        requeue: deque[tuple[int, bytes]],
-    ) -> None:
-        """Bury a dead worker; its outstanding envelopes get reassigned."""
+    def _handle_death(self, channel: _TaskChannel) -> None:
+        """Bury a dead worker; its outstanding envelopes get reassigned.
+
+        Reassignment requeues at the *front* (they were next in line);
+        cancelled tickets are simply dropped — their work should not be
+        re-done just to be discarded.
+        """
         if channel in self._channels:
             self._channels.remove(channel)
         self._dead.append(channel.link)
         channel.link.close()
-        self.n_reassigned += len(channel.outstanding)
-        requeue.extend(channel.outstanding)
+        for ticket in reversed(channel.outstanding):
+            if ticket in self._cancelled_tickets:
+                self._forget_ticket(ticket)
+                continue
+            self.n_reassigned += 1
+            if ticket in self._speculative_tickets:
+                self._queue_spec.appendleft(ticket)
+            else:
+                self._queue_real.appendleft(ticket)
         channel.outstanding.clear()
         self._mark_dead(channel.index)
 
-    def _submit(
-        self,
-        item: tuple[int, bytes],
-        results: dict[int, tuple[list[float], int]],
-        requeue: deque[tuple[int, bytes]],
-    ) -> None:
-        while True:
-            channel = self._pick_channel(requeue)
+    def _fill_windows(self) -> None:
+        """Place queued tickets on free window slots (never blocks)."""
+        self._purge_evicted()
+        while (self._queue_real or self._queue_spec) and self._channels:
+            channel = min(self._channels, key=len)
             if len(channel) >= self.window:
-                if not self._receive_one(channel, results, requeue):
-                    continue  # that worker died; pick another
-            try:
-                channel.link.send(MSG_TASK, item[1])
-            except (ProtocolError, OSError):
-                self._handle_death(channel, requeue)
+                return
+            queue = self._queue_real if self._queue_real else self._queue_spec
+            ticket = queue[0]
+            if ticket in self._cancelled_tickets:
+                queue.popleft()
+                self._forget_ticket(ticket)
                 continue
-            channel.outstanding.append(item)
+            try:
+                channel.link.send(MSG_TASK, self._ticket_payloads[ticket])
+            except (ProtocolError, OSError):
+                self._handle_death(channel)
+                continue
+            queue.popleft()
+            channel.outstanding.append(ticket)
             self.n_tasks += 1
-            return
 
-    def _receive_one(
-        self,
-        channel: _TaskChannel,
-        results: dict[int, tuple[list[float], int]],
-        requeue: deque[tuple[int, bytes]],
-    ) -> bool:
-        """Pull one result off a channel; False if the worker died."""
+    def _apply_backpressure(self) -> None:
+        """Block until the real queue is fully placed on the windows."""
+        while True:
+            self._fill_windows()
+            if not self._queue_real:
+                return
+            if not self._channels:
+                self._reconnect_or_raise()
+                continue
+            candidates = [c for c in self._channels if len(c)]
+            if candidates:
+                self._receive_from(min(candidates, key=len))
+
+    def _progress_toward(self, ticket: int) -> None:
+        """One blocking step toward resolving ``ticket``."""
+        self._purge_evicted()
+        for channel in list(self._channels):
+            if ticket in channel.outstanding:
+                self._receive_from(channel)
+                return
+        if ticket in self._queue_real or ticket in self._queue_spec:
+            self._fill_windows()
+            if self._ticket_in_flight(ticket):
+                return
+            if not self._channels:
+                self._reconnect_or_raise()
+                return
+            # Windows full everywhere: free a slot.
+            candidates = [c for c in self._channels if len(c)]
+            if candidates:
+                self._receive_from(min(candidates, key=len))
+
+    def _ticket_in_flight(self, ticket: int) -> bool:
+        return any(ticket in c.outstanding for c in self._channels)
+
+    def _receive_from(self, channel: _TaskChannel) -> bool:
+        """Pull one result frame off a channel; False if the worker died.
+
+        The frame resolves whatever ticket is at the head of the
+        channel's FIFO: results are stored for their waiter, worker
+        application errors are stored and raised at consumption, and
+        cancelled tickets' results are discarded (and counted)."""
         try:
             msg_type, payload = channel.link.recv()
-        except RemoteTaskError:
-            raise
+        except RemoteTaskError as error:
+            # The error frame consumed the head ticket's reply slot;
+            # the link stays usable for the envelopes behind it.
+            ticket = channel.outstanding.popleft()
+            self.n_results += 1
+            if ticket in self._cancelled_tickets:
+                self.n_discarded_results += 1
+                self._forget_ticket(ticket)
+            else:
+                self._ticket_errors[ticket] = error
+                self._ticket_payloads.pop(ticket, None)
+            return True
         except (ProtocolError, OSError):
-            self._handle_death(channel, requeue)
+            self._handle_death(channel)
             return False
         if msg_type != MSG_RESULT:
             raise ProtocolError(
                 f"worker {channel.link.address} sent frame type {msg_type} "
                 "on the task plane"
             )
-        index, _ = channel.outstanding.popleft()
-        results[index] = decode_result(payload)
+        ticket = channel.outstanding.popleft()
         self.n_results += 1
+        if ticket in self._cancelled_tickets:
+            self.n_discarded_results += 1
+            self._forget_ticket(ticket)
+        else:
+            self._ticket_results[ticket] = decode_result(payload)
+            self._ticket_payloads.pop(ticket, None)
         return True
-
-    def _drain_requeue(
-        self,
-        results: dict[int, tuple[list[float], int]],
-        requeue: deque[tuple[int, bytes]],
-    ) -> None:
-        while requeue:
-            self._submit(requeue.popleft(), results, requeue)

@@ -507,6 +507,10 @@ class PlacedGramCache(_KeyLocked):
         with self._data_lock:
             self._target_workers.add(worker)
 
+    def gram_cached(self, block: Sequence[int]) -> bool:
+        """True if the block's strips are already built fleet-side."""
+        return canonical_block_key(block) in self._row_stats
+
     def ensure_strips(self, block: Sequence[int]) -> tuple[np.ndarray, float]:
         """Build (normalise) a block's strips on every holder, once.
 
@@ -835,6 +839,9 @@ class PlacedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
         self.target_norm = float(self.centered_y @ self.centered_y)
         # Ledger parity with the dense cache's two target passes.
         self.n_matrix_ops = 2
+
+    def _pair_stats_keys(self):
+        return self._centered_keys
 
     def _ensure_target(self) -> None:
         self.grams.ship_target(self.centered_y)

@@ -84,6 +84,13 @@ class FacetedLearner:
     overlap:
         Materialise upcoming batches' statistics in the background
         while the current batch is scored.
+    speculate:
+        Strategy-side speculative batching: the search proposes likely
+        next candidates before each decision resolves so networked
+        workers stay saturated; results are bit-identical, and the
+        hit/waste ledger lands on ``search_result_.speculation``.
+    speculation_depth:
+        Speculation budget and lookahead horizon.
     """
 
     def __init__(
@@ -106,13 +113,16 @@ class FacetedLearner:
         workers=None,
         backend_options: dict | None = None,
         overlap: bool = False,
+        speculate: bool = False,
+        speculation_depth: int = 4,
     ):
         # Defer to the engine's registry so register_strategy extensions
-        # are reachable from the high-level API too.
-        if strategy != "greedy" and strategy not in available_strategies():
+        # are reachable from the high-level API too (``greedy`` is a
+        # registry strategy like every other since the speculation PR).
+        if strategy not in available_strategies():
             raise ValueError(
                 f"unknown strategy {strategy!r}; available: "
-                f"{', '.join((*available_strategies(), 'greedy'))}"
+                f"{', '.join(available_strategies())}"
             )
         self.strategy = strategy
         if callable(scorer):
@@ -145,6 +155,8 @@ class FacetedLearner:
         self.workers = workers
         self.backend_options = backend_options
         self.overlap = bool(overlap)
+        self.speculate = bool(speculate)
+        self.speculation_depth = int(speculation_depth)
 
         self.partition_: SetPartition | None = None
         self.search_result_: SearchResult | None = None
@@ -194,6 +206,8 @@ class FacetedLearner:
             workers=self.workers,
             backend_options=self.backend_options,
             overlap=self.overlap,
+            speculate=self.speculate,
+            speculation_depth=self.speculation_depth,
         )
         # One cache serves seed selection, the search, and the final
         # model.  In the sharded layout the first two score over row

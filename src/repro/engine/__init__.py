@@ -75,14 +75,28 @@ statistics on a background thread (``engine.prefetch``) while the
 current batch is scored; the process backend pipelines its envelopes
 the same way by construction.
 
-Search strategies
------------------
+Search strategies and speculation
+---------------------------------
 
 :mod:`repro.engine.strategies` registers ``exhaustive``, ``chain``,
 ``chains``, ``beam`` (top-down beam search; unbounded beam reproduces
-the exhaustive optimum) and ``best_first`` (evaluation-budget-capped
-best-first search) behind one ``strategy=`` dispatch, used by
+the exhaustive optimum), ``best_first`` (evaluation-budget-capped
+best-first search) and ``greedy`` (the paper's smushing merge hill
+climb, batch-scored) behind one ``strategy=`` dispatch, used by
 ``PartitionMKLSearch.search`` and ``FacetedLearner``.
+
+The sequential strategies submit one score (or one frontier) between
+decisions, which drains a pipelined transport backend.  With
+``speculate=True`` the engine runs a speculation scheduler: strategies
+propose *likely next* candidates before the current decision resolves,
+the engine ships them through the backend's non-blocking task surface
+(``submit_task``/``wait_task``/``cancel_task``), and later batches
+consume the scored speculations as cache hits.  Mispredictions are
+cancelled or discarded, and their costs — envelope bytes, O(n²)
+statistic passes — are booked in a per-search ``result.speculation``
+ledger instead of the main op ledger, so the optimum, every score,
+``n_evaluations`` and ``n_matrix_ops`` are bit-identical to a
+speculation-off run.  See ``docs/strategies.md`` for the guide.
 """
 
 from repro.engine.backends import (

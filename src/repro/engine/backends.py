@@ -300,6 +300,69 @@ class ProcessPoolBackend:
         worker pipeline policy)."""
         return default_task_chunks(n_items, self.max_workers or os.cpu_count() or 1)
 
+    # -- speculation plane ---------------------------------------------
+    #
+    # The engine's speculation scheduler submits likely-next envelopes
+    # ahead of the strategy's decision.  On a process pool these map
+    # directly onto executor futures; a queued future can be truly
+    # cancelled, a running one is simply discarded on completion.
+
+    supports_speculation = True
+
+    def submit_task(self, payload: bytes) -> "_PoolTaskHandle":
+        """Submit one envelope without waiting; returns a handle.
+
+        A pool already broken by an earlier crash is discarded and
+        rebuilt here, mirroring the batch path — speculation must not
+        turn a recoverable crash into a submission failure.
+        """
+        check_task_payload(payload, self.max_task_bytes)
+        self._wire["envelope_bytes_out"] += len(payload)
+        self._wire["n_tasks"] += 1
+        try:
+            future = self._ensure_pool().submit(score_task_payload, payload)
+        except BrokenProcessPool:
+            self._discard_pool()
+            future = self._ensure_pool().submit(score_task_payload, payload)
+        return _PoolTaskHandle(payload=payload, future=future)
+
+    def wait_task(self, handle: "_PoolTaskHandle"):
+        """Block for a speculative result; ``None`` if it was cancelled.
+
+        A pool crash mid-speculation discards the broken pool and
+        replays the (pure, deterministic) envelope through the normal
+        retry path, so speculation inherits the batch path's crash
+        recovery instead of weakening it.
+        """
+        from concurrent.futures import CancelledError
+
+        try:
+            result = handle.future.result()
+        except CancelledError:
+            return None
+        except BrokenProcessPool:
+            self._discard_pool()
+            result = self._run(score_task_payload, [handle.payload], guard=None)[0]
+        self._wire["envelope_bytes_in"] += len(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        return result
+
+    def cancel_task(self, handle: "_PoolTaskHandle") -> None:
+        """Cancel a queued speculative future (running ones complete
+        and are discarded by the caller's ledger)."""
+        handle.future.cancel()
+
+
+class _PoolTaskHandle:
+    """One speculative envelope in flight on the process pool."""
+
+    __slots__ = ("payload", "future")
+
+    def __init__(self, payload: bytes, future):
+        self.payload = payload
+        self.future = future
+
 
 def _sockets_factory(**options: Any) -> EvaluationBackend:
     """Lazy factory for the networked backend (``repro.cluster``).

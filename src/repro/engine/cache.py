@@ -131,6 +131,11 @@ class GramCache(_KeyLocked):
         self._store: dict[BlockKey, np.ndarray] = {}
         self.n_gram_computations = 0
 
+    def gram_cached(self, block: Sequence[int]) -> bool:
+        """True if the block's Gram is already materialised (the
+        speculation ledger's attribution probe)."""
+        return canonical_block_key(block) in self._store
+
     def gram(self, block: Sequence[int]) -> np.ndarray:
         """Gram of one feature block (cached, key canonicalised).
 
@@ -165,7 +170,26 @@ class _PartitionStatsMixin:
 
     Subclasses provide ``block_stats`` and ``pair_inner``; everything a
     strategy or task envelope needs on top is pure dictionary lookups.
+    The ``*_cached`` probes report whether a statistic is already
+    materialised *without* computing it — the engine's speculation
+    ledger uses them to attribute O(n²) costs to the speculative build
+    that first paid them (see :mod:`repro.engine.core`).
     """
+
+    def block_cached(self, block: Sequence[int]) -> bool:
+        """True if the block's statistics are already materialised."""
+        return canonical_block_key(block) in self._pair_stats_keys()
+
+    def pair_cached(self, first: Sequence[int], second: Sequence[int]) -> bool:
+        """True if ``M_ij`` for the (canonicalised) pair is materialised."""
+        key = tuple(
+            sorted((canonical_block_key(first), canonical_block_key(second)))
+        )
+        return key in self._pair_inner
+
+    def _pair_stats_keys(self):
+        """The container recording completed per-block statistics."""
+        return self._centered
 
     def partition_stats(self, partition: SetPartition) -> tuple[np.ndarray, np.ndarray]:
         """Alignment vector ``a`` and Gram-of-Grams ``M`` of a partition.
@@ -329,6 +353,10 @@ class ShardedGramCache(_KeyLocked):
     def max_strip_rows(self) -> int:
         """Largest row count any one shard holds."""
         return max(sl.stop - sl.start for sl in self.row_slices)
+
+    def gram_cached(self, block: Sequence[int]) -> bool:
+        """True if the block's strips are already materialised."""
+        return canonical_block_key(block) in self._store
 
     def strips(self, block: Sequence[int]) -> list[np.ndarray]:
         """Per-shard row strips of one block's Gram (cached)."""

@@ -31,7 +31,12 @@ import numpy as np
 
 from repro.combinatorics.partitions import SetPartition
 from repro.engine.backends import EvaluationBackend, get_backend
-from repro.engine.cache import BlockStatsCache, GramCache, ShardedGramCache
+from repro.engine.cache import (
+    BlockStatsCache,
+    GramCache,
+    ShardedGramCache,
+    canonical_block_key,
+)
 from repro.engine.tasks import build_task
 from repro.kernels.base import as_2d
 from repro.kernels.combination import combine_grams, uniform_weights
@@ -171,11 +176,112 @@ class SearchResult:
     #: ``sockets``): envelope bytes out/in, placement traffic, resident
     #: strip bytes.  ``None`` for in-memory backends.
     wire: dict | None = field(repr=False, default=None)
+    #: Speculation ledger (``n_speculated``/``n_hits``/``n_wasted``/
+    #: ``wasted_bytes``/ahead-depth statistics) when the engine ran
+    #: with ``speculate=True``; ``None`` otherwise.
+    speculation: dict | None = field(repr=False, default=None)
 
     @property
     def n_kernels(self) -> int:
         """Number of kernels in the winning configuration."""
         return self.best_partition.n_blocks
+
+
+class _SpecEntry:
+    """One speculatively submitted partition: its backend handle, wire
+    size, and the block/pair op keys its envelope build materialised."""
+
+    __slots__ = ("handle", "nbytes")
+
+    def __init__(self, handle, nbytes: int):
+        self.handle = handle
+        self.nbytes = nbytes
+
+
+class _AttributingStats:
+    """Stats facade for *speculative* envelope builds.
+
+    Delegates to the real cache but records, per newly materialised
+    block/pair, the costs the caches just booked — 3 O(n²) passes per
+    block, 1 per pair (the stats cache's fixed schedule), and 1 Gram
+    materialisation per block whose Gram did not exist yet.  Keys
+    later touched by real scoring are reclaimed (their cost belongs to
+    the search); keys that never are belong to mispredictions and are
+    excluded from the result's ``n_matrix_ops`` /
+    ``n_gram_computations``, keeping the ledgers bit-identical to a
+    speculation-off run.
+    """
+
+    __slots__ = ("_stats", "_key_ops", "_gram_keys")
+
+    def __init__(self, stats, key_ops: dict, gram_keys: dict):
+        self._stats = stats
+        self._key_ops = key_ops
+        self._gram_keys = gram_keys
+
+    @property
+    def target_norm(self) -> float:
+        return self._stats.target_norm
+
+    def block_stats(self, block):
+        key = canonical_block_key(block)
+        fresh = not self._stats.block_cached(key)
+        grams = getattr(self._stats, "grams", None)
+        gram_fresh = (
+            fresh
+            and grams is not None
+            and hasattr(grams, "gram_cached")
+            and not grams.gram_cached(key)
+        )
+        result = self._stats.block_stats(key)
+        if fresh:
+            self._key_ops.setdefault(("block", key), 3)
+        if gram_fresh:
+            self._gram_keys.setdefault(key, 1)
+        return result
+
+    def pair_inner(self, first, second):
+        key = tuple(
+            sorted((canonical_block_key(first), canonical_block_key(second)))
+        )
+        fresh = key[0] != key[1] and not self._stats.pair_cached(*key)
+        value = self._stats.pair_inner(first, second)
+        if fresh:
+            self._key_ops.setdefault(("pair", key), 1)
+        return value
+
+
+class _ReclaimingStats:
+    """Stats facade for *real* envelope builds while speculation is on.
+
+    Every block/pair a real envelope touches is work a speculation-off
+    run would have paid on this exact path, so any cost a speculative
+    build pre-paid for that key is reclaimed into the real ledger.
+    """
+
+    __slots__ = ("_stats", "_key_ops", "_gram_keys")
+
+    def __init__(self, stats, key_ops: dict, gram_keys: dict):
+        self._stats = stats
+        self._key_ops = key_ops
+        self._gram_keys = gram_keys
+
+    @property
+    def target_norm(self) -> float:
+        return self._stats.target_norm
+
+    def block_stats(self, block):
+        key = canonical_block_key(block)
+        self._key_ops.pop(("block", key), None)
+        self._gram_keys.pop(key, None)
+        return self._stats.block_stats(block)
+
+    def pair_inner(self, first, second):
+        key = tuple(
+            sorted((canonical_block_key(first), canonical_block_key(second)))
+        )
+        self._key_ops.pop(("pair", key), None)
+        return self._stats.pair_inner(first, second)
 
 
 class KernelEvaluationEngine:
@@ -228,6 +334,24 @@ class KernelEvaluationEngine:
         partitions' statistics on a background thread while the
         current batch is being scored.  Scores and op totals are
         unchanged — only when the O(n²) work happens moves.
+    speculate:
+        Enable strategy-side speculative batching: strategies hand
+        :meth:`speculate` their *likely next* candidates before the
+        current decision resolves, and the engine submits them through
+        the backend's non-blocking task surface so remote workers stay
+        busy while the strategy thinks.  Scored speculations the
+        strategy actually visits are cache hits (no resubmission);
+        mispredictions are cancelled or discarded and booked in the
+        ``result.speculation`` ledger.  The optimum, every score, and
+        the op ledger are bit-identical to a speculation-off run —
+        only *when* and *where* work happens moves.  Advisory: a
+        backend without the speculation surface (``serial``,
+        ``threads``) leaves the engine in normal operation.
+    speculation_depth:
+        Budget: maximum speculative partitions in flight (or resolved
+        but unconsumed) at once, and the lookahead horizon strategies
+        propose against.  Sized well at ``workers × window`` for the
+        ``sockets`` backend.
     """
 
     def __init__(
@@ -247,7 +371,11 @@ class KernelEvaluationEngine:
         workers=None,
         backend_options: dict | None = None,
         overlap: bool = False,
+        speculate: bool = False,
+        speculation_depth: int = 4,
     ):
+        if speculation_depth < 1:
+            raise ValueError("speculation_depth must be positive")
         if weighting not in WEIGHTINGS:
             raise ValueError(
                 "weighting must be 'uniform', 'alignment' or 'alignf'"
@@ -324,6 +452,32 @@ class KernelEvaluationEngine:
             self.stats = None
         self.overlap = bool(overlap)
         self._prefetch_pool: ThreadPoolExecutor | None = None
+        # Speculation scheduler state.  Active only when the backend
+        # exposes the non-blocking task surface and scoring is
+        # incremental (task envelopes require it anyway).
+        self.speculation_depth = int(speculation_depth)
+        self._speculate_requested = bool(speculate)
+        self._speculation_active = (
+            self._speculate_requested
+            and self.incremental
+            and getattr(self.backend, "supports_tasks", False)
+            and getattr(self.backend, "supports_speculation", False)
+        )
+        self._spec_entries: dict[SetPartition, _SpecEntry] = {}
+        self._spec_key_ops: dict[tuple, int] = {}
+        self._spec_gram_keys: dict[tuple, int] = {}
+        self._spec_counts = {
+            "n_speculated": 0,
+            "n_hits": 0,
+            "n_wasted": 0,
+            "n_cancelled": 0,
+            "n_lost": 0,
+            "wasted_bytes": 0,
+            "n_decisions": 0,
+            "n_drains": 0,
+            "ahead_total": 0,
+            "ahead_max": 0,
+        }
         # Per-search wire accounting: the backend's counters are
         # cumulative over its lifetime, so remember where they stood
         # when this engine was built.
@@ -342,15 +496,29 @@ class KernelEvaluationEngine:
 
     @property
     def n_gram_computations(self) -> int:
-        """Kernel-matrix materialisations performed so far."""
-        return self.gram_cache.n_gram_computations
+        """Kernel-matrix materialisations performed so far.
+
+        Grams materialised solely by speculative envelope builds whose
+        blocks no real scoring has touched are excluded (booked as
+        speculation waste), mirroring :attr:`n_matrix_ops`.
+        """
+        return self.gram_cache.n_gram_computations - sum(
+            self._spec_gram_keys.values()
+        )
 
     @property
     def n_matrix_ops(self) -> int:
         """O(n²) full-matrix passes performed so far (both modes),
-        including any reported back by task-scoring workers."""
+        including any reported back by task-scoring workers.
+
+        Ops paid by speculative envelope builds whose keys no real
+        scoring has (yet) touched are excluded — they are misprediction
+        waste, booked separately in the speculation ledger, so this
+        ledger stays bit-identical to a speculation-off run.
+        """
         stats_ops = self.stats.n_matrix_ops if self.stats is not None else 0
-        return self._direct_ops + self._worker_ops + stats_ops
+        speculative_ops = sum(self._spec_key_ops.values())
+        return self._direct_ops + self._worker_ops + stats_ops - speculative_ops
 
     def _count_direct_ops(self, count: int) -> None:
         with self._direct_lock:
@@ -388,7 +556,9 @@ class KernelEvaluationEngine:
         partitions = list(partitions)
         if not partitions:
             return []
-        if getattr(self.backend, "supports_tasks", False):
+        if self._speculation_active:
+            scores = self._score_batch_with_speculations(partitions)
+        elif getattr(self.backend, "supports_tasks", False):
             scores = self._score_batch_tasks(partitions)
         else:
             scores = self.backend.map(self._score_one, partitions)
@@ -422,8 +592,13 @@ class KernelEvaluationEngine:
             for start, stop in zip(bounds[:-1], bounds[1:])
             if stop > start
         ]
+        build_stats = (
+            _ReclaimingStats(self.stats, self._spec_key_ops, self._spec_gram_keys)
+            if self._speculation_active
+            else self.stats
+        )
         envelopes = (
-            build_task(self.stats, self.weighting, chunk) for chunk in chunks
+            build_task(build_stats, self.weighting, chunk) for chunk in chunks
         )
         results = self.backend.map_tasks(envelopes)
         scores: list[float] = []
@@ -437,6 +612,162 @@ class KernelEvaluationEngine:
         return scores
 
     # ------------------------------------------------------------------
+    # Speculation: submit likely-next candidates before decisions land.
+    # ------------------------------------------------------------------
+
+    @property
+    def speculation_active(self) -> bool:
+        """True when speculative submissions actually reach a backend."""
+        return self._speculation_active
+
+    def speculate(self, partitions: Sequence[SetPartition]) -> int:
+        """Submit likely-next candidates ahead of the current decision.
+
+        Purely advisory: a no-op unless speculation is active.  Bounded
+        by ``speculation_depth`` unconsumed speculations; already
+        speculated partitions are skipped.  Each candidate ships as its
+        own single-partition envelope so a later :meth:`score_batch`
+        consumes exactly the hits it needs.  Returns the number of
+        candidates actually submitted.
+        """
+        if not self._speculation_active:
+            return 0
+        submitted = 0
+        build_stats = _AttributingStats(
+            self.stats, self._spec_key_ops, self._spec_gram_keys
+        )
+        for partition in partitions:
+            if len(self._spec_entries) >= self.speculation_depth:
+                break
+            if partition in self._spec_entries:
+                continue
+            task = build_task(build_stats, self.weighting, [partition])
+            payload = task.payload()
+            handle = self.backend.submit_task(payload)
+            self._spec_entries[partition] = _SpecEntry(handle, len(payload))
+            self._spec_counts["n_speculated"] += 1
+            submitted += 1
+        return submitted
+
+    def cancel_speculations(self) -> int:
+        """Cancel every unconsumed speculation (known mispredictions).
+
+        Queued envelopes never ship; in-flight ones have their results
+        discarded on arrival.  All are booked as waste.  Strategies
+        call this when a decision invalidates the speculated frontier
+        (an early-stopped chain, a finished climb).
+        """
+        return self.prune_speculations(())
+
+    def prune_speculations(self, keep) -> int:
+        """Cancel unconsumed speculations *not* in ``keep``.
+
+        The decision just taken usually invalidates some of the
+        speculated frontier (a wrong predicted winner, a pruned beam
+        survivor); strategies hand the still-plausible candidates in
+        and everything else is cancelled — freeing the speculation
+        budget instead of letting stale mispredictions clog it — and
+        booked as waste.  Returns the number cancelled.
+        """
+        if not self._spec_entries:
+            return 0
+        keep = set(keep)
+        cancelled = 0
+        for partition in [p for p in self._spec_entries if p not in keep]:
+            entry = self._spec_entries.pop(partition)
+            self.backend.cancel_task(entry.handle)
+            self._spec_counts["n_cancelled"] += 1
+            self._spec_counts["n_wasted"] += 1
+            self._spec_counts["wasted_bytes"] += entry.nbytes
+            cancelled += 1
+        return cancelled
+
+    def finish_speculation(self) -> dict | None:
+        """Close out speculation for a search and return its ledger.
+
+        Cancels whatever is still outstanding (end-of-search leftovers
+        are mispredictions by definition) and snapshots the counters —
+        the ``SearchResult.speculation`` payload.  ``None`` when the
+        engine was built without ``speculate=True``.
+        """
+        if not self._speculate_requested:
+            return None
+        self.cancel_speculations()
+        counts = dict(self._spec_counts)
+        ahead_total = counts.pop("ahead_total")
+        n_decisions = counts["n_decisions"]
+        return {
+            "active": self._speculation_active,
+            "depth": self.speculation_depth,
+            **counts,
+            "ahead_mean": (ahead_total / n_decisions) if n_decisions else 0.0,
+            "wasted_ops": sum(self._spec_key_ops.values()),
+            "wasted_gram_computations": sum(self._spec_gram_keys.values()),
+        }
+
+    def _score_batch_with_speculations(
+        self, partitions: list[SetPartition]
+    ) -> list[float]:
+        """Consume speculative hits, score the misses normally.
+
+        A decision point for the ledger: how many speculations were
+        ahead of this batch (``ahead_*``), how many of its partitions
+        were hits, and how often the pipeline had drained (nothing
+        ahead) are the saturation evidence ``BENCH_backends.json``
+        records.
+        """
+        counts = self._spec_counts
+        counts["n_decisions"] += 1
+        ahead = len(self._spec_entries)
+        counts["ahead_total"] += ahead
+        counts["ahead_max"] = max(counts["ahead_max"], ahead)
+        if ahead == 0:
+            counts["n_drains"] += 1
+        scores: dict[int, float] = {}
+        misses: list[SetPartition] = []
+        miss_positions: list[int] = []
+        for position, partition in enumerate(partitions):
+            entry = self._spec_entries.pop(partition, None)
+            if entry is None:
+                misses.append(partition)
+                miss_positions.append(position)
+                continue
+            result = self.backend.wait_task(entry.handle)
+            if result is None:
+                # Lost (plane reset/cancellation race): rescore it.
+                counts["n_lost"] += 1
+                counts["n_wasted"] += 1
+                counts["wasted_bytes"] += entry.nbytes
+                misses.append(partition)
+                miss_positions.append(position)
+                continue
+            chunk_scores, chunk_ops = result
+            scores[position] = float(chunk_scores[0])
+            counts["n_hits"] += 1
+            if chunk_ops:
+                with self._direct_lock:
+                    self._worker_ops += chunk_ops
+            self._reclaim_partition_ops(partition)
+        if misses:
+            for position, score in zip(
+                miss_positions, self._score_batch_tasks(misses)
+            ):
+                scores[position] = float(score)
+        return [scores[position] for position in range(len(partitions))]
+
+    def _reclaim_partition_ops(self, partition: SetPartition) -> None:
+        """A speculated partition was actually visited: its envelope's
+        statistics are real work now, not speculative waste."""
+        keys = [canonical_block_key(block) for block in partition.blocks]
+        for key in keys:
+            self._spec_key_ops.pop(("block", key), None)
+            self._spec_gram_keys.pop(key, None)
+        for i in range(len(keys)):
+            for j in range(i + 1, len(keys)):
+                pair = tuple(sorted((keys[i], keys[j])))
+                self._spec_key_ops.pop(("pair", pair), None)
+
+    # ------------------------------------------------------------------
     # Async overlap: warm upcoming statistics while a batch is scored.
     # ------------------------------------------------------------------
 
@@ -448,7 +779,14 @@ class KernelEvaluationEngine:
         caches' per-key locks make concurrent warming exactly-once, so
         scores and op totals are unchanged — the O(n²) materialisation
         simply overlaps with the current batch's scoring.
+
+        When speculation is active, prefetch is subsumed: speculative
+        envelope builds warm the same statistics (and actually ship the
+        work), and keeping warming on the strategy thread is what lets
+        the ledger attribute every O(n²) pass exactly.
         """
+        if self._speculation_active:
+            return
         if not (self.overlap and self.incremental):
             return
         partitions = list(partitions)
@@ -481,6 +819,10 @@ class KernelEvaluationEngine:
         manages their lifetime); backends resolved from a name string
         were created for this engine and are shut down.
         """
+        if self._spec_entries:
+            # Outstanding speculations must not leave result frames
+            # addressed to this engine on a shared backend's pipeline.
+            self.cancel_speculations()
         if self._prefetch_pool is not None:
             self._prefetch_pool.shutdown(wait=True)
             self._prefetch_pool = None

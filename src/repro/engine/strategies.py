@@ -21,6 +21,28 @@ current batch is scored.
 * ``best_first`` — budgeted best-first search: a max-heap on score,
   expanding the most promising partition's refinements until
   ``max_evaluations`` scores have been spent.
+* ``greedy`` — the paper's "smushing" hill climber as an engine
+  strategy: start from the finest cone partition and apply the best
+  scoring merge of two non-seed blocks until no merge improves
+  (:func:`repro.mkl.smush.greedy_smush` keeps the direct-scoring
+  reference implementation).
+
+Speculation hooks
+-----------------
+
+Sequential strategies are the cluster's weak spot: ``chain`` submits
+one score between decisions, ``best_first``/``beam`` one frontier, so
+the pipelined socket backend drains while the strategy thinks.  On a
+speculation-enabled engine (``speculate=True``) every strategy
+therefore *proposes likely next candidates* before its current
+decision resolves — the next chain steps for ``chain``/``chains``, the
+upcoming batch for ``exhaustive``, expansions of the likeliest next
+frontier for ``beam``/``best_first``, the predicted winner's merges
+for ``greedy`` — via ``engine.speculate``.  Proposals never touch the
+strategy's own control flow (``visited`` sets, budgets, history), so
+results are bit-identical to a speculation-off run; they only keep
+remote workers saturated between decisions.  See
+``docs/strategies.md`` for the full guide.
 """
 
 from __future__ import annotations
@@ -50,6 +72,7 @@ __all__ = [
     "search_chains",
     "search_beam",
     "search_best_first",
+    "search_greedy",
 ]
 
 # Frontier partitions scored per backend call; large enough to keep a
@@ -75,6 +98,9 @@ def _result(
         if score > best_score:
             best_partition, best_score = partition, score
     assert best_partition is not None
+    # Close out speculation first: leftovers become booked waste, and
+    # their op costs must be settled before the ledger is read.
+    speculation = engine.finish_speculation()
     return SearchResult(
         best_partition=best_partition,
         best_score=best_score,
@@ -85,6 +111,7 @@ def _result(
         n_matrix_ops=engine.n_matrix_ops,
         history=history,
         wire=engine.wire_stats,
+        speculation=speculation,
     )
 
 
@@ -114,11 +141,13 @@ def search_exhaustive(
 
     Runs a one-batch lookahead: the upcoming batch is handed to
     ``engine.prefetch`` (a no-op unless the engine's overlap mode is
-    on) before the current batch is scored, so its Gram statistics
-    materialise in the background while the backend scores.  Only
-    batches that will certainly be scored are prefetched — the
-    ``max_configurations`` cap is applied first — so overlap never
-    changes the op totals.
+    on) and to ``engine.speculate`` (a no-op unless speculation is
+    active) before the current batch is scored, so its Gram statistics
+    materialise — or its envelopes ship — while the backend scores.
+    Only batches that will certainly be scored are proposed — the
+    ``max_configurations`` cap is applied first — so neither overlap
+    nor speculation ever changes the op totals (speculative hits here
+    are 100%: the future frontier is known exactly).
     """
     seed_partition = _seed_partition(seed, rest)
     history: list[tuple[SetPartition, float]] = []
@@ -142,6 +171,7 @@ def search_exhaustive(
         upcoming = next_trimmed()
         if upcoming:
             engine.prefetch(upcoming)
+            engine.speculate(upcoming)
         history.extend(zip(current, engine.score_batch(current)))
         current = upcoming
     return _result(engine, "exhaustive", seed_partition, history)
@@ -161,6 +191,14 @@ def search_chains(
     The first chain is the principal LDD chain; extra chains are merge
     chains over random permutations of ``rest`` (every such chain is
     saturated and full-span, hence symmetric).
+
+    Speculation hook: the walk is the engine's most sequential
+    strategy — one score per decision — so before scoring each step
+    the next ``speculation_depth`` chain elements (the children of the
+    current position along this chain) are proposed.  Unless the early
+    stop fires, every one of them is visited, so hits dominate; when
+    it does fire, the chain's speculated tail is cancelled (booked
+    waste) before the next chain starts.
     """
     if patience < 1:
         raise ValueError("patience must be at least 1")
@@ -180,10 +218,17 @@ def search_chains(
         stale = 0
         chain_best = -np.inf
         # Top-down: coarse (few kernels) to fine (many kernels).
-        for partition in reversed(chain):
+        walk = list(reversed(chain))
+        for position, partition in enumerate(walk):
             if partition in scored:
                 score = scored[partition]
             else:
+                if engine.speculation_active:
+                    horizon = position + 1 + engine.speculation_depth
+                    engine.speculate(
+                        p for p in walk[position + 1 : horizon]
+                        if p not in scored
+                    )
                 score = engine.score(partition)
                 scored[partition] = score
                 history.append((partition, score))
@@ -193,6 +238,9 @@ def search_chains(
             else:
                 stale += 1
                 if stale >= patience:
+                    # The speculated continuation of this chain is now
+                    # a known misprediction.
+                    engine.cancel_speculations()
                     break
     return _result(engine, strategy, seed_partition, history)
 
@@ -220,6 +268,14 @@ def search_beam(
     ``2^(|S-K|-1) - 1`` evaluations unless capped.  On wide cones
     (rest > ~10) set ``max_evaluations`` (lazily truncates child
     generation, like ``best_first``) or prefer ``best_first``.
+
+    Speculation hook: once a level's scores land, the next level's
+    survivors are fully determined (the top-``beam_width`` children),
+    so their first refinements — the exact head of the next batch —
+    are proposed immediately.  Workers score them while the strategy
+    trims the beam, enumerates the remaining children and builds their
+    envelopes; survivors displaced by the trim have their stale
+    proposals pruned (booked waste).
     """
     if beam_width is not None and beam_width < 1:
         raise ValueError("beam_width must be positive (or None for unbounded)")
@@ -260,7 +316,39 @@ def search_beam(
         history.extend(level)
         frontier = level
         depth += 1
+        if engine.speculation_active:
+            _speculate_next_level(engine, level, beam_width, visited, frozen)
     return _result(engine, "beam", seed_partition, history)
+
+
+def _speculate_next_level(engine, level, beam_width, visited, frozen) -> None:
+    """Propose the head of the next level's batch.
+
+    The survivors of the upcoming trim are already determined by the
+    scores just received (same sort, same truncation), and the next
+    batch enumerates their refinements in survivor order — so the
+    first unseen refinements proposed here are exact hits.  Advisory
+    only: nothing touches ``visited`` or the budget.
+    """
+    survivors = level
+    if beam_width is not None and len(survivors) > beam_width:
+        survivors = sorted(survivors, key=lambda item: -item[1])[:beam_width]
+    budget = engine.speculation_depth
+
+    def proposals() -> Iterator[SetPartition]:
+        produced = 0
+        for partition, _ in survivors:
+            for child in refinement_moves(partition, frozen=frozen):
+                if child in visited:
+                    continue
+                yield child
+                produced += 1
+                if produced >= budget:
+                    return
+
+    upcoming = list(proposals())
+    engine.prune_speculations(upcoming)
+    engine.speculate(upcoming)
 
 
 def search_best_first(
@@ -276,6 +364,15 @@ def search_best_first(
     is exhausted or ``max_evaluations`` partitions have been scored.
     The budget includes the root, so ``max_evaluations=1`` scores only
     the seed partition; ``None`` explores the entire cone.
+
+    Speculation hook: after each expansion's scores are pushed, the
+    next node to expand is exactly the heap's top — so its unseen
+    refinements (the head of the next batch) are proposed right away,
+    along with the runner-up's (the following expansion, unless the
+    frontier shifts): the top-k frontier expansions of parallel
+    best-first search.  Workers score them while the strategy pops,
+    enumerates and builds the rest of the batch; proposals invalidated
+    by the actual pop order are pruned (booked waste).
     """
     if max_evaluations is not None and max_evaluations < 1:
         raise ValueError("max_evaluations must be positive (or None)")
@@ -309,7 +406,128 @@ def search_best_first(
             history.append((child, score))
             counter += 1
             heapq.heappush(heap, (-score, counter, child))
+        if engine.speculation_active and heap:
+            _speculate_expansions(engine, heap, visited, frozen)
     return _result(engine, "best_first", seed_partition, history)
+
+
+def _speculate_expansions(engine, heap, visited, frozen) -> None:
+    """Propose refinements of the next expansion nodes.
+
+    The heap's top is the *certain* next expansion; the runner-up
+    follows unless the top's children displace it.  Their unseen
+    refinements are the head of the upcoming batches, so proposing
+    them now keeps workers busy through the strategy's pop/enumerate/
+    build gap.  Advisory only — ``visited`` and the evaluation budget
+    are untouched.
+    """
+    budget = engine.speculation_depth
+    candidates = [node for _, _, node in heapq.nsmallest(2, heap)]
+
+    def proposals() -> Iterator[SetPartition]:
+        produced = 0
+        for node in candidates:
+            for refinement in refinement_moves(node, frozen=frozen):
+                if refinement in visited:
+                    continue
+                yield refinement
+                produced += 1
+                if produced >= budget:
+                    return
+
+    upcoming = list(proposals())
+    engine.prune_speculations(upcoming)
+    engine.speculate(upcoming)
+
+
+def search_greedy(
+    engine: KernelEvaluationEngine,
+    seed: tuple[int, ...],
+    rest: tuple[int, ...],
+    allow_seed_merges: bool = False,
+    min_improvement: float = 1e-12,
+) -> SearchResult:
+    """Best-improvement merge hill climb ("smushing"), batch-scored.
+
+    The paper's greedy lattice navigation as an engine strategy:
+    starting from the finest cone configuration (seed block plus
+    singletons of ``rest``), every round scores all pairwise merges of
+    non-seed blocks in one batch and applies the best strictly
+    improving one; the climb stops at a local optimum.  Matches
+    :func:`repro.mkl.smush.greedy_smush` (the direct-scoring reference
+    implementation) decision for decision, but scores through the
+    engine — so backends, sharding and the op ledger all apply.
+
+    Speculation hook: the sequential gap is between rounds — the next
+    round's candidates are merges of the winner, unknown until the
+    batch resolves.  The moment it does, the winner's own merges (the
+    exact head of the next batch) are proposed, so workers score them
+    while the strategy enumerates the rest of the round and builds its
+    envelopes; at the local optimum the speculated next round is
+    cancelled (booked waste).
+
+    Parameters
+    ----------
+    allow_seed_merges:
+        When True the seed block may be merged too, so the climb can
+        leave the cone and reach the one-block partition (useful as an
+        unconstrained ablation).
+    """
+    seed_partition = _seed_partition(seed, rest)
+    seed_key = tuple(seed)
+    current = (
+        SetPartition([seed] + [(column,) for column in rest])
+        if rest
+        else seed_partition
+    )
+    current_score = engine.score(current)
+    history: list[tuple[SetPartition, float]] = [(current, current_score)]
+    while current.n_blocks > 1:
+        candidates = _merge_candidates(current, seed_key, allow_seed_merges)
+        if not candidates:
+            break
+        scores = engine.score_batch(candidates)
+        history.extend(zip(candidates, scores))
+        # Best-improvement selection with greedy_smush's exact rule: a
+        # candidate must beat the running best by more than
+        # ``min_improvement`` to take it, in enumeration order — so
+        # near-ties resolve identically to the reference climber.
+        best_index = None
+        best_seen = current_score
+        for index, score in enumerate(scores):
+            if score > best_seen + min_improvement:
+                best_index, best_seen = index, score
+        if best_index is not None:
+            current, current_score = candidates[best_index], best_seen
+            if engine.speculation_active:
+                # The next round's candidates are now fully determined:
+                # ship its head while this round's bookkeeping and the
+                # next batch's envelope builds proceed.
+                upcoming = _merge_candidates(
+                    current, seed_key, allow_seed_merges
+                )[: engine.speculation_depth]
+                engine.prune_speculations(upcoming)
+                engine.speculate(upcoming)
+        else:
+            # Local optimum: anything speculated for the next round is
+            # a known misprediction.
+            engine.cancel_speculations()
+            break
+    return _result(engine, "greedy", seed_partition, history)
+
+
+def _merge_candidates(
+    current: SetPartition, seed_key: tuple[int, ...], allow_seed_merges: bool
+) -> list[SetPartition]:
+    """All single-merge coarsenings of ``current`` (non-seed by default)."""
+    candidates = []
+    for i, j in itertools.combinations(range(current.n_blocks), 2):
+        if not allow_seed_merges and (
+            current.blocks[i] == seed_key or current.blocks[j] == seed_key
+        ):
+            continue
+        candidates.append(current.merge_blocks(i, j))
+    return candidates
 
 
 # ---------------------------------------------------------------------------
@@ -326,13 +544,24 @@ STRATEGIES: dict[str, StrategyFn] = {
     "chains": search_chains,
     "beam": search_beam,
     "best_first": search_best_first,
+    "greedy": search_greedy,
 }
 
 
-def register_strategy(name: str, fn: StrategyFn) -> None:
-    """Register a custom strategy for the ``strategy=`` dispatch."""
+def register_strategy(name: str, fn: StrategyFn, overwrite: bool = False) -> None:
+    """Register a custom strategy for the ``strategy=`` dispatch.
+
+    Re-registering an existing name raises unless ``overwrite=True`` —
+    silently shadowing a built-in (or a collaborator's plugin) is how
+    two experiments end up reporting each other's numbers.
+    """
     if not name:
         raise ValueError("strategy name must be non-empty")
+    if not overwrite and name in STRATEGIES:
+        raise ValueError(
+            f"strategy {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
     STRATEGIES[name] = fn
 
 

@@ -31,6 +31,13 @@ matching and extending the paper's complexity discussion:
 * ``beam`` — top-down beam search over single-block splits; an
   unbounded beam reproduces the exhaustive optimum.
 * ``best_first`` — evaluation-budget-capped best-first search.
+* ``greedy`` — the paper's "smushing" merge hill climb from the finest
+  cone configuration, batch-scored through the engine.
+
+With ``speculate=True`` every strategy additionally proposes its
+likely next candidates before each decision resolves, keeping remote
+workers (``backend="sockets"``) saturated between decisions — results
+stay bit-identical; see ``docs/strategies.md``.
 
 Per-block Grams are cached across configurations (blocks recur heavily
 inside a cone), which is what makes the exhaustive baseline feasible
@@ -127,6 +134,16 @@ class PartitionMKLSearch:
         Enable the engine's async overlap — upcoming batches' Gram
         statistics materialise on a background thread while the
         current batch is scored.
+    speculate:
+        Enable strategy-side speculative batching: strategies propose
+        likely next candidates before each decision resolves, and the
+        engine ships them through the backend's non-blocking task
+        surface so remote workers stay saturated between decisions.
+        Results are bit-identical to a speculation-off run; hit/waste
+        accounting lands on ``result.speculation``.
+    speculation_depth:
+        Speculation budget and lookahead horizon (see
+        :class:`~repro.engine.KernelEvaluationEngine`).
     """
 
     def __init__(
@@ -141,6 +158,8 @@ class PartitionMKLSearch:
         workers=None,
         backend_options: dict | None = None,
         overlap: bool = False,
+        speculate: bool = False,
+        speculation_depth: int = 4,
     ):
         if weighting not in ("uniform", "alignment", "alignf"):
             raise ValueError(
@@ -156,6 +175,8 @@ class PartitionMKLSearch:
         self.workers = workers
         self.backend_options = backend_options
         self.overlap = bool(overlap)
+        self.speculate = bool(speculate)
+        self.speculation_depth = int(speculation_depth)
 
     # ------------------------------------------------------------------
 
@@ -200,6 +221,8 @@ class PartitionMKLSearch:
             workers=self.workers,
             backend_options=self.backend_options,
             overlap=self.overlap,
+            speculate=self.speculate,
+            speculation_depth=self.speculation_depth,
         )
 
     def _combined(self, cache: GramCache, partition: SetPartition, y: np.ndarray):
@@ -276,24 +299,22 @@ class PartitionMKLSearch:
     ) -> SearchResult:
         """Run a registered strategy over the cone below ``(K, S - K)``.
 
-        Single dispatch point for every exploration strategy:
-        ``exhaustive``, ``chain``, ``chains``, ``beam``, ``best_first``
-        (engine strategies), plus ``greedy`` (the smushing hill climber).
-        Extra keyword arguments are forwarded to the strategy.
+        Single dispatch point for every exploration strategy in the
+        engine registry: ``exhaustive``, ``chain``, ``chains``,
+        ``beam``, ``best_first``, ``greedy`` (the smushing hill
+        climber, batch-scored through the engine —
+        :func:`repro.mkl.smush.greedy_smush` remains the direct-path
+        reference).  Extra keyword arguments are forwarded to the
+        strategy.
         """
         X = as_2d(X)
         seed, rest = self._split_features(X.shape[1], seed_block)
-        if strategy == "greedy":
-            from repro.mkl.smush import greedy_smush
-
-            cache = cache or self._make_cache(X)
-            return greedy_smush(self, X, y, seed, cache=cache, **params)
         from repro.engine.strategies import available_strategies
 
         if strategy not in available_strategies():
             raise ValueError(
                 f"unknown strategy {strategy!r}; available: "
-                f"{', '.join((*available_strategies(), 'greedy'))}"
+                f"{', '.join(available_strategies())}"
             )
         # ``cache=None`` is deliberately forwarded: the engine builds
         # the right layout itself, which is what lets a sockets backend
@@ -419,6 +440,25 @@ class PartitionMKLSearch:
             strategy="best_first",
             cache=cache,
             max_evaluations=max_evaluations,
+        )
+
+    def search_greedy(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        seed_block: Sequence[int],
+        allow_seed_merges: bool = False,
+        cache: GramCache | None = None,
+    ) -> SearchResult:
+        """Best-improvement merge hill climb ("smushing") from the
+        finest cone configuration, batch-scored through the engine."""
+        return self.search(
+            X,
+            y,
+            seed_block,
+            strategy="greedy",
+            cache=cache,
+            allow_seed_merges=allow_seed_merges,
         )
 
     # ------------------------------------------------------------------

@@ -194,6 +194,91 @@ class TestFaultMatrix:
 
 
 # ---------------------------------------------------------------------------
+# Speculation under faults: speculative envelopes ride the same
+# reassignment/eviction machinery as batch envelopes
+# ---------------------------------------------------------------------------
+
+
+class TestSpeculationUnderFaults:
+    """Speculation must not weaken the resilience contract: a faulted
+    worker holding speculative envelopes is recovered exactly like one
+    holding batch envelopes, and the result stays bit-identical to the
+    serial (and to the speculation-off) run."""
+
+    @pytest.mark.parametrize("fault", ["kill", "garbage", "hang"])
+    @pytest.mark.parametrize("strategy,params", [
+        ("chain", {"patience": 2}),
+        ("best_first", {"max_evaluations": 25}),
+    ])
+    def test_faulted_worker_mid_speculative_search(
+        self, workload, fault, strategy, params
+    ):
+        serial = PartitionMKLSearch().search(
+            workload.X, workload.y, SEED_BLOCK, strategy=strategy, **params
+        )
+        results = {}
+        for speculate in (False, True):
+            faulty = FaultyWorker(
+                fault=fault, at_frame=2, count_types={MSG_TASK}
+            )
+            survivor = WorkerServer()
+            faulty.start_background()
+            survivor.start_background()
+            backend = SocketBackend(
+                workers=[faulty.address, survivor.address],
+                heartbeat_interval=0.1,
+                heartbeat_timeout=0.5,
+                io_timeout=30.0,
+            )
+            search = PartitionMKLSearch(
+                backend=backend, speculate=speculate
+            )
+            results[speculate] = search.search(
+                workload.X, workload.y, SEED_BLOCK,
+                strategy=strategy, **params,
+            )
+            backend.close()
+            faulty.stop()
+            survivor.stop()
+        for result in results.values():
+            _assert_bit_identical(result, serial)
+        on, off = results[True], results[False]
+        assert on.n_evaluations == off.n_evaluations
+        ledger = on.speculation
+        assert ledger is not None and ledger["active"]
+        # The fault trips on the second task envelope — with lookahead
+        # in flight that is usually a speculative one, and either way
+        # the dead worker's tickets are reassigned, not lost.
+        assert on.wire["n_reassigned"] > 0
+        assert ledger["n_speculated"] > 0
+        assert (
+            ledger["n_hits"] + ledger["n_wasted"] == ledger["n_speculated"]
+        )
+
+    def test_fleet_death_with_speculations_raises_cleanly(self, workload):
+        """Every worker dead with speculations outstanding: the search
+        still fails with WorkerCrashError, not a hang or a stale-frame
+        protocol error."""
+        workers = [
+            FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
+            FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
+        ]
+        for worker in workers:
+            worker.start_background()
+        backend = SocketBackend(
+            workers=[w.address for w in workers], retries=1
+        )
+        search = PartitionMKLSearch(backend=backend, speculate=True)
+        with pytest.raises(WorkerCrashError):
+            search.search(
+                workload.X, workload.y, SEED_BLOCK, strategy="chain"
+            )
+        backend.close()
+        for worker in workers:
+            worker.stop()
+
+
+# ---------------------------------------------------------------------------
 # Placed searches: strip-owner death, replica promotion, no rebuild
 # ---------------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ DOC_SOURCES = (
     ROOT / "README.md",
     ROOT / "docs" / "ARCHITECTURE.md",
     ROOT / "docs" / "engine.md",
+    ROOT / "docs" / "strategies.md",
 )
 FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

@@ -392,9 +392,9 @@ class TestBestFirstSearch:
 
 class TestStrategyDispatch:
     def test_registered_names(self):
-        assert {"exhaustive", "chain", "chains", "beam", "best_first"} <= set(
-            available_strategies()
-        )
+        assert {
+            "exhaustive", "chain", "chains", "beam", "best_first", "greedy"
+        } <= set(available_strategies())
 
     def test_dispatch_equivalent_to_wrappers(self, workload):
         search = PartitionMKLSearch()
@@ -406,9 +406,17 @@ class TestStrategyDispatch:
         assert via_dispatch.n_evaluations == via_wrapper.n_evaluations
 
     def test_greedy_via_dispatch(self, workload):
+        """``greedy`` is a registry strategy: engine-scored, and it
+        reproduces the direct-path reference climber's outcome."""
+        from repro.mkl import greedy_smush
+
         search = PartitionMKLSearch()
         result = search.search(workload.X, workload.y, (0,), strategy="greedy")
-        assert result.strategy == "greedy_smush"
+        assert result.strategy == "greedy"
+        reference = greedy_smush(search, workload.X, workload.y, (0,))
+        assert result.best_partition == reference.best_partition
+        assert result.n_evaluations == reference.n_evaluations
+        assert result.best_score == pytest.approx(reference.best_score)
 
     def test_unknown_strategy(self, workload):
         search = PartitionMKLSearch()
@@ -429,6 +437,68 @@ class TestStrategyDispatch:
         )
         assert result.n_evaluations == 1
         assert result.strategy == "seed_only-test"
+
+
+class TestStrategyRegistryEdgeCases:
+    def test_duplicate_registration_rejected(self):
+        def fake(engine, seed, rest, **params):  # pragma: no cover
+            raise AssertionError("never dispatched")
+
+        register_strategy("dup-test", fake)
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy("dup-test", fake)
+        # Built-ins are protected the same way.
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy("chain", fake)
+
+    def test_duplicate_registration_with_overwrite(self, workload):
+        def first(engine, seed, rest, **params):  # pragma: no cover
+            raise AssertionError("should have been overwritten")
+
+        def second(engine, seed, rest, **params):
+            from repro.engine.strategies import _result, _seed_partition
+
+            root = _seed_partition(seed, rest)
+            return _result(
+                engine, "overwrite-test", root, [(root, engine.score(root))]
+            )
+
+        register_strategy("overwrite-test", first)
+        register_strategy("overwrite-test", second, overwrite=True)
+        engine = KernelEvaluationEngine(workload.X, workload.y)
+        from repro.engine import run_strategy
+
+        result = run_strategy("overwrite-test", engine, (0,), (1, 2, 3, 4))
+        assert result.strategy == "overwrite-test"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_strategy("", lambda *a, **k: None)
+
+    def test_run_strategy_unknown_name(self, workload):
+        from repro.engine import run_strategy
+
+        engine = KernelEvaluationEngine(workload.X, workload.y)
+        with pytest.raises(ValueError, match="unknown strategy 'nope'"):
+            run_strategy("nope", engine, (0,), (1, 2))
+
+    def test_available_strategies_sorted_and_stable(self):
+        names = available_strategies()
+        assert list(names) == sorted(names)
+        # Registration order must not leak into the listing: adding a
+        # name keeps the tuple sorted and otherwise identical.
+        register_strategy(
+            "aaa-ordering-test", lambda *a, **k: None, overwrite=True
+        )
+        try:
+            with_extra = available_strategies()
+            assert list(with_extra) == sorted(with_extra)
+            assert tuple(n for n in with_extra if n != "aaa-ordering-test") == names
+        finally:
+            from repro.engine.strategies import STRATEGIES
+
+            STRATEGIES.pop("aaa-ordering-test", None)
+        assert available_strategies() == names
 
 
 class TestFacetedLearnerNewStrategies:

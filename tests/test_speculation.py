@@ -1,0 +1,482 @@
+"""Strategy-side speculative batching: parity, ledgers, cancellation.
+
+The speculation layer's contract, enforced here:
+
+* **Bit-identical results** — with speculation on, every strategy
+  returns the same ``SearchResult`` as speculation off: optimum, every
+  per-partition score, ``n_evaluations`` *and* the O(n²) op ledger
+  (misprediction costs are booked as speculation waste, not search
+  work).  Checked over real sockets and over the process pool.
+* **Saturation evidence** — the ledger records how many envelopes were
+  submitted ahead of each decision (``ahead_*``), how many decisions
+  found the pipeline drained, and the hit/waste split — the numbers
+  ``BENCH_backends.json`` publishes.
+* **Advisory everywhere** — ``speculate=True`` on a backend without
+  the non-blocking task surface (serial, threads) leaves behaviour
+  untouched; the ledger just reports ``active: False``.
+* **Ticket plane** — the coordinator's non-blocking submit/poll/
+  cancel machinery: results routed by ticket, cancelled results
+  discarded on arrival, speculative tickets reassigned off dead
+  workers, and clean interleaving with pipelined batches.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import SocketBackend, WorkerServer
+from repro.combinatorics import cone_partitions
+from repro.engine import (
+    BlockStatsCache,
+    GramCache,
+    KernelEvaluationEngine,
+    ProcessPoolBackend,
+    build_task,
+)
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.mkl import PartitionMKLSearch
+
+
+@pytest.fixture(scope="module")
+def workload():
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 5, role="noise"),
+    ]
+    return make_faceted_classification(90, specs, seed=11)
+
+
+@pytest.fixture()
+def fleet():
+    """Two background worker servers plus a connected backend."""
+    servers = [WorkerServer(), WorkerServer()]
+    for server in servers:
+        server.start_background()
+    backend = SocketBackend(workers=[s.address for s in servers])
+    yield servers, backend
+    backend.close()
+    for server in servers:
+        server.stop()
+
+
+STRATEGY_PARAMS = {
+    "chain": {"patience": 1},
+    "chains": {"n_chains": 3, "patience": 1},
+    "best_first": {"max_evaluations": 25},
+    "beam": {"beam_width": 2, "max_evaluations": 30},
+    "greedy": {},
+    "exhaustive": {"max_configurations": 60},
+}
+
+
+def _run(workload, backend, strategy, speculate, **extra):
+    search = PartitionMKLSearch(
+        engine_mode="incremental",
+        backend=backend,
+        speculate=speculate,
+        **extra,
+    )
+    return search.search(
+        workload.X,
+        workload.y,
+        (0, 1),
+        strategy=strategy,
+        **STRATEGY_PARAMS[strategy],
+    )
+
+
+def _assert_bit_identical(on, off):
+    assert on.best_partition == off.best_partition
+    assert on.best_score == off.best_score
+    assert on.n_evaluations == off.n_evaluations
+    assert [p for p, _ in on.history] == [p for p, _ in off.history]
+    assert [s for _, s in on.history] == [s for _, s in off.history], (
+        "speculative scores must be bit-identical to non-speculative"
+    )
+    assert on.n_matrix_ops == off.n_matrix_ops, (
+        "misprediction O(n²) costs must be booked as speculation waste, "
+        "not search work"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Strategy parity over real sockets
+# ---------------------------------------------------------------------------
+
+
+class TestSocketsParity:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGY_PARAMS))
+    def test_bit_identical_on_off(self, workload, fleet, strategy):
+        _, backend = fleet
+        off = _run(workload, backend, strategy, speculate=False)
+        on = _run(workload, backend, strategy, speculate=True)
+        _assert_bit_identical(on, off)
+        assert off.speculation is None
+        assert on.speculation is not None and on.speculation["active"]
+
+    def test_chain_saturation_evidence(self, workload, fleet):
+        _, backend = fleet
+        result = _run(workload, backend, "chain", speculate=True)
+        ledger = result.speculation
+        assert ledger["n_speculated"] > 0
+        assert ledger["n_hits"] > 0
+        # The hook proposes the walk's continuation before each score,
+        # so the pipeline holds >= 2 envelopes ahead between decisions
+        # instead of draining to zero.
+        assert ledger["ahead_max"] >= 2
+        assert ledger["n_drains"] < ledger["n_decisions"]
+        # Conservation: everything submitted is consumed or booked.
+        assert (
+            ledger["n_hits"] + ledger["n_wasted"] == ledger["n_speculated"]
+        )
+
+    def test_exhaustive_speculation_never_wastes(self, workload, fleet):
+        _, backend = fleet
+        result = _run(workload, backend, "exhaustive", speculate=True)
+        ledger = result.speculation
+        # The future frontier is known exactly: every speculated
+        # envelope is consumed.
+        assert ledger["n_hits"] == ledger["n_speculated"] > 0
+        assert ledger["n_wasted"] == 0
+        assert ledger["wasted_ops"] == 0
+
+    def test_budget_cutoff_books_speculated_leftovers_as_waste(
+        self, workload, fleet
+    ):
+        """A search that stops with speculations in flight (here: beam
+        hitting ``max_evaluations`` right after proposing the next
+        level) books them as waste — and stays bit-identical."""
+        _, backend = fleet
+        params = {"beam_width": 2, "max_evaluations": 12}
+        search_off = PartitionMKLSearch(
+            engine_mode="incremental", backend=backend
+        )
+        off = search_off.search(
+            workload.X, workload.y, (0, 1), strategy="beam", **params
+        )
+        search_on = PartitionMKLSearch(
+            engine_mode="incremental", backend=backend, speculate=True
+        )
+        on = search_on.search(
+            workload.X, workload.y, (0, 1), strategy="beam", **params
+        )
+        _assert_bit_identical(on, off)
+        ledger = on.speculation
+        assert ledger["n_wasted"] > 0
+        assert ledger["wasted_bytes"] > 0
+        assert (
+            ledger["n_hits"] + ledger["n_wasted"] == ledger["n_speculated"]
+        )
+
+    def test_wire_ledger_counts_speculative_tasks(self, workload, fleet):
+        _, backend = fleet
+        result = _run(workload, backend, "chain", speculate=True)
+        assert result.wire["n_speculative_tasks"] >= (
+            result.speculation["n_speculated"]
+        )
+
+    def test_speculation_with_placed_shards(self, workload):
+        """Speculation composes with placement-aware sharding."""
+        servers = [WorkerServer(), WorkerServer()]
+        for server in servers:
+            server.start_background()
+        try:
+            results = {}
+            for speculate in (False, True):
+                backend = SocketBackend(workers=[s.address for s in servers])
+                results[speculate] = _run(
+                    workload, backend, "chain", speculate=speculate, shards=3
+                )
+                backend.close()
+            on, off = results[True], results[False]
+            assert on.best_partition == off.best_partition
+            assert [s for _, s in on.history] == [s for _, s in off.history]
+            assert on.n_matrix_ops == off.n_matrix_ops
+            assert on.wire["n_gathers"] == 0
+            assert on.speculation["n_hits"] > 0
+        finally:
+            for server in servers:
+                server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Process pool parity
+# ---------------------------------------------------------------------------
+
+
+class TestProcessesParity:
+    @pytest.mark.parametrize("strategy", ["chain", "best_first"])
+    def test_bit_identical_on_off(self, workload, strategy):
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            off = _run(workload, backend, strategy, speculate=False)
+            on = _run(workload, backend, strategy, speculate=True)
+        finally:
+            backend.close()
+        _assert_bit_identical(on, off)
+        assert on.speculation["n_hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Engine-level scheduler semantics
+# ---------------------------------------------------------------------------
+
+
+class TestEngineScheduler:
+    def test_budget_and_dedupe(self, workload, fleet):
+        _, backend = fleet
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend,
+            speculate=True, speculation_depth=3,
+        )
+        cone = list(cone_partitions((0, 1), tuple(range(2, 7))))[:6]
+        assert engine.speculate(cone) == 3  # budget caps submissions
+        assert engine.speculate(cone) == 0  # dedupe: nothing new fits
+        scores = engine.score_batch(cone[:3])
+        serial = KernelEvaluationEngine(workload.X, workload.y)
+        assert scores == serial.score_batch(cone[:3])
+        ledger = engine.finish_speculation()
+        assert ledger["n_hits"] == 3
+        assert ledger["n_wasted"] == 0
+
+    def test_cancel_books_waste(self, workload, fleet):
+        _, backend = fleet
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, speculate=True
+        )
+        cone = list(cone_partitions((0, 1), tuple(range(2, 7))))[:2]
+        assert engine.speculate(cone) == 2
+        assert engine.cancel_speculations() == 2
+        ledger = engine.finish_speculation()
+        assert ledger["n_cancelled"] == 2
+        assert ledger["n_wasted"] == 2
+        assert ledger["wasted_bytes"] > 0
+        assert ledger["n_hits"] == 0
+
+    def test_misprediction_keeps_op_ledger_identical(self, workload, fleet):
+        """A wasted speculation materialises statistics a plain run
+        never would — ``n_matrix_ops`` must not see them."""
+        _, backend = fleet
+        cone = list(cone_partitions((0, 1), tuple(range(2, 7))))
+        visited, never_visited = cone[:8], cone[-1]
+        reference = KernelEvaluationEngine(workload.X, workload.y)
+        expected = reference.score_batch(visited)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, speculate=True
+        )
+        assert engine.speculate([never_visited]) == 1
+        assert engine.score_batch(visited) == expected
+        assert engine.n_matrix_ops == reference.n_matrix_ops
+        assert engine.n_gram_computations == reference.n_gram_computations
+        ledger = engine.finish_speculation()
+        assert ledger["n_wasted"] == 1
+        assert ledger["wasted_ops"] > 0
+        assert ledger["wasted_gram_computations"] > 0
+
+    def test_shared_key_reclaimed_from_wasted_speculation(
+        self, workload, fleet
+    ):
+        """A misprediction sharing blocks with later-visited partitions
+        only wastes the ops no real scoring ever needed."""
+        _, backend = fleet
+        cone = list(cone_partitions((0, 1), tuple(range(2, 7))))
+        # The finest partition shares its singleton blocks with many
+        # coarser cone members scored afterwards.
+        finest = cone[-1]
+        others = cone[:10]
+        reference = KernelEvaluationEngine(workload.X, workload.y)
+        reference.score_batch(others)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, speculate=True
+        )
+        engine.speculate([finest])
+        engine.score_batch(others)
+        assert engine.n_matrix_ops == reference.n_matrix_ops
+
+    def test_advisory_on_serial_backend(self, workload):
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend="serial", speculate=True
+        )
+        assert not engine.speculation_active
+        cone = list(cone_partitions((0, 1), tuple(range(2, 7))))[:4]
+        assert engine.speculate(cone) == 0
+        reference = KernelEvaluationEngine(workload.X, workload.y)
+        assert engine.score_batch(cone) == reference.score_batch(cone)
+        ledger = engine.finish_speculation()
+        assert ledger is not None and not ledger["active"]
+        assert ledger["n_speculated"] == 0
+
+    def test_depth_validation(self, workload):
+        with pytest.raises(ValueError, match="speculation_depth"):
+            KernelEvaluationEngine(
+                workload.X, workload.y, speculate=True, speculation_depth=0
+            )
+
+
+# ---------------------------------------------------------------------------
+# Coordinator ticket plane
+# ---------------------------------------------------------------------------
+
+
+def _single_partition_payloads(workload, partitions):
+    stats = BlockStatsCache(GramCache(workload.X), workload.y)
+    return [
+        build_task(stats, "alignment", [partition]).payload()
+        for partition in partitions
+    ]
+
+
+class TestTicketPlane:
+    def test_submit_wait_roundtrip(self, workload, fleet):
+        _, backend = fleet
+        cone = list(cone_partitions((0, 1), tuple(range(2, 7))))[:4]
+        payloads = _single_partition_payloads(workload, cone)
+        tickets = [
+            backend.coordinator.submit_ticket(p, speculative=True)
+            for p in payloads
+        ]
+        serial = KernelEvaluationEngine(workload.X, workload.y)
+        expected = serial.score_batch(cone)
+        for ticket, want in zip(tickets, expected):
+            scores, ops = backend.coordinator.wait_ticket(ticket)
+            assert scores == [want]
+            assert ops == 0
+
+    def test_poll_reports_progress(self, workload, fleet):
+        _, backend = fleet
+        [payload] = _single_partition_payloads(
+            workload, list(cone_partitions((0, 1), (2, 3)))[:1]
+        )
+        ticket = backend.coordinator.submit_ticket(payload, speculative=True)
+        done, result = False, None
+        for _ in range(2000):
+            done, result = backend.coordinator.poll_ticket(ticket)
+            if done:
+                break
+            time.sleep(0.002)
+        assert done and result is not None
+
+    def test_cancel_queued_never_ships(self, workload):
+        server = WorkerServer()
+        server.start_background()
+        backend = SocketBackend(workers=[server.address], window=1)
+        try:
+            cone = list(cone_partitions((0, 1), tuple(range(2, 7))))[:4]
+            payloads = _single_partition_payloads(workload, cone)
+            coordinator = backend.coordinator
+            tickets = [
+                coordinator.submit_ticket(p, speculative=True)
+                for p in payloads
+            ]
+            # Window 1 on one worker: the tail of the queue cannot all
+            # be in flight yet; cancel the last ticket.
+            assert coordinator._queue_spec, "expected a queued ticket"
+            queued = coordinator._queue_spec[-1]
+            coordinator.cancel_ticket(queued)
+            results = {
+                t: coordinator.wait_ticket(t) for t in tickets if t != queued
+            }
+            assert all(r is not None for r in results.values())
+            assert coordinator.wait_ticket(queued) is None
+        finally:
+            backend.close()
+            server.stop()
+
+    def test_cancel_in_flight_discards_result(self, workload, fleet):
+        _, backend = fleet
+        cone = list(cone_partitions((0, 1), tuple(range(2, 7))))[:2]
+        payloads = _single_partition_payloads(workload, cone)
+        coordinator = backend.coordinator
+        first = coordinator.submit_ticket(payloads[0], speculative=True)
+        coordinator.cancel_ticket(first)
+        # The discarded frame is drained by later traffic on the same
+        # channels; the follow-up ticket resolves normally.
+        second = coordinator.submit_ticket(payloads[1], speculative=True)
+        assert coordinator.wait_ticket(second) is not None
+        assert coordinator.wait_ticket(first) is None
+
+    def test_interleaves_with_batches(self, workload, fleet):
+        """Speculative tickets and a pipelined batch share the window
+        without crosstalk."""
+        _, backend = fleet
+        cone = list(cone_partitions((0, 1), tuple(range(2, 7))))
+        spec_partitions, batch_partitions = cone[:3], cone[3:9]
+        spec_payloads = _single_partition_payloads(workload, spec_partitions)
+        batch_payloads = _single_partition_payloads(workload, batch_partitions)
+        coordinator = backend.coordinator
+        tickets = [
+            coordinator.submit_ticket(p, speculative=True)
+            for p in spec_payloads
+        ]
+        batch_results = coordinator.map_tasks_payloads(iter(batch_payloads))
+        serial = KernelEvaluationEngine(workload.X, workload.y)
+        expected_batch = serial.score_batch(batch_partitions)
+        assert [scores[0] for scores, _ in batch_results] == expected_batch
+        expected_spec = serial.score_batch(spec_partitions)
+        for ticket, want in zip(tickets, expected_spec):
+            scores, _ = coordinator.wait_ticket(ticket)
+            assert scores == [want]
+
+    def test_speculative_ticket_survives_worker_death(self, workload):
+        """In-flight speculations on a killed worker are reassigned."""
+        servers = [WorkerServer(), WorkerServer()]
+        for server in servers:
+            server.start_background()
+        backend = SocketBackend(
+            workers=[s.address for s in servers], window=2
+        )
+        try:
+            cone = list(cone_partitions((0, 1), tuple(range(2, 7))))[:4]
+            payloads = _single_partition_payloads(workload, cone)
+            coordinator = backend.coordinator
+            tickets = [
+                coordinator.submit_ticket(p, speculative=True)
+                for p in payloads
+            ]
+            servers[0].stop()  # every channel holds in-flight tickets
+            serial = KernelEvaluationEngine(workload.X, workload.y)
+            expected = serial.score_batch(cone)
+            for ticket, want in zip(tickets, expected):
+                result = coordinator.wait_ticket(ticket)
+                assert result is not None and result[0] == [want]
+        finally:
+            backend.close()
+            for server in servers:
+                server.stop()
+
+
+# ---------------------------------------------------------------------------
+# High-level API
+# ---------------------------------------------------------------------------
+
+
+class TestHighLevelThreading:
+    def test_faceted_learner_speculates(self, workload, fleet):
+        from repro.core import FacetedLearner
+
+        _, backend = fleet
+        learner = FacetedLearner(
+            strategy="chain",
+            scorer="alignment",
+            seed_block=(0, 1),
+            backend=backend,
+            speculate=True,
+        )
+        learner.fit(workload.X, workload.y)
+        ledger = learner.search_result_.speculation
+        assert ledger is not None and ledger["active"]
+        assert ledger["n_hits"] > 0
+        baseline = FacetedLearner(
+            strategy="chain", scorer="alignment", seed_block=(0, 1)
+        ).fit(workload.X, workload.y)
+        assert learner.partition_ == baseline.partition_
+        assert (
+            learner.search_result_.best_score
+            == baseline.search_result_.best_score
+        )
+
+    def test_search_result_field_default(self, workload):
+        result = PartitionMKLSearch().search_chain(
+            workload.X, workload.y, (0, 1)
+        )
+        assert result.speculation is None
