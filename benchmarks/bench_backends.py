@@ -50,6 +50,7 @@ from repro.engine import (
     ProcessPoolBackend,
     ShardedGramCache,
     ThreadPoolBackend,
+    default_n_landmarks,
 )
 from repro.iot import FacetSpec, make_faceted_classification
 from repro.mkl import PartitionMKLSearch
@@ -324,6 +325,33 @@ def run() -> dict:
                 },
             }
 
+    # -- landmark (Nyström) parity at small n ---------------------------
+    #
+    # At n=250 the quadratic wall is not felt yet; this row documents
+    # the *accuracy* side of the trade instead — the landmark search
+    # finds the same optimum with the exact ledgers untouched.  The
+    # asymptotic speed story lives in bench_landmark_scaling.py.
+    landmark_result, landmark_s = _timed_search(
+        workload, approx="landmarks"
+    )
+    landmark = {
+        "n_landmarks": default_n_landmarks(workload.X.shape[0]),
+        "wall_clock_s": landmark_s,
+        "exact_wall_clock_s": serial_s,
+        "same_optimum": (
+            landmark_result.best_partition == serial.best_partition
+        ),
+        "best_score_error_vs_exact": abs(
+            landmark_result.best_score - serial.best_score
+        ),
+        "n_landmark_ops": landmark_result.n_landmark_ops,
+        "n_factor_computations": landmark_result.n_factor_computations,
+        "n_matrix_ops": landmark_result.n_matrix_ops,
+        "n_gram_computations": landmark_result.n_gram_computations,
+    }
+    assert landmark["n_matrix_ops"] == 0
+    assert landmark["n_gram_computations"] == 0
+
     return {
         "benchmark": "bench_backends",
         "workload": f"2+2 facets + 4 noise, n={N_SAMPLES}, rest={rest_size}",
@@ -340,6 +368,7 @@ def run() -> dict:
         "worker_sweep": sweep,
         "resilience": resilience,
         "speculation": speculation,
+        "landmark": landmark,
         "parity": {
             "processes_scores_bit_identical_to_serial": True,
             "sockets_scores_bit_identical_to_serial": True,
@@ -417,6 +446,15 @@ def print_report() -> None:
             f"  wasted={rows['on']['speculation']['wasted_bytes']}B"
             "  (bit-identical)"
         )
+    landmark = report["landmark"]
+    print(
+        f"  landmark(m={landmark['n_landmarks']})"
+        f"  {landmark['wall_clock_s']:.3f}s vs exact"
+        f" {landmark['exact_wall_clock_s']:.3f}s"
+        f"  same optimum={landmark['same_optimum']}"
+        f"  score err={landmark['best_score_error_vs_exact']:.2e}"
+        f"  exact ops={landmark['n_matrix_ops']}"
+    )
     print(
         "  processes scores bit-identical to serial; op ledgers equal; "
         f"sharded score delta {sharded['best_score_delta_vs_serial']:.2e}"

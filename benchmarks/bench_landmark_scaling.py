@@ -1,0 +1,354 @@
+"""Landmark (Nyström) scaling benchmark — breaking the Θ(n²) wall.
+
+Every hot scorer in the exact engine pays O(n²) element work per
+block statistic (Gram build, centring, inner products).  The landmark
+path (``approx="landmarks"``) replaces each block's Gram with an n×r
+Nyström factor against ``m ≪ n`` landmark rows and computes the same
+centred-alignment statistics in O(n·m).  This benchmark records the
+evidence on synthetic :mod:`repro.iot` workloads:
+
+* **scaling sweep** — the same fixed pair of partitions scored at
+  n = 250 … 100 000.  The exact arm stops at ``EXACT_MAX_N`` (its n×n
+  Grams stop fitting a sane budget long before 10⁵); the landmark arm
+  keeps going.  Wall-clocks on this 1-CPU container are secondary
+  evidence; the primary evidence is the *element-op* ledger —
+  ``n_matrix_ops · n²`` for exact versus ``n_landmark_ops · n·m`` for
+  landmarks — whose growth exponents the report fits explicitly
+  (≈2 versus ≈1 in n for fixed m);
+* **rank sweep** — approximation error and optimum agreement versus
+  the exact engine as m grows at fixed n, down to machine precision at
+  m = n (the Nyström factorisation is exact there);
+* **search parity** — full exhaustive searches at small n: the
+  landmark optimum versus the exact optimum, plus both ledgers;
+* **cv** — the factor-trained :class:`~repro.mkl.CrossValScorer`
+  (Woodbury solve in the r-dimensional factor space, booked in
+  ``n_cv_solves_landmark``) against the exact precomputed-Gram CV
+  path, same folds, same seed.
+
+Writes ``BENCH_landmark.json`` at the repo root (cited by README.md).
+
+Run standalone:  python benchmarks/bench_landmark_scaling.py
+Smoke mode (CI): python benchmarks/bench_landmark_scaling.py --smoke
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.combinatorics import all_partitions
+from repro.combinatorics.partitions import SetPartition
+from repro.engine import KernelEvaluationEngine, default_n_landmarks
+from repro.iot import FacetSpec, make_faceted_classification
+from repro.mkl import CrossValScorer, PartitionMKLSearch
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_landmark.json"
+
+SPECS = [
+    FacetSpec("a", 2, signal="product", weight=1.4),
+    FacetSpec("b", 2, signal="radial", weight=1.0),
+]
+#: The two partitions every sweep point scores: the fused block and
+#: the facet-aligned split — 3 distinct blocks, 1 block pair, so the
+#: op schedule is identical at every n and the ledgers compare cleanly.
+SWEEP_PARTITIONS = (
+    SetPartition([(0, 1, 2, 3)]),
+    SetPartition([(0, 1), (2, 3)]),
+)
+#: Fixed landmark count for the sweep: m must not grow with n or the
+#: ratio n·m / n² would flatter the exact arm less than honest.
+SWEEP_M = 128
+EXACT_MAX_N = 4000
+SWEEP_NS = (250, 500, 1000, 2000, 4000, 10_000, 32_000, 100_000)
+SMOKE_SWEEP_NS = (250, 500, 1000)
+RANK_SWEEP_N = 1500
+SMOKE_RANK_SWEEP_N = 300
+SEARCH_PARITY_NS = (250, 500)
+CV_N = 800
+SMOKE_CV_N = 200
+
+
+def _workload(n: int):
+    return make_faceted_classification(n, SPECS, seed=3)
+
+
+def _fit_growth_exponent(ns, values) -> float:
+    """Least-squares slope of log(value) against log(n)."""
+    xs = np.log(np.asarray(ns, dtype=float))
+    ys = np.log(np.asarray(values, dtype=float))
+    return float(np.polyfit(xs, ys, 1)[0])
+
+
+def _sweep_point(n: int, partitions) -> dict:
+    workload = _workload(n)
+    m = min(SWEEP_M, n)
+    point: dict = {"n": n, "m": m}
+
+    landmark = KernelEvaluationEngine(
+        workload.X, workload.y, approx="landmarks", n_landmarks=m
+    )
+    start = time.perf_counter()
+    landmark_scores = landmark.score_batch(partitions)
+    landmark_s = time.perf_counter() - start
+    point["landmark"] = {
+        "wall_clock_s": landmark_s,
+        "n_landmark_ops": landmark.n_landmark_ops,
+        "n_factor_computations": landmark.n_factor_computations,
+        "n_matrix_ops": landmark.n_matrix_ops,
+        "element_ops": landmark.n_landmark_ops * n * m,
+    }
+    assert landmark.n_matrix_ops == 0, "landmark run performed an exact pass"
+
+    if n <= EXACT_MAX_N:
+        exact = KernelEvaluationEngine(workload.X, workload.y)
+        start = time.perf_counter()
+        exact_scores = exact.score_batch(partitions)
+        exact_s = time.perf_counter() - start
+        point["exact"] = {
+            "wall_clock_s": exact_s,
+            "n_matrix_ops": exact.n_matrix_ops,
+            "n_gram_computations": exact.n_gram_computations,
+            "element_ops": exact.n_matrix_ops * n * n,
+        }
+        point["max_score_error"] = max(
+            abs(a - b) for a, b in zip(landmark_scores, exact_scores)
+        )
+        point["speedup"] = exact_s / landmark_s if landmark_s > 0 else None
+    else:
+        point["exact"] = None
+        point["max_score_error"] = None
+        point["speedup"] = None
+    return point
+
+
+def _rank_sweep(n: int, ranks) -> dict:
+    workload = _workload(n)
+    partitions = list(all_partitions(range(workload.n_features)))
+    exact = KernelEvaluationEngine(workload.X, workload.y)
+    exact_scores = np.asarray(exact.score_batch(partitions))
+    exact_best = int(np.argmax(exact_scores))
+    rows = []
+    for m in ranks:
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, approx="landmarks", n_landmarks=m
+        )
+        scores = np.asarray(engine.score_batch(partitions))
+        rows.append(
+            {
+                "m": int(m),
+                "max_error": float(np.max(np.abs(scores - exact_scores))),
+                "argmax_agrees": bool(int(np.argmax(scores)) == exact_best),
+            }
+        )
+    # The error curve must reach machine precision at m = n: the
+    # landmark set is then the whole sample and Nyström is exact.
+    assert rows[-1]["m"] == n
+    assert rows[-1]["max_error"] < 1e-8, rows[-1]
+    return {
+        "n": n,
+        "n_partitions": len(partitions),
+        "exact_best_partition": partitions[exact_best].compact_str(),
+        "ranks": rows,
+    }
+
+
+def _search_parity(ns) -> list[dict]:
+    rows = []
+    for n in ns:
+        workload = _workload(n)
+        seed_block = (0, 1)
+        rest = tuple(range(2, workload.n_features))
+        exact_search = PartitionMKLSearch(engine_mode="incremental")
+        start = time.perf_counter()
+        exact = exact_search.search_exhaustive(workload.X, workload.y, seed_block)
+        exact_s = time.perf_counter() - start
+        landmark_search = PartitionMKLSearch(approx="landmarks")
+        start = time.perf_counter()
+        landmark = landmark_search.search(
+            workload.X, workload.y, seed_block, strategy="exhaustive"
+        )
+        landmark_s = time.perf_counter() - start
+        rows.append(
+            {
+                "n": n,
+                "m": default_n_landmarks(n),
+                "rest_features": len(rest),
+                "same_optimum": landmark.best_partition == exact.best_partition,
+                "exact": {
+                    "best": exact.best_partition.compact_str(),
+                    "best_score": exact.best_score,
+                    "wall_clock_s": exact_s,
+                    "n_matrix_ops": exact.n_matrix_ops,
+                },
+                "landmark": {
+                    "best": landmark.best_partition.compact_str(),
+                    "best_score": landmark.best_score,
+                    "wall_clock_s": landmark_s,
+                    "n_landmark_ops": landmark.n_landmark_ops,
+                    "n_factor_computations": landmark.n_factor_computations,
+                    "n_matrix_ops": landmark.n_matrix_ops,
+                },
+            }
+        )
+    return rows
+
+
+def _cv_section(n: int) -> dict:
+    workload = _workload(n)
+    seed_block = (0, 1)
+    exact_search = PartitionMKLSearch(scorer=CrossValScorer(seed=7))
+    start = time.perf_counter()
+    exact = exact_search.search(
+        workload.X, workload.y, seed_block, strategy="exhaustive"
+    )
+    exact_s = time.perf_counter() - start
+    landmark_search = PartitionMKLSearch(
+        scorer=CrossValScorer(seed=7), approx="landmarks"
+    )
+    start = time.perf_counter()
+    landmark = landmark_search.search(
+        workload.X, workload.y, seed_block, strategy="exhaustive"
+    )
+    landmark_s = time.perf_counter() - start
+    assert exact.n_cv_solves > 0 and exact.n_cv_solves_landmark == 0
+    assert landmark.n_cv_solves == 0 and landmark.n_cv_solves_landmark > 0
+    return {
+        "n": n,
+        "scorer": "CrossValScorer(n_folds=3, seed=7)",
+        "exact": {
+            "best": exact.best_partition.compact_str(),
+            "best_score": exact.best_score,
+            "wall_clock_s": exact_s,
+            "n_cv_solves": exact.n_cv_solves,
+            "n_cv_solves_landmark": exact.n_cv_solves_landmark,
+        },
+        "landmark": {
+            "best": landmark.best_partition.compact_str(),
+            "best_score": landmark.best_score,
+            "wall_clock_s": landmark_s,
+            "n_cv_solves": landmark.n_cv_solves,
+            "n_cv_solves_landmark": landmark.n_cv_solves_landmark,
+        },
+        "same_optimum": landmark.best_partition == exact.best_partition,
+        "best_score_delta": abs(landmark.best_score - exact.best_score),
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    sweep_ns = SMOKE_SWEEP_NS if smoke else SWEEP_NS
+    rank_n = SMOKE_RANK_SWEEP_N if smoke else RANK_SWEEP_N
+    ranks = [m for m in (4, 8, 16, 32, 64, 128, 256, 512, 1024) if m < rank_n]
+    ranks.append(rank_n)
+    parity_ns = SEARCH_PARITY_NS[:1] if smoke else SEARCH_PARITY_NS
+    cv_n = SMOKE_CV_N if smoke else CV_N
+
+    scaling = [_sweep_point(n, SWEEP_PARTITIONS) for n in sweep_ns]
+
+    # Growth-law evidence: fit the element-op exponents.  The op
+    # ledgers are deterministic (same schedule at every n), so exact
+    # element ops grow as n² and landmark element ops as n·m = O(n)
+    # at fixed m — the fitted slopes must separate by about 1.
+    exact_points = [p for p in scaling if p["exact"] is not None]
+    exact_exponent = _fit_growth_exponent(
+        [p["n"] for p in exact_points],
+        [p["exact"]["element_ops"] for p in exact_points],
+    )
+    landmark_full_m = [p for p in scaling if p["m"] == min(SWEEP_M, p["n"])]
+    landmark_exponent = _fit_growth_exponent(
+        [p["n"] for p in landmark_full_m],
+        [p["landmark"]["element_ops"] for p in landmark_full_m],
+    )
+    assert exact_exponent > 1.8, exact_exponent
+    assert landmark_exponent < 1.3, landmark_exponent
+    # Asymptotics must show up in wall-clock too at the largest common
+    # n (1-CPU container: no parallelism flatters either arm).
+    largest_common = exact_points[-1]
+    if largest_common["n"] >= 2000:
+        assert largest_common["speedup"] > 1.0, largest_common
+
+    report = {
+        "benchmark": "bench_landmark_scaling",
+        "smoke": smoke,
+        "workload": (
+            "2+2 facets, seed=3, partitions="
+            + " / ".join(p.compact_str() for p in SWEEP_PARTITIONS)
+        ),
+        "sweep_n_landmarks": SWEEP_M,
+        "exact_max_n": EXACT_MAX_N,
+        "scaling": scaling,
+        "growth": {
+            "exact_element_ops_exponent": exact_exponent,
+            "landmark_element_ops_exponent": landmark_exponent,
+            "largest_common_n": largest_common["n"],
+            "speedup_at_largest_common_n": largest_common["speedup"],
+            "largest_landmark_n": scaling[-1]["n"],
+        },
+        "rank_sweep": _rank_sweep(rank_n, ranks),
+        "search_parity": _search_parity(parity_ns),
+        "cv": _cv_section(cv_n),
+    }
+    return report
+
+
+def print_report(smoke: bool = False) -> None:
+    report = run(smoke=smoke)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"LANDMARK SCALING — m={report['sweep_n_landmarks']}, "
+        f"exact arm capped at n={report['exact_max_n']}"
+        f"{' (smoke)' if smoke else ''}"
+    )
+    for point in report["scaling"]:
+        landmark = point["landmark"]
+        exact = point["exact"]
+        exact_note = (
+            f"exact {exact['wall_clock_s']:.3f}s"
+            f" ({exact['element_ops']:.2e} elem-ops)"
+            f"  err={point['max_score_error']:.2e}"
+            f"  speedup={point['speedup']:.1f}x"
+            if exact is not None
+            else "exact: skipped (over cap)"
+        )
+        print(
+            f"  n={point['n']:>6}  landmark {landmark['wall_clock_s']:.3f}s"
+            f" ({landmark['element_ops']:.2e} elem-ops)  {exact_note}"
+        )
+    growth = report["growth"]
+    print(
+        f"  growth exponents: exact {growth['exact_element_ops_exponent']:.2f}"
+        f" vs landmark {growth['landmark_element_ops_exponent']:.2f}"
+        f"  (landmark reached n={growth['largest_landmark_n']})"
+    )
+    rank = report["rank_sweep"]
+    first, last = rank["ranks"][0], rank["ranks"][-1]
+    print(
+        f"  rank sweep @ n={rank['n']}: err {first['max_error']:.2e} (m={first['m']})"
+        f" -> {last['max_error']:.2e} (m={last['m']}, exact)"
+    )
+    for row in report["search_parity"]:
+        print(
+            f"  search parity n={row['n']}: same optimum={row['same_optimum']}"
+            f"  exact {row['exact']['wall_clock_s']:.2f}s"
+            f" / landmark {row['landmark']['wall_clock_s']:.2f}s"
+        )
+    cv = report["cv"]
+    print(
+        f"  cv n={cv['n']}: {cv['exact']['n_cv_solves']} exact solves"
+        f" ({cv['exact']['wall_clock_s']:.2f}s) vs"
+        f" {cv['landmark']['n_cv_solves_landmark']} factor solves"
+        f" ({cv['landmark']['wall_clock_s']:.2f}s),"
+        f" same optimum={cv['same_optimum']}"
+    )
+    print(f"  results written to {RESULTS_PATH.name}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small-n sweep only (CI wiring check, not evidence)",
+    )
+    print_report(smoke=parser.parse_args().smoke)

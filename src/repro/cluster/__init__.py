@@ -51,6 +51,8 @@ from repro.cluster.local import LocalWorkers, spawn_local_workers
 from repro.cluster.placement import (
     PlacedBlockStatsCache,
     PlacedGramCache,
+    PlacedLandmarkGramCache,
+    PlacedLandmarkStatsCache,
     ShardPlacement,
     StripLossError,
 )
@@ -73,6 +75,8 @@ __all__ = [
     "LocalWorkers",
     "PlacedBlockStatsCache",
     "PlacedGramCache",
+    "PlacedLandmarkGramCache",
+    "PlacedLandmarkStatsCache",
     "ProtocolError",
     "RemoteTaskError",
     "ShardPlacement",

@@ -42,7 +42,11 @@ from typing import Any
 import numpy as np
 
 from repro.cluster.coordinator import Coordinator
-from repro.cluster.placement import PlacedGramCache, ShardPlacement
+from repro.cluster.placement import (
+    PlacedGramCache,
+    PlacedLandmarkGramCache,
+    ShardPlacement,
+)
 from repro.cluster.protocol import DEFAULT_MAX_FRAME_BYTES
 from repro.engine.tasks import (
     EngineTask,
@@ -119,7 +123,9 @@ class SocketBackend:
             heartbeat_interval=heartbeat_interval,
             heartbeat_timeout=heartbeat_timeout,
         )
-        self._placed_caches: list[PlacedGramCache] = []
+        self._placed_caches: list[
+            PlacedGramCache | PlacedLandmarkGramCache
+        ] = []
 
     # -- lifecycle -----------------------------------------------------
 
@@ -219,6 +225,37 @@ class SocketBackend:
         self._placed_caches.append(cache)
         return cache
 
+    def make_placed_landmark_cache(
+        self,
+        X: np.ndarray,
+        block_kernel,
+        normalize: bool,
+        n_shards: int,
+        n_landmarks: int | None = None,
+        landmark_seed: int = 0,
+        placement: ShardPlacement | None = None,
+    ) -> PlacedLandmarkGramCache:
+        """A landmark (Nyström) factor cache resident on this fleet.
+
+        Each worker builds and keeps the factor strips for the rows it
+        owns; only the m×r whitening transform and O(m) vectors cross
+        the wire (``factor_bytes_shipped`` in the wire ledger).  Factor
+        strips are rebuilt on adoption rather than replicated, so the
+        ``replication=`` knob does not apply to this layout.
+        """
+        cache = PlacedLandmarkGramCache(
+            self.coordinator,
+            X,
+            block_kernel,
+            normalize,
+            n_shards=n_shards,
+            n_landmarks=n_landmarks,
+            landmark_seed=landmark_seed,
+            placement=placement,
+        )
+        self._placed_caches.append(cache)
+        return cache
+
     # -- accounting ----------------------------------------------------
 
     def wire_stats(self) -> dict[str, Any]:
@@ -243,4 +280,8 @@ class SocketBackend:
             stats[counter] = sum(
                 getattr(cache, counter) for cache in self._placed_caches
             )
+        stats["factor_bytes_shipped"] = sum(
+            getattr(cache, "factor_bytes_shipped", 0)
+            for cache in self._placed_caches
+        )
         return stats

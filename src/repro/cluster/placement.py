@@ -76,6 +76,9 @@ from repro.cluster.protocol import (
     MSG_BLOCK_RAW,
     MSG_BLOCK_SCALE,
     MSG_INIT,
+    MSG_LANDMARK_FACTOR,
+    MSG_LANDMARK_PAIR,
+    MSG_LANDMARK_STATS,
     MSG_PAIR,
     MSG_STRIP_INSTALL,
     MSG_STRIP_REBUILD,
@@ -91,6 +94,9 @@ from repro.engine.cache import (
     _KeyLocked,
     _PartitionStatsMixin,
     canonical_block_key,
+    default_n_landmarks,
+    landmark_transform,
+    select_landmarks,
     shard_row_slices,
 )
 from repro.engine.tasks import WorkerCrashError
@@ -101,6 +107,8 @@ __all__ = [
     "ShardPlacement",
     "PlacedGramCache",
     "PlacedBlockStatsCache",
+    "PlacedLandmarkGramCache",
+    "PlacedLandmarkStatsCache",
     "StripLossError",
 ]
 
@@ -935,4 +943,530 @@ class PlacedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
                 with self._lock:
                     self._pair_inner[key] = value
                     self.n_matrix_ops += 1
+        return self._pair_inner[key]
+
+
+class PlacedLandmarkGramCache(_KeyLocked):
+    """Coordinator-side facade over worker-resident Nyström factor strips.
+
+    The placed twin of
+    :class:`~repro.engine.cache.ShardedLandmarkGramCache`: each worker
+    holds the factor strips ``k(X[rows], X[L]) @ T`` for the row slices
+    it owns, and only the m×r whitening transform ``T`` (computed once
+    per block coordinator-side from the O(m²) landmark Gram), O(m)
+    vectors and O(1) scalars ever cross the wire — booked in
+    ``factor_bytes_shipped`` on top of the ordinary placement-plane
+    byte ledger.  ``n_gathers`` stays at zero for a whole search: no
+    n×n matrix, and no n×r factor, is ever assembled coordinator-side.
+
+    Failure model: factor strips are **rebuilt, never replicated** —
+    at O(n·m/shards) a strip costs less to recompute than to copy, so
+    the placement always runs with ``replication=1`` and a dead owner's
+    strips are adopted by a survivor (``MSG_STRIP_INSTALL`` publishes
+    the row slices; the self-healing landmark handlers rebuild the
+    strips from the transform carried by the very next fan-out).
+    Adoptions are counted in ``n_strip_rebuilds``.
+
+    Ledger contract matches the in-process landmark caches:
+    ``n_gram_computations`` and the stats cache's ``n_matrix_ops`` stay
+    0 forever; ``n_factor_computations`` counts per-block factor
+    builds; reductions are performed coordinator-side in strip order
+    with the same expressions as ``ShardedLandmarkStatsCache``, so
+    every score is **bit-identical** to an in-process sharded landmark
+    run with the same ``(n_shards, n_landmarks, landmark_seed)``.
+    """
+
+    #: Fan-out rounds attempted before declaring the placement
+    #: unreachable (each round re-targets the updated holder set).
+    MAX_FANOUT_ATTEMPTS = 4
+
+    def __init__(
+        self,
+        coordinator,
+        X: np.ndarray,
+        block_kernel: BlockKernelFactory = default_block_kernel,
+        normalize: bool = True,
+        n_shards: int = 2,
+        n_landmarks: int | None = None,
+        landmark_seed: int = 0,
+        placement: ShardPlacement | None = None,
+    ):
+        super().__init__()
+        self.coordinator = coordinator
+        self.X = as_2d(X)
+        n = self.X.shape[0]
+        if not 1 <= n_shards <= n:
+            raise ValueError(
+                f"n_shards must be in [1, n_samples={n}], got {n_shards}"
+            )
+        self.block_kernel = block_kernel
+        self.normalize = normalize
+        self.n_shards = int(n_shards)
+        m = default_n_landmarks(n) if n_landmarks is None else int(n_landmarks)
+        self.landmark_seed = int(landmark_seed)
+        self.landmarks = select_landmarks(n, m, self.landmark_seed)
+        self.n_landmarks = m
+        self.placement = placement or ShardPlacement(
+            self.n_shards, coordinator.n_workers, replication=1
+        )
+        if self.placement.n_shards != self.n_shards:
+            raise ValueError("placement does not cover n_shards strips")
+        if self.placement.replication != 1:
+            raise ValueError(
+                "landmark factor strips are rebuilt on adoption, not "
+                "replicated; the placement must use replication=1"
+            )
+        self.row_slices = shard_row_slices(n, self.n_shards)
+        self._initialised = False
+        self._initialised_workers: set[int] = set()
+        # Per block: the m×r whitening transform (shipped with every
+        # landmark fan-out so adopters self-heal) and the globally
+        # reduced factor column means (the centring vector).
+        self._transforms: dict[BlockKey, np.ndarray] = {}
+        self._col_means: dict[BlockKey, np.ndarray] = {}
+        # Same lock discipline as PlacedGramCache: coordinator plane
+        # locks before _data_lock, never the reverse.
+        self._data_lock = threading.RLock()
+        self._lost_strips: set[int] = set()
+        self._target_body: dict | None = None
+        self._target_workers: set[int] = set()
+        self._adopt_warned = False
+        self.n_gram_computations = 0
+        self.n_factor_computations = 0
+        self.n_gathers = 0
+        self.n_promotions = 0
+        self.n_replicated_strips = 0
+        self.n_replication_failures = 0
+        self.n_strip_rebuilds = 0
+        self.factor_bytes_shipped = 0
+        self.resident_strip_bytes: dict[int, int] = {}
+        coordinator.add_death_listener(self._on_worker_death)
+        # Fold standing deaths into the placement (a reused coordinator
+        # notifies each death only once per worker life).
+        for index in range(coordinator.n_workers):
+            if coordinator.worker_is_dead(index):
+                self._on_worker_death(index)
+
+    def detach(self) -> None:
+        """Unhook this cache from the coordinator's death notifications.
+
+        Idempotent; called when the search that owned the cache is
+        over, so a stale cache stops mutating placements for results
+        nobody will read.
+        """
+        self.coordinator.remove_death_listener(self._on_worker_death)
+
+    @property
+    def max_strip_rows(self) -> int:
+        """Largest row count any one strip (hence worker block) holds."""
+        return max(sl.stop - sl.start for sl in self.row_slices)
+
+    # -- death handling -------------------------------------------------
+
+    def _on_worker_death(self, worker_index: int) -> None:
+        """Death listener: bookkeeping only (no network I/O here).
+
+        With ``replication=1`` every strip the dead worker held is
+        *lost*; the next fan-out adopts the lost slices on survivors
+        and the self-healing handlers rebuild the factors there.
+        """
+        with self._data_lock:
+            outcome = self.placement.drop_worker(worker_index)
+            self.n_promotions += len(outcome["promoted"])
+            self._lost_strips.update(outcome["lost"])
+            self._initialised_workers.discard(worker_index)
+            self._target_workers.discard(worker_index)
+            self.resident_strip_bytes.pop(worker_index, None)
+
+    # -- placement-plane orchestration ---------------------------------
+
+    def _request(self, worker: int, msg_type: int, body: dict) -> dict:
+        reply = self.coordinator.placement_request(
+            worker, msg_type, dump_payload(body)
+        )
+        return load_payload(reply)
+
+    def _fan_out(
+        self, msg_type: int, body: dict
+    ) -> tuple[dict[int, dict], tuple[int, ...]]:
+        """One request to every live strip holder, computed concurrently.
+
+        Same retry/repair loop as :meth:`PlacedGramCache._fan_out`:
+        deaths during the round promote the placement in place, lost
+        strips are adopted on survivors, and the replayed requests
+        self-heal from the transform in the request body.  Returns
+        ``(replies, owners)`` with the owner snapshot validated against
+        the replies.
+        """
+        payload = dump_payload(body)
+        for _ in range(self.MAX_FANOUT_ATTEMPTS):
+            self._adopt_lost_strips()
+            with self._data_lock:
+                targets = [
+                    w
+                    for w in self.placement.active_workers
+                    if not self.coordinator.worker_is_dead(w)
+                ]
+            if not targets:
+                raise WorkerCrashError(
+                    "no live strip holders remain in the placement"
+                )
+            raw = self.coordinator.placement_fan_out(targets, msg_type, payload)
+            replies = {w: load_payload(r) for w, r in raw.items()}
+            with self._data_lock:
+                owners = self.placement.owners
+            if all(o is not None and o in replies for o in owners):
+                return replies, owners
+        raise WorkerCrashError(
+            "placement fan-out could not reach a live holder for every "
+            f"strip after {self.MAX_FANOUT_ATTEMPTS} rounds"
+        )
+
+    def ensure_init(self) -> None:
+        """Ship each holding worker its ownership state once (idempotent)."""
+        with self._key_lock("__init__"):
+            if self._initialised:
+                return
+            with self._data_lock:
+                workers = list(self.placement.active_workers)
+            for worker in workers:
+                if self.coordinator.worker_is_dead(worker):
+                    continue
+                self._init_worker(worker)
+            self._initialised = True
+
+    def _init_worker(self, worker: int) -> bool:
+        """Send MSG_INIT (once, with the landmark set) to a worker."""
+        with self._data_lock:
+            if worker in self._initialised_workers:
+                return True
+            slices = {
+                s: self.row_slices[s] for s in self.placement.strips_of(worker)
+            }
+        try:
+            self._request(
+                worker,
+                MSG_INIT,
+                {
+                    "X": self.X,
+                    "block_kernel": self.block_kernel,
+                    "normalize": self.normalize,
+                    "slices": slices,
+                    "landmarks": self.landmarks,
+                },
+            )
+        except (ProtocolError, OSError):
+            return False
+        with self._data_lock:
+            self._initialised_workers.add(worker)
+        return True
+
+    def ship_target(self, centered_y: np.ndarray) -> None:
+        """Ship the centred target to every live holder (idempotent)."""
+        with self._key_lock("__target__"):
+            if self._target_body is not None:
+                return
+            self.ensure_init()
+            body = {"centered_y": centered_y}
+            with self._data_lock:
+                workers = list(self.placement.active_workers)
+            shipped: set[int] = set()
+            for worker in workers:
+                if self.coordinator.worker_is_dead(worker):
+                    continue
+                try:
+                    self._request(worker, MSG_TARGET, body)
+                except (ProtocolError, OSError):
+                    continue
+                shipped.add(worker)
+            with self._data_lock:
+                self._target_body = body
+                self._target_workers |= shipped
+
+    def _ship_target_to(self, worker: int) -> None:
+        """Forward the remembered target payload to a late adopter."""
+        with self._data_lock:
+            body = self._target_body
+            if body is None or worker in self._target_workers:
+                return
+        self._request(worker, MSG_TARGET, body)
+        with self._data_lock:
+            self._target_workers.add(worker)
+
+    # -- resilience: adoption ------------------------------------------
+
+    def _adopt_lost_strips(self) -> None:
+        """Adopt strips whose owner died on surviving workers.
+
+        Loud by design (same contract as the exact cache's
+        ``replication=1`` rebuild): warn once, publish the lost row
+        slices on the least-loaded survivor, and let the self-healing
+        landmark handlers rebuild the factor strips from the transform
+        the very next fan-out carries.
+        """
+        with self._data_lock:
+            lost = sorted(self._lost_strips)
+        if not lost:
+            return
+        if not self._adopt_warned:
+            self._adopt_warned = True
+            warnings.warn(
+                "a dead landmark strip owner forces strip"
+                f"{'s' if len(lost) > 1 else ''} {lost} to be adopted by a "
+                "surviving worker; the factor strips are rebuilt there on "
+                "the next fan-out",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        for strip in lost:
+            self._adopt_strip(strip)
+
+    def _adopt_strip(self, strip: int) -> None:
+        with self._data_lock:
+            candidates = sorted(
+                (
+                    w
+                    for w in self.coordinator.live_worker_indices()
+                    if w not in self.placement.holders_of(strip)
+                ),
+                key=lambda w: (len(self.placement.strips_of(w)), w),
+            )
+        for target in candidates:
+            if not self._init_worker(target):
+                continue
+            try:
+                self._ship_target_to(target)
+                # Publish the slice only — no strip payload: the
+                # landmark handlers rebuild from the shipped transform.
+                self._request(
+                    target,
+                    MSG_STRIP_INSTALL,
+                    {
+                        "slices": {strip: self.row_slices[strip]},
+                        "scaled": {},
+                        "centered": {},
+                    },
+                )
+            except (ProtocolError, OSError):
+                continue
+            with self._data_lock:
+                self.placement.add_holder(strip, target)
+                self._lost_strips.discard(strip)
+                self.n_strip_rebuilds += 1
+            return
+        raise WorkerCrashError(
+            f"no surviving worker could adopt lost landmark strip {strip}"
+        )
+
+    # -- landmark factor plane -----------------------------------------
+
+    def gram_cached(self, block: Sequence[int]) -> bool:
+        """True if the block's factor strips are already built fleet-side."""
+        return canonical_block_key(block) in self._col_means
+
+    def transform(self, block: Sequence[int]) -> np.ndarray:
+        """The m×r whitening transform of one block (coordinator-side).
+
+        Computed from the O(m²) landmark Gram with the kernel bound to
+        ``X[L]`` — exactly the expressions of the in-process landmark
+        caches, so the shipped transform (and hence every worker-built
+        strip) is bit-identical to the sharded layout.
+        """
+        key = canonical_block_key(block)
+        transform = self._transforms.get(key)
+        if transform is None:
+            with self._key_lock(("transform", key)):
+                if key not in self._transforms:
+                    landmarks = self.landmarks
+                    kernel = self.block_kernel(key).bind(self.X[landmarks])
+                    transform = landmark_transform(
+                        kernel(self.X[landmarks], self.X[landmarks])
+                    )
+                    with self._lock:
+                        self._transforms[key] = transform
+        return self._transforms[key]
+
+    def ensure_factor(self, block: Sequence[int]) -> np.ndarray:
+        """Build a block's factor strips on every holder, once.
+
+        Returns the block's factor column means — the O(m) reduction
+        the stats cache centres with, summed from the per-strip column
+        sums in strip order (always the primary holder's reply),
+        matching ``ShardedLandmarkStatsCache`` bit for bit.
+        """
+        key = canonical_block_key(block)
+        cached = self._col_means.get(key)
+        if cached is not None:
+            return cached
+        with self._key_lock(("factor", key)):
+            if key not in self._col_means:
+                self.ensure_init()
+                transform = self.transform(key)
+                replies, owners = self._fan_out(
+                    MSG_LANDMARK_FACTOR, {"key": key, "transform": transform}
+                )
+                col_means = sum(
+                    replies[owners[s]]["col_sums"][s]
+                    for s in range(self.n_shards)
+                ) / float(self.X.shape[0])
+                for worker, reply in replies.items():
+                    self.resident_strip_bytes[worker] = int(
+                        reply["resident_bytes"]
+                    )
+                with self._lock:
+                    self.n_factor_computations += 1
+                    self.factor_bytes_shipped += int(transform.nbytes) * len(
+                        replies
+                    )
+                    self._col_means[key] = col_means
+        return self._col_means[key]
+
+    def _book_factor_bytes(self, nbytes: int, n_targets: int) -> None:
+        """Ledger hook for transforms re-shipped by stats/pair fan-outs."""
+        with self._lock:
+            self.factor_bytes_shipped += int(nbytes) * int(n_targets)
+
+    def gram(self, block: Sequence[int]) -> np.ndarray:
+        """Never materialised: factor strips stay worker-resident.
+
+        Exact final-model training runs through a fresh exact cache
+        (``FacetedLearner`` does this automatically when
+        ``approx="landmarks"``); asking the placed landmark layout for
+        an n×n Gram is a configuration error, not a slow path.
+        """
+        raise NotImplementedError(
+            "PlacedLandmarkGramCache keeps Nyström factor strips resident "
+            "worker-side and never assembles an n×n Gram coordinator-side; "
+            "use an exact cache for final-model training"
+        )
+
+    def grams_for(self, partition: SetPartition) -> list[np.ndarray]:
+        """See :meth:`gram` — never materialised."""
+        raise NotImplementedError(
+            "PlacedLandmarkGramCache never assembles n×n Grams; use an "
+            "exact cache for final-model training"
+        )
+
+    def stats_cache(self, y: np.ndarray) -> "PlacedLandmarkStatsCache":
+        """The statistics cache matching this placed factor layout."""
+        return PlacedLandmarkStatsCache(self, y)
+
+
+class PlacedLandmarkStatsCache(_KeyLocked, _PartitionStatsMixin):
+    """Landmark-factor statistics reduced across worker-resident strips.
+
+    Scalar surface identical to
+    :class:`~repro.engine.cache.ShardedLandmarkStatsCache`; the
+    per-strip partials (``(HF_s)' Hy[rows_s]`` and ``(HF_s)' HF_s``)
+    are computed by each strip's primary holder and summed
+    coordinator-side **in strip order**, which keeps every value
+    bit-identical to the in-process sharded landmark cache.  The
+    ledger follows the same contract: ``n_matrix_ops`` stays 0,
+    ``n_landmark_ops`` books the standard 2/3/1 schedule.
+    """
+
+    def __init__(self, grams: PlacedLandmarkGramCache, y: np.ndarray):
+        super().__init__()
+        self.grams = grams
+        y = np.asarray(y, dtype=float).ravel()
+        if y.shape[0] != self.grams.X.shape[0]:
+            raise ValueError("y length must match the cached sample")
+        self.y = y
+        self._target_inner: dict[BlockKey, float] = {}
+        self._pair_inner: dict[tuple[BlockKey, BlockKey], float] = {}
+        self._stats_keys: set[BlockKey] = set()
+        # Rank-1 centred target: O(n), stays coordinator-side.
+        self.centered_y = y - y.mean()
+        self.target_norm = float(self.centered_y @ self.centered_y)
+        self.n_matrix_ops = 0
+        # Ledger parity with the exact caches' two target passes.
+        self.n_landmark_ops = 2
+
+    def _pair_stats_keys(self):
+        return self._stats_keys
+
+    def _ensure_target(self) -> None:
+        self.grams.ship_target(self.centered_y)
+
+    def block_stats(self, block: Sequence[int]) -> tuple[float, float]:
+        """``(a_i, M_ii)`` reduced across the primary holders."""
+        key = canonical_block_key(block)
+        if key not in self._stats_keys:
+            with self._key_lock(("block", key)):
+                if key not in self._stats_keys:
+                    self._ensure_target()
+                    col_means = self.grams.ensure_factor(key)
+                    transform = self.grams.transform(key)
+                    replies, owners = self.grams._fan_out(
+                        MSG_LANDMARK_STATS,
+                        {
+                            "key": key,
+                            "transform": transform,
+                            "col_means": col_means,
+                        },
+                    )
+                    self.grams._book_factor_bytes(
+                        transform.nbytes, len(replies)
+                    )
+                    n_shards = self.grams.n_shards
+                    t = sum(
+                        replies[owners[s]]["stats"][s][0]
+                        for s in range(n_shards)
+                    )
+                    target_inner = float(t @ t)
+                    inner = sum(
+                        replies[owners[s]]["stats"][s][1]
+                        for s in range(n_shards)
+                    )
+                    self_inner = float(np.sum(inner * inner))
+                    for worker, reply in replies.items():
+                        self.grams.resident_strip_bytes[worker] = int(
+                            reply["resident_bytes"]
+                        )
+                    with self._lock:
+                        self._target_inner[key] = target_inner
+                        self._pair_inner[(key, key)] = self_inner
+                        self.n_landmark_ops += 3
+                        self._stats_keys.add(key)
+        return self._target_inner[key], self._pair_inner[(key, key)]
+
+    def pair_inner(self, first: Sequence[int], second: Sequence[int]) -> float:
+        """``M_ij`` from strip-order-summed worker inner partials."""
+        key = tuple(
+            sorted((canonical_block_key(first), canonical_block_key(second)))
+        )
+        value = self._pair_inner.get(key)
+        if value is not None:
+            return value
+        self.block_stats(key[0])
+        self.block_stats(key[1])
+        if key[0] == key[1]:
+            return self._pair_inner[key]
+        with self._key_lock(("pair", key)):
+            if key not in self._pair_inner:
+                first_transform = self.grams.transform(key[0])
+                second_transform = self.grams.transform(key[1])
+                replies, owners = self.grams._fan_out(
+                    MSG_LANDMARK_PAIR,
+                    {
+                        "first": key[0],
+                        "second": key[1],
+                        "first_transform": first_transform,
+                        "second_transform": second_transform,
+                        "first_col_means": self.grams.ensure_factor(key[0]),
+                        "second_col_means": self.grams.ensure_factor(key[1]),
+                    },
+                )
+                self.grams._book_factor_bytes(
+                    first_transform.nbytes + second_transform.nbytes,
+                    len(replies),
+                )
+                cross = sum(
+                    replies[owners[s]]["inners"][s]
+                    for s in range(self.grams.n_shards)
+                )
+                value = float(np.sum(cross * cross))
+                with self._lock:
+                    self._pair_inner[key] = value
+                    self.n_landmark_ops += 1
         return self._pair_inner[key]

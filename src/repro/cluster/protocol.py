@@ -82,6 +82,9 @@ __all__ = [
     "MSG_STRIP_STATE",
     "MSG_STRIP_INSTALL",
     "MSG_STRIP_REBUILD",
+    "MSG_LANDMARK_FACTOR",
+    "MSG_LANDMARK_STATS",
+    "MSG_LANDMARK_PAIR",
     "MSG_SHUTDOWN",
 ]
 
@@ -119,6 +122,10 @@ MSG_STRIPS_FETCH = 26
 MSG_STRIP_STATE = 27
 MSG_STRIP_INSTALL = 28
 MSG_STRIP_REBUILD = 29
+# Landmark plane (Nyström factor strips; rides the placement bucket) ----
+MSG_LANDMARK_FACTOR = 30
+MSG_LANDMARK_STATS = 31
+MSG_LANDMARK_PAIR = 32
 
 _KNOWN_TYPES = frozenset(
     {
@@ -139,6 +146,9 @@ _KNOWN_TYPES = frozenset(
         MSG_STRIP_STATE,
         MSG_STRIP_INSTALL,
         MSG_STRIP_REBUILD,
+        MSG_LANDMARK_FACTOR,
+        MSG_LANDMARK_STATS,
+        MSG_LANDMARK_PAIR,
     }
 )
 

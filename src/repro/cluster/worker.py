@@ -32,7 +32,13 @@ Two planes of traffic arrive on separate connections:
   caches.  The block handlers are **idempotent**: a replayed request
   (the coordinator's fan-out retry after a peer worker died) answers
   from resident state instead of failing, and a worker that adopted a
-  strip mid-block self-heals by computing the missing raw strip.
+  strip mid-block self-heals by computing the missing raw strip.  The
+  same plane carries the **landmark factor strips** of the low-rank
+  scoring path (``MSG_LANDMARK_FACTOR`` / ``_STATS`` / ``_PAIR``):
+  only the m×r whitening transform and O(m) vectors cross the wire,
+  each worker builds ``k(X[rows], X[L]) @ T`` for its own rows, and
+  the handlers rebuild any missing strip from the transform in the
+  request body (factor strips are cheaper to rebuild than to ship).
 
 Resilience hooks:
 
@@ -72,6 +78,9 @@ from repro.cluster.protocol import (
     MSG_BLOCK_SCALE,
     MSG_ERROR,
     MSG_INIT,
+    MSG_LANDMARK_FACTOR,
+    MSG_LANDMARK_PAIR,
+    MSG_LANDMARK_STATS,
     MSG_OK,
     MSG_PAIR,
     MSG_PING,
@@ -92,6 +101,7 @@ from repro.cluster.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.engine.cache import _normalize_factor_rows
 from repro.engine.tasks import encode_result, score_task_payload
 
 __all__ = ["WorkerServer", "main"]
@@ -112,14 +122,24 @@ class _PlacementState:
     normalize: bool
     slices: dict[int, slice]
     centered_y: np.ndarray | None = None
+    landmarks: np.ndarray | None = None
     raw: dict[tuple, dict[int, np.ndarray]] = field(default_factory=dict)
     strips: dict[tuple, dict[int, np.ndarray]] = field(default_factory=dict)
     centered: dict[tuple, dict[int, np.ndarray]] = field(default_factory=dict)
+    factor_strips: dict[tuple, dict[int, np.ndarray]] = field(default_factory=dict)
+    factor_centered: dict[tuple, dict[int, np.ndarray]] = field(
+        default_factory=dict
+    )
 
     def resident_bytes(self) -> int:
         """Bytes of strip state currently resident on this worker."""
         total = 0
-        for store in (self.strips, self.centered):
+        for store in (
+            self.strips,
+            self.centered,
+            self.factor_strips,
+            self.factor_centered,
+        ):
             for per_strip in store.values():
                 total += sum(strip.nbytes for strip in per_strip.values())
         return total
@@ -383,14 +403,72 @@ class WorkerServer:
             state.raw.pop(key, None)
         return strips
 
+    def _landmark_strips(
+        self, state: _PlacementState, key: tuple, transform
+    ) -> dict[int, np.ndarray]:
+        """Nyström factor strips for every held slice, filling any gap.
+
+        The m×r whitening transform always travels in the request body,
+        so the handler is self-healing: a worker that adopted a strip
+        mid-block (or answers a fan-out replay) rebuilds exactly the
+        missing factor strips — ``k(X[rows], X[L]) @ T``, row-normalised
+        strip-locally — with the same expressions as the in-process
+        :class:`~repro.engine.cache.ShardedLandmarkGramCache`, keeping
+        the bit-identity contract.  Factor strips are never shipped
+        between workers: at O(n·m/shards) they are cheaper to rebuild
+        than to replicate.
+        """
+        strips = state.factor_strips.setdefault(key, {})
+        missing = [index for index in state.slices if index not in strips]
+        if missing:
+            if state.landmarks is None:
+                raise RuntimeError(
+                    "landmark request but MSG_INIT carried no landmarks"
+                )
+            transform = np.asarray(transform, dtype=float)
+            landmarks = state.landmarks
+            kernel = state.block_kernel(key).bind(state.X[landmarks])
+            for index in missing:
+                sl = state.slices[index]
+                strip = kernel(state.X[sl], state.X[landmarks]) @ transform
+                if state.normalize:
+                    strip = _normalize_factor_rows(strip)
+                strips[index] = strip
+        return strips
+
+    def _landmark_centered(
+        self, state: _PlacementState, key: tuple, transform, col_means
+    ) -> dict[int, np.ndarray]:
+        """Centred factor strips (``HF = F - col_means``), filling gaps.
+
+        ``col_means`` is the globally-reduced column mean vector the
+        coordinator computed from every strip's column sums, so the
+        per-strip centring here matches the in-process sharded landmark
+        cache exactly.
+        """
+        centered = state.factor_centered.setdefault(key, {})
+        missing = [index for index in state.slices if index not in centered]
+        if missing:
+            strips = self._landmark_strips(state, key, transform)
+            col_means = np.asarray(col_means, dtype=float)
+            for index in missing:
+                centered[index] = strips[index] - col_means
+        return centered
+
     def _dispatch_placement(self, msg_type: int, payload: bytes):
         request = load_payload(payload)
         if msg_type == MSG_INIT:
+            landmarks = request.get("landmarks")
             state = _PlacementState(
                 X=np.asarray(request["X"], dtype=float),
                 block_kernel=request["block_kernel"],
                 normalize=bool(request["normalize"]),
                 slices={int(i): sl for i, sl in request["slices"].items()},
+                landmarks=(
+                    None
+                    if landmarks is None
+                    else np.asarray(landmarks, dtype=int)
+                ),
             )
             with self._lock:
                 self._placement = state
@@ -467,6 +545,55 @@ class WorkerServer:
                             + grand_mean
                         )
             return {"resident_bytes": state.resident_bytes()}
+        if msg_type == MSG_LANDMARK_FACTOR:
+            strips = self._landmark_strips(
+                state, tuple(request["key"]), request["transform"]
+            )
+            return {
+                "col_sums": {
+                    index: strip.sum(axis=0)
+                    for index, strip in strips.items()
+                },
+                "resident_bytes": state.resident_bytes(),
+            }
+        if msg_type == MSG_LANDMARK_STATS:
+            yc = state.centered_y
+            if yc is None:
+                raise RuntimeError("MSG_LANDMARK_STATS before MSG_TARGET")
+            centered = self._landmark_centered(
+                state,
+                tuple(request["key"]),
+                request["transform"],
+                request["col_means"],
+            )
+            stats = {
+                index: (
+                    strip.T @ yc[state.slices[index]],
+                    strip.T @ strip,
+                )
+                for index, strip in centered.items()
+            }
+            return {"stats": stats, "resident_bytes": state.resident_bytes()}
+        if msg_type == MSG_LANDMARK_PAIR:
+            first = self._landmark_centered(
+                state,
+                tuple(request["first"]),
+                request["first_transform"],
+                request["first_col_means"],
+            )
+            second = self._landmark_centered(
+                state,
+                tuple(request["second"]),
+                request["second_transform"],
+                request["second_col_means"],
+            )
+            return {
+                "inners": {
+                    index: first[index].T @ second[index]
+                    for index in first
+                    if index in second
+                }
+            }
         key = tuple(request["key"])
         if msg_type == MSG_BLOCK_RAW:
             raw = self._raw_strips(state, key)

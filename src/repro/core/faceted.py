@@ -91,6 +91,16 @@ class FacetedLearner:
         hit/waste ledger lands on ``search_result_.speculation``.
     speculation_depth:
         Speculation budget and lookahead horizon.
+    approx:
+        ``"landmarks"`` runs seed selection and the lattice search over
+        the low-rank Nyström caches — O(n·m) per block instead of
+        O(n²), with CV folds trained in factor space.  The *final*
+        model is still fitted on exact Grams of the winning partition
+        (one O(n²) pass per winning block), so only the search is
+        approximate.  ``None`` (default) keeps everything exact.
+    n_landmarks, landmark_seed:
+        Landmark count and deterministic selection seed for
+        ``approx="landmarks"``.
     """
 
     def __init__(
@@ -115,6 +125,9 @@ class FacetedLearner:
         overlap: bool = False,
         speculate: bool = False,
         speculation_depth: int = 4,
+        approx: str | None = None,
+        n_landmarks: int | None = None,
+        landmark_seed: int = 0,
     ):
         # Defer to the engine's registry so register_strategy extensions
         # are reachable from the high-level API too (``greedy`` is a
@@ -157,6 +170,13 @@ class FacetedLearner:
         self.overlap = bool(overlap)
         self.speculate = bool(speculate)
         self.speculation_depth = int(speculation_depth)
+        if approx not in (None, "landmarks"):
+            raise ValueError(f"approx must be None or 'landmarks', got {approx!r}")
+        if approx is None and n_landmarks is not None:
+            raise ValueError("n_landmarks requires approx='landmarks'")
+        self.approx = approx
+        self.n_landmarks = n_landmarks
+        self.landmark_seed = int(landmark_seed)
 
         self.partition_: SetPartition | None = None
         self.search_result_: SearchResult | None = None
@@ -208,6 +228,9 @@ class FacetedLearner:
             overlap=self.overlap,
             speculate=self.speculate,
             speculation_depth=self.speculation_depth,
+            approx=self.approx,
+            n_landmarks=self.n_landmarks,
+            landmark_seed=self.landmark_seed,
         )
         # One cache serves seed selection, the search, and the final
         # model.  In the sharded layout the first two score over row
@@ -237,7 +260,17 @@ class FacetedLearner:
         self.search_result_ = result
         self.partition_ = result.best_partition
 
-        grams = cache.grams_for(self.partition_)
+        if self.approx == "landmarks":
+            # The search was approximate; the final model is not.  The
+            # winning partition's blocks get exact Grams from a fresh
+            # dense cache — b O(n²) passes total, paid once, versus the
+            # O(n²)-per-block search the landmark path just avoided.
+            from repro.engine.cache import GramCache
+
+            final_cache = GramCache(X, self.block_kernel)
+            grams = final_cache.grams_for(self.partition_)
+        else:
+            grams = cache.grams_for(self.partition_)
         if self.weighting == "uniform":
             self.weights_ = uniform_weights(len(grams))
         elif self.weighting == "alignf":
@@ -307,4 +340,8 @@ class FacetedLearner:
             "n_gram_computations": self.search_result_.n_gram_computations,
             "weights": None if self.weights_ is None else self.weights_.tolist(),
             "seed_partition": self.search_result_.seed_partition.compact_str(),
+            "approx": self.search_result_.approx,
+            "n_landmark_ops": self.search_result_.n_landmark_ops,
+            "n_cv_solves": self.search_result_.n_cv_solves,
+            "n_cv_solves_landmark": self.search_result_.n_cv_solves_landmark,
         }

@@ -75,6 +75,23 @@ statistics on a background thread (``engine.prefetch``) while the
 current batch is scored; the process backend pipelines its envelopes
 the same way by construction.
 
+Approximate (landmark) scoring
+------------------------------
+
+``approx="landmarks"`` swaps the caches for their low-rank Nyström
+twins (:class:`~repro.engine.cache.LandmarkGramCache` and friends):
+each block's Gram is represented by an n×r factor ``F = C T`` against
+``m ≪ n`` deterministically selected landmark rows, the same scalar
+statistics are computed from factors in O(n·m), and the factor-trained
+``CrossValScorer`` fits folds in the factor space — so every hot
+scorer drops from Θ(n²) to O(n·m) per block.  Scores are approximate
+(exact at ``m = n``); approximate work is booked separately
+(``n_landmark_ops``, ``n_factor_computations``) so ledgers never mix
+exact and approximate passes, and the exact paths are bit-identical to
+an ``approx=None`` run.  Sharded and placed layouts compose: factor
+strips stay resident on the workers owning those rows with only the
+m×r transform on the wire.
+
 Search strategies and speculation
 ---------------------------------
 
@@ -111,9 +128,17 @@ from repro.engine.backends import (
 from repro.engine.cache import (
     BlockStatsCache,
     GramCache,
+    LandmarkBlockStatsCache,
+    LandmarkGramCache,
     ShardedBlockStatsCache,
     ShardedGramCache,
+    ShardedLandmarkGramCache,
+    ShardedLandmarkStatsCache,
     canonical_block_key,
+    default_n_landmarks,
+    landmark_transform,
+    select_landmarks,
+    shard_row_slices,
 )
 from repro.engine.core import (
     AlignmentScorer,
@@ -144,11 +169,15 @@ __all__ = [
     "EvaluationBackend",
     "GramCache",
     "KernelEvaluationEngine",
+    "LandmarkBlockStatsCache",
+    "LandmarkGramCache",
     "ProcessPoolBackend",
     "SearchResult",
     "SerialBackend",
     "ShardedBlockStatsCache",
     "ShardedGramCache",
+    "ShardedLandmarkGramCache",
+    "ShardedLandmarkStatsCache",
     "TaskEnvelopeError",
     "ThreadPoolBackend",
     "WorkerCrashError",
@@ -159,10 +188,14 @@ __all__ = [
     "available_strategies",
     "build_task",
     "canonical_block_key",
+    "default_n_landmarks",
     "get_backend",
+    "landmark_transform",
+    "select_landmarks",
     "register_backend",
     "register_strategy",
     "run_strategy",
     "score_task",
     "score_task_payload",
+    "shard_row_slices",
 ]

@@ -12,7 +12,18 @@ column tuples, so permuted orderings hit the same entry):
   of cached blocks in O(b²) scalar arithmetic; see
   :mod:`repro.engine` for the algebra.
 
-Each has a *sharded* twin for samples that do not fit one node:
+A third, *approximate* layer breaks the Θ(n²) wall entirely:
+:class:`LandmarkGramCache` / :class:`LandmarkBlockStatsCache`
+represent each block's Gram by an n×r Nyström factor against ``m ≪ n``
+deterministic landmark rows and compute the same scalar statistics in
+O(n·m); their sharded twins (:class:`ShardedLandmarkGramCache` /
+:class:`ShardedLandmarkStatsCache`) split the factor into row strips
+that compose with the placement layer.  Approximate work is booked in
+``n_landmark_ops`` / ``n_factor_computations`` and never touches
+``n_matrix_ops`` / ``n_gram_computations``, so exact and approximate
+ledgers stay distinguishable.
+
+Each exact cache has a *sharded* twin for samples that do not fit one node:
 :class:`ShardedGramCache` partitions the Gram by block-row and only
 ever materialises per-shard row strips (``kernel(X[rows], X)``), and
 :class:`ShardedBlockStatsCache` reduces the same scalar statistics
@@ -50,8 +61,15 @@ __all__ = [
     "BlockStatsCache",
     "ShardedGramCache",
     "ShardedBlockStatsCache",
+    "LandmarkGramCache",
+    "LandmarkBlockStatsCache",
+    "ShardedLandmarkGramCache",
+    "ShardedLandmarkStatsCache",
     "canonical_block_key",
     "shard_row_slices",
+    "select_landmarks",
+    "landmark_transform",
+    "default_n_landmarks",
 ]
 
 BlockKey = tuple[int, ...]
@@ -62,13 +80,84 @@ def shard_row_slices(n: int, n_shards: int) -> list[slice]:
 
     The single source of the row layout: the in-process sharded caches
     and the cluster placement layer both call this, so a strip index
-    means the same rows everywhere.
+    means the same rows everywhere.  ``n_shards`` must lie in
+    ``[1, n]`` — more shards than samples would mean empty strips,
+    which every strip consumer (normalisation diagonals, placement
+    ownership, rebuilds) treats as a bug, so the degenerate layout is
+    rejected here at the single source rather than representable.
     """
+    if not 1 <= n_shards <= n:
+        raise ValueError(
+            f"n_shards must be in [1, n_samples={n}], got {n_shards}"
+        )
     edges = np.linspace(0, n, n_shards + 1).astype(int)
     return [
         slice(int(start), int(stop))
         for start, stop in zip(edges[:-1], edges[1:])
     ]
+
+
+def default_n_landmarks(n: int) -> int:
+    """Default landmark count for an ``n``-sample problem.
+
+    ``min(n, max(16, round(4 * sqrt(n))))`` — grows slowly enough that
+    the O(n·m) landmark path stays asymptotically cheap while keeping
+    the rank high enough for stable rankings at small n.
+    """
+    return int(min(n, max(16, round(4.0 * np.sqrt(n)))))
+
+
+def select_landmarks(n: int, n_landmarks: int, seed: int = 0) -> np.ndarray:
+    """Deterministic landmark rows: a seeded uniform sample, sorted.
+
+    Sorting makes the selection order-free (the same (n, m, seed)
+    triple yields the same index set everywhere — coordinator, every
+    worker, every backend), which is what the bit-identity contracts
+    of the landmark path rest on.  At ``n_landmarks == n`` this is
+    ``arange(n)``, so the Nyström factorisation becomes exact.
+    """
+    if not 1 <= n_landmarks <= n:
+        raise ValueError(
+            f"n_landmarks must be in [1, n_samples={n}], got {n_landmarks}"
+        )
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n, size=int(n_landmarks), replace=False))
+
+
+def landmark_transform(W: np.ndarray, epsilon: float = 1e-10) -> np.ndarray:
+    """Nyström whitening transform ``T`` of a landmark Gram ``W``.
+
+    With ``W = U diag(lam) U'`` (symmetric eigendecomposition) the
+    transform is ``T = U_+ diag(lam_+)^{-1/2}`` over the eigenvalues
+    above ``epsilon * max(lam_max, 1)``, so that for a cross-Gram
+    ``C = k(X, X[L])`` the factor ``F = C T`` satisfies
+    ``F F' = C W^+ C'`` — the Nyström approximation of the full Gram,
+    exact when the landmarks span the sample (in particular at m = n
+    for a PSD kernel).
+    """
+    W = np.asarray(W, dtype=float)
+    W = (W + W.T) / 2.0
+    eigenvalues, eigenvectors = np.linalg.eigh(W)
+    cutoff = epsilon * max(float(eigenvalues[-1]), 1.0)
+    keep = eigenvalues > cutoff
+    if not np.any(keep):
+        # Degenerate landmark Gram (all-zero kernel): rank-0 factor.
+        return np.zeros((W.shape[0], 0))
+    return eigenvectors[:, keep] / np.sqrt(eigenvalues[keep])
+
+
+def _normalize_factor_rows(factor: np.ndarray) -> np.ndarray:
+    """Cosine-normalise a Nyström factor row-wise.
+
+    ``(F F')_{rr} = ||F[r]||²`` is the approximate Gram diagonal, so
+    dividing each row by ``sqrt(clip(||F[r]||², 1e-12))`` makes
+    ``F F'`` exactly ``normalize_gram(F F')`` — the same clipped
+    cosine normalisation the exact caches apply.  Purely row-local,
+    which is what lets sharded layouts normalise strip-by-strip with
+    no cross-shard reduction.
+    """
+    norms = np.sqrt(np.clip(np.sum(factor * factor, axis=1), 1e-12, None))
+    return factor / norms[:, None]
 
 
 def canonical_block_key(block: Iterable[int]) -> BlockKey:
@@ -503,4 +592,388 @@ class ShardedBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
                 with self._lock:
                     self._pair_inner[key] = value
                     self.n_matrix_ops += 1
+        return self._pair_inner[key]
+
+
+class LandmarkGramCache(_KeyLocked):
+    """Low-rank (Nyström) Gram cache: n×r factors, never n×n matrices.
+
+    Each block's Gram is represented by the factor ``F = C T`` where
+    ``C = k(X, X[L])`` is the cross-Gram against ``m`` landmark rows
+    ``L`` (:func:`select_landmarks`, deterministic per seed) and ``T``
+    is the whitening transform of the landmark Gram
+    (:func:`landmark_transform`), so ``F F' = C W^+ C'`` — the Nyström
+    approximation.  Building a factor costs O(n·m) kernel evaluations
+    plus an O(m³) eigendecomposition, versus the exact cache's O(n²)
+    per block.
+
+    The block kernel is bound to the *landmark* sample
+    (``bind(X[L])``), not the full sample: the default RBF kernel's
+    median-heuristic bandwidth is itself an O(n²) pairwise-distance
+    pass, which would silently reinstate the quadratic wall.  Binding
+    to ``X[L]`` keeps kernel set-up at O(m²) and coincides with the
+    exact binding at m = n (the landmark set is sorted, so
+    ``X[L] == X`` there), preserving exact convergence.
+
+    ``normalize=True`` applies the clipped cosine normalisation
+    row-locally on the factor (``(F F')_{rr} = ||F[r]||²`` is the
+    approximate diagonal), matching :func:`normalize_gram` applied to
+    the approximate Gram.
+
+    Ledger contract: ``n_gram_computations`` stays 0 forever — this
+    cache never performs an exact O(n²) pass; ``n_factor_computations``
+    counts the O(n·m) factor builds instead, and :meth:`gram` (the one
+    deliberate n×n materialisation, for final fits and reference
+    checks) counts ``n_gathers``.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        block_kernel: BlockKernelFactory = default_block_kernel,
+        normalize: bool = True,
+        n_landmarks: int | None = None,
+        landmark_seed: int = 0,
+    ):
+        super().__init__()
+        self.X = as_2d(X)
+        n = self.X.shape[0]
+        self.block_kernel = block_kernel
+        self.normalize = normalize
+        m = default_n_landmarks(n) if n_landmarks is None else int(n_landmarks)
+        self.landmark_seed = int(landmark_seed)
+        self.landmarks = select_landmarks(n, m, self.landmark_seed)
+        self.n_landmarks = m
+        self._store: dict[BlockKey, np.ndarray] = {}
+        self._transforms: dict[BlockKey, np.ndarray] = {}
+        self.n_gram_computations = 0
+        self.n_factor_computations = 0
+        self.n_gathers = 0
+
+    def gram_cached(self, block: Sequence[int]) -> bool:
+        """True if the block's factor is already materialised."""
+        return canonical_block_key(block) in self._store
+
+    def transform(self, block: Sequence[int]) -> np.ndarray:
+        """The m×r whitening transform of one block (cached with the
+        factor; the placed layout ships it to workers)."""
+        self.factor(block)
+        return self._transforms[canonical_block_key(block)]
+
+    def factor(self, block: Sequence[int]) -> np.ndarray:
+        """The n×r Nyström factor of one block's Gram (cached)."""
+        key = canonical_block_key(block)
+        factor = self._store.get(key)
+        if factor is not None:
+            return factor
+        with self._key_lock(key):
+            if key not in self._store:
+                kernel = self.block_kernel(key).bind(self.X[self.landmarks])
+                cross = kernel(self.X, self.X[self.landmarks])
+                transform = landmark_transform(cross[self.landmarks])
+                factor = cross @ transform
+                if self.normalize:
+                    factor = _normalize_factor_rows(factor)
+                with self._lock:
+                    self._transforms[key] = transform
+                    self._store[key] = factor
+                    self.n_factor_computations += 1
+        return self._store[key]
+
+    def factors_for(self, partition: SetPartition) -> list[np.ndarray]:
+        """Per-block factors of a partition of column indices."""
+        return [self.factor(block) for block in partition.blocks]
+
+    def gram(self, block: Sequence[int]) -> np.ndarray:
+        """Materialise the approximate Gram ``F F'`` — final-model
+        training and reference checks only; counts a gather."""
+        factor = self.factor(block)
+        with self._lock:
+            self.n_gathers += 1
+        return factor @ factor.T
+
+    def grams_for(self, partition: SetPartition) -> list[np.ndarray]:
+        """Materialised approximate per-block Grams (one gather each)."""
+        return [self.gram(block) for block in partition.blocks]
+
+    def stats_cache(self, y: np.ndarray) -> "LandmarkBlockStatsCache":
+        """The statistics cache matching this factor layout."""
+        return LandmarkBlockStatsCache(self, y)
+
+
+class LandmarkBlockStatsCache(_KeyLocked, _PartitionStatsMixin):
+    """Centred-alignment statistics from Nyström factors in O(n·m).
+
+    Same scalar surface as :class:`BlockStatsCache` (``block_stats``,
+    ``pair_inner``, ``partition_stats``, ``target_norm``), but every
+    reduction runs on the n×r factors:
+
+    * centring: ``H F F' H = (HF)(HF)'`` with ``HF = F - colmeans(F)``
+      — an O(n·r) pass, no n×n centring;
+    * ``a_i  = <C_i, C_T> = ||(HF_i)' Hy||²`` (the centred target is
+      rank-1, as in the sharded exact cache);
+    * ``M_ij = <C_i, C_j> = ||(HF_i)'(HF_j)||_F²`` — an r_i×r_j inner
+      Gram, O(n·r_i·r_j).
+
+    Ledger contract: ``n_matrix_ops`` stays 0 forever (no O(n²)
+    passes happen here); ``n_landmark_ops`` counts O(n·m)-equivalent
+    passes on the *same schedule* as the exact caches book
+    ``n_matrix_ops`` (2 for the target, 3 per block, 1 per pair), so
+    exact and approximate ledgers are directly comparable —
+    ``n_matrix_ops · n²`` versus ``n_landmark_ops · n·m`` element
+    work.
+    """
+
+    def __init__(self, grams: LandmarkGramCache, y: np.ndarray):
+        super().__init__()
+        self.grams = grams
+        y = np.asarray(y, dtype=float).ravel()
+        if y.shape[0] != self.grams.X.shape[0]:
+            raise ValueError("y length must match the cached sample")
+        self.y = y
+        self._centered: dict[BlockKey, np.ndarray] = {}
+        self._target_inner: dict[BlockKey, float] = {}
+        self._pair_inner: dict[tuple[BlockKey, BlockKey], float] = {}
+        # Rank-1 centred target: C_T = (Hy)(Hy)'; its stats are O(n).
+        self.centered_y = y - y.mean()
+        self.target_norm = float(self.centered_y @ self.centered_y)
+        self.n_matrix_ops = 0
+        # Ledger parity with the exact caches' two target passes.
+        self.n_landmark_ops = 2
+
+    def block_stats(self, block: Sequence[int]) -> tuple[float, float]:
+        """``(a_i, M_ii)`` for one block from its centred factor."""
+        key = canonical_block_key(block)
+        if key not in self._centered:
+            with self._key_lock(("block", key)):
+                if key not in self._centered:
+                    factor = self.grams.factor(key)
+                    centered = factor - factor.mean(axis=0)
+                    t = centered.T @ self.centered_y
+                    target_inner = float(t @ t)
+                    inner = centered.T @ centered
+                    self_inner = float(np.sum(inner * inner))
+                    with self._lock:
+                        self._target_inner[key] = target_inner
+                        self._pair_inner[(key, key)] = self_inner
+                        self.n_landmark_ops += 3
+                        # Published last: presence in _centered marks the
+                        # block's statistics complete for lock-free reads.
+                        self._centered[key] = centered
+        return self._target_inner[key], self._pair_inner[(key, key)]
+
+    def pair_inner(self, first: Sequence[int], second: Sequence[int]) -> float:
+        """``M_ij = ||(HF_i)'(HF_j)||_F²``; one O(n·r²) pass per pair."""
+        key = tuple(sorted((canonical_block_key(first), canonical_block_key(second))))
+        value = self._pair_inner.get(key)
+        if value is not None:
+            return value
+        self.block_stats(key[0])
+        self.block_stats(key[1])
+        if key[0] == key[1]:
+            return self._pair_inner[key]
+        with self._key_lock(("pair", key)):
+            if key not in self._pair_inner:
+                cross = self._centered[key[0]].T @ self._centered[key[1]]
+                value = float(np.sum(cross * cross))
+                with self._lock:
+                    self._pair_inner[key] = value
+                    self.n_landmark_ops += 1
+        return self._pair_inner[key]
+
+
+class ShardedLandmarkGramCache(_KeyLocked):
+    """Row-sharded Nyström cache: per-shard factor strips.
+
+    The factor of :class:`LandmarkGramCache` split by the same
+    contiguous row layout as :class:`ShardedGramCache`
+    (:func:`shard_row_slices`): a block's factor exists only as the
+    per-shard strips ``k(X[rows_s], X[L]) @ T``.  Each strip is local
+    to its row range — the landmark set, the whitening transform
+    (m×r) and the O(n) label vector are the only shared state, which
+    is the placement contract the cluster-side
+    ``PlacedLandmarkGramCache`` uses to pin factor strips to the
+    workers owning those rows.  Row normalisation is strip-local (the
+    approximate diagonal is a per-row factor norm), so unlike the
+    exact sharded cache no cross-shard diagonal reduction is needed.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        block_kernel: BlockKernelFactory = default_block_kernel,
+        normalize: bool = True,
+        n_shards: int = 2,
+        n_landmarks: int | None = None,
+        landmark_seed: int = 0,
+    ):
+        super().__init__()
+        self.X = as_2d(X)
+        n = self.X.shape[0]
+        if not 1 <= n_shards <= n:
+            raise ValueError(
+                f"n_shards must be in [1, n_samples={n}], got {n_shards}"
+            )
+        self.block_kernel = block_kernel
+        self.normalize = normalize
+        self.n_shards = int(n_shards)
+        self.row_slices = shard_row_slices(n, self.n_shards)
+        m = default_n_landmarks(n) if n_landmarks is None else int(n_landmarks)
+        self.landmark_seed = int(landmark_seed)
+        self.landmarks = select_landmarks(n, m, self.landmark_seed)
+        self.n_landmarks = m
+        self._store: dict[BlockKey, list[np.ndarray]] = {}
+        self._transforms: dict[BlockKey, np.ndarray] = {}
+        self.n_gram_computations = 0
+        self.n_factor_computations = 0
+        self.n_gathers = 0
+
+    @property
+    def max_strip_rows(self) -> int:
+        """Largest row count any one shard holds."""
+        return max(sl.stop - sl.start for sl in self.row_slices)
+
+    def gram_cached(self, block: Sequence[int]) -> bool:
+        """True if the block's factor strips are already materialised."""
+        return canonical_block_key(block) in self._store
+
+    def transform(self, block: Sequence[int]) -> np.ndarray:
+        """The m×r whitening transform of one block."""
+        self.factor_strips(block)
+        return self._transforms[canonical_block_key(block)]
+
+    def factor_strips(self, block: Sequence[int]) -> list[np.ndarray]:
+        """Per-shard row strips of one block's Nyström factor (cached)."""
+        key = canonical_block_key(block)
+        strips = self._store.get(key)
+        if strips is not None:
+            return strips
+        with self._key_lock(key):
+            if key not in self._store:
+                landmarks = self.landmarks
+                kernel = self.block_kernel(key).bind(self.X[landmarks])
+                transform = landmark_transform(
+                    kernel(self.X[landmarks], self.X[landmarks])
+                )
+                strips = [
+                    kernel(self.X[sl], self.X[landmarks]) @ transform
+                    for sl in self.row_slices
+                ]
+                if self.normalize:
+                    strips = [_normalize_factor_rows(strip) for strip in strips]
+                with self._lock:
+                    self._transforms[key] = transform
+                    self._store[key] = strips
+                    self.n_factor_computations += 1
+        return self._store[key]
+
+    def factor(self, block: Sequence[int]) -> np.ndarray:
+        """The full n×r factor assembled from its strips.
+
+        O(n·r) assembly — *not* a gather in the n×n sense, so it does
+        not count against ``n_gathers``; the factor-trained CV scorer
+        uses it."""
+        return np.vstack(self.factor_strips(block))
+
+    def gram(self, block: Sequence[int]) -> np.ndarray:
+        """Materialise the approximate Gram ``F F'`` (counts a gather)."""
+        factor = self.factor(block)
+        with self._lock:
+            self.n_gathers += 1
+        return factor @ factor.T
+
+    def grams_for(self, partition: SetPartition) -> list[np.ndarray]:
+        """Materialised approximate per-block Grams (one gather each)."""
+        return [self.gram(block) for block in partition.blocks]
+
+    def stats_cache(self, y: np.ndarray) -> "ShardedLandmarkStatsCache":
+        """The statistics cache matching this strip layout."""
+        return ShardedLandmarkStatsCache(self, y)
+
+
+class ShardedLandmarkStatsCache(_KeyLocked, _PartitionStatsMixin):
+    """Landmark-factor statistics reduced strip-wise across shards.
+
+    The sharded twin of :class:`LandmarkBlockStatsCache`, with every
+    reduction expressed as strip-local partials summed in strip order
+    — exactly the reductions the cluster-side placed landmark cache
+    performs over worker replies, which is what makes the in-process
+    and placed layouts bit-identical:
+
+    * column means: per-strip column sums, summed in strip order, / n;
+    * ``t = sum_s (HF_s)' Hy[rows_s]`` and ``a_i = ||t||²``;
+    * ``G = sum_s (HF_s)' (HF_s)`` and ``M_ii = ||G||_F²`` (pairs
+      alike with ``G_ij = sum_s (HF_i_s)' (HF_j_s)``).
+
+    Ledger contract matches :class:`LandmarkBlockStatsCache`:
+    ``n_matrix_ops`` stays 0, ``n_landmark_ops`` follows the standard
+    2/3/1 schedule.
+    """
+
+    def __init__(self, grams: ShardedLandmarkGramCache, y: np.ndarray):
+        super().__init__()
+        self.grams = grams
+        y = np.asarray(y, dtype=float).ravel()
+        if y.shape[0] != self.grams.X.shape[0]:
+            raise ValueError("y length must match the cached sample")
+        self.y = y
+        self._centered: dict[BlockKey, list[np.ndarray]] = {}
+        self._target_inner: dict[BlockKey, float] = {}
+        self._pair_inner: dict[tuple[BlockKey, BlockKey], float] = {}
+        self.centered_y = y - y.mean()
+        self.target_norm = float(self.centered_y @ self.centered_y)
+        self.n_matrix_ops = 0
+        self.n_landmark_ops = 2
+
+    def _centered_strips(self, key: BlockKey) -> list[np.ndarray]:
+        strips = self.grams.factor_strips(key)
+        n = self.grams.X.shape[0]
+        col_sums = [strip.sum(axis=0) for strip in strips]
+        col_means = sum(col_sums) / float(n)
+        return [strip - col_means for strip in strips]
+
+    def block_stats(self, block: Sequence[int]) -> tuple[float, float]:
+        """``(a_i, M_ii)`` for one block, reduced across shards."""
+        key = canonical_block_key(block)
+        if key not in self._centered:
+            with self._key_lock(("block", key)):
+                if key not in self._centered:
+                    centered = self._centered_strips(key)
+                    yc = self.centered_y
+                    slices = self.grams.row_slices
+                    t = sum(
+                        strip.T @ yc[sl] for strip, sl in zip(centered, slices)
+                    )
+                    target_inner = float(t @ t)
+                    inner = sum(strip.T @ strip for strip in centered)
+                    self_inner = float(np.sum(inner * inner))
+                    with self._lock:
+                        self._target_inner[key] = target_inner
+                        self._pair_inner[(key, key)] = self_inner
+                        self.n_landmark_ops += 3
+                        # Published last: presence in _centered marks the
+                        # block's statistics complete for lock-free reads.
+                        self._centered[key] = centered
+        return self._target_inner[key], self._pair_inner[(key, key)]
+
+    def pair_inner(self, first: Sequence[int], second: Sequence[int]) -> float:
+        """``M_ij`` as the Frobenius norm² of strip-summed inner Grams."""
+        key = tuple(sorted((canonical_block_key(first), canonical_block_key(second))))
+        value = self._pair_inner.get(key)
+        if value is not None:
+            return value
+        self.block_stats(key[0])
+        self.block_stats(key[1])
+        if key[0] == key[1]:
+            return self._pair_inner[key]
+        with self._key_lock(("pair", key)):
+            if key not in self._pair_inner:
+                cross = sum(
+                    ci.T @ cj
+                    for ci, cj in zip(self._centered[key[0]], self._centered[key[1]])
+                )
+                value = float(np.sum(cross * cross))
+                with self._lock:
+                    self._pair_inner[key] = value
+                    self.n_landmark_ops += 1
         return self._pair_inner[key]

@@ -34,7 +34,9 @@ from repro.engine.backends import EvaluationBackend, get_backend
 from repro.engine.cache import (
     BlockStatsCache,
     GramCache,
+    LandmarkGramCache,
     ShardedGramCache,
+    ShardedLandmarkGramCache,
     canonical_block_key,
 )
 from repro.engine.tasks import build_task
@@ -171,6 +173,19 @@ class SearchResult:
     strategy: str
     seed_partition: SetPartition
     n_matrix_ops: int = 0
+    #: CV fold solves on materialised Grams (exact variant) and on
+    #: Nyström factors (landmark variant); zero for alignment scoring.
+    n_cv_solves: int = 0
+    n_cv_solves_landmark: int = 0
+    #: O(n·m)-equivalent passes of the landmark path (same 2/3/1
+    #: schedule as ``n_matrix_ops``) and Nyström factor builds; zero
+    #: on the exact path, where ``n_matrix_ops`` /
+    #: ``n_gram_computations`` book the O(n²) work instead.
+    n_landmark_ops: int = 0
+    n_factor_computations: int = 0
+    #: The approximation the engine scored with (``"landmarks"``), or
+    #: ``None`` for an exact run.
+    approx: str | None = None
     history: list[tuple[SetPartition, float]] = field(repr=False, default_factory=list)
     #: Wire accounting snapshot from transport backends (``processes``,
     #: ``sockets``): envelope bytes out/in, placement traffic, resident
@@ -352,6 +367,18 @@ class KernelEvaluationEngine:
         but unconsumed) at once, and the lookahead horizon strategies
         propose against.  Sized well at ``workers × window`` for the
         ``sockets`` backend.
+    approx:
+        ``"landmarks"`` switches every scoring path to the low-rank
+        Nyström caches: O(n·m) per block instead of O(n²), with
+        approximate scores (exact at ``n_landmarks == n``).  Work is
+        booked in ``n_landmark_ops`` / ``n_factor_computations``, and
+        the exact ledgers stay untouched.  ``None`` (default) keeps
+        every path exact and bit-identical to previous behaviour.
+    n_landmarks:
+        Landmark count ``m`` for ``approx="landmarks"``
+        (:func:`~repro.engine.cache.default_n_landmarks` when
+        ``None``); ``landmark_seed`` seeds the deterministic landmark
+        selection, identical across backends and layouts.
     """
 
     def __init__(
@@ -373,6 +400,9 @@ class KernelEvaluationEngine:
         overlap: bool = False,
         speculate: bool = False,
         speculation_depth: int = 4,
+        approx: str | None = None,
+        n_landmarks: int | None = None,
+        landmark_seed: int = 0,
     ):
         if speculation_depth < 1:
             raise ValueError("speculation_depth must be positive")
@@ -384,6 +414,22 @@ class KernelEvaluationEngine:
             raise ValueError("mode must be 'auto', 'incremental' or 'direct'")
         if gram_cache is not None and shards is not None:
             raise ValueError("pass either gram_cache or shards, not both")
+        if approx not in (None, "landmarks"):
+            raise ValueError(f"approx must be None or 'landmarks', got {approx!r}")
+        if approx is None and n_landmarks is not None:
+            raise ValueError("n_landmarks requires approx='landmarks'")
+        if gram_cache is not None:
+            # A pre-built landmark cache implies the landmark path (and
+            # vice versa): the cache layout decides which ledgers fill.
+            cache_is_landmark = getattr(gram_cache, "n_landmarks", None) is not None
+            if approx == "landmarks" and not cache_is_landmark:
+                raise ValueError(
+                    "approx='landmarks' with an explicit gram_cache requires "
+                    "a landmark cache (LandmarkGramCache or a sharded/placed "
+                    f"twin); got {type(gram_cache).__name__}"
+                )
+            if approx is None and cache_is_landmark:
+                approx = "landmarks"
         self.scorer = scorer or AlignmentScorer()
         self.weighting = weighting
         # The backend is resolved before the caches: a transport
@@ -412,18 +458,51 @@ class KernelEvaluationEngine:
             ) from None
         self._owns_cache = gram_cache is None
         if gram_cache is None:
-            make_placed = getattr(self.backend, "make_placed_cache", None)
-            if shards is not None and shards > 1:
-                if make_placed is not None:
-                    gram_cache = make_placed(
-                        as_2d(X), block_kernel, normalize, n_shards=shards
-                    )
+            if approx == "landmarks":
+                make_placed = getattr(
+                    self.backend, "make_placed_landmark_cache", None
+                )
+                if shards is not None and shards > 1:
+                    if make_placed is not None:
+                        gram_cache = make_placed(
+                            as_2d(X),
+                            block_kernel,
+                            normalize,
+                            n_shards=shards,
+                            n_landmarks=n_landmarks,
+                            landmark_seed=landmark_seed,
+                        )
+                    else:
+                        gram_cache = ShardedLandmarkGramCache(
+                            as_2d(X),
+                            block_kernel,
+                            normalize,
+                            n_shards=shards,
+                            n_landmarks=n_landmarks,
+                            landmark_seed=landmark_seed,
+                        )
                 else:
-                    gram_cache = ShardedGramCache(
-                        as_2d(X), block_kernel, normalize, n_shards=shards
+                    gram_cache = LandmarkGramCache(
+                        as_2d(X),
+                        block_kernel,
+                        normalize,
+                        n_landmarks=n_landmarks,
+                        landmark_seed=landmark_seed,
                     )
             else:
-                gram_cache = GramCache(as_2d(X), block_kernel, normalize)
+                make_placed = getattr(self.backend, "make_placed_cache", None)
+                if shards is not None and shards > 1:
+                    if make_placed is not None:
+                        gram_cache = make_placed(
+                            as_2d(X), block_kernel, normalize, n_shards=shards
+                        )
+                    else:
+                        gram_cache = ShardedGramCache(
+                            as_2d(X), block_kernel, normalize, n_shards=shards
+                        )
+                else:
+                    gram_cache = GramCache(as_2d(X), block_kernel, normalize)
+        self.approx = approx
         self.gram_cache = gram_cache
         self.X = self.gram_cache.X
         self.y = np.asarray(y)
@@ -437,9 +516,20 @@ class KernelEvaluationEngine:
         self.incremental = mode == "incremental" or (
             mode == "auto" and incremental_capable
         )
+        # Factor scoring: on the landmark path a scorer exposing
+        # ``score_factor`` (the factor-trained CrossValScorer) is fed
+        # the weighted n×R combined factor instead of a materialised
+        # Gram — O(n·R²) fold solves instead of O(n³).
+        self._factor_scoring = (
+            approx is not None
+            and not self.incremental
+            and mode != "direct"
+            and hasattr(self.scorer, "score_factor")
+            and hasattr(self.gram_cache, "factor")
+        )
         if stats_cache is not None:
             self.stats = stats_cache
-        elif self.incremental:
+        elif self.incremental or self._factor_scoring:
             # The gram cache knows which stats layout matches it (dense
             # or sharded); fall back for duck-typed third-party caches.
             factory = getattr(self.gram_cache, "stats_cache", None)
@@ -483,9 +573,16 @@ class KernelEvaluationEngine:
         # when this engine was built.
         baseline_fn = getattr(self.backend, "wire_stats", None)
         self._wire_baseline = dict(baseline_fn()) if baseline_fn else None
+        # CV-solve accounting: scorers keeping fold-solve counters may
+        # be shared across searches, so remember where they stood.
+        self._cv_solve_baseline = (
+            getattr(self.scorer, "n_solves_exact", 0),
+            getattr(self.scorer, "n_solves_factor", 0),
+        )
         self.n_evaluations = 0
         self._direct_ops = 0
         self._worker_ops = 0
+        self._landmark_direct_ops = 0
         # Guards the direct-path op counter and lazy target under
         # concurrent backends (the caches have their own locks).
         self._direct_lock = threading.Lock()
@@ -500,11 +597,12 @@ class KernelEvaluationEngine:
 
         Grams materialised solely by speculative envelope builds whose
         blocks no real scoring has touched are excluded (booked as
-        speculation waste), mirroring :attr:`n_matrix_ops`.
+        speculation waste), mirroring :attr:`n_matrix_ops`.  On the
+        landmark path the analogous waste lands in
+        :attr:`n_factor_computations` instead.
         """
-        return self.gram_cache.n_gram_computations - sum(
-            self._spec_gram_keys.values()
-        )
+        waste = 0 if self.approx is not None else sum(self._spec_gram_keys.values())
+        return self.gram_cache.n_gram_computations - waste
 
     @property
     def n_matrix_ops(self) -> int:
@@ -514,11 +612,55 @@ class KernelEvaluationEngine:
         Ops paid by speculative envelope builds whose keys no real
         scoring has (yet) touched are excluded — they are misprediction
         waste, booked separately in the speculation ledger, so this
-        ledger stays bit-identical to a speculation-off run.
+        ledger stays bit-identical to a speculation-off run.  On the
+        landmark path the stats cache books its (speculation-adjusted)
+        work into :attr:`n_landmark_ops` instead and this ledger stays
+        at the exact passes actually performed.
         """
         stats_ops = self.stats.n_matrix_ops if self.stats is not None else 0
-        speculative_ops = sum(self._spec_key_ops.values())
+        speculative_ops = (
+            0 if self.approx is not None else sum(self._spec_key_ops.values())
+        )
         return self._direct_ops + self._worker_ops + stats_ops - speculative_ops
+
+    @property
+    def n_landmark_ops(self) -> int:
+        """O(n·m)-equivalent landmark-path passes performed so far.
+
+        Booked by the landmark stats caches on the same 2-per-target /
+        3-per-block / 1-per-pair schedule the exact caches use for
+        ``n_matrix_ops``, plus one per factor the factor-trained scorer
+        consumed; speculation waste is excluded exactly as in
+        :attr:`n_matrix_ops`.  Zero on the exact path.
+        """
+        stats_ops = (
+            getattr(self.stats, "n_landmark_ops", 0) if self.stats is not None else 0
+        )
+        speculative_ops = (
+            sum(self._spec_key_ops.values()) if self.approx is not None else 0
+        )
+        return stats_ops + self._landmark_direct_ops - speculative_ops
+
+    @property
+    def n_factor_computations(self) -> int:
+        """Nyström factor builds performed so far (landmark path only),
+        net of speculation waste (mirroring :attr:`n_gram_computations`)."""
+        waste = (
+            sum(self._spec_gram_keys.values()) if self.approx is not None else 0
+        )
+        return getattr(self.gram_cache, "n_factor_computations", 0) - waste
+
+    @property
+    def n_cv_solves(self) -> int:
+        """Exact CV fold solves this engine's scorer performed (delta
+        since construction); zero for scorers without the counter."""
+        return getattr(self.scorer, "n_solves_exact", 0) - self._cv_solve_baseline[0]
+
+    @property
+    def n_cv_solves_landmark(self) -> int:
+        """Factor-trained (landmark) CV fold solves this engine's
+        scorer performed (delta since construction)."""
+        return getattr(self.scorer, "n_solves_factor", 0) - self._cv_solve_baseline[1]
 
     def _count_direct_ops(self, count: int) -> None:
         with self._direct_lock:
@@ -841,7 +983,7 @@ class KernelEvaluationEngine:
 
     def weights_for(self, partition: SetPartition) -> np.ndarray:
         """Combination weights the current weighting assigns a partition."""
-        if self.incremental:
+        if self.incremental or self._factor_scoring:
             a, M = self.stats.partition_stats(partition)
             return self._weights_from_stats(a, M)
         weights, _ = self._direct_weights_and_grams(partition)
@@ -922,7 +1064,28 @@ class KernelEvaluationEngine:
             self._count_direct_ops(3)
         return score
 
+    # ------------------------------------------------------------------
+    # Factor path: weighted Nyström factors, no Gram materialisation.
+    # ------------------------------------------------------------------
+
+    def _score_factor(self, partition: SetPartition) -> float:
+        """Score via the factor-trained scorer: the weighted combined
+        Gram ``sum_i w_i F_i F_i'`` is ``F_w F_w'`` for the horizontal
+        stack ``F_w = [sqrt(w_i) F_i]``, so the scorer trains on an
+        n×R factor and never sees an n×n matrix."""
+        a, M = self.stats.partition_stats(partition)
+        weights = self._weights_from_stats(a, M)
+        factors = [self.gram_cache.factor(block) for block in partition.blocks]
+        combined = np.hstack(
+            [np.sqrt(w) * f for w, f in zip(weights, factors)]
+        )
+        with self._direct_lock:
+            self._landmark_direct_ops += len(factors)
+        return float(self.scorer.score_factor(combined, self.y))
+
     def _score_one(self, partition: SetPartition) -> float:
         if self.incremental:
             return self._score_incremental(partition)
+        if self._factor_scoring:
+            return self._score_factor(partition)
         return self._score_direct(partition)

@@ -109,6 +109,11 @@ def _result(
         strategy=strategy,
         seed_partition=seed_partition,
         n_matrix_ops=engine.n_matrix_ops,
+        n_cv_solves=engine.n_cv_solves,
+        n_cv_solves_landmark=engine.n_cv_solves_landmark,
+        n_landmark_ops=engine.n_landmark_ops,
+        n_factor_computations=engine.n_factor_computations,
+        approx=engine.approx,
         history=history,
         wire=engine.wire_stats,
         speculation=speculation,

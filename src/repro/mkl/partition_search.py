@@ -46,16 +46,25 @@ enough to compare against.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 
 import numpy as np
 
 from repro.analytics.lssvm import LSSVC
-from repro.analytics.validation import cross_val_score_precomputed
+from repro.analytics.validation import (
+    cross_val_score_precomputed,
+    stratified_kfold_indices,
+)
 from repro.combinatorics.lattice import cone_size
 from repro.combinatorics.partitions import SetPartition
 from repro.engine.backends import EvaluationBackend
-from repro.engine.cache import GramCache, ShardedGramCache
+from repro.engine.cache import (
+    GramCache,
+    LandmarkGramCache,
+    ShardedGramCache,
+    ShardedLandmarkGramCache,
+)
 from repro.engine.core import AlignmentScorer, KernelEvaluationEngine, SearchResult
 from repro.engine.strategies import run_strategy
 from repro.kernels.base import as_2d
@@ -73,7 +82,26 @@ __all__ = [
 
 
 class CrossValScorer:
-    """Score a combined Gram by k-fold CV accuracy of an LS-SVM."""
+    """Score a combined Gram by k-fold CV accuracy of an LS-SVM.
+
+    Two training paths share the same stratified folds and accuracy
+    metric:
+
+    * :meth:`__call__` — the exact path: fit
+      :class:`~repro.analytics.lssvm.LSSVC` on the materialised fold
+      Gram, an O(n_tr³) solve per fold.
+    * :meth:`score_factor` — the landmark path: given an n×R Nyström
+      factor ``F`` with ``F F' ≈ K``, solve the *same* LS-SVM system
+      through the Woodbury identity in factor space — O(n_tr·R² + R³)
+      per fold, never materialising a fold Gram.  The engine feeds it
+      the weighted combined factor when ``approx="landmarks"``.
+
+    Fold solves are counted in ``n_solves_exact`` / ``n_solves_factor``
+    (thread-safe; concurrent backends score batches in parallel), which
+    the engine surfaces as ``SearchResult.n_cv_solves`` /
+    ``n_cv_solves_landmark`` — CV work used to be invisible in the op
+    ledgers.
+    """
 
     name = "cv_accuracy"
 
@@ -81,6 +109,9 @@ class CrossValScorer:
         self.n_folds = int(n_folds)
         self.seed = int(seed)
         self.gamma = float(gamma)
+        self.n_solves_exact = 0
+        self.n_solves_factor = 0
+        self._count_lock = threading.Lock()
 
     def __call__(self, gram: np.ndarray, y: np.ndarray) -> float:
         scores = cross_val_score_precomputed(
@@ -90,7 +121,74 @@ class CrossValScorer:
             n_folds=self.n_folds,
             seed=self.seed,
         )
+        with self._count_lock:
+            self.n_solves_exact += len(scores)
         return float(np.mean(scores))
+
+    def score_factor(self, factor: np.ndarray, y: np.ndarray) -> float:
+        """k-fold CV accuracy of the LS-SVM trained in factor space."""
+        factor = np.asarray(factor, dtype=float)
+        y = np.asarray(y).ravel()
+        folds = list(stratified_kfold_indices(y, self.n_folds, self.seed))
+        accuracies = [
+            self._factor_fold_accuracy(
+                factor[train], y[train], factor[test], y[test]
+            )
+            for train, test in folds
+        ]
+        with self._count_lock:
+            self.n_solves_factor += len(folds)
+        return float(np.mean(accuracies))
+
+    def _factor_fold_accuracy(
+        self,
+        train_factor: np.ndarray,
+        train_y: np.ndarray,
+        test_factor: np.ndarray,
+        test_y: np.ndarray,
+    ) -> float:
+        """One fold of the factor-space LS-SVM, mirroring ``LSSVC``.
+
+        The exact fit solves ``[0 s'; s A][b; alpha] = [0; 1]`` with
+        ``A = (ss') * K + I/gamma``.  With ``K = F F'`` that is
+        ``A = G G' + I/gamma`` for ``G = diag(s) F``, so by the
+        Woodbury identity
+
+            A^{-1} v = gamma * (v - G P^{-1} G' v),
+            P = I/gamma + G' G   (R×R, factored once per fold),
+
+        and block elimination gives ``b = (s·u1)/(s·us)``,
+        ``alpha = u1 - b us`` for ``u1 = A^{-1} 1``, ``us = A^{-1} s``.
+        Decisions are ``F_test (F_train' (alpha s)) + b`` — the same
+        arithmetic as ``LSSVC.decision_function`` on the approximate
+        Gram, at O(n_tr·R² + R³) instead of O(n_tr³).
+        """
+        classes = sorted(set(train_y.tolist()))
+        if len(classes) != 2:
+            raise ValueError(
+                f"binary LSSVC needs exactly 2 classes, got {classes!r}"
+            )
+        signs = np.where(train_y == classes[1], 1.0, -1.0)
+        G = signs[:, None] * train_factor
+        rank = G.shape[1]
+        P = np.eye(rank) / self.gamma + G.T @ G
+
+        def solve_A(v: np.ndarray) -> np.ndarray:
+            try:
+                inner = np.linalg.solve(P, G.T @ v)
+            except np.linalg.LinAlgError:
+                inner, *_ = np.linalg.lstsq(P, G.T @ v, rcond=None)
+            return self.gamma * (v - G @ inner)
+
+        u_ones = solve_A(np.ones(signs.size))
+        u_signs = solve_A(signs)
+        denominator = float(signs @ u_signs)
+        bias = float(signs @ u_ones) / denominator if denominator else 0.0
+        alpha = u_ones - bias * u_signs
+        decisions = test_factor @ (train_factor.T @ (alpha * signs)) + bias
+        negative, positive = classes
+        predictions = np.where(decisions >= 0, positive, negative)
+        return float(np.mean(predictions == test_y))
 
 
 class PartitionMKLSearch:
@@ -144,6 +242,15 @@ class PartitionMKLSearch:
     speculation_depth:
         Speculation budget and lookahead horizon (see
         :class:`~repro.engine.KernelEvaluationEngine`).
+    approx:
+        ``"landmarks"`` scores through the low-rank Nyström caches:
+        O(n·m) per block instead of O(n²), approximate scores (exact at
+        ``n_landmarks == n``), with CV folds trained in factor space.
+        ``None`` (default) keeps every path exact.
+    n_landmarks, landmark_seed:
+        Landmark count ``m`` (a slowly growing default when ``None``)
+        and the deterministic selection seed for
+        ``approx="landmarks"``.
     """
 
     def __init__(
@@ -160,11 +267,18 @@ class PartitionMKLSearch:
         overlap: bool = False,
         speculate: bool = False,
         speculation_depth: int = 4,
+        approx: str | None = None,
+        n_landmarks: int | None = None,
+        landmark_seed: int = 0,
     ):
         if weighting not in ("uniform", "alignment", "alignf"):
             raise ValueError(
                 "weighting must be 'uniform', 'alignment' or 'alignf'"
             )
+        if approx not in (None, "landmarks"):
+            raise ValueError(f"approx must be None or 'landmarks', got {approx!r}")
+        if approx is None and n_landmarks is not None:
+            raise ValueError("n_landmarks requires approx='landmarks'")
         self.scorer = scorer or AlignmentScorer()
         self.weighting = weighting
         self.block_kernel = block_kernel
@@ -177,6 +291,9 @@ class PartitionMKLSearch:
         self.overlap = bool(overlap)
         self.speculate = bool(speculate)
         self.speculation_depth = int(speculation_depth)
+        self.approx = approx
+        self.n_landmarks = n_landmarks
+        self.landmark_seed = int(landmark_seed)
 
     # ------------------------------------------------------------------
 
@@ -189,6 +306,35 @@ class PartitionMKLSearch:
         (Name-string backends are resolved per engine, so placement
         through this path requires the shared instance.)
         """
+        if self.approx == "landmarks":
+            if self.shards is not None and self.shards > 1:
+                make_placed = getattr(
+                    self.backend, "make_placed_landmark_cache", None
+                )
+                if make_placed is not None:
+                    return make_placed(
+                        X,
+                        self.block_kernel,
+                        self.normalize,
+                        n_shards=self.shards,
+                        n_landmarks=self.n_landmarks,
+                        landmark_seed=self.landmark_seed,
+                    )
+                return ShardedLandmarkGramCache(
+                    X,
+                    self.block_kernel,
+                    self.normalize,
+                    n_shards=self.shards,
+                    n_landmarks=self.n_landmarks,
+                    landmark_seed=self.landmark_seed,
+                )
+            return LandmarkGramCache(
+                X,
+                self.block_kernel,
+                self.normalize,
+                n_landmarks=self.n_landmarks,
+                landmark_seed=self.landmark_seed,
+            )
         if self.shards is not None and self.shards > 1:
             make_placed = getattr(self.backend, "make_placed_cache", None)
             if make_placed is not None:
@@ -223,6 +369,9 @@ class PartitionMKLSearch:
             overlap=self.overlap,
             speculate=self.speculate,
             speculation_depth=self.speculation_depth,
+            approx=self.approx,
+            n_landmarks=None if cache is not None else self.n_landmarks,
+            landmark_seed=self.landmark_seed,
         )
 
     def _combined(self, cache: GramCache, partition: SetPartition, y: np.ndarray):

@@ -1,0 +1,494 @@
+"""Landmark (Nyström) scoring path — approximation, accounting, placement.
+
+Covers the low-rank factor plane end to end:
+
+* primitive contracts (``select_landmarks`` determinism,
+  ``landmark_transform`` Nyström identity, shard-count guards);
+* engine parity — landmark scores converge to the exact scores as the
+  rank approaches n, exact at m = n, with the work booked on the
+  landmark ledgers (``n_landmark_ops`` / ``n_factor_computations``)
+  and never on the exact ones;
+* hypothesis properties: m = n convergence, ranking agreement at the
+  configured rank, and bit-identical scores across the serial,
+  process-pool and socket backends;
+* the placed layout — factor strips resident on socket workers,
+  ``n_gathers == 0``, factor bytes on the wire ledger, strip adoption
+  (rebuild, not replication) after a worker death;
+* CV solve accounting (``n_cv_solves`` vs ``n_cv_solves_landmark``)
+  and the Woodbury factor CV's exactness at full rank.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    PlacedLandmarkGramCache,
+    ShardPlacement,
+    SocketBackend,
+    WorkerServer,
+)
+from repro.combinatorics import SetPartition, all_partitions
+from repro.core import FacetedLearner
+from repro.engine import (
+    GramCache,
+    KernelEvaluationEngine,
+    LandmarkGramCache,
+    ShardedGramCache,
+    ShardedLandmarkGramCache,
+    default_n_landmarks,
+    landmark_transform,
+    select_landmarks,
+    shard_row_slices,
+)
+from repro.engine.backends import ProcessPoolBackend
+from repro.iot import FacetSpec, make_faceted_classification
+from repro.mkl.partition_search import CrossValScorer, PartitionMKLSearch
+
+ALL_PARTITIONS = list(all_partitions(range(4)))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_faceted_classification(
+        60,
+        [
+            FacetSpec("signal", 2, signal="product", weight=1.5),
+            FacetSpec("noise", 2, role="noise"),
+        ],
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    servers = [WorkerServer(), WorkerServer()]
+    for server in servers:
+        server.start_background()
+    backend = SocketBackend(workers=[server.address for server in servers])
+    yield servers, backend
+    backend.close()
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    backend = ProcessPoolBackend(max_workers=2)
+    yield backend
+    backend.close()
+
+
+def _score_all(engine):
+    try:
+        return engine.score_batch(ALL_PARTITIONS)
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Primitives and guards (satellite: shard_row_slices bounds)
+
+
+class TestShardGuards:
+    @pytest.mark.parametrize("bad", [0, -1, 6, 100])
+    def test_shard_row_slices_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError, match=r"n_shards must be in \[1, n_samples=5\]"):
+            shard_row_slices(5, bad)
+
+    def test_shard_row_slices_covers_rows_exactly_once(self):
+        slices = shard_row_slices(10, 3)
+        rows = [r for sl in slices for r in range(sl.start, sl.stop)]
+        assert rows == list(range(10))
+
+    def test_sharded_caches_reject_more_shards_than_rows(self, workload):
+        X = workload.X[:5]
+        with pytest.raises(ValueError, match="n_shards must be in"):
+            ShardedGramCache(X, n_shards=6)
+        with pytest.raises(ValueError, match="n_shards must be in"):
+            ShardedLandmarkGramCache(X, n_shards=6)
+
+    def test_placed_landmark_cache_rejects_bad_shards(self, workload, fleet):
+        _, backend = fleet
+        with pytest.raises(ValueError, match="n_shards must be in"):
+            PlacedLandmarkGramCache(
+                backend.coordinator, workload.X[:3], n_shards=4
+            )
+
+
+class TestLandmarkPrimitives:
+    def test_select_landmarks_deterministic_and_sorted(self):
+        first = select_landmarks(100, 17, seed=3)
+        second = select_landmarks(100, 17, seed=3)
+        assert np.array_equal(first, second)
+        assert np.all(np.diff(first) > 0)  # sorted, no repeats
+        assert first.min() >= 0 and first.max() < 100
+
+    def test_select_landmarks_full_rank_is_arange(self):
+        assert np.array_equal(select_landmarks(12, 12, seed=9), np.arange(12))
+
+    @pytest.mark.parametrize("bad", [0, -2, 13])
+    def test_select_landmarks_validates_count(self, bad):
+        with pytest.raises(ValueError, match="n_landmarks must be in"):
+            select_landmarks(12, bad)
+
+    def test_default_n_landmarks_sublinear_and_capped(self):
+        assert default_n_landmarks(4) == 4  # capped at n
+        assert default_n_landmarks(16) == 16
+        assert default_n_landmarks(10_000) == 400  # 4 * sqrt(n)
+        # Sublinear growth is the whole point of the landmark path.
+        assert default_n_landmarks(100_000) < 100_000 // 10
+
+    def test_landmark_transform_nystrom_identity(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(8, 8))
+        W = A @ A.T  # PSD landmark Gram
+        T = landmark_transform(W)
+        # With C = W (evaluating the factor at the landmarks
+        # themselves) the Nyström reconstruction is exact: W W+ W = W.
+        np.testing.assert_allclose(W @ T @ T.T @ W, W, atol=1e-8)
+
+    def test_landmark_transform_rank0_on_zero_gram(self):
+        T = landmark_transform(np.zeros((5, 5)))
+        assert T.shape == (5, 0)
+
+    def test_full_rank_factor_reconstructs_exact_gram(self, workload):
+        X = workload.X[:30]
+        n = X.shape[0]
+        cache = LandmarkGramCache(X, n_landmarks=n)
+        exact = GramCache(X)
+        key = (0, 1)
+        np.testing.assert_allclose(
+            cache.gram(key), exact.gram(key), atol=1e-8
+        )
+        assert cache.n_gram_computations == 0
+        assert cache.n_factor_computations == 1
+        assert cache.n_gathers == 1  # gram() is the deliberate n×n gather
+
+
+# ---------------------------------------------------------------------------
+# Engine parity and ledgers
+
+
+class TestLandmarkEngine:
+    def test_full_rank_landmark_matches_exact_scores(self, workload):
+        n = workload.X.shape[0]
+        exact = _score_all(KernelEvaluationEngine(workload.X, workload.y))
+        approx = _score_all(
+            KernelEvaluationEngine(
+                workload.X, workload.y, approx="landmarks", n_landmarks=n
+            )
+        )
+        np.testing.assert_allclose(approx, exact, atol=1e-6)
+
+    def test_landmark_engine_never_books_exact_work(self, workload):
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, approx="landmarks", n_landmarks=16
+        )
+        engine.score_batch(ALL_PARTITIONS)
+        assert engine.stats.n_matrix_ops == 0
+        assert engine.gram_cache.n_gram_computations == 0
+        assert engine.n_landmark_ops > 0
+        assert engine.n_factor_computations > 0
+        engine.close()
+
+    def test_exact_engine_never_books_landmark_work(self, workload):
+        engine = KernelEvaluationEngine(workload.X, workload.y)
+        engine.score_batch(ALL_PARTITIONS)
+        assert engine.n_landmark_ops == 0
+        assert engine.n_factor_computations == 0
+        assert engine.stats.n_matrix_ops > 0
+        engine.close()
+
+    def test_search_result_carries_approx_and_ledgers(self, workload):
+        search = PartitionMKLSearch(approx="landmarks", n_landmarks=16)
+        result = search.search(workload.X, workload.y, (0, 1), strategy="chain")
+        assert result.approx == "landmarks"
+        assert result.n_landmark_ops > 0
+        assert result.n_factor_computations > 0
+        assert result.n_matrix_ops == 0
+        assert result.n_gram_computations == 0
+
+    def test_exact_search_result_reports_no_approximation(self, workload):
+        result = PartitionMKLSearch().search(
+            workload.X, workload.y, (0, 1), strategy="chain"
+        )
+        assert result.approx is None
+        assert result.n_landmark_ops == 0
+        assert result.n_factor_computations == 0
+
+    def test_validation_errors(self, workload):
+        with pytest.raises(ValueError, match="approx must be None or 'landmarks'"):
+            KernelEvaluationEngine(workload.X, workload.y, approx="bogus")
+        with pytest.raises(ValueError, match="n_landmarks requires approx"):
+            KernelEvaluationEngine(workload.X, workload.y, n_landmarks=8)
+        with pytest.raises(ValueError, match="approx must be None or 'landmarks'"):
+            PartitionMKLSearch(approx="svd")
+        with pytest.raises(ValueError, match="n_landmarks requires approx"):
+            FacetedLearner(seed_block=(0, 1), n_landmarks=8)
+
+
+# ---------------------------------------------------------------------------
+# CV solve accounting (satellite: n_cv_solves on SearchResult)
+
+
+class TestCrossValAccounting:
+    def test_exact_cv_counts_exact_solves_only(self, workload):
+        search = PartitionMKLSearch(scorer=CrossValScorer(seed=1))
+        result = search.search(workload.X, workload.y, (0, 1), strategy="chain")
+        assert result.n_cv_solves > 0
+        assert result.n_cv_solves_landmark == 0
+
+    def test_landmark_cv_counts_factor_solves_only(self, workload):
+        search = PartitionMKLSearch(
+            scorer=CrossValScorer(seed=1), approx="landmarks", n_landmarks=16
+        )
+        result = search.search(workload.X, workload.y, (0, 1), strategy="chain")
+        assert result.n_cv_solves_landmark > 0
+        assert result.n_cv_solves == 0
+
+    def test_alignment_scoring_counts_no_solves(self, workload):
+        result = PartitionMKLSearch().search(
+            workload.X, workload.y, (0, 1), strategy="chain"
+        )
+        assert result.n_cv_solves == 0
+        assert result.n_cv_solves_landmark == 0
+
+    def test_full_rank_factor_cv_matches_exact_cv(self, workload):
+        n = workload.X.shape[0]
+        exact = PartitionMKLSearch(scorer=CrossValScorer(seed=2)).search(
+            workload.X, workload.y, (0, 1), strategy="exhaustive"
+        )
+        factor = PartitionMKLSearch(
+            scorer=CrossValScorer(seed=2), approx="landmarks", n_landmarks=n
+        ).search(workload.X, workload.y, (0, 1), strategy="exhaustive")
+        assert factor.best_partition == exact.best_partition
+        assert abs(factor.best_score - exact.best_score) < 1e-8
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties (satellite: convergence, ranking, bit-identity)
+
+
+def _engine_scores(X, y, **kwargs):
+    return _score_all(KernelEvaluationEngine(X, y, **kwargs))
+
+
+class TestLandmarkProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_full_rank_converges_to_exact(self, seed):
+        wl = make_faceted_classification(
+            30, [FacetSpec("a", 2), FacetSpec("b", 2)], seed=seed
+        )
+        n = wl.X.shape[0]
+        exact = _engine_scores(wl.X, wl.y)
+        approx = _engine_scores(
+            wl.X, wl.y, approx="landmarks", n_landmarks=n, landmark_seed=seed
+        )
+        np.testing.assert_allclose(approx, exact, atol=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_ranking_agreement_at_configured_rank(self, seed):
+        """At the default rank the landmark argmax either coincides with
+        the exact argmax or the two candidates are within twice the
+        observed approximation error — the ranking is never wrong by
+        more than the approximation is loose."""
+        wl = make_faceted_classification(
+            80, [FacetSpec("a", 2), FacetSpec("b", 2)], seed=seed
+        )
+        exact = np.array(_engine_scores(wl.X, wl.y))
+        approx = np.array(
+            _engine_scores(wl.X, wl.y, approx="landmarks")
+        )
+        max_error = float(np.max(np.abs(exact - approx)))
+        best_exact = int(np.argmax(exact))
+        best_approx = int(np.argmax(approx))
+        if best_exact != best_approx:
+            gap = exact[best_exact] - exact[best_approx]
+            assert gap <= 2.0 * max_error, (
+                f"landmark ranking missed by {gap} with error {max_error}"
+            )
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(0, 100), m=st.integers(8, 30))
+    def test_backends_bit_identical(self, fleet, process_pool, seed, m):
+        """The landmark path is bit-identical across serial, process
+        and socket execution: the same factors, the same strip-order
+        reductions, the same floats."""
+        _, sockets = fleet
+        wl = make_faceted_classification(
+            40, [FacetSpec("a", 2), FacetSpec("b", 2)], seed=seed
+        )
+        kwargs = dict(approx="landmarks", n_landmarks=m, landmark_seed=seed)
+        reference = _engine_scores(wl.X, wl.y, **kwargs)
+        assert _engine_scores(wl.X, wl.y, backend=process_pool, **kwargs) == reference
+        assert _engine_scores(wl.X, wl.y, backend=sockets, **kwargs) == reference
+
+
+# ---------------------------------------------------------------------------
+# Placed landmark layout (factor strips resident on socket workers)
+
+
+class TestPlacedLandmark:
+    def test_placed_matches_sharded_bit_identically(self, workload, fleet):
+        _, backend = fleet
+        sharded = KernelEvaluationEngine(
+            workload.X,
+            workload.y,
+            approx="landmarks",
+            n_landmarks=16,
+            shards=2,
+        )
+        reference = sharded.score_batch(ALL_PARTITIONS)
+        placed = KernelEvaluationEngine(
+            workload.X,
+            workload.y,
+            approx="landmarks",
+            n_landmarks=16,
+            shards=2,
+            backend=backend,
+        )
+        scores = placed.score_batch(ALL_PARTITIONS)
+        assert scores == reference  # bit-identical, not just close
+        assert placed.n_landmark_ops == sharded.n_landmark_ops
+        assert placed.n_factor_computations == sharded.n_factor_computations
+        assert placed.gram_cache.n_gathers == 0
+        assert placed.gram_cache.n_gram_computations == 0
+        wire = backend.wire_stats()
+        assert wire["factor_bytes_shipped"] > 0
+        assert wire["strip_bytes_resident"] > 0
+        placed.close()
+        sharded.close()
+
+    def test_placed_search_books_wire_ledger(self, workload, fleet):
+        _, backend = fleet
+        search = PartitionMKLSearch(
+            approx="landmarks", n_landmarks=16, shards=2, backend=backend
+        )
+        result = search.search(workload.X, workload.y, (0, 1), strategy="chain")
+        serial = PartitionMKLSearch(approx="landmarks", n_landmarks=16, shards=2)
+        reference = serial.search(
+            workload.X, workload.y, (0, 1), strategy="chain"
+        )
+        assert result.best_partition == reference.best_partition
+        assert result.best_score == reference.best_score
+        for (_, a), (_, b) in zip(result.history, reference.history):
+            assert a == b
+        assert result.wire is not None
+        assert result.wire["factor_bytes_shipped"] > 0
+        assert result.wire["n_gathers"] == 0
+
+    def test_placed_cache_refuses_coordinator_side_grams(self, workload, fleet):
+        _, backend = fleet
+        cache = PlacedLandmarkGramCache(
+            backend.coordinator, workload.X, n_shards=2, n_landmarks=8
+        )
+        with pytest.raises(NotImplementedError, match="never assembles"):
+            cache.gram((0, 1))
+        with pytest.raises(NotImplementedError):
+            cache.grams_for(SetPartition([(0, 1), (2, 3)]))
+        cache.detach()
+
+    def test_placed_cache_rejects_replication(self, workload, fleet):
+        """Factor strips are rebuilt, never replicated — a replicated
+        placement signals a configuration misunderstanding."""
+        _, backend = fleet
+        placement = ShardPlacement(2, backend.coordinator.n_workers, replication=2)
+        with pytest.raises(ValueError, match="replication"):
+            PlacedLandmarkGramCache(
+                backend.coordinator, workload.X, n_shards=2, placement=placement
+            )
+
+    def test_cv_scoring_on_sockets_rejected_loudly(self, workload, fleet):
+        _, backend = fleet
+        search = PartitionMKLSearch(
+            scorer=CrossValScorer(),
+            approx="landmarks",
+            shards=2,
+            backend=backend,
+        )
+        with pytest.raises(ValueError, match="incremental scoring"):
+            search.search(workload.X, workload.y, (0, 1), strategy="chain")
+
+    def test_worker_death_adopts_strips_and_stays_bit_identical(self, workload):
+        servers = [WorkerServer(), WorkerServer(), WorkerServer()]
+        for server in servers:
+            server.start_background()
+        backend = SocketBackend(workers=[server.address for server in servers])
+        try:
+            serial = PartitionMKLSearch(
+                approx="landmarks", n_landmarks=12, shards=3
+            )
+            reference = serial.search(
+                workload.X, workload.y, (0, 1), strategy="exhaustive"
+            )
+            search = PartitionMKLSearch(
+                approx="landmarks", n_landmarks=12, shards=3, backend=backend
+            )
+            first = search.search(
+                workload.X, workload.y, (0, 1), strategy="exhaustive"
+            )
+            assert first.best_score == reference.best_score
+            servers[0].stop()  # kill a strip owner between searches
+            with pytest.warns(RuntimeWarning, match="adopted"):
+                second = search.search(
+                    workload.X, workload.y, (0, 1), strategy="exhaustive"
+                )
+            assert second.best_partition == reference.best_partition
+            assert second.best_score == reference.best_score
+            for (_, a), (_, b) in zip(second.history, reference.history):
+                assert a == b
+            assert second.wire["n_strip_rebuilds"] >= 1
+        finally:
+            backend.close()
+            for server in servers[1:]:
+                server.stop()
+
+
+# ---------------------------------------------------------------------------
+# High-level API
+
+
+class TestFacetedApprox:
+    def test_learner_fits_with_landmark_scoring(self, workload):
+        learner = FacetedLearner(
+            strategy="chain",
+            scorer="alignment",
+            seed_block=(0, 1),
+            approx="landmarks",
+            n_landmarks=24,
+        )
+        learner.fit(workload.X, workload.y)
+        accuracy = float(np.mean(learner.predict(workload.X) == workload.y))
+        assert accuracy > 0.6
+        description = learner.describe()
+        assert description["approx"] == "landmarks"
+        assert description["n_landmark_ops"] > 0
+        assert "n_cv_solves" in description
+        assert "n_cv_solves_landmark" in description
+
+    def test_exact_learner_describes_no_approximation(self, workload):
+        learner = FacetedLearner(
+            strategy="chain", scorer="alignment", seed_block=(0, 1)
+        ).fit(workload.X, workload.y)
+        description = learner.describe()
+        assert description["approx"] is None
+        assert description["n_landmark_ops"] == 0
+
+    def test_no_stray_warnings_on_healthy_fleet(self, workload, fleet):
+        _, backend = fleet
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            search = PartitionMKLSearch(
+                approx="landmarks", n_landmarks=16, shards=2, backend=backend
+            )
+            search.search(workload.X, workload.y, (0, 1), strategy="chain")
