@@ -1,0 +1,210 @@
+"""Serving-plane benchmark — throughput and latency of a resident model.
+
+After a search fixes a partition and weights, the combined model is
+published to a :class:`~repro.serving.plane.ServingPlane` and answers
+request batches strip-wise against resident rows.  This benchmark
+records, per backend and per batch size:
+
+* **throughput** — rows classified per second over a deterministic
+  :func:`repro.iot.request_batches` traffic replay;
+* **latency** — per-batch wall-clock p50 / p99;
+* **parity** — every served batch is asserted bit-identical to the
+  offline ``FacetedLearner.predict`` inline (a benchmark that serves
+  wrong answers fast would be worthless);
+* **ledger** — ``n_gathers == 0`` on every run (the plane has no
+  gather path), plus serve-bucket wire bytes on the sockets backend
+  and a hot-swap row (swap mid-traffic, no dropped or mixed-version
+  responses).
+
+Writes ``BENCH_serving.json`` at the repo root (cited by README.md).
+
+Run standalone:  python benchmarks/bench_serving.py
+Smoke mode (CI): python benchmarks/bench_serving.py --smoke
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import WorkerServer
+from repro.core import FacetedLearner
+from repro.iot import FacetSpec, make_faceted_classification, request_batches
+from repro.serving import ServedModel, ServingPlane
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+SPECS = [
+    FacetSpec("a", 2, signal="product", weight=1.4),
+    FacetSpec("b", 2, signal="radial", weight=1.0),
+    FacetSpec("noise", 2, role="noise"),
+]
+TRAIN_N = 400
+SMOKE_TRAIN_N = 120
+BATCH_SIZES = (1, 16, 64, 256)
+SMOKE_BATCH_SIZES = (1, 32)
+N_BATCHES = 40
+SMOKE_N_BATCHES = 6
+TRAFFIC_SEED = 2026
+SWAP_EVERY = 5  # hot-swap row: publish a new version every k batches
+
+
+def _percentile(values, q):
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def _traffic(X, batch_size, n_batches):
+    return request_batches(
+        X, batch_size, n_batches, seed=TRAFFIC_SEED, noise=0.05
+    )
+
+
+def _serve_run(plane, learner, X, batch_size, n_batches):
+    """Replay the traffic; assert parity inline; return the latency row."""
+    latencies = []
+    rows = 0
+    for batch in _traffic(X, batch_size, n_batches):
+        start = time.perf_counter()
+        response = plane.classify(batch)
+        latencies.append(time.perf_counter() - start)
+        rows += batch.shape[0]
+        assert np.array_equal(response.predictions, learner.predict(batch))
+    wall = sum(latencies)
+    return {
+        "batch_size": batch_size,
+        "n_batches": n_batches,
+        "rows_served": rows,
+        "wall_clock_s": wall,
+        "throughput_rows_per_s": rows / wall if wall > 0 else None,
+        "latency_p50_ms": _percentile(latencies, 50) * 1e3,
+        "latency_p99_ms": _percentile(latencies, 99) * 1e3,
+    }
+
+
+def _swap_run(plane, model, learner, X, batch_size, n_batches):
+    """Hot-swap row: republish mid-traffic, verify no response is
+    dropped or mixed-version and parity still holds bitwise."""
+    versions_seen = []
+    for index, batch in enumerate(_traffic(X, batch_size, n_batches)):
+        if index and index % SWAP_EVERY == 0:
+            plane.publish(model)
+        response = plane.classify(batch)
+        versions_seen.append(response.version)
+        assert np.array_equal(response.predictions, learner.predict(batch))
+    assert versions_seen == sorted(versions_seen)  # flips never roll back
+    return {
+        "batch_size": batch_size,
+        "n_batches": n_batches,
+        "n_swaps": plane.stats()["n_swaps"],
+        "versions_observed": sorted(set(versions_seen)),
+        "responses": len(versions_seen),
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    train_n = SMOKE_TRAIN_N if smoke else TRAIN_N
+    batch_sizes = SMOKE_BATCH_SIZES if smoke else BATCH_SIZES
+    n_batches = SMOKE_N_BATCHES if smoke else N_BATCHES
+
+    workload = make_faceted_classification(train_n, SPECS, seed=3)
+    learner = FacetedLearner(
+        strategy="chain", scorer="alignment", seed_block=(0, 1)
+    )
+    learner.fit(workload.X, workload.y)
+    model = ServedModel.from_learner(learner)
+
+    backends = []
+    for name in ("serial", "processes", "sockets"):
+        if name == "serial":
+            plane = ServingPlane("serial")
+            servers = []
+        elif name == "processes":
+            plane = ServingPlane("processes", n_workers=2, n_strips=2)
+            servers = []
+        else:
+            servers = [WorkerServer(), WorkerServer()]
+            for server in servers:
+                server.start_background()
+            plane = ServingPlane(
+                "sockets",
+                workers=[s.address for s in servers],
+                n_strips=2,
+            )
+        try:
+            plane.publish(model)
+            rows = [
+                _serve_run(plane, learner, workload.X, size, n_batches)
+                for size in batch_sizes
+            ]
+            swap = _swap_run(
+                plane, model, learner, workload.X, batch_sizes[-1], n_batches
+            )
+            stats = plane.stats()
+            assert stats["n_gathers"] == 0, stats
+            backend_row = {
+                "backend": name,
+                "runs": rows,
+                "hot_swap": swap,
+                "ledger": stats,
+            }
+            backends.append(backend_row)
+        finally:
+            plane.close()
+            for server in servers:
+                server.stop()
+
+    return {
+        "benchmark": "bench_serving",
+        "smoke": smoke,
+        "workload": f"2+2 facets + 2 noise, n={train_n}, seed=3",
+        "traffic": (
+            f"request_batches(seed={TRAFFIC_SEED}, noise=0.05): "
+            "deterministic replay, parity asserted per batch"
+        ),
+        "batch_sizes": list(batch_sizes),
+        "backends": backends,
+    }
+
+
+def print_report(smoke: bool = False) -> None:
+    report = run(smoke=smoke)
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"SERVING — {report['workload']}{' (smoke)' if smoke else ''}")
+    for backend in report["backends"]:
+        ledger = backend["ledger"]
+        wire = (
+            f", serve wire {ledger['serve_bytes_out']} B out"
+            f" / {ledger['serve_bytes_in']} B in"
+            if "serve_bytes_out" in ledger
+            else ""
+        )
+        print(
+            f"  {backend['backend']}: {ledger['n_rows_served']} rows,"
+            f" {ledger['n_gathers']} gathers{wire}"
+        )
+        for row in backend["runs"]:
+            print(
+                f"    batch={row['batch_size']:>4}: "
+                f"{row['throughput_rows_per_s']:.0f} rows/s, "
+                f"p50 {row['latency_p50_ms']:.2f} ms, "
+                f"p99 {row['latency_p99_ms']:.2f} ms"
+            )
+        swap = backend["hot_swap"]
+        print(
+            f"    hot-swap: {swap['n_swaps']} swaps over "
+            f"{swap['responses']} responses, versions "
+            f"{swap['versions_observed']} (monotone, none dropped)"
+        )
+    print(f"  wrote {RESULTS_PATH.name}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sweep for CI: fewer batches, smaller sample",
+    )
+    print_report(smoke=parser.parse_args().smoke)

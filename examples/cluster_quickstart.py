@@ -1,4 +1,4 @@
-"""Cluster quickstart: a partition search across two worker processes.
+"""Cluster quickstart: search, then serve, across two worker processes.
 
 Spawns two localhost workers (real subprocesses running
 ``python -m repro.cluster.worker``), runs a ``PartitionMKLSearch`` with
@@ -14,12 +14,23 @@ contract end to end:
   (``n_gathers == 0``) — only envelope scalars and O(n) reduction
   vectors cross the wire, all of it accounted on ``result.wire``.
 
+The same connections then switch roles: the coordinator's ticket plane
+is a general request/response scheduler (batch task envelopes,
+speculative envelopes, and pinned serving requests all ride the same
+per-worker pipeline windows), so after the search the fitted combined
+model is **published** to the very same fleet via ``repro.serving`` and
+answers request batches bit-identically to the in-process predict.
+
 Run:  PYTHONPATH=src python examples/cluster_quickstart.py
 """
 
-from repro.cluster import spawn_local_workers
-from repro.iot import FacetSpec, make_faceted_classification
+import numpy as np
+
+from repro.cluster import SocketBackend, spawn_local_workers
+from repro.core import FacetedLearner
+from repro.iot import FacetSpec, make_faceted_classification, request_batches
 from repro.mkl import PartitionMKLSearch
+from repro.serving import ServedModel, ServingPlane
 
 SPECS = [
     FacetSpec("radar", 2, signal="product", weight=1.5),
@@ -72,6 +83,35 @@ def main() -> None:
             f"{wire['placement_bytes_out']} B placement traffic, "
             f"{wire['n_gathers']} gathers"
         )
+
+        # Serving: fit on the fleet, keep the model resident, answer
+        # request batches bit-identically to the in-process predict.
+        # reuse_resident=True skips re-shipping training rows — the
+        # placed search already left the sample on every worker.
+        backend = SocketBackend(workers=cluster.addresses)
+        learner = FacetedLearner(
+            strategy="chain",
+            scorer="alignment",
+            seed_block=SEED_BLOCK,
+            backend=backend,
+            shards=2,
+        )
+        learner.fit(workload.X, workload.y)
+        model = ServedModel.from_learner(learner)
+        with ServingPlane("sockets", socket_backend=backend, n_strips=2) as plane:
+            plane.publish(model, reuse_resident=True)
+            for batch in request_batches(workload.X, 32, 3, seed=11, noise=0.05):
+                response = plane.classify(batch)
+                assert np.array_equal(response.predictions, learner.predict(batch))
+            stats = plane.stats()
+            assert stats["n_gathers"] == 0
+            print(
+                f"serving: {stats['n_rows_served']} rows over "
+                f"{stats['n_batches']} batches on version "
+                f"{stats['active_version']}, {stats['serve_bytes_out']} B out / "
+                f"{stats['serve_bytes_in']} B in, {stats['n_gathers']} gathers"
+            )
+        backend.close()
 
 
 if __name__ == "__main__":

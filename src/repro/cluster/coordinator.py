@@ -1,10 +1,15 @@
-"""Coordinator: registers workers, pipelines envelopes, survives deaths.
+"""Coordinator: a request/response scheduler over a worker fleet.
 
-The coordinator is the cluster twin of the process pool's parent side.
-It keeps one **task connection** per worker, down which
-:class:`~repro.engine.tasks.EngineTask` payloads are pipelined (up to
-``window`` envelopes outstanding per worker — the worker answers in
-FIFO order, so results need no sequence numbers), plus a lazily opened
+The coordinator is the cluster twin of the process pool's parent side,
+generalised into a ticketed request/response scheduler: batch task
+envelopes, speculative envelopes, and typed serving requests pinned to
+specific workers all ride the same per-worker pipeline windows.  It
+keeps one **task connection** per worker, down which
+:class:`~repro.engine.tasks.EngineTask` payloads (``MSG_TASK``) and
+pinned serving requests (``MSG_SERVE_*``, via ``submit_request``) are
+pipelined (up to ``window`` frames outstanding per worker — the worker
+answers in FIFO order, so results need no sequence numbers), plus a
+lazily opened
 **placement connection** per worker for the request/reply shard-
 ownership traffic (kept separate so a placement request can never read
 a task result off the stream, even when a prefetch thread warms
@@ -16,7 +21,11 @@ Fault model, extending :class:`~repro.engine.backends.ProcessPoolBackend`:
 
 * a worker that disconnects (crash, kill, network) has its outstanding
   envelopes **reassigned** to the surviving workers — task scoring is
-  pure and deterministic, so rescoring is always safe;
+  pure and deterministic, so rescoring is always safe; its pinned
+  requests instead resolve **lost** (``wait_ticket`` returns ``None``)
+  because only the submitter knows which surviving workers hold the
+  resident state to answer them — the serving plane re-routes to
+  replica strip holders;
 * with ``heartbeat_interval`` set, a dedicated monitor thread pings
   every worker over its own connection; a worker that stops answering
   within ``heartbeat_timeout`` is **evicted** — its sockets are aborted
@@ -328,20 +337,30 @@ class Coordinator:
         self.n_reconnect_rounds = 0
         self.n_heartbeats = 0
         self.n_evicted = 0
-        # Ticket-granular task plane: every envelope — batch or
-        # speculative — gets a ticket; results are routed by ticket, so
-        # speculative submissions and pipelined batches share the same
-        # windows, reassignment, and eviction machinery.
+        # Ticket-granular request/response scheduler: every request —
+        # batch envelope, speculative envelope, or a pinned serving
+        # request — gets a ticket; results are routed by ticket, so all
+        # traffic kinds share the same windows, reassignment, and
+        # eviction machinery.  Pinned tickets (``submit_request``)
+        # target one specific worker and resolve *lost* instead of
+        # being reassigned when that worker dies — the caller owns the
+        # re-routing decision (the serving plane re-routes to a replica
+        # strip holder).
         self._next_ticket = 0
         self._queue_real: deque[int] = deque()
         self._queue_spec: deque[int] = deque()
+        self._queue_pinned: dict[int, deque[int]] = {}
         self._ticket_payloads: dict[int, bytes] = {}
-        self._ticket_results: dict[int, tuple[list[float], int]] = {}
+        # Pinned tickets record their request frame type here; absence
+        # means MSG_TASK (the shared-queue envelope default).
+        self._ticket_types: dict[int, int] = {}
+        self._ticket_results: dict[int, object] = {}
         self._ticket_errors: dict[int, Exception] = {}
         self._speculative_tickets: set[int] = set()
         self._cancelled_tickets: set[int] = set()
         self.n_speculative_tasks = 0
         self.n_discarded_results = 0
+        self.n_requests = 0
 
     # -- fleet bookkeeping ---------------------------------------------
 
@@ -684,8 +703,11 @@ class Coordinator:
             "n_evicted": self.n_evicted,
             "n_speculative_tasks": self.n_speculative_tasks,
             "n_discarded_results": self.n_discarded_results,
+            "n_requests": self.n_requests,
             "envelope_bytes_out": totals_out.get("envelope", 0),
             "envelope_bytes_in": totals_in.get("envelope", 0),
+            "serve_bytes_out": totals_out.get("serve", 0),
+            "serve_bytes_in": totals_in.get("serve", 0),
             "placement_bytes_out": totals_out.get("placement", 0),
             "placement_bytes_in": totals_in.get("placement", 0),
             "heartbeat_bytes_out": totals_out.get("heartbeat", 0),
@@ -696,17 +718,23 @@ class Coordinator:
             "auth_bytes_in": auth_in,
         }
 
-    # -- task plane ----------------------------------------------------
+    # -- request/response plane ----------------------------------------
     #
-    # Every envelope — batch or speculative — is tracked by an integer
-    # *ticket*.  Tickets move queued -> in-flight (on a channel's FIFO
-    # window) -> resolved (result/error stored) and are consumed by
-    # ``wait_ticket``/``poll_ticket``.  A worker death requeues its
-    # in-flight tickets (reassignment); a cancelled ticket's result is
+    # A general request/response scheduler over the per-worker task
+    # connections.  Every request — batch envelope, speculative
+    # envelope, or a typed request pinned to one worker — is tracked by
+    # an integer *ticket*.  Tickets move queued -> in-flight (on a
+    # channel's FIFO window) -> resolved (result/error stored) and are
+    # consumed by ``wait_ticket``/``poll_ticket``.  A worker death
+    # requeues its in-flight envelope tickets (reassignment — envelope
+    # scoring is pure, so rescoring anywhere is safe) but resolves its
+    # pinned tickets *lost* (only the submitter knows which other
+    # workers can answer them); a cancelled ticket's result is
     # discarded on arrival instead of requeued.  ``map_tasks_payloads``
-    # is a thin layer over the same machinery, so speculative
-    # submissions and pipelined batches interleave on one window
-    # without sequence numbers: the per-channel FIFO is the truth.
+    # is a thin layer over the same machinery, so serving requests,
+    # speculative submissions and pipelined batches interleave on one
+    # window without sequence numbers: the per-channel FIFO is the
+    # truth.
 
     def submit_ticket(self, payload: bytes, speculative: bool = False) -> int:
         """Enqueue one envelope; non-blocking beyond the TCP send.
@@ -728,6 +756,34 @@ class Coordinator:
             self._queue_spec.append(ticket)
         else:
             self._queue_real.append(ticket)
+        self._fill_windows()
+        return ticket
+
+    def submit_request(
+        self, worker_index: int, msg_type: int, payload: bytes
+    ) -> int:
+        """Enqueue one typed request *pinned* to a specific worker.
+
+        The generalisation of the envelope plane the serving layer
+        rides: the frame type is the caller's (``MSG_SERVE_*``), the
+        reply must echo that type, and the raw reply payload bytes are
+        returned by ``wait_ticket``.  Unlike envelopes, a pinned
+        request is never reassigned — the pinned worker dying (before
+        or after the send) resolves the ticket **lost** (``wait_ticket``
+        returns ``None``) and the caller re-routes, because only the
+        caller knows which other workers hold the state the request
+        needs.  A request pinned to an already-dead worker is born
+        lost.
+        """
+        self._ensure_heartbeat()
+        self._ensure_channels()
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        if not any(c.index == worker_index for c in self._channels):
+            return ticket  # born lost: the worker is already gone
+        self._ticket_payloads[ticket] = payload
+        self._ticket_types[ticket] = int(msg_type)
+        self._queue_pinned.setdefault(worker_index, deque()).append(ticket)
         self._fill_windows()
         return ticket
 
@@ -782,7 +838,11 @@ class Coordinator:
         on arrival (the per-channel FIFO cannot skip frames); a
         resolved one has its stored result dropped.  Waiting on a
         cancelled ticket afterwards reports it lost."""
-        for queue in (self._queue_real, self._queue_spec):
+        for queue in (
+            self._queue_real,
+            self._queue_spec,
+            *self._queue_pinned.values(),
+        ):
             if ticket in queue:
                 queue.remove(ticket)
                 self._forget_ticket(ticket)
@@ -847,11 +907,13 @@ class Coordinator:
         return (
             ticket in self._queue_real
             or ticket in self._queue_spec
+            or any(ticket in q for q in self._queue_pinned.values())
             or any(ticket in c.outstanding for c in self._channels)
         )
 
     def _forget_ticket(self, ticket: int) -> None:
         self._ticket_payloads.pop(ticket, None)
+        self._ticket_types.pop(ticket, None)
         self._speculative_tickets.discard(ticket)
         self._cancelled_tickets.discard(ticket)
 
@@ -867,9 +929,14 @@ class Coordinator:
             for ticket in channel.outstanding:
                 self._forget_ticket(ticket)
             channel.outstanding.clear()
-        for queue in (self._queue_real, self._queue_spec):
+        for queue in (
+            self._queue_real,
+            self._queue_spec,
+            *self._queue_pinned.values(),
+        ):
             while queue:
                 self._forget_ticket(queue.popleft())
+        self._queue_pinned.clear()
 
     def _purge_evicted(self) -> None:
         """Bury channels the heartbeat monitor marked for eviction.
@@ -928,14 +995,20 @@ class Coordinator:
 
         Reassignment requeues at the *front* (they were next in line);
         cancelled tickets are simply dropped — their work should not be
-        re-done just to be discarded.
+        re-done just to be discarded.  Pinned requests (in flight *or*
+        still queued for this worker) resolve lost instead of being
+        requeued: the caller re-routes them to another holder of the
+        state they need.
         """
         if channel in self._channels:
             self._channels.remove(channel)
         self._dead.append(channel.link)
         channel.link.close()
         for ticket in reversed(channel.outstanding):
-            if ticket in self._cancelled_tickets:
+            if (
+                ticket in self._cancelled_tickets
+                or ticket in self._ticket_types
+            ):
                 self._forget_ticket(ticket)
                 continue
             self.n_reassigned += 1
@@ -944,11 +1017,22 @@ class Coordinator:
             else:
                 self._queue_real.appendleft(ticket)
         channel.outstanding.clear()
+        pinned = self._queue_pinned.pop(channel.index, None)
+        if pinned:
+            for ticket in pinned:
+                self._forget_ticket(ticket)
         self._mark_dead(channel.index)
 
     def _fill_windows(self) -> None:
-        """Place queued tickets on free window slots (never blocks)."""
+        """Place queued tickets on free window slots (never blocks).
+
+        Pinned requests go first — they can only ever use their own
+        worker's window, so letting shared-queue envelopes fill it
+        would starve them; shared-queue envelopes then spread over
+        whatever slots remain anywhere in the fleet.
+        """
         self._purge_evicted()
+        self._fill_pinned_windows()
         while (self._queue_real or self._queue_spec) and self._channels:
             channel = min(self._channels, key=len)
             if len(channel) >= self.window:
@@ -967,6 +1051,41 @@ class Coordinator:
             queue.popleft()
             channel.outstanding.append(ticket)
             self.n_tasks += 1
+
+    def _fill_pinned_windows(self) -> None:
+        """Send queued pinned requests down their worker's channel."""
+        for worker_index in list(self._queue_pinned):
+            queue = self._queue_pinned.get(worker_index)
+            if not queue:
+                self._queue_pinned.pop(worker_index, None)
+                continue
+            channel = next(
+                (c for c in self._channels if c.index == worker_index), None
+            )
+            if channel is None:
+                # The pinned worker is dead: every queued request for it
+                # resolves lost; the caller re-routes via its own state.
+                while queue:
+                    self._forget_ticket(queue.popleft())
+                self._queue_pinned.pop(worker_index, None)
+                continue
+            while queue and len(channel) < self.window:
+                ticket = queue[0]
+                if ticket in self._cancelled_tickets:
+                    queue.popleft()
+                    self._forget_ticket(ticket)
+                    continue
+                try:
+                    channel.link.send(
+                        self._ticket_types[ticket],
+                        self._ticket_payloads[ticket],
+                    )
+                except (ProtocolError, OSError):
+                    self._handle_death(channel)
+                    break
+                queue.popleft()
+                channel.outstanding.append(ticket)
+                self.n_requests += 1
 
     def _apply_backpressure(self) -> None:
         """Block until the real queue is fully placed on the windows."""
@@ -999,6 +1118,22 @@ class Coordinator:
             candidates = [c for c in self._channels if len(c)]
             if candidates:
                 self._receive_from(min(candidates, key=len))
+            return
+        for worker_index, queue in list(self._queue_pinned.items()):
+            if ticket not in queue:
+                continue
+            self._fill_windows()
+            if self._ticket_in_flight(ticket):
+                return
+            # Still queued: only its own worker's window can free a
+            # slot for it (or the worker died and the fill resolved it
+            # lost, in which case the waiter sees an unknown ticket).
+            channel = next(
+                (c for c in self._channels if c.index == worker_index), None
+            )
+            if channel is not None and len(channel):
+                self._receive_from(channel)
+            return
 
     def _ticket_in_flight(self, ticket: int) -> bool:
         return any(ticket in c.outstanding for c in self._channels)
@@ -1023,14 +1158,25 @@ class Coordinator:
             else:
                 self._ticket_errors[ticket] = error
                 self._ticket_payloads.pop(ticket, None)
+                self._ticket_types.pop(ticket, None)
             return True
         except (ProtocolError, OSError):
             self._handle_death(channel)
             return False
-        if msg_type != MSG_RESULT:
+        request_type = (
+            self._ticket_types.get(channel.outstanding[0], MSG_TASK)
+            if channel.outstanding
+            else MSG_TASK
+        )
+        # Envelopes answer MSG_RESULT; a pinned request's reply echoes
+        # the request's own frame type (so both directions book in the
+        # same wire bucket) and stays raw payload bytes — only the
+        # caller knows its encoding.
+        expected = MSG_RESULT if request_type == MSG_TASK else request_type
+        if msg_type != expected:
             raise ProtocolError(
                 f"worker {channel.link.address} sent frame type {msg_type} "
-                "on the task plane"
+                f"on the task plane (expected {expected})"
             )
         ticket = channel.outstanding.popleft()
         self.n_results += 1
@@ -1038,6 +1184,11 @@ class Coordinator:
             self.n_discarded_results += 1
             self._forget_ticket(ticket)
         else:
-            self._ticket_results[ticket] = decode_result(payload)
+            self._ticket_results[ticket] = (
+                decode_result(payload)
+                if request_type == MSG_TASK
+                else payload
+            )
             self._ticket_payloads.pop(ticket, None)
+            self._ticket_types.pop(ticket, None)
         return True

@@ -85,6 +85,11 @@ __all__ = [
     "MSG_LANDMARK_FACTOR",
     "MSG_LANDMARK_STATS",
     "MSG_LANDMARK_PAIR",
+    "MSG_SERVE_INSTALL",
+    "MSG_SERVE_ROWS",
+    "MSG_SERVE_DROP",
+    "MSG_SERVE_STATUS",
+    "SERVE_TYPES",
     "MSG_SHUTDOWN",
 ]
 
@@ -126,6 +131,19 @@ MSG_STRIP_REBUILD = 29
 MSG_LANDMARK_FACTOR = 30
 MSG_LANDMARK_STATS = 31
 MSG_LANDMARK_PAIR = 32
+# Serving plane (versioned model residency + per-request strip rows).
+# Requests ride the pipelined task connections; a serve reply *echoes*
+# the request's frame type (unlike placement's generic MSG_OK) so both
+# directions land in the "serve" accounting bucket.
+MSG_SERVE_INSTALL = 33
+MSG_SERVE_ROWS = 34
+MSG_SERVE_DROP = 35
+MSG_SERVE_STATUS = 36
+
+#: Serving-plane request types (each is also its own reply type).
+SERVE_TYPES = frozenset(
+    {MSG_SERVE_INSTALL, MSG_SERVE_ROWS, MSG_SERVE_DROP, MSG_SERVE_STATUS}
+)
 
 _KNOWN_TYPES = frozenset(
     {
@@ -149,6 +167,10 @@ _KNOWN_TYPES = frozenset(
         MSG_LANDMARK_FACTOR,
         MSG_LANDMARK_STATS,
         MSG_LANDMARK_PAIR,
+        MSG_SERVE_INSTALL,
+        MSG_SERVE_ROWS,
+        MSG_SERVE_DROP,
+        MSG_SERVE_STATUS,
     }
 )
 
@@ -232,11 +254,15 @@ def wire_category(msg_type: int) -> str:
     """Accounting bucket of a message type.
 
     ``"envelope"`` — task envelopes and their results (the per-search
-    scoring traffic the benchmarks record); ``"placement"`` — strip
-    residency and statistic reductions; ``"control"`` — everything else.
+    scoring traffic the benchmarks record); ``"serve"`` — serving-plane
+    model installs and per-request row traffic (requests *and* their
+    echoed-type replies); ``"placement"`` — strip residency and
+    statistic reductions; ``"control"`` — everything else.
     """
     if msg_type in _TASK_TYPES:
         return "envelope"
+    if msg_type in SERVE_TYPES:
+        return "serve"
     if msg_type >= MSG_INIT:
         return "placement"
     return "control"

@@ -40,6 +40,19 @@ Two planes of traffic arrive on separate connections:
   the handlers rebuild any missing strip from the transform in the
   request body (factor strips are cheaper to rebuild than to ship).
 
+A third plane rides the task connections once a search has finished:
+
+* **serving plane** — ``MSG_SERVE_INSTALL`` / ``_ROWS`` / ``_DROP`` /
+  ``_STATUS`` frames embed a
+  :class:`~repro.serving.store.StripModelStore` in the worker:
+  versioned combined-model parameters plus this worker's training-row
+  strips stay resident, and each request batch is answered by strip-wise
+  cross-Gram math (never an n×n materialisation).  An install may ship
+  ``rows=None`` to reuse the placement-resident sample from ``MSG_INIT``
+  instead of re-sending rows.  Serve replies *echo* the request frame
+  type (unlike placement's generic ``MSG_OK``) so both directions are
+  booked in the ``serve`` wire bucket.
+
 Resilience hooks:
 
 * ``secret=`` — every frame on every connection must carry (and is
@@ -86,6 +99,10 @@ from repro.cluster.protocol import (
     MSG_PING,
     MSG_PONG,
     MSG_RESULT,
+    MSG_SERVE_DROP,
+    MSG_SERVE_INSTALL,
+    MSG_SERVE_ROWS,
+    MSG_SERVE_STATUS,
     MSG_SHUTDOWN,
     MSG_STRIP_INSTALL,
     MSG_STRIP_REBUILD,
@@ -105,6 +122,16 @@ from repro.engine.cache import _normalize_factor_rows
 from repro.engine.tasks import encode_result, score_task_payload
 
 __all__ = ["WorkerServer", "main"]
+
+# Serve frame -> StripModelStore op.  The worker resolves the wire type
+# to the transport-neutral op name so every backend shares one dispatch
+# (``repro.serving.store.handle_serve_op``).
+_SERVE_OPS = {
+    MSG_SERVE_INSTALL: "install",
+    MSG_SERVE_ROWS: "rows",
+    MSG_SERVE_DROP: "drop",
+    MSG_SERVE_STATUS: "status",
+}
 
 
 @dataclass
@@ -194,6 +221,10 @@ class WorkerServer:
         # build inserts into them would corrupt the state they share.
         self._placement_op_lock = threading.Lock()
         self._placement: _PlacementState | None = None
+        # Serving-plane residency: created lazily on the first serve
+        # frame so workers that never serve pay nothing.
+        self._serving_lock = threading.Lock()
+        self._serving_store = None
         self._connections: set[socket.socket] = set()
         self._stopped = threading.Event()
         self._tasks_scored = 0
@@ -337,6 +368,21 @@ class WorkerServer:
             send_frame(conn, MSG_OK, b"", auth=auth)
             self.stop()
             return False
+        if msg_type in _SERVE_OPS:
+            try:
+                reply = self._dispatch_serve(msg_type, payload)
+            except Exception as error:  # surfaced plane-side, loudly
+                send_frame(
+                    conn,
+                    MSG_ERROR,
+                    dump_payload(f"{type(error).__name__}: {error}"),
+                    auth=auth,
+                )
+                return True
+            # Echo the request type (not MSG_OK): serve replies must
+            # book in the "serve" wire bucket in both directions.
+            send_frame(conn, msg_type, dump_payload(reply), auth=auth)
+            return True
         try:
             with self._placement_op_lock:
                 reply = self._dispatch_placement(msg_type, payload)
@@ -350,6 +396,36 @@ class WorkerServer:
             return True
         send_frame(conn, MSG_OK, dump_payload(reply), auth=auth)
         return True
+
+    # -- serving plane -------------------------------------------------
+
+    def _dispatch_serve(self, msg_type: int, payload: bytes):
+        """Route one serve frame through the shared store dispatch.
+
+        The import is deliberately lazy: :mod:`repro.serving` imports
+        the cluster coordinator, so importing it at module scope here
+        would close an import cycle.  Only the cycle-free store module
+        is touched.
+        """
+        from repro.serving.store import StripModelStore, handle_serve_op
+
+        with self._serving_lock:
+            if self._serving_store is None:
+                self._serving_store = StripModelStore()
+            store = self._serving_store
+        op = _SERVE_OPS[msg_type]
+        resident_X = None
+        if op == "install":
+            # Snapshot the placement-resident sample for rows=None
+            # installs.  Lock order is serving -> placement only (the
+            # placement handlers never take the serving lock), so this
+            # cannot deadlock with a concurrent placement op.
+            with self._placement_op_lock:
+                if self._placement is not None:
+                    resident_X = self._placement.X
+        return handle_serve_op(
+            store, op, load_payload(payload), resident_X=resident_X
+        )
 
     # -- placement plane -----------------------------------------------
     #

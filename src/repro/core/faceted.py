@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analytics.lssvm import LSSVC
 from repro.combinatorics.partitions import SetPartition
+from repro.engine.cache import cross_gram_strip, query_block_diags
 from repro.engine.strategies import available_strategies
 from repro.kernels.base import as_2d
 from repro.kernels.combination import combine_grams, uniform_weights
@@ -291,20 +292,23 @@ class FacetedLearner:
     # ------------------------------------------------------------------
 
     def _cross_gram(self, X: np.ndarray) -> np.ndarray:
+        # Delegates to the engine's strip evaluator with one "strip"
+        # covering the whole training sample — the very same code path
+        # the serving plane runs per worker-resident strip, which is
+        # what makes served responses bit-identical to this method.
         assert self.partition_ is not None and self._train_X is not None
         assert self.weights_ is not None and self._train_diags is not None
         X = as_2d(X)
-        combined = np.zeros((X.shape[0], self._train_X.shape[0]))
-        for weight, block, train_diag in zip(
-            self.weights_, self.partition_.blocks, self._train_diags
-        ):
-            if weight <= 0:
-                continue
-            kernel = self.block_kernel(block)
-            cross = kernel(X, self._train_X)
-            test_diag = np.sqrt(np.clip(np.diag(kernel(X)), 1e-12, None))
-            combined += weight * (cross / np.outer(test_diag, train_diag))
-        return combined
+        blocks = self.partition_.blocks
+        return cross_gram_strip(
+            X,
+            self._train_X,
+            blocks,
+            self.weights_,
+            self.block_kernel,
+            self._train_diags,
+            query_block_diags(X, blocks, self.block_kernel),
+        )
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Signed decision scores for new samples."""

@@ -135,8 +135,10 @@ from repro.engine.cache import (
     ShardedLandmarkGramCache,
     ShardedLandmarkStatsCache,
     canonical_block_key,
+    cross_gram_strip,
     default_n_landmarks,
     landmark_transform,
+    query_block_diags,
     select_landmarks,
     shard_row_slices,
 )
@@ -188,9 +190,11 @@ __all__ = [
     "available_strategies",
     "build_task",
     "canonical_block_key",
+    "cross_gram_strip",
     "default_n_landmarks",
     "get_backend",
     "landmark_transform",
+    "query_block_diags",
     "select_landmarks",
     "register_backend",
     "register_strategy",

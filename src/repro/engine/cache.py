@@ -66,6 +66,8 @@ __all__ = [
     "ShardedLandmarkGramCache",
     "ShardedLandmarkStatsCache",
     "canonical_block_key",
+    "cross_gram_strip",
+    "query_block_diags",
     "shard_row_slices",
     "select_landmarks",
     "landmark_transform",
@@ -168,6 +170,73 @@ def canonical_block_key(block: Iterable[int]) -> BlockKey:
     their columns, so the Grams are identical.
     """
     return tuple(sorted(int(c) for c in block))
+
+
+# -- predict-time strip evaluation (the serving plane's kernel math) ----
+#
+# A fitted combined model scores a query batch against the training
+# sample through a weighted, cosine-normalised cross-Gram.  Both
+# helpers below are deliberately *strip-agnostic*: ``X_rows`` may be
+# the full training sample (the in-process predict path) or any
+# contiguous row strip of it (a worker serving only the rows it holds).
+# Because the default block kernels are pair-local (each entry depends
+# only on its own (query, train) row pair — the RBF bandwidth is a
+# function of the *query* operand alone) and the combination is
+# column-local, evaluating strip-by-strip and concatenating in strip
+# order is **bit-identical** to the monolithic evaluation.  That
+# identity is what lets the serving plane answer requests from
+# worker-resident strips without ever materialising an n×n matrix.
+
+
+def query_block_diags(
+    X_query: np.ndarray,
+    blocks: Sequence[Iterable[int]],
+    block_kernel: BlockKernelFactory,
+) -> list[np.ndarray]:
+    """Per-block query self-similarity diagonals for normalisation.
+
+    These depend only on the query batch, so a request fan-out computes
+    them once and ships the O(b · batch) vectors with the request
+    instead of every strip holder redoing the O(batch²) work.
+    """
+    X_query = as_2d(X_query)
+    return [
+        np.sqrt(np.clip(np.diag(block_kernel(block)(X_query)), 1e-12, None))
+        for block in blocks
+    ]
+
+
+def cross_gram_strip(
+    X_query: np.ndarray,
+    X_rows: np.ndarray,
+    blocks: Sequence[Iterable[int]],
+    weights: Sequence[float],
+    block_kernel: BlockKernelFactory,
+    train_diags: Sequence[np.ndarray],
+    query_diags: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Weighted normalised cross-Gram of a query batch against row strip.
+
+    ``train_diags`` are the per-block training self-similarity
+    diagonals *already sliced* to ``X_rows``; ``query_diags`` come from
+    :func:`query_block_diags` on the same batch.  Zero-weight blocks
+    are skipped exactly like the in-process predict path, and the
+    per-entry arithmetic (normalise, weight, accumulate in block
+    order) matches it expression for expression — the strip result is
+    the corresponding column slice of the monolithic cross-Gram, bit
+    for bit.
+    """
+    X_query = as_2d(X_query)
+    combined = np.zeros((X_query.shape[0], X_rows.shape[0]))
+    for weight, block, train_diag, query_diag in zip(
+        weights, blocks, train_diags, query_diags
+    ):
+        if weight <= 0:
+            continue
+        kernel = block_kernel(block)
+        cross = kernel(X_query, X_rows)
+        combined += weight * (cross / np.outer(query_diag, train_diag))
+    return combined
 
 
 class _KeyLocked:

@@ -21,6 +21,7 @@ from repro.iot.streams import (
     CaptureSession,
     SensorField,
     random_walk_signal,
+    request_batches,
     sinusoid,
 )
 from repro.iot.workloads import (
@@ -55,6 +56,7 @@ __all__ = [
     "CaptureSession",
     "SensorField",
     "random_walk_signal",
+    "request_batches",
     "sinusoid",
     "FacetSpec",
     "FacetedWorkload",

@@ -18,7 +18,45 @@ import numpy as np
 from repro.iot.sensors import Sensor, SensorSpec
 from repro.pipeline.integration import MeasurementStream, MergedRecords, merge_streams
 
-__all__ = ["SensorField", "CaptureSession", "sinusoid", "random_walk_signal"]
+__all__ = [
+    "SensorField",
+    "CaptureSession",
+    "sinusoid",
+    "random_walk_signal",
+    "request_batches",
+]
+
+
+def request_batches(
+    X: np.ndarray,
+    batch_size: int,
+    n_batches: int,
+    seed: int = 0,
+    noise: float = 0.0,
+):
+    """Deterministic serving traffic: request batches drawn from a sample.
+
+    Yields ``n_batches`` arrays of ``batch_size`` rows resampled (with
+    replacement) from ``X`` — the stand-in for field devices submitting
+    observation batches to a resident model
+    (:class:`~repro.serving.plane.ServingPlane`).  ``noise`` adds
+    Gaussian perturbation so batches are not verbatim training rows.
+    Everything is drawn from a ``default_rng(seed)``, never global
+    state, so a benchmark or test replaying the same seed sees the
+    exact same traffic.
+    """
+    if batch_size < 1 or n_batches < 0:
+        raise ValueError("batch_size must be >= 1 and n_batches >= 0")
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise ValueError("X must be a non-empty 2-D sample")
+    rng = np.random.default_rng(seed)
+    for _ in range(n_batches):
+        idx = rng.integers(0, X.shape[0], size=batch_size)
+        batch = X[idx]
+        if noise > 0:
+            batch = batch + rng.normal(scale=noise, size=batch.shape)
+        yield batch
 
 
 def sinusoid(

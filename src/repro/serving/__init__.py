@@ -1,0 +1,26 @@
+"""Long-lived serving: resident combined models answering request batches.
+
+The search (:mod:`repro.core`, :mod:`repro.engine`) finds a partition
+and weights; this package keeps the resulting combined model *resident*
+on a worker fleet and answers classify/score batches at high throughput
+— strip-wise, gather-free, hot-swappable, and bit-identical to the
+offline ``FacetedLearner.predict``.
+
+Import order matters: :mod:`~repro.serving.store` and
+:mod:`~repro.serving.model` are cycle-free (the cluster worker lazily
+imports the store), while :mod:`~repro.serving.plane` pulls in the
+cluster coordinator — so the plane is imported last.
+"""
+
+from repro.serving.store import StripModelStore, handle_serve_op
+from repro.serving.model import ServedModel
+from repro.serving.plane import ServeResponse, ServingError, ServingPlane
+
+__all__ = [
+    "ServedModel",
+    "ServeResponse",
+    "ServingError",
+    "ServingPlane",
+    "StripModelStore",
+    "handle_serve_op",
+]

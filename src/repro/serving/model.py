@@ -1,0 +1,126 @@
+"""The servable artifact a finished search produces.
+
+A :class:`ServedModel` freezes everything a fitted
+:class:`~repro.core.faceted.FacetedLearner` needs at predict time —
+the winning partition's blocks, their weights, the block-kernel
+factory, the training sample with its per-block normalisation
+diagonals, and the fitted LS-SVM — into one picklable value the
+serving plane can version, ship strip-wise, and hot-swap.
+
+Its own :meth:`predict` / :meth:`decision_function` are the *offline
+reference*: they run the exact same strip evaluator
+(:func:`~repro.engine.cache.cross_gram_strip`) the serving hosts run,
+over a single strip spanning the whole sample — so a served response
+being bit-identical to the reference is a structural property, not a
+numerical accident.  The default (cdist-based) block kernels are
+pair-local, which is what makes strip-wise evaluation exact; a custom
+dot-product kernel whose BLAS blocking differs by operand shape would
+only be guaranteed to floating-point tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.cache import cross_gram_strip, query_block_diags
+from repro.kernels.base import as_2d
+
+__all__ = ["ServedModel"]
+
+
+@dataclass(frozen=True)
+class ServedModel:
+    """A frozen combined model: partition, weights, sample, estimator."""
+
+    blocks: tuple[tuple[int, ...], ...]
+    weights: np.ndarray
+    block_kernel: object
+    X: np.ndarray
+    train_diags: tuple[np.ndarray, ...]
+    estimator: object
+
+    def __post_init__(self):
+        if len(self.train_diags) != len(self.blocks):
+            raise ValueError(
+                f"{len(self.train_diags)} training diagonals for "
+                f"{len(self.blocks)} blocks"
+            )
+        if any(d.shape[0] != self.X.shape[0] for d in self.train_diags):
+            raise ValueError(
+                "training diagonal length must match the sample rows"
+            )
+
+    @classmethod
+    def from_learner(cls, learner) -> "ServedModel":
+        """Freeze a fitted :class:`FacetedLearner` into a servable model.
+
+        Reaches into the learner's fitted state deliberately — the
+        serving plane must serve *exactly* what ``learner.predict``
+        would answer, so the parameters are taken, not re-derived.
+        Works identically for exact and ``approx="landmarks"`` fits:
+        the landmark path only approximates the *search*, the final
+        model is always trained on exact Grams.
+        """
+        if learner.partition_ is None or learner._estimator is None:
+            raise ValueError(
+                "the learner is not fitted; call fit before serving it"
+            )
+        return cls(
+            blocks=tuple(
+                tuple(int(c) for c in block)
+                for block in learner.partition_.blocks
+            ),
+            weights=np.asarray(learner.weights_, dtype=float),
+            block_kernel=learner.block_kernel,
+            X=as_2d(learner._train_X),
+            train_diags=tuple(learner._train_diags),
+            estimator=learner._estimator,
+        )
+
+    # -- shape ---------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def classes(self) -> tuple:
+        return self.estimator.classes_
+
+    # -- offline reference predict path --------------------------------
+
+    def query_diags(self, X: np.ndarray) -> list[np.ndarray]:
+        """Per-block query normalisation diagonals for a batch.
+
+        Computed once per request batch coordinator-side and shipped
+        with the fan-out — they depend only on the query rows, never on
+        which strip answers.
+        """
+        return query_block_diags(as_2d(X), self.blocks, self.block_kernel)
+
+    def cross_gram(self, X: np.ndarray) -> np.ndarray:
+        """The full combined cross-Gram (reference, single strip)."""
+        X = as_2d(X)
+        return cross_gram_strip(
+            X,
+            self.X,
+            self.blocks,
+            self.weights,
+            self.block_kernel,
+            self.train_diags,
+            self.query_diags(X),
+        )
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed decision scores, bit-identical to the source learner."""
+        return self.estimator.decision_function(self.cross_gram(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels, bit-identical to the source learner."""
+        return self.estimator.predict(self.cross_gram(X))

@@ -1,0 +1,225 @@
+"""Versioned strip-model residency — the state one serving host holds.
+
+A :class:`StripModelStore` lives on every serving host — in-process for
+the serial plane, inside each dedicated process worker, and inside a
+cluster :class:`~repro.cluster.worker.WorkerServer` — and holds, per
+installed model *version*, the combined-model parameters plus the
+training-row strips (and their per-block normalisation diagonals) that
+host is responsible for.  Answering a request is then pure strip math:
+:func:`~repro.engine.cache.cross_gram_strip` against the resident rows,
+never an n×n materialisation.
+
+Versions are independent: installing version ``v+1`` never touches
+``v``, and a host keeps every installed version until an explicit
+``drop`` — which is what makes the plane's install-then-flip hot-swap
+atomic (a request pinned to version ``v`` is answerable throughout the
+swap; there is no in-place mutation to race against).
+
+This module deliberately imports nothing from :mod:`repro.cluster` (and
+uses string op names rather than wire frame types) so the cluster
+worker can embed it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.cache import cross_gram_strip
+
+__all__ = ["StripModelStore", "handle_serve_op"]
+
+
+@dataclass
+class _StoredVersion:
+    """One installed model version: parameters + this host's strips."""
+
+    blocks: tuple
+    weights: np.ndarray
+    block_kernel: object
+    rows: dict[int, np.ndarray] = field(default_factory=dict)
+    diags: dict[int, list[np.ndarray]] = field(default_factory=dict)
+
+    def resident_bytes(self) -> int:
+        total = sum(rows.nbytes for rows in self.rows.values())
+        for diags in self.diags.values():
+            total += sum(diag.nbytes for diag in diags)
+        return total
+
+
+class StripModelStore:
+    """Per-host store of installed model versions and their row strips."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._versions: dict[int, _StoredVersion] = {}
+
+    # -- install / drop ------------------------------------------------
+
+    def install(
+        self,
+        version: int,
+        blocks,
+        weights,
+        block_kernel,
+        strips: dict[int, dict],
+    ) -> dict:
+        """Install (or extend) a version with strip rows + diagonals.
+
+        ``strips`` maps strip index -> ``{"rows": ndarray, "diags":
+        [per-block diag slice, ...]}``.  Idempotent per strip, and
+        additive across calls — a re-replication after a holder death
+        installs only the missing strips.
+        """
+        version = int(version)
+        blocks = tuple(tuple(int(c) for c in block) for block in blocks)
+        weights = np.asarray(weights, dtype=float)
+        with self._lock:
+            stored = self._versions.get(version)
+            if stored is None:
+                stored = self._versions[version] = _StoredVersion(
+                    blocks=blocks, weights=weights, block_kernel=block_kernel
+                )
+            elif stored.blocks != blocks:
+                raise ValueError(
+                    f"version {version} already installed with different "
+                    "blocks; versions are immutable — publish a new one"
+                )
+            for strip, spec in strips.items():
+                strip = int(strip)
+                rows = np.asarray(spec["rows"], dtype=float)
+                diags = [np.asarray(d, dtype=float) for d in spec["diags"]]
+                if len(diags) != len(blocks):
+                    raise ValueError(
+                        f"strip {strip} shipped {len(diags)} diagonals for "
+                        f"{len(blocks)} blocks"
+                    )
+                if any(d.shape[0] != rows.shape[0] for d in diags):
+                    raise ValueError(
+                        f"strip {strip} diagonal length does not match its "
+                        f"{rows.shape[0]} resident rows"
+                    )
+                stored.rows[strip] = rows
+                stored.diags[strip] = diags
+            return {
+                "version": version,
+                "strips": sorted(stored.rows),
+                "resident_bytes": stored.resident_bytes(),
+            }
+
+    def drop(self, version: int) -> bool:
+        """Forget a version entirely; ``False`` if it was not resident."""
+        with self._lock:
+            return self._versions.pop(int(version), None) is not None
+
+    # -- request path --------------------------------------------------
+
+    def rows(
+        self,
+        version: int,
+        strips,
+        X_query: np.ndarray,
+        query_diags,
+    ) -> dict:
+        """Combined cross-Gram columns of a query batch, per strip.
+
+        The hot path: one :func:`cross_gram_strip` per requested strip
+        against this host's resident rows.  Requests for a version or
+        strip not resident here fail loudly — a routing bug must never
+        degrade into silently wrong predictions.
+        """
+        with self._lock:
+            stored = self._versions.get(int(version))
+        if stored is None:
+            raise ValueError(
+                f"model version {version} is not installed on this host"
+            )
+        X_query = np.asarray(X_query, dtype=float)
+        query_diags = [np.asarray(d, dtype=float) for d in query_diags]
+        out: dict[int, np.ndarray] = {}
+        for strip in strips:
+            strip = int(strip)
+            rows = stored.rows.get(strip)
+            if rows is None:
+                raise ValueError(
+                    f"strip {strip} of version {version} is not resident "
+                    "on this host"
+                )
+            out[strip] = cross_gram_strip(
+                X_query,
+                rows,
+                stored.blocks,
+                stored.weights,
+                stored.block_kernel,
+                stored.diags[strip],
+                query_diags,
+            )
+        return {"version": int(version), "strips": out}
+
+    # -- introspection -------------------------------------------------
+
+    def status(self) -> dict:
+        """Resident versions, their strips, and the bytes they hold."""
+        with self._lock:
+            return {
+                "versions": {
+                    version: sorted(stored.rows)
+                    for version, stored in self._versions.items()
+                },
+                "resident_bytes": sum(
+                    stored.resident_bytes()
+                    for stored in self._versions.values()
+                ),
+            }
+
+
+def handle_serve_op(
+    store: StripModelStore,
+    op: str,
+    payload: dict,
+    resident_X: np.ndarray | None = None,
+) -> dict:
+    """Shared serve-op dispatch for every transport's host side.
+
+    The serial plane, the process workers and the cluster
+    :class:`~repro.cluster.worker.WorkerServer` all route their decoded
+    serve payloads through this one function, so the semantics (and the
+    failure modes) cannot drift between backends.  ``resident_X`` is
+    the host's placement-resident training sample, if any: an install
+    whose strip ships ``rows=None`` reuses those rows in place instead
+    of having them cross the wire again.
+    """
+    if op == "install":
+        strips: dict[int, dict] = {}
+        for strip, spec in payload["strips"].items():
+            rows = spec["rows"]
+            if rows is None:
+                if resident_X is None:
+                    raise ValueError(
+                        "install asked to reuse resident sample rows, but "
+                        "no placement sample is resident on this host"
+                    )
+                start, stop = spec["sl"]
+                rows = resident_X[start:stop]
+            strips[strip] = {"rows": rows, "diags": spec["diags"]}
+        return store.install(
+            payload["version"],
+            payload["blocks"],
+            payload["weights"],
+            payload["block_kernel"],
+            strips,
+        )
+    if op == "rows":
+        return store.rows(
+            payload["version"],
+            payload["strips"],
+            payload["X"],
+            payload["query_diags"],
+        )
+    if op == "drop":
+        return {"dropped": store.drop(payload["version"])}
+    if op == "status":
+        return store.status()
+    raise ValueError(f"unknown serving op {op!r}")

@@ -555,3 +555,57 @@ class TestHarness:
         assert np.isfinite(result.best_score)
         backend.close()
         worker.stop()
+
+
+# ---------------------------------------------------------------------------
+# Serving plane under faults: a holder killed mid-serving re-routes
+# ---------------------------------------------------------------------------
+
+
+class TestServingFaultRow:
+    def test_holder_killed_mid_serving_rerouted_bit_identical(self, workload):
+        """The serving row of the fault matrix: a strip holder killed on
+        its first ``MSG_SERVE_ROWS`` frame resolves the in-flight request
+        *lost*, the placement promotes the surviving replica (booked in
+        the ledger), the strips are re-routed, and the response is still
+        bit-identical to the offline predict."""
+        from repro.cluster.protocol import MSG_SERVE_ROWS
+        from repro.core import FacetedLearner
+        from repro.iot import request_batches
+        from repro.serving import ServedModel, ServingPlane
+
+        learner = FacetedLearner(
+            strategy="chain", scorer="alignment", seed_block=SEED_BLOCK
+        )
+        learner.fit(workload.X, workload.y)
+        model = ServedModel.from_learner(learner)
+
+        faulty = FaultyWorker(
+            fault="kill", at_frame=1, count_types={MSG_SERVE_ROWS}
+        )
+        workers = [faulty, WorkerServer(), WorkerServer()]
+        for worker in workers:
+            worker.start_background()
+        plane = ServingPlane(
+            "sockets", workers=[w.address for w in workers], n_strips=3
+        )
+        try:
+            plane.publish(model)
+            batch = next(request_batches(workload.X, 24, 1, seed=9, noise=0.1))
+            reference = learner.predict(batch)
+            response = plane.classify(batch)  # faulty dies on this request
+            assert faulty._tripped.is_set()
+            assert np.array_equal(response.predictions, reference)
+            stats = plane.stats()
+            assert stats["n_dead_workers"] == 1
+            assert stats["n_promotions"] >= 1  # eviction booked
+            assert stats["n_reroutes"] >= 1
+            assert stats["n_gathers"] == 0
+            # Survivors keep answering bit-identically after the death.
+            again = plane.classify(batch)
+            assert np.array_equal(again.predictions, reference)
+            assert again.version == response.version
+        finally:
+            plane.close()
+            for worker in workers[1:]:
+                worker.stop()

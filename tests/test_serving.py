@@ -1,0 +1,694 @@
+"""Serving-plane acceptance suite: bit-identity, hot swap, faults.
+
+The contract under test:
+
+* **parity** — a batch answered by the plane is bit-identical to the
+  offline ``FacetedLearner.predict`` / ``ServedModel.predict``, on all
+  three backends, for fitted and randomly-constructed models, in the
+  exact and ``approx="landmarks"`` regimes;
+* **hot swap** — install-then-flip: every response carries exactly one
+  installed version, none are dropped, versions observed under
+  concurrent load are monotone across N swaps;
+* **faults** — a holder killed mid-serving re-routes to replicas and
+  the response stays bit-identical, with the eviction/promotion booked
+  in the ledger; losing every holder raises;
+* **ledger** — serve traffic is booked in its own wire bucket and the
+  plane's ``n_gathers`` is 0 (no gather code path exists).
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.lssvm import LSSVC
+from repro.cluster import SocketBackend, WorkerServer
+from repro.cluster.protocol import MSG_SERVE_ROWS
+from repro.core import FacetedLearner
+from repro.engine.cache import cross_gram_strip, query_block_diags
+from repro.iot import FacetSpec, make_faceted_classification, request_batches
+from repro.kernels.partition_kernel import default_block_kernel
+from repro.serving import (
+    ServedModel,
+    ServingError,
+    ServingPlane,
+    StripModelStore,
+    handle_serve_op,
+)
+
+# ---------------------------------------------------------------------------
+# Fixtures: one fitted model, one persistent plane per backend
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def workload():
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 3, role="noise"),
+    ]
+    return make_faceted_classification(120, specs, seed=4)
+
+
+@pytest.fixture(scope="module")
+def learner(workload):
+    fitted = FacetedLearner(
+        strategy="chain", scorer="alignment", seed_block=(0, 1)
+    )
+    return fitted.fit(workload.X, workload.y)
+
+
+@pytest.fixture(scope="module")
+def model(learner):
+    return ServedModel.from_learner(learner)
+
+
+@pytest.fixture(scope="module")
+def queries(workload):
+    return next(request_batches(workload.X, 16, 1, seed=5, noise=0.1))
+
+
+@pytest.fixture(scope="module")
+def serial_plane():
+    with ServingPlane("serial") as plane:
+        yield plane
+
+
+@pytest.fixture(scope="module")
+def process_plane():
+    with ServingPlane("processes", n_workers=2, n_strips=2) as plane:
+        yield plane
+
+
+@pytest.fixture(scope="module")
+def socket_plane():
+    servers = [WorkerServer() for _ in range(3)]
+    for server in servers:
+        server.start_background()
+    plane = ServingPlane(
+        "sockets", workers=[s.address for s in servers], n_strips=3
+    )
+    yield plane
+    plane.close()
+    for server in servers:
+        server.stop()
+
+
+PLANES = ["serial_plane", "process_plane", "socket_plane"]
+
+
+def _random_model(seed, n_features=5, n_train=40):
+    """A model with a random partition and random weights — built
+    directly (not searched) so hypothesis can sweep the space."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 3, size=n_features)
+    blocks = tuple(
+        tuple(int(i) for i in np.flatnonzero(labels == b))
+        for b in range(3)
+        if np.any(labels == b)
+    )
+    weights = rng.uniform(0.2, 2.0, size=len(blocks))
+    X = rng.normal(size=(n_train, n_features))
+    y = np.where(X[:, 0] - 0.5 * X[:, 1] > 0, 1, -1)
+    diags = query_block_diags(X, blocks, default_block_kernel)
+    gram = cross_gram_strip(
+        X, X, blocks, weights, default_block_kernel, diags, diags
+    )
+    estimator = LSSVC("precomputed", gamma=5.0).fit(gram, y)
+    queries = rng.normal(size=(11, n_features))
+    served = ServedModel(
+        blocks=blocks,
+        weights=weights,
+        block_kernel=default_block_kernel,
+        X=X,
+        train_diags=tuple(diags),
+        estimator=estimator,
+    )
+    return served, queries
+
+
+# ---------------------------------------------------------------------------
+# ServedModel
+# ---------------------------------------------------------------------------
+
+
+class TestServedModel:
+    def test_from_unfitted_learner_raises(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            ServedModel.from_learner(FacetedLearner())
+
+    def test_predict_bit_identical_to_learner(self, learner, model, queries):
+        assert np.array_equal(model.predict(queries), learner.predict(queries))
+
+    def test_decision_function_bit_identical(self, learner, model, queries):
+        assert np.array_equal(
+            model.decision_function(queries),
+            learner.decision_function(queries),
+        )
+
+    def test_shape_properties(self, workload, model):
+        assert model.n_samples == workload.X.shape[0]
+        assert model.n_features == workload.X.shape[1]
+        assert model.classes == model.estimator.classes_
+
+    def test_diag_validation(self, model):
+        with pytest.raises(ValueError, match="diagonal"):
+            ServedModel(
+                blocks=model.blocks,
+                weights=model.weights,
+                block_kernel=model.block_kernel,
+                X=model.X,
+                train_diags=model.train_diags[:-1],
+                estimator=model.estimator,
+            )
+
+    def test_pickle_roundtrip_predicts_identically(self, model, queries):
+        clone = pickle.loads(pickle.dumps(model))
+        assert np.array_equal(clone.predict(queries), model.predict(queries))
+        assert np.array_equal(
+            clone.decision_function(queries), model.decision_function(queries)
+        )
+
+
+# ---------------------------------------------------------------------------
+# StripModelStore (host-side unit surface)
+# ---------------------------------------------------------------------------
+
+
+def _strip_spec(model, start, stop):
+    return {
+        "rows": model.X[start:stop],
+        "diags": [d[start:stop] for d in model.train_diags],
+    }
+
+
+class TestStripModelStore:
+    def test_rows_match_reference_columns(self, model, queries):
+        store = StripModelStore()
+        store.install(
+            1,
+            model.blocks,
+            model.weights,
+            model.block_kernel,
+            {0: _strip_spec(model, 0, 50), 1: _strip_spec(model, 50, model.n_samples)},
+        )
+        reference = model.cross_gram(queries)
+        reply = store.rows(1, [0, 1], queries, model.query_diags(queries))
+        assert reply["version"] == 1
+        assert np.array_equal(reply["strips"][0], reference[:, 0:50])
+        assert np.array_equal(reply["strips"][1], reference[:, 50:])
+
+    def test_versions_are_immutable(self, model):
+        store = StripModelStore()
+        store.install(1, model.blocks, model.weights, model.block_kernel, {})
+        with pytest.raises(ValueError, match="immutable"):
+            store.install(
+                1, model.blocks[:-1], model.weights, model.block_kernel, {}
+            )
+
+    def test_install_is_additive_and_idempotent(self, model):
+        store = StripModelStore()
+        first = store.install(
+            1,
+            model.blocks,
+            model.weights,
+            model.block_kernel,
+            {0: _strip_spec(model, 0, 30)},
+        )
+        assert first["strips"] == [0]
+        second = store.install(
+            1,
+            model.blocks,
+            model.weights,
+            model.block_kernel,
+            {0: _strip_spec(model, 0, 30), 2: _strip_spec(model, 60, 90)},
+        )
+        assert second["strips"] == [0, 2]
+        assert second["resident_bytes"] > first["resident_bytes"]
+
+    def test_unknown_version_raises(self, model, queries):
+        store = StripModelStore()
+        with pytest.raises(ValueError, match="not installed"):
+            store.rows(7, [0], queries, model.query_diags(queries))
+
+    def test_unknown_strip_raises(self, model, queries):
+        store = StripModelStore()
+        store.install(
+            1,
+            model.blocks,
+            model.weights,
+            model.block_kernel,
+            {0: _strip_spec(model, 0, 30)},
+        )
+        with pytest.raises(ValueError, match="strip 5"):
+            store.rows(1, [5], queries, model.query_diags(queries))
+
+    def test_drop_semantics(self, model):
+        store = StripModelStore()
+        store.install(2, model.blocks, model.weights, model.block_kernel, {})
+        assert store.drop(2) is True
+        assert store.drop(2) is False
+
+    def test_diag_count_mismatch_raises(self, model):
+        bad = {"rows": model.X[:10], "diags": [model.train_diags[0][:10]] * 5}
+        store = StripModelStore()
+        with pytest.raises(ValueError, match="diagonals"):
+            store.install(
+                1, model.blocks, model.weights, model.block_kernel, {0: bad}
+            )
+
+    def test_status_reports_residency(self, model):
+        store = StripModelStore()
+        store.install(
+            1,
+            model.blocks,
+            model.weights,
+            model.block_kernel,
+            {1: _strip_spec(model, 0, 40)},
+        )
+        status = store.status()
+        assert status["versions"] == {1: [1]}
+        assert status["resident_bytes"] > 0
+
+    def test_handle_serve_op_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown serving op"):
+            handle_serve_op(StripModelStore(), "gather", {})
+
+    def test_resident_reuse_requires_sample(self, model):
+        payload = {
+            "version": 1,
+            "blocks": model.blocks,
+            "weights": model.weights,
+            "block_kernel": model.block_kernel,
+            "strips": {0: {"sl": (0, 30), "rows": None, "diags": [d[:30] for d in model.train_diags]}},
+        }
+        with pytest.raises(ValueError, match="resident"):
+            handle_serve_op(StripModelStore(), "install", payload)
+        reply = handle_serve_op(
+            StripModelStore(), "install", payload, resident_X=model.X
+        )
+        assert reply["strips"] == [0]
+
+
+# ---------------------------------------------------------------------------
+# Parity: served responses bit-identical to the offline predict
+# ---------------------------------------------------------------------------
+
+
+class TestServingParity:
+    @pytest.mark.parametrize("plane_name", PLANES)
+    def test_fitted_model_parity(
+        self, request, plane_name, learner, model, workload
+    ):
+        plane = request.getfixturevalue(plane_name)
+        plane.publish(model)
+        for batch in request_batches(workload.X, 20, 3, seed=2, noise=0.05):
+            response = plane.classify(batch)
+            assert np.array_equal(response.predictions, learner.predict(batch))
+            assert np.array_equal(
+                response.decisions, learner.decision_function(batch)
+            )
+
+    @pytest.mark.parametrize("plane_name", PLANES)
+    def test_landmark_regime_parity(self, request, plane_name, workload):
+        """A landmark-approximated *search* serves bit-identically: the
+        final model is always trained on exact Grams."""
+        fitted = FacetedLearner(
+            strategy="chain",
+            scorer="alignment",
+            seed_block=(0, 1),
+            approx="landmarks",
+            n_landmarks=32,
+        )
+        fitted.fit(workload.X, workload.y)
+        plane = request.getfixturevalue(plane_name)
+        plane.publish(ServedModel.from_learner(fitted))
+        batch = next(request_batches(workload.X, 25, 1, seed=3, noise=0.1))
+        response = plane.classify(batch)
+        assert np.array_equal(response.predictions, fitted.predict(batch))
+        assert np.array_equal(
+            response.decisions, fitted.decision_function(batch)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_random_model_parity_serial(self, serial_plane, seed):
+        served, batch = _random_model(seed)
+        serial_plane.publish(served)
+        response = serial_plane.classify(batch)
+        assert np.array_equal(response.predictions, served.predict(batch))
+        assert np.array_equal(
+            response.decisions, served.decision_function(batch)
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_random_model_parity_processes(self, process_plane, seed):
+        served, batch = _random_model(seed)
+        process_plane.publish(served)
+        response = process_plane.classify(batch)
+        assert np.array_equal(response.predictions, served.predict(batch))
+        assert np.array_equal(
+            response.decisions, served.decision_function(batch)
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_random_model_parity_sockets(self, socket_plane, seed):
+        served, batch = _random_model(seed)
+        socket_plane.publish(served)
+        response = socket_plane.classify(batch)
+        assert np.array_equal(response.predictions, served.predict(batch))
+        assert np.array_equal(
+            response.decisions, served.decision_function(batch)
+        )
+
+    def test_score_and_classify_agree(self, serial_plane, model, queries):
+        serial_plane.publish(model)
+        scored = serial_plane.score(queries)
+        classified = serial_plane.classify(queries)
+        assert np.array_equal(scored.decisions, classified.decisions)
+        assert np.array_equal(scored.predictions, classified.predictions)
+        assert scored.n_requests == queries.shape[0]
+
+
+# ---------------------------------------------------------------------------
+# Plane lifecycle and validation
+# ---------------------------------------------------------------------------
+
+
+class TestPlaneValidation:
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown serving backend"):
+            ServingPlane("quantum")
+
+    def test_sockets_needs_workers_or_backend(self):
+        with pytest.raises(ValueError, match="workers"):
+            ServingPlane("sockets")
+
+    def test_serve_without_model_raises(self):
+        with ServingPlane("serial") as plane:
+            with pytest.raises(ServingError, match="no active model"):
+                plane.classify(np.zeros((1, 3)))
+
+    def test_feature_mismatch_raises(self, model):
+        with ServingPlane("serial") as plane:
+            plane.publish(model)
+            with pytest.raises(ServingError, match="features"):
+                plane.classify(np.zeros((2, model.n_features + 1)))
+
+    def test_reuse_resident_requires_sockets(self, model):
+        with ServingPlane("serial") as plane:
+            with pytest.raises(ServingError, match="sockets"):
+                plane.install(model, reuse_resident=True)
+
+    def test_stats_report_zero_gathers(self, serial_plane):
+        stats = serial_plane.stats()
+        assert stats["n_gathers"] == 0
+        assert stats["n_rows_served"] >= 0
+
+
+# ---------------------------------------------------------------------------
+# Hot swap: install-then-flip, exactly one version per response
+# ---------------------------------------------------------------------------
+
+
+class TestHotSwap:
+    def test_install_does_not_activate(self, model, queries):
+        with ServingPlane("serial") as plane:
+            v1 = plane.publish(model)
+            v2 = plane.install(model)
+            assert plane.active_version == v1
+            assert plane.classify(queries).version == v1
+            plane.activate(v2)
+            assert plane.classify(queries).version == v2
+
+    def test_activate_unknown_version_raises(self):
+        with ServingPlane("serial") as plane:
+            with pytest.raises(ServingError, match="not installed"):
+                plane.activate(3)
+
+    def test_retire_active_raises(self, model):
+        with ServingPlane("serial") as plane:
+            version = plane.publish(model)
+            with pytest.raises(ServingError, match="active"):
+                plane.retire(version)
+
+    def test_retire_drops_everywhere(self, model, queries):
+        with ServingPlane("serial") as plane:
+            v1 = plane.publish(model)
+            v2 = plane.publish(model)
+            plane.retire(v1)
+            assert plane.versions == (v2,)
+            assert plane.classify(queries).version == v2
+            with pytest.raises(ServingError, match="not installed"):
+                plane.retire(v1)
+
+    def test_swap_counter(self, model):
+        with ServingPlane("serial") as plane:
+            v1 = plane.publish(model)
+            assert plane.stats()["n_swaps"] == 0  # first activation: no swap
+            plane.activate(v1)
+            assert plane.stats()["n_swaps"] == 0  # re-activate: no swap
+            plane.publish(model)
+            assert plane.stats()["n_swaps"] == 1
+
+    def test_swap_atomicity_under_concurrent_load(self, model, workload):
+        """The satellite's load-generator row: responses under N
+        concurrent swaps each carry exactly one installed version, none
+        are dropped, versions are monotone, and every prediction stays
+        bit-identical (all versions hold the same model)."""
+        n_swaps = 5
+        batch = next(request_batches(workload.X, 10, 1, seed=6))
+        reference = model.predict(batch)
+        with ServingPlane("serial") as plane:
+            first = plane.publish(model)
+            responses = []
+            attempts = 0
+            errors = []
+            stop = threading.Event()
+
+            def generate_load():
+                nonlocal attempts
+                while not stop.is_set():
+                    attempts += 1
+                    try:
+                        responses.append(plane.classify(batch))
+                    except Exception as error:  # pragma: no cover
+                        errors.append(error)
+                        return
+
+            thread = threading.Thread(target=generate_load)
+            thread.start()
+            published = [first]
+            try:
+                for _ in range(n_swaps):
+                    published.append(plane.publish(model))
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+            assert not errors
+            assert not thread.is_alive()
+            # None dropped: every admitted request produced a response.
+            assert len(responses) == attempts
+            versions = [r.version for r in responses]
+            assert set(versions) <= set(published)
+            assert versions == sorted(versions)  # flips never roll back
+            for response in responses:
+                assert np.array_equal(response.predictions, reference)
+            assert plane.active_version == published[-1]
+            assert plane.stats()["n_swaps"] == n_swaps
+
+
+# ---------------------------------------------------------------------------
+# Faults: holders dying mid-serving
+# ---------------------------------------------------------------------------
+
+
+class _KillOnServeWorker(WorkerServer):
+    """Dies (no reply, sockets torn down) on its first rows request."""
+
+    def _dispatch(self, conn, msg_type, payload, auth=None):
+        if msg_type == MSG_SERVE_ROWS:
+            WorkerServer.stop(self)
+            return False
+        return super()._dispatch(conn, msg_type, payload, auth)
+
+
+class TestServingFaults:
+    def test_socket_holder_killed_mid_serving(self, learner, model, workload):
+        killer = _KillOnServeWorker()
+        workers = [killer, WorkerServer(), WorkerServer()]
+        for worker in workers:
+            worker.start_background()
+        plane = ServingPlane(
+            "sockets", workers=[w.address for w in workers], n_strips=3
+        )
+        try:
+            plane.publish(model)
+            batch = next(request_batches(workload.X, 15, 1, seed=8, noise=0.1))
+            response = plane.classify(batch)  # killer dies mid-request
+            assert np.array_equal(response.predictions, learner.predict(batch))
+            stats = plane.stats()
+            assert stats["n_dead_workers"] == 1
+            assert stats["n_promotions"] >= 1
+            assert stats["n_reroutes"] >= 1
+        finally:
+            plane.close()
+            for worker in workers[1:]:
+                worker.stop()
+
+    def test_process_worker_killed_rerouted(self, model, workload):
+        with ServingPlane("processes", n_workers=3, n_strips=3) as plane:
+            plane.publish(model)
+            plane._transport.kill(0)
+            batch = next(request_batches(workload.X, 12, 1, seed=9))
+            response = plane.classify(batch)
+            assert np.array_equal(response.predictions, model.predict(batch))
+            assert plane.stats()["n_promotions"] >= 1
+
+    def test_losing_every_holder_raises(self, model, workload):
+        with ServingPlane("processes", n_workers=2, n_strips=2) as plane:
+            plane.publish(model)
+            plane._transport.kill(0)
+            plane._transport.kill(1)
+            with pytest.raises(ServingError, match="no .*holder|lost"):
+                plane.classify(workload.X[:3])
+
+    def test_install_on_degraded_fleet_raises(self, model):
+        with ServingPlane(
+            "processes", n_workers=2, n_strips=2, replication=1
+        ) as plane:
+            plane.publish(model)
+            plane._transport.kill(1)
+            # replication=1: the kill loses strip 1 outright (and books
+            # the death while resolving the request).
+            with pytest.raises(ServingError, match="no surviving holder"):
+                plane.classify(model.X[:2])
+            with pytest.raises(ServingError, match="degraded"):
+                plane.install(model)
+
+
+# ---------------------------------------------------------------------------
+# Sockets specifics: resident reuse + the wire ledger
+# ---------------------------------------------------------------------------
+
+
+class TestSocketsServing:
+    def test_resident_reuse_skips_row_shipping(self, workload):
+        servers = [WorkerServer() for _ in range(2)]
+        for server in servers:
+            server.start_background()
+        backend = SocketBackend(workers=[s.address for s in servers])
+        try:
+            fitted = FacetedLearner(
+                strategy="chain",
+                scorer="alignment",
+                seed_block=(0, 1),
+                backend=backend,
+                shards=2,
+            )
+            fitted.fit(workload.X, workload.y)
+            served = ServedModel.from_learner(fitted)
+            batch = next(request_batches(workload.X, 10, 1, seed=10))
+            with ServingPlane(
+                "sockets", socket_backend=backend, n_strips=2
+            ) as plane:
+                plane.publish(served, reuse_resident=True)
+                resident_bytes = plane.stats()["serve_bytes_out"]
+                response = plane.classify(batch)
+                assert np.array_equal(
+                    response.predictions, fitted.predict(batch)
+                )
+                plane.publish(served)  # rows shipped this time
+                shipped_bytes = (
+                    plane.stats()["serve_bytes_out"]
+                    - plane.stats()["n_rows_served"] * 0
+                )
+            # The resident-reuse install is much lighter than a shipped one.
+            assert resident_bytes * 2 < shipped_bytes
+        finally:
+            backend.close()
+            for server in servers:
+                server.stop()
+
+    def test_serve_traffic_booked_in_own_bucket(self, socket_plane, model):
+        socket_plane.publish(model)
+        before = socket_plane.stats()
+        socket_plane.classify(model.X[:5])
+        after = socket_plane.stats()
+        assert after["serve_bytes_out"] > before["serve_bytes_out"]
+        assert after["serve_bytes_in"] > before["serve_bytes_in"]
+        assert after["n_gathers"] == 0
+        wire = socket_plane._transport.coordinator.wire_stats()
+        assert wire["n_requests"] >= after["n_requests"] - 2  # serial/proc share counters
+
+    def test_host_status_reports_residency(self, socket_plane, model):
+        version = socket_plane.publish(model)
+        statuses = [s for s in socket_plane.host_status() if s is not None]
+        assert statuses
+        held = set()
+        for status in statuses:
+            assert version in status["versions"]
+            held.update(status["versions"][version])
+        assert held == set(range(socket_plane.n_strips))
+
+    def test_authenticated_serving(self, model, workload):
+        """Serve frames carry the HMAC trailer end to end."""
+        servers = [WorkerServer(secret="s3cret") for _ in range(2)]
+        for server in servers:
+            server.start_background()
+        plane = ServingPlane(
+            "sockets",
+            workers=[s.address for s in servers],
+            secret="s3cret",
+            n_strips=2,
+        )
+        try:
+            plane.publish(model)
+            batch = next(request_batches(workload.X, 8, 1, seed=12))
+            response = plane.classify(batch)
+            assert np.array_equal(response.predictions, model.predict(batch))
+        finally:
+            plane.close()
+            for server in servers:
+                server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic serving traffic (repro.iot.request_batches)
+# ---------------------------------------------------------------------------
+
+
+class TestRequestBatches:
+    def test_same_seed_same_traffic(self, workload):
+        a = list(request_batches(workload.X, 7, 4, seed=3, noise=0.2))
+        b = list(request_batches(workload.X, 7, 4, seed=3, noise=0.2))
+        assert len(a) == len(b) == 4
+        for batch_a, batch_b in zip(a, b):
+            assert np.array_equal(batch_a, batch_b)
+
+    def test_different_seed_differs(self, workload):
+        a = next(request_batches(workload.X, 7, 1, seed=3))
+        b = next(request_batches(workload.X, 7, 1, seed=4))
+        assert not np.array_equal(a, b)
+
+    def test_zero_noise_rows_come_from_sample(self, workload):
+        batch = next(request_batches(workload.X, 9, 1, seed=0))
+        sample = {row.tobytes() for row in workload.X}
+        assert all(row.tobytes() in sample for row in batch)
+
+    def test_shapes(self, workload):
+        batches = list(request_batches(workload.X, 5, 3, seed=1))
+        assert [b.shape for b in batches] == [(5, workload.X.shape[1])] * 3
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            next(request_batches(workload.X, 0, 1))
+        with pytest.raises(ValueError):
+            next(request_batches(np.zeros((0, 3)), 2, 1))
+        with pytest.raises(ValueError):
+            next(request_batches(np.zeros(5), 2, 1))
