@@ -33,16 +33,24 @@ Two resilience sections record the cost of the fault-tolerance layer:
   the ledger records the auth overhead, the replica promotion, and the
   bytes re-replication shipped to restore redundancy.
 
+With ``--trace`` the resilience scenario is run a second time with the
+global span tracer on, and a ``telemetry`` section records the traced
+vs untraced wall clock (the tracer's contract is bit-identical scores
+and low single-digit-percent overhead even on the kill-mid-search
+path) plus the span count the run produced.
+
 Writes ``BENCH_backends.json`` at the repo root (cited by README.md).
 
-Run standalone:  python benchmarks/bench_backends.py
+Run standalone:  python benchmarks/bench_backends.py [--trace]
 """
 
+import argparse
 import json
 import os
 import time
 from pathlib import Path
 
+from repro import telemetry
 from repro.cluster import SocketBackend, spawn_local_workers
 from repro.combinatorics import cone_partitions
 from repro.engine import (
@@ -106,6 +114,38 @@ def _wire_row(wire: dict) -> dict:
     }
 
 
+def _resilience_run(workload, picks, expected_scores):
+    """One authenticated placed run with a strip owner killed mid-search.
+
+    Returns ``(wall_clock_s, wire_ledger)``; asserts the scores stayed
+    bit-identical to the in-process sharded reference.
+    """
+    with spawn_local_workers(3, secret=RESILIENCE_SECRET) as cluster:
+        backend = SocketBackend(
+            workers=cluster.addresses,
+            secret=RESILIENCE_SECRET,
+            heartbeat_interval=0.1,
+            heartbeat_timeout=5.0,
+            replication=2,
+        )
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=4
+        )
+        start = time.perf_counter()
+        scores = list(engine.score_batch(picks[:5]))
+        cluster.kill(0)  # hard-kill a strip owner mid-search
+        scores += engine.score_batch(picks[5:])
+        engine.gram_cache.wait_replication(timeout=60.0)
+        elapsed = time.perf_counter() - start
+        wire = engine.wire_stats
+        backend.close()
+    assert scores == expected_scores, (
+        "resilient placed scores must be bit-identical to the in-process "
+        "sharded reference, dead strip owner included"
+    )
+    return elapsed, wire
+
+
 def _timed_search(workload, **search_kwargs):
     search = PartitionMKLSearch(engine_mode="incremental", **search_kwargs)
     start = time.perf_counter()
@@ -113,7 +153,7 @@ def _timed_search(workload, **search_kwargs):
     return result, time.perf_counter() - start
 
 
-def run() -> dict:
+def run(trace: bool = False) -> dict:
     workload = _workload()
     rest_size = workload.n_features - len(SEED_BLOCK)
 
@@ -224,28 +264,8 @@ def run() -> dict:
         gram_cache=ShardedGramCache(workload.X, n_shards=4),
     )
     expected_scores = sharded_ref.score_batch(picks)
-    with spawn_local_workers(3, secret=RESILIENCE_SECRET) as cluster:
-        resilient_backend = SocketBackend(
-            workers=cluster.addresses,
-            secret=RESILIENCE_SECRET,
-            heartbeat_interval=0.1,
-            heartbeat_timeout=5.0,
-            replication=2,
-        )
-        engine = KernelEvaluationEngine(
-            workload.X, workload.y, backend=resilient_backend, shards=4
-        )
-        start = time.perf_counter()
-        resilient_scores = list(engine.score_batch(picks[:5]))
-        cluster.kill(0)  # hard-kill a strip owner mid-search
-        resilient_scores += engine.score_batch(picks[5:])
-        engine.gram_cache.wait_replication(timeout=60.0)
-        resilient_s = time.perf_counter() - start
-        resilience_wire = engine.wire_stats
-        resilient_backend.close()
-    assert resilient_scores == expected_scores, (
-        "resilient placed scores must be bit-identical to the in-process "
-        "sharded reference, dead strip owner included"
+    resilient_s, resilience_wire = _resilience_run(
+        workload, picks, expected_scores
     )
     assert resilience_wire["n_promotions"] >= 1
     assert resilience_wire["n_strip_rebuilds"] == 0
@@ -263,6 +283,34 @@ def run() -> dict:
         "scores_bit_identical_to_sharded": True,
         "wire": _wire_row(resilience_wire),
     }
+
+    # Tracer overhead on the hardest row: rerun the kill-mid-search
+    # scenario with the global span tracer on.  Scores must stay
+    # bit-identical (the _resilience_run assert) and the wall-clock
+    # delta is the measured cost of telemetry on a fully loaded
+    # authenticated socket path.
+    telemetry_section = None
+    if trace:
+        tracer = telemetry.enable_tracing(clear=True)
+        try:
+            traced_s, traced_wire = _resilience_run(
+                workload, picks, expected_scores
+            )
+            n_spans = len(tracer.records())
+        finally:
+            telemetry.disable_tracing()
+        assert n_spans > 0, "traced resilience run recorded no spans"
+        assert traced_wire["n_promotions"] >= 1
+        telemetry_section = {
+            "scenario": "resilience (sockets, auth + heartbeats, "
+            "strip owner killed mid-search)",
+            "untraced_wall_clock_s": resilient_s,
+            "traced_wall_clock_s": traced_s,
+            "overhead_pct": 100.0 * (traced_s - resilient_s) / resilient_s,
+            "target_overhead_pct": 5.0,
+            "n_span_records": n_spans,
+            "scores_bit_identical_traced": True,
+        }
 
     # Speculative strategy batching: the sequential searches (chain
     # walks, best-first) submit one score — or one frontier — between
@@ -352,7 +400,7 @@ def run() -> dict:
     assert landmark["n_matrix_ops"] == 0
     assert landmark["n_gram_computations"] == 0
 
-    return {
+    report = {
         "benchmark": "bench_backends",
         "workload": f"2+2 facets + 4 noise, n={N_SAMPLES}, rest={rest_size}",
         "n_configurations": serial.n_evaluations,
@@ -388,14 +436,17 @@ def run() -> dict:
             "n_matrix_ops": sharded.n_matrix_ops,
         },
     }
+    if telemetry_section is not None:
+        report["telemetry"] = telemetry_section
+    return report
 
 
 def write_results(report: dict) -> None:
     RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
 
-def print_report() -> None:
-    report = run()
+def print_report(trace: bool = False) -> None:
+    report = run(trace=trace)
     write_results(report)
     print(
         f"BACKEND COMPARISON — exhaustive cone, "
@@ -446,6 +497,15 @@ def print_report() -> None:
             f"  wasted={rows['on']['speculation']['wasted_bytes']}B"
             "  (bit-identical)"
         )
+    if "telemetry" in report:
+        tele = report["telemetry"]
+        print(
+            f"  tracer overhead       {tele['untraced_wall_clock_s']:.3f}s"
+            f" -> {tele['traced_wall_clock_s']:.3f}s traced"
+            f"  ({tele['overhead_pct']:+.1f}%,"
+            f" target <{tele['target_overhead_pct']:.0f}%)"
+            f"  spans={tele['n_span_records']}  (bit-identical)"
+        )
     landmark = report["landmark"]
     print(
         f"  landmark(m={landmark['n_landmarks']})"
@@ -463,4 +523,11 @@ def print_report() -> None:
 
 
 if __name__ == "__main__":
-    print_report()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="rerun the kill-mid-search resilience scenario with the span "
+        "tracer on and record the overhead in a 'telemetry' section",
+    )
+    print_report(trace=parser.parse_args().trace)

@@ -16,19 +16,26 @@ records, per backend and per batch size:
   and a hot-swap row (swap mid-traffic, no dropped or mixed-version
   responses).
 
+With ``--trace`` the whole replay runs with the global span tracer on
+(per-batch parity is still asserted, so the run doubles as telemetry
+bit-identity evidence under load) and a ``telemetry`` section records
+the span counts per serving span name.
+
 Writes ``BENCH_serving.json`` at the repo root (cited by README.md).
 
-Run standalone:  python benchmarks/bench_serving.py
+Run standalone:  python benchmarks/bench_serving.py [--trace]
 Smoke mode (CI): python benchmarks/bench_serving.py --smoke
 """
 
 import argparse
 import json
 import time
+from collections import Counter
 from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.cluster import WorkerServer
 from repro.core import FacetedLearner
 from repro.iot import FacetSpec, make_faceted_classification, request_batches
@@ -103,10 +110,13 @@ def _swap_run(plane, model, learner, X, batch_size, n_batches):
     }
 
 
-def run(smoke: bool = False) -> dict:
+def run(smoke: bool = False, trace: bool = False) -> dict:
     train_n = SMOKE_TRAIN_N if smoke else TRAIN_N
     batch_sizes = SMOKE_BATCH_SIZES if smoke else BATCH_SIZES
     n_batches = SMOKE_N_BATCHES if smoke else N_BATCHES
+
+    if trace:
+        telemetry.enable_tracing(clear=True)
 
     workload = make_faceted_classification(train_n, SPECS, seed=3)
     learner = FacetedLearner(
@@ -155,7 +165,7 @@ def run(smoke: bool = False) -> dict:
             for server in servers:
                 server.stop()
 
-    return {
+    report = {
         "benchmark": "bench_serving",
         "smoke": smoke,
         "workload": f"2+2 facets + 2 noise, n={train_n}, seed=3",
@@ -166,10 +176,23 @@ def run(smoke: bool = False) -> dict:
         "batch_sizes": list(batch_sizes),
         "backends": backends,
     }
+    if trace:
+        records = telemetry.get_tracer().records()
+        telemetry.disable_tracing()
+        names = Counter(
+            rec["name"] for rec in records if rec["name"].startswith("serve.")
+        )
+        assert names, "traced serving replay recorded no serve.* spans"
+        report["telemetry"] = {
+            "n_span_records": len(records),
+            "serve_spans": dict(sorted(names.items())),
+            "parity_asserted_per_batch_while_traced": True,
+        }
+    return report
 
 
-def print_report(smoke: bool = False) -> None:
-    report = run(smoke=smoke)
+def print_report(smoke: bool = False, trace: bool = False) -> None:
+    report = run(smoke=smoke, trace=trace)
     RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"SERVING — {report['workload']}{' (smoke)' if smoke else ''}")
     for backend in report["backends"]:
@@ -197,6 +220,15 @@ def print_report(smoke: bool = False) -> None:
             f"{swap['responses']} responses, versions "
             f"{swap['versions_observed']} (monotone, none dropped)"
         )
+    if "telemetry" in report:
+        tele = report["telemetry"]
+        spans = ", ".join(
+            f"{name}={count}" for name, count in tele["serve_spans"].items()
+        )
+        print(
+            f"  traced: {tele['n_span_records']} span records ({spans}); "
+            "per-batch parity held with tracing on"
+        )
     print(f"  wrote {RESULTS_PATH.name}")
 
 
@@ -207,4 +239,11 @@ if __name__ == "__main__":
         action="store_true",
         help="tiny sweep for CI: fewer batches, smaller sample",
     )
-    print_report(smoke=parser.parse_args().smoke)
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run the replay with the span tracer on and record serve.* "
+        "span counts in a 'telemetry' section",
+    )
+    args = parser.parse_args()
+    print_report(smoke=args.smoke, trace=args.trace)

@@ -57,6 +57,7 @@ from __future__ import annotations
 import select
 import socket
 import threading
+import time
 from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 
@@ -78,6 +79,7 @@ from repro.cluster.protocol import (
     wire_category,
 )
 from repro.engine.tasks import WorkerCrashError, decode_result
+from repro.telemetry import get_tracer, merge_counts
 
 __all__ = ["WorkerLink", "Coordinator", "parse_address", "RemoteTaskError"]
 
@@ -361,6 +363,15 @@ class Coordinator:
         self.n_speculative_tasks = 0
         self.n_discarded_results = 0
         self.n_requests = 0
+        # Per-ticket lifecycle stamps (queued -> wired -> scored ->
+        # consumed), recorded only while the tracer is enabled: each
+        # consumed ticket becomes one "cluster.ticket" span.  Purely
+        # observational — no scheduling decision ever reads them.
+        self._ticket_times: dict[int, dict] = {}
+        # Bytes spent by fleet_status polls: the poll links are
+        # ephemeral (closed before the poll returns), so their ledgers
+        # are folded in here instead of the link sweep above.
+        self._poll_wire = {"telemetry_bytes_out": 0, "telemetry_bytes_in": 0}
 
     # -- fleet bookkeeping ---------------------------------------------
 
@@ -508,8 +519,18 @@ class Coordinator:
                     with self._state_lock:
                         self._hb_links[index] = link
                 try:
+                    t0 = time.perf_counter()
                     link.request(MSG_PING, b"", MSG_PONG)
                     self.n_heartbeats += 1
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        tracer.record_span(
+                            "cluster.heartbeat",
+                            t0,
+                            time.perf_counter(),
+                            cat="cluster",
+                            worker=index,
+                        )
                 except (ProtocolError, OSError):
                     link.close()
                     self._evict(index)
@@ -524,6 +545,9 @@ class Coordinator:
         ever mutated from one thread.
         """
         self.n_evicted += 1
+        get_tracer().event(
+            "cluster.evict", cat="cluster", worker=worker_index
+        )
         with self._state_lock:
             self._evicted_pending.add(worker_index)
         for channel in list(self._channels):
@@ -686,10 +710,8 @@ class Coordinator:
             # dict() snapshots are single C-level copies (atomic under
             # the GIL); iterating the live dicts would race the
             # heartbeat/replicator threads' first write of a bucket.
-            for bucket, count in dict(link.bytes_out).items():
-                totals_out[bucket] = totals_out.get(bucket, 0) + count
-            for bucket, count in dict(link.bytes_in).items():
-                totals_in[bucket] = totals_in.get(bucket, 0) + count
+            merge_counts(totals_out, dict(link.bytes_out))
+            merge_counts(totals_in, dict(link.bytes_in))
             auth_out += link.auth_bytes_out
             auth_in += link.auth_bytes_in
         return {
@@ -714,9 +736,33 @@ class Coordinator:
             "heartbeat_bytes_in": totals_in.get("heartbeat", 0),
             "replication_bytes_out": totals_out.get("replication", 0),
             "replication_bytes_in": totals_in.get("replication", 0),
+            "telemetry_bytes_out": totals_out.get("telemetry", 0)
+            + self._poll_wire["telemetry_bytes_out"],
+            "telemetry_bytes_in": totals_in.get("telemetry", 0)
+            + self._poll_wire["telemetry_bytes_in"],
             "auth_bytes_out": auth_out,
             "auth_bytes_in": auth_in,
         }
+
+    def fleet_status(self, timeout: float = 5.0):
+        """Poll every registered worker for a live telemetry snapshot.
+
+        Safe mid-search: polling uses fresh short-deadline connections
+        (see :func:`repro.cluster.status.poll_fleet`), never the task
+        FIFOs, so it cannot desynchronise result routing or hang on a
+        dead worker.  Returns a
+        :class:`~repro.cluster.status.ClusterStatus`.
+        """
+        from repro.cluster.status import poll_fleet
+
+        status = poll_fleet(
+            [f"{host}:{port}" for host, port in self._addresses],
+            timeout=timeout,
+            secret=self._link_options["secret"],
+            max_frame_bytes=self._link_options["max_frame_bytes"],
+        )
+        merge_counts(self._poll_wire, status.wire)
+        return status
 
     # -- request/response plane ----------------------------------------
     #
@@ -750,6 +796,7 @@ class Coordinator:
         ticket = self._next_ticket
         self._next_ticket += 1
         self._ticket_payloads[ticket] = payload
+        self._telemetry_open(ticket, "speculative" if speculative else "batch")
         if speculative:
             self._speculative_tickets.add(ticket)
             self.n_speculative_tasks += 1
@@ -783,6 +830,7 @@ class Coordinator:
             return ticket  # born lost: the worker is already gone
         self._ticket_payloads[ticket] = payload
         self._ticket_types[ticket] = int(msg_type)
+        self._telemetry_open(ticket, "pinned", worker=worker_index)
         self._queue_pinned.setdefault(worker_index, deque()).append(ticket)
         self._fill_windows()
         return ticket
@@ -807,11 +855,14 @@ class Coordinator:
         """
         self.pump()
         if ticket in self._ticket_results:
+            self._telemetry_consume(ticket, "ok")
             return True, self._ticket_results.pop(ticket)
         if ticket in self._ticket_errors:
+            self._telemetry_consume(ticket, "error")
             raise self._ticket_errors.pop(ticket)
         if self._ticket_known(ticket):
             return False, None
+        self._telemetry_consume(ticket, "lost")
         return True, None
 
     def wait_ticket(self, ticket: int) -> tuple | None:
@@ -825,10 +876,13 @@ class Coordinator:
         """
         while True:
             if ticket in self._ticket_results:
+                self._telemetry_consume(ticket, "ok")
                 return self._ticket_results.pop(ticket)
             if ticket in self._ticket_errors:
+                self._telemetry_consume(ticket, "error")
                 raise self._ticket_errors.pop(ticket)
             if not self._ticket_known(ticket):
+                self._telemetry_consume(ticket, "lost")
                 return None
             self._progress_toward(ticket)
 
@@ -916,6 +970,52 @@ class Coordinator:
         self._ticket_types.pop(ticket, None)
         self._speculative_tickets.discard(ticket)
         self._cancelled_tickets.discard(ticket)
+        self._ticket_times.pop(ticket, None)
+
+    # -- ticket lifecycle telemetry --------------------------------------
+    #
+    # queued -> wired (placed on a worker's window) -> scored (result
+    # frame arrived) -> consumed (waiter took it).  Stamps exist only
+    # while the tracer is enabled; each consumed ticket emits one
+    # "cluster.ticket" span whose duration is queued->consumed, with
+    # the intermediate latencies as attributes.  All helpers are cheap
+    # no-ops when tracing is off (a lookup in an empty dict).
+
+    def _telemetry_open(self, ticket: int, kind: str, **extra) -> None:
+        if get_tracer().enabled:
+            self._ticket_times[ticket] = {
+                "kind": kind,
+                "queued": time.perf_counter(),
+                **extra,
+            }
+
+    def _telemetry_stamp(self, ticket: int, stage: str, **extra) -> None:
+        times = self._ticket_times.get(ticket)
+        if times is not None:
+            times[stage] = time.perf_counter()
+            times.update(extra)
+
+    def _telemetry_consume(self, ticket: int, status: str) -> None:
+        times = self._ticket_times.pop(ticket, None)
+        if times is None:
+            return
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        now = time.perf_counter()
+        queued = times.get("queued", now)
+        attrs = {
+            "ticket": ticket,
+            "kind": times.get("kind"),
+            "status": status,
+        }
+        if "worker" in times:
+            attrs["worker"] = times["worker"]
+        if "wired" in times:
+            attrs["wired_ms"] = (times["wired"] - queued) * 1e3
+        if "scored" in times:
+            attrs["scored_ms"] = (times["scored"] - queued) * 1e3
+        tracer.record_span("cluster.ticket", queued, now, cat="cluster", **attrs)
 
     def _reset_task_plane(self) -> None:
         """Failed batch: close links, drop queued/in-flight tickets.
@@ -970,6 +1070,9 @@ class Coordinator:
                 )
             attempts += 1
             self.n_reconnect_rounds += 1
+            get_tracer().event(
+                "cluster.reconnect_round", cat="cluster", attempt=attempts
+            )
             self._revive_all()
             for index, address in enumerate(self._addresses):
                 # Probe with a short-deadline link so a hung (accepting
@@ -1004,6 +1107,13 @@ class Coordinator:
             self._channels.remove(channel)
         self._dead.append(channel.link)
         channel.link.close()
+        get_tracer().event(
+            "cluster.worker_death",
+            cat="cluster",
+            worker=channel.index,
+            address=channel.link.address,
+            outstanding=len(channel.outstanding),
+        )
         for ticket in reversed(channel.outstanding):
             if (
                 ticket in self._cancelled_tickets
@@ -1051,6 +1161,7 @@ class Coordinator:
             queue.popleft()
             channel.outstanding.append(ticket)
             self.n_tasks += 1
+            self._telemetry_stamp(ticket, "wired", worker=channel.index)
 
     def _fill_pinned_windows(self) -> None:
         """Send queued pinned requests down their worker's channel."""
@@ -1086,6 +1197,7 @@ class Coordinator:
                 queue.popleft()
                 channel.outstanding.append(ticket)
                 self.n_requests += 1
+                self._telemetry_stamp(ticket, "wired", worker=channel.index)
 
     def _apply_backpressure(self) -> None:
         """Block until the real queue is fully placed on the windows."""
@@ -1159,6 +1271,7 @@ class Coordinator:
                 self._ticket_errors[ticket] = error
                 self._ticket_payloads.pop(ticket, None)
                 self._ticket_types.pop(ticket, None)
+                self._telemetry_stamp(ticket, "scored")
             return True
         except (ProtocolError, OSError):
             self._handle_death(channel)
@@ -1191,4 +1304,5 @@ class Coordinator:
             )
             self._ticket_payloads.pop(ticket, None)
             self._ticket_types.pop(ticket, None)
+            self._telemetry_stamp(ticket, "scored")
         return True

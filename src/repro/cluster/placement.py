@@ -102,6 +102,7 @@ from repro.engine.cache import (
 from repro.engine.tasks import WorkerCrashError
 from repro.kernels.base import as_2d
 from repro.kernels.partition_kernel import BlockKernelFactory, default_block_kernel
+from repro.telemetry import get_tracer
 
 __all__ = [
     "ShardPlacement",
@@ -368,6 +369,14 @@ class PlacedGramCache(_KeyLocked):
             ]
             self._repl_queue.extend(repair)
             should_kick = bool(repair) and self.placement.replication > 1
+        tracer = get_tracer()
+        if tracer.enabled and outcome["promoted"]:
+            tracer.event(
+                "placement.promote",
+                cat="placement",
+                worker=worker_index,
+                promoted=dict(outcome["promoted"]),
+            )
         if should_kick:
             self._kick_replicator()
 
@@ -424,7 +433,15 @@ class PlacedGramCache(_KeyLocked):
                 raise WorkerCrashError(
                     "no live strip holders remain in the placement"
                 )
-            raw = self.coordinator.placement_fan_out(targets, msg_type, payload)
+            with get_tracer().span(
+                "placement.fan_out",
+                cat="placement",
+                msg_type=msg_type,
+                n_targets=len(targets),
+            ):
+                raw = self.coordinator.placement_fan_out(
+                    targets, msg_type, payload
+                )
             replies = {w: load_payload(r) for w, r in raw.items()}
             with self._data_lock:
                 owners = self.placement.owners
@@ -639,6 +656,14 @@ class PlacedGramCache(_KeyLocked):
                 self.placement.add_holder(strip, target)
                 self._lost_strips.discard(strip)
                 self.n_strip_rebuilds += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "placement.rebuild_strip",
+                    cat="placement",
+                    strip=strip,
+                    target=target,
+                )
             return
         raise WorkerCrashError(
             f"no surviving worker could rebuild lost strip {strip}"
@@ -760,6 +785,15 @@ class PlacedGramCache(_KeyLocked):
             self.placement.add_holder(strip, target)
             self.n_replicated_strips += 1
             self._repl_attempts.pop(strip, None)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "placement.replicate",
+                cat="placement",
+                strip=strip,
+                source=source,
+                target=target,
+            )
         # Second sweep: blocks built while the first pass was copying.
         relisting = replication_requester(
             source, MSG_STRIP_STATE, {"strips": [strip], "keys": []}
@@ -1077,6 +1111,14 @@ class PlacedLandmarkGramCache(_KeyLocked):
             self._initialised_workers.discard(worker_index)
             self._target_workers.discard(worker_index)
             self.resident_strip_bytes.pop(worker_index, None)
+        tracer = get_tracer()
+        if tracer.enabled and outcome["lost"]:
+            tracer.event(
+                "placement.strips_lost",
+                cat="placement",
+                worker=worker_index,
+                lost=list(outcome["lost"]),
+            )
 
     # -- placement-plane orchestration ---------------------------------
 
@@ -1111,7 +1153,15 @@ class PlacedLandmarkGramCache(_KeyLocked):
                 raise WorkerCrashError(
                     "no live strip holders remain in the placement"
                 )
-            raw = self.coordinator.placement_fan_out(targets, msg_type, payload)
+            with get_tracer().span(
+                "placement.fan_out",
+                cat="placement",
+                msg_type=msg_type,
+                n_targets=len(targets),
+            ):
+                raw = self.coordinator.placement_fan_out(
+                    targets, msg_type, payload
+                )
             replies = {w: load_payload(r) for w, r in raw.items()}
             with self._data_lock:
                 owners = self.placement.owners
@@ -1253,6 +1303,14 @@ class PlacedLandmarkGramCache(_KeyLocked):
                 self.placement.add_holder(strip, target)
                 self._lost_strips.discard(strip)
                 self.n_strip_rebuilds += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "placement.adopt_strip",
+                    cat="placement",
+                    strip=strip,
+                    target=target,
+                )
             return
         raise WorkerCrashError(
             f"no surviving worker could adopt lost landmark strip {strip}"

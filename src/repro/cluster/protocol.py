@@ -89,6 +89,7 @@ __all__ = [
     "MSG_SERVE_ROWS",
     "MSG_SERVE_DROP",
     "MSG_SERVE_STATUS",
+    "MSG_TELEMETRY",
     "SERVE_TYPES",
     "MSG_SHUTDOWN",
 ]
@@ -139,6 +140,11 @@ MSG_SERVE_INSTALL = 33
 MSG_SERVE_ROWS = 34
 MSG_SERVE_DROP = 35
 MSG_SERVE_STATUS = 36
+# Telemetry plane (request/reply; answered on any connection).  The
+# reply echoes MSG_TELEMETRY so both directions land in the
+# "telemetry" accounting bucket; the payload is the worker's
+# metrics/span snapshot (see repro.cluster.status).
+MSG_TELEMETRY = 37
 
 #: Serving-plane request types (each is also its own reply type).
 SERVE_TYPES = frozenset(
@@ -171,6 +177,7 @@ _KNOWN_TYPES = frozenset(
         MSG_SERVE_ROWS,
         MSG_SERVE_DROP,
         MSG_SERVE_STATUS,
+        MSG_TELEMETRY,
     }
 )
 
@@ -256,13 +263,17 @@ def wire_category(msg_type: int) -> str:
     ``"envelope"`` — task envelopes and their results (the per-search
     scoring traffic the benchmarks record); ``"serve"`` — serving-plane
     model installs and per-request row traffic (requests *and* their
-    echoed-type replies); ``"placement"`` — strip residency and
-    statistic reductions; ``"control"`` — everything else.
+    echoed-type replies); ``"telemetry"`` — fleet introspection polls
+    and their echoed-type snapshot replies; ``"placement"`` — strip
+    residency and statistic reductions; ``"control"`` — everything
+    else.
     """
     if msg_type in _TASK_TYPES:
         return "envelope"
     if msg_type in SERVE_TYPES:
         return "serve"
+    if msg_type == MSG_TELEMETRY:
+        return "telemetry"
     if msg_type >= MSG_INIT:
         return "placement"
     return "control"

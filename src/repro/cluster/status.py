@@ -1,0 +1,288 @@
+"""Live fleet introspection: poll workers' telemetry snapshots.
+
+``MSG_TELEMETRY`` is a request/reply frame any worker answers on any
+connection from its always-on counters and resident state — liveness,
+queue/op counts, placed strip residency, serving versions, and (when
+the worker runs with ``--trace``) its recent spans.  This module turns
+that frame into:
+
+* :func:`poll_fleet` — poll a list of addresses concurrently over
+  **fresh, short-deadline connections** (never the task-plane FIFO
+  links, so polling a fleet mid-search cannot desynchronise result
+  routing, and a dead or hung worker costs one bounded timeout instead
+  of a hang);
+* :class:`ClusterStatus` — the aggregated result (one snapshot or
+  ``None`` per worker) with a plain-text table renderer;
+* a CLI::
+
+      python -m repro.cluster.status host:9701 host:9702
+      python -m repro.cluster.status host:9701 --json
+
+  which exits 0 when every polled worker answered and 1 otherwise
+  (usable as a health check).
+
+``Coordinator.fleet_status()`` wraps :func:`poll_fleet` over the
+fleet's registered addresses with the fleet's auth settings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.cluster.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MSG_TELEMETRY,
+    ProtocolError,
+    dump_payload,
+    load_payload,
+)
+
+__all__ = ["ClusterStatus", "poll_fleet", "poll_worker", "main"]
+
+
+class ClusterStatus:
+    """Result of one fleet poll: per-worker snapshots, ``None`` = dead.
+
+    ``workers[i]`` is the telemetry snapshot dict answered by
+    ``addresses[i]``, or ``None`` when that worker could not be
+    reached (connection refused, timed out, protocol garbage) within
+    the poll deadline.
+    """
+
+    def __init__(
+        self,
+        addresses: list[str],
+        workers: list[dict | None],
+        wire: dict | None = None,
+    ):
+        self.addresses = list(addresses)
+        self.workers = list(workers)
+        #: Bytes this poll itself cost, summed over every poll link —
+        #: the ``telemetry`` wire bucket's evidence that introspection
+        #: traffic is accounted separately from the task planes.
+        self.wire = dict(wire or {})
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def n_live(self) -> int:
+        return sum(1 for snapshot in self.workers if snapshot is not None)
+
+    @property
+    def all_live(self) -> bool:
+        return self.n_live == self.n_workers
+
+    def live(self) -> dict[str, dict]:
+        """Address -> snapshot for the workers that answered."""
+        return {
+            address: snapshot
+            for address, snapshot in zip(self.addresses, self.workers)
+            if snapshot is not None
+        }
+
+    def counter(self, name: str) -> int:
+        """Sum a metrics counter across every live worker."""
+        total = 0
+        for snapshot in self.workers:
+            if snapshot is None:
+                continue
+            counters = snapshot.get("metrics", {}).get("counters", {})
+            total += sum(
+                value
+                for key, value in counters.items()
+                if key == name or key.startswith(name + "{")
+            )
+        return int(total)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "n_live": self.n_live,
+            "workers": {
+                address: snapshot
+                for address, snapshot in zip(self.addresses, self.workers)
+            },
+        }
+
+    def format_table(self) -> str:
+        """Human-readable per-worker table (the CLI's default output)."""
+        header = (
+            f"{'worker':<22} {'state':<6} {'pid':>7} {'up_s':>8} "
+            f"{'conns':>5} {'tasks':>8} {'strips':>6} {'res_mb':>8} "
+            f"{'serving':<16}"
+        )
+        lines = [header, "-" * len(header)]
+        for address, snapshot in zip(self.addresses, self.workers):
+            if snapshot is None:
+                lines.append(f"{address:<22} {'DEAD':<6}")
+                continue
+            counters = snapshot.get("metrics", {}).get("counters", {})
+            placement = snapshot.get("placement") or {}
+            serving = snapshot.get("serving") or {}
+            resident = placement.get("resident_bytes", 0) + serving.get(
+                "resident_bytes", 0
+            )
+            versions = sorted(serving.get("versions", {}))
+            lines.append(
+                f"{address:<22} {'live':<6} "
+                f"{snapshot.get('pid', 0):>7d} "
+                f"{snapshot.get('uptime_s', 0.0):>8.1f} "
+                f"{snapshot.get('n_connections', 0):>5d} "
+                f"{int(counters.get('worker.tasks_scored', 0)):>8d} "
+                f"{placement.get('n_strips', 0):>6d} "
+                f"{resident / 1e6:>8.2f} "
+                f"{('v' + ','.join(map(str, versions))) if versions else '-':<16}"
+            )
+        lines.append(f"{self.n_live}/{self.n_workers} live")
+        return "\n".join(lines)
+
+
+def poll_worker(
+    address: str,
+    timeout: float = 5.0,
+    secret: str | bytes | None = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    wire: dict | None = None,
+) -> dict | None:
+    """Poll one worker; ``None`` if it cannot answer within ``timeout``.
+
+    Opens a fresh connection (its own accounting bucket via the
+    telemetry frame type) so an in-flight search's task links are
+    never touched, and closes it again — a poll leaves no state
+    behind on either side.  When ``wire`` is given, the poll's own
+    bytes are added to its ``bytes_out`` / ``bytes_in`` entries.
+    """
+    from repro.cluster.coordinator import WorkerLink
+
+    link = WorkerLink(
+        address,
+        connect_timeout=timeout,
+        io_timeout=timeout,
+        max_frame_bytes=max_frame_bytes,
+        secret=secret,
+    )
+    try:
+        reply = link.request(MSG_TELEMETRY, dump_payload({}), MSG_TELEMETRY)
+        return load_payload(reply)
+    except (ProtocolError, OSError, RuntimeError):
+        # Connection refused / timed out / garbage / MSG_ERROR: the
+        # worker is dead or unreachable for polling purposes.
+        return None
+    finally:
+        if wire is not None:
+            wire["bytes_out"] = wire.get("bytes_out", 0) + sum(
+                link.bytes_out.values()
+            )
+            wire["bytes_in"] = wire.get("bytes_in", 0) + sum(
+                link.bytes_in.values()
+            )
+        link.close()
+
+
+def poll_fleet(
+    addresses,
+    timeout: float = 5.0,
+    secret: str | bytes | None = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> ClusterStatus:
+    """Poll every address concurrently; never blocks past the deadline.
+
+    Each worker is polled on its own thread with ``timeout``-bounded
+    connect and IO, so the whole poll costs at most roughly one
+    timeout even when several workers are dead or hung — the property
+    that makes it safe to run against a faulting fleet mid-search.
+    """
+    addresses = [
+        a if isinstance(a, str) else f"{a[0]}:{a[1]}" for a in addresses
+    ]
+    results: list[dict | None] = [None] * len(addresses)
+    wires: list[dict] = [{} for _ in addresses]
+
+    def poll(index: int, address: str) -> None:
+        results[index] = poll_worker(
+            address,
+            timeout=timeout,
+            secret=secret,
+            max_frame_bytes=max_frame_bytes,
+            wire=wires[index],
+        )
+
+    threads = [
+        threading.Thread(target=poll, args=(i, a), daemon=True)
+        for i, a in enumerate(addresses)
+    ]
+    for thread in threads:
+        thread.start()
+    # connect + request + reply, each timeout-bounded; the deadline
+    # below is a backstop, not the steady-state cost (live workers
+    # answer in milliseconds).
+    deadline = time.monotonic() + 3.0 * timeout + 1.0
+    for thread in threads:
+        thread.join(max(0.0, deadline - time.monotonic()))
+    wire = {
+        "telemetry_bytes_out": sum(w.get("bytes_out", 0) for w in wires),
+        "telemetry_bytes_in": sum(w.get("bytes_in", 0) for w in wires),
+    }
+    return ClusterStatus(addresses, results, wire=wire)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.cluster.status host:port [host:port ...]``."""
+    parser = argparse.ArgumentParser(
+        description="poll repro.cluster workers for live telemetry snapshots"
+    )
+    parser.add_argument(
+        "workers",
+        nargs="+",
+        help="worker addresses (host:port), as announced on worker stdout",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-worker connect/IO deadline in seconds (default: 5)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full snapshot document instead of the table",
+    )
+    parser.add_argument(
+        "--secret-file",
+        default=None,
+        help=(
+            "path to a file holding the fleet's shared HMAC secret; the "
+            "REPRO_CLUSTER_SECRET environment variable is the argv-free "
+            "alternative"
+        ),
+    )
+    args = parser.parse_args(argv)
+    secret: str | None
+    if args.secret_file is not None:
+        with open(args.secret_file, "r", encoding="utf-8") as handle:
+            secret = handle.read().strip()
+        if not secret:
+            parser.error(f"secret file {args.secret_file!r} is empty")
+    elif "REPRO_CLUSTER_SECRET" in os.environ:
+        secret = os.environ["REPRO_CLUSTER_SECRET"]
+        if not secret:
+            parser.error("REPRO_CLUSTER_SECRET is set but empty")
+    else:
+        secret = None
+    status = poll_fleet(args.workers, timeout=args.timeout, secret=secret)
+    if args.json:
+        print(json.dumps(status.to_dict(), indent=2, default=repr))
+    else:
+        print(status.format_table())
+    return 0 if status.all_live else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

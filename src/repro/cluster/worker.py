@@ -77,9 +77,12 @@ garbage emission, frame-counted kills) live in
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import os
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -110,6 +113,7 @@ from repro.cluster.protocol import (
     MSG_STRIPS_FETCH,
     MSG_TARGET,
     MSG_TASK,
+    MSG_TELEMETRY,
     ConnectionClosed,
     FrameAuth,
     ProtocolError,
@@ -120,8 +124,11 @@ from repro.cluster.protocol import (
 )
 from repro.engine.cache import _normalize_factor_rows
 from repro.engine.tasks import encode_result, score_task_payload
+from repro.telemetry import MetricsRegistry, get_tracer
 
-__all__ = ["WorkerServer", "main"]
+__all__ = ["WorkerServer", "configure_worker_logging", "main"]
+
+logger = logging.getLogger("repro.cluster.worker")
 
 # Serve frame -> StripModelStore op.  The worker resolves the wire type
 # to the transport-neutral op name so every backend shares one dispatch
@@ -229,6 +236,12 @@ class WorkerServer:
         self._stopped = threading.Event()
         self._tasks_scored = 0
         self._serve_thread: threading.Thread | None = None
+        # Always-on op/error counters answered over MSG_TELEMETRY.
+        # Counting is a dict add under a lock — microseconds against the
+        # millisecond-scale scoring it books — and never touches any
+        # value the arithmetic reads, so results stay bit-identical.
+        self.metrics = MetricsRegistry()
+        self._started_monotonic = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -312,6 +325,13 @@ class WorkerServer:
                     # connection.  The server itself keeps serving —
                     # one misbehaving client must not take the node
                     # down for its peers.
+                    self.metrics.count("worker.protocol_errors")
+                    logger.warning(
+                        "protocol error on %s:%s connection: %s",
+                        self.host,
+                        self.port,
+                        error,
+                    )
                     try:
                         send_frame(
                             conn, MSG_ERROR, dump_payload(str(error)), auth=auth
@@ -342,8 +362,13 @@ class WorkerServer:
                     self._tasks_scored += 1
                     tripped = self._tasks_scored > self.fail_after
                 if tripped:
+                    logger.warning(
+                        "fail_after=%s tripped: simulating node death",
+                        self.fail_after,
+                    )
                     self.stop()  # simulated kill: no reply, sockets gone
                     return False
+            t0 = time.perf_counter()
             try:
                 result = encode_result(*score_task_payload(payload))
             except Exception as error:
@@ -352,6 +377,8 @@ class WorkerServer:
                 # instead of reassigning the poison envelope across the
                 # fleet (which would kill every worker's connection in
                 # turn and misreport fleet death).
+                self.metrics.count("worker.task_errors")
+                logger.warning("task envelope failed to score: %s", error)
                 send_frame(
                     conn,
                     MSG_ERROR,
@@ -359,19 +386,39 @@ class WorkerServer:
                     auth=auth,
                 )
                 return True
+            t1 = time.perf_counter()
+            self.metrics.count("worker.tasks_scored")
+            self.metrics.observe("worker.task_seconds", t1 - t0)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.record_span(
+                    "worker.score_task", t0, t1, cat="worker", bytes=len(payload)
+                )
             send_frame(conn, MSG_RESULT, result, auth=auth)
             return True
         if msg_type == MSG_PING:
+            self.metrics.count("worker.pings")
             send_frame(conn, MSG_PONG, b"", auth=auth)
             return True
         if msg_type == MSG_SHUTDOWN:
+            logger.info("shutdown frame received; stopping")
             send_frame(conn, MSG_OK, b"", auth=auth)
             self.stop()
             return False
+        if msg_type == MSG_TELEMETRY:
+            # Introspection poll: answered from counters and resident
+            # state on any plane's connection, echoing MSG_TELEMETRY so
+            # both directions book in the "telemetry" wire bucket.
+            snapshot = self.telemetry_snapshot()
+            send_frame(conn, MSG_TELEMETRY, dump_payload(snapshot), auth=auth)
+            return True
         if msg_type in _SERVE_OPS:
+            op = _SERVE_OPS[msg_type]
             try:
                 reply = self._dispatch_serve(msg_type, payload)
             except Exception as error:  # surfaced plane-side, loudly
+                self.metrics.count("worker.serve_errors")
+                logger.warning("serve op %s failed: %s", op, error)
                 send_frame(
                     conn,
                     MSG_ERROR,
@@ -379,6 +426,7 @@ class WorkerServer:
                     auth=auth,
                 )
                 return True
+            self.metrics.count("worker.serve_ops", op=op)
             # Echo the request type (not MSG_OK): serve replies must
             # book in the "serve" wire bucket in both directions.
             send_frame(conn, msg_type, dump_payload(reply), auth=auth)
@@ -387,6 +435,10 @@ class WorkerServer:
             with self._placement_op_lock:
                 reply = self._dispatch_placement(msg_type, payload)
         except Exception as error:  # surfaced coordinator-side, loudly
+            self.metrics.count("worker.placement_errors")
+            logger.warning(
+                "placement op (msg_type=%s) failed: %s", msg_type, error
+            )
             send_frame(
                 conn,
                 MSG_ERROR,
@@ -394,8 +446,54 @@ class WorkerServer:
                 auth=auth,
             )
             return True
+        self.metrics.count("worker.placement_ops", msg_type=msg_type)
         send_frame(conn, MSG_OK, dump_payload(reply), auth=auth)
         return True
+
+    # -- telemetry plane -----------------------------------------------
+
+    def telemetry_snapshot(self) -> dict:
+        """Everything a fleet poll wants to know about this node.
+
+        Pickle-friendly plain dicts only: liveness/identity, the
+        always-on op counters, placement residency (strip indices and
+        resident bytes) and serving residency (versions and bytes),
+        plus the in-process tracer's spans when tracing is enabled
+        worker-side (``--trace`` on the CLI).
+        """
+        with self._lock:
+            n_connections = len(self._connections)
+            placement = self._placement
+            tasks_scored = self._tasks_scored
+        snapshot = {
+            "address": self.address,
+            "pid": os.getpid(),
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "n_connections": n_connections,
+            "metrics": self.metrics.snapshot(),
+            "placement": None,
+            "serving": None,
+        }
+        if self.fail_after is not None:
+            snapshot["tasks_before_fail"] = max(
+                0, self.fail_after - tasks_scored
+            )
+        if placement is not None:
+            snapshot["placement"] = {
+                "n_strips": len(placement.slices),
+                "strips": sorted(placement.slices),
+                "resident_bytes": placement.resident_bytes(),
+            }
+        with self._serving_lock:
+            store = self._serving_store
+        if store is not None:
+            snapshot["serving"] = store.status()
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Bounded tail: a poll is a liveness probe, not a bulk
+            # trace export — workers export full traces themselves.
+            snapshot["spans"] = tracer.records()[-200:]
+        return snapshot
 
     # -- serving plane -------------------------------------------------
 
@@ -735,6 +833,43 @@ class WorkerServer:
         raise ProtocolError(f"message type {msg_type} not valid on this plane")
 
 
+class _JsonLogFormatter(logging.Formatter):
+    """One JSON object per log record (machine-ingestable worker logs)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": self.formatTime(record, datefmt="%Y-%m-%dT%H:%M:%S%z"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+            "pid": record.process,
+        }
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True)
+
+
+def configure_worker_logging(level: str = "warning", json_logs: bool = False) -> None:
+    """Wire the ``repro.cluster.worker`` logger to stderr.
+
+    Structured (``json_logs=True``) emits one JSON object per record;
+    plain mode is human-readable.  stderr keeps the stdout announce
+    line (parsed by ``spawn_local_workers``) unpolluted.
+    """
+    handler = logging.StreamHandler()
+    if json_logs:
+        handler.setFormatter(_JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s: %(message)s"
+            )
+        )
+    logger.handlers = [handler]
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: ``python -m repro.cluster.worker --port N``."""
     parser = argparse.ArgumentParser(
@@ -756,7 +891,29 @@ def main(argv: list[str] | None = None) -> int:
             "argv-free alternative"
         ),
     )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="worker log verbosity on stderr (default: warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log record instead of plain text",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "enable the in-process span tracer; spans ride back in "
+            "MSG_TELEMETRY snapshots (python -m repro.cluster.status)"
+        ),
+    )
     args = parser.parse_args(argv)
+    configure_worker_logging(args.log_level, args.log_json)
+    if args.trace:
+        get_tracer().enable()
     secret: str | None
     if args.secret_file is not None:
         with open(args.secret_file, "r", encoding="utf-8") as handle:
@@ -781,6 +938,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     # The announce line is parsed by spawn_local_workers; keep stable.
     print(f"repro-cluster-worker listening on {server.host}:{server.port}", flush=True)
+    logger.info(
+        "worker up on %s:%s (auth=%s, trace=%s)",
+        server.host,
+        server.port,
+        "on" if secret else "off",
+        "on" if args.trace else "off",
+    )
     server.serve_forever()
     return 0
 

@@ -48,6 +48,7 @@ from repro.engine.tasks import (
     default_task_chunks,
     score_task_payload,
 )
+from repro.telemetry import get_tracer, merge_counts
 
 __all__ = [
     "EvaluationBackend",
@@ -183,12 +184,23 @@ class ProcessPoolBackend:
                 max_workers=self.max_workers,
                 mp_context=multiprocessing.get_context(method),
             )
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "backend.pool_build",
+                    cat="backend",
+                    method=method,
+                    max_workers=self.max_workers,
+                )
         return self._pool
 
     def _discard_pool(self) -> None:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("backend.pool_discard", cat="backend")
 
     def warm_up(self) -> None:
         """Create the worker pool now instead of on first use.
@@ -265,8 +277,9 @@ class ProcessPoolBackend:
         # Passed the guard: these bytes will ship.  (Replays after a
         # pool crash reuse the staged payloads, so nothing is double
         # counted.)
-        self._wire["envelope_bytes_out"] += len(payload)
-        self._wire["n_tasks"] += 1
+        merge_counts(
+            self._wire, {"envelope_bytes_out": len(payload), "n_tasks": 1}
+        )
 
     def map_tasks(
         self, tasks: Iterable[EngineTask]
@@ -278,10 +291,19 @@ class ProcessPoolBackend:
         """
 
         payloads = (task.payload() for task in tasks)
-        results = self._run(score_task_payload, payloads, guard=self._check_payload)
-        self._wire["envelope_bytes_in"] += sum(
-            len(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
-            for result in results
+        with get_tracer().span("backend.map_tasks", cat="backend") as span:
+            results = self._run(
+                score_task_payload, payloads, guard=self._check_payload
+            )
+            span.set(n_tasks=len(results))
+        merge_counts(
+            self._wire,
+            {
+                "envelope_bytes_in": sum(
+                    len(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+                    for result in results
+                )
+            },
         )
         return results
 
@@ -317,8 +339,9 @@ class ProcessPoolBackend:
         turn a recoverable crash into a submission failure.
         """
         check_task_payload(payload, self.max_task_bytes)
-        self._wire["envelope_bytes_out"] += len(payload)
-        self._wire["n_tasks"] += 1
+        merge_counts(
+            self._wire, {"envelope_bytes_out": len(payload), "n_tasks": 1}
+        )
         try:
             future = self._ensure_pool().submit(score_task_payload, payload)
         except BrokenProcessPool:
@@ -343,8 +366,13 @@ class ProcessPoolBackend:
         except BrokenProcessPool:
             self._discard_pool()
             result = self._run(score_task_payload, [handle.payload], guard=None)[0]
-        self._wire["envelope_bytes_in"] += len(
-            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        merge_counts(
+            self._wire,
+            {
+                "envelope_bytes_in": len(
+                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            },
         )
         return result
 

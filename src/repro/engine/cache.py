@@ -55,6 +55,7 @@ from repro.kernels.gram import (
     normalize_gram,
 )
 from repro.kernels.partition_kernel import BlockKernelFactory, default_block_kernel
+from repro.telemetry import get_tracer
 
 __all__ = [
     "GramCache",
@@ -306,9 +307,12 @@ class GramCache(_KeyLocked):
             return gram
         with self._key_lock(key):
             if key not in self._store:
-                gram = self.block_kernel(key)(self.X)
-                if self.normalize:
-                    gram = normalize_gram(gram)
+                with get_tracer().span(
+                    "cache.gram", cat="cache", block_size=len(key)
+                ):
+                    gram = self.block_kernel(key)(self.X)
+                    if self.normalize:
+                        gram = normalize_gram(gram)
                 with self._lock:
                     self._store[key] = gram
                     self.n_gram_computations += 1
@@ -426,9 +430,14 @@ class BlockStatsCache(_KeyLocked, _PartitionStatsMixin):
         if key not in self._centered:
             with self._key_lock(("block", key)):
                 if key not in self._centered:
-                    centered = center_gram(self.grams.gram(key))
-                    target_inner = frobenius_inner(centered, self.centered_target)
-                    self_inner = frobenius_inner(centered, centered)
+                    with get_tracer().span(
+                        "cache.block_stats", cat="cache", block_size=len(key)
+                    ):
+                        centered = center_gram(self.grams.gram(key))
+                        target_inner = frobenius_inner(
+                            centered, self.centered_target
+                        )
+                        self_inner = frobenius_inner(centered, centered)
                     with self._lock:
                         self._target_inner[key] = target_inner
                         self._pair_inner[(key, key)] = self_inner
@@ -524,26 +533,35 @@ class ShardedGramCache(_KeyLocked):
             return strips
         with self._key_lock(key):
             if key not in self._store:
-                kernel = self.block_kernel(key).bind(self.X)
-                strips = [kernel(self.X[sl], self.X) for sl in self.row_slices]
-                if self.normalize:
-                    # Reduce the diagonal across shards (an O(n) exchange
-                    # of scalars), then scale each strip locally — same
-                    # arithmetic as normalize_gram on the full matrix.
-                    diagonal = np.concatenate(
-                        [
-                            strip[
-                                np.arange(sl.stop - sl.start),
-                                np.arange(sl.start, sl.stop),
+                with get_tracer().span(
+                    "cache.strips",
+                    cat="cache",
+                    block_size=len(key),
+                    n_shards=self.n_shards,
+                ):
+                    kernel = self.block_kernel(key).bind(self.X)
+                    strips = [
+                        kernel(self.X[sl], self.X) for sl in self.row_slices
+                    ]
+                    if self.normalize:
+                        # Reduce the diagonal across shards (an O(n)
+                        # exchange of scalars), then scale each strip
+                        # locally — same arithmetic as normalize_gram on
+                        # the full matrix.
+                        diagonal = np.concatenate(
+                            [
+                                strip[
+                                    np.arange(sl.stop - sl.start),
+                                    np.arange(sl.start, sl.stop),
+                                ]
+                                for strip, sl in zip(strips, self.row_slices)
                             ]
+                        )
+                        scale = np.sqrt(np.clip(diagonal, 1e-12, None))
+                        strips = [
+                            strip / np.outer(scale[sl], scale)
                             for strip, sl in zip(strips, self.row_slices)
                         ]
-                    )
-                    scale = np.sqrt(np.clip(diagonal, 1e-12, None))
-                    strips = [
-                        strip / np.outer(scale[sl], scale)
-                        for strip, sl in zip(strips, self.row_slices)
-                    ]
                 with self._lock:
                     self._store[key] = strips
                     self.n_gram_computations += 1

@@ -23,6 +23,7 @@ on equal footing.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -49,6 +50,7 @@ from repro.kernels.gram import (
     frobenius_inner,
 )
 from repro.kernels.partition_kernel import BlockKernelFactory, default_block_kernel
+from repro.telemetry import get_tracer, ledger_delta, result_metrics, wire_gauge_keys
 
 __all__ = [
     "AlignmentScorer",
@@ -63,9 +65,10 @@ WEIGHTINGS = ("uniform", "alignment", "alignf")
 
 # Wire-ledger keys that are point-in-time gauges; everything else is a
 # cumulative counter the engine reports as a delta since construction.
-_WIRE_GAUGES = frozenset(
-    {"n_workers", "n_live_workers", "strip_bytes_resident_max_worker"}
-)
+# The kind table in repro.telemetry.metrics (WIRE_LEDGER_KINDS) is the
+# single source of truth — every key is declared gauge or counter there,
+# and this set is derived from it.
+_WIRE_GAUGES = wire_gauge_keys()
 
 
 class AlignmentScorer:
@@ -195,11 +198,26 @@ class SearchResult:
     #: ``wasted_bytes``/ahead-depth statistics) when the engine ran
     #: with ``speculate=True``; ``None`` otherwise.
     speculation: dict | None = field(repr=False, default=None)
+    #: Span records covering this search, attached when the global
+    #: tracer (:func:`repro.telemetry.enable_tracing`) was on during
+    #: the run; ``None`` otherwise.  Export with
+    #: :func:`repro.telemetry.write_chrome_trace` /
+    #: :func:`repro.telemetry.report_records`.  Purely observational:
+    #: every other field is bit-identical with tracing on or off.
+    trace: list | None = field(repr=False, default=None)
 
     @property
     def n_kernels(self) -> int:
         """Number of kernels in the winning configuration."""
         return self.best_partition.n_blocks
+
+    def metrics(self):
+        """This result's ledgers as one unified
+        :class:`~repro.telemetry.MetricsRegistry` view (op counters,
+        ``engine.wire.*``, ``engine.speculation.*`` — gauge/counter
+        kinds declared, merge-ready).  Derived on demand; the legacy
+        fields stay the source of truth."""
+        return result_metrics(self)
 
 
 class _SpecEntry:
@@ -573,6 +591,12 @@ class KernelEvaluationEngine:
         # when this engine was built.
         baseline_fn = getattr(self.backend, "wire_stats", None)
         self._wire_baseline = dict(baseline_fn()) if baseline_fn else None
+        # Span tracing: remember where the global tracer's stream stood
+        # so take_trace() returns exactly this engine's records.  The
+        # tracer is a no-op while disabled — hot paths guard on its
+        # ``enabled`` flag, so a tracing-off run does no extra work.
+        self._tracer = get_tracer()
+        self._trace_cursor = self._tracer.cursor()
         # CV-solve accounting: scorers keeping fold-solve counters may
         # be shared across searches, so remember where they stood.
         self._cv_solve_baseline = (
@@ -681,11 +705,18 @@ class KernelEvaluationEngine:
         stats_fn = getattr(self.backend, "wire_stats", None)
         if stats_fn is None:
             return None
-        baseline = self._wire_baseline or {}
-        return {
-            key: value if key in _WIRE_GAUGES else value - baseline.get(key, 0)
-            for key, value in stats_fn().items()
-        }
+        return ledger_delta(
+            stats_fn(), self._wire_baseline or {}, gauges=_WIRE_GAUGES
+        )
+
+    def take_trace(self) -> list | None:
+        """Span records appended since this engine was built, or
+        ``None`` when the global tracer is off — the payload strategies
+        attach as ``SearchResult.trace``.  Non-destructive: the tracer
+        buffer keeps its records for whole-process exports."""
+        if not self._tracer.enabled:
+            return None
+        return self._tracer.since(self._trace_cursor)
 
     # ------------------------------------------------------------------
 
@@ -698,14 +729,28 @@ class KernelEvaluationEngine:
         partitions = list(partitions)
         if not partitions:
             return []
-        if self._speculation_active:
-            scores = self._score_batch_with_speculations(partitions)
-        elif getattr(self.backend, "supports_tasks", False):
-            scores = self._score_batch_tasks(partitions)
+        tracer = self._tracer
+        if tracer.enabled:
+            # Tracing only brackets the dispatch with clock reads; the
+            # scored values and every ledger stay bit-identical.
+            with tracer.span(
+                "engine.score_batch",
+                cat="engine",
+                n=len(partitions),
+                backend=self.backend.name,
+            ):
+                scores = self._dispatch_batch(partitions)
         else:
-            scores = self.backend.map(self._score_one, partitions)
+            scores = self._dispatch_batch(partitions)
         self.n_evaluations += len(partitions)
         return [float(s) for s in scores]
+
+    def _dispatch_batch(self, partitions: list[SetPartition]) -> list[float]:
+        if self._speculation_active:
+            return self._score_batch_with_speculations(partitions)
+        if getattr(self.backend, "supports_tasks", False):
+            return self._score_batch_tasks(partitions)
+        return self.backend.map(self._score_one, partitions)
 
     def _score_batch_tasks(self, partitions: list[SetPartition]) -> list[float]:
         """Ship the batch to a task backend as scalar-statistic envelopes.
@@ -774,6 +819,8 @@ class KernelEvaluationEngine:
         """
         if not self._speculation_active:
             return 0
+        tracer = self._tracer
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         submitted = 0
         build_stats = _AttributingStats(
             self.stats, self._spec_key_ops, self._spec_gram_keys
@@ -789,6 +836,14 @@ class KernelEvaluationEngine:
             self._spec_entries[partition] = _SpecEntry(handle, len(payload))
             self._spec_counts["n_speculated"] += 1
             submitted += 1
+        if tracer.enabled and submitted:
+            tracer.record_span(
+                "engine.speculate",
+                t0,
+                time.perf_counter(),
+                cat="engine",
+                submitted=submitted,
+            )
         return submitted
 
     def cancel_speculations(self) -> int:
@@ -822,6 +877,10 @@ class KernelEvaluationEngine:
             self._spec_counts["n_wasted"] += 1
             self._spec_counts["wasted_bytes"] += entry.nbytes
             cancelled += 1
+        if cancelled:
+            self._tracer.event(
+                "engine.cancel_speculations", cat="engine", cancelled=cancelled
+            )
         return cancelled
 
     def finish_speculation(self) -> dict | None:

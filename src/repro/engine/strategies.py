@@ -117,6 +117,7 @@ def _result(
         history=history,
         wire=engine.wire_stats,
         speculation=speculation,
+        trace=engine.take_trace(),
     )
 
 

@@ -71,6 +71,7 @@ from repro.kernels.base import as_2d
 from repro.kernels.combination import combine_grams, uniform_weights
 from repro.kernels.partition_kernel import BlockKernelFactory, default_block_kernel
 from repro.mkl.combiner import alignment_weights
+from repro.telemetry import get_tracer
 
 __all__ = [
     "GramCache",
@@ -114,13 +115,16 @@ class CrossValScorer:
         self._count_lock = threading.Lock()
 
     def __call__(self, gram: np.ndarray, y: np.ndarray) -> float:
-        scores = cross_val_score_precomputed(
-            lambda: LSSVC("precomputed", gamma=self.gamma),
-            gram,
-            y,
-            n_folds=self.n_folds,
-            seed=self.seed,
-        )
+        with get_tracer().span(
+            "cv.solve", cat="cv", path="exact", n_folds=self.n_folds
+        ):
+            scores = cross_val_score_precomputed(
+                lambda: LSSVC("precomputed", gamma=self.gamma),
+                gram,
+                y,
+                n_folds=self.n_folds,
+                seed=self.seed,
+            )
         with self._count_lock:
             self.n_solves_exact += len(scores)
         return float(np.mean(scores))
@@ -130,12 +134,19 @@ class CrossValScorer:
         factor = np.asarray(factor, dtype=float)
         y = np.asarray(y).ravel()
         folds = list(stratified_kfold_indices(y, self.n_folds, self.seed))
-        accuracies = [
-            self._factor_fold_accuracy(
-                factor[train], y[train], factor[test], y[test]
-            )
-            for train, test in folds
-        ]
+        with get_tracer().span(
+            "cv.solve",
+            cat="cv",
+            path="factor",
+            n_folds=self.n_folds,
+            rank=int(factor.shape[1]),
+        ):
+            accuracies = [
+                self._factor_fold_accuracy(
+                    factor[train], y[train], factor[test], y[test]
+                )
+                for train, test in folds
+            ]
         with self._count_lock:
             self.n_solves_factor += len(folds)
         return float(np.mean(accuracies))

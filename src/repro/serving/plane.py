@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,6 +59,7 @@ from repro.engine.cache import shard_row_slices
 from repro.kernels.base import as_2d
 from repro.serving.model import ServedModel
 from repro.serving.store import StripModelStore, handle_serve_op
+from repro.telemetry import SERVING_LEDGER_KINDS, MetricsRegistry, get_tracer
 
 __all__ = ["ServingPlane", "ServeResponse", "ServingError"]
 
@@ -402,7 +404,13 @@ class ServingPlane:
     def _fan_out(self, requests):
         """One transport round + death bookkeeping on lost replies."""
         self.n_requests += len(requests)
-        replies = self._transport.fan_out(requests)
+        with get_tracer().span(
+            "serve.fan_out", cat="serve", n_requests=len(requests)
+        ) as span:
+            replies = self._transport.fan_out(requests)
+            lost = sum(1 for reply in replies if reply is None)
+            if lost:
+                span.set(lost=lost)
         for (worker, _, _), reply in zip(requests, replies):
             if reply is None:
                 self._on_worker_death(worker)
@@ -424,6 +432,8 @@ class ServingPlane:
                 "reuse_resident requires the sockets backend: only cluster "
                 "workers hold a placement-resident training sample"
             )
+        tracer = get_tracer()
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         with self._request_lock:
             version = self._next_version
             self._next_version += 1
@@ -475,6 +485,16 @@ class ServingPlane:
             self._models[version] = model
             self._slices[version] = slices
             self.n_installs += 1
+            if tracer.enabled:
+                tracer.record_span(
+                    "serve.install",
+                    t0,
+                    time.perf_counter(),
+                    cat="serve",
+                    version=version,
+                    n_strips=len(slices),
+                    reuse_resident=reuse_resident,
+                )
             return version
 
     def activate(self, version: int) -> None:
@@ -486,7 +506,12 @@ class ServingPlane:
                 )
             if self._active is not None and self._active != version:
                 self.n_swaps += 1
-            self._active = version
+            previous, self._active = self._active, version
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "serve.flip", cat="serve", version=version, previous=previous
+            )
 
     def publish(self, model: ServedModel, reuse_resident: bool = False) -> int:
         """Install then activate: the zero-downtime swap in one call."""
@@ -535,6 +560,8 @@ class ServingPlane:
         return self._serve(X)
 
     def _serve(self, X: np.ndarray) -> ServeResponse:
+        tracer = get_tracer()
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         with self._request_lock:
             with self._version_lock:
                 version = self._active
@@ -599,6 +626,16 @@ class ServingPlane:
             predictions = model.estimator.predict(cross)
             self.n_batches += 1
             self.n_rows_served += X.shape[0]
+            if tracer.enabled:
+                tracer.record_span(
+                    "serve.request",
+                    t0,
+                    time.perf_counter(),
+                    cat="serve",
+                    version=version,
+                    rows=int(X.shape[0]),
+                    n_strips=len(slices),
+                )
             return ServeResponse(
                 version=version, decisions=decisions, predictions=predictions
             )
@@ -643,3 +680,15 @@ class ServingPlane:
             stats["serve_bytes_out"] = wire["serve_bytes_out"]
             stats["serve_bytes_in"] = wire["serve_bytes_in"]
         return stats
+
+    def metrics(self) -> MetricsRegistry:
+        """The serving ledger as a kind-tagged registry view.
+
+        Purely derived from :meth:`stats` — counters and gauges carry
+        the declared :data:`~repro.telemetry.SERVING_LEDGER_KINDS`
+        kinds, so merging across planes or polling windows follows the
+        documented semantics instead of ad-hoc dict arithmetic.
+        """
+        return MetricsRegistry().absorb(
+            self.stats(), SERVING_LEDGER_KINDS, prefix="serving."
+        )

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.cache import cross_gram_strip
+from repro.telemetry import get_tracer
 
 __all__ = ["StripModelStore", "handle_serve_op"]
 
@@ -139,23 +140,30 @@ class StripModelStore:
         X_query = np.asarray(X_query, dtype=float)
         query_diags = [np.asarray(d, dtype=float) for d in query_diags]
         out: dict[int, np.ndarray] = {}
-        for strip in strips:
-            strip = int(strip)
-            rows = stored.rows.get(strip)
-            if rows is None:
-                raise ValueError(
-                    f"strip {strip} of version {version} is not resident "
-                    "on this host"
+        with get_tracer().span(
+            "serve.rows",
+            cat="serve",
+            version=int(version),
+            n_strips=len(strips),
+            rows=int(X_query.shape[0]),
+        ):
+            for strip in strips:
+                strip = int(strip)
+                rows = stored.rows.get(strip)
+                if rows is None:
+                    raise ValueError(
+                        f"strip {strip} of version {version} is not resident "
+                        "on this host"
+                    )
+                out[strip] = cross_gram_strip(
+                    X_query,
+                    rows,
+                    stored.blocks,
+                    stored.weights,
+                    stored.block_kernel,
+                    stored.diags[strip],
+                    query_diags,
                 )
-            out[strip] = cross_gram_strip(
-                X_query,
-                rows,
-                stored.blocks,
-                stored.weights,
-                stored.block_kernel,
-                stored.diags[strip],
-                query_diags,
-            )
         return {"version": int(version), "strips": out}
 
     # -- introspection -------------------------------------------------

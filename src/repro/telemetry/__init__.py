@@ -1,0 +1,104 @@
+"""Telemetry plane: span tracing, unified metrics, fleet introspection.
+
+Three pieces, deliberately dependency-free (stdlib only) so every other
+package — engine, cluster, serving, benchmarks — can import them
+without cycles:
+
+* :mod:`~repro.telemetry.tracer` — a process-global span tracer with a
+  context-manager/decorator API.  **Zero-overhead when off**: every
+  instrumented hot path guards on the single ``tracer.enabled``
+  attribute (and ``tracer.span(...)`` returns a shared no-op context
+  when disabled), so a telemetry-off run executes the exact same
+  arithmetic as an uninstrumented one — optimum, scores, op ledgers,
+  wire ledgers and served responses are bit-identical either way, on
+  or off (telemetry only *observes*; it never changes what is
+  computed).
+* :mod:`~repro.telemetry.metrics` — :class:`MetricsRegistry`
+  (counters / gauges / histograms with labels, one ``snapshot()``
+  surface, kind-aware ``merge``), plus the plain-dict helpers
+  (:func:`merge_counts`, :func:`ledger_delta`) the wire-ledger code
+  shares, and the :data:`WIRE_LEDGER_KINDS` table that tags every
+  ``SearchResult.wire`` key as a gauge or a counter — the single
+  source of truth for merge semantics.
+* :mod:`~repro.telemetry.export` — exporters: Chrome
+  ``chrome://tracing`` / Perfetto JSON traces, flat JSONL event logs,
+  and a plain-text summary table (:func:`report`).
+
+Live fleet introspection rides the cluster protocol's
+``MSG_TELEMETRY`` frame (:mod:`repro.cluster.status` — the
+``python -m repro.cluster.status`` CLI), which polls each worker's
+metrics/span snapshot over short-deadline connections so a dead or
+hung node can never wedge the poll.
+
+Quickstart::
+
+    from repro import telemetry
+
+    tracer = telemetry.enable_tracing()
+    ...                      # run a search / serve a batch
+    tracer.write_chrome_trace("trace.json")   # open in chrome://tracing
+    print(telemetry.report())                 # plain-text summary
+    telemetry.disable_tracing()
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    jsonl_lines,
+    report_records,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    KIND_COUNTER,
+    KIND_GAUGE,
+    KIND_HISTOGRAM,
+    OP_LEDGER_KINDS,
+    SERVING_LEDGER_KINDS,
+    SPECULATION_LEDGER_KINDS,
+    WIRE_LEDGER_KINDS,
+    MetricsRegistry,
+    ledger_delta,
+    merge_counts,
+    result_metrics,
+    wire_gauge_keys,
+)
+from repro.telemetry.tracer import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    tracing_enabled,
+)
+
+__all__ = [
+    "KIND_COUNTER",
+    "KIND_GAUGE",
+    "KIND_HISTOGRAM",
+    "MetricsRegistry",
+    "OP_LEDGER_KINDS",
+    "SERVING_LEDGER_KINDS",
+    "SPECULATION_LEDGER_KINDS",
+    "Tracer",
+    "WIRE_LEDGER_KINDS",
+    "chrome_trace",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "jsonl_lines",
+    "ledger_delta",
+    "merge_counts",
+    "report",
+    "report_records",
+    "result_metrics",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "wire_gauge_keys",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def report() -> str:
+    """Plain-text summary table of the global tracer's recorded spans."""
+    return get_tracer().report()

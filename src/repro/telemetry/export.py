@@ -1,0 +1,187 @@
+"""Exporters for tracer records: Chrome trace JSON, JSONL, text report.
+
+Tracer records (see :mod:`repro.telemetry.tracer`) already use the
+Chrome trace-event vocabulary, so :func:`chrome_trace` is mostly a
+wrapping pass that adds process/thread name metadata.  The produced
+document loads directly in ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_.
+
+:func:`validate_chrome_trace` is the schema check the test suite runs
+on every exported document — the contract that keeps the files
+loadable by external viewers we cannot run in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_lines",
+    "report_records",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _clean_args(args: Mapping[str, Any]) -> dict:
+    """JSON-safe copy of span attributes (repr() anything exotic)."""
+    out = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def chrome_trace(
+    records: Iterable[Mapping[str, Any]], process_name: str = "repro"
+) -> dict:
+    """Chrome trace-event document (``{"traceEvents": [...]}``).
+
+    Spans become ``ph: "X"`` complete events, instants ``ph: "i"``
+    with thread scope.  Timestamps/durations are microseconds, as the
+    format requires.
+    """
+    events = []
+    pids = set()
+    for rec in records:
+        event = {
+            "name": str(rec["name"]),
+            "cat": str(rec.get("cat", "repro")),
+            "ph": rec.get("ph", "X"),
+            "ts": float(rec["ts"]),
+            "pid": int(rec.get("pid", 0)),
+            "tid": int(rec.get("tid", 0)),
+            "args": _clean_args(rec.get("args", {})),
+        }
+        if event["ph"] == "X":
+            event["dur"] = float(rec.get("dur", 0.0))
+        elif event["ph"] == "i":
+            event["s"] = "t"  # instant scoped to its thread
+        events.append(event)
+        pids.add(event["pid"])
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{process_name} (pid {pid})"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a loadable trace document.
+
+    Checks the invariants ``chrome://tracing`` / Perfetto rely on:
+    a ``traceEvents`` list whose entries carry a string ``name``, a
+    known phase, numeric non-negative ``ts``, and for complete events
+    a numeric non-negative ``dur``.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document must carry a traceEvents list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"traceEvents[{i}] lacks a name")
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M", "B", "E", "b", "e", "C"):
+            raise ValueError(f"traceEvents[{i}] has unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"traceEvents[{i}] has invalid ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}] has invalid dur {dur!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"traceEvents[{i}] args is not an object")
+    json.dumps(doc)  # must be serialisable end-to-end
+
+
+def write_chrome_trace(
+    path: str,
+    records: Iterable[Mapping[str, Any]],
+    process_name: str = "repro",
+) -> str:
+    """Write a validated Chrome trace JSON file; returns ``path``."""
+    doc = chrome_trace(records, process_name=process_name)
+    validate_chrome_trace(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def jsonl_lines(records: Iterable[Mapping[str, Any]]) -> list[str]:
+    """One compact JSON object per record (flat event log)."""
+    lines = []
+    for rec in records:
+        flat = dict(rec)
+        flat["args"] = _clean_args(rec.get("args", {}))
+        lines.append(json.dumps(flat, sort_keys=True))
+    return lines
+
+
+def write_jsonl(path: str, records: Iterable[Mapping[str, Any]]) -> str:
+    """Write the flat JSONL event log; returns ``path``."""
+    with open(path, "w") as fh:
+        for line in jsonl_lines(records):
+            fh.write(line + "\n")
+    return path
+
+
+def report_records(records: Iterable[Mapping[str, Any]]) -> str:
+    """Plain-text summary table aggregated per (category, span name).
+
+    Columns: call count, total / mean / max duration in milliseconds.
+    Instant events show a count with ``-`` durations.
+    """
+    stats: dict[tuple[str, str], dict[str, float]] = {}
+    for rec in records:
+        key = (str(rec.get("cat", "repro")), str(rec["name"]))
+        entry = stats.setdefault(
+            key, {"count": 0, "total": 0.0, "max": 0.0, "timed": False}
+        )
+        entry["count"] += 1
+        if rec.get("ph", "X") == "X":
+            entry["timed"] = True
+            dur_ms = float(rec.get("dur", 0.0)) / 1000.0
+            entry["total"] += dur_ms
+            entry["max"] = max(entry["max"], dur_ms)
+    header = (
+        f"{'category':<12} {'span':<36} {'count':>7} "
+        f"{'total_ms':>10} {'mean_ms':>10} {'max_ms':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    # widest total time first: "where did the time go"
+    ordered = sorted(
+        stats.items(), key=lambda item: (-item[1]["total"], item[0])
+    )
+    for (cat, name), entry in ordered:
+        if entry["timed"]:
+            mean = entry["total"] / entry["count"]
+            lines.append(
+                f"{cat:<12} {name:<36} {entry['count']:>7d} "
+                f"{entry['total']:>10.3f} {mean:>10.3f} {entry['max']:>10.3f}"
+            )
+        else:
+            lines.append(
+                f"{cat:<12} {name:<36} {entry['count']:>7d} "
+                f"{'-':>10} {'-':>10} {'-':>10}"
+            )
+    if not stats:
+        lines.append("(no records)")
+    return "\n".join(lines)

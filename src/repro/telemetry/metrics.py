@@ -1,0 +1,428 @@
+"""Unified metrics registry: counters, gauges, histograms with labels.
+
+Two layers:
+
+* **Plain-dict helpers** — :func:`merge_counts` and
+  :func:`ledger_delta` — the primitives every wire/op ledger in the
+  repo shares.  The coordinator, the process-pool backend and the
+  socket backend all accumulate ``{key: int}`` ledgers; merging and
+  baselining them used to be hand-rolled at each site with identical
+  loops, and — worse — with implicit per-site knowledge of which keys
+  are *gauges* (point-in-time samples like ``n_live_workers``) versus
+  *counters* (cumulative like ``envelope_bytes_out``).  The kind
+  tables below (:data:`WIRE_LEDGER_KINDS`, :data:`OP_LEDGER_KINDS`,
+  :data:`SPECULATION_LEDGER_KINDS`, :data:`SERVING_LEDGER_KINDS`) make
+  that knowledge explicit and single-sourced.
+
+* **:class:`MetricsRegistry`** — a thread-safe registry of named,
+  labelled counters / gauges / histograms behind one ``snapshot()``
+  surface, with a kind-aware ``merge`` (counters and histogram
+  aggregates sum; gauges take the most recent sample).  ``absorb``
+  ingests any of the repo's ad-hoc ledger dicts, and
+  :func:`result_metrics` converts a whole ``SearchResult`` — the
+  legacy ``result.*`` fields stay bit-identical; the registry is a
+  read-only *view* over them.
+
+Merge semantics (the ``SearchResult.wire`` fix)
+-----------------------------------------------
+
+A **counter** only ever increases; merging ledgers from several
+sources (workers, links, backends) or several time windows **sums**
+it, and a per-search value is the **delta** against a baseline
+snapshot taken when the search began.  A **gauge** is a sample of
+current state; merging keeps the **latest** sample (for plain-dict
+merges, the last source wins) and baselining leaves it untouched —
+subtracting a baseline from ``n_live_workers`` would be meaningless.
+``strip_bytes_resident`` / ``strip_bytes_resident_max_worker`` are
+high-water marks: resident bytes only grow during a search (strips
+are never dropped mid-search), so the fleet-wide *sum* is booked as a
+counter-like total while the *max-worker* figure is a gauge sample.
+Histograms merge by combining their ``(count, total, min, max)``
+summaries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "KIND_COUNTER",
+    "KIND_GAUGE",
+    "KIND_HISTOGRAM",
+    "MetricsRegistry",
+    "OP_LEDGER_KINDS",
+    "SERVING_LEDGER_KINDS",
+    "SPECULATION_LEDGER_KINDS",
+    "WIRE_LEDGER_KINDS",
+    "ledger_delta",
+    "merge_counts",
+    "result_metrics",
+    "wire_gauge_keys",
+]
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM = "histogram"
+
+# ---------------------------------------------------------------------------
+# Kind tables: every ad-hoc ledger key in the repo, tagged.
+# ---------------------------------------------------------------------------
+
+#: ``SearchResult.wire`` / ``Coordinator.wire_stats()`` /
+#: ``SocketBackend.wire_stats()`` / ``ProcessPoolBackend.wire_stats()``
+#: keys.  Unlisted keys default to counters (loud in tests, safe in
+#: the field: a new cumulative byte/op counter merges correctly by
+#: default, whereas a new gauge must be declared here).
+WIRE_LEDGER_KINDS: dict[str, str] = {
+    # fleet shape: point-in-time samples
+    "n_workers": KIND_GAUGE,
+    "n_live_workers": KIND_GAUGE,
+    # per-worker residency high-water mark: a sample, not a flow
+    "strip_bytes_resident_max_worker": KIND_GAUGE,
+    # fleet-wide resident total: monotone during a search (strips are
+    # never dropped mid-search), booked as a cumulative total
+    "strip_bytes_resident": KIND_COUNTER,
+    # cumulative event counts
+    "n_tasks": KIND_COUNTER,
+    "n_results": KIND_COUNTER,
+    "n_reassigned": KIND_COUNTER,
+    "n_reconnect_rounds": KIND_COUNTER,
+    "n_heartbeats": KIND_COUNTER,
+    "n_evicted": KIND_COUNTER,
+    "n_speculative_tasks": KIND_COUNTER,
+    "n_discarded_results": KIND_COUNTER,
+    "n_requests": KIND_COUNTER,
+    "n_gathers": KIND_COUNTER,
+    "n_promotions": KIND_COUNTER,
+    "n_replicated_strips": KIND_COUNTER,
+    "n_replication_failures": KIND_COUNTER,
+    "n_strip_rebuilds": KIND_COUNTER,
+    # cumulative byte flows, per wire bucket
+    "envelope_bytes_out": KIND_COUNTER,
+    "envelope_bytes_in": KIND_COUNTER,
+    "serve_bytes_out": KIND_COUNTER,
+    "serve_bytes_in": KIND_COUNTER,
+    "placement_bytes_out": KIND_COUNTER,
+    "placement_bytes_in": KIND_COUNTER,
+    "heartbeat_bytes_out": KIND_COUNTER,
+    "heartbeat_bytes_in": KIND_COUNTER,
+    "replication_bytes_out": KIND_COUNTER,
+    "replication_bytes_in": KIND_COUNTER,
+    "telemetry_bytes_out": KIND_COUNTER,
+    "telemetry_bytes_in": KIND_COUNTER,
+    "auth_bytes_out": KIND_COUNTER,
+    "auth_bytes_in": KIND_COUNTER,
+    "factor_bytes_shipped": KIND_COUNTER,
+}
+
+#: Scalar op counters on ``SearchResult`` itself.
+OP_LEDGER_KINDS: dict[str, str] = {
+    "n_evaluations": KIND_COUNTER,
+    "n_gram_computations": KIND_COUNTER,
+    "n_matrix_ops": KIND_COUNTER,
+    "n_cv_solves": KIND_COUNTER,
+    "n_cv_solves_landmark": KIND_COUNTER,
+    "n_landmark_ops": KIND_COUNTER,
+    "n_factor_computations": KIND_COUNTER,
+}
+
+#: ``SearchResult.speculation`` keys.
+SPECULATION_LEDGER_KINDS: dict[str, str] = {
+    "n_speculated": KIND_COUNTER,
+    "n_hits": KIND_COUNTER,
+    "n_wasted": KIND_COUNTER,
+    "n_cancelled": KIND_COUNTER,
+    "n_drains": KIND_COUNTER,
+    "wasted_bytes": KIND_COUNTER,
+    "wasted_ops": KIND_COUNTER,
+    "wasted_gram_computations": KIND_COUNTER,
+    "depth": KIND_GAUGE,
+    "ahead_max": KIND_GAUGE,
+    "ahead_mean": KIND_GAUGE,
+}
+
+#: ``ServingPlane.stats()`` keys.
+#: Kinds of every numeric key in ``ServingPlane.stats()``.  The
+#: non-numeric keys (``backend``, ``versions``) are skipped by
+#: ``absorb``; ``active_version`` is ``None`` until the first flip and
+#: skipped until then.
+SERVING_LEDGER_KINDS: dict[str, str] = {
+    "n_installs": KIND_COUNTER,
+    "n_swaps": KIND_COUNTER,
+    "n_batches": KIND_COUNTER,
+    "n_rows_served": KIND_COUNTER,
+    "n_requests": KIND_COUNTER,
+    "n_reroutes": KIND_COUNTER,
+    "n_promotions": KIND_COUNTER,
+    "n_gathers": KIND_COUNTER,
+    "serve_bytes_out": KIND_COUNTER,
+    "serve_bytes_in": KIND_COUNTER,
+    "n_workers": KIND_GAUGE,
+    "n_dead_workers": KIND_GAUGE,
+    "n_strips": KIND_GAUGE,
+    "replication": KIND_GAUGE,
+    "active_version": KIND_GAUGE,
+}
+
+
+def wire_gauge_keys() -> frozenset[str]:
+    """Wire-ledger keys that are gauges (everything else is a counter).
+
+    The engine's per-search delta logic (``KernelEvaluationEngine.
+    wire_stats``) uses this: counters are reported as deltas against
+    the construction-time baseline, gauges pass through as the latest
+    sample.
+    """
+    return frozenset(
+        key for key, kind in WIRE_LEDGER_KINDS.items() if kind == KIND_GAUGE
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plain-dict ledger helpers (the shared merge code)
+# ---------------------------------------------------------------------------
+
+
+def merge_counts(
+    target: dict,
+    source: Mapping[str, Any],
+    kinds: Mapping[str, str] | None = None,
+) -> dict:
+    """Merge ``source`` into ``target`` in place and return ``target``.
+
+    Counter keys (the default for unlisted keys) are summed; keys
+    tagged :data:`KIND_GAUGE` in ``kinds`` take the source's sample
+    (last merge wins).  This is the single implementation behind the
+    coordinator's per-bucket byte totals, the socket backend's
+    placed-cache counter sums and the worker's op ledger.
+    """
+    for key, value in source.items():
+        if kinds is not None and kinds.get(key) == KIND_GAUGE:
+            target[key] = value
+        else:
+            target[key] = target.get(key, 0) + value
+    return target
+
+
+def ledger_delta(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    kinds: Mapping[str, str] | None = None,
+    gauges: Iterable[str] | None = None,
+) -> dict:
+    """Per-window view of a cumulative ledger.
+
+    Counters are reported as ``current - baseline``; gauges pass
+    through untouched (they are samples — subtracting a baseline from
+    ``n_live_workers`` would be meaningless).  Gauge keys come from
+    ``kinds`` (a kind table) or an explicit ``gauges`` set.
+    """
+    gauge_set = set(gauges or ())
+    if kinds is not None:
+        gauge_set.update(k for k, kind in kinds.items() if kind == KIND_GAUGE)
+    return {
+        key: value if key in gauge_set else value - baseline.get(key, 0)
+        for key, value in current.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+
+
+def _key(name: str, labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe counters / gauges / histograms with labels.
+
+    Metric identity is ``name`` plus a sorted label set, rendered as
+    ``name{label=value,...}`` in snapshots (Prometheus-style).  A name
+    keeps one kind for the registry's lifetime; re-registering a name
+    under a different kind raises — that is exactly the
+    gauge-vs-counter ambiguity this class exists to eliminate.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._kinds: dict[str, str] = {}
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, dict[str, float]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def count(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` to a cumulative counter."""
+        with self._lock:
+            self._declare(name, KIND_COUNTER)
+            key = _key(name, labels)
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge to its latest sample."""
+        with self._lock:
+            self._declare(name, KIND_GAUGE)
+            self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one observation into a histogram summary."""
+        with self._lock:
+            self._declare(name, KIND_HISTOGRAM)
+            key = _key(name, labels)
+            hist = self._hists.get(key)
+            if hist is None:
+                self._hists[key] = {
+                    "count": 1,
+                    "total": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                hist["count"] += 1
+                hist["total"] += value
+                hist["min"] = min(hist["min"], value)
+                hist["max"] = max(hist["max"], value)
+
+    def absorb(
+        self,
+        ledger: Mapping[str, Any],
+        kinds: Mapping[str, str] | None = None,
+        prefix: str = "",
+        **labels: Any,
+    ) -> "MetricsRegistry":
+        """Ingest a plain ``{key: number}`` ledger dict.
+
+        Each key becomes a metric named ``prefix + key``; its kind
+        comes from the ``kinds`` table (counter when unlisted).
+        Non-numeric entries (backend names, version lists, ``None``)
+        are skipped — ledgers mix bookkeeping with identity fields.
+        Returns ``self`` for chaining.
+        """
+        for key, value in ledger.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            name = prefix + key
+            kind = (kinds or {}).get(key, KIND_COUNTER)
+            if kind == KIND_GAUGE:
+                self.gauge(name, value, **labels)
+            elif kind == KIND_HISTOGRAM:
+                self.observe(name, value, **labels)
+            else:
+                self.count(name, value, **labels)
+        return self
+
+    # -- reading / merging ----------------------------------------------
+
+    def kind(self, name: str) -> str | None:
+        with self._lock:
+            return self._kinds.get(name)
+
+    def snapshot(self) -> dict:
+        """One JSON-serialisable view of everything recorded.
+
+        Shape::
+
+            {"counters": {key: value},
+             "gauges": {key: value},
+             "histograms": {key: {"count", "total", "min", "max"}},
+             "kinds": {name: kind}}
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: dict(v) for k, v in self._hists.items()},
+                "kinds": dict(self._kinds),
+            }
+
+    def merge(self, other: "MetricsRegistry | Mapping[str, Any]") -> "MetricsRegistry":
+        """Kind-aware merge of another registry (or its ``snapshot()``).
+
+        Counters sum; gauges take the other side's sample (it is the
+        more recent one); histogram summaries combine.  Returns
+        ``self``.
+        """
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        with self._lock:
+            for name, kind in snap.get("kinds", {}).items():
+                self._declare(name, kind)
+            for key, value in snap.get("counters", {}).items():
+                self._counters[key] = self._counters.get(key, 0) + value
+            for key, value in snap.get("gauges", {}).items():
+                self._gauges[key] = value
+            for key, hist in snap.get("histograms", {}).items():
+                mine = self._hists.get(key)
+                if mine is None:
+                    self._hists[key] = dict(hist)
+                else:
+                    mine["count"] += hist["count"]
+                    mine["total"] += hist["total"]
+                    mine["min"] = min(mine["min"], hist["min"])
+                    mine["max"] = max(mine["max"], hist["max"])
+        return self
+
+    def report(self) -> str:
+        """Plain-text table of the registry contents."""
+        snap = self.snapshot()
+        lines = []
+        for section in ("counters", "gauges"):
+            for key in sorted(snap[section]):
+                lines.append(f"{section[:-1]:9s} {key:48s} {snap[section][key]}")
+        for key in sorted(snap["histograms"]):
+            h = snap["histograms"][key]
+            mean = h["total"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"histogram {key:48s} count={h['count']} "
+                f"mean={mean:.6g} min={h['min']:.6g} max={h['max']:.6g}"
+            )
+        return "\n".join(lines)
+
+    # -- internals -------------------------------------------------------
+
+    def _declare(self, name: str, kind: str) -> None:
+        # base name (label-free) keeps one kind for the registry's life
+        known = self._kinds.get(name)
+        if known is None:
+            self._kinds[name] = kind
+        elif known != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {known}, not {kind}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# SearchResult view
+# ---------------------------------------------------------------------------
+
+
+def result_metrics(result: Any) -> MetricsRegistry:
+    """A :class:`MetricsRegistry` view over a ``SearchResult``.
+
+    Absorbs the op counters, the wire ledger (``engine.wire.*``) and
+    the speculation ledger (``engine.speculation.*``) with their
+    declared kinds.  Purely derived — the legacy ``result.*`` fields
+    are untouched and remain the source of truth.
+    """
+    registry = MetricsRegistry()
+    ops = {
+        key: getattr(result, key)
+        for key in OP_LEDGER_KINDS
+        if getattr(result, key, None) is not None
+    }
+    registry.absorb(ops, OP_LEDGER_KINDS, prefix="engine.")
+    wire = getattr(result, "wire", None)
+    if wire:
+        registry.absorb(wire, WIRE_LEDGER_KINDS, prefix="engine.wire.")
+    speculation = getattr(result, "speculation", None)
+    if speculation:
+        registry.absorb(
+            speculation, SPECULATION_LEDGER_KINDS, prefix="engine.speculation."
+        )
+    return registry

@@ -1,0 +1,306 @@
+"""Span tracer: nested timed spans with structured attributes.
+
+Design constraints, in priority order:
+
+1. **Zero overhead when off.** Instrumentation sits on hot paths
+   (batch scoring, ticket routing, serve fan-outs).  The tracer is a
+   process-global singleton whose ``enabled`` attribute is a plain
+   bool; when it is ``False``, :meth:`Tracer.span` returns a shared
+   no-op context manager (no allocation), :meth:`Tracer.event` and
+   :meth:`Tracer.record_span` return immediately, and the truly hot
+   call sites additionally guard with ``if tracer.enabled:`` so not
+   even an argument tuple is built.  Tracing never mutates any state
+   the computation reads, so results are bit-identical on or off.
+
+2. **Thread-safe.** The engine, coordinator, heartbeat monitor,
+   worker connection threads and serving load generators all record
+   concurrently; the record buffer is guarded by a lock and every
+   record is an immutable-by-convention plain dict.
+
+3. **Exportable.** Records use Chrome-trace vocabulary directly
+   (``ph`` "X" complete spans / "i" instant events, microsecond
+   ``ts``/``dur``) so export is a thin serialisation pass
+   (:mod:`repro.telemetry.export`).
+
+Record shape (plain dicts, JSON-serialisable)::
+
+    {"ph": "X", "name": ..., "cat": ..., "ts": µs, "dur": µs,
+     "pid": ..., "tid": ..., "args": {...}}      # timed span
+    {"ph": "i", "name": ..., "cat": ..., "ts": µs,
+     "pid": ..., "tid": ..., "args": {...}}      # instant event
+
+Timestamps are microseconds measured with ``time.perf_counter()``
+relative to the tracer's epoch (reset by :meth:`Tracer.clear`), so
+traces from one process are internally consistent; cross-process
+alignment is out of scope (each worker exports its own timeline).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "tracing_enabled",
+]
+
+# Default cap on buffered records; beyond it new records are dropped
+# (and counted) rather than growing memory without bound during
+# long-lived serving sessions.
+DEFAULT_MAX_RECORDS = 200_000
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        """No-op attribute setter (mirrors :class:`_Span.set`)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live timed span; append-on-exit so nesting needs no stack."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        t1 = time.perf_counter()
+        self._tracer._append_span(self.name, self.cat, self._t0, t1, self.args)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. result sizes)."""
+        self.args.update(attrs)
+
+
+class Tracer:
+    """Append-only span/event recorder with an on/off switch.
+
+    All methods are safe to call from any thread.  When ``enabled``
+    is ``False`` every recording method is a no-op; flipping it on
+    mid-process starts recording immediately (existing records are
+    kept unless :meth:`clear` is called).
+    """
+
+    def __init__(self, max_records: int = DEFAULT_MAX_RECORDS):
+        self.enabled = False
+        self.max_records = max_records
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+        self._epoch = time.perf_counter()
+        self._dropped = 0
+
+    # -- control ---------------------------------------------------------
+
+    def enable(self, clear: bool = False) -> "Tracer":
+        if clear:
+            self.clear()
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self.enabled = False
+        return self
+
+    def clear(self) -> None:
+        """Drop all records and reset the timestamp epoch."""
+        with self._lock:
+            self._records = []
+            self._dropped = 0
+            self._epoch = time.perf_counter()
+
+    @property
+    def n_dropped(self) -> int:
+        """Records dropped because the buffer hit ``max_records``."""
+        return self._dropped
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, cat: str = "repro", **attrs: Any):
+        """Context manager timing a span; no-op when disabled.
+
+        Usage::
+
+            with tracer.span("engine.score_batch", n=len(batch)):
+                ...
+
+        Hot paths should guard with ``if tracer.enabled:`` to avoid
+        even building ``attrs``; when they don't, the disabled cost is
+        one attribute check plus the kwargs dict.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, attrs)
+
+    def event(self, name: str, cat: str = "repro", **attrs: Any) -> None:
+        """Record an instant event (Chrome ``ph: "i"``)."""
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        rec = {
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "ts": self._us(now),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": attrs,
+        }
+        self._push(rec)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "repro",
+        **attrs: Any,
+    ) -> None:
+        """Record a completed span from explicit ``perf_counter`` stamps.
+
+        Used where a span's start and end happen on different threads
+        (e.g. a cluster ticket: submitted by the strategy thread,
+        consumed by the waiter) so a context manager can't bracket it.
+        """
+        if not self.enabled:
+            return
+        self._append_span(name, cat, start, end, attrs)
+
+    def trace(self, name: str, cat: str = "repro") -> Callable:
+        """Decorator recording one span per call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            @functools.wraps(fn)
+            def wrapper(*a: Any, **kw: Any):
+                if not self.enabled:
+                    return fn(*a, **kw)
+                with self.span(name, cat=cat):
+                    return fn(*a, **kw)
+
+            return wrapper
+
+        return decorate
+
+    # -- reading ---------------------------------------------------------
+
+    def cursor(self) -> int:
+        """Opaque position in the record stream (pass to :meth:`since`)."""
+        with self._lock:
+            return len(self._records)
+
+    def since(self, cursor: int) -> list[dict]:
+        """Records appended after ``cursor`` (a :meth:`cursor` value)."""
+        with self._lock:
+            return list(self._records[cursor:])
+
+    def records(self) -> list[dict]:
+        """Snapshot of all buffered records."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.records())
+
+    # -- export conveniences ---------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        from repro.telemetry.export import chrome_trace
+
+        return chrome_trace(self.records())
+
+    def write_chrome_trace(self, path: str) -> str:
+        from repro.telemetry.export import write_chrome_trace
+
+        return write_chrome_trace(path, self.records())
+
+    def write_jsonl(self, path: str) -> str:
+        from repro.telemetry.export import write_jsonl
+
+        return write_jsonl(path, self.records())
+
+    def report(self) -> str:
+        from repro.telemetry.export import report_records
+
+        return report_records(self.records())
+
+    # -- internals -------------------------------------------------------
+
+    def _us(self, t: float) -> float:
+        # Clamp at the epoch: a span straddling clear() (or explicit
+        # stamps taken before it) must not produce a negative ts, which
+        # trace viewers reject.
+        return max(0.0, (t - self._epoch) * 1e6)
+
+    def _append_span(
+        self, name: str, cat: str, start: float, end: float, args: dict
+    ) -> None:
+        rec = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": self._us(start),
+            "dur": max(0.0, (end - start) * 1e6),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": args,
+        }
+        self._push(rec)
+
+    def _push(self, rec: dict) -> None:
+        with self._lock:
+            if len(self._records) >= self.max_records:
+                self._dropped += 1
+                return
+            self._records.append(rec)
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer every instrumented module records to."""
+    return _GLOBAL_TRACER
+
+
+def enable_tracing(clear: bool = False) -> Tracer:
+    """Switch the global tracer on (optionally clearing old records)."""
+    return _GLOBAL_TRACER.enable(clear=clear)
+
+
+def disable_tracing() -> Tracer:
+    """Switch the global tracer off (records are kept for export)."""
+    return _GLOBAL_TRACER.disable()
+
+
+def tracing_enabled() -> bool:
+    return _GLOBAL_TRACER.enabled

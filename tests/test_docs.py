@@ -18,6 +18,7 @@ DOC_SOURCES = (
     ROOT / "docs" / "ARCHITECTURE.md",
     ROOT / "docs" / "engine.md",
     ROOT / "docs" / "strategies.md",
+    ROOT / "docs" / "observability.md",
 )
 FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

@@ -1,0 +1,694 @@
+"""Telemetry plane acceptance tests.
+
+The contract under test, layer by layer:
+
+* the tracer is a **no-op when disabled** — ``span()`` hands back a
+  shared null context manager, nothing is recorded, and (the part that
+  actually matters) every search / serving result is **bit-identical**
+  with tracing on and off, on the serial, process-pool and sockets
+  backends;
+* exported traces are valid Chrome ``chrome://tracing`` documents
+  (schema-checked by :func:`repro.telemetry.validate_chrome_trace`,
+  round-tripped through ``json``);
+* the metrics registry's kind-aware merge semantics (counters sum,
+  gauges keep the latest sample, histograms combine) hold for
+  arbitrary inputs — hypothesis sweeps them — and the kind tables
+  drive ``merge_counts`` / ``ledger_delta`` the same way;
+* ``MSG_TELEMETRY`` answers live snapshots on any worker connection,
+  and :func:`repro.cluster.status.poll_fleet` keeps its deadline even
+  when a worker was killed mid-search (dead workers report as
+  ``None``, never a hang);
+* the ``python -m repro.cluster.status`` CLI and the worker's
+  ``--log-json`` flag work end to end as subprocesses.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.lssvm import LSSVC
+from repro.cluster import SocketBackend, WorkerServer
+from repro.cluster.protocol import MSG_TASK, MSG_TELEMETRY, wire_category
+from repro.cluster.status import ClusterStatus, main as status_main, poll_fleet
+from repro.engine.cache import cross_gram_strip, query_block_diags
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.kernels.partition_kernel import default_block_kernel
+from repro.mkl import PartitionMKLSearch
+from repro.serving.model import ServedModel
+from repro.serving.plane import ServingPlane
+from repro.telemetry import (
+    KIND_COUNTER,
+    KIND_GAUGE,
+    MetricsRegistry,
+    SERVING_LEDGER_KINDS,
+    WIRE_LEDGER_KINDS,
+    Tracer,
+    chrome_trace,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    ledger_delta,
+    merge_counts,
+    report_records,
+    result_metrics,
+    tracing_enabled,
+    validate_chrome_trace,
+    wire_gauge_keys,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_between_tests():
+    """Every test starts and ends with the global tracer disabled."""
+    disable_tracing()
+    get_tracer().clear()
+    yield
+    disable_tracing()
+    get_tracer().clear()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 3, role="noise"),
+    ]
+    return make_faceted_classification(60, specs, seed=11)
+
+
+# ---------------------------------------------------------------------------
+# Tracer core
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_disabled_is_noop(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        with tracer.span("anything", cat="x", foo=1) as span:
+            span.set(bar=2)  # null span swallows attributes
+        tracer.event("nope")
+        assert len(tracer) == 0
+        assert tracer.records() == []
+
+    def test_disabled_span_is_shared_singleton(self):
+        # The zero-overhead-off contract: no allocation per call.
+        tracer = Tracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_nested_spans_record_with_duration(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer", cat="t"):
+            with tracer.span("inner", cat="t", depth=1) as span:
+                span.set(extra="yes")
+                time.sleep(0.002)
+        records = tracer.records()
+        names = [r["name"] for r in records]
+        # Inner exits (and appends) first.
+        assert names == ["inner", "outer"]
+        inner, outer = records
+        assert inner["ph"] == "X" and outer["ph"] == "X"
+        assert inner["dur"] >= 1000  # slept 2ms, microsecond units
+        assert outer["dur"] >= inner["dur"]
+        assert inner["args"] == {"depth": 1, "extra": "yes"}
+
+    def test_events_and_cross_thread_spans(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.event("tick", cat="e", n=3)
+        t0 = time.perf_counter()
+        t1 = t0 + 0.005
+        tracer.record_span("lifecycle", t0, t1, cat="e", ticket=7)
+        events = tracer.records()
+        assert events[0]["ph"] == "i"
+        assert events[1]["ph"] == "X"
+        assert events[1]["args"]["ticket"] == 7
+        assert events[1]["dur"] == pytest.approx(5000, rel=0.01)
+
+    def test_decorator(self):
+        tracer = Tracer()
+        tracer.enable()
+
+        @tracer.trace("timed_fn", cat="d")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert tracer.records()[0]["name"] == "timed_fn"
+
+    def test_cursor_and_since(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.event("before")
+        cursor = tracer.cursor()
+        tracer.event("after_1")
+        tracer.event("after_2")
+        since = tracer.since(cursor)
+        assert [r["name"] for r in since] == ["after_1", "after_2"]
+        # Non-destructive: full buffer still holds everything.
+        assert len(tracer) == 3
+
+    def test_max_records_drops_and_counts(self):
+        tracer = Tracer(max_records=2)
+        tracer.enable()
+        for i in range(5):
+            tracer.event(f"e{i}")
+        assert len(tracer) == 2
+        assert tracer.n_dropped == 3
+
+    def test_enable_clear_resets(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.event("old")
+        tracer.enable(clear=True)
+        assert len(tracer) == 0
+
+    def test_global_toggle(self):
+        assert not tracing_enabled()
+        enable_tracing()
+        assert tracing_enabled()
+        assert get_tracer().enabled
+        disable_tracing()
+        assert not tracing_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExport:
+    def _sample_tracer(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", cat="c", k=1):
+            tracer.event("mark", cat="c")
+        return tracer
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        tracer = self._sample_tracer()
+        doc = chrome_trace(tracer.records())
+        validate_chrome_trace(doc)  # raises on any schema violation
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path)
+        loaded = json.loads(path.read_text())
+        validate_chrome_trace(loaded)
+        phases = {e["ph"] for e in loaded["traceEvents"]}
+        assert "X" in phases and "i" in phases and "M" in phases
+
+    def test_timestamps_never_negative(self):
+        # Spans straddling clear() clamp to the epoch instead of going
+        # negative (Chrome trace viewers reject negative timestamps).
+        tracer = Tracer()
+        tracer.enable()
+        t0 = time.perf_counter()
+        tracer.clear()  # epoch resets to *after* t0
+        tracer.record_span("straddler", t0, time.perf_counter())
+        validate_chrome_trace(chrome_trace(tracer.records()))
+        assert tracer.records()[0]["ts"] >= 0.0
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"no": "traceEvents"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "??", "name": "x"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "x", "ts": -5.0}]}
+            )
+
+    def test_jsonl_and_report(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(tracer.records())
+        for line in lines:
+            json.loads(line)
+        table = report_records(tracer.records())
+        assert "work" in table and "mark" in table
+
+    def test_non_json_args_fall_back_to_repr(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.event("odd", payload=object())
+        validate_chrome_trace(chrome_trace(tracer.records()))
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry + merge semantics
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.count("req", 2, worker=1)
+        reg.count("req", 3, worker=1)
+        reg.gauge("depth", 4)
+        reg.gauge("depth", 2)
+        reg.observe("latency", 1.0)
+        reg.observe("latency", 3.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["req{worker=1}"] == 5
+        assert snap["gauges"]["depth"] == 2
+        hist = snap["histograms"]["latency"]
+        assert hist["count"] == 2
+        assert hist["min"] == 1.0 and hist["max"] == 3.0
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.count("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x", 1)
+
+    def test_absorb_skips_non_numeric(self):
+        reg = MetricsRegistry().absorb(
+            {"n_batches": 2, "backend": "sockets", "versions": [1, 2],
+             "active_version": None},
+            SERVING_LEDGER_KINDS,
+            prefix="serving.",
+        )
+        snap = reg.snapshot()
+        assert snap["counters"] == {"serving.n_batches": 2}
+        assert snap["gauges"] == {}
+
+    def test_wire_kind_table_consistency(self):
+        # The engine's delta gauges derive from the declared table —
+        # the single source the SearchResult.wire fix hangs on.
+        assert wire_gauge_keys() == frozenset(
+            key
+            for key, kind in WIRE_LEDGER_KINDS.items()
+            if kind == KIND_GAUGE
+        )
+        assert WIRE_LEDGER_KINDS["n_live_workers"] == KIND_GAUGE
+        assert WIRE_LEDGER_KINDS["envelope_bytes_out"] == KIND_COUNTER
+        assert WIRE_LEDGER_KINDS["telemetry_bytes_out"] == KIND_COUNTER
+
+    def test_ledger_delta_counters_delta_gauges_pass(self):
+        baseline = {"n_tasks": 10, "n_live_workers": 3}
+        current = {"n_tasks": 25, "n_live_workers": 2}
+        delta = ledger_delta(current, baseline, gauges={"n_live_workers"})
+        assert delta == {"n_tasks": 15, "n_live_workers": 2}
+
+
+COUNTS = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.integers(min_value=0, max_value=10**9),
+    max_size=4,
+)
+
+
+class TestMergeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(first=COUNTS, second=COUNTS)
+    def test_merge_counts_sums_counters(self, first, second):
+        target = dict(first)
+        merge_counts(target, second)
+        for key in set(first) | set(second):
+            assert target[key] == first.get(key, 0) + second.get(key, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(first=COUNTS, second=COUNTS, gauge_value=st.integers(0, 100))
+    def test_merge_counts_gauges_last_wins(self, first, second, gauge_value):
+        kinds = {"a": KIND_GAUGE}
+        target = dict(first)
+        merge_counts(target, {**second, "a": gauge_value}, kinds=kinds)
+        assert target["a"] == gauge_value
+
+    @settings(max_examples=50, deadline=None)
+    @given(ledgers=st.lists(COUNTS, min_size=1, max_size=4))
+    def test_registry_merge_matches_plain_sum(self, ledgers):
+        merged = MetricsRegistry()
+        for ledger in ledgers:
+            merged.merge(MetricsRegistry().absorb(ledger))
+        expected: dict = {}
+        for ledger in ledgers:
+            merge_counts(expected, ledger)
+        assert merged.snapshot()["counters"] == {
+            k: v for k, v in expected.items()
+        }
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.integers(0, 1000), min_size=1, max_size=6))
+    def test_registry_merge_gauge_keeps_latest(self, values):
+        merged = MetricsRegistry()
+        for value in values:
+            other = MetricsRegistry()
+            other.gauge("g", value)
+            merged.merge(other)
+        assert merged.snapshot()["gauges"]["g"] == values[-1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(current=COUNTS, baseline=COUNTS)
+    def test_ledger_delta_never_negative_on_monotone(self, current, baseline):
+        grown = {k: v + current.get(k, 0) for k, v in baseline.items()}
+        delta = ledger_delta(grown, baseline)
+        for value in delta.values():
+            assert value >= 0
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: tracing must never change a result
+# ---------------------------------------------------------------------------
+
+
+def _assert_identical(off, on):
+    assert off.best_partition == on.best_partition
+    assert off.best_score == on.best_score  # bit-identical, not approx
+    assert [p for p, _ in off.history] == [p for p, _ in on.history]
+    for (_, a), (_, b) in zip(off.history, on.history):
+        assert a == b
+    assert off.n_evaluations == on.n_evaluations
+    assert off.n_matrix_ops == on.n_matrix_ops
+    assert off.n_gram_computations == on.n_gram_computations
+    assert off.trace is None
+    assert on.trace
+
+
+class TestBitIdentity:
+    def test_serial(self, workload):
+        search = PartitionMKLSearch()
+        off = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        enable_tracing(clear=True)
+        on = search.search_exhaustive(workload.X, workload.y, (0, 1))
+        _assert_identical(off, on)
+        validate_chrome_trace(chrome_trace(on.trace))
+        assert {r["name"] for r in on.trace} >= {
+            "engine.score_batch",
+            "cache.gram",
+            "cache.block_stats",
+        }
+
+    def test_processes(self, workload):
+        from repro.engine.backends import ProcessPoolBackend
+
+        pool = ProcessPoolBackend(max_workers=2)
+        try:
+            search = PartitionMKLSearch(backend=pool)
+            off = search.search_exhaustive(workload.X, workload.y, (0, 1))
+            enable_tracing(clear=True)
+            on = search.search_exhaustive(workload.X, workload.y, (0, 1))
+            _assert_identical(off, on)
+            assert "backend.map_tasks" in {r["name"] for r in on.trace}
+        finally:
+            pool.close()
+
+    def test_sockets(self, workload):
+        servers = [WorkerServer() for _ in range(2)]
+        for server in servers:
+            server.start_background()
+        backend = SocketBackend(workers=[s.address for s in servers])
+        try:
+            search = PartitionMKLSearch(backend=backend)
+            off = search.search_exhaustive(workload.X, workload.y, (0, 1))
+            enable_tracing(clear=True)
+            on = search.search_exhaustive(workload.X, workload.y, (0, 1))
+            _assert_identical(off, on)
+            names = {r["name"] for r in on.trace}
+            assert "cluster.ticket" in names
+            validate_chrome_trace(chrome_trace(on.trace))
+        finally:
+            backend.close()
+            for server in servers:
+                server.stop()
+
+    def test_result_metrics_view_is_bit_faithful(self, workload):
+        result = PartitionMKLSearch().search_exhaustive(
+            workload.X, workload.y, (0, 1)
+        )
+        snap = result_metrics(result).snapshot()
+        assert (
+            snap["counters"]["engine.n_evaluations"] == result.n_evaluations
+        )
+        assert snap["counters"]["engine.n_matrix_ops"] == result.n_matrix_ops
+
+
+# ---------------------------------------------------------------------------
+# MSG_TELEMETRY + fleet introspection
+# ---------------------------------------------------------------------------
+
+
+class TestFleetIntrospection:
+    def test_wire_category(self):
+        assert wire_category(MSG_TELEMETRY) == "telemetry"
+        assert wire_category(MSG_TASK) == "envelope"
+
+    def test_poll_live_fleet(self):
+        servers = [WorkerServer() for _ in range(2)]
+        for server in servers:
+            server.start_background()
+        try:
+            status = poll_fleet(
+                [s.address for s in servers], timeout=5.0
+            )
+            assert status.all_live
+            assert status.n_live == 2
+            for snapshot in status.workers:
+                assert snapshot["pid"] > 0
+                assert snapshot["uptime_s"] >= 0
+                assert "metrics" in snapshot
+            assert status.wire["telemetry_bytes_out"] > 0
+            table = status.format_table()
+            assert "2/2 live" in table
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_poll_mid_fault_never_hangs(self, workload):
+        # Kill one worker mid-search, then poll the fleet *during* the
+        # degraded state: the dead address answers None within the
+        # deadline, the survivor still answers, the search completes.
+        from test_cluster_faults import FaultyWorker
+
+        killer = FaultyWorker(
+            fault="kill", at_frame=2, count_types={MSG_TASK}
+        )
+        survivor = WorkerServer()
+        for server in (killer, survivor):
+            server.start_background()
+        backend = SocketBackend(
+            workers=[killer.address, survivor.address]
+        )
+        try:
+            search = PartitionMKLSearch(backend=backend)
+            result = search.search_exhaustive(workload.X, workload.y, (0, 1))
+            assert result.best_partition is not None
+            started = time.monotonic()
+            status = backend.coordinator.fleet_status(timeout=2.0)
+            elapsed = time.monotonic() - started
+            assert elapsed < 8.0  # bounded, not hung
+            assert status.n_workers == 2
+            assert status.n_live == 1
+            live = status.live()
+            assert killer.address not in live
+            assert survivor.address in live
+            assert status.counter("worker.tasks_scored") > 0
+            # The poll's own bytes land in the telemetry wire bucket.
+            wire = backend.coordinator.wire_stats()
+            assert wire["telemetry_bytes_out"] > 0
+            assert wire["telemetry_bytes_in"] > 0
+        finally:
+            backend.close()
+            for server in (killer, survivor):
+                server.stop()
+
+    def test_worker_snapshot_carries_spans_when_tracing(self):
+        server = WorkerServer()
+        server.start_background()
+        try:
+            enable_tracing(clear=True)  # worker is in-process here
+            status = poll_fleet([server.address], timeout=5.0)
+            snapshot = status.workers[0]
+            assert "spans" in snapshot
+        finally:
+            disable_tracing()
+            server.stop()
+
+    def test_cluster_status_counter_sums_labels(self):
+        status = ClusterStatus(
+            ["a:1", "b:2"],
+            [
+                {"metrics": {"counters": {"x": 1, "x{op=y}": 2}}},
+                {"metrics": {"counters": {"x": 4}}},
+            ],
+        )
+        assert status.counter("x") == 7
+
+
+# ---------------------------------------------------------------------------
+# Serving parity
+# ---------------------------------------------------------------------------
+
+
+def _served_model(seed=3, n_features=5, n_train=40):
+    rng = np.random.default_rng(seed)
+    blocks = ((0, 2), (1, 3, 4))
+    weights = np.array([1.0, 0.7])
+    X = rng.normal(size=(n_train, n_features))
+    y = np.where(X[:, 0] > 0, 1, -1)
+    diags = query_block_diags(X, blocks, default_block_kernel)
+    gram = cross_gram_strip(
+        X, X, blocks, weights, default_block_kernel, diags, diags
+    )
+    estimator = LSSVC("precomputed", gamma=5.0).fit(gram, y)
+    model = ServedModel(
+        blocks=blocks,
+        weights=weights,
+        block_kernel=default_block_kernel,
+        X=X,
+        train_diags=tuple(diags),
+        estimator=estimator,
+    )
+    return model, rng.normal(size=(9, n_features))
+
+
+class TestServingTelemetry:
+    def test_request_span_parity(self):
+        model, queries = _served_model()
+        with ServingPlane("serial", n_strips=2) as plane:
+            plane.publish(model)
+            off = plane.classify(queries)
+            enable_tracing(clear=True)
+            on = plane.classify(queries)
+            names = {r["name"] for r in get_tracer().records()}
+            assert np.array_equal(off.predictions, on.predictions)
+            assert np.array_equal(off.decisions, on.decisions)
+            assert off.version == on.version
+            assert {"serve.request", "serve.fan_out", "serve.rows"} <= names
+            validate_chrome_trace(chrome_trace(get_tracer().records()))
+
+    def test_install_and_flip_recorded(self):
+        model, _ = _served_model()
+        enable_tracing(clear=True)
+        with ServingPlane("serial", n_strips=2) as plane:
+            plane.publish(model)
+            records = get_tracer().records()
+            by_name = {r["name"]: r for r in records}
+            assert by_name["serve.install"]["args"]["version"] == 1
+            assert by_name["serve.flip"]["args"]["version"] == 1
+
+    def test_plane_metrics_kinds(self):
+        model, queries = _served_model()
+        with ServingPlane("serial", n_strips=2) as plane:
+            plane.publish(model)
+            plane.classify(queries)
+            reg = plane.metrics()
+            snap = reg.snapshot()
+            assert snap["counters"]["serving.n_batches"] == 1
+            assert snap["gauges"]["serving.active_version"] == 1
+            assert reg.kind("serving.n_rows_served") == KIND_COUNTER
+            assert reg.kind("serving.active_version") == KIND_GAUGE
+
+
+# ---------------------------------------------------------------------------
+# CLIs (subprocess, end to end)
+# ---------------------------------------------------------------------------
+
+
+def _src_path_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    src = os.path.abspath(src)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
+
+
+class TestCLIs:
+    def test_status_cli_in_process(self, capsys):
+        server = WorkerServer()
+        server.start_background()
+        try:
+            code = status_main([server.address, "--timeout", "5"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "1/1 live" in out
+            code = status_main([server.address, "--json"])
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["n_live"] == 1
+        finally:
+            server.stop()
+        # A dead address exits non-zero (the health-check contract).
+        code = status_main(
+            [server.address, "--timeout", "1"]
+        )
+        assert code == 1
+
+    def test_status_cli_subprocess(self):
+        server = WorkerServer()
+        server.start_background()
+        try:
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cluster.status",
+                    server.address,
+                    "--timeout",
+                    "5",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=60,
+                env=_src_path_env(),
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert "1/1 live" in proc.stdout
+        finally:
+            server.stop()
+
+    def test_worker_log_json_flag(self):
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cluster.worker",
+                "--port",
+                "0",
+                "--log-level",
+                "info",
+                "--log-json",
+                "--trace",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=_src_path_env(),
+        )
+        try:
+            announce = proc.stdout.readline().strip()
+            # "repro-cluster-worker listening on host:port"
+            address = announce.rsplit(" ", 1)[-1]
+            host, port = address.rsplit(":", 1)
+            assert int(port) > 0
+            # The startup log line on stderr is one JSON object.
+            # (runpy may emit a RuntimeWarning line first — skip any
+            # non-JSON preamble.)
+            record = None
+            for _ in range(10):
+                line = proc.stderr.readline().strip()
+                try:
+                    record = json.loads(line)
+                    break
+                except json.JSONDecodeError:
+                    continue
+            assert record is not None, "no JSON log line on stderr"
+            assert record["level"] == "info"
+            assert record["logger"] == "repro.cluster.worker"
+            assert "worker up" in record["event"]
+            # And the traced worker answers MSG_TELEMETRY with spans.
+            status = poll_fleet([address], timeout=10.0)
+            assert status.all_live
+            assert "spans" in status.workers[0]
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
