@@ -33,6 +33,13 @@ Two resilience sections record the cost of the fault-tolerance layer:
   the ledger records the auth overhead, the replica promotion, and the
   bytes re-replication shipped to restore redundancy.
 
+An ``elasticity`` section records the cost of a live membership
+change: the same placed search with a strip owner killed mid-search
+and a *fresh* worker subprocess rejoined under its index — the
+join-triggered rebalance migrates resident strips onto the recruit
+over the dedicated rebalance links (strips moved, rebalance bytes and
+wall clock on the record) while scores stay bit-identical throughout.
+
 With ``--trace`` the resilience scenario is run a second time with the
 global span tracer on, and a ``telemetry`` section records the traced
 vs untraced wall clock (the tracer's contract is bit-identical scores
@@ -110,6 +117,9 @@ def _wire_row(wire: dict) -> dict:
             "n_promotions",
             "n_replicated_strips",
             "n_strip_rebuilds",
+            "n_joins",
+            "n_rebalances",
+            "n_rebalanced_strips",
         )
     }
 
@@ -142,6 +152,41 @@ def _resilience_run(workload, picks, expected_scores):
     assert scores == expected_scores, (
         "resilient placed scores must be bit-identical to the in-process "
         "sharded reference, dead strip owner included"
+    )
+    return elapsed, wire
+
+
+def _elasticity_run(workload, picks, expected_scores):
+    """One placed run that shrinks and re-grows the fleet mid-search.
+
+    A strip owner is hard-killed after the first few configurations,
+    then a fresh worker subprocess rejoins under the dead worker's
+    index: the join-triggered rebalance migrates resident strips onto
+    it over the dedicated rebalance links.  Returns ``(wall_clock_s,
+    wire_ledger)``; asserts the scores stayed bit-identical to the
+    in-process sharded reference across the whole membership change.
+    """
+    with spawn_local_workers(3) as cluster:
+        backend = SocketBackend(workers=cluster.addresses, replication=2)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=4
+        )
+        start = time.perf_counter()
+        scores = list(engine.score_batch(picks[:5]))
+        cluster.kill(0)  # hard-kill a strip owner mid-search
+        scores += engine.score_batch(picks[5:10])
+        with spawn_local_workers(1) as recruit:
+            backend.coordinator.admit_worker(
+                address=recruit.addresses[0], index=0
+            )
+            scores += engine.score_batch(picks[10:])
+            engine.gram_cache.wait_replication(timeout=60.0)
+            elapsed = time.perf_counter() - start
+            wire = engine.wire_stats
+            backend.close()
+    assert scores == expected_scores, (
+        "elastic placed scores must be bit-identical to the in-process "
+        "sharded reference across kill, rejoin, and rebalance"
     )
     return elapsed, wire
 
@@ -284,6 +329,32 @@ def run(trace: bool = False) -> dict:
         "wire": _wire_row(resilience_wire),
     }
 
+    # Elasticity: kill a strip owner, rejoin a fresh subprocess under
+    # its index, and let the join-triggered rebalance migrate resident
+    # strips back onto it — scores bit-identical throughout, with the
+    # strips moved and the migration bytes on the record.
+    elastic_s, elasticity_wire = _elasticity_run(
+        workload, picks, expected_scores
+    )
+    assert elasticity_wire["n_joins"] == 1
+    assert elasticity_wire["n_rebalances"] >= 1
+    assert elasticity_wire["n_rebalanced_strips"] >= 1
+    assert elasticity_wire["rebalance_bytes_out"] > 0
+    assert elasticity_wire["n_gathers"] == 0
+    elasticity = {
+        "workers": 3,
+        "replication": 2,
+        "scenario": "strip owner killed after 5 configurations, fresh "
+        "worker rejoined under its index after 10, rebalanced live",
+        "wall_clock_s": elastic_s,
+        "n_evaluations": len(picks),
+        "strips_moved": elasticity_wire["n_rebalanced_strips"],
+        "rebalance_bytes_out": elasticity_wire["rebalance_bytes_out"],
+        "rebalance_bytes_in": elasticity_wire["rebalance_bytes_in"],
+        "scores_bit_identical_to_sharded": True,
+        "wire": _wire_row(elasticity_wire),
+    }
+
     # Tracer overhead on the hardest row: rerun the kill-mid-search
     # scenario with the global span tracer on.  Scores must stay
     # bit-identical (the _resilience_run assert) and the wall-clock
@@ -415,6 +486,7 @@ def run(trace: bool = False) -> dict:
         },
         "worker_sweep": sweep,
         "resilience": resilience,
+        "elasticity": elasticity,
         "speculation": speculation,
         "landmark": landmark,
         "parity": {
@@ -485,6 +557,14 @@ def print_report(trace: bool = False) -> None:
         f"  {resilience['wall_clock_s']:.3f}s  promotions={wire['n_promotions']}"
         f"  re-replicated={wire['replication_bytes_out']}B"
         f"  auth={wire['auth_bytes_out']}B  ({resilience['fault']})"
+    )
+    elasticity = report["elasticity"]
+    print(
+        f"  elasticity({elasticity['workers']}w,r={elasticity['replication']})"
+        f"  {elasticity['wall_clock_s']:.3f}s"
+        f"  strips moved={elasticity['strips_moved']}"
+        f"  rebalance={elasticity['rebalance_bytes_out']}B out"
+        "  (kill -> rejoin -> migrate, bit-identical)"
     )
     for strategy, rows in report["speculation"].items():
         pipeline = rows["pipeline"]

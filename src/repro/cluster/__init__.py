@@ -38,6 +38,21 @@ The pieces, bottom up:
   ``replication=1`` falls back to an *explicit* rebuild on a survivor,
   and total strip loss raises :class:`StripLossError`.
 
+The fleet is **elastic**: a revived or brand-new worker announces
+itself over the ``MSG_JOIN`` handshake and is admitted mid-search by
+``Coordinator.admit_worker``; :func:`~repro.cluster.placement.rendezvous_owners`
+gives strips a consistent-hash (bounded-load rendezvous) home so
+membership changes move only ~``strips / workers`` strips;
+``ShardPlacement.rebalance`` emits an explicit
+:class:`~repro.cluster.placement.MovementPlan` and
+``PlacedGramCache.rebalance`` executes it by migrating resident strips
+over dedicated ``rebalance``-bucket links without interrupting
+in-flight scoring (results stay bit-identical throughout).  The
+autoscaling hook — :class:`~repro.cluster.status.QueueDepthPolicy`
+observing ``Coordinator.queue_depth()`` via ``fleet_status()`` —
+closes the loop by recommending grow/shrink as
+:class:`~repro.cluster.status.ScalingDecision` advice.
+
 Parity invariant (enforced by ``tests/test_cluster.py`` and the
 backend benchmark): a search over real sockets returns bit-identical
 scores and exact op ledgers versus the serial reference — identical
@@ -49,12 +64,15 @@ from repro.cluster.backend import SocketBackend
 from repro.cluster.coordinator import Coordinator, RemoteTaskError, WorkerLink
 from repro.cluster.local import LocalWorkers, spawn_local_workers
 from repro.cluster.placement import (
+    MovementPlan,
     PlacedBlockStatsCache,
     PlacedGramCache,
     PlacedLandmarkGramCache,
     PlacedLandmarkStatsCache,
     ShardPlacement,
     StripLossError,
+    StripMove,
+    rendezvous_owners,
 )
 from repro.cluster.protocol import (
     AuthenticationError,
@@ -65,6 +83,7 @@ from repro.cluster.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.cluster.status import QueueDepthPolicy, ScalingDecision
 from repro.cluster.worker import WorkerServer
 
 __all__ = [
@@ -73,19 +92,24 @@ __all__ = [
     "ConnectionClosed",
     "FrameAuth",
     "LocalWorkers",
+    "MovementPlan",
     "PlacedBlockStatsCache",
     "PlacedGramCache",
     "PlacedLandmarkGramCache",
     "PlacedLandmarkStatsCache",
     "ProtocolError",
+    "QueueDepthPolicy",
     "RemoteTaskError",
+    "ScalingDecision",
     "ShardPlacement",
     "SocketBackend",
     "StripLossError",
+    "StripMove",
     "WorkerLink",
     "WorkerServer",
     "encode_frame",
     "recv_frame",
+    "rendezvous_owners",
     "send_frame",
     "spawn_local_workers",
 ]

@@ -276,9 +276,13 @@ class SocketBackend:
             "n_replicated_strips",
             "n_replication_failures",
             "n_strip_rebuilds",
+            "n_rebalances",
+            "n_rebalanced_strips",
         ):
+            # getattr default: landmark caches adopt strips instead of
+            # migrating them and carry no rebalance counters.
             stats[counter] = sum(
-                getattr(cache, counter) for cache in self._placed_caches
+                getattr(cache, counter, 0) for cache in self._placed_caches
             )
         stats["factor_bytes_shipped"] = sum(
             getattr(cache, "factor_bytes_shipped", 0)

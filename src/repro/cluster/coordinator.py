@@ -47,9 +47,16 @@ per-frame overhead is booked separately (``auth_bytes_*``) so the
 ledger shows the cost of authentication, not just the totals.
 
 Every link counts its wire bytes per accounting bucket (``envelope``
-vs ``placement`` vs ``heartbeat`` vs ``replication``, headers
-included); :meth:`Coordinator.wire_stats` aggregates them — the
-evidence ``BENCH_backends.json`` records.
+vs ``placement`` vs ``heartbeat`` vs ``replication`` vs ``rebalance``,
+headers included); :meth:`Coordinator.wire_stats` aggregates them —
+the evidence ``BENCH_backends.json`` records.
+
+Elastic membership: :meth:`Coordinator.admit_worker` admits a revived
+worker back into its previous index (or appends a brand-new one) via
+the ``MSG_JOIN`` handshake on a dedicated per-worker rebalance link,
+clears its recorded death so later failures notify listeners again,
+and runs registered **join listeners** — the hook the placement layer
+uses to migrate strip ownership onto the admitted worker.
 """
 
 from __future__ import annotations
@@ -64,6 +71,8 @@ from collections.abc import Callable, Iterable, Sequence
 from repro.cluster.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     MSG_ERROR,
+    MSG_JOIN,
+    MSG_JOIN_ACK,
     MSG_OK,
     MSG_PING,
     MSG_PONG,
@@ -73,6 +82,7 @@ from repro.cluster.protocol import (
     FrameAuth,
     ProtocolError,
     auth_overhead,
+    dump_payload,
     load_payload,
     recv_frame,
     send_frame,
@@ -324,12 +334,19 @@ class Coordinator:
         # independently of the foreground placement plane.
         self._replication_links: dict[int, WorkerLink] = {}
         self._replication_lock = threading.Lock()
+        # Rebalance links carry the membership plane: JOIN handshakes
+        # and planned strip migrations, on their own connections and
+        # their own accounting bucket so elasticity traffic is
+        # attributable separately from failure-driven re-replication.
+        self._rebalance_links: dict[int, WorkerLink] = {}
+        self._rebalance_lock = threading.Lock()
         # Liveness state shared between the task plane, the heartbeat
         # monitor, and death listeners.
         self._state_lock = threading.Lock()
         self._dead_indices: set[int] = set()
         self._evicted_pending: set[int] = set()
         self._death_listeners: list[Callable[[int], None]] = []
+        self._join_listeners: list[Callable[[int, dict], None]] = []
         self._hb_thread: threading.Thread | None = None
         self._hb_stop = threading.Event()
         self._hb_links: dict[int, WorkerLink] = {}
@@ -339,6 +356,7 @@ class Coordinator:
         self.n_reconnect_rounds = 0
         self.n_heartbeats = 0
         self.n_evicted = 0
+        self.n_joins = 0
         # Ticket-granular request/response scheduler: every request —
         # batch envelope, speculative envelope, or a pinned serving
         # request — gets a ticket; results are routed by ticket, so all
@@ -414,6 +432,30 @@ class Coordinator:
             except ValueError:
                 pass
 
+    def add_join_listener(
+        self, listener: Callable[[int, dict], None]
+    ) -> None:
+        """Call ``listener(worker_index, announce)`` on every admission.
+
+        Unlike death listeners, join listeners run on the admitting
+        thread *outside* the coordinator's plane locks, after the JOIN
+        handshake succeeded — so they may perform placement I/O (the
+        hook the placement layer uses to migrate strips onto the
+        admitted worker).
+        """
+        with self._state_lock:
+            self._join_listeners.append(listener)
+
+    def remove_join_listener(
+        self, listener: Callable[[int, dict], None]
+    ) -> None:
+        """Unregister a join listener (no-op if absent)."""
+        with self._state_lock:
+            try:
+                self._join_listeners.remove(listener)
+            except ValueError:
+                pass
+
     def _mark_dead(self, worker_index: int) -> None:
         """Record a death and notify listeners (once per worker life)."""
         with self._state_lock:
@@ -422,8 +464,13 @@ class Coordinator:
             self._dead_indices.add(worker_index)
             listeners = list(self._death_listeners)
         # Abort the worker's auxiliary links so any thread blocked on
-        # them (placement fan-out, replication copy) wakes immediately.
-        for registry in (self._placement_links, self._replication_links):
+        # them (placement fan-out, replication copy, strip migration)
+        # wakes immediately.
+        for registry in (
+            self._placement_links,
+            self._replication_links,
+            self._rebalance_links,
+        ):
             link = registry.get(worker_index)
             if link is not None:
                 link.abort()
@@ -455,6 +502,10 @@ class Coordinator:
             links, self._replication_links = (
                 self._replication_links.values(), {},
             )
+        for link in links:
+            link.close()
+        with self._rebalance_lock:
+            links, self._rebalance_links = self._rebalance_links.values(), {}
         for link in links:
             link.close()
 
@@ -692,6 +743,145 @@ class Coordinator:
                 self._mark_dead(worker_index)
                 raise
 
+    # -- membership plane (elastic fleets) -----------------------------
+
+    def rebalance_request(
+        self,
+        worker_index: int,
+        msg_type: int,
+        payload: bytes,
+        expect: int = MSG_OK,
+    ) -> bytes:
+        """One request/reply on a worker's rebalance connection.
+
+        The membership plane — JOIN handshakes and planned strip
+        migrations — rides its own per-worker link (bucket
+        ``rebalance``) so elasticity traffic never interleaves with
+        foreground placement requests or failure-driven re-replication,
+        and every migrated byte is attributable in the ledger.
+        """
+        with self._rebalance_lock:
+            link = self._rebalance_links.get(worker_index)
+            if link is None:
+                link = WorkerLink(
+                    self._addresses[worker_index],
+                    bucket="rebalance",
+                    **self._link_options,
+                )
+                self._rebalance_links[worker_index] = link
+            try:
+                return link.request(msg_type, payload, expect)
+            except (ProtocolError, OSError):
+                link.close()
+                self._rebalance_links.pop(worker_index, None)
+                self._dead.append(link)
+                self._mark_dead(worker_index)
+                raise
+
+    def _bury_stale_links(self, worker_index: int) -> None:
+        """Retire every auxiliary link to a worker being readmitted.
+
+        A revived worker is a fresh process: links to its previous life
+        (possibly aborted, never closed) must not be reused — a failure
+        on one would mark the *new* life dead.  The buried links keep
+        their byte ledgers via ``_dead``.
+        """
+        for lock, registry in (
+            (self._placement_lock, self._placement_links),
+            (self._replication_lock, self._replication_links),
+            (self._rebalance_lock, self._rebalance_links),
+        ):
+            with lock:
+                link = registry.pop(worker_index, None)
+            if link is not None:
+                link.close()
+                self._dead.append(link)
+        with self._state_lock:
+            link = self._hb_links.pop(worker_index, None)
+        if link is not None:
+            link.close()
+            self._dead.append(link)
+
+    def admit_worker(self, address=None, index: int | None = None) -> int:
+        """Admit a revived or newly added worker mid-run.
+
+        With ``index`` set, the worker re-enters its previous identity
+        (its address may have changed — a revived process can bind a
+        new port); with ``index=None`` a brand-new worker is appended
+        and ``n_workers`` grows.  The admission performs the MSG_JOIN
+        handshake over the worker's rebalance link, installs a fresh
+        task channel, clears the recorded death (so a *later* death
+        notifies listeners again — the once-per-life guard is per
+        life), and finally runs the registered join listeners with the
+        worker's announce snapshot.
+
+        Must be called from the task-plane thread (the thread that runs
+        searches), like every other channel-list mutation.  Returns the
+        admitted worker's index.
+        """
+        if address is None:
+            if index is None:
+                raise ValueError(
+                    "admit_worker needs an address, an index, or both"
+                )
+            address = self._addresses[index]
+        address = parse_address(address)
+        with self._state_lock:
+            if index is None:
+                index = len(self._addresses)
+                self._addresses.append(address)
+            elif not 0 <= index < len(self._addresses):
+                raise ValueError(
+                    f"worker index {index} outside the registered fleet "
+                    f"(0..{len(self._addresses) - 1}); omit index to add "
+                    "a new worker"
+                )
+            else:
+                self._addresses[index] = address
+        self._bury_stale_links(index)
+        reply = self.rebalance_request(
+            index,
+            MSG_JOIN,
+            dump_payload({"index": index}),
+            expect=MSG_JOIN_ACK,
+        )
+        announce = load_payload(reply)
+        # Bury any channel still registered under the previous life
+        # (killed but not yet purged) before clearing the death record.
+        for channel in [c for c in self._channels if c.index == index]:
+            self._handle_death(channel)
+        with self._state_lock:
+            self._dead_indices.discard(index)
+            self._evicted_pending.discard(index)
+            listeners = list(self._join_listeners)
+        link = WorkerLink(address, **self._link_options)
+        self._channels.append(_TaskChannel(link, index))
+        self.n_joins += 1
+        get_tracer().event(
+            "cluster.join",
+            cat="cluster",
+            worker=index,
+            address=f"{address[0]}:{address[1]}",
+        )
+        for listener in listeners:
+            listener(index, announce)
+        self._fill_windows()
+        return index
+
+    def queue_depth(self) -> int:
+        """Tickets admitted but not yet resolved (queued + in flight).
+
+        The backlog an autoscaling policy watches: queued batch and
+        speculative envelopes, queued pinned requests, and everything
+        outstanding on the per-worker windows.
+        """
+        return (
+            len(self._queue_real)
+            + len(self._queue_spec)
+            + sum(len(q) for q in self._queue_pinned.values())
+            + sum(len(c.outstanding) for c in self._channels)
+        )
+
     # -- wire accounting -----------------------------------------------
 
     def wire_stats(self) -> dict:
@@ -706,6 +896,8 @@ class Coordinator:
             links += list(self._placement_links.values())
         with self._replication_lock:
             links += list(self._replication_links.values())
+        with self._rebalance_lock:
+            links += list(self._rebalance_links.values())
         for link in links:
             # dict() snapshots are single C-level copies (atomic under
             # the GIL); iterating the live dicts would race the
@@ -723,6 +915,7 @@ class Coordinator:
             "n_reconnect_rounds": self.n_reconnect_rounds,
             "n_heartbeats": self.n_heartbeats,
             "n_evicted": self.n_evicted,
+            "n_joins": self.n_joins,
             "n_speculative_tasks": self.n_speculative_tasks,
             "n_discarded_results": self.n_discarded_results,
             "n_requests": self.n_requests,
@@ -736,6 +929,8 @@ class Coordinator:
             "heartbeat_bytes_in": totals_in.get("heartbeat", 0),
             "replication_bytes_out": totals_out.get("replication", 0),
             "replication_bytes_in": totals_in.get("replication", 0),
+            "rebalance_bytes_out": totals_out.get("rebalance", 0),
+            "rebalance_bytes_in": totals_in.get("rebalance", 0),
             "telemetry_bytes_out": totals_out.get("telemetry", 0)
             + self._poll_wire["telemetry_bytes_out"],
             "telemetry_bytes_in": totals_in.get("telemetry", 0)
@@ -762,6 +957,10 @@ class Coordinator:
             max_frame_bytes=self._link_options["max_frame_bytes"],
         )
         merge_counts(self._poll_wire, status.wire)
+        # Stamp our own backlog on the snapshot so autoscaling policies
+        # (``status.autoscale(...)``) see queue pressure and liveness in
+        # one observation.
+        status.queue_depth = self.queue_depth()
         return status
 
     # -- request/response plane ----------------------------------------

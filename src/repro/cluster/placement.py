@@ -64,10 +64,13 @@ search keeps it at zero.
 
 from __future__ import annotations
 
+import hashlib
+import math
 import threading
 import warnings
 from collections import deque
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -111,9 +114,94 @@ __all__ = [
     "PlacedLandmarkGramCache",
     "PlacedLandmarkStatsCache",
     "StripLossError",
+    "StripMove",
+    "MovementPlan",
+    "rendezvous_owners",
 ]
 
 BlockKey = tuple[int, ...]
+
+
+def _rendezvous_score(strip: int, worker: int) -> int:
+    """Deterministic rendezvous (HRW) weight of a (strip, worker) pair.
+
+    SHA-1 of the pair, *not* Python's ``hash()``: every process that
+    ranks workers for a strip — the coordinator today, a test asserting
+    movement bounds, a future coordinator restarted over the same fleet
+    — must produce the identical ranking, and ``hash()`` is randomised
+    per interpreter.
+    """
+    digest = hashlib.sha1(b"%d:%d" % (strip, worker)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _rendezvous_ranking(strip: int, workers: Sequence[int]) -> list[int]:
+    """Workers ordered by descending rendezvous preference for a strip."""
+    return sorted(workers, key=lambda w: (-_rendezvous_score(strip, w), w))
+
+
+def rendezvous_owners(n_shards: int, workers: Sequence[int]) -> list[int]:
+    """Bounded-load rendezvous assignment of strip primaries.
+
+    Each strip prefers workers by its private rendezvous ranking, and
+    strips are assigned in index order to their most-preferred worker
+    that still has capacity (``ceil(n_shards / n_workers)`` primaries
+    per worker).  The capacity bound keeps the load balanced; the
+    rendezvous ranking keeps membership changes *local*: a worker's
+    removal strands only the strips it owned, and a worker's addition
+    attracts only the strips that rank it first among the survivors'
+    overflow — the property :meth:`ShardPlacement.rebalance` turns into
+    a provably minimal movement plan.
+    """
+    workers = sorted({int(w) for w in workers})
+    if not workers:
+        raise ValueError("at least one worker is required")
+    if any(w < 0 for w in workers):
+        raise ValueError("worker indices must be non-negative")
+    capacity = math.ceil(n_shards / len(workers))
+    load = {w: 0 for w in workers}
+    owners: list[int] = []
+    for strip in range(n_shards):
+        for worker in _rendezvous_ranking(strip, workers):
+            if load[worker] < capacity:
+                owners.append(worker)
+                load[worker] += 1
+                break
+    return owners
+
+
+@dataclass(frozen=True)
+class StripMove:
+    """One planned primary movement: copy ``strip`` from ``source``
+    (``None`` when every holder is already gone) and make ``target``
+    its new primary."""
+
+    strip: int
+    source: int | None
+    target: int
+
+
+@dataclass(frozen=True)
+class MovementPlan:
+    """A minimal-movement rebalance plan (see
+    :meth:`ShardPlacement.rebalance`).
+
+    ``workers`` is the target fleet, ``capacity`` the per-worker
+    primary bound the plan enforces, and ``moves`` the strips whose
+    primaries change — everything else stays exactly where it is.
+    """
+
+    workers: tuple[int, ...]
+    capacity: int
+    moves: tuple[StripMove, ...]
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.moves)
+
+    @property
+    def moved_strips(self) -> tuple[int, ...]:
+        return tuple(move.strip for move in self.moves)
 
 
 class StripLossError(WorkerCrashError):
@@ -239,6 +327,107 @@ class ShardPlacement:
         if worker_index not in holders:
             holders.append(int(worker_index))
 
+    def promote_holder(self, strip: int, worker_index: int) -> None:
+        """Make an existing holder the strip's primary (a completed
+        migration flips ownership only once the copy is resident)."""
+        holders = self._holders[strip]
+        if worker_index not in holders:
+            raise ValueError(
+                f"worker {worker_index} does not hold strip {strip}; "
+                "install the strip (add_holder) before promoting"
+            )
+        holders.remove(worker_index)
+        holders.insert(0, int(worker_index))
+
+    def grow_fleet(self, n_workers: int) -> None:
+        """Raise the registered fleet size (new workers hold nothing
+        until a rebalance moves strips onto them)."""
+        if n_workers < self.n_workers:
+            raise ValueError(
+                f"cannot shrink the fleet from {self.n_workers} to "
+                f"{n_workers} workers; rebalance away from a worker "
+                "instead of unregistering it"
+            )
+        self.n_workers = int(n_workers)
+
+    @classmethod
+    def rendezvous(
+        cls,
+        n_shards: int,
+        n_workers: int,
+        replication: int | None = None,
+    ) -> "ShardPlacement":
+        """A placement whose primaries follow the bounded-load
+        rendezvous assignment (:func:`rendezvous_owners`) — the layout
+        whose membership changes :meth:`rebalance` keeps minimal."""
+        return cls(
+            n_shards,
+            n_workers,
+            owners=rendezvous_owners(n_shards, range(n_workers)),
+            replication=replication,
+        )
+
+    def primary_load(self) -> dict[int, int]:
+        """Primaries per worker (workers owning nothing are absent)."""
+        load: dict[int, int] = {}
+        for holders in self._holders:
+            if holders:
+                load[holders[0]] = load.get(holders[0], 0) + 1
+        return load
+
+    def rebalance(self, workers: Sequence[int]) -> MovementPlan:
+        """Plan a minimal-movement primary rebalance onto ``workers``.
+
+        Keep-first: a strip stays with its current primary whenever
+        that primary is in the target fleet and under the capacity
+        bound ``ceil(n_shards / len(workers))``.  Only orphaned strips
+        (primary dead, departed, or lost) and the over-capacity
+        overflow move — each to its most-preferred under-capacity
+        worker by rendezvous ranking.  Movement bounds (``S`` strips,
+        balanced rendezvous start):
+
+        * remove one of ``n`` workers → only its own strips move:
+          at most ``ceil(S / n)``;
+        * add a worker to ``n`` → only the overflow above the new
+          capacity moves: at most ``ceil(S / n) + n`` in the worst
+          ceiling case, ~``S / (n + 1)`` typically;
+        * unchanged membership on a balanced placement → an empty plan
+          (rebalance is idempotent).
+
+        The plan is *advice*: nothing is mutated here.  The executor
+        copies each moved strip to its target, then calls
+        :meth:`add_holder` + :meth:`promote_holder` to flip ownership.
+        """
+        targets = sorted({int(w) for w in workers})
+        if not targets:
+            raise ValueError("cannot rebalance onto an empty worker set")
+        if any(w < 0 or w >= self.n_workers for w in targets):
+            raise ValueError("rebalance target outside the worker fleet")
+        capacity = math.ceil(self.n_shards / len(targets))
+        allowed = set(targets)
+        load = {w: 0 for w in targets}
+        pending: list[int] = []
+        owners = self.owners
+        for strip, owner in enumerate(owners):
+            if owner in allowed and load[owner] < capacity:
+                load[owner] += 1
+            else:
+                pending.append(strip)
+        moves: list[StripMove] = []
+        for strip in pending:
+            for worker in _rendezvous_ranking(strip, targets):
+                if load[worker] < capacity:
+                    load[worker] += 1
+                    moves.append(
+                        StripMove(
+                            strip=strip, source=owners[strip], target=worker
+                        )
+                    )
+                    break
+        return MovementPlan(
+            workers=tuple(targets), capacity=capacity, moves=tuple(moves)
+        )
+
 
 class PlacedGramCache(_KeyLocked):
     """Coordinator-side facade over worker-resident Gram strips.
@@ -318,8 +507,11 @@ class PlacedGramCache(_KeyLocked):
         self.n_replicated_strips = 0
         self.n_replication_failures = 0
         self.n_strip_rebuilds = 0
+        self.n_rebalances = 0
+        self.n_rebalanced_strips = 0
         self.resident_strip_bytes: dict[int, int] = {}
         coordinator.add_death_listener(self._on_worker_death)
+        coordinator.add_join_listener(self._on_worker_join)
         # A reused coordinator may already know some workers are dead —
         # and it notifies each death only once per worker life, so a
         # cache built afterwards must fold the standing deaths into its
@@ -337,6 +529,7 @@ class PlacedGramCache(_KeyLocked):
         results nobody will read.  Idempotent.
         """
         self.coordinator.remove_death_listener(self._on_worker_death)
+        self.coordinator.remove_join_listener(self._on_worker_join)
         with self._data_lock:
             self._repl_queue.clear()
 
@@ -811,6 +1004,177 @@ class PlacedGramCache(_KeyLocked):
                 and strip not in self._repl_queue
             ):
                 self._repl_queue.append(strip)
+
+    # -- elasticity: rejoin and rebalance ------------------------------
+
+    def _on_worker_join(self, worker_index: int, announce: dict) -> None:
+        """Coordinator join listener: re-adopt strips onto the admitted
+        worker.
+
+        Runs on the admitting thread *outside* the coordinator's plane
+        locks (unlike the death listener), so it may perform placement
+        I/O: the revived or newly added worker is woven back into the
+        placement by a minimal-movement rebalance over the live fleet,
+        migrating its strips' resident state over the rebalance links.
+        A revived worker is a fresh process — its announce reports no
+        placement state — so nothing it previously held is trusted.
+        """
+        with self._data_lock:
+            if worker_index >= self.placement.n_workers:
+                self.placement.grow_fleet(worker_index + 1)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "placement.worker_join",
+                cat="placement",
+                worker=worker_index,
+                announced_strips=list(announce.get("strips", [])),
+            )
+        self.rebalance()
+
+    def rebalance(self, workers: Sequence[int] | None = None) -> MovementPlan:
+        """Plan and execute a minimal-movement primary rebalance.
+
+        Plans over the live fleet (or an explicit worker set), migrates
+        each moved strip's resident state to its new primary over the
+        coordinator's dedicated rebalance links (one block per frame —
+        the re-replication wire discipline — every byte booked in the
+        ``rebalance`` bucket), and flips the primary only once the copy
+        is fully resident.  In-flight scoring keeps reading the old
+        primary until the flip, and the copied strips are bit-identical
+        to the originals, so reductions — and therefore every score —
+        are unchanged before, during, and after the rebalance.
+        """
+        with self._data_lock:
+            if workers is None:
+                workers = list(self.coordinator.live_worker_indices())
+            if workers and max(workers) >= self.placement.n_workers:
+                self.placement.grow_fleet(max(workers) + 1)
+            plan = self.placement.rebalance(workers)
+        with get_tracer().span(
+            "placement.rebalance",
+            cat="placement",
+            n_moves=plan.n_moves,
+            n_workers=len(plan.workers),
+        ):
+            for move in plan.moves:
+                try:
+                    self._migrate_strip(move)
+                except (ProtocolError, OSError) as error:
+                    # The source or target died mid-copy; its death is
+                    # already recorded and the placement untouched for
+                    # this strip — the ordinary repair paths own it now.
+                    warnings.warn(
+                        f"migration of strip {move.strip} to worker "
+                        f"{move.target} failed ({error}); the strip stays "
+                        "with its current holders",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        with self._data_lock:
+            self.n_rebalances += 1
+            # A rejoin often follows a death that left strips degraded
+            # (sole-holder) after the repair loop ran out of targets.
+            # With fresh capacity in the fleet those strips are
+            # repairable again — requeue them so a later death of the
+            # surviving holder is survivable, not a StripLossError.
+            should_kick = False
+            if self.placement.replication > 1:
+                repair = [
+                    strip
+                    for strip in range(self.placement.n_shards)
+                    if len(self._live_holders(strip))
+                    < self.placement.replication
+                    and strip not in self._repl_queue
+                    and strip not in self._lost_strips
+                ]
+                self._repl_queue.extend(repair)
+                should_kick = bool(repair)
+        if should_kick:
+            self._kick_replicator()
+        return plan
+
+    def _migrate_strip(self, move: StripMove) -> None:
+        """Execute one planned movement: copy, publish, promote.
+
+        Same wire discipline as :meth:`_replicate_strip` — list the
+        source's built blocks, install the slice, copy one block per
+        frame, publish the target as a holder (so fan-outs reach it and
+        self-heal anything still missing), sweep blocks built while the
+        first pass was in flight, then promote the target to primary.
+        The old primary stays on as a replica; it is not torn down.
+        """
+        strip, target = move.strip, move.target
+        with self._data_lock:
+            holders = self._live_holders(strip)
+            if target in holders:
+                # Already resident (the target held a replica): flipping
+                # the primary is the entire move — zero bytes shipped.
+                self.placement.promote_holder(strip, target)
+                self.n_rebalanced_strips += 1
+                return
+            if not holders:
+                # Every holder is gone: there is nothing to copy.  The
+                # repair paths (rebuild with replication=1, loud
+                # StripLossError otherwise) own lost strips.
+                return
+            source = holders[0]
+        request = self.coordinator.rebalance_request
+
+        def rebalance_requester(worker, msg_type, body):
+            return load_payload(request(worker, msg_type, dump_payload(body)))
+
+        def copy_blocks(keys) -> None:
+            for key in keys:
+                state = rebalance_requester(
+                    source, MSG_STRIP_STATE, {"strips": [strip], "keys": [key]}
+                )
+                rebalance_requester(
+                    target,
+                    MSG_STRIP_INSTALL,
+                    {
+                        "slices": state["slices"],
+                        "scaled": state["scaled"],
+                        "centered": state["centered"],
+                    },
+                )
+
+        if not self._init_worker(target, rebalance_requester):
+            raise ProtocolError(f"migration target {target} died during init")
+        self._ship_target_to(target, rebalance_requester)
+        listing = rebalance_requester(
+            source, MSG_STRIP_STATE, {"strips": [strip], "keys": []}
+        )
+        rebalance_requester(
+            target,
+            MSG_STRIP_INSTALL,
+            {"slices": listing["slices"], "scaled": {}, "centered": {}},
+        )
+        installed = {tuple(key) for key in listing["built"]}
+        copy_blocks(sorted(installed))
+        with self._data_lock:
+            self.placement.add_holder(strip, target)
+        # Second sweep: blocks built while the first pass was copying.
+        # Blocks built after the add_holder publication reach the target
+        # through the ordinary (self-healing) fan-outs.
+        relisting = rebalance_requester(
+            source, MSG_STRIP_STATE, {"strips": [strip], "keys": []}
+        )
+        copy_blocks(
+            sorted({tuple(key) for key in relisting["built"]} - installed)
+        )
+        with self._data_lock:
+            self.placement.promote_holder(strip, target)
+            self.n_rebalanced_strips += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "placement.migrate",
+                cat="placement",
+                strip=strip,
+                source=source,
+                target=target,
+            )
 
     # -- GramCache surface ---------------------------------------------
 

@@ -90,7 +90,10 @@ __all__ = [
     "MSG_SERVE_DROP",
     "MSG_SERVE_STATUS",
     "MSG_TELEMETRY",
+    "MSG_JOIN",
+    "MSG_JOIN_ACK",
     "SERVE_TYPES",
+    "JOIN_TYPES",
     "MSG_SHUTDOWN",
 ]
 
@@ -145,11 +148,22 @@ MSG_SERVE_STATUS = 36
 # "telemetry" accounting bucket; the payload is the worker's
 # metrics/span snapshot (see repro.cluster.status).
 MSG_TELEMETRY = 37
+# Membership plane (elastic fleets): the coordinator admits a revived
+# or newly added worker by dialing it and sending MSG_JOIN; the worker
+# answers MSG_JOIN_ACK with an announce snapshot (pid, resident strips,
+# whether it still holds placement state).  The handshake rides the
+# same per-worker links as migrated strip state, so both book in the
+# "rebalance" accounting bucket.
+MSG_JOIN = 38
+MSG_JOIN_ACK = 39
 
 #: Serving-plane request types (each is also its own reply type).
 SERVE_TYPES = frozenset(
     {MSG_SERVE_INSTALL, MSG_SERVE_ROWS, MSG_SERVE_DROP, MSG_SERVE_STATUS}
 )
+
+#: Membership-plane types (the JOIN handshake, both directions).
+JOIN_TYPES = frozenset({MSG_JOIN, MSG_JOIN_ACK})
 
 _KNOWN_TYPES = frozenset(
     {
@@ -178,6 +192,8 @@ _KNOWN_TYPES = frozenset(
         MSG_SERVE_DROP,
         MSG_SERVE_STATUS,
         MSG_TELEMETRY,
+        MSG_JOIN,
+        MSG_JOIN_ACK,
     }
 )
 
@@ -264,9 +280,10 @@ def wire_category(msg_type: int) -> str:
     scoring traffic the benchmarks record); ``"serve"`` — serving-plane
     model installs and per-request row traffic (requests *and* their
     echoed-type replies); ``"telemetry"`` — fleet introspection polls
-    and their echoed-type snapshot replies; ``"placement"`` — strip
-    residency and statistic reductions; ``"control"`` — everything
-    else.
+    and their echoed-type snapshot replies; ``"rebalance"`` — the JOIN
+    membership handshake (migrated strip state rides per-link bucket
+    overrides into the same bucket); ``"placement"`` — strip residency
+    and statistic reductions; ``"control"`` — everything else.
     """
     if msg_type in _TASK_TYPES:
         return "envelope"
@@ -274,6 +291,8 @@ def wire_category(msg_type: int) -> str:
         return "serve"
     if msg_type == MSG_TELEMETRY:
         return "telemetry"
+    if msg_type in JOIN_TYPES:
+        return "rebalance"
     if msg_type >= MSG_INIT:
         return "placement"
     return "control"

@@ -13,6 +13,15 @@ that frame into:
   of a hang);
 * :class:`ClusterStatus` — the aggregated result (one snapshot or
   ``None`` per worker) with a plain-text table renderer;
+* the autoscaling hook — :class:`QueueDepthPolicy` (or any object with
+  its ``recommend`` signature) turns an observed ticket backlog and
+  live-worker count into a :class:`ScalingDecision` (grow / shrink /
+  hold).  ``Coordinator.fleet_status()`` stamps its own
+  ``queue_depth`` onto the returned status, so
+  ``status.autoscale(policy)`` is the whole control loop's sensor +
+  decision step; *acting* on a grow decision is
+  ``Coordinator.admit_worker``, on a shrink decision simply stopping a
+  worker (the placement layer migrates/promotes around it);
 * a CLI::
 
       python -m repro.cluster.status host:9701 host:9702
@@ -28,7 +37,9 @@ fleet's registered addresses with the fleet's auth settings.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import math
 import os
 import sys
 import threading
@@ -42,7 +53,126 @@ from repro.cluster.protocol import (
     load_payload,
 )
 
-__all__ = ["ClusterStatus", "poll_fleet", "poll_worker", "main"]
+__all__ = [
+    "ClusterStatus",
+    "QueueDepthPolicy",
+    "ScalingDecision",
+    "main",
+    "poll_fleet",
+    "poll_worker",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingDecision:
+    """What an autoscaling policy recommends for the fleet, and why.
+
+    Pure advice: nothing in the cluster acts on it automatically.  A
+    control loop that trusts the policy calls
+    ``coordinator.admit_worker(...)`` on ``"grow"`` and stops a worker
+    on ``"shrink"``; ``"hold"`` means do nothing this round.
+    """
+
+    #: ``"grow"``, ``"shrink"`` or ``"hold"``.
+    action: str
+    #: Human-readable justification (shows up in logs / status output).
+    reason: str
+    #: The queue depth the decision was made from.
+    queue_depth: int
+    #: The live worker count the decision was made from.
+    n_live: int
+
+
+class QueueDepthPolicy:
+    """Autoscale on ticket backlog per live worker.
+
+    The coordinator's :meth:`~repro.cluster.coordinator.Coordinator.queue_depth`
+    counts every submitted-but-unfinished envelope (queued + in
+    flight).  Dividing by the live worker count gives the backlog each
+    worker still has to chew through; this policy recommends growth
+    when that ratio exceeds ``queue_high``, shrink when it falls below
+    ``queue_low`` (and the fleet is above ``min_workers``), and hold
+    otherwise.  Bounds are inclusive-safe: a fleet at ``max_workers``
+    never gets a grow recommendation, one at ``min_workers`` never a
+    shrink.
+    """
+
+    def __init__(
+        self,
+        queue_high: float = 4.0,
+        queue_low: float = 0.5,
+        min_workers: int = 1,
+        max_workers: int | None = None,
+    ):
+        if queue_low < 0 or queue_high <= queue_low:
+            raise ValueError(
+                "need 0 <= queue_low < queue_high, got "
+                f"queue_low={queue_low}, queue_high={queue_high}"
+            )
+        if min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if max_workers is not None and max_workers < min_workers:
+            raise ValueError(
+                f"max_workers ({max_workers}) < min_workers ({min_workers})"
+            )
+        self.queue_high = float(queue_high)
+        self.queue_low = float(queue_low)
+        self.min_workers = int(min_workers)
+        self.max_workers = None if max_workers is None else int(max_workers)
+
+    def recommend(self, queue_depth: int, n_live: int) -> ScalingDecision:
+        """Turn one observation into a grow/shrink/hold decision."""
+        queue_depth = int(queue_depth)
+        n_live = int(n_live)
+        if n_live < 1:
+            # An empty fleet can't score anything: always grow back to
+            # the floor, whatever the queue says.
+            return ScalingDecision(
+                "grow",
+                f"no live workers (min_workers={self.min_workers})",
+                queue_depth,
+                n_live,
+            )
+        per_worker = queue_depth / n_live
+        if per_worker > self.queue_high and (
+            self.max_workers is None or n_live < self.max_workers
+        ):
+            return ScalingDecision(
+                "grow",
+                f"backlog {per_worker:.1f}/worker above "
+                f"queue_high={self.queue_high:g}",
+                queue_depth,
+                n_live,
+            )
+        if per_worker < self.queue_low and n_live > self.min_workers:
+            return ScalingDecision(
+                "shrink",
+                f"backlog {per_worker:.1f}/worker below "
+                f"queue_low={self.queue_low:g}",
+                queue_depth,
+                n_live,
+            )
+        return ScalingDecision(
+            "hold",
+            f"backlog {per_worker:.1f}/worker within "
+            f"[{self.queue_low:g}, {self.queue_high:g}]",
+            queue_depth,
+            n_live,
+        )
+
+    def workers_wanted(self, queue_depth: int, n_live: int) -> int:
+        """Target fleet size if the backlog were spread at ``queue_high``.
+
+        A convenience for control loops that add several workers per
+        round instead of one: clamped to ``[min_workers, max_workers]``.
+        """
+        wanted = max(
+            self.min_workers,
+            math.ceil(int(queue_depth) / max(self.queue_high, 1e-9)),
+        )
+        if self.max_workers is not None:
+            wanted = min(wanted, self.max_workers)
+        return max(wanted, 1)
 
 
 class ClusterStatus:
@@ -59,6 +189,7 @@ class ClusterStatus:
         addresses: list[str],
         workers: list[dict | None],
         wire: dict | None = None,
+        queue_depth: int = 0,
     ):
         self.addresses = list(addresses)
         self.workers = list(workers)
@@ -66,6 +197,11 @@ class ClusterStatus:
         #: the ``telemetry`` wire bucket's evidence that introspection
         #: traffic is accounted separately from the task planes.
         self.wire = dict(wire or {})
+        #: Submitted-but-unfinished envelopes at poll time (queued +
+        #: in flight).  ``Coordinator.fleet_status()`` stamps its own
+        #: backlog here; a bare :func:`poll_fleet` has no coordinator
+        #: to ask, so it stays 0.
+        self.queue_depth = int(queue_depth)
 
     @property
     def n_workers(self) -> int:
@@ -101,10 +237,23 @@ class ClusterStatus:
             )
         return int(total)
 
+    def autoscale(self, policy) -> ScalingDecision:
+        """Ask ``policy`` what this snapshot says the fleet should do.
+
+        ``policy`` is anything with
+        ``recommend(queue_depth=..., n_live=...)`` — in-tree that is
+        :class:`QueueDepthPolicy`, but a deployment can plug in its
+        own (cost-aware, time-of-day, ...) without the cluster caring.
+        """
+        return policy.recommend(
+            queue_depth=self.queue_depth, n_live=self.n_live
+        )
+
     def to_dict(self) -> dict:
         return {
             "n_workers": self.n_workers,
             "n_live": self.n_live,
+            "queue_depth": self.queue_depth,
             "workers": {
                 address: snapshot
                 for address, snapshot in zip(self.addresses, self.workers)

@@ -94,6 +94,8 @@ from repro.cluster.protocol import (
     MSG_BLOCK_SCALE,
     MSG_ERROR,
     MSG_INIT,
+    MSG_JOIN,
+    MSG_JOIN_ACK,
     MSG_LANDMARK_FACTOR,
     MSG_LANDMARK_PAIR,
     MSG_LANDMARK_STATS,
@@ -411,6 +413,29 @@ class WorkerServer:
             # both directions book in the "telemetry" wire bucket.
             snapshot = self.telemetry_snapshot()
             send_frame(conn, MSG_TELEMETRY, dump_payload(snapshot), auth=auth)
+            return True
+        if msg_type == MSG_JOIN:
+            # Membership handshake: a coordinator admitting this worker
+            # (revived or brand new) asks for an announce snapshot.  The
+            # reply states what this node still holds so the admitting
+            # side knows whether strips must be migrated or are already
+            # resident (a coordinator rejoining a live fleet).
+            self.metrics.count("worker.joins")
+            with self._lock:
+                placement = self._placement
+            announce = {
+                "pid": os.getpid(),
+                "address": self.address,
+                "has_placement": placement is not None,
+                "strips": (
+                    sorted(placement.slices) if placement is not None else []
+                ),
+            }
+            logger.info(
+                "join handshake answered (resident strips: %s)",
+                announce["strips"],
+            )
+            send_frame(conn, MSG_JOIN_ACK, dump_payload(announce), auth=auth)
             return True
         if msg_type in _SERVE_OPS:
             op = _SERVE_OPS[msg_type]

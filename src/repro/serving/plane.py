@@ -46,7 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.coordinator import Coordinator
-from repro.cluster.placement import ShardPlacement
+from repro.cluster.placement import MovementPlan, ShardPlacement
 from repro.cluster.protocol import (
     MSG_SERVE_DROP,
     MSG_SERVE_INSTALL,
@@ -367,6 +367,8 @@ class ServingPlane:
         self.n_requests = 0
         self.n_reroutes = 0
         self.n_promotions = 0
+        self.n_rebalances = 0
+        self.n_rebalanced_strips = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -539,6 +541,131 @@ class ServingPlane:
             del self._models[version]
             del self._slices[version]
 
+    def admit_worker(
+        self, address: str | None = None, index: int | None = None
+    ) -> int:
+        """Readmit (or add) a serving host mid-flight — sockets only.
+
+        Wraps ``Coordinator.admit_worker`` under the plane's request
+        lock: the coordinator's ticket plane is single-threaded by
+        design, so admitting a host while a concurrent ``classify`` is
+        pumping it would desynchronise result routing.  The admitted
+        index is marked live again; follow with :meth:`rebalance` to
+        hand it strips.
+        """
+        if self.backend != "sockets":
+            raise ServingError(
+                "admit_worker requires the sockets backend; serial and "
+                "process planes have a fixed host set"
+            )
+        with self._request_lock:
+            worker = self._transport.coordinator.admit_worker(
+                address=address, index=index
+            )
+            self._dead_workers.discard(worker)
+        return worker
+
+    def rebalance(self, workers=None) -> MovementPlan:
+        """Spread served strips back out over ``workers`` (live hosts).
+
+        The serving-plane face of the cluster's elasticity story:
+        :meth:`ShardPlacement.rebalance` plans the minimal strip
+        movement onto the target hosts, every resident version's moved
+        strips are re-installed on their new holders (the store's
+        install is additive and idempotent, so a version already
+        resident there is untouched), and only then is ownership
+        flipped — requests admitted at any point during the rebalance
+        are answered bit-identically, because every strip always has at
+        least its old holders until the new one is fully resident.
+
+        ``workers`` defaults to every host not currently marked dead.
+        Passing it explicitly also *revives* listed hosts that were
+        marked dead (the rejoin path: restart the host, then hand its
+        index back in).  Returns the executed
+        :class:`~repro.cluster.placement.MovementPlan`.
+        """
+        with self._request_lock:
+            if workers is None:
+                workers = [
+                    w
+                    for w in range(self._transport.n_workers)
+                    if w not in self._dead_workers
+                ]
+            else:
+                workers = sorted({int(w) for w in workers})
+                # Explicitly listed hosts are declared live again — the
+                # caller restarted them before asking for a rebalance.
+                self._dead_workers.difference_update(workers)
+            if self._placement is None:
+                # Nothing installed yet: the next install() lays strips
+                # out fresh, so there is nothing to move.
+                return MovementPlan(
+                    workers=tuple(workers), capacity=0, moves=()
+                )
+            plan = self._placement.rebalance(workers)
+            with get_tracer().span(
+                "serve.rebalance",
+                cat="serve",
+                n_moves=plan.n_moves,
+                n_workers=len(plan.workers),
+            ):
+                if plan.moves:
+                    self._execute_plan(plan)
+                self.n_rebalances += 1
+            return plan
+
+    def _execute_plan(self, plan: MovementPlan) -> None:
+        """Re-install moved strips on their new holders, then promote.
+
+        Caller holds ``_request_lock``.  One install request per
+        (target, version) carries every strip headed to that target;
+        a target that fails any install keeps none of its moves (the
+        old holders still answer, so nothing is lost — the next
+        rebalance retries).
+        """
+        by_target: dict[int, list[int]] = {}
+        for move in plan.moves:
+            by_target.setdefault(move.target, []).append(move.strip)
+        requests = []
+        for target in sorted(by_target):
+            for version in sorted(self._models):
+                model = self._models[version]
+                slices = self._slices[version]
+                strips = {}
+                for strip in by_target[target]:
+                    sl = slices[strip]
+                    strips[strip] = {
+                        "sl": (sl.start, sl.stop),
+                        "rows": model.X[sl],
+                        "diags": [d[sl] for d in model.train_diags],
+                    }
+                requests.append(
+                    (
+                        target,
+                        "install",
+                        {
+                            "version": version,
+                            "blocks": model.blocks,
+                            "weights": model.weights,
+                            "block_kernel": model.block_kernel,
+                            "strips": strips,
+                        },
+                    )
+                )
+        replies = self._fan_out(requests)
+        failed = {
+            worker
+            for (worker, _, _), reply in zip(requests, replies)
+            if reply is None
+        }
+        assert self._placement is not None
+        for move in plan.moves:
+            if move.target in failed:
+                continue
+            self._placement.add_holder(move.strip, move.target)
+            self._placement.promote_holder(move.strip, move.target)
+            self.n_rebalanced_strips += 1
+
     @property
     def active_version(self) -> int | None:
         with self._version_lock:
@@ -673,6 +800,8 @@ class ServingPlane:
             "n_requests": self.n_requests,
             "n_reroutes": self.n_reroutes,
             "n_promotions": self.n_promotions,
+            "n_rebalances": self.n_rebalances,
+            "n_rebalanced_strips": self.n_rebalanced_strips,
             "n_gathers": 0,
         }
         if self.backend == "sockets":

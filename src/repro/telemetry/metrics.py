@@ -98,6 +98,10 @@ WIRE_LEDGER_KINDS: dict[str, str] = {
     "n_replicated_strips": KIND_COUNTER,
     "n_replication_failures": KIND_COUNTER,
     "n_strip_rebuilds": KIND_COUNTER,
+    # elasticity: joins admitted and strips migrated by rebalance plans
+    "n_joins": KIND_COUNTER,
+    "n_rebalances": KIND_COUNTER,
+    "n_rebalanced_strips": KIND_COUNTER,
     # cumulative byte flows, per wire bucket
     "envelope_bytes_out": KIND_COUNTER,
     "envelope_bytes_in": KIND_COUNTER,
@@ -109,6 +113,8 @@ WIRE_LEDGER_KINDS: dict[str, str] = {
     "heartbeat_bytes_in": KIND_COUNTER,
     "replication_bytes_out": KIND_COUNTER,
     "replication_bytes_in": KIND_COUNTER,
+    "rebalance_bytes_out": KIND_COUNTER,
+    "rebalance_bytes_in": KIND_COUNTER,
     "telemetry_bytes_out": KIND_COUNTER,
     "telemetry_bytes_in": KIND_COUNTER,
     "auth_bytes_out": KIND_COUNTER,
@@ -155,6 +161,8 @@ SERVING_LEDGER_KINDS: dict[str, str] = {
     "n_requests": KIND_COUNTER,
     "n_reroutes": KIND_COUNTER,
     "n_promotions": KIND_COUNTER,
+    "n_rebalances": KIND_COUNTER,
+    "n_rebalanced_strips": KIND_COUNTER,
     "n_gathers": KIND_COUNTER,
     "serve_bytes_out": KIND_COUNTER,
     "serve_bytes_in": KIND_COUNTER,

@@ -30,3 +30,97 @@ def tiny_binary_data():
     X = generator.normal(size=(n, 3))
     y = np.where(X[:, 0] + 0.5 * X[:, 1] > 0, 1, -1)
     return X, y
+
+
+# ---------------------------------------------------------------------------
+# Cluster suites (test_cluster / test_cluster_faults / test_serving /
+# test_elasticity): shared workloads and fleet lifecycle helpers.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def cluster_workload():
+    """The cluster suites' standard task: rest=3 (Bell(3)=5 evaluations
+    per exhaustive cone), small enough for per-test fleets."""
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 3, role="noise"),
+    ]
+    return make_faceted_classification(120, specs, seed=4)
+
+
+@pytest.fixture(scope="session")
+def wide_cluster_workload():
+    """rest=5 (Bell(5)=52 evaluations): enough envelopes and distinct
+    blocks for fault hooks to trip mid-search with work left to do."""
+    specs = [
+        FacetSpec("signal", 2, signal="product", weight=1.5),
+        FacetSpec("noise", 5, role="noise"),
+    ]
+    return make_faceted_classification(80, specs, seed=4)
+
+
+@pytest.fixture
+def make_fleet():
+    """Factory: background worker servers plus a connected backend.
+
+    ``make_fleet(3)`` starts three ``WorkerServer`` daemons and a
+    ``SocketBackend`` over them; pass a list of pre-built (possibly
+    faulty) servers instead of a count to script faults, and keyword
+    arguments go to the backend (``replication=``, ``secret=``,
+    ``heartbeat_interval=``, ...).  Everything created through the
+    factory is torn down at test exit — backends closed first, then
+    every server stopped (idempotent, so tests that already killed a
+    worker need no special-casing).
+    """
+    from repro.cluster import SocketBackend, WorkerServer
+
+    created = []
+
+    def _make(workers=2, **backend_kwargs):
+        if isinstance(workers, int):
+            servers = [WorkerServer() for _ in range(workers)]
+        else:
+            servers = list(workers)
+        for server in servers:
+            server.start_background()
+        backend = SocketBackend(
+            workers=[server.address for server in servers], **backend_kwargs
+        )
+        created.append((servers, backend))
+        return servers, backend
+
+    yield _make
+    for servers, backend in created:
+        backend.close()
+        for server in servers:
+            server.stop()
+
+
+@pytest.fixture
+def fleet(make_fleet):
+    """Two background worker servers plus a connected backend."""
+    return make_fleet(2)
+
+
+@pytest.fixture
+def make_subprocess_fleet():
+    """Factory: ``python -m repro.cluster.worker`` subprocesses plus a
+    connected backend — the out-of-process variant of ``make_fleet``
+    (real process boundaries, ``cluster.kill(i)`` for hard faults)."""
+    from repro.cluster import SocketBackend, spawn_local_workers
+
+    created = []
+
+    def _make(n=2, secret=None, **backend_kwargs):
+        cluster = spawn_local_workers(n, secret=secret)
+        backend = SocketBackend(
+            workers=cluster.addresses, secret=secret, **backend_kwargs
+        )
+        created.append((cluster, backend))
+        return cluster, backend
+
+    yield _make
+    for cluster, backend in created:
+        backend.close()
+        cluster.stop()

@@ -72,41 +72,22 @@ from repro.engine import (
     get_backend,
     score_task,
 )
-from repro.iot.workloads import FacetSpec, make_faceted_classification
 from repro.mkl import PartitionMKLSearch
 
 
-@pytest.fixture(scope="module")
-def workload():
-    specs = [
-        FacetSpec("signal", 2, signal="product", weight=1.5),
-        FacetSpec("noise", 3, role="noise"),
-    ]
-    return make_faceted_classification(120, specs, seed=4)
+# ``workload`` / ``wide_workload`` / ``fleet`` come from the shared
+# cluster fixtures in conftest.py (one definition for every cluster
+# suite); the local names keep this module's tests readable.
 
 
 @pytest.fixture(scope="module")
-def wide_workload():
-    """rest=5 (Bell(5)=52 evaluations): enough envelopes per search for
-    the fail_after kill hooks to trip mid-search."""
-    specs = [
-        FacetSpec("signal", 2, signal="product", weight=1.5),
-        FacetSpec("noise", 5, role="noise"),
-    ]
-    return make_faceted_classification(80, specs, seed=4)
+def workload(cluster_workload):
+    return cluster_workload
 
 
-@pytest.fixture()
-def fleet():
-    """Two background worker servers plus a connected backend."""
-    servers = [WorkerServer(), WorkerServer()]
-    for server in servers:
-        server.start_background()
-    backend = SocketBackend(workers=[s.address for s in servers])
-    yield servers, backend
-    backend.close()
-    for server in servers:
-        server.stop()
+@pytest.fixture(scope="module")
+def wide_workload(wide_cluster_workload):
+    return wide_cluster_workload
 
 
 # ---------------------------------------------------------------------------

@@ -28,7 +28,12 @@ resilience subsystem:
   survivor), still bit-identical;
 * losing **every** holder of a strip with replicas requested raises
   :class:`repro.cluster.StripLossError`; losing the whole fleet raises
-  a clean :class:`~repro.engine.tasks.WorkerCrashError`.
+  a clean :class:`~repro.engine.tasks.WorkerCrashError`;
+* a killed strip owner **revived and readmitted**
+  (``Coordinator.admit_worker``) re-adopts strip ownership through the
+  join-triggered rebalance, replication is restored onto the rejoined
+  node, and a second kill — of the *other* original holder — no longer
+  raises ``StripLossError``.
 
 Timing discipline: faults trip on deterministic frame counts, and
 background re-replication is awaited (``wait_replication``) or pinned
@@ -53,20 +58,16 @@ from repro.engine import (
     ShardedGramCache,
     WorkerCrashError,
 )
-from repro.iot.workloads import FacetSpec, make_faceted_classification
 from repro.kernels.partition_kernel import default_block_kernel
 from repro.mkl import PartitionMKLSearch
 
 
+# The shared wide workload (conftest.py): rest=5, Bell(5)=52
+# evaluations — enough envelopes and distinct blocks for faults to
+# trip mid-search with work left to recover.
 @pytest.fixture(scope="module")
-def workload():
-    """rest=5 (Bell(5)=52 evaluations): enough envelopes and distinct
-    blocks for faults to trip mid-search with work left to recover."""
-    specs = [
-        FacetSpec("signal", 2, signal="product", weight=1.5),
-        FacetSpec("noise", 5, role="noise"),
-    ]
-    return make_faceted_classification(80, specs, seed=4)
+def workload(wide_cluster_workload):
+    return wide_cluster_workload
 
 
 SEED_BLOCK = (0, 1)
@@ -162,21 +163,20 @@ def _assert_bit_identical(result, reference):
 
 class TestFaultMatrix:
     @pytest.mark.parametrize("fault", ["kill", "garbage", "hang"])
-    def test_single_worker_fault_mid_search_recovers(self, workload, fault):
+    def test_single_worker_fault_mid_search_recovers(
+        self, workload, fault, make_fleet
+    ):
         serial = PartitionMKLSearch().search_exhaustive(
             workload.X, workload.y, SEED_BLOCK
         )
         faulty = FaultyWorker(
             fault=fault, at_frame=2, count_types={MSG_TASK}
         )
-        survivor = WorkerServer()
-        faulty.start_background()
-        survivor.start_background()
         # Heartbeats are what detect the hang (the io timeout below is
         # deliberately far longer than the test budget); kills and
         # garbage are caught synchronously on the wire.
-        backend = SocketBackend(
-            workers=[faulty.address, survivor.address],
+        _, backend = make_fleet(
+            [faulty, WorkerServer()],
             heartbeat_interval=0.1,
             heartbeat_timeout=0.5,
             io_timeout=30.0,
@@ -188,9 +188,6 @@ class TestFaultMatrix:
         assert result.wire["n_reassigned"] > 0
         if fault == "hang":
             assert result.wire["n_evicted"] >= 1
-        backend.close()
-        faulty.stop()
-        survivor.stop()
 
 
 # ---------------------------------------------------------------------------
@@ -211,7 +208,7 @@ class TestSpeculationUnderFaults:
         ("best_first", {"max_evaluations": 25}),
     ])
     def test_faulted_worker_mid_speculative_search(
-        self, workload, fault, strategy, params
+        self, workload, fault, strategy, params, make_fleet
     ):
         serial = PartitionMKLSearch().search(
             workload.X, workload.y, SEED_BLOCK, strategy=strategy, **params
@@ -221,11 +218,8 @@ class TestSpeculationUnderFaults:
             faulty = FaultyWorker(
                 fault=fault, at_frame=2, count_types={MSG_TASK}
             )
-            survivor = WorkerServer()
-            faulty.start_background()
-            survivor.start_background()
-            backend = SocketBackend(
-                workers=[faulty.address, survivor.address],
+            _, backend = make_fleet(
+                [faulty, WorkerServer()],
                 heartbeat_interval=0.1,
                 heartbeat_timeout=0.5,
                 io_timeout=30.0,
@@ -238,8 +232,6 @@ class TestSpeculationUnderFaults:
                 strategy=strategy, **params,
             )
             backend.close()
-            faulty.stop()
-            survivor.stop()
         for result in results.values():
             _assert_bit_identical(result, serial)
         on, off = results[True], results[False]
@@ -284,16 +276,15 @@ class TestSpeculationUnderFaults:
 
 
 class TestPlacedOwnerDeath:
-    def test_kill_strip_owner_exhaustive_recovers_bit_identical(self, workload):
+    def test_kill_strip_owner_exhaustive_recovers_bit_identical(
+        self, workload, make_fleet
+    ):
         reference = _sharded_reference(workload, n_shards=3)
-        workers = [
+        _, backend = make_fleet([
             FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
             WorkerServer(),
             WorkerServer(),
-        ]
-        for worker in workers:
-            worker.start_background()
-        backend = SocketBackend(workers=[w.address for w in workers])
+        ])
         result = PartitionMKLSearch(backend=backend, shards=3).search(
             workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
         )
@@ -306,48 +297,40 @@ class TestPlacedOwnerDeath:
         assert result.wire["n_strip_rebuilds"] == 0
         assert result.wire["n_gathers"] == 0
         assert result.wire["n_live_workers"] == 2
-        backend.close()
-        for worker in workers[1:]:
-            worker.stop()
 
-    def test_kill_owner_chain_search_builds_blocks_after_death(self, workload):
+    def test_kill_owner_chain_search_builds_blocks_after_death(
+        self, workload, make_fleet
+    ):
         """The chain walk scores one refinement at a time, so every step
         after the kill *must* run placement fan-outs against the updated
         holder set — the promotion path, not just envelope reassignment."""
         reference = _sharded_reference(
             workload, n_shards=3, strategy="chain", patience=10
         )
-        workers = [
+        _, backend = make_fleet([
             FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
             WorkerServer(),
             WorkerServer(),
-        ]
-        for worker in workers:
-            worker.start_background()
-        backend = SocketBackend(workers=[w.address for w in workers])
+        ])
         result = PartitionMKLSearch(backend=backend, shards=3).search(
             workload.X, workload.y, SEED_BLOCK, strategy="chain", patience=10
         )
         _assert_bit_identical(result, reference)
         assert result.wire["n_promotions"] >= 1
         assert result.wire["n_strip_rebuilds"] == 0
-        backend.close()
-        for worker in workers[1:]:
-            worker.stop()
 
-    def test_second_search_on_backend_with_standing_death(self, workload):
+    def test_second_search_on_backend_with_standing_death(
+        self, workload, make_fleet
+    ):
         """A placed cache built after a worker already died must fold
         the standing death into its placement at construction — the
         coordinator notifies each death only once per worker life."""
         reference = _sharded_reference(workload, n_shards=3)
-        workers = [
+        _, backend = make_fleet([
             FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
             WorkerServer(),
             WorkerServer(),
-        ]
-        for worker in workers:
-            worker.start_background()
-        backend = SocketBackend(workers=[w.address for w in workers])
+        ])
         search = PartitionMKLSearch(backend=backend, shards=3)
         first = search.search(
             workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
@@ -360,11 +343,10 @@ class TestPlacedOwnerDeath:
         )
         _assert_bit_identical(second, reference)
         assert backend.wire_stats()["n_promotions"] >= 2
-        backend.close()
-        for worker in workers[1:]:
-            worker.stop()
 
-    def test_dead_owner_with_replication_1_rebuilds_explicitly(self, workload):
+    def test_dead_owner_with_replication_1_rebuilds_explicitly(
+        self, workload, make_fleet
+    ):
         picks = list(cone_partitions(SEED_BLOCK, REST))
         serial = KernelEvaluationEngine(
             workload.X,
@@ -372,14 +354,12 @@ class TestPlacedOwnerDeath:
             gram_cache=ShardedGramCache(workload.X, n_shards=2),
         )
         expected = serial.score_batch(picks)
-        workers = [
-            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
-            WorkerServer(),
-        ]
-        for worker in workers:
-            worker.start_background()
-        backend = SocketBackend(
-            workers=[w.address for w in workers], replication=1
+        _, backend = make_fleet(
+            [
+                FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+                WorkerServer(),
+            ],
+            replication=1,
         )
         engine = KernelEvaluationEngine(
             workload.X, workload.y, backend=backend, shards=2
@@ -398,14 +378,9 @@ class TestPlacedOwnerDeath:
         cache = engine.gram_cache
         assert cache.n_strip_rebuilds >= 1
         assert cache.n_promotions == 0  # nothing to promote without replicas
-        backend.close()
-        workers[1].stop()
 
-    def test_all_holders_dead_raises_strip_loss(self, workload):
-        servers = [WorkerServer(), WorkerServer(), WorkerServer()]
-        for server in servers:
-            server.start_background()
-        backend = SocketBackend(workers=[s.address for s in servers])
+    def test_all_holders_dead_raises_strip_loss(self, workload, make_fleet):
+        servers, backend = make_fleet(3)
         cache = backend.make_placed_cache(
             workload.X,
             default_block_kernel,
@@ -423,8 +398,6 @@ class TestPlacedOwnerDeath:
         servers[1].stop()
         with pytest.raises(StripLossError, match="every holder of strip"):
             stats.block_stats((3,))
-        backend.close()
-        servers[2].stop()
 
 
 # ---------------------------------------------------------------------------
@@ -434,7 +407,7 @@ class TestPlacedOwnerDeath:
 
 class TestReplicationFaults:
     def test_target_killed_during_rereplication_retries_elsewhere(
-        self, workload
+        self, workload, make_fleet
     ):
         picks = list(cone_partitions(SEED_BLOCK, REST))
         serial = KernelEvaluationEngine(
@@ -446,17 +419,14 @@ class TestReplicationFaults:
         # Strip holders with 4 workers, 2 shards, replication 2:
         # strip 0 on {0, 1}, strip 1 on {1, 2}; worker 3 idle — the
         # least-loaded re-replication target.
-        workers = [
+        _, backend = make_fleet([
             FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
             WorkerServer(),
             WorkerServer(),
             FaultyWorker(
                 fault="kill", at_frame=1, count_types={MSG_STRIP_INSTALL}
             ),
-        ]
-        for worker in workers:
-            worker.start_background()
-        backend = SocketBackend(workers=[w.address for w in workers])
+        ])
         engine = KernelEvaluationEngine(
             workload.X, workload.y, backend=backend, shards=2
         )
@@ -471,9 +441,83 @@ class TestReplicationFaults:
         scores += engine.score_batch(picks[1:])
         assert scores == expected
         assert cache.n_strip_rebuilds == 0
-        backend.close()
-        workers[1].stop()
-        workers[2].stop()
+
+
+# ---------------------------------------------------------------------------
+# Rejoin: a revived owner is readmitted and re-adopts strips
+# ---------------------------------------------------------------------------
+
+
+class TestRejoin:
+    def test_owner_rejoin_readopts_and_survives_second_kill(
+        self, workload, make_fleet
+    ):
+        """Kill a strip owner mid-search, revive it (fresh process, same
+        index), and readmit it: the join-triggered rebalance hands the
+        rejoined worker strip ownership back, background re-replication
+        restores the factor onto it, and a second kill — of the *other*
+        original holder — no longer loses any strip.  Every score along
+        the way is bit-identical to the in-process sharded run."""
+        picks = list(cone_partitions(SEED_BLOCK, REST))
+        serial = KernelEvaluationEngine(
+            workload.X,
+            workload.y,
+            gram_cache=ShardedGramCache(workload.X, n_shards=2),
+        )
+        expected = serial.score_batch(picks)
+        servers, backend = make_fleet(2)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=2
+        )
+        scores = list(engine.score_batch(picks[:2]))
+        cache = engine.gram_cache
+        # First kill: worker 0 — both strips degrade to sole-holder on
+        # worker 1 (a 2-worker fleet has no spare repair target).
+        servers[0].stop()
+        scores += engine.score_batch(picks[2:3])
+        assert 0 not in set(cache.placement.owners)
+        # Revive worker 0 as a fresh process on a fresh port, readmit.
+        revived = WorkerServer()
+        revived.start_background()
+        servers[0] = revived  # the fleet fixture now tears this one down
+        backend.coordinator.admit_worker(address=revived.address, index=0)
+        # The join listener rebalanced: the rejoined worker owns a strip
+        # again, and the repair queue refilled it as a replica of the
+        # strip it does not own.
+        assert 0 in set(cache.placement.owners)
+        assert cache.n_rebalances >= 1
+        assert cache.n_rebalanced_strips >= 1
+        assert cache.wait_replication(timeout=30.0)
+        for strip in range(2):
+            assert 0 in cache.placement.holders_of(strip)
+        # Second kill: the OTHER original holder.  Before the rejoin
+        # this was guaranteed StripLossError (worker 1 held everything);
+        # now every strip is resident on the rejoined worker.
+        servers[1].stop()
+        scores += engine.score_batch(picks[3:])
+        assert scores == expected
+        wire = backend.wire_stats()
+        assert wire["n_joins"] == 1
+        assert wire["rebalance_bytes_out"] > 0
+        assert cache.n_gathers == 0
+
+    def test_second_kill_without_rejoin_still_raises(
+        self, workload, make_fleet
+    ):
+        """The control row: the same double-kill *without* the rejoin in
+        between does raise ``StripLossError`` — proving the rejoin (not
+        some other repair path) is what makes the row above survive."""
+        picks = list(cone_partitions(SEED_BLOCK, REST))
+        servers, backend = make_fleet(2)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=2
+        )
+        list(engine.score_batch(picks[:2]))
+        servers[0].stop()
+        engine.score_batch(picks[2:3])
+        servers[1].stop()
+        with pytest.raises((StripLossError, WorkerCrashError)):
+            engine.score_batch(picks[3:])
 
 
 # ---------------------------------------------------------------------------
@@ -482,37 +526,35 @@ class TestReplicationFaults:
 
 
 class TestFleetDeath:
-    def test_all_workers_dead_raises_clean_worker_crash(self, workload):
-        workers = [
-            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
-            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
-        ]
-        for worker in workers:
-            worker.start_background()
-        backend = SocketBackend(
-            workers=[w.address for w in workers], retries=0
+    def test_all_workers_dead_raises_clean_worker_crash(
+        self, workload, make_fleet
+    ):
+        _, backend = make_fleet(
+            [
+                FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+                FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+            ],
+            retries=0,
         )
         with pytest.raises(WorkerCrashError):
             PartitionMKLSearch(backend=backend).search_exhaustive(
                 workload.X, workload.y, SEED_BLOCK
             )
-        backend.close()
 
-    def test_all_workers_dead_placed_raises_clean_worker_crash(self, workload):
-        workers = [
-            FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
-            FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
-        ]
-        for worker in workers:
-            worker.start_background()
-        backend = SocketBackend(
-            workers=[w.address for w in workers], retries=0
+    def test_all_workers_dead_placed_raises_clean_worker_crash(
+        self, workload, make_fleet
+    ):
+        _, backend = make_fleet(
+            [
+                FaultyWorker(fault="kill", at_frame=1, count_types={MSG_TASK}),
+                FaultyWorker(fault="kill", at_frame=2, count_types={MSG_TASK}),
+            ],
+            retries=0,
         )
         with pytest.raises(WorkerCrashError):
             PartitionMKLSearch(backend=backend, shards=2).search(
                 workload.X, workload.y, SEED_BLOCK, strategy="exhaustive"
             )
-        backend.close()
 
 
 # ---------------------------------------------------------------------------
@@ -541,10 +583,10 @@ class TestHarness:
         assert not worker._tripped.is_set()
         worker.stop()
 
-    def test_faulty_worker_none_fault_behaves_normally(self, workload):
-        worker = FaultyWorker()
-        worker.start_background()
-        backend = SocketBackend(workers=[worker.address])
+    def test_faulty_worker_none_fault_behaves_normally(
+        self, workload, make_fleet
+    ):
+        _, backend = make_fleet([FaultyWorker()])
         result = PartitionMKLSearch(backend=backend).search_chain(
             workload.X, workload.y, SEED_BLOCK
         )
@@ -553,8 +595,6 @@ class TestHarness:
         )
         assert result.best_score == serial.best_score
         assert np.isfinite(result.best_score)
-        backend.close()
-        worker.stop()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,509 @@
+"""Elasticity: rejoin, minimal-movement rebalancing, live migration.
+
+The property suite behind the elastic-fleet story (the invariants
+``docs/ARCHITECTURE.md`` § Elasticity documents):
+
+* **minimal movement** — bounded-load rendezvous placement keeps every
+  worker at most ``ceil(strips / workers)`` primaries, and a ±1
+  membership change moves no more than that many strips (hypothesis
+  properties over random fleet sizes and deltas);
+* **plans are exact and idempotent** — removing a worker moves exactly
+  its own strips and nothing else; executing a plan and re-planning
+  yields the empty plan;
+* **bit identity across membership changes** — a search that starts on
+  N workers, loses one, gains two, and is rebalanced mid-flight
+  produces a bit-identical ``SearchResult`` (optimum, every score, op
+  ledgers) versus an undisturbed in-process run, with ``n_gathers ==
+  0``;
+* **every migration byte is booked** — strip migration traffic lands
+  in the dedicated ``rebalance`` wire bucket and nowhere else, and the
+  MSG_JOIN handshake books there too;
+* **process-pool elasticity** — the ``processes`` backend has no
+  placement, so elasticity there means pool-size parity (the same
+  search on 1, 2, or 4 pool workers is bit-identical) and crash →
+  rebuild → retry recovery that preserves bit identity.
+
+Sockets rows use real localhost TCP via the shared ``make_fleet``
+fixture; hypothesis rows are pure placement math (no network).
+"""
+
+import math
+import os
+from functools import partial
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    QueueDepthPolicy,
+    ShardPlacement,
+    WorkerServer,
+    rendezvous_owners,
+)
+from repro.cluster.placement import _rendezvous_ranking
+from repro.cluster.status import ClusterStatus
+from repro.combinatorics import cone_partitions
+from repro.engine import (
+    KernelEvaluationEngine,
+    ProcessPoolBackend,
+    ShardedGramCache,
+    WorkerCrashError,
+)
+from repro.mkl import PartitionMKLSearch
+
+SEED_BLOCK = (0, 1)
+
+
+@pytest.fixture(scope="module")
+def workload(wide_cluster_workload):
+    return wide_cluster_workload
+
+
+def _execute(placement, plan):
+    """Apply a movement plan the way the live executor does: install
+    the copy, then flip the primary."""
+    for move in plan.moves:
+        placement.add_holder(move.strip, move.target)
+        placement.promote_holder(move.strip, move.target)
+
+
+def _assert_bit_identical(result, reference):
+    assert result.best_partition == reference.best_partition
+    assert result.best_score == reference.best_score  # bit-identical
+    for (_, a), (_, b) in zip(reference.history, result.history):
+        assert a == b
+    assert result.n_evaluations == reference.n_evaluations
+    assert result.n_matrix_ops == reference.n_matrix_ops
+    assert result.n_gram_computations == reference.n_gram_computations
+
+
+# ---------------------------------------------------------------------------
+# Minimal-movement placement properties (pure — no sockets)
+# ---------------------------------------------------------------------------
+
+
+fleet_shapes = st.tuples(
+    st.integers(min_value=1, max_value=40),  # strips
+    st.integers(min_value=1, max_value=12),  # workers
+)
+
+
+class TestRendezvousPlacement:
+    @settings(max_examples=60, deadline=None)
+    @given(fleet_shapes)
+    def test_bounded_load_and_determinism(self, shape):
+        """Every worker gets at most ceil(S/W) primaries, every strip
+        gets exactly one, and the assignment is a pure function of
+        (strip, worker) ids — stable across processes and calls."""
+        n_strips, n_workers = shape
+        owners = rendezvous_owners(n_strips, range(n_workers))
+        assert len(owners) == n_strips
+        assert set(owners) <= set(range(n_workers))
+        capacity = math.ceil(n_strips / n_workers)
+        for worker in set(owners):
+            assert owners.count(worker) <= capacity
+        assert owners == rendezvous_owners(n_strips, range(n_workers))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.sets(
+            st.integers(min_value=0, max_value=50), min_size=2, max_size=10
+        ),
+        st.data(),
+    )
+    def test_ranking_restriction_is_consistent(self, strip, fleet, data):
+        """A strip's preference order between any two workers never
+        depends on who else is in the fleet: restricting the full
+        ranking to a subset gives exactly the subset's own ranking.
+        This locality is what makes membership changes move only the
+        departed/arrived worker's strips."""
+        subset = data.draw(
+            st.sets(st.sampled_from(sorted(fleet)), min_size=1)
+        )
+        full = _rendezvous_ranking(strip, sorted(fleet))
+        restricted = [w for w in full if w in subset]
+        assert restricted == _rendezvous_ranking(strip, sorted(subset))
+
+    @settings(max_examples=60, deadline=None)
+    @given(fleet_shapes)
+    def test_rendezvous_placement_replan_is_empty(self, shape):
+        """A balanced rendezvous placement is a fixed point: planning
+        onto the unchanged fleet moves nothing (rebalance idempotence,
+        base case)."""
+        n_strips, n_workers = shape
+        placement = ShardPlacement.rendezvous(
+            n_strips, n_workers, replication=1
+        )
+        plan = placement.rebalance(range(n_workers))
+        assert plan.moves == ()
+        assert plan.capacity == math.ceil(n_strips / n_workers)
+
+
+class TestMinimalMovement:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=2, max_value=12),
+        st.data(),
+    )
+    def test_remove_one_moves_only_the_departed_strips(
+        self, n_strips, n_workers, data
+    ):
+        """Removing one worker moves exactly the strips it owned — at
+        most ceil(S/n) of them — and nothing belonging to a survivor."""
+        placement = ShardPlacement.rendezvous(
+            n_strips, n_workers, replication=1
+        )
+        removed = data.draw(
+            st.integers(min_value=0, max_value=n_workers - 1)
+        )
+        departed = {
+            strip
+            for strip, owner in enumerate(placement.owners)
+            if owner == removed
+        }
+        survivors = [w for w in range(n_workers) if w != removed]
+        plan = placement.rebalance(survivors)
+        assert set(plan.moved_strips) == departed
+        assert plan.n_moves <= math.ceil(n_strips / n_workers)
+        for move in plan.moves:
+            assert move.source == removed
+            assert move.target in survivors
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_add_one_moves_at_most_capacity_plus_slack(
+        self, n_strips, n_workers
+    ):
+        """Adding one worker moves only the overflow above the new
+        capacity: at most ceil(S/n) + n strips even in the worst
+        ceiling case, never a wholesale reshuffle."""
+        placement = ShardPlacement.rendezvous(
+            n_strips, n_workers, replication=1
+        )
+        placement.grow_fleet(n_workers + 1)
+        plan = placement.rebalance(range(n_workers + 1))
+        assert plan.n_moves <= math.ceil(n_strips / n_workers) + n_workers
+        # The arriving worker only ever *receives* strips.
+        for move in plan.moves:
+            assert move.source != n_workers
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=2, max_value=12),
+        st.data(),
+    )
+    def test_executed_plan_is_balanced_and_idempotent(
+        self, n_strips, n_workers, data
+    ):
+        """Random ±1 membership deltas: executing the plan leaves every
+        primary inside the target fleet, every worker at or under the
+        capacity bound, and a re-plan onto the same fleet empty."""
+        placement = ShardPlacement.rendezvous(
+            n_strips, n_workers, replication=1
+        )
+        if data.draw(st.booleans()) and n_workers > 1:
+            removed = data.draw(
+                st.integers(min_value=0, max_value=n_workers - 1)
+            )
+            fleet = [w for w in range(n_workers) if w != removed]
+        else:
+            placement.grow_fleet(n_workers + 1)
+            fleet = list(range(n_workers + 1))
+        plan = placement.rebalance(fleet)
+        assert plan.n_moves <= math.ceil(n_strips / len(fleet)) + len(fleet)
+        _execute(placement, plan)
+        assert set(placement.owners) <= set(fleet)
+        for load in placement.primary_load().values():
+            assert load <= plan.capacity
+        assert placement.rebalance(fleet).moves == ()
+
+    def test_plan_is_advice_only(self):
+        """Planning mutates nothing: owners are identical before and
+        after, and the same plan comes back on a second call."""
+        placement = ShardPlacement.rendezvous(9, 3, replication=1)
+        before = placement.owners
+        plan = placement.rebalance([1, 2])
+        assert placement.owners == before
+        assert placement.rebalance([1, 2]) == plan
+
+
+# ---------------------------------------------------------------------------
+# The acceptance scenario: lose one, gain two, rebalance mid-flight
+# ---------------------------------------------------------------------------
+
+
+class TestElasticSearchBitIdentity:
+    def test_lose_one_gain_two_mid_search_bit_identical(
+        self, workload, make_fleet
+    ):
+        """A beam search starts on 3 workers; mid-flight one dies
+        during a fan-out, then two brand-new workers join and the
+        join-triggered rebalance migrates live strips onto them — and
+        the final ``SearchResult`` is bit-identical to the undisturbed
+        in-process run, with zero gathers and all migration traffic
+        booked under ``rebalance``."""
+        reference = PartitionMKLSearch().search(
+            workload.X,
+            workload.y,
+            SEED_BLOCK,
+            strategy="beam",
+            cache=ShardedGramCache(workload.X, n_shards=3),
+        )
+        servers, backend = make_fleet(3)
+        coordinator = backend.coordinator
+        original = coordinator.map_tasks_payloads
+        batches = {"n": 0}
+
+        def elastic_map(payloads):
+            # Runs on the task-plane thread (the search's own), the
+            # one place membership changes are legal mid-search.
+            batches["n"] += 1
+            if batches["n"] == 2:
+                servers[0].stop()  # dies mid-fan-out: reassignment path
+            results = original(payloads)
+            if batches["n"] == 3:
+                for _ in range(2):
+                    recruit = WorkerServer()
+                    recruit.start_background()
+                    servers.append(recruit)  # fixture tears it down
+                    coordinator.admit_worker(address=recruit.address)
+            return results
+
+        coordinator.map_tasks_payloads = elastic_map
+        result = PartitionMKLSearch(backend=backend, shards=3).search(
+            workload.X, workload.y, SEED_BLOCK, strategy="beam"
+        )
+        assert batches["n"] > 3, "beam search too short to go elastic"
+        _assert_bit_identical(result, reference)
+        wire = result.wire
+        assert wire["n_joins"] == 2
+        assert wire["n_rebalances"] >= 2  # one per join
+        assert wire["n_rebalanced_strips"] >= 1
+        assert wire["rebalance_bytes_out"] > 0
+        assert wire["rebalance_bytes_in"] > 0
+        assert wire["n_gathers"] == 0
+        # The fleet really grew: 5 registered, 4 alive.
+        assert coordinator.n_workers == 5
+        assert coordinator.n_live_workers == 4
+
+    def test_scores_identical_before_during_after_rebalance(
+        self, workload, make_fleet
+    ):
+        """Explicit rebalance between batches: the same engine scores
+        the same partitions bit-identically before any movement, with a
+        migration in between, and after it — strips are copied, never
+        recomputed differently."""
+        picks = list(cone_partitions(SEED_BLOCK, (2, 3, 4, 5, 6)))
+        serial = KernelEvaluationEngine(
+            workload.X,
+            workload.y,
+            gram_cache=ShardedGramCache(workload.X, n_shards=3),
+        )
+        expected = serial.score_batch(picks)
+        servers, backend = make_fleet(3)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=3
+        )
+        cache = engine.gram_cache
+        scores = list(engine.score_batch(picks[:20]))
+        # Squeeze the whole placement onto two workers, then back out.
+        plan = cache.rebalance([1, 2])
+        assert plan.n_moves >= 1
+        scores += engine.score_batch(picks[20:40])
+        plan_back = cache.rebalance([0, 1, 2])
+        scores += engine.score_batch(picks[40:])
+        assert scores == expected
+        assert cache.n_gathers == 0
+        assert cache.n_rebalances >= 2
+        assert set(cache.placement.owners) <= {0, 1, 2}
+        assert plan_back.capacity == 1
+
+
+# ---------------------------------------------------------------------------
+# Wire booking: migration traffic lands in the rebalance bucket only
+# ---------------------------------------------------------------------------
+
+
+class TestRebalanceAccounting:
+    def test_migration_bytes_booked_in_rebalance_bucket_only(
+        self, workload, make_fleet
+    ):
+        """Snapshot every byte bucket, migrate strips, snapshot again:
+        the rebalance bucket grows and the envelope/placement buckets
+        are untouched — no migration byte hides in another ledger."""
+        picks = list(cone_partitions(SEED_BLOCK, (2, 3, 4)))
+        servers, backend = make_fleet(3)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=3
+        )
+        cache = engine.gram_cache
+        engine.score_batch(picks)  # build every strip
+        assert cache.wait_replication(timeout=30.0)
+        before = backend.wire_stats()
+        # Squeeze everything onto worker 2: at least one strip has no
+        # replica there, so real state crosses the wire (replica-only
+        # promotions ship zero bytes by design).
+        plan = cache.rebalance([2])
+        after = backend.wire_stats()
+        assert plan.n_moves >= 1
+        assert after["rebalance_bytes_out"] > before["rebalance_bytes_out"]
+        assert after["rebalance_bytes_in"] > before["rebalance_bytes_in"]
+        for bucket in (
+            "envelope_bytes_out",
+            "envelope_bytes_in",
+            "placement_bytes_out",
+            "placement_bytes_in",
+        ):
+            assert after[bucket] == before[bucket]
+        assert after["n_rebalanced_strips"] - before[
+            "n_rebalanced_strips"
+        ] == plan.n_moves
+
+    def test_join_handshake_books_as_rebalance(self, workload, make_fleet):
+        """MSG_JOIN/MSG_JOIN_ACK frames ride the rebalance links: an
+        admission with nothing to migrate still grows the rebalance
+        bucket (the handshake itself) and counts one join."""
+        servers, backend = make_fleet(2)
+        before = backend.wire_stats()
+        assert before["n_joins"] == 0
+        recruit = WorkerServer()
+        recruit.start_background()
+        servers.append(recruit)
+        index = backend.coordinator.admit_worker(address=recruit.address)
+        after = backend.wire_stats()
+        assert index == 2
+        assert after["n_joins"] == 1
+        assert after["rebalance_bytes_out"] > before["rebalance_bytes_out"]
+        assert after["envelope_bytes_out"] == before["envelope_bytes_out"]
+
+    def test_rejoin_readmits_previous_index(self, make_fleet):
+        """A revived worker re-enters under its old index even from a
+        fresh port; the fleet does not grow."""
+        servers, backend = make_fleet(2)
+        servers[1].stop()
+        revived = WorkerServer()
+        revived.start_background()
+        servers[1] = revived
+        index = backend.coordinator.admit_worker(
+            address=revived.address, index=1
+        )
+        assert index == 1
+        assert backend.coordinator.n_workers == 2
+        assert backend.coordinator.n_live_workers == 2
+
+
+# ---------------------------------------------------------------------------
+# Autoscaling hook
+# ---------------------------------------------------------------------------
+
+
+class TestAutoscaleHook:
+    def test_policy_decisions(self):
+        policy = QueueDepthPolicy(
+            queue_high=4.0, queue_low=0.5, min_workers=1, max_workers=4
+        )
+        assert policy.recommend(queue_depth=20, n_live=2).action == "grow"
+        assert policy.recommend(queue_depth=0, n_live=3).action == "shrink"
+        assert policy.recommend(queue_depth=6, n_live=3).action == "hold"
+        assert policy.recommend(queue_depth=99, n_live=4).action == "hold"
+        assert policy.recommend(queue_depth=0, n_live=1).action == "hold"
+        assert policy.recommend(queue_depth=0, n_live=0).action == "grow"
+        assert policy.workers_wanted(queue_depth=20, n_live=2) == 4
+
+    def test_status_feeds_policy(self, workload, make_fleet):
+        """``fleet_status`` stamps the coordinator's live backlog on the
+        snapshot, and ``ClusterStatus.autoscale`` turns it into advice."""
+        servers, backend = make_fleet(2)
+        engine = KernelEvaluationEngine(
+            workload.X, workload.y, backend=backend, shards=2
+        )
+        engine.score_batch(list(cone_partitions(SEED_BLOCK, (2, 3))))
+        status = backend.coordinator.fleet_status(timeout=5.0)
+        assert status.n_live == 2
+        assert status.queue_depth == 0  # nothing in flight between calls
+        decision = status.autoscale(QueueDepthPolicy(queue_low=0.5))
+        assert decision.action == "shrink"
+        assert decision.n_live == 2
+
+    def test_synthetic_status_autoscale(self):
+        status = ClusterStatus(
+            addresses=["a:1", "b:2"], workers=[{}, {}], queue_depth=40
+        )
+        decision = status.autoscale(QueueDepthPolicy(queue_high=4.0))
+        assert decision.action == "grow"
+        assert decision.queue_depth == 40
+
+
+# ---------------------------------------------------------------------------
+# Process-pool elasticity: size parity and crash recovery
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _crash_once(marker, x):
+    """Hard-kill the pool worker on the first attempt only: the marker
+    file survives the pool rebuild, so the retry succeeds."""
+    if os.path.exists(marker):
+        return x * x
+    with open(marker, "w") as fh:
+        fh.write("crashed")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os._exit(13)
+
+
+class TestProcessPoolElasticity:
+    def test_pool_size_parity_bit_identical(self, workload):
+        """The processes backend has no placement — its elasticity
+        contract is pool-size parity: the same chain search on 1, 2,
+        and 4 pool workers is bit-identical to serial."""
+        reference = PartitionMKLSearch().search(
+            workload.X, workload.y, SEED_BLOCK, strategy="chain"
+        )
+        for max_workers in (1, 2, 4):
+            backend = ProcessPoolBackend(max_workers=max_workers)
+            try:
+                result = PartitionMKLSearch(backend=backend).search(
+                    workload.X, workload.y, SEED_BLOCK, strategy="chain"
+                )
+            finally:
+                backend.close()
+            _assert_bit_identical(result, reference)
+
+    def test_crash_rebuild_retry_is_bit_identical(self, tmp_path):
+        """A worker that dies mid-batch triggers the rebuild-and-retry
+        path; the retried batch returns exactly what an untroubled pool
+        would have."""
+        marker = str(tmp_path / "crashed-once")
+        backend = ProcessPoolBackend(max_workers=1, retries=1)
+        try:
+            assert backend.map(partial(_crash_once, marker), [1, 2, 3]) == [
+                1,
+                4,
+                9,
+            ]
+            assert os.path.exists(marker)
+            assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            backend.close()
+
+    def test_exhausted_retries_still_raise(self, tmp_path):
+        """With zero retries the first crash is final — elasticity does
+        not mean looping forever on a poisoned batch."""
+        marker = str(tmp_path / "never-written")
+        backend = ProcessPoolBackend(max_workers=1, retries=0)
+        try:
+            with pytest.raises(WorkerCrashError):
+                backend.map(partial(_crash_once, marker), [1])
+        finally:
+            backend.close()

@@ -29,7 +29,7 @@ from repro.cluster import SocketBackend, WorkerServer
 from repro.cluster.protocol import MSG_SERVE_ROWS
 from repro.core import FacetedLearner
 from repro.engine.cache import cross_gram_strip, query_block_diags
-from repro.iot import FacetSpec, make_faceted_classification, request_batches
+from repro.iot import request_batches
 from repro.kernels.partition_kernel import default_block_kernel
 from repro.serving import (
     ServedModel,
@@ -44,13 +44,11 @@ from repro.serving import (
 # ---------------------------------------------------------------------------
 
 
+# The shared cluster workload (conftest.py), under this suite's
+# historical local name.
 @pytest.fixture(scope="module")
-def workload():
-    specs = [
-        FacetSpec("signal", 2, signal="product", weight=1.5),
-        FacetSpec("noise", 3, role="noise"),
-    ]
-    return make_faceted_classification(120, specs, seed=4)
+def workload(cluster_workload):
+    return cluster_workload
 
 
 @pytest.fixture(scope="module")
@@ -570,6 +568,85 @@ class TestServingFaults:
                 plane.classify(model.X[:2])
             with pytest.raises(ServingError, match="degraded"):
                 plane.install(model)
+
+
+# ---------------------------------------------------------------------------
+# Elasticity: rebalance migrates served strips under concurrent load
+# ---------------------------------------------------------------------------
+
+
+class TestServingElasticity:
+    def test_rebalance_under_concurrent_load_bit_identical(
+        self, model, workload
+    ):
+        """The serving elasticity row: while a load generator hammers
+        the plane, a holder dies, a replacement is admitted, and a
+        rebalance migrates served strips onto it — every response
+        (before, during, after) stays bit-identical and pinned to one
+        installed version, and hot swap keeps working across the
+        membership change."""
+        servers = [WorkerServer() for _ in range(3)]
+        for server in servers:
+            server.start_background()
+        plane = ServingPlane(
+            "sockets", workers=[s.address for s in servers], n_strips=3
+        )
+        batch = next(request_batches(workload.X, 12, 1, seed=11, noise=0.1))
+        reference = model.predict(batch)
+        responses = []
+        errors = []
+        stop = threading.Event()
+
+        def generate_load():
+            while not stop.is_set():
+                try:
+                    responses.append(plane.classify(batch))
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        thread = threading.Thread(target=generate_load)
+        try:
+            first = plane.publish(model)
+            thread.start()
+            # A holder dies under load; replicas keep answering.
+            servers[0].stop()
+            while not any(r.version == first for r in responses):
+                if errors:
+                    break
+                stop.wait(0.01)
+            # Revive the index on a fresh process, readmit, rebalance —
+            # all while the load generator is mid-flight.
+            revived = WorkerServer()
+            revived.start_background()
+            servers[0] = revived
+            plane.admit_worker(address=revived.address, index=0)
+            plan = plane.rebalance([0, 1, 2])
+            assert any(move.target == 0 for move in plan.moves)
+            # Hot swap still works on the rebalanced fleet, under load.
+            second = plane.publish(model)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors
+        assert not thread.is_alive()
+        assert responses
+        versions = [r.version for r in responses]
+        assert set(versions) <= {first, second}
+        assert versions == sorted(versions)  # flips never roll back
+        for response in responses:
+            assert np.array_equal(response.predictions, reference)
+        # And a post-rebalance request is served by the new layout.
+        final = plane.classify(batch)
+        assert final.version == second
+        assert np.array_equal(final.predictions, reference)
+        stats = plane.stats()
+        assert stats["n_rebalances"] >= 1
+        assert stats["n_rebalanced_strips"] >= 1
+        assert stats["n_gathers"] == 0
+        plane.close()
+        for server in servers:
+            server.stop()
 
 
 # ---------------------------------------------------------------------------
