@@ -54,6 +54,7 @@ Run standalone:  python benchmarks/bench_backends.py [--trace]
 import argparse
 import json
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -444,6 +445,113 @@ def run(trace: bool = False) -> dict:
                 },
             }
 
+    # Multi-tenant contention: two searches share one 2-worker fleet as
+    # named tenants (stride weights 2:1) instead of running back to
+    # back on fleets of their own.  The evidence recorded: each
+    # tenant's SearchResult is bit-identical to its solo run, neither
+    # tenant gathers a Gram, the per-tenant envelope ledgers sum
+    # exactly to the fleet totals, and the wall clocks show what
+    # sharing costs versus owning the fleet.
+    tenant_seeds = {"a": SEED_BLOCK, "b": (0, 2)}
+    tenant_weights = {"a": 2.0, "b": 1.0}
+    with spawn_local_workers(2) as cluster:
+        solo_b_backend = SocketBackend(workers=cluster.addresses)
+        solo_b_search = PartitionMKLSearch(
+            engine_mode="incremental", backend=solo_b_backend, shards=4
+        )
+        start = time.perf_counter()
+        solo_b = solo_b_search.search(
+            workload.X, workload.y, tenant_seeds["b"], strategy="exhaustive"
+        )
+        solo_b_s = time.perf_counter() - start
+        solo_b_backend.close()
+    solo_runs = {"a": (placed, placed_s), "b": (solo_b, solo_b_s)}
+
+    with spawn_local_workers(2) as cluster:
+        shared_backend = SocketBackend(workers=cluster.addresses)
+        views = {
+            name: shared_backend.for_tenant(name, weight=weight)
+            for name, weight in tenant_weights.items()
+        }
+        contended: dict[str, tuple] = {}
+
+        def _tenant_run(name: str) -> None:
+            view = views[name]
+            search = PartitionMKLSearch(
+                engine_mode="incremental", backend=view, shards=4
+            )
+            cache = search._make_cache(workload.X)
+            t0 = time.perf_counter()
+            result = search.search_exhaustive(
+                workload.X, workload.y, tenant_seeds[name], cache=cache
+            )
+            contended[name] = (
+                result, view.wire_stats(), time.perf_counter() - t0
+            )
+            cache.detach()
+
+        start = time.perf_counter()
+        tenant_threads = [
+            threading.Thread(target=_tenant_run, args=(name,))
+            for name in tenant_seeds
+        ]
+        for thread in tenant_threads:
+            thread.start()
+        for thread in tenant_threads:
+            thread.join()
+        tenancy_shared_s = time.perf_counter() - start
+        tenancy_fleet_wire = shared_backend.wire_stats()
+        tenant_ledgers = shared_backend.coordinator.tenant_ledgers()
+        for view in views.values():
+            view.close()
+        shared_backend.close()
+
+    tenancy = {
+        "workers": 2,
+        "weights": tenant_weights,
+        "shared_wall_clock_s": tenancy_shared_s,
+        "solo_wall_clock_total_s": sum(s for _, s in solo_runs.values()),
+        "tenants": {},
+    }
+    for name in tenant_seeds:
+        reference, reference_s = solo_runs[name]
+        result, wire, elapsed = contended[name]
+        # Acceptance contract: sharing the fleet perturbs nothing.
+        assert result.best_partition == reference.best_partition
+        assert result.best_score == reference.best_score
+        assert all(
+            a == b
+            for (_, a), (_, b) in zip(reference.history, result.history)
+        ), f"tenant {name}: contended scores must be bit-identical to solo"
+        assert result.n_matrix_ops == reference.n_matrix_ops
+        assert wire["n_gathers"] == 0
+        tenancy["tenants"][name] = {
+            "seed_block": list(tenant_seeds[name]),
+            "weight": tenant_weights[name],
+            "solo_wall_clock_s": reference_s,
+            "shared_wall_clock_s": elapsed,
+            "contention_slowdown": elapsed / reference_s,
+            "wire": _wire_row(wire),
+        }
+    # Per-tenant envelope buckets partition the fleet ledger exactly.
+    for bucket in ("envelope_bytes_out", "envelope_bytes_in"):
+        per_tenant_total = sum(
+            ledger[bucket] for ledger in tenant_ledgers.values()
+        )
+        assert tenancy_fleet_wire[bucket] == per_tenant_total
+    bytes_a = tenant_ledgers["a"]["envelope_bytes_out"]
+    bytes_b = tenant_ledgers["b"]["envelope_bytes_out"]
+    tenancy["fairness"] = {
+        # Both tenants run equal-sized cones to completion, so their
+        # byte shares must come out ~equal no matter the weights (the
+        # weights shape *ordering*, not totals) — a cheap end-to-end
+        # sanity check that neither tenant's traffic was dropped or
+        # double-booked.
+        "envelope_bytes_out": {"a": bytes_a, "b": bytes_b},
+        "bytes_ratio_a_over_b": bytes_a / max(1, bytes_b),
+        "ledger_sums_match_fleet": True,
+    }
+
     # -- landmark (Nyström) parity at small n ---------------------------
     #
     # At n=250 the quadratic wall is not felt yet; this row documents
@@ -488,6 +596,7 @@ def run(trace: bool = False) -> dict:
         "resilience": resilience,
         "elasticity": elasticity,
         "speculation": speculation,
+        "tenancy": tenancy,
         "landmark": landmark,
         "parity": {
             "processes_scores_bit_identical_to_serial": True,
@@ -577,6 +686,16 @@ def print_report(trace: bool = False) -> None:
             f"  wasted={rows['on']['speculation']['wasted_bytes']}B"
             "  (bit-identical)"
         )
+    tenancy = report["tenancy"]
+    shares = tenancy["fairness"]["envelope_bytes_out"]
+    print(
+        f"  tenancy({tenancy['workers']}w, a:b="
+        f"{tenancy['weights']['a']:.0f}:{tenancy['weights']['b']:.0f})"
+        f"  shared {tenancy['shared_wall_clock_s']:.3f}s vs solo total"
+        f" {tenancy['solo_wall_clock_total_s']:.3f}s"
+        f"  bytes a/b={shares['a']}/{shares['b']}B"
+        "  (both bit-identical, ledgers sum to fleet)"
+    )
     if "telemetry" in report:
         tele = report["telemetry"]
         print(

@@ -53,6 +53,18 @@ observing ``Coordinator.queue_depth()`` via ``fleet_status()`` —
 closes the loop by recommending grow/shrink as
 :class:`~repro.cluster.status.ScalingDecision` advice.
 
+The fleet is **multi-tenant** (:mod:`~repro.cluster.tenancy`):
+``SocketBackend.for_tenant(name, weight=...)`` returns a
+:class:`~repro.cluster.tenancy.TenantBackend` view whose envelopes
+ride that tenant's fair-share queue (deterministic stride scheduling
+in :class:`~repro.cluster.tenancy.TenantScheduler`), whose queued
+depth is bounded by admission control
+(:exc:`~repro.cluster.tenancy.TenantAdmissionError`), whose wire
+bytes book to per-tenant ledgers, and whose placed strips live in a
+per-tenant worker-side namespace — so many concurrent searches share
+one fleet with hard isolation: one tenant's failure resets only its
+own tickets, never a bystander's.
+
 Parity invariant (enforced by ``tests/test_cluster.py`` and the
 backend benchmark): a search over real sockets returns bit-identical
 scores and exact op ledgers versus the serial reference — identical
@@ -84,12 +96,20 @@ from repro.cluster.protocol import (
     send_frame,
 )
 from repro.cluster.status import QueueDepthPolicy, ScalingDecision
+from repro.cluster.tenancy import (
+    DEFAULT_TENANT,
+    TenantAdmissionError,
+    TenantBackend,
+    TenantScheduler,
+    TenantState,
+)
 from repro.cluster.worker import WorkerServer
 
 __all__ = [
     "AuthenticationError",
     "Coordinator",
     "ConnectionClosed",
+    "DEFAULT_TENANT",
     "FrameAuth",
     "LocalWorkers",
     "MovementPlan",
@@ -105,6 +125,10 @@ __all__ = [
     "SocketBackend",
     "StripLossError",
     "StripMove",
+    "TenantAdmissionError",
+    "TenantBackend",
+    "TenantScheduler",
+    "TenantState",
     "WorkerLink",
     "WorkerServer",
     "encode_frame",

@@ -127,6 +127,33 @@ class SocketBackend:
             PlacedGramCache | PlacedLandmarkGramCache
         ] = []
 
+    # -- tenancy -------------------------------------------------------
+
+    def for_tenant(
+        self,
+        name: str,
+        weight: float = 1.0,
+        max_queue_depth: int | None = None,
+    ):
+        """A tenant-scoped view of this backend sharing the fleet.
+
+        Registers ``name`` with the coordinator's fair-share scheduler
+        (idempotent — re-registering updates the weight and admission
+        bound) and returns a
+        :class:`~repro.cluster.tenancy.TenantBackend` satisfying the
+        full backend contract: its envelopes queue on the tenant's own
+        lanes, its placed caches live in the tenant's worker-side
+        namespace, and its ``wire_stats()`` reads the tenant's ledgers.
+        Closing the view detaches only the tenant's caches; the shared
+        fleet (and the tenant's ledgers) stay up.
+        """
+        from repro.cluster.tenancy import TenantBackend
+
+        self.coordinator.register_tenant(
+            name, weight=weight, max_queue_depth=max_queue_depth
+        )
+        return TenantBackend(self, name)
+
     # -- lifecycle -----------------------------------------------------
 
     def warm_up(self) -> None:

@@ -88,6 +88,7 @@ from repro.cluster.protocol import (
     send_frame,
     wire_category,
 )
+from repro.cluster.tenancy import DEFAULT_TENANT, TenantScheduler, TenantState
 from repro.engine.tasks import WorkerCrashError, decode_result
 from repro.telemetry import get_tracer, merge_counts
 
@@ -138,6 +139,10 @@ class WorkerLink:
         self.bytes_in: dict[str, int] = {}
         self.auth_bytes_out = 0
         self.auth_bytes_in = 0
+        #: Wire size of the most recent frame received on this link —
+        #: how the coordinator attributes a result's bytes to the
+        #: tenant whose ticket it resolves.
+        self.last_frame_bytes_in = 0
 
     @property
     def address(self) -> str:
@@ -200,13 +205,17 @@ class WorkerLink:
             except OSError:
                 pass
 
-    def send(self, msg_type: int, payload: bytes) -> None:
+    def send(self, msg_type: int, payload: bytes) -> int:
+        """Ship one frame; returns its wire byte count (headers included)
+        so callers can book the same bytes into finer-grained ledgers
+        (the coordinator's per-tenant envelope accounting)."""
         self.connect()
         sent = send_frame(self._sock, msg_type, payload, auth=self._auth)
         bucket = self.bucket or wire_category(msg_type)
         self.bytes_out[bucket] = self.bytes_out.get(bucket, 0) + sent
         if self._auth is not None:
             self.auth_bytes_out += auth_overhead()
+        return sent
 
     def recv(self) -> tuple[int, bytes]:
         if self._sock is None:
@@ -214,6 +223,7 @@ class WorkerLink:
         msg_type, payload, received = recv_frame(
             self._sock, self.max_frame_bytes, auth=self._auth
         )
+        self.last_frame_bytes_in = received
         bucket = self.bucket or wire_category(msg_type)
         self.bytes_in[bucket] = self.bytes_in.get(bucket, 0) + received
         if self._auth is not None:
@@ -366,9 +376,23 @@ class Coordinator:
         # being reassigned when that worker dies — the caller owns the
         # re-routing decision (the serving plane re-routes to a replica
         # strip holder).
+        #
+        # Tenancy: shared-queue tickets belong to *tenants* — named
+        # fair-share queues picked by deterministic stride scheduling
+        # (repro.cluster.tenancy).  Untagged submissions ride the
+        # always-registered default tenant, whose queues are aliased to
+        # the legacy ``_queue_real``/``_queue_spec`` attributes, so a
+        # single-tenant coordinator schedules exactly as before.  The
+        # plane lock serialises every ticket-plane mutation; blocking
+        # receive steps hold it for at most one frame, so concurrent
+        # tenant threads interleave at frame granularity.
+        self._plane_lock = threading.RLock()
+        self._tenants = TenantScheduler()
+        self._ticket_tenants: dict[int, TenantState] = {}
+        _default = self._tenants.state(None)
         self._next_ticket = 0
-        self._queue_real: deque[int] = deque()
-        self._queue_spec: deque[int] = deque()
+        self._queue_real: deque[int] = _default.real
+        self._queue_spec: deque[int] = _default.spec
         self._queue_pinned: dict[int, deque[int]] = {}
         self._ticket_payloads: dict[int, bytes] = {}
         # Pinned tickets record their request frame type here; absence
@@ -848,15 +872,16 @@ class Coordinator:
         announce = load_payload(reply)
         # Bury any channel still registered under the previous life
         # (killed but not yet purged) before clearing the death record.
-        for channel in [c for c in self._channels if c.index == index]:
-            self._handle_death(channel)
-        with self._state_lock:
-            self._dead_indices.discard(index)
-            self._evicted_pending.discard(index)
-            listeners = list(self._join_listeners)
-        link = WorkerLink(address, **self._link_options)
-        self._channels.append(_TaskChannel(link, index))
-        self.n_joins += 1
+        with self._plane_lock:
+            for channel in [c for c in self._channels if c.index == index]:
+                self._handle_death(channel)
+            with self._state_lock:
+                self._dead_indices.discard(index)
+                self._evicted_pending.discard(index)
+                listeners = list(self._join_listeners)
+            link = WorkerLink(address, **self._link_options)
+            self._channels.append(_TaskChannel(link, index))
+            self.n_joins += 1
         get_tracer().event(
             "cluster.join",
             cat="cluster",
@@ -865,22 +890,95 @@ class Coordinator:
         )
         for listener in listeners:
             listener(index, announce)
-        self._fill_windows()
+        with self._plane_lock:
+            self._fill_windows()
         return index
 
     def queue_depth(self) -> int:
         """Tickets admitted but not yet resolved (queued + in flight).
 
         The backlog an autoscaling policy watches: queued batch and
-        speculative envelopes, queued pinned requests, and everything
-        outstanding on the per-worker windows.
+        speculative envelopes across every tenant, queued pinned
+        requests, and everything outstanding on the per-worker windows.
         """
-        return (
-            len(self._queue_real)
-            + len(self._queue_spec)
-            + sum(len(q) for q in self._queue_pinned.values())
-            + sum(len(c.outstanding) for c in self._channels)
-        )
+        with self._plane_lock:
+            return (
+                sum(s.queued for s in self._tenants.states())
+                + sum(len(q) for q in self._queue_pinned.values())
+                + sum(len(c.outstanding) for c in self._channels)
+            )
+
+    # -- tenancy --------------------------------------------------------
+
+    def register_tenant(
+        self,
+        name: str,
+        weight: float = 1.0,
+        max_queue_depth: int | None = None,
+    ) -> None:
+        """Register (or re-configure) a fair-share tenant.
+
+        ``weight`` sets the tenant's envelope-throughput share under
+        contention (stride scheduling over backlogged tenants);
+        ``max_queue_depth`` bounds its *queued* (admitted, not yet
+        shipped) tickets — real submissions past the bound raise
+        :class:`~repro.cluster.tenancy.TenantAdmissionError`,
+        speculative ones are born lost.  Idempotent by name: ledgers
+        and queued work survive re-registration.
+        """
+        with self._plane_lock:
+            self._tenants.register(name, weight, max_queue_depth)
+
+    def unregister_tenant(self, name: str) -> None:
+        """Drop a tenant: its queued/in-flight tickets are reset (the
+        in-flight ones discarded on arrival) and its ledgers forgotten.
+        The default tenant cannot be unregistered."""
+        with self._plane_lock:
+            try:
+                state = self._tenants.state(name)
+            except KeyError:
+                return
+            self._reset_tenant_plane(state)
+            self._tenants.unregister(name)
+
+    def tenant_queue_depths(self) -> dict[str, int]:
+        """Tenant name → queued + in-flight tickets, for status polls
+        and per-tenant autoscale advice."""
+        with self._plane_lock:
+            return self._tenants.queue_depths()
+
+    def tenant_ledgers(self) -> dict[str, dict]:
+        """Tenant name → flat scheduling/wire ledger (cumulative), the
+        dict :func:`repro.telemetry.tenant_metrics` absorbs into
+        tenant-labelled counters."""
+        with self._plane_lock:
+            return self._tenants.ledgers()
+
+    def tenant_wire_stats(self, name: str | None = None) -> dict:
+        """One tenant's wire ledger in the fleet ``wire_stats`` shape.
+
+        Envelope bytes and task counters are the tenant's own; fleet
+        size gauges ride along so engine ledger deltas keep their
+        shape.  Placement/replication traffic is booked per placed
+        cache, not per tenant — ``TenantBackend.wire_stats`` folds in
+        the counters of the tenant's own caches.
+        """
+        with self._plane_lock:
+            state = self._tenants.state(name)
+            return {
+                "n_workers": self.n_workers,
+                "n_live_workers": self.n_live_workers,
+                "tenant_weight": state.weight,
+                "tenant_queue_depth": state.depth,
+                "n_tasks": state.n_tasks,
+                "n_results": state.n_results,
+                "n_reassigned": state.n_reassigned,
+                "n_speculative_tasks": state.n_speculative_tasks,
+                "n_tenant_rejected": state.n_rejected,
+                "n_tenant_resets": state.n_resets,
+                "envelope_bytes_out": state.envelope_bytes_out,
+                "envelope_bytes_in": state.envelope_bytes_in,
+            }
 
     # -- wire accounting -----------------------------------------------
 
@@ -961,6 +1059,7 @@ class Coordinator:
         # (``status.autoscale(...)``) see queue pressure and liveness in
         # one observation.
         status.queue_depth = self.queue_depth()
+        status.tenants = self.tenant_queue_depths()
         return status
 
     # -- request/response plane ----------------------------------------
@@ -981,29 +1080,51 @@ class Coordinator:
     # window without sequence numbers: the per-channel FIFO is the
     # truth.
 
-    def submit_ticket(self, payload: bytes, speculative: bool = False) -> int:
+    def submit_ticket(
+        self,
+        payload: bytes,
+        speculative: bool = False,
+        tenant: str | None = None,
+    ) -> int:
         """Enqueue one envelope; non-blocking beyond the TCP send.
 
         The envelope is placed on a free window slot immediately when
-        one exists; otherwise it waits in the coordinator-side queue
-        and is flushed by the next ``pump``/receive.  Real (batch)
-        tickets always outrank queued speculative ones at submission
-        time.
+        one exists; otherwise it waits in its tenant's queue and is
+        flushed by the next ``pump``/receive.  Within a tenant, real
+        (batch) tickets always outrank queued speculative ones; across
+        tenants the stride scheduler picks whose head ships next.
+        ``tenant=None`` is the default tenant.  A tenant at its
+        admission bound raises
+        :class:`~repro.cluster.tenancy.TenantAdmissionError` for real
+        submissions; an over-bound speculative submission returns a
+        born-lost ticket (``wait_ticket`` → ``None``) and the engine
+        rescores it through the normal path.
         """
-        self._ensure_heartbeat()
-        self._ensure_channels()
-        ticket = self._next_ticket
-        self._next_ticket += 1
-        self._ticket_payloads[ticket] = payload
-        self._telemetry_open(ticket, "speculative" if speculative else "batch")
-        if speculative:
-            self._speculative_tickets.add(ticket)
-            self.n_speculative_tasks += 1
-            self._queue_spec.append(ticket)
-        else:
-            self._queue_real.append(ticket)
-        self._fill_windows()
-        return ticket
+        with self._plane_lock:
+            state = self._tenants.state(tenant)
+            admitted = state.admit(speculative)
+            self._ensure_heartbeat()
+            self._ensure_channels()
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            if not admitted:
+                return ticket  # born lost: over the admission bound
+            self._ticket_payloads[ticket] = payload
+            self._ticket_tenants[ticket] = state
+            self._telemetry_open(
+                ticket,
+                "speculative" if speculative else "batch",
+                tenant=state.name,
+            )
+            if speculative:
+                self._speculative_tickets.add(ticket)
+                self.n_speculative_tasks += 1
+                state.n_speculative_tasks += 1
+                state.spec.append(ticket)
+            else:
+                state.real.append(ticket)
+            self._fill_windows()
+            return ticket
 
     def submit_request(
         self, worker_index: int, msg_type: int, payload: bytes
@@ -1021,28 +1142,30 @@ class Coordinator:
         needs.  A request pinned to an already-dead worker is born
         lost.
         """
-        self._ensure_heartbeat()
-        self._ensure_channels()
-        ticket = self._next_ticket
-        self._next_ticket += 1
-        if not any(c.index == worker_index for c in self._channels):
-            return ticket  # born lost: the worker is already gone
-        self._ticket_payloads[ticket] = payload
-        self._ticket_types[ticket] = int(msg_type)
-        self._telemetry_open(ticket, "pinned", worker=worker_index)
-        self._queue_pinned.setdefault(worker_index, deque()).append(ticket)
-        self._fill_windows()
-        return ticket
+        with self._plane_lock:
+            self._ensure_heartbeat()
+            self._ensure_channels()
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            if not any(c.index == worker_index for c in self._channels):
+                return ticket  # born lost: the worker is already gone
+            self._ticket_payloads[ticket] = payload
+            self._ticket_types[ticket] = int(msg_type)
+            self._telemetry_open(ticket, "pinned", worker=worker_index)
+            self._queue_pinned.setdefault(worker_index, deque()).append(ticket)
+            self._fill_windows()
+            return ticket
 
     def pump(self) -> None:
         """Opportunistic, non-blocking progress: drain results that are
         already on the wire, then top the windows back up."""
-        self._purge_evicted()
-        for channel in list(self._channels):
-            while channel.outstanding and channel.link.readable():
-                if not self._receive_from(channel):
-                    break
-        self._fill_windows()
+        with self._plane_lock:
+            self._purge_evicted()
+            for channel in list(self._channels):
+                while channel.outstanding and channel.link.readable():
+                    if not self._receive_from(channel):
+                        break
+            self._fill_windows()
 
     def poll_ticket(self, ticket: int) -> tuple[bool, tuple | None]:
         """Non-blocking status: ``(done, result)``.
@@ -1053,16 +1176,20 @@ class Coordinator:
         error is raised on consumption.
         """
         self.pump()
-        if ticket in self._ticket_results:
-            self._telemetry_consume(ticket, "ok")
-            return True, self._ticket_results.pop(ticket)
-        if ticket in self._ticket_errors:
-            self._telemetry_consume(ticket, "error")
-            raise self._ticket_errors.pop(ticket)
-        if self._ticket_known(ticket):
-            return False, None
-        self._telemetry_consume(ticket, "lost")
-        return True, None
+        with self._plane_lock:
+            if ticket in self._ticket_results:
+                self._telemetry_consume(ticket, "ok")
+                self._ticket_tenants.pop(ticket, None)
+                return True, self._ticket_results.pop(ticket)
+            if ticket in self._ticket_errors:
+                self._telemetry_consume(ticket, "error")
+                self._ticket_tenants.pop(ticket, None)
+                raise self._ticket_errors.pop(ticket)
+            if self._ticket_known(ticket):
+                return False, None
+            self._telemetry_consume(ticket, "lost")
+            self._ticket_tenants.pop(ticket, None)
+            return True, None
 
     def wait_ticket(self, ticket: int) -> tuple | None:
         """Block until a ticket resolves; ``None`` if it was lost.
@@ -1074,16 +1201,23 @@ class Coordinator:
         that happened to error never poisons an unrelated wait.
         """
         while True:
-            if ticket in self._ticket_results:
-                self._telemetry_consume(ticket, "ok")
-                return self._ticket_results.pop(ticket)
-            if ticket in self._ticket_errors:
-                self._telemetry_consume(ticket, "error")
-                raise self._ticket_errors.pop(ticket)
-            if not self._ticket_known(ticket):
-                self._telemetry_consume(ticket, "lost")
-                return None
-            self._progress_toward(ticket)
+            # One bounded step per lock hold: concurrent tenant threads
+            # interleave at frame granularity instead of serialising
+            # behind one tenant's whole wait.
+            with self._plane_lock:
+                if ticket in self._ticket_results:
+                    self._telemetry_consume(ticket, "ok")
+                    self._ticket_tenants.pop(ticket, None)
+                    return self._ticket_results.pop(ticket)
+                if ticket in self._ticket_errors:
+                    self._telemetry_consume(ticket, "error")
+                    self._ticket_tenants.pop(ticket, None)
+                    raise self._ticket_errors.pop(ticket)
+                if not self._ticket_known(ticket):
+                    self._telemetry_consume(ticket, "lost")
+                    self._ticket_tenants.pop(ticket, None)
+                    return None
+                self._progress_toward(ticket)
 
     def cancel_ticket(self, ticket: int) -> None:
         """Best-effort cancel: a queued ticket is dropped before any
@@ -1091,23 +1225,26 @@ class Coordinator:
         on arrival (the per-channel FIFO cannot skip frames); a
         resolved one has its stored result dropped.  Waiting on a
         cancelled ticket afterwards reports it lost."""
-        for queue in (
-            self._queue_real,
-            self._queue_spec,
-            *self._queue_pinned.values(),
-        ):
-            if ticket in queue:
-                queue.remove(ticket)
-                self._forget_ticket(ticket)
+        with self._plane_lock:
+            for queue in (
+                *(s.real for s in self._tenants.states()),
+                *(s.spec for s in self._tenants.states()),
+                *self._queue_pinned.values(),
+            ):
+                if ticket in queue:
+                    queue.remove(ticket)
+                    self._forget_ticket(ticket)
+                    return
+            self._ticket_results.pop(ticket, None)
+            self._ticket_errors.pop(ticket, None)
+            if any(ticket in c.outstanding for c in self._channels):
+                self._cancelled_tickets.add(ticket)
                 return
-        self._ticket_results.pop(ticket, None)
-        self._ticket_errors.pop(ticket, None)
-        if any(ticket in c.outstanding for c in self._channels):
-            self._cancelled_tickets.add(ticket)
-            return
-        self._forget_ticket(ticket)
+            self._forget_ticket(ticket)
 
-    def map_tasks_payloads(self, payloads: Iterable[bytes]) -> list[tuple[list[float], int]]:
+    def map_tasks_payloads(
+        self, payloads: Iterable[bytes], tenant: str | None = None
+    ) -> list[tuple[list[float], int]]:
         """Score pre-serialized envelopes across the fleet, input order.
 
         ``payloads`` is consumed lazily: each envelope is sent as soon
@@ -1124,20 +1261,30 @@ class Coordinator:
         the next call starts from a fresh set of links to every
         registered address (workers restarted on the same ports are
         picked up automatically).
+
+        Isolation: a failing batch — a worker application error, a
+        crash storm, a :class:`~repro.cluster.placement.StripLossError`
+        surfacing through the lazy payload generator — resets only
+        *this tenant's* slice of the plane.  Other tenants' queued and
+        in-flight tickets, and the links they ride, are untouched.
         """
-        self._ensure_heartbeat()
-        self._ensure_channels()
+        with self._plane_lock:
+            state = self._tenants.state(tenant)
+            self._ensure_heartbeat()
+            self._ensure_channels()
         tickets: list[int] = []
         try:
             for payload in payloads:
-                tickets.append(self.submit_ticket(payload))
-                self._apply_backpressure()
+                tickets.append(self.submit_ticket(payload, tenant=tenant))
+                self._apply_backpressure(state)
             results = [self.wait_ticket(ticket) for ticket in tickets]
         except Exception:
-            # Leave no stale RESULT frames behind on any socket: a
-            # failed batch resets the task plane; links reconnect
-            # lazily on the next call.
-            self._reset_task_plane()
+            # Leave no stale RESULT frames addressed to this batch
+            # behind: drop the tenant's queued tickets and mark its
+            # in-flight ones cancelled (discarded on arrival, so the
+            # per-channel FIFOs stay in step).  Other tenants keep
+            # scoring.
+            self._reset_tenant_plane(state)
             raise
         if any(result is None for result in results):
             raise WorkerCrashError(
@@ -1158,8 +1305,10 @@ class Coordinator:
     def _ticket_known(self, ticket: int) -> bool:
         """Queued or in flight (i.e. a result is still coming)."""
         return (
-            ticket in self._queue_real
-            or ticket in self._queue_spec
+            any(
+                ticket in s.real or ticket in s.spec
+                for s in self._tenants.states()
+            )
             or any(ticket in q for q in self._queue_pinned.values())
             or any(ticket in c.outstanding for c in self._channels)
         )
@@ -1170,6 +1319,9 @@ class Coordinator:
         self._speculative_tickets.discard(ticket)
         self._cancelled_tickets.discard(ticket)
         self._ticket_times.pop(ticket, None)
+        state = self._ticket_tenants.pop(ticket, None)
+        if state is not None:
+            state.in_flight.discard(ticket)
 
     # -- ticket lifecycle telemetry --------------------------------------
     #
@@ -1210,32 +1362,63 @@ class Coordinator:
         }
         if "worker" in times:
             attrs["worker"] = times["worker"]
+        if "tenant" in times:
+            attrs["tenant"] = times["tenant"]
         if "wired" in times:
             attrs["wired_ms"] = (times["wired"] - queued) * 1e3
         if "scored" in times:
             attrs["scored_ms"] = (times["scored"] - queued) * 1e3
         tracer.record_span("cluster.ticket", queued, now, cat="cluster", **attrs)
 
-    def _reset_task_plane(self) -> None:
-        """Failed batch: close links, drop queued/in-flight tickets.
+    def _reset_tenant_plane(self, state: TenantState) -> None:
+        """Failed batch: drop one tenant's queued and in-flight tickets.
 
-        Dropped tickets report as *lost* to their waiters — the engine
-        rescores lost speculations through the normal path; the batch
-        itself is already propagating its failure.
+        Queued tickets are forgotten outright (they report *lost* to
+        their waiters — the engine rescores lost speculations through
+        the normal path; the batch itself is already propagating its
+        failure).  In-flight tickets are marked cancelled so their
+        eventual result frames are discarded on arrival and the
+        per-channel FIFOs never desynchronise.  Links, pinned requests
+        and **other tenants' tickets are untouched** — the isolation
+        guarantee that lets one tenant's ``StripLossError`` or crash
+        storm abort only its own search on a shared fleet.
         """
-        for channel in self._channels:
-            channel.link.close()
-            for ticket in channel.outstanding:
-                self._forget_ticket(ticket)
-            channel.outstanding.clear()
-        for queue in (
-            self._queue_real,
-            self._queue_spec,
-            *self._queue_pinned.values(),
-        ):
-            while queue:
-                self._forget_ticket(queue.popleft())
-        self._queue_pinned.clear()
+        with self._plane_lock:
+            state.n_resets += 1
+            for queue in (state.real, state.spec):
+                while queue:
+                    self._forget_ticket(queue.popleft())
+            for ticket in list(state.in_flight):
+                self._cancelled_tickets.add(ticket)
+            # Resolved-but-unconsumed results whose waiter is gone (the
+            # batch raised partway through consuming them).
+            for ticket, owner in list(self._ticket_tenants.items()):
+                if owner is state and (
+                    ticket in self._ticket_results
+                    or ticket in self._ticket_errors
+                ):
+                    self._ticket_results.pop(ticket, None)
+                    self._ticket_errors.pop(ticket, None)
+                    self._forget_ticket(ticket)
+
+    def _reset_task_plane(self) -> None:
+        """Full reset (every tenant, every link) — the pre-tenancy
+        failure behaviour, kept for teardown paths that really do want
+        to abandon the whole plane."""
+        with self._plane_lock:
+            for channel in self._channels:
+                channel.link.close()
+                for ticket in channel.outstanding:
+                    self._forget_ticket(ticket)
+                channel.outstanding.clear()
+            for queue in (
+                *(s.real for s in self._tenants.states()),
+                *(s.spec for s in self._tenants.states()),
+                *self._queue_pinned.values(),
+            ):
+                while queue:
+                    self._forget_ticket(queue.popleft())
+            self._queue_pinned.clear()
 
     def _purge_evicted(self) -> None:
         """Bury channels the heartbeat monitor marked for eviction.
@@ -1321,10 +1504,15 @@ class Coordinator:
                 self._forget_ticket(ticket)
                 continue
             self.n_reassigned += 1
+            state = self._ticket_tenants.get(ticket)
+            if state is None:
+                state = self._tenants.state(None)
+            state.n_reassigned += 1
+            state.in_flight.discard(ticket)
             if ticket in self._speculative_tickets:
-                self._queue_spec.appendleft(ticket)
+                state.spec.appendleft(ticket)
             else:
-                self._queue_real.appendleft(ticket)
+                state.real.appendleft(ticket)
         channel.outstanding.clear()
         pinned = self._queue_pinned.pop(channel.index, None)
         if pinned:
@@ -1337,28 +1525,42 @@ class Coordinator:
 
         Pinned requests go first — they can only ever use their own
         worker's window, so letting shared-queue envelopes fill it
-        would starve them; shared-queue envelopes then spread over
-        whatever slots remain anywhere in the fleet.
+        would starve them.  Shared-queue envelopes then spread over
+        whatever slots remain anywhere in the fleet, with *which
+        tenant's* head ships next decided by the stride scheduler —
+        weighted fair shares over the backlogged tenants (real before
+        speculative within a tenant).  Only a shipped envelope charges
+        its tenant's pass; discarding a cancelled ticket costs no
+        share.
         """
         self._purge_evicted()
         self._fill_pinned_windows()
-        while (self._queue_real or self._queue_spec) and self._channels:
+        while self._channels:
+            state = self._tenants.select()
+            if state is None:
+                return
             channel = min(self._channels, key=len)
             if len(channel) >= self.window:
                 return
-            queue = self._queue_real if self._queue_real else self._queue_spec
+            queue = state.real if state.real else state.spec
             ticket = queue[0]
             if ticket in self._cancelled_tickets:
                 queue.popleft()
                 self._forget_ticket(ticket)
                 continue
             try:
-                channel.link.send(MSG_TASK, self._ticket_payloads[ticket])
+                sent = channel.link.send(
+                    MSG_TASK, self._ticket_payloads[ticket]
+                )
             except (ProtocolError, OSError):
                 self._handle_death(channel)
                 continue
             queue.popleft()
             channel.outstanding.append(ticket)
+            state.in_flight.add(ticket)
+            state.n_tasks += 1
+            state.envelope_bytes_out += sent
+            self._tenants.charge(state)
             self.n_tasks += 1
             self._telemetry_stamp(ticket, "wired", worker=channel.index)
 
@@ -1398,18 +1600,26 @@ class Coordinator:
                 self.n_requests += 1
                 self._telemetry_stamp(ticket, "wired", worker=channel.index)
 
-    def _apply_backpressure(self) -> None:
-        """Block until the real queue is fully placed on the windows."""
+    def _apply_backpressure(self, state: TenantState | None = None) -> None:
+        """Block until one tenant's real queue is fully on the windows.
+
+        Lock scope mirrors ``wait_ticket``: one fill-or-receive step
+        per hold, so a tenant waiting for a slot never starves another
+        tenant's submissions.
+        """
+        if state is None:
+            state = self._tenants.state(None)
         while True:
-            self._fill_windows()
-            if not self._queue_real:
-                return
-            if not self._channels:
-                self._reconnect_or_raise()
-                continue
-            candidates = [c for c in self._channels if len(c)]
-            if candidates:
-                self._receive_from(min(candidates, key=len))
+            with self._plane_lock:
+                self._fill_windows()
+                if not state.real:
+                    return
+                if not self._channels:
+                    self._reconnect_or_raise()
+                    continue
+                candidates = [c for c in self._channels if len(c)]
+                if candidates:
+                    self._receive_from(min(candidates, key=len))
 
     def _progress_toward(self, ticket: int) -> None:
         """One blocking step toward resolving ``ticket``."""
@@ -1418,7 +1628,10 @@ class Coordinator:
             if ticket in channel.outstanding:
                 self._receive_from(channel)
                 return
-        if ticket in self._queue_real or ticket in self._queue_spec:
+        owner = self._ticket_tenants.get(ticket)
+        if owner is not None and (
+            ticket in owner.real or ticket in owner.spec
+        ):
             self._fill_windows()
             if self._ticket_in_flight(ticket):
                 return
@@ -1463,6 +1676,7 @@ class Coordinator:
             # the link stays usable for the envelopes behind it.
             ticket = channel.outstanding.popleft()
             self.n_results += 1
+            self._book_tenant_result(ticket, channel.link.last_frame_bytes_in)
             if ticket in self._cancelled_tickets:
                 self.n_discarded_results += 1
                 self._forget_ticket(ticket)
@@ -1492,6 +1706,7 @@ class Coordinator:
             )
         ticket = channel.outstanding.popleft()
         self.n_results += 1
+        self._book_tenant_result(ticket, channel.link.last_frame_bytes_in)
         if ticket in self._cancelled_tickets:
             self.n_discarded_results += 1
             self._forget_ticket(ticket)
@@ -1505,3 +1720,16 @@ class Coordinator:
             self._ticket_types.pop(ticket, None)
             self._telemetry_stamp(ticket, "scored")
         return True
+
+    def _book_tenant_result(self, ticket: int, received: int) -> None:
+        """Attribute one reply frame's bytes to its tenant's ledger.
+
+        Pinned (serving) tickets carry no tenant — their traffic books
+        in the ``serve`` bucket fleet-wide — so per-tenant envelope
+        buckets sum exactly to the fleet's envelope totals.
+        """
+        state = self._ticket_tenants.get(ticket)
+        if state is not None:
+            state.envelope_bytes_in += received
+            state.n_results += 1
+            state.in_flight.discard(ticket)

@@ -461,9 +461,15 @@ class PlacedGramCache(_KeyLocked):
         n_shards: int = 2,
         placement: ShardPlacement | None = None,
         replication: int | None = None,
+        namespace: str = "default",
     ):
         super().__init__()
         self.coordinator = coordinator
+        # Worker-side placement residency is keyed by namespace, so two
+        # caches (two tenants, or a tenant next to the default plane)
+        # sharing the fleet never clobber each other's strips.  Every
+        # placement frame this cache sends carries the namespace.
+        self.namespace = str(namespace)
         self.X = as_2d(X)
         n = self.X.shape[0]
         if not 1 <= n_shards <= n:
@@ -585,7 +591,7 @@ class PlacedGramCache(_KeyLocked):
 
     def _request(self, worker: int, msg_type: int, body: dict) -> dict:
         reply = self.coordinator.placement_request(
-            worker, msg_type, dump_payload(body)
+            worker, msg_type, dump_payload({**body, "ns": self.namespace})
         )
         return load_payload(reply)
 
@@ -613,7 +619,7 @@ class PlacedGramCache(_KeyLocked):
         against these replies, so reductions index a consistent view
         even if another death lands right after the fan-out.
         """
-        payload = dump_payload(body)
+        payload = dump_payload({**body, "ns": self.namespace})
         for _ in range(self.MAX_FANOUT_ATTEMPTS):
             self._repair_lost_strips()
             with self._data_lock:
@@ -944,7 +950,13 @@ class PlacedGramCache(_KeyLocked):
             target = candidates[0]
 
         def replication_requester(worker, msg_type, body):
-            return load_payload(request(worker, msg_type, dump_payload(body)))
+            return load_payload(
+                request(
+                    worker,
+                    msg_type,
+                    dump_payload({**body, "ns": self.namespace}),
+                )
+            )
 
         def copy_blocks(keys) -> None:
             for key in keys:
@@ -1122,7 +1134,13 @@ class PlacedGramCache(_KeyLocked):
         request = self.coordinator.rebalance_request
 
         def rebalance_requester(worker, msg_type, body):
-            return load_payload(request(worker, msg_type, dump_payload(body)))
+            return load_payload(
+                request(
+                    worker,
+                    msg_type,
+                    dump_payload({**body, "ns": self.namespace}),
+                )
+            )
 
         def copy_blocks(keys) -> None:
             for key in keys:
@@ -1388,9 +1406,14 @@ class PlacedLandmarkGramCache(_KeyLocked):
         n_landmarks: int | None = None,
         landmark_seed: int = 0,
         placement: ShardPlacement | None = None,
+        namespace: str = "default",
     ):
         super().__init__()
         self.coordinator = coordinator
+        # Namespaced residency, mirroring PlacedGramCache: every frame
+        # carries the namespace so tenants sharing the fleet keep
+        # disjoint worker-side factor stores.
+        self.namespace = str(namespace)
         self.X = as_2d(X)
         n = self.X.shape[0]
         if not 1 <= n_shards <= n:
@@ -1488,7 +1511,7 @@ class PlacedLandmarkGramCache(_KeyLocked):
 
     def _request(self, worker: int, msg_type: int, body: dict) -> dict:
         reply = self.coordinator.placement_request(
-            worker, msg_type, dump_payload(body)
+            worker, msg_type, dump_payload({**body, "ns": self.namespace})
         )
         return load_payload(reply)
 
@@ -1504,7 +1527,7 @@ class PlacedLandmarkGramCache(_KeyLocked):
         ``(replies, owners)`` with the owner snapshot validated against
         the replies.
         """
-        payload = dump_payload(body)
+        payload = dump_payload({**body, "ns": self.namespace})
         for _ in range(self.MAX_FANOUT_ATTEMPTS):
             self._adopt_lost_strips()
             with self._data_lock:

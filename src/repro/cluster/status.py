@@ -190,6 +190,7 @@ class ClusterStatus:
         workers: list[dict | None],
         wire: dict | None = None,
         queue_depth: int = 0,
+        tenants: dict[str, int] | None = None,
     ):
         self.addresses = list(addresses)
         self.workers = list(workers)
@@ -202,6 +203,11 @@ class ClusterStatus:
         #: backlog here; a bare :func:`poll_fleet` has no coordinator
         #: to ask, so it stays 0.
         self.queue_depth = int(queue_depth)
+        #: Tenant name -> that tenant's backlog (queued + in flight) at
+        #: poll time — the per-tenant decomposition of ``queue_depth``.
+        #: Stamped by ``Coordinator.fleet_status()``; empty for a bare
+        #: :func:`poll_fleet`.
+        self.tenants = dict(tenants or {})
 
     @property
     def n_workers(self) -> int:
@@ -254,6 +260,7 @@ class ClusterStatus:
             "n_workers": self.n_workers,
             "n_live": self.n_live,
             "queue_depth": self.queue_depth,
+            "tenants": dict(self.tenants),
             "workers": {
                 address: snapshot
                 for address, snapshot in zip(self.addresses, self.workers)
@@ -290,6 +297,11 @@ class ClusterStatus:
                 f"{('v' + ','.join(map(str, versions))) if versions else '-':<16}"
             )
         lines.append(f"{self.n_live}/{self.n_workers} live")
+        if self.tenants:
+            backlog = ", ".join(
+                f"{name}={depth}" for name, depth in sorted(self.tenants.items())
+            )
+            lines.append(f"tenant backlog: {backlog}")
         return "\n".join(lines)
 
 

@@ -1,0 +1,444 @@
+"""Multi-tenant scheduling: many searches, one worker fleet.
+
+The PR-5/PR-7 ticket plane multiplexes batch, speculative and pinned
+request traffic over per-worker pipeline windows; this module
+generalises it to *tenants* so that several concurrent
+``PartitionMKLSearch`` / ``FacetedLearner`` runs (and the facets within
+one learner) share a single fleet as a service instead of owning it per
+search:
+
+* :class:`TenantState` — one tenant's slice of the coordinator's ticket
+  plane: its fair-share weight, its own real/speculative ticket queues,
+  an admission bound on queued depth, and per-tenant ledgers (tasks,
+  results, reassignments, rejections, envelope wire bytes).
+* :class:`TenantScheduler` — deterministic `stride scheduling
+  <https://dl.acm.org/doi/10.5555/1267638.1267639>`_ over the
+  backlogged tenants: each tenant carries a *pass* value advanced by
+  ``STRIDE_SCALE / weight`` per envelope it ships, and the next
+  envelope always comes from the backlogged tenant with the lowest
+  pass (name-ordered tie break).  Throughput shares converge to the
+  weight ratios with bounded lag and no tenant starves — both proven
+  as hypothesis properties in ``tests/test_tenancy.py``.
+* :class:`TenantBackend` — a view over a shared
+  :class:`~repro.cluster.backend.SocketBackend` satisfying the same
+  ``supports_tasks`` / ``supports_speculation`` contract, so an engine
+  handed a tenant view schedules through that tenant's queue, books
+  wire bytes to that tenant's ledger, and builds placed caches in that
+  tenant's worker-side namespace.  Obtained from
+  ``SocketBackend.for_tenant(name, weight=...)``.
+* :exc:`TenantAdmissionError` — raised when a tenant submits past its
+  ``max_queue_depth`` admission bound (speculative submissions are
+  born lost instead of raising: the engine rescores lost speculations
+  by design).
+
+Isolation guarantees (pinned down in ``tests/test_tenancy.py`` and the
+tenancy rows of ``tests/test_cluster_faults.py``): a failing batch —
+worker crash storm, eviction, :class:`~repro.cluster.placement.StripLossError`
+— resets only the failing tenant's queued and in-flight tickets, never
+another tenant's; each tenant's placed strips live in their own
+worker-side namespace, so two tenants' caches on one fleet never
+clobber each other's resident state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from typing import Any
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "STRIDE_SCALE",
+    "TenantAdmissionError",
+    "TenantBackend",
+    "TenantScheduler",
+    "TenantState",
+]
+
+#: The tenant every untagged submission belongs to.  Always registered,
+#: weight 1, unbounded — single-tenant coordinators behave exactly as
+#: before tenancy existed.
+DEFAULT_TENANT = "default"
+
+#: Stride numerator.  Large so that integer-ish weights give distinct
+#: float strides without precision loss (pass values stay far below
+#: float53 for any realistic run length).
+STRIDE_SCALE = 1 << 20
+
+
+class TenantAdmissionError(RuntimeError):
+    """A tenant's queued-ticket depth hit its admission bound.
+
+    Raised on *real* (batch) submissions only; speculative submissions
+    over the bound return a born-lost ticket instead, because the
+    speculation scheduler already treats lost tickets as "rescore
+    normally".
+    """
+
+
+class TenantState:
+    """One tenant's slice of the coordinator ticket plane.
+
+    Everything here is guarded by the coordinator's plane lock; the
+    class itself holds no lock.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weight: float = 1.0,
+        max_queue_depth: int | None = None,
+    ):
+        if not name:
+            raise ValueError("tenant name must be non-empty")
+        weight = float(weight)
+        if not weight > 0:
+            raise ValueError(f"tenant weight must be > 0, got {weight}")
+        if max_queue_depth is not None and int(max_queue_depth) < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.name = str(name)
+        self.weight = weight
+        self.max_queue_depth = (
+            None if max_queue_depth is None else int(max_queue_depth)
+        )
+        #: Stride-scheduler virtual time; advanced by
+        #: ``STRIDE_SCALE / weight`` per envelope shipped.
+        self.pass_value = 0.0
+        #: Queued (not yet shipped) real / speculative tickets.
+        self.real: deque[int] = deque()
+        self.spec: deque[int] = deque()
+        #: In-flight tickets (shipped, result not yet consumed).
+        self.in_flight: set[int] = set()
+        # Per-tenant ledger (cumulative over the tenant's lifetime; the
+        # engine snapshots and reports deltas exactly as for the fleet
+        # ledger).
+        self.n_tasks = 0
+        self.n_results = 0
+        self.n_reassigned = 0
+        self.n_speculative_tasks = 0
+        self.n_rejected = 0
+        self.n_resets = 0
+        self.envelope_bytes_out = 0
+        self.envelope_bytes_in = 0
+
+    @property
+    def queued(self) -> int:
+        """Tickets admitted but not yet shipped to a worker."""
+        return len(self.real) + len(self.spec)
+
+    @property
+    def depth(self) -> int:
+        """Queued plus in-flight — this tenant's share of the backlog."""
+        return self.queued + len(self.in_flight)
+
+    def backlogged(self) -> bool:
+        return bool(self.real or self.spec)
+
+    def admit(self, speculative: bool) -> bool:
+        """Check the admission bound for one submission.
+
+        Returns ``True`` to enqueue.  Over the bound: speculative
+        submissions return ``False`` (caller issues a born-lost
+        ticket), real ones raise :exc:`TenantAdmissionError`.
+        """
+        if self.max_queue_depth is None or self.queued < self.max_queue_depth:
+            return True
+        self.n_rejected += 1
+        if speculative:
+            return False
+        raise TenantAdmissionError(
+            f"tenant {self.name!r} queue is full "
+            f"({self.queued}/{self.max_queue_depth} queued tickets)"
+        )
+
+    def ledger(self) -> dict[str, Any]:
+        """This tenant's scheduling/wire ledger (flat counter dict)."""
+        return {
+            "weight": self.weight,
+            "queue_depth": self.depth,
+            "n_tasks": self.n_tasks,
+            "n_results": self.n_results,
+            "n_reassigned": self.n_reassigned,
+            "n_speculative_tasks": self.n_speculative_tasks,
+            "n_rejected": self.n_rejected,
+            "n_resets": self.n_resets,
+            "envelope_bytes_out": self.envelope_bytes_out,
+            "envelope_bytes_in": self.envelope_bytes_in,
+        }
+
+
+class TenantScheduler:
+    """Deterministic weighted fair queueing over named tenants.
+
+    Classic stride scheduling: each tenant carries a *pass* value; the
+    next envelope ships from the backlogged tenant with the minimum
+    ``(pass, name)`` (the name breaks ties deterministically), whose
+    pass then advances by ``STRIDE_SCALE / weight``.  Over any interval
+    where a set of tenants stays backlogged, tenant *i*'s share of
+    shipped envelopes converges to ``w_i / sum(w)`` with absolute lag
+    bounded by the tenant count, and the gap between consecutive grants
+    to a backlogged tenant is bounded — no starvation under any weight
+    assignment (``tests/test_tenancy.py`` holds both properties under
+    hypothesis-generated adversarial weights).
+
+    The scheduler is pure bookkeeping (no locks, no I/O); the
+    coordinator drives it under its plane lock.
+    """
+
+    def __init__(self):
+        self._tenants: dict[str, TenantState] = {}
+        self.register(DEFAULT_TENANT)
+
+    # -- registry ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        weight: float = 1.0,
+        max_queue_depth: int | None = None,
+    ) -> TenantState:
+        """Register (or re-configure) a tenant; idempotent by name.
+
+        Re-registering keeps the tenant's queues and ledgers and
+        updates its weight/bound — a second ``for_tenant`` view of the
+        same tenant is a reconfiguration, not a new queue.
+        """
+        state = self._tenants.get(name)
+        if state is not None:
+            fresh = TenantState(name, weight, max_queue_depth)  # validate
+            state.weight = fresh.weight
+            state.max_queue_depth = fresh.max_queue_depth
+            return state
+        state = TenantState(name, weight, max_queue_depth)
+        # A newcomer starts at the minimum live pass so it neither
+        # monopolises the fleet (pass 0 after others ran for a while)
+        # nor waits for the field to catch up.
+        if self._tenants:
+            state.pass_value = min(
+                t.pass_value for t in self._tenants.values()
+            )
+        self._tenants[name] = state
+        return state
+
+    def unregister(self, name: str) -> None:
+        """Drop a tenant's state (ledgers included); unknown is a no-op."""
+        if name == DEFAULT_TENANT:
+            raise ValueError("the default tenant cannot be unregistered")
+        self._tenants.pop(name, None)
+
+    def state(self, name: str | None) -> TenantState:
+        """The named tenant's state (``None`` → the default tenant)."""
+        key = DEFAULT_TENANT if name is None else name
+        try:
+            return self._tenants[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown tenant {key!r}; register it first "
+                "(SocketBackend.for_tenant / Coordinator.register_tenant)"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def states(self) -> list[TenantState]:
+        return [self._tenants[name] for name in sorted(self._tenants)]
+
+    # -- scheduling ----------------------------------------------------
+
+    def backlogged(self) -> list[TenantState]:
+        """Tenants with queued tickets, in deterministic name order."""
+        return [s for s in self.states() if s.backlogged()]
+
+    def select(
+        self, candidates: Iterable[TenantState] | None = None
+    ) -> TenantState | None:
+        """The tenant the next envelope should come from (no charge).
+
+        ``candidates`` defaults to the backlogged tenants; ``None`` is
+        returned when nothing is backlogged.  Selection does not
+        advance the pass — call :meth:`charge` when the envelope
+        actually ships, so discarded (cancelled) tickets cost no share.
+        """
+        pool = list(self.backlogged() if candidates is None else candidates)
+        if not pool:
+            return None
+        return min(pool, key=lambda s: (s.pass_value, s.name))
+
+    def charge(self, state: TenantState) -> None:
+        """Advance a tenant's pass for one shipped envelope."""
+        state.pass_value += STRIDE_SCALE / state.weight
+
+    def queue_depths(self) -> dict[str, int]:
+        """Tenant name → queued + in-flight tickets (for status polls)."""
+        return {s.name: s.depth for s in self.states()}
+
+    def ledgers(self) -> dict[str, dict[str, Any]]:
+        """Tenant name → flat ledger dict (for metrics absorption)."""
+        return {s.name: s.ledger() for s in self.states()}
+
+
+class TenantBackend:
+    """One tenant's view of a shared :class:`SocketBackend`.
+
+    Satisfies the engine's backend contract (``supports_tasks``,
+    ``supports_speculation``, ``map_tasks``, ``submit_task`` /
+    ``wait_task`` / ``cancel_task``, ``task_chunks``, ``warm_up``,
+    ``close``, ``wire_stats``, ``make_placed_cache`` /
+    ``make_placed_landmark_cache``), so
+    ``KernelEvaluationEngine(backend=view)`` — or the ``tenant=``
+    convenience on the engine/search/learner — runs an ordinary search
+    whose envelopes ride this tenant's fair-share queue, whose wire
+    ledger is this tenant's traffic only, and whose placed strips live
+    in this tenant's worker-side namespace (two tenants' caches on one
+    fleet coexist instead of clobbering a global placement slot).
+
+    ``close()`` detaches the placed caches this view created and keeps
+    the tenant registered (its ledgers outlive the view, exactly like
+    the fleet ledger outlives a search); the parent backend's lifetime
+    is the caller's to manage.
+    """
+
+    supports_tasks = True
+    supports_speculation = True
+
+    def __init__(self, parent, tenant: str):
+        self.parent = parent
+        self.tenant = str(tenant)
+        self.name = f"{parent.name}:{self.tenant}"
+        self.coordinator = parent.coordinator
+        self._placed_caches: list[Any] = []
+
+    # -- passthroughs --------------------------------------------------
+
+    def warm_up(self) -> None:
+        self.parent.warm_up()
+
+    def task_chunks(self, n_items: int) -> int:
+        return self.parent.task_chunks(n_items)
+
+    def map(self, fn, items):  # pragma: no cover - contract documentation
+        return self.parent.map(fn, items)
+
+    # -- task plane ----------------------------------------------------
+
+    def map_tasks(self, tasks) -> list[tuple[list[float], int]]:
+        """Score envelopes through this tenant's fair-share queue."""
+        return self.coordinator.map_tasks_payloads(
+            self.parent._guarded_payloads(tasks), tenant=self.tenant
+        )
+
+    def submit_task(self, payload: bytes) -> int:
+        from repro.engine.tasks import check_task_payload
+
+        check_task_payload(payload, self.parent.max_task_bytes)
+        return self.coordinator.submit_ticket(
+            payload, speculative=True, tenant=self.tenant
+        )
+
+    def wait_task(self, handle: int):
+        return self.coordinator.wait_ticket(handle)
+
+    def cancel_task(self, handle: int) -> None:
+        self.coordinator.cancel_ticket(handle)
+
+    # -- placement-aware sharding --------------------------------------
+
+    @property
+    def namespace(self) -> str:
+        """Worker-side placement namespace for this tenant's strips."""
+        return f"tenant:{self.tenant}"
+
+    def make_placed_cache(
+        self, X, block_kernel, normalize, n_shards, placement=None
+    ):
+        from repro.cluster.placement import PlacedGramCache
+
+        cache = PlacedGramCache(
+            self.coordinator,
+            X,
+            block_kernel,
+            normalize,
+            n_shards=n_shards,
+            placement=placement,
+            replication=None if placement is not None else self.parent.replication,
+            namespace=self.namespace,
+        )
+        self._placed_caches.append(cache)
+        return cache
+
+    def make_placed_landmark_cache(
+        self,
+        X,
+        block_kernel,
+        normalize,
+        n_shards,
+        n_landmarks=None,
+        landmark_seed=0,
+        placement=None,
+    ):
+        from repro.cluster.placement import PlacedLandmarkGramCache
+
+        cache = PlacedLandmarkGramCache(
+            self.coordinator,
+            X,
+            block_kernel,
+            normalize,
+            n_shards=n_shards,
+            n_landmarks=n_landmarks,
+            landmark_seed=landmark_seed,
+            placement=placement,
+            namespace=self.namespace,
+        )
+        self._placed_caches.append(cache)
+        return cache
+
+    # -- accounting ----------------------------------------------------
+
+    def wire_stats(self) -> dict[str, Any]:
+        """This tenant's wire ledger: its envelope traffic and its own
+        placed-cache counters, plus the fleet gauges — the same shape
+        the engine diffs for ``SearchResult.wire``, restricted to this
+        tenant's share."""
+        stats = self.coordinator.tenant_wire_stats(self.tenant)
+        resident = {}
+        for cache in self._placed_caches:
+            for worker, count in cache.resident_strip_bytes.items():
+                resident[worker] = max(resident.get(worker, 0), count)
+        stats["strip_bytes_resident"] = sum(resident.values())
+        stats["strip_bytes_resident_max_worker"] = (
+            max(resident.values()) if resident else 0
+        )
+        for counter in (
+            "n_gathers",
+            "n_promotions",
+            "n_replicated_strips",
+            "n_replication_failures",
+            "n_strip_rebuilds",
+            "n_rebalances",
+            "n_rebalanced_strips",
+        ):
+            stats[counter] = sum(
+                getattr(cache, counter, 0) for cache in self._placed_caches
+            )
+        stats["factor_bytes_shipped"] = sum(
+            getattr(cache, "factor_bytes_shipped", 0)
+            for cache in self._placed_caches
+        )
+        return stats
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this view's placed caches; the tenant registration
+        (and its ledgers) survive on the coordinator, and the parent
+        backend keeps running for its other tenants."""
+        for cache in self._placed_caches:
+            detach = getattr(cache, "detach", None)
+            if detach is not None:
+                detach()
+        self._placed_caches.clear()
+
+    def shutdown_workers(self) -> None:  # pragma: no cover - passthrough
+        self.parent.shutdown_workers()

@@ -229,7 +229,11 @@ class WorkerServer:
         # a strip copy iterating the resident stores while a block
         # build inserts into them would corrupt the state they share.
         self._placement_op_lock = threading.Lock()
-        self._placement: _PlacementState | None = None
+        # Placement residency is namespaced so concurrent tenants (or a
+        # tenant next to the default single-search plane) each get their
+        # own strip store: a second MSG_INIT in a different namespace
+        # adds a sibling state instead of clobbering the first.
+        self._placements: dict[str, _PlacementState] = {}
         # Serving-plane residency: created lazily on the first serve
         # frame so workers that never serve pay nothing.
         self._serving_lock = threading.Lock()
@@ -422,14 +426,19 @@ class WorkerServer:
             # resident (a coordinator rejoining a live fleet).
             self.metrics.count("worker.joins")
             with self._lock:
-                placement = self._placement
+                placements = dict(self._placements)
+            resident = sorted(
+                {
+                    index
+                    for state in placements.values()
+                    for index in state.slices
+                }
+            )
             announce = {
                 "pid": os.getpid(),
                 "address": self.address,
-                "has_placement": placement is not None,
-                "strips": (
-                    sorted(placement.slices) if placement is not None else []
-                ),
+                "has_placement": bool(placements),
+                "strips": resident,
             }
             logger.info(
                 "join handshake answered (resident strips: %s)",
@@ -488,7 +497,7 @@ class WorkerServer:
         """
         with self._lock:
             n_connections = len(self._connections)
-            placement = self._placement
+            placements = dict(self._placements)
             tasks_scored = self._tasks_scored
         snapshot = {
             "address": self.address,
@@ -503,11 +512,21 @@ class WorkerServer:
             snapshot["tasks_before_fail"] = max(
                 0, self.fail_after - tasks_scored
             )
-        if placement is not None:
+        if placements:
+            strips = sorted(
+                {
+                    index
+                    for state in placements.values()
+                    for index in state.slices
+                }
+            )
             snapshot["placement"] = {
-                "n_strips": len(placement.slices),
-                "strips": sorted(placement.slices),
-                "resident_bytes": placement.resident_bytes(),
+                "n_strips": len(strips),
+                "strips": strips,
+                "resident_bytes": sum(
+                    state.resident_bytes() for state in placements.values()
+                ),
+                "namespaces": sorted(placements),
             }
         with self._serving_lock:
             store = self._serving_store
@@ -544,8 +563,15 @@ class WorkerServer:
             # placement handlers never take the serving lock), so this
             # cannot deadlock with a concurrent placement op.
             with self._placement_op_lock:
-                if self._placement is not None:
-                    resident_X = self._placement.X
+                # rows=None installs reuse the single-search placement's
+                # resident sample; prefer the default namespace, fall
+                # back to a sole tenant namespace when that is all the
+                # node holds.
+                state = self._placements.get("default")
+                if state is None and len(self._placements) == 1:
+                    (state,) = self._placements.values()
+                if state is not None:
+                    resident_X = state.X
         return handle_serve_op(
             store, op, load_payload(payload), resident_X=resident_X
         )
@@ -656,6 +682,10 @@ class WorkerServer:
 
     def _dispatch_placement(self, msg_type: int, payload: bytes):
         request = load_payload(payload)
+        # Every placement frame carries (or defaults) a namespace; one
+        # namespace per tenant keeps concurrent searches' strip stores
+        # disjoint on a shared node.
+        ns = str(request.get("ns", "default"))
         if msg_type == MSG_INIT:
             landmarks = request.get("landmarks")
             state = _PlacementState(
@@ -670,11 +700,13 @@ class WorkerServer:
                 ),
             )
             with self._lock:
-                self._placement = state
+                self._placements[ns] = state
             return {"n_strips": len(state.slices)}
-        state = self._placement
+        state = self._placements.get(ns)
         if state is None:
-            raise RuntimeError("placement plane used before MSG_INIT")
+            raise RuntimeError(
+                f"placement plane used before MSG_INIT (namespace {ns!r})"
+            )
         if msg_type == MSG_TARGET:
             state.centered_y = np.asarray(request["centered_y"], dtype=float)
             return {}

@@ -102,6 +102,22 @@ class FacetedLearner:
     n_landmarks, landmark_seed:
         Landmark count and deterministic selection seed for
         ``approx="landmarks"``.
+    facet_parallel:
+        Run the per-facet seed-selection statistics (the ``views``
+        alignment ranking — the largest remaining serial loop)
+        concurrently, one thread per facet, instead of one facet after
+        another.  The per-key cache locks make warming thread-safe and
+        the reduced scalars are build-order independent, so the chosen
+        seed, the search, and every ledger stay bit-identical to the
+        sequential path on all backends.  On a shared fleet
+        (``SocketBackend`` instance) each facet is registered as a
+        sibling tenant of this learner, so fleet introspection shows
+        the facets side by side.
+    tenant, tenant_weight, tenant_max_queue_depth:
+        Run the learner's search as a named tenant of a shared fleet —
+        fair-share scheduled envelopes, per-tenant wire ledger,
+        namespaced placed strips (:mod:`repro.cluster.tenancy`).
+        Ignored by backends without a shared fleet.
     """
 
     def __init__(
@@ -129,6 +145,10 @@ class FacetedLearner:
         approx: str | None = None,
         n_landmarks: int | None = None,
         landmark_seed: int = 0,
+        facet_parallel: bool = False,
+        tenant: str | None = None,
+        tenant_weight: float = 1.0,
+        tenant_max_queue_depth: int | None = None,
     ):
         # Defer to the engine's registry so register_strategy extensions
         # are reachable from the high-level API too (``greedy`` is a
@@ -178,6 +198,10 @@ class FacetedLearner:
         self.approx = approx
         self.n_landmarks = n_landmarks
         self.landmark_seed = int(landmark_seed)
+        self.facet_parallel = bool(facet_parallel)
+        self.tenant = None if tenant is None else str(tenant)
+        self.tenant_weight = float(tenant_weight)
+        self.tenant_max_queue_depth = tenant_max_queue_depth
 
         self.partition_: SetPartition | None = None
         self.search_result_: SearchResult | None = None
@@ -202,7 +226,7 @@ class FacetedLearner:
             from repro.engine import alignment_weights_from_stats
 
             stats = cache.stats_cache(np.asarray(y))
-            pairs = [stats.block_stats(view) for view in self.views]
+            pairs = self._facet_stats(stats)
             weights = alignment_weights_from_stats(
                 np.array([a for a, _ in pairs]),
                 np.array([m for _, m in pairs]),
@@ -213,6 +237,63 @@ class FacetedLearner:
             X, y, max_size=self.seed_max_size
         )
         return self.rough_seed_.seed_columns
+
+    def _facet_stats(self, stats) -> list[tuple[float, float]]:
+        """Per-view ``(a, m)`` alignment statistics, in view order.
+
+        Sequential by default.  With ``facet_parallel`` each view's
+        statistics are computed on its own thread — the caches'
+        per-key locks make concurrent warming safe, and the reduced
+        scalars do not depend on block build order, so the resulting
+        pairs (hence the chosen seed and everything downstream) are
+        bit-identical to the sequential loop.
+        """
+        assert self.views is not None
+        if not self.facet_parallel or len(self.views) <= 1:
+            return [stats.block_stats(view) for view in self.views]
+        import threading
+
+        pairs: list = [None] * len(self.views)
+        errors: list[BaseException] = []
+
+        def work(index: int, view: tuple) -> None:
+            try:
+                pairs[index] = stats.block_stats(view)
+            except BaseException as error:  # re-raised on the caller
+                errors.append(error)
+
+        threads = [
+            threading.Thread(
+                target=work, args=(index, view), name=f"facet-{index}"
+            )
+            for index, view in enumerate(self.views)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return pairs
+
+    def _register_facet_tenants(self) -> None:
+        """Announce the facets as sibling tenants of this learner.
+
+        Accounting only — facet statistics ride the placement plane's
+        shared residency, so registration makes the concurrent facets
+        visible in ``tenant_queue_depths()`` / ``tenant_ledgers()``
+        without changing what is computed.  A no-op off the shared
+        fleet (no coordinator) or when the run is sequential.
+        """
+        if not self.facet_parallel or not self.views:
+            return
+        coordinator = getattr(self.backend, "coordinator", None)
+        register = getattr(coordinator, "register_tenant", None)
+        if register is None:
+            return
+        base = self.tenant if self.tenant is not None else "facets"
+        for index in range(len(self.views)):
+            register(f"{base}:facet{index}", weight=self.tenant_weight)
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "FacetedLearner":
         X = as_2d(X)
@@ -232,12 +313,16 @@ class FacetedLearner:
             approx=self.approx,
             n_landmarks=self.n_landmarks,
             landmark_seed=self.landmark_seed,
+            tenant=self.tenant,
+            tenant_weight=self.tenant_weight,
+            tenant_max_queue_depth=self.tenant_max_queue_depth,
         )
         # One cache serves seed selection, the search, and the final
         # model.  In the sharded layout the first two score over row
         # strips only; the sole full-Gram gathers happen below, once,
         # to train the final model on the winning configuration.
         cache = search._make_cache(X)
+        self._register_facet_tenants()
         seed = self._choose_seed(X, y, cache)
         strategy_params: dict = {}
         if self.strategy == "chain":

@@ -63,7 +63,22 @@ __all__ = [
 
 @runtime_checkable
 class EvaluationBackend(Protocol):
-    """Protocol every evaluation backend satisfies."""
+    """Protocol every evaluation backend satisfies.
+
+    Optional capability hooks (duck-typed; the engine probes with
+    ``getattr``): ``supports_tasks`` + ``map_tasks``/``task_chunks``
+    for envelope shipping, ``supports_speculation`` +
+    ``submit_task``/``wait_task``/``cancel_task`` for the non-blocking
+    ticket surface, ``make_placed_cache``/``make_placed_landmark_cache``
+    for worker-resident sharding, ``wire_stats`` for the wire ledger,
+    and ``for_tenant(name, weight=..., max_queue_depth=...)`` for
+    multi-tenant fleets — a backend exposing it returns a tenant-scoped
+    view (:class:`repro.cluster.tenancy.TenantBackend`) the engine uses
+    in place of the shared backend when constructed with ``tenant=``.
+    Backends without a shared fleet simply omit the hook; the engine
+    then accepts and ignores the tenant tag, so one call site works on
+    serial, processes and sockets alike.
+    """
 
     name: str
 

@@ -421,6 +421,9 @@ class KernelEvaluationEngine:
         approx: str | None = None,
         n_landmarks: int | None = None,
         landmark_seed: int = 0,
+        tenant: str | None = None,
+        tenant_weight: float = 1.0,
+        tenant_max_queue_depth: int | None = None,
     ):
         if speculation_depth < 1:
             raise ValueError("speculation_depth must be positive")
@@ -474,6 +477,23 @@ class KernelEvaluationEngine:
                 "backend='sockets' (or another networked backend) for "
                 "worker addresses and resilience options"
             ) from None
+        # Tenancy: when the backend can scope itself to a tenant
+        # (SocketBackend.for_tenant), the engine runs entirely through
+        # the tenant view — fair-share scheduled envelopes, per-tenant
+        # wire ledger, namespaced placed caches.  In-memory backends
+        # have no shared fleet; the tenant tag is accepted and ignored
+        # so the same call site works on all three backends.
+        self._tenant_view = None
+        self.tenant = None if tenant is None else str(tenant)
+        if tenant is not None:
+            for_tenant = getattr(self.backend, "for_tenant", None)
+            if for_tenant is not None:
+                self._tenant_view = for_tenant(
+                    tenant,
+                    weight=tenant_weight,
+                    max_queue_depth=tenant_max_queue_depth,
+                )
+                self.backend = self._tenant_view
         self._owns_cache = gram_cache is None
         if gram_cache is None:
             if approx == "landmarks":
@@ -1035,8 +1055,18 @@ class KernelEvaluationEngine:
             detach = getattr(self.gram_cache, "detach", None)
             if detach is not None:
                 detach()
+        if self._tenant_view is not None:
+            # Detaches the view's placed caches; the tenant's ledgers
+            # survive on the coordinator.  The shared fleet is closed
+            # below only when this engine created it.
+            self._tenant_view.close()
         if self._owns_backend:
-            close = getattr(self.backend, "close", None)
+            target = (
+                self._tenant_view.parent
+                if self._tenant_view is not None
+                else self.backend
+            )
+            close = getattr(target, "close", None)
             if close is not None:
                 close()
 

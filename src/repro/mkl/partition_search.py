@@ -262,6 +262,16 @@ class PartitionMKLSearch:
         Landmark count ``m`` (a slowly growing default when ``None``)
         and the deterministic selection seed for
         ``approx="landmarks"``.
+    tenant, tenant_weight, tenant_max_queue_depth:
+        Run this search as a named tenant of a shared fleet
+        (:mod:`repro.cluster.tenancy`): envelopes ride the tenant's
+        fair-share queue (weighted stride scheduling), wire bytes book
+        to the tenant's ledger, and placed strips live in the tenant's
+        worker-side namespace.  ``tenant_max_queue_depth`` bounds the
+        tenant's queued tickets (admission control —
+        :exc:`~repro.cluster.tenancy.TenantAdmissionError` past it).
+        Ignored by backends without a shared fleet, so the same
+        configuration runs bit-identically on serial/processes.
     """
 
     def __init__(
@@ -281,6 +291,9 @@ class PartitionMKLSearch:
         approx: str | None = None,
         n_landmarks: int | None = None,
         landmark_seed: int = 0,
+        tenant: str | None = None,
+        tenant_weight: float = 1.0,
+        tenant_max_queue_depth: int | None = None,
     ):
         if weighting not in ("uniform", "alignment", "alignf"):
             raise ValueError(
@@ -305,8 +318,37 @@ class PartitionMKLSearch:
         self.approx = approx
         self.n_landmarks = n_landmarks
         self.landmark_seed = int(landmark_seed)
+        self.tenant = None if tenant is None else str(tenant)
+        self.tenant_weight = float(tenant_weight)
+        self.tenant_max_queue_depth = tenant_max_queue_depth
+        self._tenant_view = None
 
     # ------------------------------------------------------------------
+
+    def _tenant_backend(self):
+        """The backend caches and engines should target.
+
+        With ``tenant=`` set and an instance backend exposing
+        ``for_tenant`` (a shared ``SocketBackend``), this is one
+        lazily-created tenant view reused by both :meth:`_make_cache`
+        and :meth:`make_engine` — the placed strips and the envelope
+        traffic must land in the *same* tenant namespace/queue.
+        Name-string backends pass through (the engine resolves and
+        tenant-scopes them itself); tenancy-unaware instances pass
+        through untouched.
+        """
+        if self.tenant is None:
+            return self.backend
+        if self._tenant_view is None:
+            for_tenant = getattr(self.backend, "for_tenant", None)
+            if for_tenant is None:
+                return self.backend
+            self._tenant_view = for_tenant(
+                self.tenant,
+                weight=self.tenant_weight,
+                max_queue_depth=self.tenant_max_queue_depth,
+            )
+        return self._tenant_view
 
     def _make_cache(self, X: np.ndarray) -> GramCache | ShardedGramCache:
         """A fresh Gram cache in this search's layout.
@@ -317,10 +359,11 @@ class PartitionMKLSearch:
         (Name-string backends are resolved per engine, so placement
         through this path requires the shared instance.)
         """
+        backend = self._tenant_backend()
         if self.approx == "landmarks":
             if self.shards is not None and self.shards > 1:
                 make_placed = getattr(
-                    self.backend, "make_placed_landmark_cache", None
+                    backend, "make_placed_landmark_cache", None
                 )
                 if make_placed is not None:
                     return make_placed(
@@ -347,7 +390,7 @@ class PartitionMKLSearch:
                 landmark_seed=self.landmark_seed,
             )
         if self.shards is not None and self.shards > 1:
-            make_placed = getattr(self.backend, "make_placed_cache", None)
+            make_placed = getattr(backend, "make_placed_cache", None)
             if make_placed is not None:
                 return make_placed(
                     X, self.block_kernel, self.normalize, n_shards=self.shards
@@ -372,7 +415,7 @@ class PartitionMKLSearch:
             block_kernel=self.block_kernel,
             normalize=self.normalize,
             gram_cache=cache,
-            backend=self.backend,
+            backend=self._tenant_backend(),
             mode=self.engine_mode,
             shards=None if cache is not None else self.shards,
             workers=self.workers,
@@ -383,6 +426,12 @@ class PartitionMKLSearch:
             approx=self.approx,
             n_landmarks=None if cache is not None else self.n_landmarks,
             landmark_seed=self.landmark_seed,
+            # Instance backends are tenant-scoped above (the engine
+            # sees the view); name strings are resolved per engine, so
+            # the tenant tag rides along for the engine to apply.
+            tenant=self.tenant,
+            tenant_weight=self.tenant_weight,
+            tenant_max_queue_depth=self.tenant_max_queue_depth,
         )
 
     def _combined(self, cache: GramCache, partition: SetPartition, y: np.ndarray):

@@ -56,11 +56,13 @@ from repro.telemetry.metrics import (
     OP_LEDGER_KINDS,
     SERVING_LEDGER_KINDS,
     SPECULATION_LEDGER_KINDS,
+    TENANT_LEDGER_KINDS,
     WIRE_LEDGER_KINDS,
     MetricsRegistry,
     ledger_delta,
     merge_counts,
     result_metrics,
+    tenant_metrics,
     wire_gauge_keys,
 )
 from repro.telemetry.tracer import (
@@ -79,6 +81,7 @@ __all__ = [
     "OP_LEDGER_KINDS",
     "SERVING_LEDGER_KINDS",
     "SPECULATION_LEDGER_KINDS",
+    "TENANT_LEDGER_KINDS",
     "Tracer",
     "WIRE_LEDGER_KINDS",
     "chrome_trace",
@@ -91,6 +94,7 @@ __all__ = [
     "report",
     "report_records",
     "result_metrics",
+    "tenant_metrics",
     "tracing_enabled",
     "validate_chrome_trace",
     "wire_gauge_keys",

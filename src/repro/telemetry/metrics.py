@@ -54,10 +54,12 @@ __all__ = [
     "OP_LEDGER_KINDS",
     "SERVING_LEDGER_KINDS",
     "SPECULATION_LEDGER_KINDS",
+    "TENANT_LEDGER_KINDS",
     "WIRE_LEDGER_KINDS",
     "ledger_delta",
     "merge_counts",
     "result_metrics",
+    "tenant_metrics",
     "wire_gauge_keys",
 ]
 
@@ -78,6 +80,12 @@ WIRE_LEDGER_KINDS: dict[str, str] = {
     # fleet shape: point-in-time samples
     "n_workers": KIND_GAUGE,
     "n_live_workers": KIND_GAUGE,
+    # tenancy: the tenant view's configuration/backlog samples ride the
+    # wire ledger (``TenantBackend.wire_stats``) next to its counters
+    "tenant_weight": KIND_GAUGE,
+    "tenant_queue_depth": KIND_GAUGE,
+    "n_tenant_rejected": KIND_COUNTER,
+    "n_tenant_resets": KIND_COUNTER,
     # per-worker residency high-water mark: a sample, not a flow
     "strip_bytes_resident_max_worker": KIND_GAUGE,
     # fleet-wide resident total: monotone during a search (strips are
@@ -172,6 +180,40 @@ SERVING_LEDGER_KINDS: dict[str, str] = {
     "replication": KIND_GAUGE,
     "active_version": KIND_GAUGE,
 }
+
+
+#: ``Coordinator.tenant_ledgers()`` values — one flat dict per tenant
+#: (see :class:`repro.cluster.tenancy.TenantState.ledger`).
+TENANT_LEDGER_KINDS: dict[str, str] = {
+    "weight": KIND_GAUGE,
+    "queue_depth": KIND_GAUGE,
+    "n_tasks": KIND_COUNTER,
+    "n_results": KIND_COUNTER,
+    "n_reassigned": KIND_COUNTER,
+    "n_speculative_tasks": KIND_COUNTER,
+    "n_rejected": KIND_COUNTER,
+    "n_resets": KIND_COUNTER,
+    "envelope_bytes_out": KIND_COUNTER,
+    "envelope_bytes_in": KIND_COUNTER,
+}
+
+
+def tenant_metrics(ledgers: Mapping[str, Mapping[str, Any]]) -> MetricsRegistry:
+    """A registry view over ``Coordinator.tenant_ledgers()``.
+
+    Each tenant's flat ledger is absorbed under ``cluster.tenant.*``
+    with a ``tenant=`` label, so one snapshot carries every tenant's
+    scheduling/wire counters side by side::
+
+        registry = tenant_metrics(coordinator.tenant_ledgers())
+        registry.snapshot()["counters"]["cluster.tenant.n_tasks{tenant=a}"]
+    """
+    registry = MetricsRegistry()
+    for tenant, ledger in ledgers.items():
+        registry.absorb(
+            ledger, TENANT_LEDGER_KINDS, prefix="cluster.tenant.", tenant=tenant
+        )
+    return registry
 
 
 def wire_gauge_keys() -> frozenset[str]:

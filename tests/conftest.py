@@ -104,6 +104,41 @@ def fleet(make_fleet):
 
 
 @pytest.fixture
+def make_tenant_fleet(make_fleet):
+    """Factory: one shared fleet plus named tenant views of it.
+
+    ``make_tenant_fleet(("a", "b"), workers=3)`` builds a fleet via
+    ``make_fleet`` and returns ``(servers, backend, views)`` where
+    ``views`` maps each tenant name to its
+    ``SocketBackend.for_tenant`` view.  ``weights``/``depths`` map
+    tenant names to fair-share weights and admission bounds (defaults:
+    weight 1, unbounded).  Teardown rides ``make_fleet``'s cleanup;
+    views are closed first so their placed caches detach before the
+    shared backend goes down.
+    """
+    created = []
+
+    def _make(tenants=("a", "b"), workers=2, weights=None, depths=None,
+              **backend_kwargs):
+        servers, backend = make_fleet(workers, **backend_kwargs)
+        views = {
+            name: backend.for_tenant(
+                name,
+                weight=(weights or {}).get(name, 1.0),
+                max_queue_depth=(depths or {}).get(name),
+            )
+            for name in tenants
+        }
+        created.append(views)
+        return servers, backend, views
+
+    yield _make
+    for views in created:
+        for view in views.values():
+            view.close()
+
+
+@pytest.fixture
 def make_subprocess_fleet():
     """Factory: ``python -m repro.cluster.worker`` subprocesses plus a
     connected backend — the out-of-process variant of ``make_fleet``

@@ -649,3 +649,156 @@ class TestServingFaultRow:
             plane.close()
             for worker in workers[1:]:
                 worker.stop()
+
+
+# ---------------------------------------------------------------------------
+# Tenant isolation under faults: one fleet, two tenants, one victim
+# ---------------------------------------------------------------------------
+
+
+class TestTenantIsolation:
+    """Chaos rows for :mod:`repro.cluster.tenancy`: faults striking a
+    shared fleet stay contained.  A faulted worker hurts neither of two
+    live tenants (both recover bit-identically, ledgers unpolluted); a
+    tenant losing every holder of its placed strips aborts alone while
+    the bystander's search completes bit-identically; a poisoned batch
+    resets only its own tenant's tickets."""
+
+    SEEDS = {"a": SEED_BLOCK, "b": (0, 2)}
+
+    @pytest.mark.parametrize("fault", ["kill", "garbage", "hang"])
+    def test_faulted_worker_with_two_live_tenants(
+        self, workload, fault, make_fleet
+    ):
+        solo = {
+            name: PartitionMKLSearch().search_exhaustive(
+                workload.X, workload.y, seed_block
+            )
+            for name, seed_block in self.SEEDS.items()
+        }
+        faulty = FaultyWorker(fault=fault, at_frame=3, count_types={MSG_TASK})
+        _, backend = make_fleet(
+            [faulty, WorkerServer()],
+            heartbeat_interval=0.1,
+            heartbeat_timeout=0.5,
+            io_timeout=30.0,
+        )
+        views = {name: backend.for_tenant(name) for name in self.SEEDS}
+        out = {}
+
+        def run(name, seed_block):
+            try:
+                out[name] = PartitionMKLSearch(
+                    backend=views[name]
+                ).search_exhaustive(workload.X, workload.y, seed_block)
+            except Exception as exc:  # asserted below
+                out[name] = exc
+
+        threads = [
+            threading.Thread(target=run, args=item)
+            for item in self.SEEDS.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        ledgers = backend.coordinator.tenant_ledgers()
+        for name in self.SEEDS:
+            assert not isinstance(out[name], Exception), out[name]
+            _assert_bit_identical(out[name], solo[name])
+            # Unpolluted ledgers: every shipped envelope of this tenant
+            # came back to *this* tenant (each reassignment re-ships,
+            # so shipments = results + reassignments exactly), and
+            # nobody's plane was reset.
+            assert ledgers[name]["n_results"] > 0
+            assert ledgers[name]["n_results"] == (
+                ledgers[name]["n_tasks"] - ledgers[name]["n_reassigned"]
+            )
+            assert ledgers[name]["n_resets"] == 0
+        # The fault really struck mid-run: somebody's envelopes moved.
+        assert sum(ledger["n_reassigned"] for ledger in ledgers.values()) > 0
+        for view in views.values():
+            view.close()
+
+    def test_strip_loss_aborts_only_victim_tenant(self, workload, make_fleet):
+        reference = _sharded_reference(workload, n_shards=2)
+        servers, backend = make_fleet(3)
+        victim = backend.for_tenant("victim")
+        bystander = backend.for_tenant("bystander")
+        # Victim strips on workers {0, 1}; bystander's pinned to worker
+        # 2 only, so the double kill below can touch just one tenant.
+        victim_cache = victim.make_placed_cache(
+            workload.X,
+            default_block_kernel,
+            True,
+            n_shards=2,
+            placement=ShardPlacement(2, 3, owners=[0, 1], replication=2),
+        )
+        victim_cache._kick_replicator = lambda: None  # pin the race
+        bystander_cache = bystander.make_placed_cache(
+            workload.X,
+            default_block_kernel,
+            True,
+            n_shards=2,
+            placement=ShardPlacement(2, 3, owners=[2, 2], replication=1),
+        )
+        victim_stats = victim_cache.stats_cache(workload.y)
+        victim_stats.block_stats((2,))
+        # Strip 0 lives on workers {0, 1} only; kill both mid-fleet.
+        servers[0].stop()
+        servers[1].stop()
+        with pytest.raises(StripLossError, match="every holder of strip"):
+            victim_stats.block_stats((3,))
+        # The bystander's search on the same coordinator still runs to
+        # completion, bit-identical, on its own resident strips.
+        result = PartitionMKLSearch(
+            backend=bystander, shards=2
+        ).search_exhaustive(
+            workload.X, workload.y, SEED_BLOCK, cache=bystander_cache
+        )
+        _assert_bit_identical(result, reference)
+        assert result.wire["n_gathers"] == 0
+        ledgers = backend.coordinator.tenant_ledgers()
+        assert ledgers["bystander"]["n_resets"] == 0
+        victim.close()
+        bystander.close()
+
+    def test_failed_batch_resets_only_its_tenant(self, workload, make_fleet):
+        import pickle
+
+        from repro.cluster import RemoteTaskError
+        from repro.engine import BlockStatsCache, GramCache, build_task
+
+        _, backend = make_fleet(2)
+        coordinator = backend.coordinator
+        victim = backend.for_tenant("victim")
+        bystander = backend.for_tenant("bystander")
+        stats = BlockStatsCache(GramCache(workload.X), workload.y)
+        picks = list(cone_partitions(SEED_BLOCK, REST))[:6]
+        payloads = [
+            build_task(stats, "alignment", [partition]).payload()
+            for partition in picks
+        ]
+        # Bystander speculations in flight when the victim's batch dies.
+        spec_tickets = [bystander.submit_task(p) for p in payloads]
+        with pytest.raises(RemoteTaskError, match="worker"):
+            coordinator.map_tasks_payloads(
+                [payloads[0], pickle.dumps(42)], tenant="victim"
+            )
+        # Every bystander ticket still resolves to a real result.
+        serial = KernelEvaluationEngine(workload.X, workload.y)
+        expected = serial.score_batch(picks)
+        for ticket, want in zip(spec_tickets, expected):
+            scores, _ = bystander.wait_task(ticket)
+            assert scores == [want]
+        ledgers = coordinator.tenant_ledgers()
+        assert ledgers["victim"]["n_resets"] == 1
+        assert ledgers["bystander"]["n_resets"] == 0
+        # The fleet itself stayed up: a fresh victim batch scores fine.
+        results = coordinator.map_tasks_payloads(
+            [payloads[0]], tenant="victim"
+        )
+        assert results[0][0] == [expected[0]]
+        victim.close()
+        bystander.close()

@@ -1,0 +1,472 @@
+"""Multi-tenant scheduling: fairness, admission, isolation, parity.
+
+The contracts enforced here pin down :mod:`repro.cluster.tenancy`:
+
+* the stride scheduler's fairness is *proven*, not eyeballed —
+  hypothesis generates adversarial weight assignments and the
+  throughput shares must converge to the weight ratios with bounded
+  lag, and no backlogged tenant may starve;
+* admission control matches a simple reference model exactly (real
+  submissions over the bound raise, speculative ones are born lost);
+* two tenants searching **concurrently on one fleet** each return a
+  ``SearchResult`` bit-identical to their solo run — optimum, score
+  history, op ledgers — with ``n_gathers == 0`` under placement and
+  per-tenant envelope wire buckets that sum exactly to the fleet
+  totals (nothing double-booked, nothing dropped);
+* ``facet_parallel=True`` (thread-per-facet seed statistics) is
+  bit-identical to the sequential path on every backend;
+* tenant introspection surfaces everywhere it should: ``fleet_status``
+  backlog, ``tenant_ledgers`` / ``tenant_metrics``, per-tenant
+  ``wire_stats``.
+
+The fault-injection rows (a tenant dying mid-search while a bystander
+keeps running) live with the other chaos tests in
+``tests/test_cluster_faults.py``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    DEFAULT_TENANT,
+    TenantAdmissionError,
+    TenantScheduler,
+)
+from repro.cluster.tenancy import STRIDE_SCALE, TenantState
+from repro.combinatorics import cone_partitions
+from repro.core import FacetedLearner
+from repro.engine import BlockStatsCache, GramCache, build_task
+from repro.iot.workloads import FacetSpec, make_faceted_classification
+from repro.mkl import PartitionMKLSearch
+from repro.telemetry import TENANT_LEDGER_KINDS, tenant_metrics
+
+
+@pytest.fixture(scope="module")
+def workload(cluster_workload):
+    return cluster_workload
+
+
+@pytest.fixture(scope="session")
+def faceted_workload():
+    """Three genuine facets so facet-parallel seed ranking has real
+    concurrent work (one thread per view)."""
+    specs = [
+        FacetSpec("a", 2, signal="product", weight=1.5),
+        FacetSpec("b", 2, signal="radial", weight=1.0),
+        FacetSpec("noise", 2, role="noise"),
+    ]
+    return make_faceted_classification(120, specs, seed=7)
+
+
+def _drive(weights, rounds):
+    """Grant ``rounds`` envelopes through a fresh scheduler with every
+    tenant permanently backlogged; returns (grant counts, grant order)."""
+    scheduler = TenantScheduler()
+    states = [
+        scheduler.register(name, weight=weight)
+        for name, weight in sorted(weights.items())
+    ]
+    counts = {name: 0 for name in weights}
+    order = []
+    for _ in range(rounds):
+        state = scheduler.select(states)
+        scheduler.charge(state)
+        counts[state.name] += 1
+        order.append(state.name)
+    return counts, order
+
+
+# ---------------------------------------------------------------------------
+# Stride scheduler: deterministic fairness
+# ---------------------------------------------------------------------------
+
+
+class TestStrideScheduler:
+    def test_three_to_one_interleave(self):
+        counts, order = _drive({"a": 3.0, "b": 1.0}, 8)
+        assert counts == {"a": 6, "b": 2}
+        # Deterministic: ties break by name, so the exact order is fixed.
+        assert order == ["a", "b", "a", "a", "a", "b", "a", "a"]
+
+    def test_deterministic_replay(self):
+        weights = {"x": 2.5, "y": 1.0, "z": 0.5}
+        assert _drive(weights, 200) == _drive(weights, 200)
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=16.0),
+            min_size=2,
+            max_size=5,
+        ),
+        rounds=st.integers(min_value=100, max_value=800),
+    )
+    def test_weighted_shares_converge(self, weights, rounds):
+        """Throughput share of every always-backlogged tenant tracks its
+        weight ratio with lag bounded by the tenant count."""
+        named = {f"t{i}": w for i, w in enumerate(weights)}
+        total = sum(named.values())
+        counts, _ = _drive(named, rounds)
+        for name, weight in named.items():
+            ideal = rounds * weight / total
+            assert abs(counts[name] - ideal) <= len(named) + 1
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=8.0),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_no_starvation_under_adversarial_weights(self, weights):
+        """Between consecutive grants to tenant *i*, every other tenant
+        *j* can be granted at most ``w_j / w_i + 1`` times, so the gap
+        is bounded by ``(W - w_i) / w_i + n`` — nobody starves."""
+        named = {f"t{i}": w for i, w in enumerate(weights)}
+        total = sum(named.values())
+        rounds = 400
+        _, order = _drive(named, rounds)
+        for name, weight in named.items():
+            bound = (total - weight) / weight + len(named)
+            last = -1
+            positions = [i for i, granted in enumerate(order) if granted == name]
+            assert positions, f"{name} never granted in {rounds} rounds"
+            for position in positions:
+                assert position - last <= bound + 1
+                last = position
+
+    @settings(deadline=None, max_examples=100)
+    @given(
+        bound=st.integers(min_value=1, max_value=5),
+        speculative_ops=st.lists(st.booleans(), max_size=30),
+    )
+    def test_admission_bound_matches_model(self, bound, speculative_ops):
+        """Reference model: a submission is admitted iff queued < bound;
+        over the bound, speculative submissions are born lost (False)
+        and real ones raise.  ``n_rejected`` counts every rejection."""
+        state = TenantState("t", max_queue_depth=bound)
+        rejected = 0
+        for speculative in speculative_ops:
+            if state.queued < bound:
+                assert state.admit(speculative) is True
+                (state.spec if speculative else state.real).append(0)
+            elif speculative:
+                assert state.admit(True) is False
+                rejected += 1
+            else:
+                with pytest.raises(TenantAdmissionError, match="queue is full"):
+                    state.admit(False)
+                rejected += 1
+        assert state.n_rejected == rejected
+
+    def test_register_is_reconfigure_not_reset(self):
+        scheduler = TenantScheduler()
+        state = scheduler.register("a", weight=1.0)
+        state.real.append(7)
+        state.n_tasks = 3
+        again = scheduler.register("a", weight=4.0, max_queue_depth=2)
+        assert again is state
+        assert state.weight == 4.0 and state.max_queue_depth == 2
+        assert list(state.real) == [7] and state.n_tasks == 3
+
+    def test_newcomer_starts_at_minimum_live_pass(self):
+        scheduler = TenantScheduler()
+        veteran = scheduler.register("a", weight=1.0)
+        for _ in range(5):
+            scheduler.charge(veteran)
+        default_pass = scheduler.state(None).pass_value
+        newcomer = scheduler.register("b")
+        assert newcomer.pass_value == min(default_pass, veteran.pass_value)
+
+    def test_charge_advances_by_inverse_weight(self):
+        scheduler = TenantScheduler()
+        state = scheduler.register("a", weight=4.0)
+        scheduler.charge(state)
+        assert state.pass_value == STRIDE_SCALE / 4.0
+
+    def test_select_idle_returns_none(self):
+        assert TenantScheduler().select() is None
+
+    def test_default_tenant_always_registered(self):
+        scheduler = TenantScheduler()
+        assert DEFAULT_TENANT in scheduler.names()
+        assert scheduler.state(None).name == DEFAULT_TENANT
+
+    def test_unregister_default_refused(self):
+        with pytest.raises(ValueError, match="default tenant"):
+            TenantScheduler().unregister(DEFAULT_TENANT)
+
+    def test_unknown_tenant_is_loud(self):
+        with pytest.raises(KeyError, match="unknown tenant"):
+            TenantScheduler().state("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            TenantState("t", weight=0.0)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            TenantState("t", max_queue_depth=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            TenantState("")
+
+
+# ---------------------------------------------------------------------------
+# Concurrent tenants on one fleet: bit-identity and wire accounting
+# ---------------------------------------------------------------------------
+
+
+def _run_search(view, X, y, seed_block, out, key):
+    try:
+        search = PartitionMKLSearch(
+            weighting="alignment", backend=view, shards=2
+        )
+        cache = search._make_cache(X)
+        result = search.search_exhaustive(X, y, seed_block, cache=cache)
+        out[key] = (result, view.wire_stats())
+        cache.detach()
+    except Exception as exc:  # surfaced by the asserting caller
+        out[key] = exc
+
+
+class TestConcurrentTenantParity:
+    SEEDS = {"a": (0, 1), "b": (0, 2)}
+
+    def test_concurrent_tenants_bit_identical_to_solo(
+        self, workload, make_fleet, make_tenant_fleet
+    ):
+        X, y = workload.X, workload.y
+        # Solo references: each tenant alone on its own fresh fleet.
+        solo = {}
+        for name, seed_block in self.SEEDS.items():
+            _, backend = make_fleet(2)
+            view = backend.for_tenant(name)
+            _run_search(view, X, y, seed_block, solo, name)
+            assert not isinstance(solo[name], Exception), solo[name]
+            view.close()
+        # The same two searches concurrently, one shared fleet, unequal
+        # weights (fairness must not perturb results, only ordering).
+        _, backend, views = make_tenant_fleet(
+            ("a", "b"), workers=2, weights={"a": 2.0, "b": 1.0}
+        )
+        out = {}
+        threads = [
+            threading.Thread(
+                target=_run_search,
+                args=(views[name], X, y, seed_block, out, name),
+            )
+            for name, seed_block in self.SEEDS.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for name in self.SEEDS:
+            assert not isinstance(out[name], Exception), out[name]
+            result_solo, _ = solo[name]
+            result, wire = out[name]
+            assert result.best_partition == result_solo.best_partition
+            assert result.best_score == result_solo.best_score
+            assert result.history == result_solo.history
+            assert result.n_evaluations == result_solo.n_evaluations
+            assert result.n_matrix_ops == result_solo.n_matrix_ops
+            assert result.n_gram_computations == result_solo.n_gram_computations
+            # Placement held: strips stayed resident per tenant.
+            assert wire["n_gathers"] == 0
+            assert wire["n_tasks"] > 0
+            assert wire["envelope_bytes_out"] > 0
+
+        # Per-tenant envelope buckets partition the fleet's exactly.
+        fleet_wire = backend.wire_stats()
+        coordinator = backend.coordinator
+        per_tenant = [
+            coordinator.tenant_wire_stats(name)
+            for name in ("a", "b", DEFAULT_TENANT)
+        ]
+        for bucket in ("envelope_bytes_out", "envelope_bytes_in"):
+            assert fleet_wire[bucket] == sum(t[bucket] for t in per_tenant)
+        # Both drained: no tenant left holding queued or in-flight work.
+        assert set(coordinator.tenant_queue_depths().values()) == {0}
+
+    def test_admission_bound_trips_on_live_fleet(
+        self, workload, make_tenant_fleet
+    ):
+        _, backend, views = make_tenant_fleet(
+            ("a",), workers=1, depths={"a": 1}
+        )
+        coordinator = backend.coordinator
+        cone = list(cone_partitions((0, 1), (2, 3, 4)))
+        stats = BlockStatsCache(GramCache(workload.X), workload.y)
+        payloads = [
+            build_task(stats, "alignment", [partition]).payload()
+            for partition in cone[:12]
+        ]
+        # Real submissions without consuming results: the pipeline
+        # windows fill, then the queue hits the bound and the next
+        # submission is refused loudly.
+        tickets = []
+        with pytest.raises(TenantAdmissionError, match="'a' queue is full"):
+            for payload in payloads:
+                tickets.append(
+                    coordinator.submit_ticket(payload, tenant="a")
+                )
+        assert 0 < len(tickets) < len(payloads)
+        for ticket in tickets:
+            assert coordinator.wait_ticket(ticket) is not None
+        assert coordinator.tenant_ledgers()["a"]["n_rejected"] >= 1
+        # Speculative submissions over the bound are born lost, not an
+        # error: the engine treats a lost ticket as "rescore normally".
+        spec_tickets = [views["a"].submit_task(p) for p in payloads]
+        results = [views["a"].wait_task(t) for t in spec_tickets]
+        assert any(r is None for r in results)
+        assert any(r is not None for r in results)
+
+    def test_fleet_status_reports_tenant_backlog(self, make_tenant_fleet):
+        _, backend, _ = make_tenant_fleet(("a", "b"), workers=2)
+        status = backend.coordinator.fleet_status()
+        assert set(status.tenants) >= {"a", "b", DEFAULT_TENANT}
+        assert status.to_dict()["tenants"] == status.tenants
+        assert "tenant backlog" in status.format_table()
+
+    def test_tenant_ledgers_feed_metrics(self, workload, make_tenant_fleet):
+        _, backend, views = make_tenant_fleet(("a",), workers=1)
+        search = PartitionMKLSearch(weighting="alignment", backend=views["a"])
+        search.search_exhaustive(workload.X, workload.y, (0, 1))
+        ledgers = backend.coordinator.tenant_ledgers()
+        assert set(ledgers) >= {"a", DEFAULT_TENANT}
+        assert set(ledgers["a"]) == set(TENANT_LEDGER_KINDS)
+        assert ledgers["a"]["n_tasks"] > 0
+        assert ledgers["a"]["n_results"] == ledgers["a"]["n_tasks"]
+        snapshot = tenant_metrics(ledgers).snapshot()
+        assert snapshot["counters"]["cluster.tenant.n_tasks{tenant=a}"] > 0
+        assert "cluster.tenant.queue_depth{tenant=a}" in snapshot["gauges"]
+
+    def test_unknown_tenant_wire_stats_is_loud(self, make_tenant_fleet):
+        _, backend, _ = make_tenant_fleet(("a",), workers=1)
+        with pytest.raises(KeyError, match="unknown tenant"):
+            backend.coordinator.tenant_wire_stats("nope")
+
+    def test_view_close_keeps_ledgers(self, workload, make_tenant_fleet):
+        _, backend, views = make_tenant_fleet(("a",), workers=1)
+        search = PartitionMKLSearch(weighting="alignment", backend=views["a"])
+        search.search_exhaustive(workload.X, workload.y, (0, 1))
+        before = backend.coordinator.tenant_ledgers()["a"]["n_tasks"]
+        views["a"].close()
+        assert backend.coordinator.tenant_ledgers()["a"]["n_tasks"] == before
+
+
+# ---------------------------------------------------------------------------
+# tenant= rides every backend (ignored where there is no shared fleet)
+# ---------------------------------------------------------------------------
+
+
+class TestTenantAcrossBackends:
+    @pytest.mark.parametrize("backend", ["serial", "processes"])
+    def test_tenant_tag_is_inert_off_fleet(self, workload, backend):
+        plain = PartitionMKLSearch(
+            weighting="alignment", backend=backend
+        ).search_exhaustive(workload.X, workload.y, (0, 1))
+        tagged = PartitionMKLSearch(
+            weighting="alignment", backend=backend, tenant="solo"
+        ).search_exhaustive(workload.X, workload.y, (0, 1))
+        assert tagged.best_partition == plain.best_partition
+        assert tagged.best_score == plain.best_score
+        assert tagged.history == plain.history
+        assert tagged.n_matrix_ops == plain.n_matrix_ops
+
+    @pytest.mark.parametrize("backend", ["serial", "processes"])
+    def test_concurrent_tagged_searches_match_solo(self, workload, backend):
+        """The in-memory analogue of the shared-fleet test: two tagged
+        searches in parallel threads each match their solo run."""
+        X, y = workload.X, workload.y
+        seeds = {"a": (0, 1), "b": (0, 2)}
+        solo = {
+            name: PartitionMKLSearch(
+                weighting="alignment", backend=backend
+            ).search_exhaustive(X, y, seed_block)
+            for name, seed_block in seeds.items()
+        }
+        out = {}
+
+        def run(name, seed_block):
+            out[name] = PartitionMKLSearch(
+                weighting="alignment", backend=backend, tenant=name
+            ).search_exhaustive(X, y, seed_block)
+
+        threads = [
+            threading.Thread(target=run, args=item) for item in seeds.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for name in seeds:
+            assert out[name].best_partition == solo[name].best_partition
+            assert out[name].best_score == solo[name].best_score
+            assert out[name].history == solo[name].history
+
+
+# ---------------------------------------------------------------------------
+# Facet-parallel seed statistics: bit-identical, facets as tenants
+# ---------------------------------------------------------------------------
+
+
+class TestFacetParallel:
+    @pytest.mark.parametrize("backend", ["serial", "processes"])
+    def test_matches_sequential(self, faceted_workload, backend):
+        w = faceted_workload
+        views = list(w.view_columns.values())
+        fitted = {}
+        for parallel in (False, True):
+            fitted[parallel] = FacetedLearner(
+                strategy="chain",
+                scorer="alignment",
+                views=views,
+                backend=backend,
+                facet_parallel=parallel,
+            ).fit(w.X, w.y)
+        sequential, parallel = fitted[False], fitted[True]
+        assert parallel.partition_ == sequential.partition_
+        assert (
+            parallel.search_result_.best_score
+            == sequential.search_result_.best_score
+        )
+        assert (
+            parallel.search_result_.n_evaluations
+            == sequential.search_result_.n_evaluations
+        )
+        assert np.array_equal(parallel.weights_, sequential.weights_)
+
+    def test_sockets_matches_and_registers_facets(
+        self, faceted_workload, make_fleet
+    ):
+        w = faceted_workload
+        views = list(w.view_columns.values())
+        reference = FacetedLearner(
+            strategy="chain", scorer="alignment", views=views
+        ).fit(w.X, w.y)
+        _, backend = make_fleet(2)
+        learner = FacetedLearner(
+            strategy="chain",
+            scorer="alignment",
+            views=views,
+            backend=backend,
+            shards=2,
+            facet_parallel=True,
+            tenant="learner",
+        ).fit(w.X, w.y)
+        assert learner.partition_ == reference.partition_
+        assert (
+            learner.search_result_.best_score
+            == reference.search_result_.best_score
+        )
+        assert np.array_equal(learner.weights_, reference.weights_)
+        # The learner and its facets are visible fleet tenants.
+        depths = backend.coordinator.tenant_queue_depths()
+        assert "learner" in depths
+        assert {f"learner:facet{i}" for i in range(len(views))} <= set(depths)
+        assert set(depths.values()) == {0}
